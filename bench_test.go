@@ -1,0 +1,370 @@
+// Package repro's root benchmark harness: one testing.B benchmark per
+// table and figure of the paper's evaluation section, as indexed in
+// DESIGN.md. Each benchmark runs the corresponding experiment driver at
+// TestScale (reduced application sets and measurement windows exercising
+// the full code path); cmd/figures -scale full regenerates the paper-scale
+// numbers recorded in EXPERIMENTS.md.
+//
+// Macro-benchmarks take seconds per iteration; run with -benchtime=1x for
+// a single pass:
+//
+//	go test -bench=. -benchmem -benchtime=1x .
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/profile"
+	"repro/internal/sim/isa"
+	"repro/internal/workload"
+)
+
+func newLab() *experiments.Lab { return experiments.NewLab(experiments.TestScale()) }
+
+// BenchmarkTable1MachineConfigs regenerates Table I (machine specifications).
+func BenchmarkTable1MachineConfigs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r := lab.Table1()
+		if len(r.Machines) != 2 || r.String() == "" {
+			b.Fatal("Table 1 incomplete")
+		}
+	}
+}
+
+// BenchmarkFig2FunctionalUnitSenCon regenerates Figure 2: per-application
+// sensitivity/contentiousness on the functional-unit dimensions.
+func BenchmarkFig2FunctionalUnitSenCon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig2FunctionalUnits()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Chars) == 0 {
+			b.Fatal("no characterizations")
+		}
+	}
+}
+
+// BenchmarkFig3PortUtilizationCDF regenerates Figures 3 and 5: aggregated
+// port-utilisation CDFs over all SPEC co-location pairs.
+func BenchmarkFig3PortUtilizationCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig3And5PortUtilization()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Pairs == 0 {
+			b.Fatal("no pairs measured")
+		}
+		b.ReportMetric(r.Median(4), "port4-median-util")
+	}
+}
+
+// BenchmarkFig4MemorySenCon regenerates Figure 4: memory-subsystem
+// sensitivity/contentiousness.
+func BenchmarkFig4MemorySenCon(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		if _, err := lab.Fig4MemorySubsystem(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5MemPortUtilizationCDF regenerates the memory-port half of
+// the utilisation study (same runs as Figure 3, reported for ports 2/3/4).
+func BenchmarkFig5MemPortUtilizationCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig3And5PortUtilization()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Median(2) < r.Median(4) {
+			// Load ports should dominate the store port (paper Finding).
+			b.Log("warning: store port median above load port median at this scale")
+		}
+	}
+}
+
+// BenchmarkFig6SenConSummary regenerates Figure 6: the full
+// seven-dimension characterization matrix.
+func BenchmarkFig6SenConSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		if _, err := lab.Fig6Summary(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7CorrelationMatrix regenerates Figure 7: |Pearson|
+// correlations across the 14 Sen/Con dimensions.
+func BenchmarkFig7CorrelationMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig7Correlation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.FracBelow80*100, "%pairs<0.8")
+	}
+}
+
+// BenchmarkFig9RulerValidation regenerates Figure 9's validation: Ruler
+// port saturation and working-set/interference linearity.
+func BenchmarkFig9RulerValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig9RulerValidation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fu := range r.FU {
+			if fu.TargetUtil < 0.999 {
+				b.Fatalf("%s target utilisation %.4f", fu.Name, fu.TargetUtil)
+			}
+		}
+	}
+}
+
+// BenchmarkFig10SpecSMTPrediction regenerates Figure 10: SMT prediction
+// accuracy on SPEC (SMiTe vs the PMU baseline).
+func BenchmarkFig10SpecSMTPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig10SpecSMT()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SmiteEval.MeanAbsError*100, "smite-err-%")
+		b.ReportMetric(r.PMUEval.MeanAbsError*100, "pmu-err-%")
+	}
+}
+
+// BenchmarkFig11SpecCMPPrediction regenerates Figure 11: CMP prediction
+// accuracy on SPEC.
+func BenchmarkFig11SpecCMPPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig11SpecCMP()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SmiteEval.MeanAbsError*100, "smite-err-%")
+	}
+}
+
+// BenchmarkFig12CloudSuitePrediction regenerates Figure 12: CloudSuite
+// SMT/CMP prediction accuracy.
+func BenchmarkFig12CloudSuitePrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig12CloudSuite()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, fp := range r.PerPlacement {
+			if fp.SmiteErr >= fp.PMUErr {
+				b.Log("warning: SMiTe did not beat PMU at this scale")
+			}
+		}
+	}
+}
+
+// BenchmarkFig13TailLatencyPrediction regenerates Figure 13: p90 latency
+// prediction for the percentile-reporting services.
+func BenchmarkFig13TailLatencyPrediction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig13TailLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) == 0 {
+			b.Fatal("no percentile-reporting services")
+		}
+	}
+}
+
+// BenchmarkFig14UtilizationAvgQoS regenerates Figures 14/15: the
+// average-performance-QoS scale-out study.
+func BenchmarkFig14UtilizationAvgQoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig14And15AvgQoS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Cells[0.85][cluster.PolicySMiTe].UtilizationGain*100, "gain85-%")
+	}
+}
+
+// BenchmarkFig15ViolationsAvgQoS re-reports the violation half of the
+// average-QoS study (same runs as Figure 14).
+func BenchmarkFig15ViolationsAvgQoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig14And15AvgQoS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sm := r.Cells[0.90][cluster.PolicySMiTe]
+		rd := r.Cells[0.90][cluster.PolicyRandom]
+		b.ReportMetric(sm.ViolationFrac*100, "smite-viol-%")
+		b.ReportMetric(rd.ViolationFrac*100, "random-viol-%")
+	}
+}
+
+// BenchmarkFig16UtilizationTailQoS regenerates Figures 16/17: the
+// tail-latency-QoS scale-out study.
+func BenchmarkFig16UtilizationTailQoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig16And17TailQoS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Cells[0.85][cluster.PolicySMiTe].UtilizationGain*100, "gain85-%")
+	}
+}
+
+// BenchmarkFig17ViolationsTailQoS re-reports the violation half of the
+// tail-QoS study.
+func BenchmarkFig17ViolationsTailQoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig16And17TailQoS()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Cells[0.90][cluster.PolicyRandom].ViolationFrac*100, "random-viol-%")
+	}
+}
+
+// BenchmarkFig18TCO regenerates Figure 18: the 3-year TCO analysis.
+func BenchmarkFig18TCO(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.Fig18TCO()
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := 0.0
+		for _, row := range r.Rows {
+			if row.Improvement > best {
+				best = row.Improvement
+			}
+		}
+		b.ReportMetric(best*100, "best-tco-saving-%")
+	}
+}
+
+// BenchmarkModelAblation runs the model-comparison ablation: SMiTe NNLS/OLS,
+// a Bubble-Up-style single-metric model, and the PMU-baseline family.
+func BenchmarkModelAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		lab := newLab()
+		r, err := lab.ModelAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) != 6 {
+			b.Fatalf("expected 6 models, got %d", len(r.Rows))
+		}
+	}
+}
+
+// BenchmarkAblationStreamPrefetcher quantifies the stream-prefetcher design
+// choice called out in DESIGN.md: the IPC of a sequential-stream workload
+// with the prefetcher on versus off.
+func BenchmarkAblationStreamPrefetcher(b *testing.B) {
+	run := func(prefetch bool) float64 {
+		cfg := isa.IvyBridge()
+		cfg.Cores = 2
+		cfg.StreamPrefetcher = prefetch
+		spec, err := workload.ByName("470.lbm")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := profile.Solo(cfg, profile.App(spec), profile.FastOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.AppIPC
+	}
+	for i := 0; i < b.N; i++ {
+		with, without := run(true), run(false)
+		b.ReportMetric(with, "ipc-prefetch")
+		b.ReportMetric(without, "ipc-noprefetch")
+		if with <= without {
+			b.Fatal("prefetcher should speed up streaming")
+		}
+	}
+}
+
+// BenchmarkAblationL3Replacement quantifies the L2/L3 random-replacement
+// design choice: the co-location degradation cliff of a cache-resident app
+// against a thrashing neighbour under LRU versus random replacement.
+func BenchmarkAblationL3Replacement(b *testing.B) {
+	measure := func(policy isa.ReplacementPolicy) float64 {
+		cfg := isa.IvyBridge()
+		cfg.Cores = 2
+		cfg.L3.Policy = policy
+		cfg.L2.Policy = policy
+		a, err := workload.ByName("401.bzip2")
+		if err != nil {
+			b.Fatal(err)
+		}
+		bb, err := workload.ByName("483.xalancbmk")
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := profile.NewProfiler(cfg, profile.FastOptions())
+		pm, err := p.MeasurePair(a, bb, profile.SMT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pm.DegA
+	}
+	for i := 0; i < b.N; i++ {
+		lru, random := measure(isa.PolicyLRU), measure(isa.PolicyRandom)
+		b.ReportMetric(lru*100, "deg-lru-%")
+		b.ReportMetric(random*100, "deg-random-%")
+	}
+}
+
+// BenchmarkDynamicScheduler exercises the dynamic (arrival/departure)
+// cluster study extension on a synthetic degradation table.
+func BenchmarkDynamicScheduler(b *testing.B) {
+	tbl := cluster.NewTable([]string{"svc"}, []string{"quiet", "noisy"}, 6)
+	for n := 1; n <= 6; n++ {
+		tbl.Set("svc", "quiet", n, cluster.Entry{Actual: 0.01 * float64(n), Predicted: 0.01 * float64(n)})
+		tbl.Set("svc", "noisy", n, cluster.Entry{Actual: 0.12 * float64(n), Predicted: 0.12 * float64(n)})
+	}
+	study := &cluster.DynamicStudy{
+		Table: &cluster.Study{
+			Table:             tbl,
+			ServersPerApp:     1000,
+			ThreadsPerServer:  6,
+			ContextsPerServer: 12,
+			Seed:              3,
+		},
+		ArrivalRate:  200,
+		MeanDuration: 5,
+		Horizon:      50,
+		Seed:         9,
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := study.Run(cluster.PolicySMiTe, 0.90)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.MeanUtilization*100, "mean-util-%")
+	}
+}

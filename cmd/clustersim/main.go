@@ -1,0 +1,101 @@
+// Command clustersim runs the warehouse-scale scale-out study standalone:
+// it builds the CloudSuite co-location degradation table on the simulated
+// Sandy Bridge-EN fleet, then schedules batch work onto the latency
+// servers' idle SMT contexts under the SMiTe, Oracle and Random policies
+// and reports utilisation gains, QoS violations and the TCO impact.
+//
+// Usage:
+//
+//	clustersim [-scale full|test] [-qos avg|tail] [-targets 0.95,0.90,0.85] [-servers 1000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/tco"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "test", "experiment scale: full or test")
+	qosFlag := flag.String("qos", "avg", "QoS definition: avg (average performance) or tail (90th-percentile latency)")
+	targetsFlag := flag.String("targets", "0.95,0.90,0.85", "comma-separated QoS targets to detail (subset of 0.95,0.90,0.85)")
+	serversFlag := flag.Int("servers", 0, "servers per latency application (0 = scale default)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "full":
+		scale = experiments.FullScale()
+	case "test":
+		scale = experiments.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "clustersim: unknown scale %q\n", *scaleFlag)
+		os.Exit(2)
+	}
+	if *serversFlag > 0 {
+		scale.ServersPerApp = *serversFlag
+	}
+
+	var targets []float64
+	for _, t := range strings.Split(*targetsFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+		if err != nil || v <= 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "clustersim: bad target %q\n", t)
+			os.Exit(2)
+		}
+		targets = append(targets, v)
+	}
+
+	lab := experiments.NewLab(scale)
+	fmt.Println("building the co-location degradation table (this measures every latency×batch×instances cell)...")
+	var res experiments.ScaleOutResult
+	var err error
+	switch *qosFlag {
+	case "avg":
+		res, err = lab.Fig14And15AvgQoS()
+	case "tail":
+		res, err = lab.Fig16And17TailQoS()
+	default:
+		fmt.Fprintf(os.Stderr, "clustersim: unknown qos %q\n", *qosFlag)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.String())
+
+	// Per-target policy detail.
+	for _, target := range res.Targets {
+		if !contains(targets, target) {
+			continue
+		}
+		fmt.Printf("target %.0f%%:\n", target*100)
+		for _, pol := range []cluster.PolicyKind{cluster.PolicySMiTe, cluster.PolicyOracle, cluster.PolicyRandom} {
+			r := res.Cells[target][pol]
+			fmt.Printf("  %-7s util %.1f%% -> %.1f%% (gain %.2f%%), mean instances %.2f, violations %.2f%% of co-located (worst %.2f%%)\n",
+				pol, r.BaselineUtilization*100, r.Utilization*100, r.UtilizationGain*100,
+				r.MeanInstances, r.ViolationFrac*100, r.ViolationMax*100)
+		}
+	}
+
+	params := tco.Google2014()
+	fmt.Printf("\nTCO model: $%.0f/server, %.0fW at PUE %.2f, $%.2f/kWh, %g-year horizon => $%.0f/server/year\n",
+		params.ServerCapex, params.ServerPowerWatts, params.PUE, params.ElectricityPerKWh,
+		params.HorizonYears, params.PerServerPerYear())
+}
+
+func contains(xs []float64, v float64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

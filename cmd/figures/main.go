@@ -1,0 +1,89 @@
+// Command figures regenerates every table and figure of the paper's
+// evaluation section on the simulated testbed and prints the results as
+// text tables (the per-experiment index lives in DESIGN.md).
+//
+// Usage:
+//
+//	figures [-scale full|test] [-fig all|table1|2|3|6|7|9|10|11|12|13|14|16|18]
+//
+// At -scale full the run uses the paper's experiment sizes (all 29 SPEC
+// benchmarks, 4 CloudSuite applications, 4,000-server cluster) and takes
+// several minutes; -scale test runs reduced sizes in seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "test", "experiment scale: full or test")
+	figFlag := flag.String("fig", "all", "comma-separated figure ids (table1,2,3,4,6,7,9,10,11,12,13,14,16,18,ablation,crossmachine) or all")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "full":
+		scale = experiments.FullScale()
+	case "test":
+		scale = experiments.TestScale()
+	default:
+		fmt.Fprintf(os.Stderr, "figures: unknown scale %q (want full or test)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	lab := experiments.NewLab(scale)
+
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figFlag, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	sel := func(id string) bool { return all || want[id] }
+
+	type step struct {
+		id  string
+		run func() (fmt.Stringer, error)
+	}
+	steps := []step{
+		{"table1", func() (fmt.Stringer, error) { return lab.Table1(), nil }},
+		{"2", func() (fmt.Stringer, error) { return lab.Fig2FunctionalUnits() }},
+		{"3", func() (fmt.Stringer, error) { return lab.Fig3And5PortUtilization() }},
+		{"4", func() (fmt.Stringer, error) { return lab.Fig4MemorySubsystem() }},
+		{"6", func() (fmt.Stringer, error) { return lab.Fig6Summary() }},
+		{"7", func() (fmt.Stringer, error) { return lab.Fig7Correlation() }},
+		{"9", func() (fmt.Stringer, error) { return lab.Fig9RulerValidation() }},
+		{"10", func() (fmt.Stringer, error) { return lab.Fig10SpecSMT() }},
+		{"11", func() (fmt.Stringer, error) { return lab.Fig11SpecCMP() }},
+		{"12", func() (fmt.Stringer, error) { return lab.Fig12CloudSuite() }},
+		{"13", func() (fmt.Stringer, error) { return lab.Fig13TailLatency() }},
+		{"14", func() (fmt.Stringer, error) { return lab.Fig14And15AvgQoS() }},
+		{"16", func() (fmt.Stringer, error) { return lab.Fig16And17TailQoS() }},
+		{"18", func() (fmt.Stringer, error) { return lab.Fig18TCO() }},
+		{"ablation", func() (fmt.Stringer, error) { return lab.ModelAblation() }},
+		{"crossmachine", func() (fmt.Stringer, error) { return lab.CrossMachine() }},
+	}
+	ran := 0
+	for _, s := range steps {
+		if !sel(s.id) {
+			continue
+		}
+		start := time.Now()
+		res, err := s.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: %s failed: %v\n", s.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("[%s completed in %v]\n\n", s.id, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "figures: no figure matched %q\n", *figFlag)
+		os.Exit(2)
+	}
+}

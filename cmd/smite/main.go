@@ -1,0 +1,225 @@
+// Command smite is the command-line front end to the SMiTe methodology:
+// list the stock application models, characterize an application with the
+// Ruler suite, and predict (or actually measure) co-location degradations.
+//
+// Usage:
+//
+//	smite list
+//	smite characterize -app 444.namd [-machine ivb|snb] [-placement smt|cmp] [-fast]
+//	smite predict -victim web-search -aggressor 470.lbm [-fast]
+//	smite measure -victim 444.namd -aggressor 429.mcf [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/smite"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = list()
+	case "characterize":
+		err = characterize(os.Args[2:])
+	case "predict":
+		err = predict(os.Args[2:])
+	case "measure":
+		err = measure(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smite: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  smite list
+  smite characterize -app <name> [-machine ivb|snb] [-placement smt|cmp] [-fast]
+  smite predict -victim <name> -aggressor <name> [-fast]
+  smite measure -victim <name> -aggressor <name> [-fast]`)
+}
+
+func list() error {
+	fmt.Println("SPEC CPU2006:")
+	for _, s := range smite.SPECWorkloads() {
+		fmt.Printf("  %-16s %s\n", s.Name, s.Suite)
+	}
+	fmt.Println("CloudSuite (latency-sensitive):")
+	for _, s := range smite.CloudWorkloads() {
+		fmt.Printf("  %-16s %d threads, %g QPS/thread\n", s.Name, s.ThreadCount(), s.ServiceRate)
+	}
+	return nil
+}
+
+func commonFlags(fs *flag.FlagSet) (machine *string, placement *string, fast *bool) {
+	machine = fs.String("machine", "ivb", "machine: ivb (i7-3770) or snb (Xeon E5-2420)")
+	placement = fs.String("placement", "smt", "placement: smt or cmp")
+	fast = fs.Bool("fast", false, "use reduced measurement windows")
+	return
+}
+
+func newSystem(machine string, fast bool) (*smite.System, error) {
+	opts := smite.DefaultOptions()
+	if fast {
+		opts = smite.FastOptions()
+	}
+	m := smite.IvyBridge
+	if machine == "snb" {
+		m = smite.SandyBridgeEN
+	} else if machine != "ivb" {
+		return nil, fmt.Errorf("unknown machine %q", machine)
+	}
+	return smite.NewSystem(m, opts)
+}
+
+func parsePlacement(s string) (smite.Placement, error) {
+	switch s {
+	case "smt":
+		return smite.SMT, nil
+	case "cmp":
+		return smite.CMP, nil
+	}
+	return smite.SMT, fmt.Errorf("unknown placement %q", s)
+}
+
+func characterize(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
+	app := fs.String("app", "", "application name")
+	machine, placementS, fast := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("characterize: -app is required")
+	}
+	spec, err := smite.WorkloadByName(*app)
+	if err != nil {
+		return err
+	}
+	sys, err := newSystem(*machine, *fast)
+	if err != nil {
+		return err
+	}
+	placement, err := parsePlacement(*placementS)
+	if err != nil {
+		return err
+	}
+	ch, err := sys.Characterize(spec, placement)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s (%v placement): solo IPC %.3f\n", ch.App, sys.Machine().Name, placement, ch.SoloIPC)
+	fmt.Printf("%-16s %12s %12s\n", "dimension", "sensitivity", "contentiousness")
+	for d := smite.Dimension(0); d < smite.NumDimensions; d++ {
+		fmt.Printf("%-16s %11.2f%% %11.2f%%\n", d, ch.Sen[d]*100, ch.Con[d]*100)
+	}
+	return nil
+}
+
+// trainModel trains on the paper's even-numbered SPEC training set.
+func trainModel(sys *smite.System, placement smite.Placement) (smite.Model, error) {
+	train, _ := smite.TrainTestSplit()
+	m, _, err := sys.TrainFromSets(train, placement)
+	return m, err
+}
+
+func predict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	victim := fs.String("victim", "", "latency-sensitive / victim application")
+	aggressor := fs.String("aggressor", "", "co-located batch / aggressor application")
+	machine, placementS, fast := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *victim == "" || *aggressor == "" {
+		return fmt.Errorf("predict: -victim and -aggressor are required")
+	}
+	v, err := smite.WorkloadByName(*victim)
+	if err != nil {
+		return err
+	}
+	a, err := smite.WorkloadByName(*aggressor)
+	if err != nil {
+		return err
+	}
+	sys, err := newSystem(*machine, *fast)
+	if err != nil {
+		return err
+	}
+	placement, err := parsePlacement(*placementS)
+	if err != nil {
+		return err
+	}
+	fmt.Println("training the prediction model on the even-numbered SPEC set...")
+	m, err := trainModel(sys, placement)
+	if err != nil {
+		return err
+	}
+	chV, err := sys.Characterize(v, placement)
+	if err != nil {
+		return err
+	}
+	chA, err := sys.Characterize(a, placement)
+	if err != nil {
+		return err
+	}
+	deg := m.PredictPair(chV, chA)
+	fmt.Printf("predicted degradation of %s next to %s (%v): %.2f%%\n", v.Name, a.Name, placement, deg*100)
+	for _, target := range []float64{0.95, 0.90, 0.85} {
+		verdict := "UNSAFE"
+		if m.SafeColocation(chV, chA, target) {
+			verdict = "safe"
+		}
+		fmt.Printf("  QoS target %.0f%%: %s\n", target*100, verdict)
+	}
+	return nil
+}
+
+func measure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	victim := fs.String("victim", "", "victim application")
+	aggressor := fs.String("aggressor", "", "aggressor application")
+	machine, placementS, fast := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *victim == "" || *aggressor == "" {
+		return fmt.Errorf("measure: -victim and -aggressor are required")
+	}
+	v, err := smite.WorkloadByName(*victim)
+	if err != nil {
+		return err
+	}
+	a, err := smite.WorkloadByName(*aggressor)
+	if err != nil {
+		return err
+	}
+	sys, err := newSystem(*machine, *fast)
+	if err != nil {
+		return err
+	}
+	placement, err := parsePlacement(*placementS)
+	if err != nil {
+		return err
+	}
+	pm, err := sys.MeasurePair(v, a, placement)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured co-location (%v) on %s:\n", placement, sys.Machine().Name)
+	fmt.Printf("  %-16s degrades %6.2f%%\n", pm.A, pm.DegA*100)
+	fmt.Printf("  %-16s degrades %6.2f%%\n", pm.B, pm.DegB*100)
+	return nil
+}

@@ -1,0 +1,140 @@
+// Command smtop is a perf-stat-style inspector for the simulated SMT
+// machine: it runs an application (optionally next to a co-runner or a
+// Ruler) and prints the full PMU counter breakdown per hardware context —
+// IPC, per-port utilisation, cache hit rates at every level, DRAM traffic,
+// branch and TLB behaviour.
+//
+// Usage:
+//
+//	smtop -app 444.namd [-with 429.mcf | -ruler FP_ADD] [-machine ivb|snb]
+//	      [-placement smt|cmp] [-cycles 100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/profile"
+	"repro/internal/rulers"
+	"repro/internal/sim/isa"
+	"repro/internal/sim/pmu"
+	"repro/internal/workload"
+)
+
+func main() {
+	appFlag := flag.String("app", "", "application to run (required)")
+	withFlag := flag.String("with", "", "co-located application")
+	rulerFlag := flag.String("ruler", "", "co-located Ruler (FP_MUL, FP_ADD, FP_SHF, INT_ADD, L1, L2, L3, MEM_BW)")
+	machineFlag := flag.String("machine", "ivb", "machine: ivb or snb")
+	placementFlag := flag.String("placement", "smt", "placement: smt or cmp")
+	cyclesFlag := flag.Uint64("cycles", 100_000, "measurement window in cycles")
+	flag.Parse()
+
+	if *appFlag == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*appFlag, *withFlag, *rulerFlag, *machineFlag, *placementFlag, *cyclesFlag); err != nil {
+		fmt.Fprintf(os.Stderr, "smtop: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(app, with, ruler, machine, placementS string, cycles uint64) error {
+	cfg := isa.IvyBridge()
+	if machine == "snb" {
+		cfg = isa.SandyBridgeEN()
+	} else if machine != "ivb" {
+		return fmt.Errorf("unknown machine %q", machine)
+	}
+	var placement profile.Placement
+	switch placementS {
+	case "smt":
+		placement = profile.SMT
+	case "cmp":
+		placement = profile.CMP
+	default:
+		return fmt.Errorf("unknown placement %q", placementS)
+	}
+
+	spec, err := workload.ByName(app)
+	if err != nil {
+		return err
+	}
+	opts := profile.DefaultOptions()
+	opts.MeasureCycles = cycles
+
+	var partner profile.Job
+	switch {
+	case with != "" && ruler != "":
+		return fmt.Errorf("choose one of -with and -ruler")
+	case with != "":
+		ps, err := workload.ByName(with)
+		if err != nil {
+			return err
+		}
+		partner = profile.App(ps)
+	case ruler != "":
+		r, err := rulerByName(cfg, ruler)
+		if err != nil {
+			return err
+		}
+		partner = profile.Rulers(r, 1)
+	}
+
+	var res profile.RunResult
+	if partner == nil {
+		res, err = profile.Solo(cfg, profile.App(spec), opts)
+	} else {
+		res, err = profile.Colocate(cfg, profile.App(spec), partner, placement, opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("machine: %s, window: %d cycles, placement: %v\n\n", cfg.Name, cycles, placement)
+	printCounters(app, res.AppCounters[0])
+	if partner != nil {
+		fmt.Println()
+		printCounters(partner.Name(), res.PartnerCounters[0])
+	}
+	return nil
+}
+
+func rulerByName(cfg isa.Config, name string) (*rulers.Ruler, error) {
+	for _, r := range rulers.StandardSet(cfg) {
+		if r.Name == name {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown ruler %q", name)
+}
+
+func printCounters(name string, c pmu.Counters) {
+	fmt.Printf("=== %s ===\n", name)
+	fmt.Printf("%-28s %12d\n", "cycles", c.Cycles)
+	fmt.Printf("%-28s %12d   (%.3f IPC)\n", "instructions", c.Instructions, c.IPC())
+	for p := isa.Port(0); p < isa.NumPorts; p++ {
+		fmt.Printf("port %d dispatches             %12d   (%.1f%% utilised)\n", p, c.PortUops[p], c.PortUtilization(p)*100)
+	}
+	level := func(label string, hits, misses uint64) {
+		total := hits + misses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(hits) / float64(total) * 100
+		}
+		fmt.Printf("%-28s %12d   (%.1f%% hit rate)\n", label, total, rate)
+	}
+	level("L1D accesses", c.L1DHits, c.L1DMisses)
+	level("L2 accesses", c.L2Hits, c.L2Misses)
+	level("L3 accesses", c.L3Hits, c.L3Misses)
+	fmt.Printf("%-28s %12d\n", "DRAM accesses", c.MemAccesses)
+	mispct := 0.0
+	if c.Branches > 0 {
+		mispct = float64(c.BranchMispredicts) / float64(c.Branches) * 100
+	}
+	fmt.Printf("%-28s %12d   (%.2f%% mispredicted)\n", "branches", c.Branches, mispct)
+	fmt.Printf("%-28s %12d   load / %d store\n", "dTLB misses", c.DTLBLoadMisses, c.DTLBStoreMisses)
+	fmt.Printf("%-28s %12d   iTLB / %d i-cache\n", "front-end misses", c.ITLBMisses, c.ICacheMisses)
+}

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/service"
+)
+
+// syntheticStudy builds a study with a hand-made degradation table:
+// latency app "svc" with batch apps "quiet" (1% per instance) and "noisy"
+// (12% per instance), predictions biased slightly low for "noisy" so that
+// violations are observable.
+func syntheticStudy(t *testing.T, predBias float64) *Study {
+	t.Helper()
+	tbl := NewTable([]string{"svc"}, []string{"quiet", "noisy"}, 6)
+	for n := 1; n <= 6; n++ {
+		tbl.Set("svc", "quiet", n, Entry{Actual: 0.01 * float64(n), Predicted: 0.01 * float64(n)})
+		tbl.Set("svc", "noisy", n, Entry{Actual: 0.12 * float64(n), Predicted: (0.12 - predBias) * float64(n)})
+	}
+	return &Study{
+		Table:             tbl,
+		Services:          map[string]service.Service{"svc": {Name: "svc", Mu: 1000, Lambda: 500, QoSPercentile: 0.9, ReportsPercentile: true}},
+		ServersPerApp:     500,
+		ThreadsPerServer:  6,
+		ContextsPerServer: 12,
+		Seed:              3,
+	}
+}
+
+func TestSMiTeAdmitsUpToTarget(t *testing.T) {
+	s := syntheticStudy(t, 0)
+	r, err := s.Run(PolicySMiTe, QoSAvg, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// quiet: 10% budget allows 6 instances (6%); noisy: 10%/12% allows 0.
+	// With ~half the servers drawing each batch app, the mean instances
+	// should be ≈ 3 (6 on quiet servers, 0 on noisy ones).
+	if r.MeanInstances < 2 || r.MeanInstances > 4 {
+		t.Errorf("mean instances = %.2f, want ≈3", r.MeanInstances)
+	}
+	// Perfect predictions: zero violations.
+	if r.ViolationFrac != 0 {
+		t.Errorf("violations %.3f with a perfect predictor", r.ViolationFrac)
+	}
+	if r.BaselineUtilization != 0.5 {
+		t.Errorf("baseline utilization = %.3f, want 0.5", r.BaselineUtilization)
+	}
+	wantUtil := 0.5 * (1 + r.UtilizationGain)
+	if diff := r.Utilization - wantUtil; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("utilization %.4f inconsistent with gain %.4f", r.Utilization, r.UtilizationGain)
+	}
+}
+
+func TestOracleNeverViolates(t *testing.T) {
+	s := syntheticStudy(t, 0.05) // predictions underestimate noisy by 5%/instance
+	r, err := s.Run(PolicyOracle, QoSAvg, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ViolationFrac != 0 {
+		t.Errorf("oracle violated %.3f of co-locations", r.ViolationFrac)
+	}
+}
+
+func TestBiasedPredictionsCauseViolations(t *testing.T) {
+	s := syntheticStudy(t, 0.05)
+	r, err := s.Run(PolicySMiTe, QoSAvg, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Underestimating noisy by 5%/instance admits 1 instance (7% predicted
+	// = fits budget; actual 12% > 10% budget → violation on noisy servers).
+	if r.ViolationFrac == 0 {
+		t.Error("biased predictor should violate")
+	}
+	if r.ViolationMax <= 0 {
+		t.Error("violation magnitude not recorded")
+	}
+}
+
+func TestRandomMatchesSMiTeUtilization(t *testing.T) {
+	s := syntheticStudy(t, 0)
+	sm, err := s.Run(PolicySMiTe, QoSAvg, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := s.Run(PolicyRandom, QoSAvg, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sm.UtilizationGain != rd.UtilizationGain {
+		t.Errorf("Random gain %.4f != SMiTe gain %.4f", rd.UtilizationGain, sm.UtilizationGain)
+	}
+	// Randomly placing instances sized for quiet servers onto noisy ones
+	// must violate much more than SMiTe.
+	if rd.ViolationFrac <= sm.ViolationFrac {
+		t.Errorf("Random violations (%.3f) should exceed SMiTe's (%.3f)", rd.ViolationFrac, sm.ViolationFrac)
+	}
+}
+
+func TestTailQoSAdmitsLess(t *testing.T) {
+	s := syntheticStudy(t, 0)
+	avg, err := s.Run(PolicySMiTe, QoSAvg, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := s.Run(PolicySMiTe, QoSTail, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tail latency degrades super-linearly: the same target admits less.
+	if tail.UtilizationGain >= avg.UtilizationGain {
+		t.Errorf("tail QoS gain %.3f should be below avg QoS gain %.3f", tail.UtilizationGain, avg.UtilizationGain)
+	}
+}
+
+func TestUtilizationGainMonotoneInTarget(t *testing.T) {
+	s := syntheticStudy(t, 0)
+	prev := -1.0
+	for _, target := range []float64{0.95, 0.90, 0.85} {
+		r, err := s.Run(PolicySMiTe, QoSAvg, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.UtilizationGain < prev {
+			t.Errorf("gain at %.2f (%.3f) below gain at tighter target (%.3f)", target, r.UtilizationGain, prev)
+		}
+		prev = r.UtilizationGain
+	}
+}
+
+func TestStudyValidation(t *testing.T) {
+	s := syntheticStudy(t, 0)
+	if _, err := s.Run(PolicySMiTe, QoSAvg, 0); err == nil {
+		t.Error("target 0 accepted")
+	}
+	if _, err := s.Run(PolicySMiTe, QoSAvg, 1.5); err == nil {
+		t.Error("target > 1 accepted")
+	}
+	s.Table = NewTable([]string{"svc"}, []string{"x"}, 2) // incomplete
+	if _, err := s.Run(PolicySMiTe, QoSAvg, 0.9); err == nil {
+		t.Error("incomplete table accepted")
+	}
+	s2 := syntheticStudy(t, 0)
+	s2.ThreadsPerServer = 20
+	if _, err := s2.Run(PolicySMiTe, QoSAvg, 0.9); err == nil {
+		t.Error("threads > contexts accepted")
+	}
+	s3 := syntheticStudy(t, 0)
+	s3.Services = nil
+	if _, err := s3.Run(PolicySMiTe, QoSTail, 0.9); err == nil {
+		t.Error("tail QoS without services accepted")
+	}
+}
+
+func TestTableGet(t *testing.T) {
+	tbl := NewTable([]string{"a"}, []string{"b"}, 2)
+	if _, err := tbl.Get("a", "b", 1); err == nil {
+		t.Error("missing entry accepted")
+	}
+	if e, err := tbl.Get("a", "b", 0); err != nil || e != (Entry{}) {
+		t.Error("zero instances should be free")
+	}
+	tbl.Set("a", "b", 1, Entry{Actual: 0.1, Predicted: 0.2})
+	if e, err := tbl.Get("a", "b", 1); err != nil || e.Actual != 0.1 {
+		t.Error("set/get round trip failed")
+	}
+}
+
+func TestBatchAbsorbed(t *testing.T) {
+	s := syntheticStudy(t, 0)
+	r, err := s.Run(PolicySMiTe, QoSAvg, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	absorbed := s.BatchAbsorbed(r)
+	wantTotal := r.MeanInstances * 500 / 6
+	if absorbed != wantTotal {
+		t.Errorf("absorbed %.1f, want %.1f", absorbed, wantTotal)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	s := syntheticStudy(t, 0.02)
+	a, err := s.Run(PolicyRandom, QoSAvg, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := s.Run(PolicyRandom, QoSAvg, 0.90)
+	if a.ViolationFrac != b.ViolationFrac || a.MeanInstances != b.MeanInstances {
+		t.Error("study not deterministic")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if PolicySMiTe.String() != "SMiTe" || PolicyOracle.String() != "Oracle" || PolicyRandom.String() != "Random" {
+		t.Error("policy names wrong")
+	}
+	if QoSAvg.String() == QoSTail.String() {
+		t.Error("QoS kind names collide")
+	}
+}

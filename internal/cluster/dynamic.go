@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// The static Study replays the paper's scale-out experiment: a fixed batch
+// assignment per server. DynamicStudy extends it to the operational
+// setting Section III-D describes — batch jobs *arrive at the cluster
+// scheduler over time*, are (quickly) profiled, placed by predicted
+// interference, run for a while and depart — so admission decisions
+// interleave with churn and servers fill and drain continuously.
+
+// DynamicStudy is a discrete-event cluster simulation driven by the same
+// degradation Table as the static study.
+type DynamicStudy struct {
+	Table *Study
+	// ArrivalRate is the batch-job arrival rate (jobs per time unit) and
+	// MeanDuration the mean exponential job duration.
+	ArrivalRate  float64
+	MeanDuration float64
+	// Horizon is the simulated time span.
+	Horizon float64
+	Seed    uint64
+}
+
+// DynamicResult summarises a dynamic run.
+type DynamicResult struct {
+	Policy PolicyKind
+	Target float64
+
+	// Arrived/Placed/Rejected count batch jobs; rejected jobs found no
+	// server whose QoS would survive them.
+	Arrived  int
+	Placed   int
+	Rejected int
+
+	// MeanUtilization is the time-weighted mean context utilisation;
+	// PeakUtilization the maximum instantaneous one.
+	MeanUtilization float64
+	PeakUtilization float64
+
+	// ViolationFrac is the fraction of placements whose server exceeded
+	// its QoS budget at any point while the job ran (measured with actual
+	// degradations).
+	ViolationFrac float64
+}
+
+// dynEvent is a batch-job departure on the simulation heap.
+type dynEvent struct {
+	at     float64
+	server int
+}
+
+type dynHeap []dynEvent
+
+func (h dynHeap) Len() int           { return len(h) }
+func (h dynHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h dynHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *dynHeap) Push(x any)        { *h = append(*h, x.(dynEvent)) }
+func (h *dynHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h *dynHeap) peek() dynEvent    { return (*h)[0] }
+func (h *dynHeap) empty() bool       { return len(*h) == 0 }
+func (h *dynHeap) pushE(e dynEvent)  { heap.Push(h, e) }
+func (h *dynHeap) popE() dynEvent    { return heap.Pop(h).(dynEvent) }
+
+// dynServer is a server's live co-location state. For simplicity each
+// server hosts at most one batch application *kind* at a time (instances
+// of the same kind stack, as in the static study's table).
+type dynServer struct {
+	lat   string
+	batch string
+	n     int
+}
+
+// Run executes the dynamic study under one policy and QoS target
+// (average-performance QoS; the tail variant follows by supplying
+// services, as in the static study).
+func (d *DynamicStudy) Run(policy PolicyKind, target float64) (DynamicResult, error) {
+	s := d.Table
+	if s == nil {
+		return DynamicResult{}, fmt.Errorf("cluster: dynamic study needs a table study")
+	}
+	if err := s.validate(); err != nil {
+		return DynamicResult{}, err
+	}
+	if d.ArrivalRate <= 0 || d.MeanDuration <= 0 || d.Horizon <= 0 {
+		return DynamicResult{}, fmt.Errorf("cluster: dynamic study rates must be positive")
+	}
+	rng := xrand.New(d.Seed ^ 0xD1CE)
+	var servers []dynServer
+	for _, lat := range s.Table.LatencyApps {
+		for i := 0; i < s.ServersPerApp; i++ {
+			servers = append(servers, dynServer{lat: lat})
+		}
+	}
+
+	res := DynamicResult{Policy: policy, Target: target}
+	var events dynHeap
+	heap.Init(&events)
+
+	// Utilisation accounting: integrate busy contexts over time.
+	busyBase := float64(s.ThreadsPerServer * len(servers))
+	totalCtx := float64(s.ContextsPerServer * len(servers))
+	instances := 0
+	lastT := 0.0
+	utilInt := 0.0
+
+	account := func(now float64) {
+		utilInt += (busyBase + float64(instances)) / totalCtx * (now - lastT)
+		u := (busyBase + float64(instances)) / totalCtx
+		if u > res.PeakUtilization {
+			res.PeakUtilization = u
+		}
+		lastT = now
+	}
+
+	// admissible returns the QoS (avg-performance) on server sv with one
+	// more instance of batch b, under predicted or actual degradations.
+	headroom := func(sv *dynServer, b string, useActual bool) (float64, error) {
+		if sv.batch != "" && sv.batch != b {
+			return -1, nil // occupied by a different batch kind
+		}
+		n := sv.n + 1
+		if n > s.Table.MaxInstances {
+			return -1, nil
+		}
+		e, err := s.Table.Get(sv.lat, b, n)
+		if err != nil {
+			return -1, err
+		}
+		deg := e.Predicted
+		if useActual {
+			deg = e.Actual
+		}
+		q := 1 - deg
+		if q < target {
+			return -1, nil
+		}
+		return q - target, nil
+	}
+
+	next := rng.Exp(d.ArrivalRate)
+	for next < d.Horizon || !events.empty() {
+		// Process departures before the next arrival.
+		if !events.empty() && (events.peek().at <= next || next >= d.Horizon) {
+			e := events.popE()
+			account(e.at)
+			sv := &servers[e.server]
+			sv.n--
+			instances--
+			if sv.n == 0 {
+				sv.batch = ""
+			}
+			continue
+		}
+		if next >= d.Horizon {
+			break
+		}
+		// Arrival.
+		account(next)
+		res.Arrived++
+		b := s.Table.BatchApps[rng.Intn(len(s.Table.BatchApps))]
+
+		chosen := -1
+		switch policy {
+		case PolicySMiTe, PolicyOracle:
+			// Best-fit: the admissible server with the least spare QoS
+			// headroom packs jobs tightly while respecting the target.
+			bestHead := 2.0
+			for i := range servers {
+				h, err := headroom(&servers[i], b, policy == PolicyOracle)
+				if err != nil {
+					return DynamicResult{}, err
+				}
+				if h >= 0 && h < bestHead {
+					bestHead = h
+					chosen = i
+				}
+			}
+		case PolicyRandom:
+			// Interference-oblivious: any server with a free context and a
+			// compatible (or absent) batch kind.
+			start := rng.Intn(len(servers))
+			for k := 0; k < len(servers); k++ {
+				i := (start + k) % len(servers)
+				sv := &servers[i]
+				if (sv.batch == "" || sv.batch == b) && sv.n < s.Table.MaxInstances {
+					chosen = i
+					break
+				}
+			}
+		default:
+			return DynamicResult{}, fmt.Errorf("cluster: unknown policy %d", policy)
+		}
+
+		if chosen < 0 {
+			res.Rejected++
+		} else {
+			sv := &servers[chosen]
+			sv.batch = b
+			sv.n++
+			instances++
+			res.Placed++
+			// QoS check with the actual degradation at the new occupancy.
+			e, err := s.Table.Get(sv.lat, b, sv.n)
+			if err != nil {
+				return DynamicResult{}, err
+			}
+			if 1-e.Actual < target {
+				res.ViolationFrac++ // numerator; normalised below
+			}
+			events.pushE(dynEvent{at: next + rng.Exp(1/d.MeanDuration), server: chosen})
+		}
+		next += rng.Exp(d.ArrivalRate)
+	}
+	account(lastT) // close the integral at the final event time
+	if lastT > 0 {
+		res.MeanUtilization = utilInt / lastT
+	}
+	if res.Placed > 0 {
+		res.ViolationFrac /= float64(res.Placed)
+	}
+	return res, nil
+}
+
+// SortableBatch returns the study's batch apps sorted (test helper).
+func (d *DynamicStudy) SortableBatch() []string {
+	out := append([]string(nil), d.Table.Table.BatchApps...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,106 @@
+package cluster
+
+import "testing"
+
+func dynamicStudy(t *testing.T, predBias float64) *DynamicStudy {
+	t.Helper()
+	return &DynamicStudy{
+		Table:        syntheticStudy(t, predBias),
+		ArrivalRate:  50, // jobs per time unit across the cluster
+		MeanDuration: 5,
+		Horizon:      100,
+		Seed:         11,
+	}
+}
+
+func TestDynamicPlacesAndDrains(t *testing.T) {
+	d := dynamicStudy(t, 0)
+	r, err := d.Run(PolicySMiTe, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Arrived == 0 || r.Placed == 0 {
+		t.Fatalf("no traffic: %+v", r)
+	}
+	if r.Placed+r.Rejected != r.Arrived {
+		t.Errorf("placed %d + rejected %d != arrived %d", r.Placed, r.Rejected, r.Arrived)
+	}
+	if r.MeanUtilization <= 0.5 {
+		t.Errorf("mean utilization %.3f should exceed the half-loaded baseline", r.MeanUtilization)
+	}
+	if r.PeakUtilization > 1 {
+		t.Errorf("peak utilization %.3f exceeds capacity", r.PeakUtilization)
+	}
+	if r.ViolationFrac != 0 {
+		t.Errorf("perfect predictor violated %.3f of placements", r.ViolationFrac)
+	}
+}
+
+func TestDynamicOracleNeverViolates(t *testing.T) {
+	d := dynamicStudy(t, 0.05)
+	r, err := d.Run(PolicyOracle, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ViolationFrac != 0 {
+		t.Errorf("oracle violated %.3f", r.ViolationFrac)
+	}
+}
+
+func TestDynamicRandomViolatesMore(t *testing.T) {
+	d := dynamicStudy(t, 0)
+	sm, err := d.Run(PolicySMiTe, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := d.Run(PolicyRandom, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random ignores the per-kind degradation: stacking 'noisy' instances
+	// breaks the 10% budget where SMiTe would not place them.
+	if rd.ViolationFrac <= sm.ViolationFrac {
+		t.Errorf("random violations %.3f should exceed SMiTe's %.3f", rd.ViolationFrac, sm.ViolationFrac)
+	}
+}
+
+func TestDynamicTighterTargetPlacesLess(t *testing.T) {
+	d := dynamicStudy(t, 0)
+	loose, err := d.Run(PolicySMiTe, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := d.Run(PolicySMiTe, 0.97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Placed >= loose.Placed {
+		t.Errorf("tighter target placed %d >= looser target's %d", tight.Placed, loose.Placed)
+	}
+	if tight.MeanUtilization > loose.MeanUtilization {
+		t.Error("tighter target should not raise utilization")
+	}
+}
+
+func TestDynamicDeterminism(t *testing.T) {
+	d := dynamicStudy(t, 0.02)
+	a, err := d.Run(PolicySMiTe, 0.90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Run(PolicySMiTe, 0.90)
+	if a != b {
+		t.Errorf("dynamic study not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	d := dynamicStudy(t, 0)
+	d.ArrivalRate = 0
+	if _, err := d.Run(PolicySMiTe, 0.9); err == nil {
+		t.Error("zero arrival rate accepted")
+	}
+	if _, err := (&DynamicStudy{}).Run(PolicySMiTe, 0.9); err == nil {
+		t.Error("missing table accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tableWriter renders aligned text tables for experiment output.
+type tableWriter struct {
+	header []string
+	rows   [][]string
+}
+
+func newTable(header ...string) *tableWriter {
+	return &tableWriter{header: header}
+}
+
+func (t *tableWriter) row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *tableWriter) rowf(format string, args ...any) {
+	t.row(strings.Split(fmt.Sprintf(format, args...), "\t")...)
+}
+
+func (t *tableWriter) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// pct renders a fraction as a percentage with two decimals.
+func pct(f float64) string { return fmt.Sprintf("%.2f%%", f*100) }
+
+// f3 renders a float with three decimals.
+func f3(f float64) string { return fmt.Sprintf("%.3f", f) }

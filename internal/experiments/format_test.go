@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/profile"
+	"repro/internal/rulers"
+)
+
+func TestTableWriterAlignment(t *testing.T) {
+	tw := newTable("name", "value")
+	tw.row("a", "1")
+	tw.row("longer-name", "2")
+	out := tw.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if len(lines[0]) != len(lines[1]) {
+		t.Error("separator misaligned with header")
+	}
+	if !strings.HasPrefix(lines[3], "longer-name") {
+		t.Errorf("row lost: %q", lines[3])
+	}
+}
+
+func TestTableWriterRowf(t *testing.T) {
+	tw := newTable("a", "b")
+	tw.rowf("%d\t%s", 7, "x")
+	if !strings.Contains(tw.String(), "7  x") {
+		t.Errorf("rowf output: %q", tw.String())
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if pct(0.1234) != "12.34%" {
+		t.Errorf("pct = %q", pct(0.1234))
+	}
+	if f3(1.23456) != "1.235" {
+		t.Errorf("f3 = %q", f3(1.23456))
+	}
+}
+
+func TestTable1String(t *testing.T) {
+	l := NewLab(TestScale())
+	s := l.Table1().String()
+	for _, want := range []string{"Ivy Bridge", "Sandy Bridge-EN", "32 KiB", "MiB"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestMemSize(t *testing.T) {
+	cases := []struct {
+		in   int
+		want string
+	}{
+		{512, "512 B"}, {32 << 10, "32 KiB"}, {8 << 20, "8 MiB"},
+	}
+	for _, c := range cases {
+		if got := memSize(c.in); got != c.want {
+			t.Errorf("memSize(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// CorrelationFromChars on synthetic data: two perfectly correlated
+// dimensions and one anti-correlated must be detected.
+func TestCorrelationFromCharsSynthetic(t *testing.T) {
+	var chars []profile.Characterization
+	for i := 0; i < 10; i++ {
+		var c profile.Characterization
+		v := float64(i) / 10
+		c.App = string(rune('a' + i))
+		c.Sen[rulers.DimFPMul] = v
+		c.Sen[rulers.DimFPAdd] = v * 2       // perfectly correlated with FPMul
+		c.Sen[rulers.DimL3] = 1 - v          // anti-correlated
+		c.Sen[rulers.DimL1] = float64(i % 3) // decorrelated
+		c.Con[rulers.DimL2] = v * v
+		chars = append(chars, c)
+	}
+	res, err := CorrelationFromChars(chars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(a, b int) float64 { return res.AbsPearson[a][b] }
+	if r := get(int(rulers.DimFPMul), int(rulers.DimFPAdd)); r < 0.999 {
+		t.Errorf("correlated dims |r| = %g", r)
+	}
+	if r := get(int(rulers.DimFPMul), int(rulers.DimL3)); r < 0.999 {
+		t.Errorf("anti-correlated dims |r| = %g (absolute value expected)", r)
+	}
+	if get(int(rulers.DimFPMul), int(rulers.DimFPMul)) != 1 {
+		t.Error("diagonal not 1")
+	}
+	if res.FracBelow80 <= 0 || res.FracBelow80 > 1 {
+		t.Errorf("FracBelow80 = %g", res.FracBelow80)
+	}
+	if s := res.String(); !strings.Contains(s, "paper: 97.96%") {
+		t.Error("summary string missing the paper reference")
+	}
+}
+
+func TestSenConResultFindings(t *testing.T) {
+	r := SenConResult{
+		Title: "t",
+		Dims:  []rulers.Dimension{rulers.DimFPAdd},
+		Chars: []profile.Characterization{
+			{App: "a", Sen: [8]float64{1: 0.01}},
+			{App: "b", Sen: [8]float64{1: 0.60}},
+		},
+	}
+	report, ok := r.Findings()
+	if !ok {
+		t.Errorf("spread of 0.59 should pass variability check: %s", report)
+	}
+	flat := SenConResult{
+		Title: "t",
+		Dims:  []rulers.Dimension{rulers.DimFPAdd},
+		Chars: []profile.Characterization{
+			{App: "a", Sen: [8]float64{1: 0.10}},
+			{App: "b", Sen: [8]float64{1: 0.11}},
+		},
+	}
+	if _, ok := flat.Findings(); ok {
+		t.Error("flat sensitivities should fail the variability check")
+	}
+}
+
+func TestScaleHelpers(t *testing.T) {
+	l := NewLab(TestScale())
+	set := l.specSet(nil)
+	if len(set) != 0 {
+		t.Error("empty set mishandled")
+	}
+	if got := len(l.cloudSet()); got != TestScale().MaxCloudApps {
+		t.Errorf("cloud set size %d", got)
+	}
+	if l.cloudThreads() != l.SNB.Cores {
+		t.Error("cloud threads should equal SNB cores (half load)")
+	}
+	if IvyBridge.String() == SandyBridgeEN.String() {
+		t.Error("machine names collide")
+	}
+}

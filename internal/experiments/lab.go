@@ -1,0 +1,253 @@
+// Package experiments implements one driver per table and figure of the
+// paper's evaluation (Section IV), producing the same rows and series the
+// paper reports. DESIGN.md carries the experiment index; EXPERIMENTS.md
+// records paper-versus-measured values from a full-scale run.
+//
+// All drivers hang off a Lab, which owns the two machine configurations
+// (Table I), memoises application characterizations and trained models so
+// that later figures reuse earlier figures' measurements, and scales every
+// experiment through a Scale so tests and benchmarks can run reduced
+// versions of the same code paths.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/profile"
+	"repro/internal/sim/isa"
+	"repro/internal/workload"
+)
+
+// workers bounds experiment-level fan-out.
+func workers() int { return runtime.GOMAXPROCS(0) }
+
+// Scale sizes an experiment run.
+type Scale struct {
+	// Options are the measurement windows.
+	Options profile.Options
+	// IvyBridgeCores/SandyBridgeCores override core counts (0 keeps the
+	// stock configuration). Reducing cores speeds tests but caps CloudSuite
+	// thread counts.
+	IvyBridgeCores   int
+	SandyBridgeCores int
+	// MaxSpecApps truncates the SPEC train/test sets (0 = all).
+	MaxSpecApps int
+	// MaxCloudApps truncates the CloudSuite set (0 = all).
+	MaxCloudApps int
+	// MaxPairApps bounds the per-set app count for the all-pairs port
+	// utilisation study (0 = all 29).
+	MaxPairApps int
+	// RulerSweepPoints is the intensity sweep resolution for the Ruler
+	// linearity validation.
+	RulerSweepPoints int
+	// ServersPerApp sizes the scale-out cluster (paper: 1,000 per app).
+	ServersPerApp int
+	// TailRequests sizes the queueing simulations of the tail studies.
+	TailRequests int
+}
+
+// FullScale reproduces the paper's experiment sizes.
+func FullScale() Scale {
+	return Scale{
+		Options:          profile.DefaultOptions(),
+		RulerSweepPoints: 4,
+		ServersPerApp:    1000,
+		TailRequests:     200_000,
+	}
+}
+
+// TestScale is a reduced configuration exercising the same code paths
+// quickly (for tests and benchmarks).
+func TestScale() Scale {
+	return Scale{
+		Options:          profile.FastOptions(),
+		IvyBridgeCores:   2,
+		SandyBridgeCores: 4,
+		MaxSpecApps:      8,
+		MaxCloudApps:     2,
+		MaxPairApps:      6,
+		RulerSweepPoints: 3,
+		ServersPerApp:    100,
+		TailRequests:     20_000,
+	}
+}
+
+// Lab owns configurations, profilers and memoised measurements.
+type Lab struct {
+	Scale Scale
+	// IVB is the Ivy Bridge configuration used for the SPEC experiments
+	// (Figures 10 and 11); SNB the Sandy Bridge-EN configuration used for
+	// the CloudSuite and scale-out experiments.
+	IVB isa.Config
+	SNB isa.Config
+
+	ivb *profile.Profiler
+	snb *profile.Profiler
+
+	mu     sync.Mutex
+	chars  map[string]map[string]profile.Characterization // machine|placement|set-hash → app → char
+	models map[string]model.Smite
+	pmus   map[string]model.PMULinear
+	cloud  *cloudStudy
+}
+
+// Machine selects one of the Lab's two configurations.
+type Machine int
+
+const (
+	// IvyBridge is the i7-3770 (SPEC experiments).
+	IvyBridge Machine = iota
+	// SandyBridgeEN is the Xeon E5-2420 (CloudSuite and scale-out).
+	SandyBridgeEN
+)
+
+// String names the machine.
+func (m Machine) String() string {
+	if m == IvyBridge {
+		return "Ivy Bridge"
+	}
+	return "Sandy Bridge-EN"
+}
+
+// NewLab builds a lab at the given scale.
+func NewLab(scale Scale) *Lab {
+	ivb := isa.IvyBridge()
+	if scale.IvyBridgeCores > 0 {
+		ivb.Cores = scale.IvyBridgeCores
+	}
+	snb := isa.SandyBridgeEN()
+	if scale.SandyBridgeCores > 0 {
+		snb.Cores = scale.SandyBridgeCores
+	}
+	return &Lab{
+		Scale:  scale,
+		IVB:    ivb,
+		SNB:    snb,
+		ivb:    profile.NewProfiler(ivb, scale.Options),
+		snb:    profile.NewProfiler(snb, scale.Options),
+		chars:  make(map[string]map[string]profile.Characterization),
+		models: make(map[string]model.Smite),
+		pmus:   make(map[string]model.PMULinear),
+	}
+}
+
+// Profiler returns the profiler for a machine.
+func (l *Lab) Profiler(m Machine) *profile.Profiler {
+	if m == IvyBridge {
+		return l.ivb
+	}
+	return l.snb
+}
+
+// Config returns a machine's configuration.
+func (l *Lab) Config(m Machine) isa.Config {
+	if m == IvyBridge {
+		return l.IVB
+	}
+	return l.SNB
+}
+
+// specSet truncates a SPEC set per the scale, sampling evenly across the
+// list so a reduced set keeps the population's diversity (compute-dense,
+// streaming and cache-thrashing applications all survive truncation).
+func (l *Lab) specSet(set []*workload.Spec) []*workload.Spec {
+	max := l.Scale.MaxSpecApps
+	if max <= 0 || len(set) <= max {
+		return set
+	}
+	out := make([]*workload.Spec, 0, max)
+	for i := 0; i < max; i++ {
+		out = append(out, set[i*len(set)/max])
+	}
+	return out
+}
+
+// cloudSet truncates the CloudSuite set per the scale, adapting thread
+// counts to the machine when its core count was reduced.
+func (l *Lab) cloudSet() []*workload.Spec {
+	set := workload.CloudSuiteApps()
+	if l.Scale.MaxCloudApps > 0 && len(set) > l.Scale.MaxCloudApps {
+		set = set[:l.Scale.MaxCloudApps]
+	}
+	return set
+}
+
+// cloudThreads is the per-server thread count of latency applications: one
+// per core (half load).
+func (l *Lab) cloudThreads() int { return l.SNB.Cores }
+
+// Characterizations returns (and memoises) the characterizations of a set
+// of applications on a machine under a placement. The memo key derives
+// from the set's contents, so equal sets share work regardless of how a
+// caller names them.
+func (l *Lab) Characterizations(m Machine, placement profile.Placement, set []*workload.Spec, setName string) ([]profile.Characterization, error) {
+	_ = setName // kept in the signature for log readability at call sites
+	names := make([]string, len(set))
+	for i, s := range set {
+		names[i] = s.Name
+	}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	for _, n := range sorted {
+		_, _ = h.Write([]byte(n))
+		_, _ = h.Write([]byte{0})
+	}
+	key := fmt.Sprintf("%d|%d|%x", m, placement, h.Sum64())
+	l.mu.Lock()
+	if byApp, ok := l.chars[key]; ok {
+		l.mu.Unlock()
+		out := make([]profile.Characterization, len(set))
+		for i, s := range set {
+			out[i] = byApp[s.Name]
+		}
+		return out, nil
+	}
+	l.mu.Unlock()
+	// Multithreaded apps occupy one context per thread; clamp thread
+	// counts to the machine.
+	jobsSet := make([]*workload.Spec, len(set))
+	copy(jobsSet, set)
+	p := l.Profiler(m)
+	chars := make([]profile.Characterization, len(jobsSet))
+	errs := make([]error, len(jobsSet))
+	sem := make(chan struct{}, workers())
+	var wg sync.WaitGroup
+	for i, s := range jobsSet {
+		wg.Add(1)
+		go func(i int, s *workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var job profile.Job
+			switch {
+			case s.ThreadCount() > 1 && placement == profile.CMP:
+				job = profile.AppThreads(s, l.Config(m).Cores/2)
+			case s.ThreadCount() > 1:
+				job = profile.AppThreads(s, l.Config(m).Cores)
+			default:
+				job = profile.App(s)
+			}
+			chars[i], errs[i] = p.CharacterizeJob(job, placement)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	byApp := make(map[string]profile.Characterization, len(chars))
+	for _, c := range chars {
+		byApp[c.App] = c
+	}
+	l.mu.Lock()
+	l.chars[key] = byApp
+	l.mu.Unlock()
+	return chars, nil
+}

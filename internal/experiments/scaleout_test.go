@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/tco"
+)
+
+func syntheticScaleOut(qos cluster.QoSKind) ScaleOutResult {
+	r := ScaleOutResult{
+		QoS:     qos,
+		Targets: scaleOutTargets,
+		Cells:   make(map[float64]map[cluster.PolicyKind]cluster.Result),
+	}
+	for i, target := range r.Targets {
+		r.Cells[target] = map[cluster.PolicyKind]cluster.Result{
+			cluster.PolicySMiTe:  {UtilizationGain: 0.1 * float64(i+1), MeanInstances: float64(i + 1), PerApp: map[string]float64{"svc": 0.1}},
+			cluster.PolicyOracle: {UtilizationGain: 0.11 * float64(i+1), PerApp: map[string]float64{"svc": 0.1}},
+			cluster.PolicyRandom: {UtilizationGain: 0.1 * float64(i+1), ViolationFrac: 0.3, ViolationMax: 0.5, PerApp: map[string]float64{"svc": 0.1}},
+		}
+	}
+	return r
+}
+
+func TestScaleOutResultString(t *testing.T) {
+	s := syntheticScaleOut(cluster.QoSAvg).String()
+	for _, want := range []string{"Figures 14 & 15", "95.00%", "SMiTe util gain", "paper:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+	s = syntheticScaleOut(cluster.QoSTail).String()
+	if !strings.Contains(s, "Figures 16 & 17") {
+		t.Error("tail variant mislabeled")
+	}
+}
+
+func TestFig18RowsRender(t *testing.T) {
+	r := Fig18Result{
+		Params: tco.Google2014(),
+		Rows: []Fig18Row{
+			{QoS: cluster.QoSAvg, Target: 0.9, BaselineServers: 8000, CoLocatedServers: 6000, Improvement: 0.25},
+		},
+	}
+	s := r.String()
+	for _, want := range []string{"Figure 18", "25.00%", "8000", "6000"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestAblationResultString(t *testing.T) {
+	r := AblationResult{
+		MeasuredMean: 0.15,
+		Rows: []AblationRow{
+			{Model: "SMiTe (Eq.3, NNLS)", TestErr: 0.05, TrainErr: 0.02},
+		},
+	}
+	s := r.String()
+	if !strings.Contains(s, "SMiTe (Eq.3, NNLS)") || !strings.Contains(s, "15.00%") {
+		t.Errorf("ablation render:\n%s", s)
+	}
+}
+
+func TestCrossMachineResultString(t *testing.T) {
+	s := CrossMachineResult{NativeErr: 0.05, TransferErr: 0.06, RetrainedErr: 0.055}.String()
+	for _, want := range []string{"transfer", "retrained", "5.00%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}

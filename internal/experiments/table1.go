@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim/isa"
+)
+
+// Table1Result reports the modelled machine configurations (paper Table I).
+type Table1Result struct {
+	Machines []isa.Config
+}
+
+// Table1 returns the two machine configurations of the experimental setup.
+func (l *Lab) Table1() Table1Result {
+	return Table1Result{Machines: []isa.Config{l.IVB, l.SNB}}
+}
+
+// String renders the table.
+func (r Table1Result) String() string {
+	t := newTable("Processor", "Cores", "SMT contexts", "L1D", "L2", "L3", "Freq")
+	for _, m := range r.Machines {
+		t.row(
+			m.Name,
+			fmt.Sprint(m.Cores),
+			fmt.Sprint(m.Contexts()),
+			memSize(m.L1D.SizeBytes),
+			memSize(m.L2.SizeBytes),
+			memSize(m.L3.SizeBytes),
+			fmt.Sprintf("%.1f GHz", m.FrequencyGHz),
+		)
+	}
+	var b strings.Builder
+	b.WriteString("Table I: machine specifications (simulated)\n")
+	b.WriteString(t.String())
+	return b.String()
+}
+
+func memSize(bytes int) string {
+	switch {
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%d MiB", bytes>>20)
+	case bytes >= 1<<10:
+		return fmt.Sprintf("%d KiB", bytes>>10)
+	}
+	return fmt.Sprintf("%d B", bytes)
+}

@@ -1,0 +1,132 @@
+// Package linalg provides the small dense linear algebra the prediction
+// models need: least-squares fitting via ridge-regularised normal equations
+// solved by Gaussian elimination with partial pivoting.
+//
+// The design matrices here are tiny (tens of observations × at most a few
+// dozen features), so the numerically straightforward approach is both
+// adequate and dependency-free.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve solves the square linear system A·x = b in place using Gaussian
+// elimination with partial pivoting. A and b are not preserved. It returns
+// an error if the system is singular to working precision.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("linalg: Solve dimension mismatch: %d rows, %d rhs", n, len(b))
+	}
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, fmt.Errorf("linalg: Solve row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(a[col][col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("linalg: singular system (pivot %g at column %d)", best, col)
+		}
+		if pivot != col {
+			a[col], a[pivot] = a[pivot], a[col]
+			b[col], b[pivot] = b[pivot], b[col]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for c := col + 1; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for c := i + 1; c < n; c++ {
+			s -= a[i][c] * x[c]
+		}
+		x[i] = s / a[i][i]
+	}
+	return x, nil
+}
+
+// LeastSquares fits coefficients β minimising ‖X·β − y‖² + ridge·‖β‖²
+// (ridge is applied to all coefficients; pass a small value such as 1e-9
+// for numerical stability, larger values for actual regularisation). Rows
+// of X are observations. It returns an error on dimension mismatch or a
+// singular normal system.
+func LeastSquares(x [][]float64, y []float64, ridge float64) ([]float64, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, fmt.Errorf("linalg: LeastSquares with no observations")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("linalg: LeastSquares has %d rows but %d targets", n, len(y))
+	}
+	p := len(x[0])
+	if p == 0 {
+		return nil, fmt.Errorf("linalg: LeastSquares with no features")
+	}
+	for i := range x {
+		if len(x[i]) != p {
+			return nil, fmt.Errorf("linalg: LeastSquares row %d has %d features, want %d", i, len(x[i]), p)
+		}
+	}
+	if ridge < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge %g", ridge)
+	}
+	// Normal equations: (XᵀX + λI)·β = Xᵀy.
+	xtx := make([][]float64, p)
+	for i := range xtx {
+		xtx[i] = make([]float64, p)
+	}
+	xty := make([]float64, p)
+	for r := 0; r < n; r++ {
+		row := x[r]
+		for i := 0; i < p; i++ {
+			xi := row[i]
+			if xi == 0 {
+				continue
+			}
+			for j := i; j < p; j++ {
+				xtx[i][j] += xi * row[j]
+			}
+			xty[i] += xi * y[r]
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+		xtx[i][i] += ridge
+	}
+	return Solve(xtx, xty)
+}
+
+// Dot returns the inner product of two equal-length vectors; it panics on
+// length mismatch (programming error, not data error).
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

@@ -1,0 +1,172 @@
+package linalg
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Errorf("x[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Error("empty system accepted")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("non-square system accepted")
+	}
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("rhs length mismatch accepted")
+	}
+}
+
+// Property: Solve recovers x from A·x for random well-conditioned A.
+func TestSolveRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		n := 2 + rng.Intn(6)
+		a := make([][]float64, n)
+		x := make([]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.Float64()*2 - 1
+			}
+			a[i][i] += float64(n) // diagonal dominance: well conditioned
+			x[i] = rng.Float64()*10 - 5
+		}
+		b := make([]float64, n)
+		for i := range b {
+			for j := range x {
+				b[i] += a[i][j] * x[j]
+			}
+		}
+		// Solve mutates its inputs; pass copies.
+		ac := make([][]float64, n)
+		for i := range a {
+			ac[i] = append([]float64(nil), a[i]...)
+		}
+		got, err := Solve(ac, append([]float64(nil), b...))
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: LeastSquares recovers the generating coefficients from
+// noise-free observations with more rows than columns.
+func TestLeastSquaresRecovery(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		p := 2 + rng.Intn(4)
+		n := p*3 + rng.Intn(10)
+		beta := make([]float64, p)
+		for i := range beta {
+			beta[i] = rng.Float64()*4 - 2
+		}
+		x := make([][]float64, n)
+		y := make([]float64, n)
+		for r := range x {
+			x[r] = make([]float64, p)
+			for c := range x[r] {
+				x[r][c] = rng.Float64()*2 - 1
+			}
+			for c := range beta {
+				y[r] += x[r][c] * beta[c]
+			}
+		}
+		got, err := LeastSquares(x, y, 1e-12)
+		if err != nil {
+			return false
+		}
+		for i := range beta {
+			if math.Abs(got[i]-beta[i]) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeastSquaresErrors(t *testing.T) {
+	if _, err := LeastSquares(nil, nil, 0); err == nil {
+		t.Error("no observations accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Error("target length mismatch accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1}, {1, 2}}, []float64{1, 2}, 0); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := LeastSquares([][]float64{{1}}, []float64{1}, -1); err == nil {
+		t.Error("negative ridge accepted")
+	}
+}
+
+func TestRidgeShrinks(t *testing.T) {
+	// One feature, y = 2x: heavy ridge should shrink the coefficient.
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{2, 4, 6}
+	loose, err := LeastSquares(x, y, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := LeastSquares(x, y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(tight[0] < loose[0]) {
+		t.Errorf("ridge did not shrink: %g vs %g", tight[0], loose[0])
+	}
+	if math.Abs(loose[0]-2) > 1e-6 {
+		t.Errorf("unridged fit = %g, want 2", loose[0])
+	}
+}
+
+func TestDot(t *testing.T) {
+	if d := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); d != 32 {
+		t.Errorf("Dot = %g, want 32", d)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot length mismatch did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}

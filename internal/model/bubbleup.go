@@ -1,0 +1,61 @@
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/rulers"
+)
+
+// BubbleUp is a single-metric interference model in the style of Mars et
+// al.'s Bubble-Up (MICRO 2011), the prior CMP work SMiTe argues cannot
+// transfer to SMT: one unified "memory subsystem pressure" score per
+// application — here the mean of the cache-dimension sensitivities and
+// contentiousness — combined through a single coefficient.
+//
+// The paper's Section II shows why this fails on SMT: contention
+// characteristics across the on-core dimensions do not correlate with the
+// memory dimensions, so any monotonic single metric must mispredict
+// port-bound co-locations. The model is included as an ablation baseline.
+type BubbleUp struct {
+	Coef      float64
+	Intercept float64
+}
+
+// Name implements Predictor.
+func (m BubbleUp) Name() string { return "BubbleUp-1D" }
+
+func bubbleFeature(o PairObs) float64 {
+	memDims := []rulers.Dimension{rulers.DimL1, rulers.DimL2, rulers.DimL3}
+	var sen, con float64
+	for _, d := range memDims {
+		sen += o.SenA[d]
+		con += o.ConB[d]
+	}
+	sen /= float64(len(memDims))
+	con /= float64(len(memDims))
+	return sen * con
+}
+
+// Predict implements Predictor.
+func (m BubbleUp) Predict(obs PairObs) float64 {
+	return m.Coef*bubbleFeature(obs) + m.Intercept
+}
+
+// TrainBubbleUp fits the single-metric model by least squares.
+func TrainBubbleUp(obs []PairObs) (BubbleUp, error) {
+	if len(obs) < 2 {
+		return BubbleUp{}, fmt.Errorf("model: %d observations cannot fit the Bubble-Up baseline", len(obs))
+	}
+	x := make([][]float64, len(obs))
+	y := make([]float64, len(obs))
+	for i, o := range obs {
+		x[i] = []float64{bubbleFeature(o), 1}
+		y[i] = o.Deg
+	}
+	beta, err := linalg.LeastSquares(x, y, 1e-9)
+	if err != nil {
+		return BubbleUp{}, fmt.Errorf("model: Bubble-Up fit: %w", err)
+	}
+	return BubbleUp{Coef: beta[0], Intercept: beta[1]}, nil
+}

@@ -1,0 +1,172 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim/pmu"
+)
+
+// CART is the decision-tree regressor from the paper's PMU baseline search
+// (Section IV-B1 lists decision trees among the strategies tried before
+// settling on linear regression). It trains on the concatenated PMU rates
+// of victim and aggressor.
+type CART struct {
+	root *cartNode
+	// MaxDepth and MinLeaf bound the tree.
+	MaxDepth int
+	MinLeaf  int
+}
+
+type cartNode struct {
+	feature     int
+	threshold   float64
+	left, right *cartNode
+	value       float64
+	leaf        bool
+}
+
+// Name implements Predictor.
+func (t *CART) Name() string { return "PMU-decision-tree" }
+
+// Predict implements Predictor.
+func (t *CART) Predict(obs PairObs) float64 {
+	if t.root == nil {
+		return 0
+	}
+	x := concatFeatures(obs.PMUA, obs.PMUB)
+	n := t.root
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// concatFeatures joins both sides' PMU rate vectors into one feature row.
+func concatFeatures(a, b [pmu.NumPMUFeatures]float64) []float64 {
+	out := make([]float64, 0, 2*pmu.NumPMUFeatures)
+	out = append(out, a[:]...)
+	return append(out, b[:]...)
+}
+
+// TrainCART grows a regression tree over the observations. Zero values for
+// maxDepth/minLeaf select defaults (6 and 4).
+func TrainCART(obs []PairObs, maxDepth, minLeaf int) (*CART, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("model: CART needs observations")
+	}
+	if maxDepth <= 0 {
+		maxDepth = 6
+	}
+	if minLeaf <= 0 {
+		minLeaf = 4
+	}
+	xs := make([][]float64, len(obs))
+	ys := make([]float64, len(obs))
+	for i, o := range obs {
+		xs[i] = concatFeatures(o.PMUA, o.PMUB)
+		ys[i] = o.Deg
+	}
+	t := &CART{MaxDepth: maxDepth, MinLeaf: minLeaf}
+	idx := make([]int, len(obs))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.grow(xs, ys, idx, 0)
+	return t, nil
+}
+
+func meanAt(ys []float64, idx []int) float64 {
+	s := 0.0
+	for _, i := range idx {
+		s += ys[i]
+	}
+	return s / float64(len(idx))
+}
+
+func sseAt(ys []float64, idx []int) float64 {
+	m := meanAt(ys, idx)
+	s := 0.0
+	for _, i := range idx {
+		d := ys[i] - m
+		s += d * d
+	}
+	return s
+}
+
+func (t *CART) grow(xs [][]float64, ys []float64, idx []int, depth int) *cartNode {
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeaf {
+		return &cartNode{leaf: true, value: meanAt(ys, idx)}
+	}
+	bestSSE := sseAt(ys, idx)
+	base := bestSSE
+	bestFeat, bestThr := -1, 0.0
+	nf := len(xs[0])
+	order := make([]int, len(idx))
+	for f := 0; f < nf; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return xs[order[a]][f] < xs[order[b]][f] })
+		// Prefix sums over the sorted order for O(n) split evaluation.
+		var sumL, sqL float64
+		var sumR, sqR float64
+		for _, i := range order {
+			sumR += ys[i]
+			sqR += ys[i] * ys[i]
+		}
+		for k := 0; k < len(order)-1; k++ {
+			y := ys[order[k]]
+			sumL += y
+			sqL += y * y
+			sumR -= y
+			sqR -= y * y
+			nL, nR := float64(k+1), float64(len(order)-k-1)
+			if k+1 < t.MinLeaf || len(order)-k-1 < t.MinLeaf {
+				continue
+			}
+			if xs[order[k]][f] == xs[order[k+1]][f] {
+				continue // cannot split between equal values
+			}
+			sse := (sqL - sumL*sumL/nL) + (sqR - sumR*sumR/nR)
+			if sse < bestSSE-1e-12 {
+				bestSSE = sse
+				bestFeat = f
+				bestThr = (xs[order[k]][f] + xs[order[k+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 || bestSSE >= base {
+		return &cartNode{leaf: true, value: meanAt(ys, idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if xs[i][bestFeat] <= bestThr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	return &cartNode{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      t.grow(xs, ys, left, depth+1),
+		right:     t.grow(xs, ys, right, depth+1),
+	}
+}
+
+// Depth returns the tree's depth (0 for a stump).
+func (t *CART) Depth() int { return depth(t.root) }
+
+func depth(n *cartNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

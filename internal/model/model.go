@@ -1,0 +1,326 @@
+// Package model implements the performance-interference prediction models:
+//
+//   - Smite: the paper's regression model (Equation 3), combining the
+//     victim's per-dimension sensitivity with the aggressor's
+//     contentiousness: Deg^A = Σ_i c_i·Sen_i^A·Con_i^B + c0.
+//   - PMULinear: the strongest PMU-based baseline the paper could construct
+//     (Equation 9), a linear regression over 11 solo hardware-counter rates
+//     of both applications.
+//   - PMUPoly: the higher-order-polynomial PMU variant the paper mentions
+//     trying during its baseline search.
+//   - CART: the decision-tree variant from the same search.
+//
+// All models train on PairObs observations built from Ruler
+// characterizations plus ground-truth co-location measurements.
+package model
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/linalg"
+	"repro/internal/profile"
+	"repro/internal/rulers"
+	"repro/internal/sim/pmu"
+)
+
+// PairObs is one training/testing observation: application A (the victim)
+// co-located with application B (the aggressor), with A's measured
+// degradation as the target.
+type PairObs struct {
+	A, B string
+	// SenA is A's sensitivity vector; ConB is B's contentiousness vector.
+	SenA, ConB [rulers.NumDimensions]float64
+	// PMUA and PMUB are the solo hardware-counter rates of each side.
+	PMUA, PMUB [pmu.NumPMUFeatures]float64
+	// Deg is A's measured degradation (Equation 7).
+	Deg float64
+}
+
+// BuildObservations turns pair measurements into observations, two per
+// measurement (one per victim), using the characterizations for the feature
+// vectors. Pairs whose applications lack a characterization are an error.
+func BuildObservations(chars []profile.Characterization, pairs []profile.PairMeasurement) ([]PairObs, error) {
+	byName := make(map[string]profile.Characterization, len(chars))
+	for _, c := range chars {
+		byName[c.App] = c
+	}
+	var out []PairObs
+	for _, p := range pairs {
+		ca, ok := byName[p.A]
+		if !ok {
+			return nil, fmt.Errorf("model: no characterization for %q", p.A)
+		}
+		cb, ok := byName[p.B]
+		if !ok {
+			return nil, fmt.Errorf("model: no characterization for %q", p.B)
+		}
+		out = append(out,
+			PairObs{A: p.A, B: p.B, SenA: ca.Sen, ConB: cb.Con, PMUA: ca.SoloPMU.Features(), PMUB: cb.SoloPMU.Features(), Deg: p.DegA},
+			PairObs{A: p.B, B: p.A, SenA: cb.Sen, ConB: ca.Con, PMUA: cb.SoloPMU.Features(), PMUB: ca.SoloPMU.Features(), Deg: p.DegB},
+		)
+	}
+	return out, nil
+}
+
+// Predictor predicts a victim's degradation from one observation's
+// features (ignoring its Deg field).
+type Predictor interface {
+	Predict(obs PairObs) float64
+	Name() string
+}
+
+// Smite is the paper's Equation 3 model.
+type Smite struct {
+	// Coef[i] weighs dimension i's Sen×Con product; Intercept is c0, the
+	// paper's constant absorbing un-modelled resources.
+	Coef      [rulers.NumDimensions]float64
+	Intercept float64
+}
+
+// Name implements Predictor.
+func (m Smite) Name() string { return "SMiTe" }
+
+// nd is the feature dimensionality of the SMiTe model.
+const nd = int(rulers.NumDimensions)
+
+// Predict implements Predictor: Σ_i c_i·Sen_i^A·Con_i^B + c0.
+func (m Smite) Predict(obs PairObs) float64 {
+	s := m.Intercept
+	for i := 0; i < nd; i++ {
+		s += m.Coef[i] * obs.SenA[i] * obs.ConB[i]
+	}
+	return s
+}
+
+// TrainSmite fits the Equation 3 coefficients by least squares over the
+// training observations.
+func TrainSmite(obs []PairObs) (Smite, error) {
+	if len(obs) < nd+1 {
+		return Smite{}, fmt.Errorf("model: %d observations cannot fit %d+1 SMiTe coefficients", len(obs), nd)
+	}
+	x := make([][]float64, len(obs))
+	y := make([]float64, len(obs))
+	for r, o := range obs {
+		row := make([]float64, nd+1)
+		for i := 0; i < nd; i++ {
+			row[i] = o.SenA[i] * o.ConB[i]
+		}
+		row[nd] = 1
+		x[r] = row
+		y[r] = o.Deg
+	}
+	beta, err := linalg.LeastSquares(x, y, 1e-9)
+	if err != nil {
+		return Smite{}, fmt.Errorf("model: SMiTe fit: %w", err)
+	}
+	var m Smite
+	copy(m.Coef[:], beta[:nd])
+	m.Intercept = beta[nd]
+	return m, nil
+}
+
+// TrainSmiteNNLS fits the Equation 3 coefficients with the dimension
+// weights constrained non-negative (the intercept stays free). More
+// contention in a dimension cannot reduce a victim's degradation, so the
+// constraint removes the sign instability that collinear functional-unit
+// features otherwise cause, at a small cost in training-set fit and a
+// large gain in out-of-sample stability. Solved by cyclic coordinate
+// descent with clamping, which converges for least squares.
+func TrainSmiteNNLS(obs []PairObs) (Smite, error) {
+	if len(obs) < nd+1 {
+		return Smite{}, fmt.Errorf("model: %d observations cannot fit %d+1 SMiTe coefficients", len(obs), nd)
+	}
+	n := len(obs)
+	p := nd + 1
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for r, o := range obs {
+		row := make([]float64, p)
+		for i := 0; i < nd; i++ {
+			row[i] = o.SenA[i] * o.ConB[i]
+		}
+		row[nd] = 1
+		x[r] = row
+		y[r] = o.Deg
+	}
+	beta := make([]float64, p)
+	resid := append([]float64(nil), y...) // r = y - X·β, β = 0
+	colSq := make([]float64, p)
+	for j := 0; j < p; j++ {
+		for r := 0; r < n; r++ {
+			colSq[j] += x[r][j] * x[r][j]
+		}
+	}
+	for iter := 0; iter < 500; iter++ {
+		maxMove := 0.0
+		for j := 0; j < p; j++ {
+			if colSq[j] == 0 {
+				continue
+			}
+			g := 0.0
+			for r := 0; r < n; r++ {
+				g += x[r][j] * resid[r]
+			}
+			nb := beta[j] + g/colSq[j]
+			if j < nd && nb < 0 {
+				nb = 0
+			}
+			d := nb - beta[j]
+			if d != 0 {
+				for r := 0; r < n; r++ {
+					resid[r] -= d * x[r][j]
+				}
+				beta[j] = nb
+			}
+			if ad := math.Abs(d); ad > maxMove {
+				maxMove = ad
+			}
+		}
+		if maxMove < 1e-10 {
+			break
+		}
+	}
+	var m Smite
+	copy(m.Coef[:], beta[:nd])
+	m.Intercept = beta[nd]
+	return m, nil
+}
+
+// PMULinear is the Equation 9 baseline: a linear regression over the 11
+// solo PMU rates of the victim and of the aggressor.
+type PMULinear struct {
+	CoefA, CoefB [pmu.NumPMUFeatures]float64
+	Intercept    float64
+}
+
+// Name implements Predictor.
+func (m PMULinear) Name() string { return "PMU-linear" }
+
+// Predict implements Predictor.
+func (m PMULinear) Predict(obs PairObs) float64 {
+	s := m.Intercept
+	for i := 0; i < pmu.NumPMUFeatures; i++ {
+		s += m.CoefA[i]*obs.PMUA[i] + m.CoefB[i]*obs.PMUB[i]
+	}
+	return s
+}
+
+// TrainPMULinear fits the Equation 9 baseline. A small ridge keeps the
+// normal equations well conditioned (several counter rates are nearly
+// collinear).
+func TrainPMULinear(obs []PairObs) (PMULinear, error) {
+	p := pmu.NumPMUFeatures
+	if len(obs) < 2*p+1 {
+		return PMULinear{}, fmt.Errorf("model: %d observations cannot fit %d PMU coefficients", len(obs), 2*p+1)
+	}
+	x := make([][]float64, len(obs))
+	y := make([]float64, len(obs))
+	for r, o := range obs {
+		row := make([]float64, 2*p+1)
+		copy(row[:p], o.PMUA[:])
+		copy(row[p:2*p], o.PMUB[:])
+		row[2*p] = 1
+		x[r] = row
+		y[r] = o.Deg
+	}
+	beta, err := linalg.LeastSquares(x, y, 1e-6)
+	if err != nil {
+		return PMULinear{}, fmt.Errorf("model: PMU fit: %w", err)
+	}
+	var m PMULinear
+	copy(m.CoefA[:], beta[:p])
+	copy(m.CoefB[:], beta[p:2*p])
+	m.Intercept = beta[2*p]
+	return m, nil
+}
+
+// PMUPoly is the higher-order polynomial PMU baseline: linear terms plus
+// squared terms for both sides.
+type PMUPoly struct {
+	beta []float64 // 4*p linear+quadratic terms then intercept
+}
+
+// Name implements Predictor.
+func (m PMUPoly) Name() string { return "PMU-poly2" }
+
+func polyRow(o PairObs) []float64 {
+	p := pmu.NumPMUFeatures
+	row := make([]float64, 4*p+1)
+	for i := 0; i < p; i++ {
+		row[i] = o.PMUA[i]
+		row[p+i] = o.PMUB[i]
+		row[2*p+i] = o.PMUA[i] * o.PMUA[i]
+		row[3*p+i] = o.PMUB[i] * o.PMUB[i]
+	}
+	row[4*p] = 1
+	return row
+}
+
+// Predict implements Predictor.
+func (m PMUPoly) Predict(obs PairObs) float64 {
+	return linalg.Dot(m.beta, polyRow(obs))
+}
+
+// TrainPMUPoly fits the quadratic PMU baseline with ridge regularisation.
+func TrainPMUPoly(obs []PairObs) (PMUPoly, error) {
+	p := pmu.NumPMUFeatures
+	if len(obs) < 4*p+1 {
+		return PMUPoly{}, fmt.Errorf("model: %d observations cannot fit %d polynomial coefficients", len(obs), 4*p+1)
+	}
+	x := make([][]float64, len(obs))
+	y := make([]float64, len(obs))
+	for r, o := range obs {
+		x[r] = polyRow(o)
+		y[r] = o.Deg
+	}
+	beta, err := linalg.LeastSquares(x, y, 1e-4)
+	if err != nil {
+		return PMUPoly{}, fmt.Errorf("model: PMU poly fit: %w", err)
+	}
+	return PMUPoly{beta: beta}, nil
+}
+
+// Evaluation summarises a model's accuracy on a set of observations, in the
+// paper's metric: mean absolute error between predicted and measured
+// degradation (Equation 8), overall and per victim application.
+type Evaluation struct {
+	Model string
+	// MeanAbsError is over all observations; PerApp groups by victim.
+	MeanAbsError float64
+	PerApp       map[string]float64
+	// Errors are the individual absolute errors, observation-ordered.
+	Errors []float64
+}
+
+// Evaluate applies the predictor to each observation and reports the
+// Equation 8 absolute errors.
+func Evaluate(m Predictor, obs []PairObs) Evaluation {
+	ev := Evaluation{Model: m.Name(), PerApp: make(map[string]float64)}
+	counts := make(map[string]int)
+	for _, o := range obs {
+		err := math.Abs(m.Predict(o) - o.Deg)
+		ev.Errors = append(ev.Errors, err)
+		ev.MeanAbsError += err
+		ev.PerApp[o.A] += err
+		counts[o.A]++
+	}
+	if len(obs) > 0 {
+		ev.MeanAbsError /= float64(len(obs))
+	}
+	for app, sum := range ev.PerApp {
+		ev.PerApp[app] = sum / float64(counts[app])
+	}
+	return ev
+}
+
+// Apps returns the victims in an evaluation, sorted by name.
+func (e Evaluation) Apps() []string {
+	out := make([]string, 0, len(e.PerApp))
+	for a := range e.PerApp {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}

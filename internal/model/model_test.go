@@ -1,0 +1,232 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/profile"
+	"repro/internal/rulers"
+	"repro/internal/sim/pmu"
+	"repro/internal/xrand"
+)
+
+// synthObs generates observations from a known Equation 3 ground truth.
+func synthObs(rng *xrand.Rand, n int, coef [rulers.NumDimensions]float64, c0, noise float64) []PairObs {
+	obs := make([]PairObs, n)
+	for i := range obs {
+		var o PairObs
+		for d := 0; d < int(rulers.NumDimensions); d++ {
+			o.SenA[d] = rng.Float64()
+			o.ConB[d] = rng.Float64()
+			o.Deg += coef[d] * o.SenA[d] * o.ConB[d]
+		}
+		o.Deg += c0 + noise*(rng.Float64()-0.5)
+		for f := 0; f < pmu.NumPMUFeatures; f++ {
+			o.PMUA[f] = rng.Float64()
+			o.PMUB[f] = rng.Float64()
+		}
+		obs[i] = o
+	}
+	return obs
+}
+
+func TestTrainSmiteRecoversGroundTruth(t *testing.T) {
+	rng := xrand.New(11)
+	coef := [rulers.NumDimensions]float64{0.5, 1.2, 0.3, 0.8, 0.1, 0.9, 1.5}
+	obs := synthObs(rng, 200, coef, 0.02, 0)
+	m, err := TrainSmite(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range coef {
+		if math.Abs(m.Coef[d]-coef[d]) > 1e-6 {
+			t.Errorf("coef[%d] = %g, want %g", d, m.Coef[d], coef[d])
+		}
+	}
+	if math.Abs(m.Intercept-0.02) > 1e-6 {
+		t.Errorf("c0 = %g", m.Intercept)
+	}
+	if ev := Evaluate(m, obs); ev.MeanAbsError > 1e-9 {
+		t.Errorf("in-sample error %g on noise-free data", ev.MeanAbsError)
+	}
+}
+
+func TestTrainSmiteNNLSRecoversNonNegativeTruth(t *testing.T) {
+	rng := xrand.New(13)
+	coef := [rulers.NumDimensions]float64{0.5, 1.2, 0.3, 0.8, 0.1, 0.9, 1.5}
+	obs := synthObs(rng, 300, coef, -0.01, 0)
+	m, err := TrainSmiteNNLS(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range coef {
+		if math.Abs(m.Coef[d]-coef[d]) > 1e-4 {
+			t.Errorf("coef[%d] = %g, want %g", d, m.Coef[d], coef[d])
+		}
+	}
+	if math.Abs(m.Intercept+0.01) > 1e-4 {
+		t.Errorf("c0 = %g, want -0.01 (intercept stays unconstrained)", m.Intercept)
+	}
+}
+
+// Property: NNLS never produces negative dimension weights.
+func TestNNLSNonNegativity(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		rng := xrand.New(seed)
+		var coef [rulers.NumDimensions]float64
+		for d := range coef {
+			coef[d] = rng.Float64()*4 - 2 // mixed-sign ground truth
+		}
+		obs := synthObs(rng, 60, coef, 0, 0.1)
+		m, err := TrainSmiteNNLS(obs)
+		if err != nil {
+			return false
+		}
+		for _, c := range m.Coef {
+			if c < 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrainSmiteTooFewObs(t *testing.T) {
+	if _, err := TrainSmite(make([]PairObs, 3)); err == nil {
+		t.Error("under-determined fit accepted")
+	}
+	if _, err := TrainSmiteNNLS(make([]PairObs, 3)); err == nil {
+		t.Error("under-determined NNLS accepted")
+	}
+}
+
+func TestPMULinearRecoversLinearTarget(t *testing.T) {
+	rng := xrand.New(17)
+	obs := synthObs(rng, 300, [rulers.NumDimensions]float64{}, 0, 0)
+	// Target depends linearly on two PMU rates.
+	for i := range obs {
+		obs[i].Deg = 0.3*obs[i].PMUA[0] + 0.5*obs[i].PMUB[4] + 0.1
+	}
+	m, err := TrainPMULinear(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := Evaluate(m, obs); ev.MeanAbsError > 1e-6 {
+		t.Errorf("PMU linear failed to fit a linear target: %g", ev.MeanAbsError)
+	}
+	if math.Abs(m.CoefA[0]-0.3) > 1e-4 || math.Abs(m.CoefB[4]-0.5) > 1e-4 {
+		t.Errorf("coefficients %g/%g", m.CoefA[0], m.CoefB[4])
+	}
+}
+
+func TestPMUPolyFitsQuadratic(t *testing.T) {
+	rng := xrand.New(19)
+	obs := synthObs(rng, 400, [rulers.NumDimensions]float64{}, 0, 0)
+	for i := range obs {
+		x := obs[i].PMUA[2]
+		obs[i].Deg = 0.8*x*x + 0.1
+	}
+	poly, err := TrainPMUPoly(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := TrainPMULinear(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evPoly := Evaluate(poly, obs)
+	evLin := Evaluate(lin, obs)
+	if evPoly.MeanAbsError >= evLin.MeanAbsError {
+		t.Errorf("poly (%g) should beat linear (%g) on a quadratic target", evPoly.MeanAbsError, evLin.MeanAbsError)
+	}
+}
+
+func TestCARTFitsStepFunction(t *testing.T) {
+	rng := xrand.New(23)
+	obs := synthObs(rng, 400, [rulers.NumDimensions]float64{}, 0, 0)
+	for i := range obs {
+		if obs[i].PMUB[9] > 0.5 { // MEM-hits/cycle threshold
+			obs[i].Deg = 0.4
+		} else {
+			obs[i].Deg = 0.05
+		}
+	}
+	tree, err := TrainCART(obs, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := Evaluate(tree, obs); ev.MeanAbsError > 0.02 {
+		t.Errorf("CART error %g on a step target", ev.MeanAbsError)
+	}
+	if tree.Depth() < 1 {
+		t.Error("tree did not split")
+	}
+	lin, _ := TrainPMULinear(obs)
+	if Evaluate(tree, obs).MeanAbsError >= Evaluate(lin, obs).MeanAbsError {
+		t.Error("CART should beat linear on a step target")
+	}
+}
+
+func TestCARTErrors(t *testing.T) {
+	if _, err := TrainCART(nil, 0, 0); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestEvaluatePerApp(t *testing.T) {
+	m := Smite{Intercept: 0.1}
+	obs := []PairObs{
+		{A: "x", B: "y", Deg: 0.1},
+		{A: "x", B: "z", Deg: 0.3},
+		{A: "y", B: "x", Deg: 0.1},
+	}
+	ev := Evaluate(m, obs)
+	if math.Abs(ev.PerApp["x"]-0.1) > 1e-12 {
+		t.Errorf("PerApp[x] = %g, want 0.1", ev.PerApp["x"])
+	}
+	if math.Abs(ev.PerApp["y"]) > 1e-12 {
+		t.Errorf("PerApp[y] = %g, want 0", ev.PerApp["y"])
+	}
+	if apps := ev.Apps(); len(apps) != 2 || apps[0] != "x" {
+		t.Errorf("Apps() = %v", apps)
+	}
+}
+
+func TestBuildObservations(t *testing.T) {
+	chars := []profile.Characterization{
+		{App: "a", Sen: [8]float64{1: 0.5}, Con: [8]float64{1: 0.2}},
+		{App: "b", Sen: [8]float64{6: 0.4}, Con: [8]float64{6: 0.7}},
+	}
+	pairs := []profile.PairMeasurement{{A: "a", B: "b", DegA: 0.3, DegB: 0.1}}
+	obs, err := BuildObservations(chars, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 2 {
+		t.Fatalf("got %d observations, want 2 (one per victim)", len(obs))
+	}
+	if obs[0].A != "a" || obs[0].Deg != 0.3 || obs[0].SenA[1] != 0.5 || obs[0].ConB[6] != 0.7 {
+		t.Errorf("victim-a observation = %+v", obs[0])
+	}
+	if obs[1].A != "b" || obs[1].Deg != 0.1 || obs[1].SenA[6] != 0.4 || obs[1].ConB[1] != 0.2 {
+		t.Errorf("victim-b observation = %+v", obs[1])
+	}
+	if _, err := BuildObservations(chars, []profile.PairMeasurement{{A: "a", B: "missing"}}); err == nil {
+		t.Error("missing characterization accepted")
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	if (Smite{}).Name() != "SMiTe" || (PMULinear{}).Name() != "PMU-linear" {
+		t.Error("predictor names wrong")
+	}
+	if (PMUPoly{}).Name() != "PMU-poly2" || (&CART{}).Name() != "PMU-decision-tree" {
+		t.Error("predictor names wrong")
+	}
+	if (&CART{}).Predict(PairObs{}) != 0 {
+		t.Error("empty tree should predict 0")
+	}
+}

@@ -1,0 +1,115 @@
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rulers"
+)
+
+// SensitivityCurve is an application's degradation as a function of Ruler
+// intensity in one sharing dimension — the "sensitivity curve" of
+// Section III-B1. The paper's profiling-cost argument rests on these
+// curves being near-linear: two end-point samples bound the curve, so
+// characterization stays in the order of seconds per application.
+type SensitivityCurve struct {
+	App string
+	Dim rulers.Dimension
+	// Intensities are ascending in (0, 1]; Degradations[i] is the
+	// application's degradation under the Ruler at Intensities[i].
+	Intensities  []float64
+	Degradations []float64
+}
+
+// MeasureCurve samples an application's sensitivity curve at `points`
+// evenly spaced Ruler intensities (minimum 2). Points are measured
+// sequentially and memoise the solo run.
+func (p *Profiler) MeasureCurve(job Job, dim rulers.Dimension, points int, placement Placement) (SensitivityCurve, error) {
+	if points < 2 {
+		points = 2
+	}
+	solo, err := p.SoloRun(job)
+	if err != nil {
+		return SensitivityCurve{}, err
+	}
+	base := rulers.For(p.cfg, dim)
+	c := SensitivityCurve{App: job.Name(), Dim: dim}
+	for i := 1; i <= points; i++ {
+		intensity := float64(i) / float64(points)
+		r := base.WithIntensity(intensity)
+		res, err := Colocate(p.cfg, job, Rulers(r, job.Instances()), placement, p.opts)
+		if err != nil {
+			return SensitivityCurve{}, err
+		}
+		c.Intensities = append(c.Intensities, intensity)
+		c.Degradations = append(c.Degradations, Degradation(solo.AppIPC, res.AppIPC))
+	}
+	return c, nil
+}
+
+// Validate checks the curve's structural invariants.
+func (c SensitivityCurve) Validate() error {
+	if len(c.Intensities) != len(c.Degradations) {
+		return fmt.Errorf("profile: curve for %s: %d intensities vs %d degradations", c.App, len(c.Intensities), len(c.Degradations))
+	}
+	if len(c.Intensities) < 2 {
+		return fmt.Errorf("profile: curve for %s needs at least 2 points", c.App)
+	}
+	if !sort.Float64sAreSorted(c.Intensities) {
+		return fmt.Errorf("profile: curve for %s has unsorted intensities", c.App)
+	}
+	return nil
+}
+
+// At evaluates the curve at an arbitrary intensity by piecewise-linear
+// interpolation (clamped at the measured range's ends).
+func (c SensitivityCurve) At(intensity float64) float64 {
+	n := len(c.Intensities)
+	if n == 0 {
+		return 0
+	}
+	if intensity <= c.Intensities[0] {
+		return c.Degradations[0]
+	}
+	if intensity >= c.Intensities[n-1] {
+		return c.Degradations[n-1]
+	}
+	i := sort.SearchFloat64s(c.Intensities, intensity)
+	x0, x1 := c.Intensities[i-1], c.Intensities[i]
+	y0, y1 := c.Degradations[i-1], c.Degradations[i]
+	f := (intensity - x0) / (x1 - x0)
+	return y0*(1-f) + y1*f
+}
+
+// TwoPoint returns the end-point approximation of the curve — what the
+// paper's fast profiling actually measures.
+func (c SensitivityCurve) TwoPoint() SensitivityCurve {
+	n := len(c.Intensities)
+	if n < 2 {
+		return c
+	}
+	return SensitivityCurve{
+		App:          c.App,
+		Dim:          c.Dim,
+		Intensities:  []float64{c.Intensities[0], c.Intensities[n-1]},
+		Degradations: []float64{c.Degradations[0], c.Degradations[n-1]},
+	}
+}
+
+// MaxTwoPointError is the largest absolute gap between the dense curve and
+// its two-point approximation across the measured points — the profiling
+// error the linearity assumption trades for speed.
+func (c SensitivityCurve) MaxTwoPointError() float64 {
+	tp := c.TwoPoint()
+	worst := 0.0
+	for i, x := range c.Intensities {
+		d := c.Degradations[i] - tp.At(x)
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

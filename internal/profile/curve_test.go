@@ -1,0 +1,110 @@
+package profile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rulers"
+	"repro/internal/workload"
+)
+
+func syntheticCurve() SensitivityCurve {
+	return SensitivityCurve{
+		App: "x", Dim: rulers.DimL2,
+		Intensities:  []float64{0.25, 0.5, 0.75, 1.0},
+		Degradations: []float64{0.10, 0.20, 0.30, 0.40},
+	}
+}
+
+func TestCurveInterpolation(t *testing.T) {
+	c := syntheticCurve()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{0.25, 0.10}, {0.5, 0.20}, {0.375, 0.15}, {1.0, 0.40},
+		{0.1, 0.10}, // clamped low
+		{1.5, 0.40}, // clamped high
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-12 {
+			t.Errorf("At(%g) = %g, want %g", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestTwoPointOnLinearCurveIsExact(t *testing.T) {
+	c := syntheticCurve() // perfectly linear
+	if e := c.MaxTwoPointError(); e > 1e-12 {
+		t.Errorf("two-point error %g on a linear curve", e)
+	}
+	tp := c.TwoPoint()
+	if len(tp.Intensities) != 2 || tp.Intensities[0] != 0.25 || tp.Intensities[1] != 1.0 {
+		t.Errorf("TwoPoint = %+v", tp)
+	}
+}
+
+func TestTwoPointOnConvexCurve(t *testing.T) {
+	c := SensitivityCurve{
+		App: "x", Dim: rulers.DimL3,
+		Intensities:  []float64{0.25, 0.5, 0.75, 1.0},
+		Degradations: []float64{0.0, 0.0, 0.1, 0.4}, // convex: late ramp
+	}
+	if e := c.MaxTwoPointError(); e < 0.1 {
+		t.Errorf("two-point error %g should expose the non-linearity", e)
+	}
+}
+
+// Property: At is monotone for monotone curves and stays within the
+// curve's range.
+func TestCurveAtProperties(t *testing.T) {
+	c := syntheticCurve()
+	if err := quick.Check(func(aRaw, bRaw uint8) bool {
+		a := float64(aRaw) / 255
+		b := float64(bRaw) / 255
+		if a > b {
+			a, b = b, a
+		}
+		ya, yb := c.At(a), c.At(b)
+		return ya <= yb+1e-12 && ya >= 0.10-1e-12 && yb <= 0.40+1e-12
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurveValidate(t *testing.T) {
+	bad := SensitivityCurve{App: "x", Intensities: []float64{1, 0.5}, Degradations: []float64{0, 0}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unsorted curve accepted")
+	}
+	short := SensitivityCurve{App: "x", Intensities: []float64{1}, Degradations: []float64{0}}
+	if err := short.Validate(); err == nil {
+		t.Error("single-point curve accepted")
+	}
+	mismatch := SensitivityCurve{App: "x", Intensities: []float64{0.5, 1}, Degradations: []float64{0}}
+	if err := mismatch.Validate(); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMeasureCurveOnSimulator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in short mode")
+	}
+	p := NewProfiler(testConfig(), FastOptions())
+	spec, _ := workload.ByName("458.sjeng")
+	c, err := p.MeasureCurve(App(spec), rulers.DimL3, 3, SMT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Intensities) != 3 {
+		t.Errorf("got %d points", len(c.Intensities))
+	}
+	if c.Intensities[len(c.Intensities)-1] != 1.0 {
+		t.Error("sweep must end at full intensity")
+	}
+}

@@ -1,0 +1,543 @@
+// Package profile implements SMiTe's characterization methodology
+// (Section III-B): placing applications and Rulers on the simulated chip,
+// measuring solo and co-located IPCs, and extracting per-dimension
+// sensitivity and contentiousness vectors (Equations 1 and 2):
+//
+//	Sen_i^A = (IPC_solo^A − IPC_co/Ruler_i^A) / IPC_solo^A
+//	Con_i^A = (IPC_solo^Ruler_i − IPC_co/A^Ruler_i) / IPC_solo^Ruler_i
+//
+// The same machinery measures ground-truth degradations for arbitrary
+// application pairs (Equation 7), in both SMT placement (sibling hardware
+// contexts of one core) and CMP placement (separate cores sharing only the
+// L3 and memory bandwidth), including the half-loaded multithreaded
+// CloudSuite arrangements of Section IV-B2.
+package profile
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+
+	"repro/internal/rulers"
+	"repro/internal/sim/engine"
+	"repro/internal/sim/isa"
+	"repro/internal/sim/pmu"
+	"repro/internal/workload"
+)
+
+// Placement selects how co-runners share the chip.
+type Placement int
+
+const (
+	// SMT places co-runners on sibling hardware contexts of the same
+	// core(s): all on-core resources are shared.
+	SMT Placement = iota
+	// CMP places co-runners on distinct cores: only the L3 and memory
+	// bandwidth are shared.
+	CMP
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	if p == SMT {
+		return "SMT"
+	}
+	return "CMP"
+}
+
+// Options control measurement windows and reproducibility.
+type Options struct {
+	// PrewarmUops functionally executes this many micro-ops per context to
+	// install data footprints before timing starts.
+	PrewarmUops int
+	// WarmupCycles run timed but unmeasured (pipeline and small-structure
+	// warm-up); MeasureCycles are the measurement window.
+	WarmupCycles  uint64
+	MeasureCycles uint64
+	// BaseSeed decorrelates repeated studies; everything derived from it
+	// is deterministic.
+	BaseSeed uint64
+	// Parallelism bounds the worker pool of the batch helpers
+	// (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOptions returns the measurement windows used by the full-scale
+// experiments.
+func DefaultOptions() Options {
+	return Options{
+		PrewarmUops:   400_000,
+		WarmupCycles:  50_000,
+		MeasureCycles: 100_000,
+		BaseSeed:      1,
+	}
+}
+
+// FastOptions returns reduced windows for tests and benchmarks.
+func FastOptions() Options {
+	return Options{
+		PrewarmUops:   60_000,
+		WarmupCycles:  12_000,
+		MeasureCycles: 25_000,
+		BaseSeed:      1,
+	}
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Job is a schedulable entity: an application with one stream per thread,
+// or a Ruler with one stream per instance.
+type Job interface {
+	// Name labels the job in results.
+	Name() string
+	// Instances is the number of hardware contexts the job occupies.
+	Instances() int
+	// NewStream builds the deterministic stream for one instance.
+	NewStream(instance int, seed uint64) engine.Stream
+}
+
+type appJob struct {
+	spec    *workload.Spec
+	threads int
+}
+
+// App wraps a workload spec as a Job using its natural thread count.
+func App(spec *workload.Spec) Job { return appJob{spec: spec, threads: spec.ThreadCount()} }
+
+// AppThreads wraps a workload spec as a Job with an explicit thread count
+// (the paper halves CloudSuite thread counts for the CMP experiments).
+func AppThreads(spec *workload.Spec, threads int) Job {
+	if threads < 1 {
+		threads = 1
+	}
+	return appJob{spec: spec, threads: threads}
+}
+
+func (j appJob) Name() string   { return j.spec.Name }
+func (j appJob) Instances() int { return j.threads }
+func (j appJob) NewStream(instance int, seed uint64) engine.Stream {
+	return workload.NewGen(j.spec, mix(seed, uint64(instance)+0x51))
+}
+
+type rulerJob struct {
+	r         *rulers.Ruler
+	instances int
+}
+
+// Rulers wraps a Ruler as a Job with the given instance count (one
+// instance per occupied context).
+func Rulers(r *rulers.Ruler, instances int) Job {
+	if instances < 1 {
+		instances = 1
+	}
+	return rulerJob{r: r, instances: instances}
+}
+
+func (j rulerJob) Name() string   { return j.r.Name }
+func (j rulerJob) Instances() int { return j.instances }
+func (j rulerJob) NewStream(instance int, seed uint64) engine.Stream {
+	return j.r.NewStream(mix(seed, uint64(instance)+0xA7))
+}
+
+// streamJob adapts an arbitrary stream factory to the Job interface, so
+// trace replays and hand-built generators characterize exactly like stock
+// workloads.
+type streamJob struct {
+	name      string
+	instances int
+	factory   func(instance int, seed uint64) engine.Stream
+}
+
+// StreamJob wraps a stream factory as a Job. The factory receives the
+// instance index and a deterministic seed.
+func StreamJob(name string, instances int, factory func(instance int, seed uint64) engine.Stream) Job {
+	if instances < 1 {
+		instances = 1
+	}
+	return streamJob{name: name, instances: instances, factory: factory}
+}
+
+func (j streamJob) Name() string   { return j.name }
+func (j streamJob) Instances() int { return j.instances }
+func (j streamJob) NewStream(instance int, seed uint64) engine.Stream {
+	return j.factory(instance, mix(seed, uint64(instance)+0x33))
+}
+
+// mix combines a seed with a salt deterministically.
+func mix(seed, salt uint64) uint64 {
+	z := seed ^ salt*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	return z ^ (z >> 27)
+}
+
+func seedFor(name string, base uint64) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(name))
+	return mix(base, h.Sum64())
+}
+
+// RunResult reports one measurement run.
+type RunResult struct {
+	// AppIPC is the mean IPC across the primary job's instances;
+	// AppCounters the per-instance window counters.
+	AppIPC      float64
+	AppCounters []pmu.Counters
+	// PartnerIPC/PartnerCounters describe the co-runner (zero value when
+	// the run was solo).
+	PartnerIPC      float64
+	PartnerCounters []pmu.Counters
+}
+
+// Solo measures a job running alone on the chip (one instance per core,
+// context 0).
+func Solo(cfg isa.Config, job Job, opts Options) (RunResult, error) {
+	return run(cfg, job, nil, SMT, opts)
+}
+
+// Colocate measures job and partner sharing the chip under the given
+// placement. For SMT, instance i of the job runs on core i context 0 and
+// partner instance j on core j context 1. For CMP, the partner occupies
+// cores after the job's.
+func Colocate(cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
+	return run(cfg, job, partner, placement, opts)
+}
+
+func run(cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
+	chip, err := engine.New(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	n := job.Instances()
+	if n > cfg.Cores {
+		return RunResult{}, fmt.Errorf("profile: job %s needs %d contexts but %s has %d cores", job.Name(), n, cfg.Name, cfg.Cores)
+	}
+	jobSeed := seedFor(job.Name(), opts.BaseSeed)
+	for i := 0; i < n; i++ {
+		chip.Assign(i, 0, job.NewStream(i, jobSeed))
+	}
+	var m int
+	if partner != nil {
+		m = partner.Instances()
+		// The partner uses the same name-derived seed as its own solo
+		// runs so an application behaves identically in either role;
+		// instance salts inside NewStream decorrelate co-located
+		// instances of the same job.
+		partnerSeed := seedFor(partner.Name(), opts.BaseSeed)
+		switch placement {
+		case SMT:
+			if m > cfg.Cores {
+				return RunResult{}, fmt.Errorf("profile: partner %s needs %d contexts but %s has %d cores", partner.Name(), m, cfg.Name, cfg.Cores)
+			}
+			for j := 0; j < m; j++ {
+				chip.Assign(j, 1, partner.NewStream(j, partnerSeed))
+			}
+		case CMP:
+			if n+m > cfg.Cores {
+				return RunResult{}, fmt.Errorf("profile: CMP placement of %s+%s needs %d cores but %s has %d", job.Name(), partner.Name(), n+m, cfg.Name, cfg.Cores)
+			}
+			for j := 0; j < m; j++ {
+				chip.Assign(n+j, 0, partner.NewStream(j, partnerSeed))
+			}
+		default:
+			return RunResult{}, fmt.Errorf("profile: unknown placement %d", placement)
+		}
+	}
+
+	chip.Prewarm(opts.PrewarmUops)
+	chip.Run(opts.WarmupCycles)
+	chip.ResetCounters()
+	chip.Run(opts.MeasureCycles)
+
+	res := RunResult{}
+	for i := 0; i < n; i++ {
+		c := chip.Counters(i, 0)
+		res.AppCounters = append(res.AppCounters, c)
+		res.AppIPC += c.IPC()
+	}
+	res.AppIPC /= float64(n)
+	if partner != nil {
+		for j := 0; j < m; j++ {
+			var c pmu.Counters
+			if placement == SMT {
+				c = chip.Counters(j, 1)
+			} else {
+				c = chip.Counters(n+j, 0)
+			}
+			res.PartnerCounters = append(res.PartnerCounters, c)
+			res.PartnerIPC += c.IPC()
+		}
+		res.PartnerIPC /= float64(m)
+	}
+	return res, nil
+}
+
+// Degradation returns the relative performance loss (Equation 7), clamped
+// below at 0 only by the caller if desired; negative values mean speed-up.
+func Degradation(soloIPC, coIPC float64) float64 {
+	if soloIPC <= 0 {
+		return 0
+	}
+	return (soloIPC - coIPC) / soloIPC
+}
+
+// Characterization is an application's decoupled contention profile: its
+// sensitivity and contentiousness in each of the seven sharing dimensions,
+// plus the solo measurements the PMU baseline model consumes.
+type Characterization struct {
+	App       string
+	Placement Placement
+	SoloIPC   float64
+	// SoloPMU aggregates the solo window counters of instance 0 (the PMU
+	// baseline uses per-cycle rates, so one representative thread
+	// suffices; threads are statistically identical).
+	SoloPMU pmu.Counters
+	Sen     [rulers.NumDimensions]float64
+	Con     [rulers.NumDimensions]float64
+}
+
+// Profiler characterises applications and measures co-locations on one
+// machine configuration, memoising solo runs. It is safe for concurrent
+// use.
+type Profiler struct {
+	cfg  isa.Config
+	set  []*rulers.Ruler
+	opts Options
+
+	mu        sync.Mutex
+	appSolo   map[string]RunResult
+	rulerSolo map[string]float64
+}
+
+// NewProfiler builds a profiler for the configuration using the standard
+// Ruler set sized to its caches.
+func NewProfiler(cfg isa.Config, opts Options) *Profiler {
+	return &Profiler{
+		cfg:       cfg,
+		set:       rulers.StandardSet(cfg),
+		opts:      opts,
+		appSolo:   make(map[string]RunResult),
+		rulerSolo: make(map[string]float64),
+	}
+}
+
+// Config returns the profiler's machine configuration.
+func (p *Profiler) Config() isa.Config { return p.cfg }
+
+// Options returns the profiler's measurement options.
+func (p *Profiler) Options() Options { return p.opts }
+
+// RulerSet returns the profiler's standard rulers.
+func (p *Profiler) RulerSet() []*rulers.Ruler { return p.set }
+
+func soloKey(job Job) string { return fmt.Sprintf("%s/%d", job.Name(), job.Instances()) }
+
+// SoloRun measures (and memoises) a job running alone.
+func (p *Profiler) SoloRun(job Job) (RunResult, error) {
+	key := soloKey(job)
+	p.mu.Lock()
+	if r, ok := p.appSolo[key]; ok {
+		p.mu.Unlock()
+		return r, nil
+	}
+	p.mu.Unlock()
+	r, err := Solo(p.cfg, job, p.opts)
+	if err != nil {
+		return RunResult{}, err
+	}
+	p.mu.Lock()
+	p.appSolo[key] = r
+	p.mu.Unlock()
+	return r, nil
+}
+
+// rulerSoloIPC measures (and memoises) a single Ruler instance running
+// alone; this is the Con denominator of Equation 2.
+func (p *Profiler) rulerSoloIPC(r *rulers.Ruler) (float64, error) {
+	p.mu.Lock()
+	if ipc, ok := p.rulerSolo[r.Name]; ok {
+		p.mu.Unlock()
+		return ipc, nil
+	}
+	p.mu.Unlock()
+	res, err := Solo(p.cfg, Rulers(r, 1), p.opts)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	p.rulerSolo[r.Name] = res.AppIPC
+	p.mu.Unlock()
+	return res.AppIPC, nil
+}
+
+// Characterize measures an application's sensitivity and contentiousness in
+// every sharing dimension by co-locating it with each standard Ruler under
+// the given placement. Multithreaded applications are co-located with one
+// Ruler instance per thread, as in the paper's CloudSuite setup.
+func (p *Profiler) Characterize(spec *workload.Spec, placement Placement) (Characterization, error) {
+	threads := spec.ThreadCount()
+	max := p.cfg.Cores
+	if placement == CMP && threads > 1 {
+		// Half-loaded CMP arrangement: the app occupies half the cores.
+		max = p.cfg.Cores / 2
+	}
+	if threads > max {
+		threads = max // clamp multithreaded apps to the machine
+	}
+	return p.CharacterizeJob(AppThreads(spec, threads), placement)
+}
+
+// CharacterizeJob is Characterize for an explicit Job arrangement, using
+// one Ruler instance per job instance (full pressure).
+func (p *Profiler) CharacterizeJob(job Job, placement Placement) (Characterization, error) {
+	return p.CharacterizeJobRulers(job, placement, job.Instances())
+}
+
+// CharacterizeJobRulers characterizes a job against a specific Ruler
+// instance count. For multithreaded latency applications this measures the
+// *partial-occupancy* sensitivity Sen(n) — the degradation when only n of
+// the job's sibling contexts carry pressure — which the scale-out studies
+// use to predict co-locations with fewer batch instances than threads.
+// Profiling cost stays Ruler-only: no batch-application cross-product.
+func (p *Profiler) CharacterizeJobRulers(job Job, placement Placement, rulerInstances int) (Characterization, error) {
+	solo, err := p.SoloRun(job)
+	if err != nil {
+		return Characterization{}, err
+	}
+	ch := Characterization{
+		App:       job.Name(),
+		Placement: placement,
+		SoloIPC:   solo.AppIPC,
+		SoloPMU:   solo.AppCounters[0],
+	}
+	instances := rulerInstances
+	if instances < 1 {
+		instances = 1
+	}
+	if placement == CMP && job.Instances() > p.cfg.Cores/2 {
+		return Characterization{}, fmt.Errorf("profile: job %s with %d instances cannot be CMP-characterized on %d cores", job.Name(), job.Instances(), p.cfg.Cores)
+	}
+	for _, r := range p.set {
+		rulerIPC, err := p.rulerSoloIPC(r)
+		if err != nil {
+			return Characterization{}, err
+		}
+		res, err := Colocate(p.cfg, job, Rulers(r, instances), placement, p.opts)
+		if err != nil {
+			return Characterization{}, err
+		}
+		ch.Sen[r.Dim] = Degradation(solo.AppIPC, res.AppIPC)
+		ch.Con[r.Dim] = Degradation(rulerIPC, res.PartnerIPC)
+	}
+	return ch, nil
+}
+
+// CharacterizeAll characterises a batch of applications concurrently.
+func (p *Profiler) CharacterizeAll(specs []*workload.Spec, placement Placement) ([]Characterization, error) {
+	out := make([]Characterization, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, p.opts.workers())
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s *workload.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = p.Characterize(s, placement)
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// PairMeasurement is the ground truth for one co-location (Equation 7).
+type PairMeasurement struct {
+	A, B      string
+	Placement Placement
+	// DegA is A's degradation when co-located with B; DegB the converse.
+	DegA, DegB float64
+}
+
+// MeasurePair measures the mutual degradation of two applications under
+// the given placement.
+func (p *Profiler) MeasurePair(a, b *workload.Spec, placement Placement) (PairMeasurement, error) {
+	return p.MeasureJobs(App(a), App(b), placement)
+}
+
+// MeasureJobs measures the mutual degradation of two explicit jobs.
+func (p *Profiler) MeasureJobs(a, b Job, placement Placement) (PairMeasurement, error) {
+	soloA, err := p.SoloRun(a)
+	if err != nil {
+		return PairMeasurement{}, err
+	}
+	soloB, err := p.SoloRun(b)
+	if err != nil {
+		return PairMeasurement{}, err
+	}
+	res, err := Colocate(p.cfg, a, b, placement, p.opts)
+	if err != nil {
+		return PairMeasurement{}, err
+	}
+	return PairMeasurement{
+		A: a.Name(), B: b.Name(), Placement: placement,
+		DegA: Degradation(soloA.AppIPC, res.AppIPC),
+		DegB: Degradation(soloB.AppIPC, res.PartnerIPC),
+	}, nil
+}
+
+// MeasurePairs measures all distinct pairs {a, b} from the two sets
+// concurrently. Each unordered pair is co-located once — a single run
+// yields both sides' degradations — and same-name pairs are skipped.
+func (p *Profiler) MeasurePairs(as, bs []*workload.Spec, placement Placement) ([]PairMeasurement, error) {
+	type task struct{ a, b *workload.Spec }
+	var tasks []task
+	seen := make(map[string]bool)
+	for _, a := range as {
+		for _, b := range bs {
+			if a.Name == b.Name {
+				continue
+			}
+			key := a.Name + "\x00" + b.Name
+			if b.Name < a.Name {
+				key = b.Name + "\x00" + a.Name
+			}
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			tasks = append(tasks, task{a, b})
+		}
+	}
+	out := make([]PairMeasurement, len(tasks))
+	errs := make([]error, len(tasks))
+	sem := make(chan struct{}, p.opts.workers())
+	var wg sync.WaitGroup
+	for i, t := range tasks {
+		wg.Add(1)
+		go func(i int, t task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pm, err := p.MeasurePair(t.a, t.b, placement)
+			out[i], errs[i] = pm, err
+		}(i, t)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,176 @@
+// Package queueing implements the FCFS M/M/1 model SMiTe uses to translate
+// average performance degradation into percentile (tail) latency
+// (Section III-C3, Equations 4–6), together with a discrete-event M/M/1
+// simulator used both to validate the closed forms and to play the role of
+// the "measured" latency distribution in the latency experiments.
+//
+// The paper justifies M/M/1 by noting that WSC services typically queue
+// per worker thread (each thread is an independent single-server system)
+// and that service-time and inter-arrival coefficients of variation are
+// small enough for exponential/Poisson approximations.
+package queueing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/xrand"
+)
+
+// MM1 is a first-come-first-served M/M/1 queue with Poisson arrivals of
+// rate Lambda and exponential service of rate Mu (both per second).
+type MM1 struct {
+	Lambda float64
+	Mu     float64
+}
+
+// Validate checks stability (λ < μ) and positivity.
+func (q MM1) Validate() error {
+	if q.Mu <= 0 || q.Lambda <= 0 {
+		return fmt.Errorf("queueing: rates must be positive (λ=%g, μ=%g)", q.Lambda, q.Mu)
+	}
+	if q.Lambda >= q.Mu {
+		return fmt.Errorf("queueing: unstable queue: λ=%g >= μ=%g", q.Lambda, q.Mu)
+	}
+	return nil
+}
+
+// Utilization returns ρ = λ/μ.
+func (q MM1) Utilization() float64 { return q.Lambda / q.Mu }
+
+// ResponseTimePDF evaluates Equation 4: f(t) = (μ−λ)·e^−(μ−λ)t, the
+// probability density of the sojourn (queueing + service) time.
+func (q MM1) ResponseTimePDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	d := q.Mu - q.Lambda
+	return d * math.Exp(-d*t)
+}
+
+// ResponseTimeCDF evaluates P(T <= t) = 1 − e^−(μ−λ)t.
+func (q MM1) ResponseTimeCDF(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-(q.Mu-q.Lambda)*t)
+}
+
+// MeanResponseTime returns E[T] = 1/(μ−λ).
+func (q MM1) MeanResponseTime() float64 { return 1 / (q.Mu - q.Lambda) }
+
+// Percentile inverts the CDF: t_p = −ln(1−p)/(μ−λ) for p in (0,1).
+func (q MM1) Percentile(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return -math.Log(1-p) / (q.Mu - q.Lambda)
+}
+
+// Degraded returns the queue with the service rate scaled by a co-location
+// degradation (Equation 5): μ' = (1−deg)·μ. The arrival rate is unchanged
+// (offered load does not care about the server's troubles).
+func (q MM1) Degraded(deg float64) MM1 {
+	return MM1{Lambda: q.Lambda, Mu: (1 - deg) * q.Mu}
+}
+
+// DegradedPercentile evaluates Equation 6 directly:
+// t_p = −ln(1−p) / ((1−Deg)·μ − λ).
+func DegradedPercentile(p, mu, lambda, deg float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	d := (1-deg)*mu - lambda
+	if d <= 0 {
+		return math.Inf(1) // degradation pushed the queue past saturation
+	}
+	return -math.Log(1-p) / d
+}
+
+// SimResult summarises a simulated queue run.
+type SimResult struct {
+	N          int
+	Mean       float64
+	P50        float64
+	P90        float64
+	P95        float64
+	P99        float64
+	MaxSojourn float64
+	// Sojourns holds every sample, arrival-ordered, for custom analysis.
+	Sojourns []float64
+}
+
+// Percentile returns the p-th percentile of the simulated sojourn times.
+func (r SimResult) Percentile(p float64) float64 {
+	return percentileSorted(r.Sojourns, p)
+}
+
+// Simulate runs n requests through the FCFS single-server queue and returns
+// the sojourn-time distribution. An M/M/1 FCFS queue needs no event list:
+// departure(i) = max(arrival(i), departure(i−1)) + service(i).
+func (q MM1) Simulate(n int, seed uint64) (SimResult, error) {
+	if err := q.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if n <= 0 {
+		return SimResult{}, fmt.Errorf("queueing: Simulate needs positive n, got %d", n)
+	}
+	rng := xrand.New(seed)
+	sojourns := make([]float64, n)
+	arrival, prevDeparture := 0.0, 0.0
+	sum, maxS := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		arrival += rng.Exp(q.Lambda)
+		start := arrival
+		if prevDeparture > start {
+			start = prevDeparture
+		}
+		departure := start + rng.Exp(q.Mu)
+		prevDeparture = departure
+		s := departure - arrival
+		sojourns[i] = s
+		sum += s
+		if s > maxS {
+			maxS = s
+		}
+	}
+	sorted := append([]float64(nil), sojourns...)
+	sort.Float64s(sorted)
+	return SimResult{
+		N:          n,
+		Mean:       sum / float64(n),
+		P50:        percentileSorted(sorted, 0.50),
+		P90:        percentileSorted(sorted, 0.90),
+		P95:        percentileSorted(sorted, 0.95),
+		P99:        percentileSorted(sorted, 0.99),
+		MaxSojourn: maxS,
+		Sojourns:   sorted,
+	}, nil
+}
+
+// percentileSorted interpolates the p-th percentile of an ascending slice.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}

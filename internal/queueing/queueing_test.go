@@ -1,0 +1,170 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidate(t *testing.T) {
+	if err := (MM1{Lambda: 1, Mu: 2}).Validate(); err != nil {
+		t.Errorf("stable queue rejected: %v", err)
+	}
+	for _, q := range []MM1{
+		{Lambda: 2, Mu: 1},
+		{Lambda: 1, Mu: 1},
+		{Lambda: 0, Mu: 1},
+		{Lambda: 1, Mu: 0},
+	} {
+		if err := q.Validate(); err == nil {
+			t.Errorf("invalid queue %+v accepted", q)
+		}
+	}
+}
+
+func TestClosedFormsKnown(t *testing.T) {
+	q := MM1{Lambda: 50, Mu: 100}
+	if rho := q.Utilization(); rho != 0.5 {
+		t.Errorf("rho = %g", rho)
+	}
+	if m := q.MeanResponseTime(); math.Abs(m-0.02) > 1e-12 {
+		t.Errorf("mean response = %g, want 0.02", m)
+	}
+	// t_p = -ln(1-p)/(mu-lambda)
+	want := -math.Log(0.1) / 50
+	if p90 := q.Percentile(0.90); math.Abs(p90-want) > 1e-12 {
+		t.Errorf("p90 = %g, want %g", p90, want)
+	}
+	// CDF(Percentile(p)) == p
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if got := q.ResponseTimeCDF(q.Percentile(p)); math.Abs(got-p) > 1e-9 {
+			t.Errorf("CDF(t_%g) = %g", p, got)
+		}
+	}
+}
+
+func TestPDFIntegratesToOne(t *testing.T) {
+	q := MM1{Lambda: 30, Mu: 100}
+	// Trapezoidal integration of Equation 4.
+	sum := 0.0
+	dt := 1e-5
+	for x := 0.0; x < 0.5; x += dt {
+		sum += q.ResponseTimePDF(x) * dt
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Errorf("PDF integral = %g", sum)
+	}
+	if q.ResponseTimePDF(-1) != 0 {
+		t.Error("PDF positive at negative time")
+	}
+}
+
+func TestDegraded(t *testing.T) {
+	q := MM1{Lambda: 50, Mu: 100}
+	d := q.Degraded(0.2)
+	if d.Mu != 80 || d.Lambda != 50 {
+		t.Errorf("Degraded = %+v", d)
+	}
+	// Equation 6 agrees with composing Degraded and Percentile.
+	p90a := DegradedPercentile(0.9, 100, 50, 0.2)
+	p90b := d.Percentile(0.9)
+	if math.Abs(p90a-p90b) > 1e-12 {
+		t.Errorf("Equation 6 mismatch: %g vs %g", p90a, p90b)
+	}
+}
+
+func TestDegradedPercentileSaturation(t *testing.T) {
+	if !math.IsInf(DegradedPercentile(0.9, 100, 50, 0.6), 1) {
+		t.Error("saturated queue should have infinite percentile latency")
+	}
+	if DegradedPercentile(0, 100, 50, 0) != 0 {
+		t.Error("0th percentile should be 0")
+	}
+}
+
+// Property: percentile latency is monotone in p and in degradation.
+func TestPercentileMonotonicity(t *testing.T) {
+	if err := quick.Check(func(seedMu, seedLam uint8) bool {
+		mu := 10 + float64(seedMu)
+		lambda := mu * (0.1 + 0.8*float64(seedLam)/255)
+		q := MM1{Lambda: lambda, Mu: mu}
+		prev := 0.0
+		for p := 0.1; p < 1; p += 0.1 {
+			v := q.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		// Degradation monotonicity at fixed p.
+		prev = 0
+		for d := 0.0; (1-d)*mu > lambda; d += 0.05 {
+			v := DegradedPercentile(0.9, mu, lambda, d)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The discrete-event simulator must agree with the closed forms — this is
+// the validation behind using it as the "measured" side of Figure 13.
+func TestSimulateMatchesClosedForm(t *testing.T) {
+	for _, rho := range []float64{0.3, 0.5, 0.7} {
+		q := MM1{Lambda: 100 * rho, Mu: 100}
+		res, err := q.Simulate(300_000, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(res.Mean-q.MeanResponseTime()) / q.MeanResponseTime(); rel > 0.03 {
+			t.Errorf("rho=%.1f: simulated mean %.5f vs closed form %.5f (%.1f%% off)", rho, res.Mean, q.MeanResponseTime(), rel*100)
+		}
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			want := q.Percentile(p)
+			got := res.Percentile(p)
+			if rel := math.Abs(got-want) / want; rel > 0.05 {
+				t.Errorf("rho=%.1f p%.0f: simulated %.5f vs closed form %.5f", rho, p*100, got, want)
+			}
+		}
+	}
+}
+
+func TestSimulateDeterminism(t *testing.T) {
+	q := MM1{Lambda: 50, Mu: 100}
+	a, err := q.Simulate(10000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := q.Simulate(10000, 7)
+	if a.P90 != b.P90 || a.Mean != b.Mean {
+		t.Error("simulation not deterministic")
+	}
+	c, _ := q.Simulate(10000, 8)
+	if a.P90 == c.P90 {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	if _, err := (MM1{Lambda: 2, Mu: 1}).Simulate(100, 1); err == nil {
+		t.Error("unstable queue simulated")
+	}
+	if _, err := (MM1{Lambda: 1, Mu: 2}).Simulate(0, 1); err == nil {
+		t.Error("zero requests accepted")
+	}
+}
+
+func TestSimResultPercentileBounds(t *testing.T) {
+	q := MM1{Lambda: 10, Mu: 100}
+	res, err := q.Simulate(1000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Percentile(0) > res.P50 || res.P50 > res.P90 || res.P90 > res.MaxSojourn {
+		t.Errorf("percentile ordering violated: %+v", res)
+	}
+}

@@ -1,0 +1,222 @@
+package rulers
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/isa"
+)
+
+func TestStandardSetCoversAllDimensions(t *testing.T) {
+	cfg := isa.IvyBridge()
+	set := StandardSet(cfg)
+	if len(set) != int(NumDimensions) {
+		t.Fatalf("standard set has %d rulers, want %d", len(set), NumDimensions)
+	}
+	seen := make(map[Dimension]bool)
+	for _, r := range set {
+		if seen[r.Dim] {
+			t.Errorf("dimension %v duplicated", r.Dim)
+		}
+		seen[r.Dim] = true
+		if r.Intensity != 1 {
+			t.Errorf("%s intensity %g, want 1", r.Name, r.Intensity)
+		}
+	}
+}
+
+func TestMemoryRulersSizedToCaches(t *testing.T) {
+	cfg := isa.IvyBridge()
+	if got := For(cfg, DimL1).FootprintBytes(); got != uint64(cfg.L1D.SizeBytes) {
+		t.Errorf("L1 ruler footprint %d, want %d", got, cfg.L1D.SizeBytes)
+	}
+	if got := For(cfg, DimL2).FootprintBytes(); got != uint64(cfg.L2.SizeBytes) {
+		t.Errorf("L2 ruler footprint %d", got)
+	}
+	if got := For(cfg, DimL3).FootprintBytes(); got != uint64(cfg.L3.SizeBytes) {
+		t.Errorf("L3 ruler footprint %d", got)
+	}
+}
+
+func TestFunctionalUnitRulersTargetKinds(t *testing.T) {
+	cases := []struct {
+		r    *Ruler
+		kind isa.UopKind
+	}{
+		{FPMul(), isa.FPMul},
+		{FPAdd(), isa.FPAdd},
+		{FPShf(), isa.FPShuf},
+		{IntAdd(), isa.IntAdd},
+	}
+	for _, c := range cases {
+		if c.r.TargetKind() != c.kind {
+			t.Errorf("%s targets %v", c.r.Name, c.r.TargetKind())
+		}
+	}
+}
+
+// A full-intensity functional-unit Ruler emits only its target kind with no
+// dependencies — the paper's dependency-free unrolled loop.
+func TestFUStreamPurity(t *testing.T) {
+	s := FPAdd().NewStream(1)
+	var u isa.Uop
+	for i := 0; i < 10000; i++ {
+		u = isa.Uop{}
+		s.Next(&u)
+		if u.Kind != isa.FPAdd {
+			t.Fatalf("uop %d has kind %v", i, u.Kind)
+		}
+		if u.Dep1 != 0 || u.Dep2 != 0 {
+			t.Fatalf("uop %d carries dependencies", i)
+		}
+	}
+}
+
+func TestFUStreamIntensityDutyCycle(t *testing.T) {
+	s := FPMul().WithIntensity(0.3).NewStream(2)
+	var u isa.Uop
+	target := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		u = isa.Uop{}
+		s.Next(&u)
+		switch u.Kind {
+		case isa.FPMul:
+			target++
+		case isa.Nop:
+		default:
+			t.Fatalf("unexpected kind %v", u.Kind)
+		}
+	}
+	frac := float64(target) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Errorf("duty cycle %.3f, want ~0.30", frac)
+	}
+}
+
+// The memory Ruler reproduces Fig. 9(e)'s increment semantics: each load is
+// followed by a dependent store to the same address, within the footprint.
+func TestMemStreamIncrementSemantics(t *testing.T) {
+	r := L2(256 << 10)
+	s := r.NewStream(3)
+	var u isa.Uop
+	for i := 0; i < 10000; i++ {
+		u = isa.Uop{}
+		s.Next(&u)
+		if u.Kind != isa.Load {
+			t.Fatalf("pair %d did not start with a load (%v)", i, u.Kind)
+		}
+		if u.Addr >= r.FootprintBytes() {
+			t.Fatalf("address %#x outside footprint", u.Addr)
+		}
+		loadAddr := u.Addr
+		u = isa.Uop{}
+		s.Next(&u)
+		if u.Kind != isa.Store || u.Addr != loadAddr || u.Dep1 != 1 {
+			t.Fatalf("pair %d store = %+v, want dependent store to %#x", i, u, loadAddr)
+		}
+	}
+}
+
+// The literal Fig. 9(f) stride Ruler alternates halves with a 64-byte
+// stride.
+func TestStrideL3Pattern(t *testing.T) {
+	r := StrideL3(8 << 20)
+	s := r.NewStream(1)
+	half := r.FootprintBytes() / 2
+	var u isa.Uop
+	sawLow, sawHigh := false, false
+	for i := 0; i < 4000; i++ {
+		u = isa.Uop{}
+		s.Next(&u)
+		if u.Kind == isa.Load || u.Kind == isa.Store {
+			if u.Addr < half {
+				sawLow = true
+			} else {
+				sawHigh = true
+			}
+			if u.Addr%64 != 0 {
+				t.Fatalf("stride address %#x not line-aligned", u.Addr)
+			}
+		}
+	}
+	if !sawLow || !sawHigh {
+		t.Error("Fig. 9(f) ruler did not alternate between chunk halves")
+	}
+}
+
+func TestWithIntensityDutyCyclesMemRuler(t *testing.T) {
+	r := L3(8 << 20).WithIntensity(0.5)
+	s := r.NewStream(1).(*memStream)
+	if s.footBytes != 8<<20 {
+		t.Errorf("footprint changed to %d; intensity must not rescale it", s.footBytes)
+	}
+	if r.Name != "L3@0.50" {
+		t.Errorf("name = %q", r.Name)
+	}
+	// Roughly half the non-store slots become nops.
+	var u isa.Uop
+	nops, pairs := 0, 0
+	for i := 0; i < 40000; i++ {
+		u = isa.Uop{}
+		s.Next(&u)
+		switch u.Kind {
+		case isa.Nop:
+			nops++
+		case isa.Load:
+			pairs++
+		}
+	}
+	frac := float64(pairs) / float64(pairs+nops)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("duty cycle %.3f, want ~0.5", frac)
+	}
+}
+
+// Property: intensity is clamped into (0, 1].
+func TestWithIntensityClamps(t *testing.T) {
+	if err := quick.Check(func(x float64) bool {
+		r := FPAdd().WithIntensity(x)
+		return r.Intensity > 0 && r.Intensity <= 1
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMemStreamDeterminism(t *testing.T) {
+	a := L1(32 << 10).NewStream(7)
+	b := L1(32 << 10).NewStream(7)
+	var ua, ub isa.Uop
+	for i := 0; i < 1000; i++ {
+		ua, ub = isa.Uop{}, isa.Uop{}
+		a.Next(&ua)
+		b.Next(&ub)
+		if ua != ub {
+			t.Fatal("same-seed mem streams diverged")
+		}
+	}
+}
+
+func TestDimensionNames(t *testing.T) {
+	if DimFPMul.String() != "FP_MUL(P0)" || DimL3.String() != "L3" {
+		t.Error("dimension names wrong")
+	}
+	if !DimL1.IsMemory() || DimIntAdd.IsMemory() {
+		t.Error("IsMemory wrong")
+	}
+	if len(Dimensions()) != int(NumDimensions) {
+		t.Error("Dimensions() wrong length")
+	}
+}
+
+func TestPrewarmFootprintDeclared(t *testing.T) {
+	s := L3(8 << 20).NewStream(1)
+	fd, ok := s.(interface{ PrewarmFootprint() []uint64 })
+	if !ok {
+		t.Fatal("memory ruler stream does not declare its footprint")
+	}
+	sizes := fd.PrewarmFootprint()
+	if len(sizes) != 1 || sizes[0] != 8<<20 {
+		t.Errorf("declared %v", sizes)
+	}
+}

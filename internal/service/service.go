@@ -1,0 +1,101 @@
+// Package service models latency-sensitive WSC applications as queueing
+// systems: each worker thread owns a per-thread FCFS queue (the Memcached
+// arrangement the paper cites), so a service is k independent M/M/1 queues
+// whose service rate scales with the thread's achieved performance.
+//
+// It connects the simulator world to the QoS world: a co-location
+// degradation measured (or predicted) on the chip becomes a service-rate
+// reduction, which becomes average and percentile latency.
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/queueing"
+	"repro/internal/workload"
+)
+
+// Service is one deployed latency-sensitive application.
+type Service struct {
+	// Name labels the service.
+	Name string
+	// Mu is the per-thread service rate and Lambda the per-thread offered
+	// load (requests/second) at solo performance.
+	Mu, Lambda float64
+	// QoSPercentile is the percentile the service's latency SLO is
+	// defined at (0.90 in the paper's experiments).
+	QoSPercentile float64
+	// ReportsPercentile mirrors the paper's note that Data-Serving and
+	// Graph-Analytics do not export percentile statistics.
+	ReportsPercentile bool
+}
+
+// FromSpec builds the Service for a latency-sensitive workload spec.
+func FromSpec(spec *workload.Spec) (Service, error) {
+	if !spec.LatencySensitive() {
+		return Service{}, fmt.Errorf("service: %s is not latency-sensitive", spec.Name)
+	}
+	return Service{
+		Name:              spec.Name,
+		Mu:                spec.ServiceRate,
+		Lambda:            spec.ArrivalRate,
+		QoSPercentile:     0.90,
+		ReportsPercentile: spec.ReportsPercentile,
+	}, nil
+}
+
+// Queue returns the per-thread M/M/1 under a given degradation.
+func (s Service) Queue(deg float64) queueing.MM1 {
+	return queueing.MM1{Lambda: s.Lambda, Mu: (1 - deg) * s.Mu}
+}
+
+// PredictTail applies Equation 6: the closed-form percentile latency under
+// a (predicted) degradation.
+func (s Service) PredictTail(deg float64) float64 {
+	return queueing.DegradedPercentile(s.QoSPercentile, s.Mu, s.Lambda, deg)
+}
+
+// BaselineTail is the solo percentile latency.
+func (s Service) BaselineTail() float64 { return s.PredictTail(0) }
+
+// MeasureTail "measures" the percentile latency under a degradation by
+// running requests through the per-thread queue simulator — the measured
+// side of the paper's Figure 13 comparison.
+func (s Service) MeasureTail(deg float64, requests int, seed uint64) (float64, error) {
+	q := s.Queue(deg)
+	if err := q.Validate(); err != nil {
+		return 0, fmt.Errorf("service: %s under deg=%.3f: %w", s.Name, deg, err)
+	}
+	res, err := q.Simulate(requests, seed)
+	if err != nil {
+		return 0, err
+	}
+	return res.Percentile(s.QoSPercentile), nil
+}
+
+// TailQoS expresses tail-latency QoS as the solo-to-degraded latency ratio
+// (1.0 = unaffected, lower = worse). A saturated queue yields 0.
+func (s Service) TailQoS(deg float64) float64 {
+	t := s.PredictTail(deg)
+	if t <= 0 {
+		return 0
+	}
+	base := s.BaselineTail()
+	q := base / t
+	if q > 1 {
+		q = 1
+	}
+	return q
+}
+
+// AvgQoS expresses average-performance QoS as retained performance 1−deg.
+func AvgQoS(deg float64) float64 {
+	q := 1 - deg
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}

@@ -1,0 +1,106 @@
+package service
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func sampleService() Service {
+	return Service{Name: "svc", Mu: 1000, Lambda: 500, QoSPercentile: 0.9, ReportsPercentile: true}
+}
+
+func TestFromSpec(t *testing.T) {
+	ws, err := workload.ByName("web-search")
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := FromSpec(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Mu != ws.ServiceRate || svc.Lambda != ws.ArrivalRate || svc.QoSPercentile != 0.90 {
+		t.Errorf("FromSpec = %+v", svc)
+	}
+	batch, _ := workload.ByName("429.mcf")
+	if _, err := FromSpec(batch); err == nil {
+		t.Error("batch app accepted as a service")
+	}
+}
+
+func TestPredictTailBaseline(t *testing.T) {
+	svc := sampleService()
+	want := -math.Log(0.1) / 500 // (mu-lambda) = 500
+	if got := svc.BaselineTail(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("baseline p90 = %g, want %g", got, want)
+	}
+}
+
+// Property: tail latency grows with degradation; TailQoS shrinks.
+func TestTailMonotonicity(t *testing.T) {
+	svc := sampleService()
+	if err := quick.Check(func(a, b uint8) bool {
+		d1 := float64(a%40) / 100
+		d2 := float64(b%40) / 100
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		return svc.PredictTail(d1) <= svc.PredictTail(d2) && svc.TailQoS(d1) >= svc.TailQoS(d2)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTailQoSBounds(t *testing.T) {
+	svc := sampleService()
+	if q := svc.TailQoS(0); q != 1 {
+		t.Errorf("TailQoS(0) = %g", q)
+	}
+	if q := svc.TailQoS(0.6); q != 0 { // saturated
+		t.Errorf("TailQoS(saturated) = %g", q)
+	}
+}
+
+// The super-linear effect the paper highlights: at 50% load, a 30%
+// degradation must inflate tail latency by far more than 30%.
+func TestQueueingSuperLinearity(t *testing.T) {
+	svc := sampleService()
+	inflation := svc.PredictTail(0.30) / svc.BaselineTail()
+	if inflation < 2 {
+		t.Errorf("30%% degradation inflated p90 only %.2fx; queueing effect missing", inflation)
+	}
+}
+
+func TestMeasureTailMatchesPredictTail(t *testing.T) {
+	svc := sampleService()
+	for _, deg := range []float64{0, 0.2} {
+		measured, err := svc.MeasureTail(deg, 300_000, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		predicted := svc.PredictTail(deg)
+		if rel := math.Abs(measured-predicted) / predicted; rel > 0.05 {
+			t.Errorf("deg=%.1f: measured %.5f vs predicted %.5f", deg, measured, predicted)
+		}
+	}
+}
+
+func TestMeasureTailSaturationError(t *testing.T) {
+	svc := sampleService()
+	if _, err := svc.MeasureTail(0.9, 1000, 1); err == nil {
+		t.Error("saturated measurement accepted")
+	}
+}
+
+func TestAvgQoS(t *testing.T) {
+	cases := []struct{ deg, want float64 }{
+		{0, 1}, {0.25, 0.75}, {1.5, 0}, {-0.5, 1},
+	}
+	for _, c := range cases {
+		if got := AvgQoS(c.deg); got != c.want {
+			t.Errorf("AvgQoS(%g) = %g, want %g", c.deg, got, c.want)
+		}
+	}
+}

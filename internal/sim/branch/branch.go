@@ -1,0 +1,68 @@
+// Package branch implements the branch predictor substrate: a classic table
+// of 2-bit saturating counters indexed by branch tag.
+//
+// Branch behaviour matters to SMiTe in two ways: port 5 executes branches
+// (so branch-heavy SPEC_INT codes are sensitive to FP_SHF-Ruler pressure,
+// Finding 6), and branch mispredictions are one of the "other resources"
+// the model's constant term c0 absorbs (Section III-C2). The PMU baseline
+// model also consumes a branch-mispredictions/cycle counter.
+package branch
+
+// Predictor is a bimodal 2-bit saturating counter predictor.
+// It is not safe for concurrent use.
+type Predictor struct {
+	table []uint8
+	mask  uint32
+
+	predictions uint64
+	mispredicts uint64
+}
+
+// New builds a predictor with the given number of entries, which must be a
+// positive power of two.
+func New(entries int) *Predictor {
+	if entries <= 0 || entries&(entries-1) != 0 {
+		panic("branch: entries must be a positive power of two")
+	}
+	t := make([]uint8, entries)
+	for i := range t {
+		t[i] = 2 // weakly taken: matches the usual reset state
+	}
+	return &Predictor{table: t, mask: uint32(entries - 1)}
+}
+
+// Lookup predicts and immediately trains on the actual outcome, returning
+// whether the prediction was correct. The engine calls it once per
+// allocated branch uop.
+func (p *Predictor) Lookup(tag uint32, taken bool) (correct bool) {
+	i := tag & p.mask
+	ctr := p.table[i]
+	predicted := ctr >= 2
+	if taken && ctr < 3 {
+		p.table[i] = ctr + 1
+	} else if !taken && ctr > 0 {
+		p.table[i] = ctr - 1
+	}
+	p.predictions++
+	if predicted != taken {
+		p.mispredicts++
+		return false
+	}
+	return true
+}
+
+// Stats returns cumulative prediction and misprediction counts.
+func (p *Predictor) Stats() (predictions, mispredicts uint64) {
+	return p.predictions, p.mispredicts
+}
+
+// ResetStats zeroes the counters, keeping learned state.
+func (p *Predictor) ResetStats() { p.predictions, p.mispredicts = 0, 0 }
+
+// MispredictRate returns mispredictions per prediction (0 when idle).
+func (p *Predictor) MispredictRate() float64 {
+	if p.predictions == 0 {
+		return 0
+	}
+	return float64(p.mispredicts) / float64(p.predictions)
+}

@@ -1,0 +1,95 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestLearnsBiasedBranch(t *testing.T) {
+	p := New(1024)
+	// Always-taken branch: after warm-up, every prediction is correct.
+	for i := 0; i < 10; i++ {
+		p.Lookup(42, true)
+	}
+	p.ResetStats()
+	for i := 0; i < 1000; i++ {
+		if !p.Lookup(42, true) {
+			t.Fatal("mispredicted a saturated always-taken branch")
+		}
+	}
+	if r := p.MispredictRate(); r != 0 {
+		t.Errorf("mispredict rate = %g on a monomorphic branch", r)
+	}
+}
+
+func TestAlternatingBranchMispredicts(t *testing.T) {
+	p := New(1024)
+	taken := false
+	for i := 0; i < 64; i++ {
+		p.Lookup(7, taken)
+		taken = !taken
+	}
+	p.ResetStats()
+	wrong := 0
+	for i := 0; i < 1000; i++ {
+		if !p.Lookup(7, taken) {
+			wrong++
+		}
+		taken = !taken
+	}
+	// A 2-bit counter on strict alternation mispredicts heavily.
+	if wrong < 400 {
+		t.Errorf("only %d/1000 mispredictions on alternating branch", wrong)
+	}
+}
+
+func TestRandomOutcomesMispredictNearHalf(t *testing.T) {
+	p := New(4096)
+	rng := xrand.New(3)
+	for i := 0; i < 50000; i++ {
+		p.Lookup(uint32(rng.Intn(256)), rng.Bool(0.5))
+	}
+	r := p.MispredictRate()
+	if r < 0.4 || r > 0.6 {
+		t.Errorf("mispredict rate on random outcomes = %.3f, want ~0.5", r)
+	}
+}
+
+func TestBiasedOutcomesMispredictNearBias(t *testing.T) {
+	p := New(4096)
+	rng := xrand.New(4)
+	for i := 0; i < 50000; i++ {
+		p.Lookup(uint32(rng.Intn(64)), rng.Bool(0.9))
+	}
+	r := p.MispredictRate()
+	if r < 0.05 || r > 0.2 {
+		t.Errorf("mispredict rate on 90%%-biased branches = %.3f, want ~0.1", r)
+	}
+}
+
+func TestStats(t *testing.T) {
+	p := New(16)
+	p.Lookup(1, true)
+	p.Lookup(1, true)
+	preds, _ := p.Stats()
+	if preds != 2 {
+		t.Errorf("predictions = %d", preds)
+	}
+	p.ResetStats()
+	if preds, miss := p.Stats(); preds != 0 || miss != 0 {
+		t.Error("stats not reset")
+	}
+	if p.MispredictRate() != 0 {
+		t.Error("idle mispredict rate not 0")
+	}
+}
+
+func TestBadSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two table accepted")
+		}
+	}()
+	New(100)
+}

@@ -1,0 +1,169 @@
+// Package cache implements the set-associative cache model used at every
+// level of the simulated memory hierarchy (private L1D and L2, shared L3).
+//
+// The model is a classic tag array with true-LRU replacement. Hardware
+// contexts are given disjoint address spaces by the engine, so two
+// co-located applications never share lines but do contend for set capacity
+// — which is exactly the interference channel SMiTe's L1/L2/L3 Rulers probe.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/sim/isa"
+	"repro/internal/xrand"
+)
+
+// Cache is one level of set-associative cache with LRU replacement.
+// It is not safe for concurrent use.
+type Cache struct {
+	name      string
+	ways      int
+	sets      int
+	lineShift uint
+	setMask   uint64
+
+	tags   []uint64 // sets*ways entries
+	valid  []bool
+	stamp  []uint64 // LRU stamps
+	clock  uint64
+	policy isa.ReplacementPolicy
+	rng    *xrand.Rand // victim selection for PolicyRandom
+
+	hits   uint64
+	misses uint64
+	evicts uint64
+}
+
+// New builds a cache from the geometry in p. It panics on invalid geometry;
+// configurations are validated by isa.Config.Validate before reaching here.
+func New(name string, p isa.CacheParams) *Cache {
+	sets := p.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: %s: set count %d must be a positive power of two", name, sets))
+	}
+	shift := uint(0)
+	for l := p.LineBytes; l > 1; l >>= 1 {
+		shift++
+	}
+	if 1<<shift != p.LineBytes {
+		panic(fmt.Sprintf("cache: %s: line size %d must be a power of two", name, p.LineBytes))
+	}
+	n := sets * p.Ways
+	return &Cache{
+		name:      name,
+		ways:      p.Ways,
+		sets:      sets,
+		lineShift: shift,
+		setMask:   uint64(sets - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		stamp:     make([]uint64, n),
+		policy:    p.Policy,
+		rng:       xrand.New(uint64(len(name))*0x9E3779B97F4A7C15 + uint64(n)),
+	}
+}
+
+// Name returns the label given at construction.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets; Ways the associativity.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Access looks up addr and, when allocate is true, fills the line on a miss
+// (evicting the LRU way). It returns true on a hit.
+func (c *Cache) Access(addr uint64, allocate bool) bool {
+	c.clock++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line // full line id as tag: unambiguous and cheap
+	base := set * c.ways
+
+	victim := base
+	oldest := ^uint64(0)
+	haveInvalid := false
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			c.hits++
+			c.stamp[i] = c.clock
+			return true
+		}
+		if !c.valid[i] {
+			if !haveInvalid { // prefer invalid ways under either policy
+				victim = i
+				haveInvalid = true
+				oldest = 0
+			}
+			continue
+		}
+		if !haveInvalid && c.stamp[i] < oldest {
+			victim = i
+			oldest = c.stamp[i]
+		}
+	}
+	c.misses++
+	if c.policy == isa.PolicyRandom && !haveInvalid {
+		victim = base + c.rng.Intn(c.ways)
+	}
+	if allocate {
+		if c.valid[victim] {
+			c.evicts++
+		}
+		c.valid[victim] = true
+		c.tags[victim] = tag
+		c.stamp[victim] = c.clock
+	}
+	return false
+}
+
+// Contains reports whether addr is currently resident, without touching LRU
+// state or counters. Intended for tests and invariant checks.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line
+	base := set * c.ways
+	for i := base; i < base+c.ways; i++ {
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns cumulative hit/miss/eviction counts.
+func (c *Cache) Stats() (hits, misses, evicts uint64) {
+	return c.hits, c.misses, c.evicts
+}
+
+// ResetStats zeroes the counters without disturbing cache contents, so
+// measurement windows can exclude warm-up.
+func (c *Cache) ResetStats() {
+	c.hits, c.misses, c.evicts = 0, 0, 0
+}
+
+// Flush invalidates every line and zeroes statistics.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.tags[i] = 0
+		c.stamp[i] = 0
+	}
+	c.clock = 0
+	c.ResetStats()
+}
+
+// Occupancy returns the fraction of valid lines, a cheap proxy for how much
+// of the capacity a workload has claimed.
+func (c *Cache) Occupancy() float64 {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.valid))
+}

@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/isa"
+	"repro/internal/xrand"
+)
+
+func lruParams() isa.CacheParams {
+	return isa.CacheParams{SizeBytes: 4096, Ways: 4, LineBytes: 64, Policy: isa.PolicyLRU}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	c := New("t", lruParams())
+	if c.Access(0x1000, true) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0x1000, true) {
+		t.Error("second access missed")
+	}
+	if !c.Access(0x103F, true) {
+		t.Error("same-line access missed")
+	}
+	if c.Access(0x1040, true) {
+		t.Error("next line hit without fill")
+	}
+	hits, misses, _ := c.Stats()
+	if hits != 2 || misses != 2 {
+		t.Errorf("stats = %d/%d, want 2/2", hits, misses)
+	}
+}
+
+func TestNoAllocateLeavesCacheCold(t *testing.T) {
+	c := New("t", lruParams())
+	c.Access(0x2000, false)
+	if c.Contains(0x2000) {
+		t.Error("non-allocating miss installed a line")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	p := lruParams() // 16 sets × 4 ways
+	c := New("t", p)
+	setStride := uint64(p.LineBytes * p.Sets()) // same-set stride
+	// Fill one set's 4 ways.
+	for w := uint64(0); w < 4; w++ {
+		c.Access(w*setStride, true)
+	}
+	// Touch way 0 so way 1 becomes LRU.
+	c.Access(0, true)
+	// A fifth line must evict way 1, keeping way 0.
+	c.Access(4*setStride, true)
+	if !c.Contains(0) {
+		t.Error("recently used line evicted")
+	}
+	if c.Contains(1 * setStride) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	c := New("t", lruParams())
+	c.Access(0x40, true)
+	c.Flush()
+	if c.Contains(0x40) {
+		t.Error("line survived flush")
+	}
+	if h, m, _ := c.Stats(); h != 0 || m != 0 {
+		t.Error("stats survived flush")
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	c := New("t", lruParams())
+	c.Access(0x40, true)
+	c.ResetStats()
+	if !c.Contains(0x40) {
+		t.Error("ResetStats dropped contents")
+	}
+	if h, m, _ := c.Stats(); h != 0 || m != 0 {
+		t.Error("counters not reset")
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	p := lruParams()
+	c := New("t", p)
+	if c.Occupancy() != 0 {
+		t.Error("fresh cache not empty")
+	}
+	// Fill the whole cache with distinct lines.
+	lines := p.SizeBytes / p.LineBytes
+	for i := 0; i < lines; i++ {
+		c.Access(uint64(i*p.LineBytes), true)
+	}
+	if c.Occupancy() != 1 {
+		t.Errorf("occupancy = %g after filling", c.Occupancy())
+	}
+}
+
+// Property: a line just accessed with allocate=true is always Contains,
+// under either policy.
+func TestAccessThenContains(t *testing.T) {
+	for _, pol := range []isa.ReplacementPolicy{isa.PolicyLRU, isa.PolicyRandom} {
+		p := lruParams()
+		p.Policy = pol
+		c := New("t", p)
+		if err := quick.Check(func(addr uint64) bool {
+			c.Access(addr, true)
+			return c.Contains(addr)
+		}, &quick.Config{MaxCount: 500}); err != nil {
+			t.Errorf("policy %v: %v", pol, err)
+		}
+	}
+}
+
+// Property: working sets within capacity converge to 100% hit rate.
+func TestResidentWorkingSetHits(t *testing.T) {
+	for _, pol := range []isa.ReplacementPolicy{isa.PolicyLRU, isa.PolicyRandom} {
+		p := lruParams()
+		p.Policy = pol
+		c := New("t", p)
+		lines := p.SizeBytes / p.LineBytes
+		rng := xrand.New(5)
+		// Two full passes to install, then measure.
+		for pass := 0; pass < 2; pass++ {
+			for i := 0; i < lines; i++ {
+				c.Access(uint64(i*p.LineBytes), true)
+			}
+		}
+		c.ResetStats()
+		for i := 0; i < 10000; i++ {
+			c.Access(uint64(rng.Intn(lines)*p.LineBytes), true)
+		}
+		hits, misses, _ := c.Stats()
+		if misses != 0 {
+			t.Errorf("policy %v: %d misses on a resident working set (hits %d)", pol, misses, hits)
+		}
+	}
+}
+
+// Random replacement shares capacity smoothly between two competing
+// streams in proportion to their insertion rates.
+func TestRandomPolicySharesByRate(t *testing.T) {
+	p := isa.CacheParams{SizeBytes: 64 << 10, Ways: 8, LineBytes: 64, Policy: isa.PolicyRandom}
+	c := New("t", p)
+	rng := xrand.New(9)
+	// Stream A inserts 3× as often as stream B; both overflow the cache.
+	baseA, baseB := uint64(1)<<30, uint64(2)<<30
+	regionLines := uint64(4096) // 256 KiB each, 4× the capacity combined
+	for i := 0; i < 400000; i++ {
+		if rng.Intn(4) != 3 {
+			c.Access(baseA+rng.Uint64n(regionLines)*64, true)
+		} else {
+			c.Access(baseB+rng.Uint64n(regionLines)*64, true)
+		}
+	}
+	a, b := 0, 0
+	for i := uint64(0); i < regionLines; i++ {
+		if c.Contains(baseA + i*64) {
+			a++
+		}
+		if c.Contains(baseB + i*64) {
+			b++
+		}
+	}
+	ratio := float64(a) / float64(b)
+	if ratio < 2 || ratio > 4.5 {
+		t.Errorf("occupancy ratio %d/%d = %.2f, want ≈3 (insertion-rate proportional)", a, b, ratio)
+	}
+}
+
+func TestInvalidGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two sets accepted")
+		}
+	}()
+	New("bad", isa.CacheParams{SizeBytes: 3000, Ways: 3, LineBytes: 64})
+}

@@ -1,0 +1,767 @@
+// Package engine implements the cycle-approximate multicore SMT processor
+// simulator that substitutes for the paper's real Sandy Bridge / Ivy Bridge
+// testbed.
+//
+// Each core has two hardware contexts that *competitively share* everything
+// SMiTe identifies as an SMT interference dimension:
+//
+//   - the six execution ports (one micro-op per port per cycle, arbitration
+//     alternates priority between contexts every cycle),
+//   - the front end (4-wide allocation alternates between contexts; a
+//     stalled or full context yields its slot, as on real HyperThreading),
+//   - the private L1D and L2 caches, the DTLB and the branch predictor,
+//
+// while all cores share the L3 and a bandwidth-limited memory controller.
+// Performance interference between co-located streams therefore *emerges*
+// from the same mechanisms the paper measures, rather than being asserted.
+//
+// Deliberate approximations (documented per DESIGN.md):
+//   - Branch mispredictions stall the front end from resolve for the flush
+//     penalty instead of squashing in-flight younger uops.
+//   - Instruction-cache and ITLB misses are produced by the workload
+//     generator (from its code footprint) rather than a simulated L1I.
+//   - Stores complete through a store buffer at a fixed latency; their
+//     hierarchy side effects (fills, bandwidth) are still modelled.
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/sim/branch"
+	"repro/internal/sim/cache"
+	"repro/internal/sim/isa"
+	"repro/internal/sim/mem"
+	"repro/internal/sim/pmu"
+	"repro/internal/sim/tlb"
+)
+
+// Stream produces the dynamic micro-op stream of one hardware context.
+// Implementations (workload models, Rulers) must be deterministic given
+// their construction seed. Next must overwrite all fields it uses; the
+// engine passes a zeroed Uop.
+type Stream interface {
+	Next(u *isa.Uop)
+}
+
+// FootprintDeclarer is an optional Stream extension: streams that keep
+// byte ranges resident over a long execution declare their sizes (regions
+// all start at the stream's address 0 and nest, so only sizes are needed).
+// Chip.Prewarm installs qualifying regions directly into the cache
+// hierarchy, approximating the steady-state residency that minutes of real
+// execution would establish but short simulation windows cannot.
+type FootprintDeclarer interface {
+	// PrewarmFootprint returns region sizes in bytes, measured from the
+	// stream's address 0.
+	PrewarmFootprint() []uint64
+}
+
+// noDep marks an absent dependency.
+const noDep = ^uint64(0)
+
+// robEntry is one in-flight micro-op.
+type robEntry struct {
+	kind       isa.UopKind
+	ports      isa.PortMask
+	dep1, dep2 uint64 // absolute sequence numbers, noDep if none
+	addr       uint64
+	completeAt uint64
+	// notReadyUntil caches the earliest cycle this entry's dependencies
+	// could be satisfied, so the scheduler skips re-checking them.
+	notReadyUntil uint64
+	issued        bool
+	mispredict    bool
+}
+
+// Context is one SMT hardware context: a stream, a private reorder buffer
+// and its PMU counters.
+type Context struct {
+	stream   Stream
+	active   bool
+	addrBase uint64
+	brSalt   uint32
+
+	rob        []robEntry
+	robMask    uint64 // len(rob)-1; ROB sizes are powers of two
+	head, tail uint64 // absolute sequence numbers; entry i lives at rob[i&robMask]
+
+	fetchStallUntil uint64
+	missFree        []uint64 // completion cycles of outstanding L1D misses
+	missMin         uint64   // earliest entry in missFree (fast-path skip)
+	streams         []uint64 // stream prefetcher: last line id per tracked stream
+	streamLRU       []uint64 // last-use stamps for stream replacement
+	dtlb            *tlb.TLB // per-context half of the statically partitioned DTLB
+
+	ctr pmu.Counters
+}
+
+func (c *Context) entry(seq uint64) *robEntry {
+	return &c.rob[seq&c.robMask]
+}
+
+// depReady reports whether the dependency at absolute sequence dep has
+// produced its result by cycle now.
+func (c *Context) depReady(dep, now uint64) bool {
+	if dep == noDep || dep < c.head {
+		return true // retired (or no dependency)
+	}
+	e := c.entry(dep)
+	return e.issued && e.completeAt <= now
+}
+
+// depHint reports whether e's dependencies are satisfied at now; when they
+// are not, it returns the earliest future cycle at which a re-check could
+// succeed (now+1 if a dependency has not even issued yet).
+func (c *Context) depHint(e *robEntry, now uint64) (hint uint64, ready bool) {
+	hint = now
+	for _, dep := range [2]uint64{e.dep1, e.dep2} {
+		if dep == noDep || dep < c.head {
+			continue
+		}
+		d := c.entry(dep)
+		if !d.issued {
+			if hint < now+1 {
+				hint = now + 1
+			}
+			continue
+		}
+		if d.completeAt > hint {
+			hint = d.completeAt
+		}
+	}
+	return hint, hint <= now
+}
+
+// Core is one physical core: two contexts sharing private caches, the DTLB,
+// the branch predictor and the execution ports.
+type Core struct {
+	chip *Chip
+	idx  int
+
+	ctxs [2]*Context
+
+	l1d  *cache.Cache
+	l2   *cache.Cache
+	pred *branch.Predictor
+}
+
+// Chip is the full simulated processor.
+// It is not safe for concurrent use; run independent experiments on
+// independent Chips.
+type Chip struct {
+	cfg   isa.Config
+	cores []*Core
+	l3    *cache.Cache
+	memc  *mem.Controller
+	cycle uint64
+}
+
+// New builds a chip for the given configuration. It returns an error if the
+// configuration is invalid.
+func New(cfg isa.Config) (*Chip, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Chip{
+		cfg:  cfg,
+		l3:   cache.New("L3", cfg.L3),
+		memc: mem.New(cfg.MemBaseLatency, cfg.MemServiceInterval),
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		co := &Core{
+			chip: c,
+			idx:  i,
+			l1d:  cache.New(fmt.Sprintf("core%d.L1D", i), cfg.L1D),
+			l2:   cache.New(fmt.Sprintf("core%d.L2", i), cfg.L2),
+			pred: branch.New(cfg.BranchPredictorEntries),
+		}
+		for k := range co.ctxs {
+			gid := i*cfg.ContextsPerCore + k
+			co.ctxs[k] = &Context{
+				rob:      make([]robEntry, cfg.ROBSize),
+				robMask:  uint64(cfg.ROBSize - 1),
+				addrBase: (uint64(gid) + 1) << 44,
+				brSalt:   uint32(gid+1) * 0x9E3779B9,
+				missFree: make([]uint64, 0, cfg.MSHRsPerContext),
+				// The DTLB is statically partitioned between the two
+				// hardware contexts, as several per-thread front-end
+				// structures are on real SMT parts; this keeps TLB reach
+				// identical between solo and co-located runs.
+				dtlb: tlb.New(cfg.DTLBEntries/cfg.ContextsPerCore, cfg.PageBytes),
+			}
+			if cfg.StreamPrefetcher {
+				ns := cfg.PrefetchStreams
+				if ns < 1 {
+					ns = 4
+				}
+				co.ctxs[k].streams = make([]uint64, ns)
+				co.ctxs[k].streamLRU = make([]uint64, ns)
+				for i := range co.ctxs[k].streams {
+					co.ctxs[k].streams[i] = ^uint64(0)
+				}
+			}
+		}
+		c.cores = append(c.cores, co)
+	}
+	return c, nil
+}
+
+// MustNew is New but panics on error; convenient for tests and internal
+// callers that pass stock configurations.
+func MustNew(cfg isa.Config) *Chip {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the chip's configuration.
+func (c *Chip) Config() isa.Config { return c.cfg }
+
+// Cycle returns the current simulation cycle.
+func (c *Chip) Cycle() uint64 { return c.cycle }
+
+// Assign places a stream on the given hardware context. Passing a nil
+// stream deactivates the context. Assign resets the context's pipeline
+// state and counters but leaves shared state (caches, predictor) warm.
+func (c *Chip) Assign(core, ctx int, s Stream) {
+	if core < 0 || core >= len(c.cores) || ctx < 0 || ctx >= c.cfg.ContextsPerCore {
+		panic(fmt.Sprintf("engine: Assign(%d,%d) out of range for %d cores × %d contexts", core, ctx, len(c.cores), c.cfg.ContextsPerCore))
+	}
+	x := c.cores[core].ctxs[ctx]
+	x.stream = s
+	x.active = s != nil
+	x.head, x.tail = 0, 0
+	x.fetchStallUntil = 0
+	x.missFree = x.missFree[:0]
+	x.missMin = ^uint64(0)
+	for i := range x.streams {
+		x.streams[i] = ^uint64(0)
+		x.streamLRU[i] = 0
+	}
+	x.ctr = pmu.Counters{}
+}
+
+// Counters returns a snapshot of the context's cumulative PMU counters.
+func (c *Chip) Counters(core, ctx int) pmu.Counters {
+	return c.cores[core].ctxs[ctx].ctr
+}
+
+// ResetCounters zeroes every context's PMU counters (and the shared
+// structures' statistics), marking the start of a measurement window while
+// keeping all microarchitectural state warm.
+func (c *Chip) ResetCounters() {
+	for _, co := range c.cores {
+		for _, x := range co.ctxs {
+			x.ctr = pmu.Counters{}
+		}
+		co.l1d.ResetStats()
+		co.l2.ResetStats()
+		co.pred.ResetStats()
+		for _, x := range co.ctxs {
+			x.dtlb.ResetStats()
+		}
+	}
+	c.l3.ResetStats()
+	c.memc.ResetStats()
+}
+
+// L3 exposes the shared cache for tests and occupancy inspection.
+func (c *Chip) L3() *cache.Cache { return c.l3 }
+
+// Memory exposes the memory controller statistics.
+func (c *Chip) Memory() *mem.Controller { return c.memc }
+
+// CoreL1D exposes a core's private L1D (tests, occupancy inspection).
+func (c *Chip) CoreL1D(core int) *cache.Cache { return c.cores[core].l1d }
+
+// CoreL2 exposes a core's private L2.
+func (c *Chip) CoreL2(core int) *cache.Cache { return c.cores[core].l2 }
+
+// Prewarm functionally executes n micro-ops from every active context's
+// stream, round-robin in small chunks, installing data footprints into the
+// TLBs and cache hierarchy without advancing simulated time or touching the
+// memory controller. It approximates the cache state a long-running
+// co-location would have reached, which matters for working sets (multi-MiB
+// warm regions) that timed warm-up windows cannot touch often enough.
+// Counter pollution is removed by the ResetCounters call that starts every
+// measurement window.
+func (c *Chip) Prewarm(n int) {
+	c.prewarmFootprints()
+	const chunk = 64
+	var u isa.Uop
+	for done := 0; done < n; done += chunk {
+		for _, co := range c.cores {
+			for _, x := range co.ctxs {
+				if x == nil || !x.active {
+					continue
+				}
+				for i := 0; i < chunk; i++ {
+					u = isa.Uop{}
+					x.stream.Next(&u)
+					switch u.Kind {
+					case isa.Branch:
+						// Train the predictor in uop time: large branch
+						// working sets take hundreds of thousands of
+						// cycles to converge in timed execution.
+						co.pred.Lookup(u.BrTag*2654435761+x.brSalt, u.Taken)
+					case isa.Load, isa.Store:
+						addr := x.addrBase | u.Addr
+						x.dtlb.Access(addr)
+						if co.l1d.Access(addr, true) {
+							continue
+						}
+						if co.l2.Access(addr, true) {
+							continue
+						}
+						c.l3.Access(addr, true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// prewarmFootprints installs each active context's declared resident
+// regions into its core's caches and the L3. A region qualifies when it
+// fits within twice the L3 capacity (larger regions have no steady-state
+// residency to model). Regions nest at address 0, so only the largest
+// qualifying size is walked. The job on context 0 is installed before its
+// sibling on context 1, matching the steady state in which the
+// higher-rate co-runner (a Ruler) owns contended lines.
+func (c *Chip) prewarmFootprints() {
+	line := uint64(c.cfg.L3.LineBytes)
+	type job struct {
+		co   *Core
+		x    *Context
+		size uint64
+		pos  uint64
+	}
+	var jobs []job
+	for _, co := range c.cores {
+		for _, x := range co.ctxs {
+			if x == nil || !x.active {
+				continue
+			}
+			fd, ok := x.stream.(FootprintDeclarer)
+			if !ok {
+				continue
+			}
+			size := uint64(0)
+			for _, s := range fd.PrewarmFootprint() {
+				if s > size {
+					size = s
+				}
+			}
+			if size > 0 {
+				jobs = append(jobs, job{co: co, x: x, size: size})
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	// Allocate installation budgets max-min fairly within the L3 capacity:
+	// contexts with small resident sets install them fully (a small,
+	// frequently re-touched working set retains near-full occupancy at
+	// steady state), while larger footprints split the remaining capacity.
+	// Flooding the cache with one context's huge footprint would start the
+	// measurement window from a state no steady state resembles.
+	for j := range jobs {
+		if max := uint64(c.cfg.L3.SizeBytes); jobs[j].size > max {
+			jobs[j].size = max
+		}
+	}
+	remaining := uint64(c.cfg.L3.SizeBytes)
+	unmet := len(jobs)
+	// Iteratively satisfy the smallest demands.
+	done := make([]bool, len(jobs))
+	for unmet > 0 {
+		share := remaining / uint64(unmet)
+		progressed := false
+		for j := range jobs {
+			if !done[j] && jobs[j].size <= share {
+				done[j] = true
+				remaining -= jobs[j].size
+				unmet--
+				progressed = true
+			}
+		}
+		if !progressed {
+			for j := range jobs {
+				if !done[j] {
+					jobs[j].size = share
+					done[j] = true
+					remaining -= share
+					unmet--
+				}
+			}
+		}
+	}
+	// Interleave installs across contexts in chunks so shared-cache LRU
+	// starts from a fair mixture rather than last-writer-wins.
+	const chunk = 16
+	for {
+		busy := false
+		for j := range jobs {
+			jb := &jobs[j]
+			for n := uint64(0); n < chunk && jb.pos < jb.size; n++ {
+				a := jb.x.addrBase | jb.pos
+				jb.x.dtlb.Access(a)
+				if !jb.co.l1d.Access(a, true) {
+					if !jb.co.l2.Access(a, true) {
+						c.l3.Access(a, true)
+					}
+				}
+				jb.pos += line
+			}
+			if jb.pos < jb.size {
+				busy = true
+			}
+		}
+		if !busy {
+			return
+		}
+	}
+}
+
+// Run advances the chip by the given number of cycles.
+func (c *Chip) Run(cycles uint64) {
+	for n := uint64(0); n < cycles; n++ {
+		now := c.cycle
+		for _, co := range c.cores {
+			co.step(now)
+		}
+		c.cycle++
+		for _, co := range c.cores {
+			for _, x := range co.ctxs {
+				if x.active {
+					x.ctr.Cycles++
+				}
+			}
+		}
+	}
+}
+
+// step advances one core by one cycle: expire MSHRs, retire, issue, fetch.
+func (co *Core) step(now uint64) {
+	anyActive := false
+	for _, x := range co.ctxs {
+		if x == nil || !x.active {
+			continue
+		}
+		anyActive = true
+		x.expireMisses(now)
+		x.retire(now, co.chip.cfg.RetireWidth)
+	}
+	if !anyActive {
+		return
+	}
+	co.issue(now)
+	co.fetch(now)
+}
+
+func (x *Context) expireMisses(now uint64) {
+	if len(x.missFree) == 0 || x.missMin > now {
+		return
+	}
+	out := x.missFree[:0]
+	earliest := ^uint64(0)
+	for _, t := range x.missFree {
+		if t > now {
+			out = append(out, t)
+			if t < earliest {
+				earliest = t
+			}
+		}
+	}
+	x.missFree = out
+	x.missMin = earliest
+}
+
+func (x *Context) retire(now uint64, width int) {
+	for n := 0; n < width && x.head < x.tail; n++ {
+		e := x.entry(x.head)
+		if !e.issued || e.completeAt > now {
+			return
+		}
+		x.head++
+		x.ctr.Instructions++
+	}
+}
+
+// issue performs the per-cycle dispatch: context priority alternates every
+// cycle; the priority context's oldest ready micro-ops claim free ports
+// first (each port accepts one micro-op per cycle), then the sibling fills
+// what remains. Under saturation each context therefore receives half of a
+// contended port's slots, which is the competitive sharing SMiTe measures.
+func (co *Core) issue(now uint64) {
+	free := isa.PortMask(1<<isa.NumPorts - 1)
+	pri := int(now+uint64(co.idx)) & 1
+	for t := 0; t < 2 && free != 0; t++ {
+		x := co.ctxs[(pri+t)&1]
+		if x == nil || !x.active {
+			continue
+		}
+		free = co.issueFrom(x, free, now)
+	}
+}
+
+// issueFrom scans x's oldest IssueScanDepth ROB entries (the reservation-
+// station view) oldest-first, dispatching each ready micro-op to the lowest
+// free port in its mask. It returns the ports still free.
+func (co *Core) issueFrom(x *Context, free isa.PortMask, now uint64) isa.PortMask {
+	cfg := &co.chip.cfg
+	mshrFull := len(x.missFree) >= cfg.MSHRsPerContext
+	limit := x.head + uint64(cfg.IssueScanDepth)
+	if limit > x.tail {
+		limit = x.tail
+	}
+	for s := x.head; s < limit && free != 0; s++ {
+		e := x.entry(s)
+		if e.issued || e.notReadyUntil > now {
+			continue
+		}
+		avail := e.ports & free
+		if avail == 0 {
+			continue
+		}
+		if mshrFull && (e.kind == isa.Load || e.kind == isa.Store) {
+			continue
+		}
+		if hint, ready := x.depHint(e, now); !ready {
+			e.notReadyUntil = hint
+			continue
+		}
+		p := isa.Port(bits.TrailingZeros8(uint8(avail)))
+		co.execute(x, e, p, now)
+		free &^= 1 << p
+	}
+	return free
+}
+
+// execute dispatches e on port p at cycle now, computing its completion.
+func (co *Core) execute(x *Context, e *robEntry, p isa.Port, now uint64) {
+	cfg := &co.chip.cfg
+	e.issued = true
+	x.ctr.PortUops[p]++
+	switch e.kind {
+	case isa.Load:
+		lat, missed := co.loadLatency(x, e.addr, now)
+		e.completeAt = now + lat
+		if missed {
+			x.missFree = append(x.missFree, e.completeAt)
+			if e.completeAt < x.missMin || len(x.missFree) == 1 {
+				x.missMin = e.completeAt
+			}
+		}
+	case isa.Store:
+		fillAt, missed := co.storeAccess(x, e.addr, now)
+		// The store itself completes through the store buffer, but a
+		// missing store occupies an MSHR until its fill returns — that
+		// backpressure bounds a store stream's memory-bandwidth demand.
+		e.completeAt = now + cfg.StoreLatency
+		if missed {
+			x.missFree = append(x.missFree, fillAt)
+			if fillAt < x.missMin || len(x.missFree) == 1 {
+				x.missMin = fillAt
+			}
+		}
+	case isa.Branch:
+		e.completeAt = now + cfg.Latency[isa.Branch]
+		if e.mispredict {
+			until := e.completeAt + cfg.MispredictPenalty
+			if until > x.fetchStallUntil {
+				x.fetchStallUntil = until
+			}
+		}
+	default:
+		e.completeAt = now + cfg.Latency[e.kind]
+	}
+}
+
+// streamHit reports whether line continues a tracked ascending stream of
+// context x, training the prefetcher either way.
+func (x *Context) streamHit(line, now uint64) bool {
+	if x.streams == nil {
+		return false
+	}
+	for i, last := range x.streams {
+		if line == last+1 {
+			x.streams[i] = line
+			x.streamLRU[i] = now
+			return true
+		}
+	}
+	// Allocate the least-recently-used stream slot.
+	victim, oldest := 0, ^uint64(0)
+	for i, st := range x.streamLRU {
+		if x.streams[i] == ^uint64(0) {
+			victim = i
+			break
+		}
+		if st < oldest {
+			victim, oldest = i, st
+		}
+	}
+	x.streams[victim] = line
+	x.streamLRU[victim] = now
+	return false
+}
+
+// loadLatency walks the hierarchy for a load, returning the load-to-use
+// latency and whether it missed the L1D (occupying an MSHR).
+func (co *Core) loadLatency(x *Context, addr uint64, now uint64) (lat uint64, missedL1 bool) {
+	cfg := &co.chip.cfg
+	x.ctr.Loads++
+	if !x.dtlb.Access(addr) {
+		lat += cfg.DTLBMissPenalty
+		x.ctr.DTLBLoadMisses++
+	}
+	if co.l1d.Access(addr, true) {
+		x.ctr.L1DHits++
+		return lat + cfg.L1D.LatencyCycles, false
+	}
+	x.ctr.L1DMisses++
+	streamed := x.streamHit(addr>>6, now)
+	if co.l2.Access(addr, true) {
+		x.ctr.L2Hits++
+		return lat + cfg.L2.LatencyCycles, true
+	}
+	x.ctr.L2Misses++
+	if co.chip.l3.Access(addr, true) {
+		x.ctr.L3Hits++
+		return lat + cfg.L3.LatencyCycles, true
+	}
+	x.ctr.L3Misses++
+	x.ctr.MemAccesses++
+	complete := co.chip.memc.Request(now)
+	if streamed {
+		// The stream prefetcher fetched this line ahead of the demand:
+		// the DRAM base latency is hidden, but bandwidth queueing is not,
+		// and a prefetched DRAM line is never faster than an L3 hit.
+		l := cfg.L2.LatencyCycles + (complete - now - cfg.MemBaseLatency)
+		if l < cfg.L3.LatencyCycles {
+			l = cfg.L3.LatencyCycles
+		}
+		return lat + l, true
+	}
+	return lat + cfg.L3.LatencyCycles + (complete - now), true
+}
+
+// storeAccess performs a store's hierarchy side effects (write-allocate
+// fills, DRAM bandwidth consumption), returning when the fill completes and
+// whether the L1 missed (occupying an MSHR until fillAt).
+func (co *Core) storeAccess(x *Context, addr uint64, now uint64) (fillAt uint64, missedL1 bool) {
+	cfg := &co.chip.cfg
+	x.ctr.Stores++
+	if !x.dtlb.Access(addr) {
+		x.ctr.DTLBStoreMisses++
+	}
+	if co.l1d.Access(addr, true) {
+		x.ctr.L1DHits++
+		return now, false
+	}
+	x.ctr.L1DMisses++
+	streamed := x.streamHit(addr>>6, now)
+	if co.l2.Access(addr, true) {
+		x.ctr.L2Hits++
+		return now + cfg.L2.LatencyCycles, true
+	}
+	x.ctr.L2Misses++
+	if co.chip.l3.Access(addr, true) {
+		x.ctr.L3Hits++
+		return now + cfg.L3.LatencyCycles, true
+	}
+	x.ctr.L3Misses++
+	x.ctr.MemAccesses++
+	complete := co.chip.memc.Request(now)
+	if streamed {
+		l := cfg.L2.LatencyCycles + (complete - now - cfg.MemBaseLatency)
+		if l < cfg.L3.LatencyCycles {
+			l = cfg.L3.LatencyCycles
+		}
+		return now + l, true
+	}
+	return complete, true
+}
+
+// fetch allocates up to FetchWidth micro-ops per cycle. Front-end priority
+// alternates between the contexts each cycle, but the front end is
+// work-conserving: allocation slots the primary context cannot use (stall,
+// full ROB, idle) flow to its sibling. This mirrors how a tiny
+// loop-buffer-resident Ruler on real hardware leaves fetch bandwidth to its
+// co-runner, and is what keeps the functional-unit Rulers decoupled from
+// the front-end dimension.
+func (co *Core) fetch(now uint64) {
+	cfg := &co.chip.cfg
+	width := cfg.FetchWidth
+	first := int(now+uint64(co.idx)) & 1
+	for t := 0; t < 2 && width > 0; t++ {
+		x := co.ctxs[(first+t)&1]
+		if x == nil || !x.active || x.fetchStallUntil > now {
+			continue
+		}
+		width -= co.fetchInto(x, now, width)
+	}
+}
+
+// fetchInto allocates up to width micro-ops into x's ROB, returning the
+// number allocated.
+func (co *Core) fetchInto(x *Context, now uint64, width int) int {
+	cfg := &co.chip.cfg
+	var u isa.Uop
+	for n := 0; n < width; n++ {
+		if x.tail-x.head >= uint64(cfg.ROBSize) {
+			return n
+		}
+		u = isa.Uop{}
+		x.stream.Next(&u)
+
+		if u.ICacheMiss {
+			x.ctr.ICacheMisses++
+			until := now + cfg.ICacheMissPenalty
+			if until > x.fetchStallUntil {
+				x.fetchStallUntil = until
+			}
+		}
+		if u.ITLBMiss {
+			x.ctr.ITLBMisses++
+			until := now + cfg.ITLBMissPenalty
+			if until > x.fetchStallUntil {
+				x.fetchStallUntil = until
+			}
+		}
+
+		seq := x.tail
+		e := x.entry(seq)
+		*e = robEntry{kind: u.Kind, ports: cfg.PortMap[u.Kind], dep1: noDep, dep2: noDep}
+		if d := uint64(u.Dep1); d > 0 && d <= seq {
+			e.dep1 = seq - d
+		}
+		if d := uint64(u.Dep2); d > 0 && d <= seq {
+			e.dep2 = seq - d
+		}
+		switch u.Kind {
+		case isa.Nop:
+			// Nops consume front-end and ROB bandwidth but no port.
+			e.issued = true
+			e.completeAt = now
+		case isa.Load, isa.Store:
+			e.addr = x.addrBase | u.Addr
+		case isa.Branch:
+			x.ctr.Branches++
+			if !co.pred.Lookup(u.BrTag*2654435761+x.brSalt, u.Taken) {
+				e.mispredict = true
+				x.ctr.BranchMispredicts++
+			}
+		}
+		x.tail++
+
+		if x.fetchStallUntil > now {
+			return n + 1 // front-end stall takes effect immediately
+		}
+	}
+	return width
+}

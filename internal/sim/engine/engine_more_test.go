@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/rulers"
+	"repro/internal/sim/isa"
+	"repro/internal/workload"
+)
+
+// streamFunc adapts a function to the Stream interface.
+type streamFunc func(u *isa.Uop)
+
+func (f streamFunc) Next(u *isa.Uop) { f(u) }
+
+// TestWorkConservingFrontEnd: a port-bound Ruler whose ROB is full must
+// leave nearly all front-end bandwidth to its sibling — otherwise every
+// dimension would couple through fetch and SMiTe's decoupling would break.
+func TestWorkConservingFrontEnd(t *testing.T) {
+	cfg := testConfig()
+	// An INT-heavy app that needs the full 4-wide front end.
+	intStream := func() Stream {
+		i := 0
+		return streamFunc(func(u *isa.Uop) {
+			i++
+			u.Kind = isa.IntAdd
+			if i%4 == 0 {
+				u.Kind = isa.Nop
+			}
+		})
+	}
+	solo := MustNew(cfg)
+	solo.Assign(0, 0, intStream())
+	solo.Run(20000)
+	soloIPC := solo.Counters(0, 0).IPC()
+
+	co := MustNew(cfg)
+	co.Assign(0, 0, intStream())
+	co.Assign(0, 1, rulers.FPMul().NewStream(1))
+	co.Run(20000)
+	coIPC := co.Counters(0, 0).IPC()
+	// FP_MUL uses port 0 (shared with IntAdd) but allocates only ~1
+	// uop/cycle: front-end loss must be small, port-0 loss moderate.
+	deg := (soloIPC - coIPC) / soloIPC
+	if deg > 0.35 {
+		t.Errorf("front end not work-conserving: %.3f degradation from a 1-uop/cycle ruler (solo %.2f, co %.2f)", deg, soloIPC, coIPC)
+	}
+}
+
+// TestMSHRBackpressure: a pure miss stream is limited by MSHRs ×
+// latency, not by issue width.
+func TestMSHRBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamPrefetcher = false // defeat the prefetcher with its knob
+	chip := MustNew(cfg)
+	// Strided loads, every access a new line: all DRAM misses once warm.
+	next := uint64(0)
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+		u.Kind = isa.Load
+		u.Addr = next
+		next += 64
+	}))
+	chip.Run(30000)
+	c := chip.Counters(0, 0)
+	// Upper bound: MSHRs / (base latency + interval headroom).
+	maxRate := float64(cfg.MSHRsPerContext) / float64(cfg.MemBaseLatency)
+	gotRate := float64(c.Loads) / float64(c.Cycles)
+	if gotRate > maxRate*1.3 {
+		t.Errorf("load rate %.4f exceeds MSHR bound %.4f", gotRate, maxRate)
+	}
+	if c.L3Misses == 0 {
+		t.Error("stride stream produced no DRAM traffic")
+	}
+}
+
+// TestStoreBackpressure: an L3-missing store stream must not saturate the
+// memory controller unboundedly (stores occupy MSHRs until fill).
+func TestStoreBackpressure(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamPrefetcher = false
+	chip := MustNew(cfg)
+	next := uint64(0)
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+		u.Kind = isa.Store
+		u.Addr = next
+		next += 64
+	}))
+	chip.Run(30000)
+	_, avgQ, _ := chip.Memory().Stats()
+	// Bounded demand: the queue must not be growing without limit.
+	if avgQ > float64(cfg.MemBaseLatency)*4 {
+		t.Errorf("store stream built an unbounded memory queue: avg %.0f cycles", avgQ)
+	}
+}
+
+// TestPrefetcherHidesStreamLatency: with the prefetcher on, a sequential
+// stream runs far faster than the MSHR×DRAM-latency bound.
+func TestPrefetcherHidesStreamLatency(t *testing.T) {
+	run := func(prefetch bool) float64 {
+		cfg := testConfig()
+		cfg.StreamPrefetcher = prefetch
+		chip := MustNew(cfg)
+		next := uint64(0)
+		chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+			u.Kind = isa.Load
+			u.Addr = next
+			next += 8 // element-wise sequential
+		}))
+		chip.Run(30000)
+		return chip.Counters(0, 0).IPC()
+	}
+	with, without := run(true), run(false)
+	if with < without*1.5 {
+		t.Errorf("prefetcher gains too little: %.3f vs %.3f", with, without)
+	}
+}
+
+// TestCMPIsolation: on separate cores, only uncore interference remains;
+// an L1-resident compute app must be unaffected by any co-runner.
+func TestCMPIsolation(t *testing.T) {
+	cfg := testConfig()
+	spec, _ := workload.ByName("454.calculix")
+	solo := MustNew(cfg)
+	solo.Assign(0, 0, workload.NewGen(spec, 3))
+	solo.Prewarm(30000)
+	solo.Run(30000)
+	soloIPC := solo.Counters(0, 0).IPC()
+
+	co := MustNew(cfg)
+	co.Assign(0, 0, workload.NewGen(spec, 3))
+	co.Assign(1, 0, rulers.FPMul().NewStream(5)) // other core
+	co.Prewarm(30000)
+	co.Run(30000)
+	coIPC := co.Counters(0, 0).IPC()
+	deg := (soloIPC - coIPC) / soloIPC
+	if deg > 0.02 || deg < -0.02 {
+		t.Errorf("CMP co-location perturbed an L1-resident app by %.3f", deg)
+	}
+}
+
+// TestPrewarmInstallsFootprints: after Prewarm, an L3-sized working set is
+// resident.
+func TestPrewarmInstallsFootprints(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, rulers.For(cfg, rulers.DimL3).NewStream(1))
+	occBefore := chip.L3().Occupancy()
+	chip.Prewarm(1000)
+	occAfter := chip.L3().Occupancy()
+	if occAfter < 0.8 {
+		t.Errorf("L3 occupancy after prewarm = %.2f (before %.2f)", occAfter, occBefore)
+	}
+}
+
+// TestAssignValidation: out-of-range placement panics (programming error).
+func TestAssignValidation(t *testing.T) {
+	chip := MustNew(testConfig())
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Assign did not panic")
+		}
+	}()
+	chip.Assign(99, 0, rulers.FPAdd().NewStream(1))
+}
+
+// TestResetCountersStartsCleanWindow: counters restart while state stays.
+func TestResetCountersStartsCleanWindow(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	spec, _ := workload.ByName("456.hmmer")
+	chip.Assign(0, 0, workload.NewGen(spec, 1))
+	chip.Run(5000)
+	chip.ResetCounters()
+	if c := chip.Counters(0, 0); c.Cycles != 0 || c.Instructions != 0 {
+		t.Error("counters survived reset")
+	}
+	chip.Run(1000)
+	if c := chip.Counters(0, 0); c.Cycles != 1000 {
+		t.Errorf("window cycles = %d, want 1000", c.Cycles)
+	}
+}
+
+// TestInactiveContextsStayQuiet: unassigned contexts accumulate nothing.
+func TestInactiveContextsStayQuiet(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	spec, _ := workload.ByName("456.hmmer")
+	chip.Assign(0, 0, workload.NewGen(spec, 1))
+	chip.Run(2000)
+	for core := 0; core < cfg.Cores; core++ {
+		for ctx := 0; ctx < cfg.ContextsPerCore; ctx++ {
+			if core == 0 && ctx == 0 {
+				continue
+			}
+			if c := chip.Counters(core, ctx); c.Cycles != 0 || c.Instructions != 0 {
+				t.Errorf("idle context (%d,%d) accumulated counters", core, ctx)
+			}
+		}
+	}
+}
+
+// TestNopOnlyStreamRetiresAtFetchWidth: nops need no ports, so throughput
+// is bounded by the front end.
+func TestNopOnlyStreamRetiresAtFetchWidth(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) { u.Kind = isa.Nop }))
+	chip.Run(10000)
+	ipc := chip.Counters(0, 0).IPC()
+	if ipc < float64(cfg.FetchWidth)*0.95 {
+		t.Errorf("nop IPC = %.2f, want ~%d", ipc, cfg.FetchWidth)
+	}
+}
+
+// TestBranchMispredictsThrottleFetch: unpredictable branches slow a
+// context down via flush stalls.
+func TestBranchMispredictsThrottleFetch(t *testing.T) {
+	cfg := testConfig()
+	run := func(bias float64) float64 {
+		spec := *mustSpec(t, "456.hmmer")
+		spec.Name = "branchy"
+		spec.Mix = workload.Mix{IntAdd: 0.70, Branch: 0.29, Nop: 0.01}
+		spec.BranchBias = bias
+		spec.BranchTags = 512
+		chip := MustNew(cfg)
+		chip.Assign(0, 0, workload.NewGen(&spec, 1))
+		chip.Run(20000)
+		return chip.Counters(0, 0).IPC()
+	}
+	predictable, random := run(0.99), run(0.5)
+	if random > predictable*0.6 {
+		t.Errorf("random branches too cheap: %.2f vs %.2f", random, predictable)
+	}
+}
+
+func mustSpec(t *testing.T, name string) *workload.Spec {
+	t.Helper()
+	s, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCountersConsistency: port dispatches, loads and stores line up.
+func TestCountersConsistency(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	spec, _ := workload.ByName("403.gcc")
+	chip.Assign(0, 0, workload.NewGen(spec, 2))
+	chip.Prewarm(20000)
+	chip.Run(20000)
+	c := chip.Counters(0, 0)
+	if c.Loads != c.PortUops[2]+c.PortUops[3] {
+		t.Errorf("loads %d != port2+port3 dispatches %d", c.Loads, c.PortUops[2]+c.PortUops[3])
+	}
+	if c.Stores != c.PortUops[4] {
+		t.Errorf("stores %d != port4 dispatches %d", c.Stores, c.PortUops[4])
+	}
+	if c.L1DHits+c.L1DMisses != c.Loads+c.Stores {
+		t.Errorf("L1 accesses %d != memory ops %d", c.L1DHits+c.L1DMisses, c.Loads+c.Stores)
+	}
+	if c.L2Hits+c.L2Misses != c.L1DMisses {
+		t.Errorf("L2 accesses %d != L1 misses %d", c.L2Hits+c.L2Misses, c.L1DMisses)
+	}
+	if c.L3Hits+c.L3Misses != c.L2Misses {
+		t.Errorf("L3 accesses %d != L2 misses %d", c.L3Hits+c.L3Misses, c.L2Misses)
+	}
+	if c.MemAccesses != c.L3Misses {
+		t.Errorf("DRAM accesses %d != L3 misses %d", c.MemAccesses, c.L3Misses)
+	}
+	if c.BranchMispredicts > c.Branches {
+		t.Error("more mispredicts than branches")
+	}
+}
+
+// TestPower7RulerCollapse demonstrates the paper's per-microarchitecture
+// Ruler caveat: on a POWER7-like core with symmetric FP pipes, the FP_MUL
+// Ruler pressures the FP_ADD dimension too (they share ports), unlike on
+// Sandy Bridge where the two decouple.
+func TestPower7RulerCollapse(t *testing.T) {
+	p7 := isa.Power7Like()
+	p7.Cores = 2
+	soloIPC, _ := runSolo(t, p7, rulers.FPAdd().NewStream(1), 2000, 20000)
+
+	chip := MustNew(p7)
+	chip.Assign(0, 0, rulers.FPAdd().NewStream(1))
+	chip.Assign(0, 1, rulers.FPMul().NewStream(2))
+	chip.Run(2000)
+	chip.ResetCounters()
+	chip.Run(20000)
+	deg := (soloIPC - chip.Counters(0, 0).IPC()) / soloIPC
+	if deg < 0.3 {
+		t.Errorf("FP_MUL ruler degraded FP_ADD ruler by only %.3f on symmetric FPUs; dimensions should collapse", deg)
+	}
+
+	// On Sandy Bridge the same pair is port-disjoint (near-zero).
+	snb := testConfig()
+	soloSNB, _ := runSolo(t, snb, rulers.FPAdd().NewStream(1), 2000, 20000)
+	chip2 := MustNew(snb)
+	chip2.Assign(0, 0, rulers.FPAdd().NewStream(1))
+	chip2.Assign(0, 1, rulers.FPMul().NewStream(2))
+	chip2.Run(2000)
+	chip2.ResetCounters()
+	chip2.Run(20000)
+	degSNB := (soloSNB - chip2.Counters(0, 0).IPC()) / soloSNB
+	if degSNB > 0.05 {
+		t.Errorf("Sandy Bridge FP rulers should decouple, got %.3f", degSNB)
+	}
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/rulers"
+	"repro/internal/sim/isa"
+	"repro/internal/workload"
+)
+
+func testConfig() isa.Config {
+	cfg := isa.IvyBridge()
+	cfg.Cores = 2 // smaller chip: faster tests
+	return cfg
+}
+
+func runSolo(t testing.TB, cfg isa.Config, s Stream, warmup, measure uint64) (ipc float64, chip *Chip) {
+	t.Helper()
+	chip = MustNew(cfg)
+	chip.Assign(0, 0, s)
+	chip.Prewarm(50000)
+	chip.Run(warmup)
+	chip.ResetCounters()
+	chip.Run(measure)
+	return chip.Counters(0, 0).IPC(), chip
+}
+
+func TestSoloFPMulRulerSaturatesPort0(t *testing.T) {
+	cfg := testConfig()
+	r := rulers.FPMul()
+	ipc, chip := runSolo(t, cfg, r.NewStream(1), 2000, 20000)
+	ctr := chip.Counters(0, 0)
+	util0 := ctr.PortUtilization(0)
+	if util0 < 0.9999 {
+		t.Errorf("FP_MUL ruler port-0 utilization = %.5f, want > 0.9999", util0)
+	}
+	for _, p := range []isa.Port{1, 2, 3, 4, 5} {
+		if u := ctr.PortUtilization(p); u > 0.0001 {
+			t.Errorf("FP_MUL ruler leaked onto port %d: utilization %.5f", p, u)
+		}
+	}
+	if ipc < 0.99 || ipc > 1.01 {
+		t.Errorf("FP_MUL ruler IPC = %.3f, want ~1 (port-throughput bound)", ipc)
+	}
+}
+
+func TestSoloIntAddRulerSpreadsOverPorts015(t *testing.T) {
+	cfg := testConfig()
+	r := rulers.IntAdd()
+	ipc, chip := runSolo(t, cfg, r.NewStream(1), 2000, 20000)
+	ctr := chip.Counters(0, 0)
+	for _, p := range []isa.Port{0, 1, 5} {
+		if u := ctr.PortUtilization(p); u < 0.5 {
+			t.Errorf("INT_ADD ruler port %d utilization = %.3f, want substantial", p, u)
+		}
+	}
+	// Throughput is bounded by the 4-wide front end, not the 3 ports.
+	if ipc < 2.7 {
+		t.Errorf("INT_ADD ruler IPC = %.3f, want close to 3 (three ports at 1 uop/cycle)", ipc)
+	}
+}
+
+func TestSMTPortContentionHalvesRulerThroughput(t *testing.T) {
+	cfg := testConfig()
+	soloIPC, _ := runSolo(t, cfg, rulers.FPAdd().NewStream(1), 2000, 20000)
+
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, rulers.FPAdd().NewStream(1))
+	chip.Assign(0, 1, rulers.FPAdd().NewStream(2))
+	chip.Run(2000)
+	chip.ResetCounters()
+	chip.Run(20000)
+	a := chip.Counters(0, 0).IPC()
+	b := chip.Counters(0, 1).IPC()
+	if a+b > soloIPC*1.05 {
+		t.Errorf("two FP_ADD rulers on one SMT core: combined IPC %.3f exceeds port-1 capacity %.3f", a+b, soloIPC)
+	}
+	ratio := a / b
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("port arbitration unfair: context IPCs %.3f vs %.3f", a, b)
+	}
+	deg := (soloIPC - a) / soloIPC
+	if deg < 0.4 || deg > 0.6 {
+		t.Errorf("FP_ADD vs FP_ADD degradation = %.3f, want ~0.5 (even split)", deg)
+	}
+}
+
+func TestDisjointPortsDoNotInterfere(t *testing.T) {
+	cfg := testConfig()
+	soloMul, _ := runSolo(t, cfg, rulers.FPMul().NewStream(1), 2000, 20000)
+
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, rulers.FPMul().NewStream(1))
+	chip.Assign(0, 1, rulers.FPAdd().NewStream(2))
+	chip.Run(2000)
+	chip.ResetCounters()
+	chip.Run(20000)
+	mul := chip.Counters(0, 0).IPC()
+	deg := (soloMul - mul) / soloMul
+	if deg > 0.05 {
+		t.Errorf("FP_MUL degraded %.3f by FP_ADD ruler on a disjoint port, want ~0", deg)
+	}
+}
+
+func TestCacheRulerDegradesMemoryBoundApp(t *testing.T) {
+	cfg := testConfig()
+	spec, err := workload.ByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, _ := runSolo(t, cfg, workload.NewGen(spec, 7), 20000, 50000)
+
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, workload.NewGen(spec, 7))
+	chip.Assign(0, 1, rulers.For(cfg, rulers.DimL3).NewStream(3))
+	chip.Prewarm(50000)
+	chip.Run(20000)
+	chip.ResetCounters()
+	chip.Run(50000)
+	co := chip.Counters(0, 0).IPC()
+	deg := (solo - co) / solo
+	t.Logf("mcf solo IPC=%.3f co=%.3f deg=%.3f", solo, co, deg)
+	if deg < 0.05 {
+		t.Errorf("L3 ruler degraded mcf by only %.3f, want noticeable interference", deg)
+	}
+}
+
+func TestFPHeavyAppSensitiveToItsPort(t *testing.T) {
+	cfg := testConfig()
+	spec, err := workload.ByName("444.namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, _ := runSolo(t, cfg, workload.NewGen(spec, 7), 10000, 40000)
+
+	measure := func(r *rulers.Ruler) float64 {
+		chip := MustNew(cfg)
+		chip.Assign(0, 0, workload.NewGen(spec, 7))
+		chip.Assign(0, 1, r.NewStream(3))
+		chip.Prewarm(50000)
+		chip.Run(10000)
+		chip.ResetCounters()
+		chip.Run(40000)
+		co := chip.Counters(0, 0).IPC()
+		return (solo - co) / solo
+	}
+	degAdd := measure(rulers.FPAdd())
+	degL3 := measure(rulers.For(cfg, rulers.DimL3))
+	t.Logf("namd solo IPC=%.3f degFPAdd=%.3f degL3=%.3f", solo, degAdd, degL3)
+	if degAdd < 0.15 {
+		t.Errorf("namd degradation under FP_ADD ruler = %.3f, want substantial", degAdd)
+	}
+	if degAdd < degL3 {
+		t.Errorf("namd should be more sensitive to FP_ADD (%.3f) than L3 (%.3f)", degAdd, degL3)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := testConfig()
+	spec, err := workload.ByName("403.gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() [2]uint64 {
+		chip := MustNew(cfg)
+		chip.Assign(0, 0, workload.NewGen(spec, 42))
+		chip.Assign(0, 1, rulers.For(cfg, rulers.DimL2).NewStream(9))
+		chip.Run(30000)
+		return [2]uint64{chip.Counters(0, 0).Instructions, chip.Counters(0, 1).Instructions}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func BenchmarkChipCycleSMTPair(b *testing.B) {
+	cfg := testConfig()
+	spec, _ := workload.ByName("403.gcc")
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, workload.NewGen(spec, 1))
+	chip.Assign(0, 1, rulers.For(cfg, rulers.DimL2).NewStream(2))
+	chip.Run(5000)
+	b.ResetTimer()
+	chip.Run(uint64(b.N))
+}

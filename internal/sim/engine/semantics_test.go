@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/sim/isa"
+)
+
+// TestDependencyChainSerializes: a chain of FP multiplies, each depending
+// on its predecessor, must run at one op per FPMul latency.
+func TestDependencyChainSerializes(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+		u.Kind = isa.FPMul
+		u.Dep1 = 1 // strict chain
+	}))
+	chip.Run(20000)
+	ipc := chip.Counters(0, 0).IPC()
+	want := 1 / float64(cfg.Latency[isa.FPMul])
+	if ipc > want*1.1 || ipc < want*0.85 {
+		t.Errorf("chained FP_MUL IPC = %.3f, want ~%.3f (1/latency)", ipc, want)
+	}
+}
+
+// TestIndependentOpsPipeline: without dependencies the same stream runs at
+// port throughput (1/cycle), latency fully hidden.
+func TestIndependentOpsPipeline(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) { u.Kind = isa.FPMul }))
+	chip.Run(20000)
+	ipc := chip.Counters(0, 0).IPC()
+	if ipc < 0.99 {
+		t.Errorf("independent FP_MUL IPC = %.3f, want ~1 (port-bound)", ipc)
+	}
+}
+
+// TestDepDistanceExposesILP: dependency distance d allows d chains to
+// overlap, so throughput scales with d up to the port bound.
+func TestDepDistanceExposesILP(t *testing.T) {
+	cfg := testConfig()
+	run := func(dist uint16) float64 {
+		chip := MustNew(cfg)
+		chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+			u.Kind = isa.FPMul
+			u.Dep1 = dist
+		}))
+		chip.Run(20000)
+		return chip.Counters(0, 0).IPC()
+	}
+	lat := float64(cfg.Latency[isa.FPMul])
+	for _, dist := range []uint16{1, 2, 4} {
+		got := run(dist)
+		want := float64(dist) / lat
+		if want > 1 {
+			want = 1
+		}
+		if got > want*1.15 || got < want*0.8 {
+			t.Errorf("dep distance %d: IPC %.3f, want ~%.3f", dist, got, want)
+		}
+	}
+}
+
+// TestSecondDependencyBinds: a uop waits for the later of its two inputs.
+func TestSecondDependencyBinds(t *testing.T) {
+	cfg := testConfig()
+	// Pattern: [mul(chain, d=2), add(dep on previous mul d=1 AND mul d=2)].
+	// The adds are bound by the mul chain's latency.
+	i := 0
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+		if i%2 == 0 {
+			u.Kind = isa.FPMul
+			u.Dep1 = 2
+		} else {
+			u.Kind = isa.FPAdd
+			u.Dep1 = 1
+			u.Dep2 = 2
+		}
+		i++
+	}))
+	chip.Run(20000)
+	ipc := chip.Counters(0, 0).IPC()
+	// Each mul takes 5 cycles on its own chain; one add retires with each
+	// mul → IPC ≈ 2/5.
+	if ipc > 0.5 || ipc < 0.3 {
+		t.Errorf("two-input dependency IPC = %.3f, want ~0.4", ipc)
+	}
+}
+
+// TestLoadToUseLatency: a strict load chain over an L1-resident line runs
+// at one load per L1 latency.
+func TestLoadToUseLatency(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+		u.Kind = isa.Load
+		u.Addr = 0 // same line: L1-resident after the first access
+		u.Dep1 = 1 // pointer chase
+	}))
+	chip.Run(20000)
+	ipc := chip.Counters(0, 0).IPC()
+	want := 1 / float64(cfg.L1D.LatencyCycles)
+	if ipc > want*1.15 || ipc < want*0.8 {
+		t.Errorf("L1 pointer-chase IPC = %.3f, want ~%.3f", ipc, want)
+	}
+}
+
+// TestTwoLoadPorts: independent L1-resident loads sustain two per cycle.
+func TestTwoLoadPorts(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+		u.Kind = isa.Load
+		u.Addr = 0
+	}))
+	chip.Run(20000)
+	c := chip.Counters(0, 0)
+	if c.IPC() < 1.9 {
+		t.Errorf("independent load IPC = %.3f, want ~2 (two load ports)", c.IPC())
+	}
+	if c.PortUops[2] == 0 || c.PortUops[3] == 0 {
+		t.Error("loads did not spread over both load ports")
+	}
+}
+
+// TestRetireIsInOrder: a long-latency head uop holds back younger
+// already-complete uops, bounding retired count.
+func TestRetireIsInOrder(t *testing.T) {
+	cfg := testConfig()
+	cfg.StreamPrefetcher = false
+	chip := MustNew(cfg)
+	i := 0
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+		if i%128 == 0 {
+			u.Kind = isa.Load
+			u.Addr = uint64(i) * 1 << 20 // distinct pages: DRAM misses
+		} else {
+			u.Kind = isa.IntAdd
+		}
+		i++
+	}))
+	chip.Run(10000)
+	c := chip.Counters(0, 0)
+	// Each miss (~190+ cycles) stalls retirement with a 128-entry ROB:
+	// throughput ≈ ROB/latency ≈ 0.67/cycle, far below the ALU bound of 3.
+	if c.IPC() > 1.2 {
+		t.Errorf("IPC %.3f too high: in-order retirement not enforced", c.IPC())
+	}
+}
+
+// TestBranchSaltSeparatesContexts: identical branch tags from different
+// contexts must not train each other's predictor entries into agreement
+// when their outcomes conflict.
+func TestBranchSaltSeparatesContexts(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	mk := func(taken bool) Stream {
+		return streamFunc(func(u *isa.Uop) {
+			u.Kind = isa.Branch
+			u.BrTag = 7
+			u.Taken = taken
+		})
+	}
+	chip.Assign(0, 0, mk(true))
+	chip.Assign(0, 1, mk(false))
+	chip.Run(20000)
+	a, b := chip.Counters(0, 0), chip.Counters(0, 1)
+	missA := float64(a.BranchMispredicts) / float64(a.Branches)
+	missB := float64(b.BranchMispredicts) / float64(b.Branches)
+	if missA > 0.05 || missB > 0.05 {
+		t.Errorf("context-salted monomorphic branches should predict well: %.3f / %.3f", missA, missB)
+	}
+}
+
+// TestMispredictPenaltyThroughput: an always-mispredicting branch stream
+// is bounded by the flush penalty.
+func TestMispredictPenaltyThroughput(t *testing.T) {
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	taken := false
+	chip.Assign(0, 0, streamFunc(func(u *isa.Uop) {
+		u.Kind = isa.Branch
+		u.BrTag = 3
+		u.Taken = taken
+		taken = !taken // strict alternation: 2-bit counters stay wrong
+	}))
+	chip.Run(20000)
+	c := chip.Counters(0, 0)
+	missRate := float64(c.BranchMispredicts) / float64(c.Branches)
+	if missRate < 0.4 {
+		t.Skipf("alternation learned (%f); pattern-dependent", missRate)
+	}
+	// Each mispredict stalls the front end ~MispredictPenalty cycles.
+	maxIPC := 1.2 / float64(cfg.MispredictPenalty) * 2
+	if c.IPC() > maxIPC*2 {
+		t.Errorf("mispredict-bound IPC %.3f too high (penalty not applied)", c.IPC())
+	}
+}

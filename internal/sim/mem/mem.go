@@ -1,0 +1,61 @@
+// Package mem models the chip's memory controller as a bandwidth-limited
+// FIFO service point.
+//
+// Every L3 miss is serialised at one request per ServiceInterval cycles
+// chip-wide on top of a fixed base latency, so memory-bandwidth contention
+// — the uncore dimension prior CMP work (Bubble-Up) models — emerges as
+// queueing delay when co-located workloads stream together.
+package mem
+
+// Controller serialises memory requests. It is not safe for concurrent use.
+type Controller struct {
+	baseLatency     uint64
+	serviceInterval uint64
+
+	nextFree uint64
+
+	requests   uint64
+	queuedFor  uint64 // cumulative cycles spent waiting behind other requests
+	maxBacklog uint64
+}
+
+// New builds a controller with the given DRAM base latency and the
+// bandwidth-defining service interval (cycles between request grants).
+func New(baseLatency, serviceInterval uint64) *Controller {
+	if serviceInterval == 0 {
+		panic("mem: service interval must be positive")
+	}
+	return &Controller{baseLatency: baseLatency, serviceInterval: serviceInterval}
+}
+
+// Request admits a memory request at cycle now and returns the cycle at
+// which the data is available.
+func (m *Controller) Request(now uint64) (completeAt uint64) {
+	start := now
+	if m.nextFree > start {
+		start = m.nextFree
+	}
+	m.nextFree = start + m.serviceInterval
+	wait := start - now
+	m.requests++
+	m.queuedFor += wait
+	if wait > m.maxBacklog {
+		m.maxBacklog = wait
+	}
+	return start + m.baseLatency
+}
+
+// Stats returns the request count, the average queueing delay in cycles and
+// the maximum backlog observed.
+func (m *Controller) Stats() (requests uint64, avgQueue float64, maxBacklog uint64) {
+	avg := 0.0
+	if m.requests > 0 {
+		avg = float64(m.queuedFor) / float64(m.requests)
+	}
+	return m.requests, avg, m.maxBacklog
+}
+
+// ResetStats zeroes the counters without releasing the current backlog.
+func (m *Controller) ResetStats() {
+	m.requests, m.queuedFor, m.maxBacklog = 0, 0, 0
+}

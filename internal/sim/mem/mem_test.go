@@ -1,0 +1,70 @@
+package mem
+
+import "testing"
+
+func TestIdleLatencyIsBase(t *testing.T) {
+	m := New(180, 8)
+	if got := m.Request(100); got != 280 {
+		t.Errorf("idle request completes at %d, want 280", got)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	m := New(100, 10)
+	// Three simultaneous requests: grants at 0, 10, 20.
+	c1 := m.Request(0)
+	c2 := m.Request(0)
+	c3 := m.Request(0)
+	if c1 != 100 || c2 != 110 || c3 != 120 {
+		t.Errorf("completions = %d,%d,%d, want 100,110,120", c1, c2, c3)
+	}
+	_, avgQ, maxB := m.Stats()
+	if maxB != 20 {
+		t.Errorf("max backlog = %d, want 20", maxB)
+	}
+	if avgQ != 10 { // (0+10+20)/3
+		t.Errorf("avg queue = %g, want 10", avgQ)
+	}
+}
+
+func TestQueueDrains(t *testing.T) {
+	m := New(100, 10)
+	m.Request(0)
+	m.Request(0)
+	// After the backlog clears, a late request sees no queueing.
+	if got := m.Request(1000); got != 1100 {
+		t.Errorf("late request completes at %d, want 1100", got)
+	}
+}
+
+func TestSaturationGrowsQueue(t *testing.T) {
+	m := New(100, 10)
+	// Demand 1 request/cycle against capacity 1/10: queue grows linearly.
+	var last uint64
+	for now := uint64(0); now < 1000; now++ {
+		last = m.Request(now)
+	}
+	// The 1000th request waits ~9990 cycles behind 999 predecessors.
+	if last < 9000 {
+		t.Errorf("saturated queue did not build: last completion %d", last)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	m := New(100, 10)
+	m.Request(0)
+	m.Request(0)
+	m.ResetStats()
+	if reqs, avgQ, maxB := m.Stats(); reqs != 0 || avgQ != 0 || maxB != 0 {
+		t.Error("stats not reset")
+	}
+}
+
+func TestZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero service interval accepted")
+		}
+	}()
+	New(100, 0)
+}

@@ -1,0 +1,145 @@
+// Package pmu defines the per-context performance monitoring counters the
+// simulator exposes.
+//
+// The counter set is the one the paper's PMU-based baseline model consumes
+// (Section IV-B1): instructions/cycle, iTLB misses, dTLB load/store misses,
+// i-cache misses, per-level cache hits/misses, memory accesses and branch
+// mispredictions — plus the per-port dispatch counters
+// (UOPS_DISPATCHED_PORT:PORT0,1,5) used to validate Ruler port utilisation
+// and to produce the Figure 3/5 utilisation CDFs.
+package pmu
+
+import (
+	"fmt"
+
+	"repro/internal/sim/isa"
+)
+
+// Counters is a snapshot of one hardware context's PMU state.
+// All counts are cumulative since the last reset.
+type Counters struct {
+	Cycles       uint64
+	Instructions uint64
+
+	// PortUops[p] counts micro-ops dispatched to port p
+	// (UOPS_DISPATCHED_PORT:PORTp).
+	PortUops [isa.NumPorts]uint64
+
+	L1DHits     uint64
+	L1DMisses   uint64
+	L2Hits      uint64
+	L2Misses    uint64
+	L3Hits      uint64
+	L3Misses    uint64
+	MemAccesses uint64 // requests that reached DRAM (== L3Misses)
+
+	Branches          uint64
+	BranchMispredicts uint64
+
+	DTLBLoadMisses  uint64
+	DTLBStoreMisses uint64
+	ITLBMisses      uint64
+	ICacheMisses    uint64
+
+	Loads  uint64
+	Stores uint64
+}
+
+// Sub returns c - base, counter-wise. Used to extract a measurement window
+// from cumulative counts.
+func (c Counters) Sub(base Counters) Counters {
+	d := c
+	d.Cycles -= base.Cycles
+	d.Instructions -= base.Instructions
+	for p := range d.PortUops {
+		d.PortUops[p] -= base.PortUops[p]
+	}
+	d.L1DHits -= base.L1DHits
+	d.L1DMisses -= base.L1DMisses
+	d.L2Hits -= base.L2Hits
+	d.L2Misses -= base.L2Misses
+	d.L3Hits -= base.L3Hits
+	d.L3Misses -= base.L3Misses
+	d.MemAccesses -= base.MemAccesses
+	d.Branches -= base.Branches
+	d.BranchMispredicts -= base.BranchMispredicts
+	d.DTLBLoadMisses -= base.DTLBLoadMisses
+	d.DTLBStoreMisses -= base.DTLBStoreMisses
+	d.ITLBMisses -= base.ITLBMisses
+	d.ICacheMisses -= base.ICacheMisses
+	d.Loads -= base.Loads
+	d.Stores -= base.Stores
+	return d
+}
+
+// IPC returns instructions per cycle for the window (0 when no cycles).
+func (c Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// PortUtilization returns the fraction of window cycles port p dispatched a
+// micro-op from this context.
+func (c Counters) PortUtilization(p isa.Port) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.PortUops[p]) / float64(c.Cycles)
+}
+
+// PerCycle divides a raw count by the window's cycle count.
+func (c Counters) PerCycle(count uint64) float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(count) / float64(c.Cycles)
+}
+
+// NumPMUFeatures is the number of rates returned by Features: the 11
+// counters the paper's best PMU baseline model uses.
+const NumPMUFeatures = 11
+
+// FeatureNames lists the Features entries in order, matching the paper's
+// Section IV-B1 enumeration.
+var FeatureNames = [NumPMUFeatures]string{
+	"instructions/cycle",
+	"iTLB-misses/cycle",
+	"dTLB-load-misses/cycle",
+	"dTLB-store-misses/cycle",
+	"i-cache-misses/cycle",
+	"L1D-hits/cycle",
+	"L2-hits/cycle",
+	"L2-misses/cycle",
+	"L3-hits/cycle",
+	"MEM-hits/cycle",
+	"branch-mispredictions/cycle",
+}
+
+// Features extracts the 11 per-cycle rates used by the PMU-based baseline
+// prediction model (Equation 9).
+func (c Counters) Features() [NumPMUFeatures]float64 {
+	return [NumPMUFeatures]float64{
+		c.IPC(),
+		c.PerCycle(c.ITLBMisses),
+		c.PerCycle(c.DTLBLoadMisses),
+		c.PerCycle(c.DTLBStoreMisses),
+		c.PerCycle(c.ICacheMisses),
+		c.PerCycle(c.L1DHits),
+		c.PerCycle(c.L2Hits),
+		c.PerCycle(c.L2Misses),
+		c.PerCycle(c.L3Hits),
+		c.PerCycle(c.MemAccesses),
+		c.PerCycle(c.BranchMispredicts),
+	}
+}
+
+// String renders a compact human-readable summary.
+func (c Counters) String() string {
+	return fmt.Sprintf("cycles=%d insts=%d ipc=%.3f ports=[%d %d %d %d %d %d] l1=%d/%d l2=%d/%d l3=%d/%d mem=%d brmiss=%d",
+		c.Cycles, c.Instructions, c.IPC(),
+		c.PortUops[0], c.PortUops[1], c.PortUops[2], c.PortUops[3], c.PortUops[4], c.PortUops[5],
+		c.L1DHits, c.L1DMisses, c.L2Hits, c.L2Misses, c.L3Hits, c.L3Misses,
+		c.MemAccesses, c.BranchMispredicts)
+}

@@ -1,0 +1,96 @@
+package pmu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim/isa"
+)
+
+func sample() Counters {
+	c := Counters{
+		Cycles:       1000,
+		Instructions: 1500,
+		L1DHits:      300, L1DMisses: 50,
+		L2Hits: 30, L2Misses: 20,
+		L3Hits: 15, L3Misses: 5, MemAccesses: 5,
+		Branches: 200, BranchMispredicts: 10,
+		DTLBLoadMisses: 4, DTLBStoreMisses: 2,
+		ITLBMisses: 1, ICacheMisses: 3,
+		Loads: 350, Stores: 100,
+	}
+	c.PortUops = [isa.NumPorts]uint64{100, 200, 300, 50, 100, 250}
+	return c
+}
+
+func TestIPC(t *testing.T) {
+	c := sample()
+	if got := c.IPC(); got != 1.5 {
+		t.Errorf("IPC = %g", got)
+	}
+	if (Counters{}).IPC() != 0 {
+		t.Error("zero-cycle IPC not 0")
+	}
+}
+
+func TestPortUtilization(t *testing.T) {
+	c := sample()
+	if got := c.PortUtilization(1); got != 0.2 {
+		t.Errorf("port 1 utilization = %g", got)
+	}
+	if (Counters{}).PortUtilization(0) != 0 {
+		t.Error("zero-cycle utilization not 0")
+	}
+}
+
+func TestSubRoundTrip(t *testing.T) {
+	if err := quick.Check(func(aRaw, bRaw uint32) bool {
+		base := sample()
+		window := sample()
+		window.Cycles += uint64(aRaw)
+		window.Instructions += uint64(bRaw)
+		window.PortUops[3] += uint64(aRaw % 100)
+		d := window.Sub(base)
+		return d.Cycles == uint64(aRaw) && d.Instructions == uint64(bRaw) && d.PortUops[3] == uint64(aRaw%100)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubOfSelfIsZero(t *testing.T) {
+	c := sample()
+	d := c.Sub(c)
+	if d != (Counters{}) {
+		t.Errorf("c - c = %+v", d)
+	}
+}
+
+func TestFeaturesMatchPaperList(t *testing.T) {
+	c := sample()
+	f := c.Features()
+	if len(f) != NumPMUFeatures || NumPMUFeatures != 11 {
+		t.Fatalf("feature count %d, want the paper's 11", len(f))
+	}
+	if f[0] != c.IPC() {
+		t.Error("feature 0 should be instructions/cycle")
+	}
+	if f[10] != float64(c.BranchMispredicts)/float64(c.Cycles) {
+		t.Error("feature 10 should be branch-mispredictions/cycle")
+	}
+	// All feature names must match the paper's terminology.
+	for _, name := range FeatureNames {
+		if !strings.Contains(name, "/cycle") {
+			t.Errorf("feature name %q is not a rate", name)
+		}
+	}
+}
+
+func TestStringIsInformative(t *testing.T) {
+	s := sample().String()
+	for _, frag := range []string{"ipc=1.500", "cycles=1000"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+}

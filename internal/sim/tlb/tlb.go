@@ -1,0 +1,109 @@
+// Package tlb implements a small set-associative data TLB with LRU
+// replacement.
+//
+// The PMU baseline model in the paper (Equation 9) consumes
+// dTLB-load-misses/cycle and dTLB-store-misses/cycle, so the simulator
+// models the DTLB explicitly: each data access translates its page, and a
+// miss adds a page-walk penalty to the access latency. Co-located contexts
+// share the structure, so large-footprint neighbours evict translations —
+// another minor interference channel absorbed by SMiTe's constant term.
+package tlb
+
+// ways is the associativity of the TLB (4-way, as on Sandy Bridge DTLBs).
+const ways = 4
+
+// TLB is a set-associative translation buffer with LRU replacement.
+// It is not safe for concurrent use.
+type TLB struct {
+	pages     []uint64
+	stamp     []uint64
+	valid     []bool
+	clock     uint64
+	setMask   uint64
+	pageShift uint
+
+	hits   uint64
+	misses uint64
+}
+
+// New builds a TLB with the given entry count (rounded down to a multiple
+// of the associativity, minimum one set) over pages of pageBytes, which
+// must be a power of two.
+func New(entries, pageBytes int) *TLB {
+	if entries <= 0 {
+		panic("tlb: entries must be positive")
+	}
+	if pageBytes <= 0 || pageBytes&(pageBytes-1) != 0 {
+		panic("tlb: page size must be a positive power of two")
+	}
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	// Round sets down to a power of two for mask indexing.
+	for sets&(sets-1) != 0 {
+		sets &= sets - 1
+	}
+	shift := uint(0)
+	for p := pageBytes; p > 1; p >>= 1 {
+		shift++
+	}
+	n := sets * ways
+	return &TLB{
+		pages:     make([]uint64, n),
+		stamp:     make([]uint64, n),
+		valid:     make([]bool, n),
+		setMask:   uint64(sets - 1),
+		pageShift: shift,
+	}
+}
+
+// Entries returns the total entry count.
+func (t *TLB) Entries() int { return len(t.pages) }
+
+// Access translates addr, filling on a miss, and returns true on a hit.
+func (t *TLB) Access(addr uint64) bool {
+	t.clock++
+	page := addr >> t.pageShift
+	base := int(page&t.setMask) * ways
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+ways; i++ {
+		if t.valid[i] && t.pages[i] == page {
+			t.hits++
+			t.stamp[i] = t.clock
+			return true
+		}
+		if !t.valid[i] {
+			if oldest != 0 {
+				victim = i
+				oldest = 0
+			}
+			continue
+		}
+		if t.stamp[i] < oldest {
+			victim = i
+			oldest = t.stamp[i]
+		}
+	}
+	t.misses++
+	t.valid[victim] = true
+	t.pages[victim] = page
+	t.stamp[victim] = t.clock
+	return false
+}
+
+// Stats returns cumulative hits and misses.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// ResetStats zeroes the counters, keeping resident translations.
+func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }
+
+// Flush invalidates all entries and zeroes statistics.
+func (t *TLB) Flush() {
+	for i := range t.valid {
+		t.valid[i] = false
+	}
+	t.clock = 0
+	t.ResetStats()
+}

@@ -1,0 +1,197 @@
+// Package stats provides the statistics used throughout the reproduction:
+// Pearson correlation (the paper's decorrelation analysis, Figures 7 and
+// the Ruler linearity validation), percentiles, empirical CDFs and summary
+// helpers.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance (0 for fewer than two values).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Min and Max return the extrema (0 for empty input).
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Pearson returns the Pearson correlation coefficient between x and y.
+// It returns an error when the lengths differ, fewer than two points are
+// given, or either series is constant (undefined correlation).
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("stats: Pearson length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return 0, fmt.Errorf("stats: Pearson needs at least 2 points, got %d", len(x))
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("stats: Pearson undefined for constant series")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Percentile returns the p-th percentile (p in [0,1]) using linear
+// interpolation between order statistics. It returns 0 for empty input and
+// clamps p to [0,1].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// ECDF is an empirical cumulative distribution function.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF over the samples (copied and sorted).
+func NewECDF(samples []float64) *ECDF {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// At returns P(X <= x).
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(e.sorted, x)
+	for i < len(e.sorted) && e.sorted[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of the samples.
+func (e *ECDF) Quantile(q float64) float64 { return Percentile(e.sorted, q) }
+
+// Len returns the sample count.
+func (e *ECDF) Len() int { return len(e.sorted) }
+
+// Median returns the 50th percentile of the samples.
+func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
+
+// Summary holds the five-number-plus-mean description used in experiment
+// tables.
+type Summary struct {
+	N                   int
+	Mean, Std           float64
+	Min, P25, P50, P75  float64
+	P90, P95, P99, Max1 float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	return Summary{
+		N:    len(xs),
+		Mean: Mean(xs),
+		Std:  StdDev(xs),
+		Min:  Min(xs),
+		P25:  Percentile(xs, 0.25),
+		P50:  Percentile(xs, 0.50),
+		P75:  Percentile(xs, 0.75),
+		P90:  Percentile(xs, 0.90),
+		P95:  Percentile(xs, 0.95),
+		P99:  Percentile(xs, 0.99),
+		Max1: Max(xs),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f p50=%.4f p90=%.4f p99=%.4f max=%.4f",
+		s.N, s.Mean, s.Std, s.Min, s.P50, s.P90, s.P99, s.Max1)
+}
+
+// MeanAbs returns the mean of |x| over xs.
+func MeanAbs(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += math.Abs(x)
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,186 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	if v := Variance(xs); !almost(v, 4, 1e-12) {
+		t.Errorf("Variance = %g, want 4", v)
+	}
+	if s := StdDev(xs); !almost(s, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", s)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || Percentile(nil, 0.5) != 0 {
+		t.Error("empty-input statistics should be 0")
+	}
+}
+
+func TestPearsonPerfect(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil || !almost(r, 1, 1e-12) {
+		t.Errorf("Pearson = %g (%v), want 1", r, err)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	r, err = Pearson(x, neg)
+	if err != nil || !almost(r, -1, 1e-12) {
+		t.Errorf("Pearson = %g (%v), want -1", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Error("constant series accepted")
+	}
+}
+
+// Pearson is invariant under positive affine transforms.
+func TestPearsonAffineInvariance(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		xs := []float64{1, 5, 2, 8, 3, 9, 4}
+		ys := []float64{2, 3, 7, 1, 9, 4, 6}
+		r1, err1 := Pearson(xs, ys)
+		scaled := make([]float64, len(xs))
+		for i, x := range xs {
+			scaled[i] = 3*x + 11
+		}
+		r2, err2 := Pearson(scaled, ys)
+		return err1 == nil && err2 == nil && almost(r1, r2, 1e-9)
+	}, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !almost(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%.2f) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+// Percentile is monotone in p and bounded by min/max.
+func TestPercentileProperties(t *testing.T) {
+	if err := quick.Check(func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.1 {
+			v := Percentile(xs, p)
+			if v < prev-1e-9 || v < Min(xs)-1e-9 || v > Max(xs)+1e-9 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	Percentile(xs, 0.5)
+	if sort.Float64sAreSorted(xs) {
+		t.Error("Percentile sorted the caller's slice")
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); !almost(got, c.want, 1e-12) {
+			t.Errorf("ECDF.At(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	if e.Len() != 4 {
+		t.Errorf("Len = %d", e.Len())
+	}
+	if m := e.Median(); !almost(m, 2, 1e-9) {
+		t.Errorf("Median = %g", m)
+	}
+}
+
+// ECDF.At is a monotone map into [0, 1].
+func TestECDFProperties(t *testing.T) {
+	if err := quick.Check(func(samples []float64, probes []float64) bool {
+		var clean []float64
+		for _, v := range samples {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		e := NewECDF(clean)
+		for _, x := range probes {
+			if math.IsNaN(x) {
+				continue
+			}
+			p := e.At(x)
+			if p < 0 || p > 1 {
+				return false
+			}
+			if p2 := e.At(x + 1); p2 < p {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || !almost(s.Mean, 5.5, 1e-12) || !almost(s.P50, 5.5, 1e-12) || s.Max1 != 10 || s.Min != 1 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty summary string")
+	}
+}
+
+func TestMeanAbs(t *testing.T) {
+	if v := MeanAbs([]float64{-1, 1, -3, 3}); !almost(v, 2, 1e-12) {
+		t.Errorf("MeanAbs = %g", v)
+	}
+	if MeanAbs(nil) != 0 {
+		t.Error("MeanAbs(nil) != 0")
+	}
+}

@@ -1,0 +1,96 @@
+// Package tco implements the 3-year total-cost-of-ownership model the
+// paper applies in Section IV-E, following the analytical methodology of
+// Barroso, Clidaras and Hölzle ("The Datacenter as a Computer"): server
+// capital amortisation, datacenter capital amortisation per provisioned
+// watt, electricity scaled by PUE, and maintenance.
+package tco
+
+import "fmt"
+
+// Params parameterise the cost model. All money is in dollars.
+type Params struct {
+	// ServerCapex is the purchase cost of one server; servers amortise
+	// over ServerLifetimeYears.
+	ServerCapex         float64
+	ServerLifetimeYears float64
+
+	// DatacenterCapexPerWatt is the facility construction cost per
+	// provisioned watt of critical power, amortised over
+	// DatacenterLifetimeYears.
+	DatacenterCapexPerWatt  float64
+	DatacenterLifetimeYears float64
+
+	// ServerPowerWatts is the average server draw; PUE multiplies it to
+	// facility power (the paper uses Google's published PUE).
+	ServerPowerWatts float64
+	PUE              float64
+	// ElectricityPerKWh prices the energy.
+	ElectricityPerKWh float64
+
+	// AnnualMaintenanceFrac is yearly maintenance as a fraction of server
+	// capex.
+	AnnualMaintenanceFrac float64
+
+	// HorizonYears is the analysis window (3 in the paper).
+	HorizonYears float64
+}
+
+// Google2014 returns parameters representative of the paper's setting:
+// commodity 2-socket servers and Google's published trailing PUE of 1.12
+// (the paper cites Google's datacenter efficiency page, accessed May 2014).
+func Google2014() Params {
+	return Params{
+		ServerCapex:             2000,
+		ServerLifetimeYears:     3,
+		DatacenterCapexPerWatt:  10,
+		DatacenterLifetimeYears: 12,
+		ServerPowerWatts:        250,
+		PUE:                     1.12,
+		ElectricityPerKWh:       0.07,
+		AnnualMaintenanceFrac:   0.05,
+		HorizonYears:            3,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.ServerCapex <= 0, p.ServerLifetimeYears <= 0:
+		return fmt.Errorf("tco: server capex/lifetime must be positive")
+	case p.DatacenterCapexPerWatt < 0, p.DatacenterLifetimeYears <= 0:
+		return fmt.Errorf("tco: datacenter capex must be non-negative with positive lifetime")
+	case p.ServerPowerWatts <= 0, p.PUE < 1:
+		return fmt.Errorf("tco: power must be positive and PUE >= 1")
+	case p.ElectricityPerKWh < 0, p.AnnualMaintenanceFrac < 0, p.HorizonYears <= 0:
+		return fmt.Errorf("tco: negative cost parameter")
+	}
+	return nil
+}
+
+// PerServerPerYear returns the yearly TCO of one server: amortised server
+// and datacenter capital, energy at PUE, and maintenance.
+func (p Params) PerServerPerYear() float64 {
+	serverAmort := p.ServerCapex / p.ServerLifetimeYears
+	dcAmort := p.DatacenterCapexPerWatt * p.ServerPowerWatts * p.PUE / p.DatacenterLifetimeYears
+	energy := p.ServerPowerWatts * p.PUE / 1000 * 24 * 365 * p.ElectricityPerKWh
+	maintenance := p.ServerCapex * p.AnnualMaintenanceFrac
+	return serverAmort + dcAmort + energy + maintenance
+}
+
+// Total returns the TCO of a fleet over the analysis horizon.
+func (p Params) Total(servers float64) float64 {
+	if servers < 0 {
+		servers = 0
+	}
+	return p.PerServerPerYear() * p.HorizonYears * servers
+}
+
+// Improvement returns the fractional TCO saving of running newServers
+// instead of baselineServers for the same work.
+func (p Params) Improvement(baselineServers, newServers float64) float64 {
+	base := p.Total(baselineServers)
+	if base <= 0 {
+		return 0
+	}
+	return (base - p.Total(newServers)) / base
+}

@@ -1,0 +1,88 @@
+package tco
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGoogle2014Valid(t *testing.T) {
+	if err := Google2014().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.ServerCapex = 0 },
+		func(p *Params) { p.ServerLifetimeYears = 0 },
+		func(p *Params) { p.DatacenterLifetimeYears = 0 },
+		func(p *Params) { p.ServerPowerWatts = 0 },
+		func(p *Params) { p.PUE = 0.9 },
+		func(p *Params) { p.ElectricityPerKWh = -1 },
+		func(p *Params) { p.HorizonYears = 0 },
+	}
+	for i, mutate := range bad {
+		p := Google2014()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestPerServerPerYearComposition(t *testing.T) {
+	p := Google2014()
+	got := p.PerServerPerYear()
+	// Recompute by hand.
+	server := p.ServerCapex / p.ServerLifetimeYears
+	dc := p.DatacenterCapexPerWatt * p.ServerPowerWatts * p.PUE / p.DatacenterLifetimeYears
+	energy := p.ServerPowerWatts * p.PUE / 1000 * 24 * 365 * p.ElectricityPerKWh
+	maint := p.ServerCapex * p.AnnualMaintenanceFrac
+	want := server + dc + energy + maint
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PerServerPerYear = %g, want %g", got, want)
+	}
+	if got <= 0 {
+		t.Error("non-positive per-server cost")
+	}
+}
+
+func TestTotalLinearInServers(t *testing.T) {
+	p := Google2014()
+	if tot := p.Total(0); tot != 0 {
+		t.Errorf("Total(0) = %g", tot)
+	}
+	if p.Total(-5) != 0 {
+		t.Error("negative fleet should cost 0")
+	}
+	if math.Abs(p.Total(200)-2*p.Total(100)) > 1e-6 {
+		t.Error("Total not linear in servers")
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	p := Google2014()
+	if imp := p.Improvement(100, 100); imp != 0 {
+		t.Errorf("no change should save 0, got %g", imp)
+	}
+	if imp := p.Improvement(100, 50); math.Abs(imp-0.5) > 1e-9 {
+		t.Errorf("halving the fleet should save 50%%, got %g", imp)
+	}
+	if imp := p.Improvement(0, 10); imp != 0 {
+		t.Errorf("zero baseline should save 0, got %g", imp)
+	}
+}
+
+// Property: fewer servers never cost more.
+func TestImprovementMonotone(t *testing.T) {
+	p := Google2014()
+	if err := quick.Check(func(base uint16, cut uint8) bool {
+		b := float64(base) + 1
+		n1 := b * (1 - float64(cut)/512)
+		n2 := n1 / 2
+		return p.Improvement(b, n2) >= p.Improvement(b, n1)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package workload models the applications SMiTe is evaluated on: the 29
+// SPEC CPU2006 benchmarks and the four CloudSuite latency-sensitive
+// services (Web-Search, Data-Caching, Data-Serving, Graph-Analytics).
+//
+// Each application is described by a Spec — an instruction-mix model with
+// dependency structure, memory footprint and access pattern, and branch
+// behaviour — from which a deterministic micro-op stream generator is
+// instantiated per hardware context. The parameters are drawn from the
+// benchmarks' published characterisations at the granularity the SMiTe
+// methodology is sensitive to: which execution ports a code exercises, how
+// much of each cache level it lives in, how predictable its branches are,
+// and how much instruction-level parallelism it exposes.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim/isa"
+)
+
+// Suite labels a benchmark's origin.
+type Suite int
+
+const (
+	// SpecINT is the SPEC CPU2006 integer suite.
+	SpecINT Suite = iota
+	// SpecFP is the SPEC CPU2006 floating-point suite.
+	SpecFP
+	// Cloud is CloudSuite (latency-sensitive WSC workloads).
+	Cloud
+)
+
+// String names the suite.
+func (s Suite) String() string {
+	switch s {
+	case SpecINT:
+		return "SPEC_INT"
+	case SpecFP:
+		return "SPEC_FP"
+	case Cloud:
+		return "CloudSuite"
+	}
+	return fmt.Sprintf("Suite(%d)", int(s))
+}
+
+// AccessPattern selects how data addresses are generated.
+type AccessPattern int
+
+const (
+	// PatternRandom draws uniformly random lines from the footprint
+	// (pointer-chasing-like behaviour).
+	PatternRandom AccessPattern = iota
+	// PatternStride walks the footprint with a fixed stride
+	// (streaming behaviour).
+	PatternStride
+	// PatternMixed draws randomly with probability RandomFrac and
+	// strides otherwise.
+	PatternMixed
+)
+
+// String names the pattern.
+func (p AccessPattern) String() string {
+	switch p {
+	case PatternRandom:
+		return "random"
+	case PatternStride:
+		return "stride"
+	case PatternMixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("AccessPattern(%d)", int(p))
+}
+
+// Mix holds the dynamic micro-op mix as fractions that must sum to 1.
+type Mix struct {
+	FPMul, FPAdd, FPShuf float64
+	IntAdd, IntMul       float64
+	Load, Store          float64
+	Branch               float64
+	Nop                  float64
+}
+
+// Sum returns the total of all fractions.
+func (m Mix) Sum() float64 {
+	return m.FPMul + m.FPAdd + m.FPShuf + m.IntAdd + m.IntMul + m.Load + m.Store + m.Branch + m.Nop
+}
+
+// kinds pairs each mix entry with its uop kind, in cumulative-sampling order.
+func (m Mix) kinds() [9]struct {
+	k isa.UopKind
+	f float64
+} {
+	return [9]struct {
+		k isa.UopKind
+		f float64
+	}{
+		{isa.FPMul, m.FPMul},
+		{isa.FPAdd, m.FPAdd},
+		{isa.FPShuf, m.FPShuf},
+		{isa.IntAdd, m.IntAdd},
+		{isa.IntMul, m.IntMul},
+		{isa.Load, m.Load},
+		{isa.Store, m.Store},
+		{isa.Branch, m.Branch},
+		{isa.Nop, m.Nop},
+	}
+}
+
+// Spec is one application model.
+type Spec struct {
+	// Name is the benchmark name ("429.mcf", "web-search").
+	Name string
+	// Number is the SPEC benchmark number (0 for CloudSuite); the paper
+	// splits training/testing sets by its parity.
+	Number int
+	Suite  Suite
+
+	// Mix is the dynamic micro-op mix.
+	Mix Mix
+
+	// MeanDepDist is the mean backward dependency distance (geometric);
+	// larger values expose more instruction-level parallelism. Dep2Prob is
+	// the probability a dependent uop carries a second input dependency.
+	// IndepFrac is the probability an ALU uop has no register dependency
+	// at all (unrolled/vectorised code exposes many independent ops).
+	MeanDepDist float64
+	Dep2Prob    float64
+	IndepFrac   float64
+
+	// PointerChaseFrac is the fraction of loads whose *address* depends on
+	// a recent value (linked-structure traversal); the remaining loads are
+	// address-independent and can overlap, exposing memory-level
+	// parallelism.
+	PointerChaseFrac float64
+
+	// FootprintBytes is the main data working-set size; Pattern/
+	// StrideBytes/RandomFrac describe the address stream over it.
+	// Temporal locality is a three-level mixture: HotFrac of accesses go
+	// to a small hot region of HotBytes (L1-scale reuse), WarmFrac to a
+	// warm region of WarmBytes (L2/L3-scale reuse), and the remainder to
+	// the main footprint with the configured pattern.
+	FootprintBytes uint64
+	Pattern        AccessPattern
+	StrideBytes    uint64
+	RandomFrac     float64
+	HotBytes       uint64
+	HotFrac        float64
+	WarmBytes      uint64
+	WarmFrac       float64
+
+	// BranchTags is the number of static branches; BranchBias the
+	// probability a branch follows its per-tag bias (predictability).
+	BranchTags int
+	BranchBias float64
+
+	// ICacheMissRate and ITLBMissRate are per-fetched-uop front-end miss
+	// probabilities synthesised from the code footprint.
+	ICacheMissRate float64
+	ITLBMissRate   float64
+
+	// Threads is the natural thread count for multithreaded (CloudSuite)
+	// applications; 0 or 1 means single-threaded.
+	Threads int
+
+	// QoS parameters for latency-sensitive applications: the mean service
+	// rate (requests/s, per thread, at solo performance) and the offered
+	// per-thread arrival rate. Zero for batch applications.
+	ServiceRate float64
+	ArrivalRate float64
+	// ReportsPercentile marks services that export percentile latency
+	// statistics (the paper notes Data-Serving and Graph-Analytics do not).
+	ReportsPercentile bool
+}
+
+// LatencySensitive reports whether the spec models a latency-sensitive
+// service with queueing-based QoS.
+func (s *Spec) LatencySensitive() bool { return s.ServiceRate > 0 }
+
+// Validate checks that the spec is internally consistent.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("workload: spec with empty name")
+	}
+	if sum := s.Mix.Sum(); sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("workload: %s: mix sums to %.4f, want 1", s.Name, sum)
+	}
+	if s.MeanDepDist < 1 {
+		return fmt.Errorf("workload: %s: mean dependency distance %.2f < 1", s.Name, s.MeanDepDist)
+	}
+	if s.Mix.Load+s.Mix.Store > 0 && s.FootprintBytes == 0 {
+		return fmt.Errorf("workload: %s: memory ops but zero footprint", s.Name)
+	}
+	if s.Pattern != PatternRandom && s.StrideBytes == 0 && s.Mix.Load+s.Mix.Store > 0 {
+		return fmt.Errorf("workload: %s: stride pattern with zero stride", s.Name)
+	}
+	if s.Mix.Branch > 0 && s.BranchTags <= 0 {
+		return fmt.Errorf("workload: %s: branches but no branch tags", s.Name)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"IndepFrac", s.IndepFrac}, {"PointerChaseFrac", s.PointerChaseFrac}, {"HotFrac", s.HotFrac}, {"Dep2Prob", s.Dep2Prob}, {"RandomFrac", s.RandomFrac}} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("workload: %s: %s = %.3f outside [0,1]", s.Name, f.name, f.v)
+		}
+	}
+	if s.HotFrac > 0 && s.HotBytes == 0 {
+		return fmt.Errorf("workload: %s: HotFrac set but HotBytes zero", s.Name)
+	}
+	if s.WarmFrac > 0 && s.WarmBytes == 0 {
+		return fmt.Errorf("workload: %s: WarmFrac set but WarmBytes zero", s.Name)
+	}
+	if s.HotFrac+s.WarmFrac > 1 {
+		return fmt.Errorf("workload: %s: HotFrac+WarmFrac = %.3f exceeds 1", s.Name, s.HotFrac+s.WarmFrac)
+	}
+	if s.BranchBias < 0 || s.BranchBias > 1 {
+		return fmt.Errorf("workload: %s: branch bias %.2f outside [0,1]", s.Name, s.BranchBias)
+	}
+	if s.ICacheMissRate < 0 || s.ICacheMissRate > 0.5 || s.ITLBMissRate < 0 || s.ITLBMissRate > 0.5 {
+		return fmt.Errorf("workload: %s: front-end miss rates out of range", s.Name)
+	}
+	if s.LatencySensitive() && s.ArrivalRate >= s.ServiceRate {
+		return fmt.Errorf("workload: %s: offered load %.1f >= service rate %.1f (unstable queue)", s.Name, s.ArrivalRate, s.ServiceRate)
+	}
+	return nil
+}
+
+// ThreadCount returns the effective thread count (at least 1).
+func (s *Spec) ThreadCount() int {
+	if s.Threads < 1 {
+		return 1
+	}
+	return s.Threads
+}

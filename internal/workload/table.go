@@ -1,0 +1,407 @@
+package workload
+
+import "fmt"
+
+// The tables below model the 29 SPEC CPU2006 benchmarks (ref inputs) and
+// the four CloudSuite applications used in the paper. Parameters are set
+// from the benchmarks' published characterisations at the granularity that
+// matters to SMiTe: port mix (which functional units a code leans on),
+// working-set structure relative to L1/L2/L3 (hot region + main footprint),
+// access pattern (pointer chasing vs streaming), branch predictability and
+// exposed instruction/memory-level parallelism. Footnotes call out the
+// behaviours the paper names explicitly (e.g. 429.mcf barely sensitive to
+// port 1, 444.namd highly sensitive; 454.calculix contentious on port 0,
+// 470.lbm on port 1; CloudSuite very contentious at L3).
+
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+)
+
+var specCPU2006 = []Spec{
+	// ------------------------- SPEC_INT -------------------------
+	{
+		Name: "400.perlbench", Number: 400, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.42, IntMul: 0.02, Load: 0.24, Store: 0.11, Branch: 0.20, Nop: 0.01},
+		MeanDepDist: 5.0, Dep2Prob: 0.25, IndepFrac: 0.35, PointerChaseFrac: 0.20,
+		FootprintBytes: 2 * mib, Pattern: PatternMixed, StrideBytes: 8, RandomFrac: 0.5,
+		HotBytes: 24 * kib, HotFrac: 0.65,
+		WarmBytes: 256 * kib, WarmFrac: 0.20,
+		BranchTags: 1024, BranchBias: 0.94,
+		ICacheMissRate: 0.010, ITLBMissRate: 0.004,
+	},
+	{
+		Name: "401.bzip2", Number: 401, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.40, IntMul: 0.03, Load: 0.26, Store: 0.11, Branch: 0.19, Nop: 0.01},
+		MeanDepDist: 5.5, Dep2Prob: 0.25, IndepFrac: 0.35, PointerChaseFrac: 0.10,
+		FootprintBytes: 4 * mib, Pattern: PatternMixed, StrideBytes: 8, RandomFrac: 0.4,
+		HotBytes: 24 * kib, HotFrac: 0.55,
+		WarmBytes: 1 * mib, WarmFrac: 0.25,
+		BranchTags: 512, BranchBias: 0.90,
+		ICacheMissRate: 0.002, ITLBMissRate: 0.001,
+	},
+	{
+		Name: "403.gcc", Number: 403, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.38, IntMul: 0.02, Load: 0.26, Store: 0.13, Branch: 0.20, Nop: 0.01},
+		MeanDepDist: 5.0, Dep2Prob: 0.25, IndepFrac: 0.30, PointerChaseFrac: 0.20,
+		FootprintBytes: 8 * mib, Pattern: PatternMixed, StrideBytes: 8, RandomFrac: 0.5,
+		HotBytes: 32 * kib, HotFrac: 0.50,
+		WarmBytes: 1536 * kib, WarmFrac: 0.30,
+		BranchTags: 2048, BranchBias: 0.93,
+		ICacheMissRate: 0.012, ITLBMissRate: 0.005,
+	},
+	{
+		// Pointer chasing over a huge working set: little ILP and
+		// strongly memory-bound — the paper measures only ~6% port-1
+		// sensitivity for mcf.
+		Name: "429.mcf", Number: 429, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.30, Load: 0.35, Store: 0.09, Branch: 0.24, Nop: 0.02},
+		MeanDepDist: 3.0, Dep2Prob: 0.15, IndepFrac: 0.15, PointerChaseFrac: 0.75,
+		FootprintBytes: 48 * mib, Pattern: PatternRandom,
+		HotBytes: 24 * kib, HotFrac: 0.35,
+		WarmBytes: 4 * mib, WarmFrac: 0.35,
+		BranchTags: 256, BranchBias: 0.92,
+		ICacheMissRate: 0.001, ITLBMissRate: 0.002,
+	},
+	{
+		Name: "445.gobmk", Number: 445, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.40, IntMul: 0.02, Load: 0.25, Store: 0.10, Branch: 0.22, Nop: 0.01},
+		MeanDepDist: 5.0, Dep2Prob: 0.25, IndepFrac: 0.35, PointerChaseFrac: 0.15,
+		FootprintBytes: 192 * kib, Pattern: PatternMixed, StrideBytes: 8, RandomFrac: 0.5,
+		HotBytes: 16 * kib, HotFrac: 0.50,
+		WarmBytes: 128 * kib, WarmFrac: 0.25,
+		BranchTags: 4096, BranchBias: 0.82, // hard-to-predict game-tree branches
+		ICacheMissRate: 0.006, ITLBMissRate: 0.002,
+	},
+	{
+		Name: "456.hmmer", Number: 456, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.52, IntMul: 0.05, Load: 0.29, Store: 0.08, Branch: 0.05, Nop: 0.01},
+		MeanDepDist: 10.0, Dep2Prob: 0.30, IndepFrac: 0.55, PointerChaseFrac: 0.05,
+		FootprintBytes: 24 * kib, Pattern: PatternRandom,
+		BranchTags: 128, BranchBias: 0.97,
+		ICacheMissRate: 0.0005, ITLBMissRate: 0.0002,
+	},
+	{
+		Name: "458.sjeng", Number: 458, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.42, IntMul: 0.02, Load: 0.23, Store: 0.09, Branch: 0.23, Nop: 0.01},
+		MeanDepDist: 5.0, Dep2Prob: 0.20, IndepFrac: 0.35, PointerChaseFrac: 0.15,
+		FootprintBytes: 256 * kib, Pattern: PatternRandom,
+		HotBytes: 16 * kib, HotFrac: 0.45,
+		WarmBytes: 192 * kib, WarmFrac: 0.25,
+		BranchTags: 2048, BranchBias: 0.85,
+		ICacheMissRate: 0.004, ITLBMissRate: 0.001,
+	},
+	{
+		Name: "462.libquantum", Number: 462, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.40, Load: 0.30, Store: 0.12, Branch: 0.17, Nop: 0.01},
+		MeanDepDist: 10.0, Dep2Prob: 0.20, IndepFrac: 0.50, PointerChaseFrac: 0.02,
+		FootprintBytes: 64 * mib, Pattern: PatternStride, StrideBytes: 8, // streaming
+		HotBytes: 8 * kib, HotFrac: 0.20,
+		BranchTags: 64, BranchBias: 0.99,
+		ICacheMissRate: 0.0002, ITLBMissRate: 0.0001,
+	},
+	{
+		Name: "464.h264ref", Number: 464, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.45, IntMul: 0.06, Load: 0.30, Store: 0.10, Branch: 0.08, Nop: 0.01},
+		MeanDepDist: 9.0, Dep2Prob: 0.30, IndepFrac: 0.50, PointerChaseFrac: 0.08,
+		FootprintBytes: 512 * kib, Pattern: PatternMixed, StrideBytes: 16, RandomFrac: 0.3,
+		HotBytes: 24 * kib, HotFrac: 0.50,
+		WarmBytes: 256 * kib, WarmFrac: 0.30,
+		BranchTags: 512, BranchBias: 0.95,
+		ICacheMissRate: 0.003, ITLBMissRate: 0.001,
+	},
+	{
+		Name: "471.omnetpp", Number: 471, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.33, IntMul: 0.01, Load: 0.31, Store: 0.13, Branch: 0.21, Nop: 0.01},
+		MeanDepDist: 3.5, Dep2Prob: 0.15, IndepFrac: 0.20, PointerChaseFrac: 0.55,
+		FootprintBytes: 64 * mib, Pattern: PatternRandom,
+		HotBytes: 24 * kib, HotFrac: 0.40,
+		WarmBytes: 4 * mib, WarmFrac: 0.30,
+		BranchTags: 1024, BranchBias: 0.88,
+		ICacheMissRate: 0.008, ITLBMissRate: 0.006,
+	},
+	{
+		Name: "473.astar", Number: 473, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.36, Load: 0.31, Store: 0.09, Branch: 0.23, Nop: 0.01},
+		MeanDepDist: 3.0, Dep2Prob: 0.15, IndepFrac: 0.20, PointerChaseFrac: 0.60,
+		FootprintBytes: 16 * mib, Pattern: PatternRandom,
+		HotBytes: 16 * kib, HotFrac: 0.40,
+		WarmBytes: 3 * mib, WarmFrac: 0.35,
+		BranchTags: 512, BranchBias: 0.86,
+		ICacheMissRate: 0.001, ITLBMissRate: 0.001,
+	},
+	{
+		Name: "483.xalancbmk", Number: 483, Suite: SpecINT,
+		Mix:         Mix{IntAdd: 0.34, IntMul: 0.01, Load: 0.30, Store: 0.11, Branch: 0.23, Nop: 0.01},
+		MeanDepDist: 4.0, Dep2Prob: 0.20, IndepFrac: 0.25, PointerChaseFrac: 0.45,
+		FootprintBytes: 32 * mib, Pattern: PatternMixed, StrideBytes: 8, RandomFrac: 0.6,
+		HotBytes: 24 * kib, HotFrac: 0.45,
+		WarmBytes: 6 * mib, WarmFrac: 0.30,
+		BranchTags: 2048, BranchBias: 0.90,
+		ICacheMissRate: 0.014, ITLBMissRate: 0.008,
+	},
+
+	// ------------------------- SPEC_FP --------------------------
+	{
+		Name: "410.bwaves", Number: 410, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.22, FPAdd: 0.24, FPShuf: 0.03, IntAdd: 0.08, Load: 0.28, Store: 0.09, Branch: 0.05, Nop: 0.01},
+		MeanDepDist: 11.0, Dep2Prob: 0.35, IndepFrac: 0.50, PointerChaseFrac: 0.02,
+		FootprintBytes: 96 * mib, Pattern: PatternStride, StrideBytes: 8,
+		HotBytes: 8 * kib, HotFrac: 0.25,
+		BranchTags: 64, BranchBias: 0.99,
+		ICacheMissRate: 0.0002, ITLBMissRate: 0.0001,
+	},
+	{
+		Name: "416.gamess", Number: 416, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.26, FPAdd: 0.24, FPShuf: 0.05, IntAdd: 0.10, Load: 0.24, Store: 0.05, Branch: 0.05, Nop: 0.01},
+		MeanDepDist: 11.0, Dep2Prob: 0.35, IndepFrac: 0.55, PointerChaseFrac: 0.05,
+		FootprintBytes: 20 * kib, Pattern: PatternRandom,
+		BranchTags: 256, BranchBias: 0.97,
+		ICacheMissRate: 0.005, ITLBMissRate: 0.001,
+	},
+	{
+		Name: "433.milc", Number: 433, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.20, FPAdd: 0.20, FPShuf: 0.04, IntAdd: 0.08, Load: 0.30, Store: 0.12, Branch: 0.05, Nop: 0.01},
+		MeanDepDist: 10.0, Dep2Prob: 0.30, IndepFrac: 0.50, PointerChaseFrac: 0.02,
+		FootprintBytes: 128 * mib, Pattern: PatternStride, StrideBytes: 8,
+		HotBytes: 8 * kib, HotFrac: 0.20,
+		BranchTags: 128, BranchBias: 0.98,
+		ICacheMissRate: 0.0005, ITLBMissRate: 0.0002,
+	},
+	{
+		Name: "434.zeusmp", Number: 434, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.19, FPAdd: 0.21, FPShuf: 0.03, IntAdd: 0.10, Load: 0.28, Store: 0.11, Branch: 0.07, Nop: 0.01},
+		MeanDepDist: 9.0, Dep2Prob: 0.30, IndepFrac: 0.45, PointerChaseFrac: 0.05,
+		FootprintBytes: 24 * mib, Pattern: PatternMixed, StrideBytes: 8, RandomFrac: 0.3,
+		HotBytes: 16 * kib, HotFrac: 0.35,
+		WarmBytes: 3 * mib, WarmFrac: 0.25,
+		BranchTags: 256, BranchBias: 0.97,
+		ICacheMissRate: 0.001, ITLBMissRate: 0.0005,
+	},
+	{
+		Name: "435.gromacs", Number: 435, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.27, FPAdd: 0.25, FPShuf: 0.06, IntAdd: 0.09, Load: 0.23, Store: 0.05, Branch: 0.04, Nop: 0.01},
+		MeanDepDist: 11.0, Dep2Prob: 0.35, IndepFrac: 0.55, PointerChaseFrac: 0.05,
+		FootprintBytes: 28 * kib, Pattern: PatternRandom,
+		BranchTags: 128, BranchBias: 0.96,
+		ICacheMissRate: 0.001, ITLBMissRate: 0.0003,
+	},
+	{
+		Name: "436.cactusADM", Number: 436, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.24, FPAdd: 0.22, FPShuf: 0.02, IntAdd: 0.08, Load: 0.29, Store: 0.10, Branch: 0.04, Nop: 0.01},
+		MeanDepDist: 10.0, Dep2Prob: 0.35, IndepFrac: 0.50, PointerChaseFrac: 0.03,
+		FootprintBytes: 48 * mib, Pattern: PatternStride, StrideBytes: 8,
+		HotBytes: 8 * kib, HotFrac: 0.25,
+		BranchTags: 64, BranchBias: 0.99,
+		ICacheMissRate: 0.0005, ITLBMissRate: 0.0002,
+	},
+	{
+		Name: "437.leslie3d", Number: 437, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.21, FPAdd: 0.23, FPShuf: 0.03, IntAdd: 0.08, Load: 0.29, Store: 0.11, Branch: 0.04, Nop: 0.01},
+		MeanDepDist: 10.0, Dep2Prob: 0.30, IndepFrac: 0.50, PointerChaseFrac: 0.02,
+		FootprintBytes: 64 * mib, Pattern: PatternStride, StrideBytes: 8,
+		HotBytes: 8 * kib, HotFrac: 0.20,
+		BranchTags: 64, BranchBias: 0.99,
+		ICacheMissRate: 0.0003, ITLBMissRate: 0.0001,
+	},
+	{
+		// Dense FP kernels with very high ILP and a tiny working set:
+		// the paper measures up to 71% degradation under port-1 (FP_ADD)
+		// pressure for namd.
+		Name: "444.namd", Number: 444, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.30, FPAdd: 0.32, FPShuf: 0.06, IntAdd: 0.08, Load: 0.19, Store: 0.02, Branch: 0.02, Nop: 0.01},
+		MeanDepDist: 14.0, Dep2Prob: 0.40, IndepFrac: 0.60, PointerChaseFrac: 0.03,
+		FootprintBytes: 16 * kib, Pattern: PatternRandom,
+		BranchTags: 64, BranchBias: 0.98,
+		ICacheMissRate: 0.0002, ITLBMissRate: 0.0001,
+	},
+	{
+		Name: "447.dealII", Number: 447, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.22, FPAdd: 0.22, FPShuf: 0.04, IntAdd: 0.11, Load: 0.26, Store: 0.08, Branch: 0.06, Nop: 0.01},
+		MeanDepDist: 8.0, Dep2Prob: 0.30, IndepFrac: 0.45, PointerChaseFrac: 0.15,
+		FootprintBytes: 192 * kib, Pattern: PatternRandom,
+		HotBytes: 16 * kib, HotFrac: 0.40,
+		WarmBytes: 128 * kib, WarmFrac: 0.30,
+		BranchTags: 512, BranchBias: 0.95,
+		ICacheMissRate: 0.003, ITLBMissRate: 0.001,
+	},
+	{
+		Name: "450.soplex", Number: 450, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.16, FPAdd: 0.16, FPShuf: 0.02, IntAdd: 0.12, Load: 0.32, Store: 0.10, Branch: 0.11, Nop: 0.01},
+		MeanDepDist: 5.0, Dep2Prob: 0.20, IndepFrac: 0.30, PointerChaseFrac: 0.30,
+		FootprintBytes: 48 * mib, Pattern: PatternRandom,
+		HotBytes: 24 * kib, HotFrac: 0.35,
+		WarmBytes: 4 * mib, WarmFrac: 0.25,
+		BranchTags: 512, BranchBias: 0.93,
+		ICacheMissRate: 0.002, ITLBMissRate: 0.001,
+	},
+	{
+		Name: "453.povray", Number: 453, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.24, FPAdd: 0.22, FPShuf: 0.05, IntAdd: 0.12, Load: 0.22, Store: 0.07, Branch: 0.07, Nop: 0.01},
+		MeanDepDist: 8.0, Dep2Prob: 0.30, IndepFrac: 0.50, PointerChaseFrac: 0.10,
+		FootprintBytes: 20 * kib, Pattern: PatternRandom,
+		BranchTags: 1024, BranchBias: 0.94,
+		ICacheMissRate: 0.004, ITLBMissRate: 0.001,
+	},
+	{
+		// FP_MUL-leaning mix over an L1-resident working set: the paper
+		// notes calculix is more contentious on port 0 and relies
+		// heavily on the L1 (similar L1/L2 sensitivity).
+		Name: "454.calculix", Number: 454, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.31, FPAdd: 0.24, FPShuf: 0.04, IntAdd: 0.09, Load: 0.23, Store: 0.05, Branch: 0.03, Nop: 0.01},
+		MeanDepDist: 12.0, Dep2Prob: 0.35, IndepFrac: 0.60, PointerChaseFrac: 0.05,
+		FootprintBytes: 20 * kib, Pattern: PatternRandom,
+		BranchTags: 128, BranchBias: 0.97,
+		ICacheMissRate: 0.0005, ITLBMissRate: 0.0002,
+	},
+	{
+		Name: "459.GemsFDTD", Number: 459, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.20, FPAdd: 0.22, FPShuf: 0.02, IntAdd: 0.08, Load: 0.30, Store: 0.12, Branch: 0.05, Nop: 0.01},
+		MeanDepDist: 10.0, Dep2Prob: 0.30, IndepFrac: 0.50, PointerChaseFrac: 0.03,
+		FootprintBytes: 96 * mib, Pattern: PatternStride, StrideBytes: 8,
+		HotBytes: 8 * kib, HotFrac: 0.20,
+		BranchTags: 64, BranchBias: 0.99,
+		ICacheMissRate: 0.0003, ITLBMissRate: 0.0001,
+	},
+	{
+		Name: "465.tonto", Number: 465, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.23, FPAdd: 0.22, FPShuf: 0.05, IntAdd: 0.11, Load: 0.25, Store: 0.07, Branch: 0.06, Nop: 0.01},
+		MeanDepDist: 9.0, Dep2Prob: 0.30, IndepFrac: 0.50, PointerChaseFrac: 0.10,
+		FootprintBytes: 256 * kib, Pattern: PatternRandom,
+		HotBytes: 16 * kib, HotFrac: 0.35,
+		WarmBytes: 192 * kib, WarmFrac: 0.30,
+		BranchTags: 512, BranchBias: 0.95,
+		ICacheMissRate: 0.004, ITLBMissRate: 0.001,
+	},
+	{
+		// Streaming lattice-Boltzmann kernel: FP_ADD-leaning (the paper
+		// notes lbm is more contentious on port 1) with a huge
+		// bandwidth-bound footprint.
+		Name: "470.lbm", Number: 470, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.21, FPAdd: 0.29, FPShuf: 0.02, IntAdd: 0.06, Load: 0.26, Store: 0.13, Branch: 0.02, Nop: 0.01},
+		MeanDepDist: 12.0, Dep2Prob: 0.30, IndepFrac: 0.55, PointerChaseFrac: 0.01,
+		FootprintBytes: 192 * mib, Pattern: PatternStride, StrideBytes: 8,
+		HotBytes: 8 * kib, HotFrac: 0.15,
+		BranchTags: 32, BranchBias: 0.995,
+		ICacheMissRate: 0.0001, ITLBMissRate: 0.0001,
+	},
+	{
+		Name: "481.wrf", Number: 481, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.22, FPAdd: 0.23, FPShuf: 0.03, IntAdd: 0.09, Load: 0.27, Store: 0.09, Branch: 0.06, Nop: 0.01},
+		MeanDepDist: 9.0, Dep2Prob: 0.30, IndepFrac: 0.45, PointerChaseFrac: 0.08,
+		FootprintBytes: 12 * mib, Pattern: PatternMixed, StrideBytes: 8, RandomFrac: 0.3,
+		HotBytes: 16 * kib, HotFrac: 0.35,
+		WarmBytes: 2 * mib, WarmFrac: 0.25,
+		BranchTags: 512, BranchBias: 0.97,
+		ICacheMissRate: 0.003, ITLBMissRate: 0.001,
+	},
+	{
+		Name: "482.sphinx3", Number: 482, Suite: SpecFP,
+		Mix:         Mix{FPMul: 0.20, FPAdd: 0.21, FPShuf: 0.03, IntAdd: 0.10, Load: 0.31, Store: 0.06, Branch: 0.08, Nop: 0.01},
+		MeanDepDist: 7.0, Dep2Prob: 0.25, IndepFrac: 0.40, PointerChaseFrac: 0.15,
+		FootprintBytes: 8 * mib, Pattern: PatternMixed, StrideBytes: 8, RandomFrac: 0.6,
+		HotBytes: 16 * kib, HotFrac: 0.40,
+		WarmBytes: 2 * mib, WarmFrac: 0.30,
+		BranchTags: 512, BranchBias: 0.94,
+		ICacheMissRate: 0.002, ITLBMissRate: 0.001,
+	},
+}
+
+// cloudSuite models the four latency-sensitive services. Per Finding 5
+// their functional-unit behaviour resembles SPEC_INT; per Finding 8 they
+// are far more contentious at the L3 (large shared-cache footprints) while
+// showing SPEC-like sensitivity.
+var cloudSuite = []Spec{
+	{
+		Name: "web-search", Suite: Cloud,
+		Mix:         Mix{IntAdd: 0.38, IntMul: 0.02, Load: 0.28, Store: 0.10, Branch: 0.21, Nop: 0.01},
+		MeanDepDist: 4.5, Dep2Prob: 0.20, IndepFrac: 0.25, PointerChaseFrac: 0.35,
+		FootprintBytes: 10 * mib, Pattern: PatternMixed, StrideBytes: 8, RandomFrac: 0.7,
+		HotBytes: 32 * kib, HotFrac: 0.35,
+		WarmBytes: 6 * mib, WarmFrac: 0.35,
+		BranchTags: 4096, BranchBias: 0.90,
+		ICacheMissRate: 0.020, ITLBMissRate: 0.010,
+		Threads:     6,
+		ServiceRate: 2000, ArrivalRate: 1000, ReportsPercentile: true,
+	},
+	{
+		Name: "data-caching", Suite: Cloud,
+		Mix:         Mix{IntAdd: 0.34, Load: 0.31, Store: 0.12, Branch: 0.21, Nop: 0.02},
+		MeanDepDist: 4.0, Dep2Prob: 0.15, IndepFrac: 0.25, PointerChaseFrac: 0.40,
+		FootprintBytes: 20 * mib, Pattern: PatternRandom,
+		HotBytes: 32 * kib, HotFrac: 0.30,
+		WarmBytes: 8 * mib, WarmFrac: 0.35,
+		BranchTags: 1024, BranchBias: 0.92,
+		ICacheMissRate: 0.008, ITLBMissRate: 0.004,
+		Threads:     6,
+		ServiceRate: 5000, ArrivalRate: 2500, ReportsPercentile: true,
+	},
+	{
+		Name: "data-serving", Suite: Cloud,
+		Mix:         Mix{IntAdd: 0.33, IntMul: 0.01, Load: 0.30, Store: 0.13, Branch: 0.21, Nop: 0.02},
+		MeanDepDist: 4.0, Dep2Prob: 0.15, IndepFrac: 0.22, PointerChaseFrac: 0.40,
+		FootprintBytes: 24 * mib, Pattern: PatternRandom,
+		HotBytes: 32 * kib, HotFrac: 0.30,
+		WarmBytes: 8 * mib, WarmFrac: 0.30,
+		BranchTags: 2048, BranchBias: 0.90,
+		ICacheMissRate: 0.015, ITLBMissRate: 0.008,
+		Threads:     6,
+		ServiceRate: 1500, ArrivalRate: 700, ReportsPercentile: false,
+	},
+	{
+		Name: "graph-analytics", Suite: Cloud,
+		Mix:         Mix{IntAdd: 0.35, Load: 0.33, Store: 0.08, Branch: 0.21, Nop: 0.03},
+		MeanDepDist: 3.5, Dep2Prob: 0.15, IndepFrac: 0.20, PointerChaseFrac: 0.50,
+		FootprintBytes: 48 * mib, Pattern: PatternRandom,
+		HotBytes: 24 * kib, HotFrac: 0.30,
+		WarmBytes: 6 * mib, WarmFrac: 0.30,
+		BranchTags: 512, BranchBias: 0.88,
+		ICacheMissRate: 0.003, ITLBMissRate: 0.002,
+		Threads:     6,
+		ServiceRate: 800, ArrivalRate: 350, ReportsPercentile: false,
+	},
+}
+
+// SPECCPU2006 returns the 29 SPEC CPU2006 application models.
+func SPECCPU2006() []*Spec { return refs(specCPU2006) }
+
+// CloudSuiteApps returns the four CloudSuite application models.
+func CloudSuiteApps() []*Spec { return refs(cloudSuite) }
+
+// All returns every application model (SPEC then CloudSuite).
+func All() []*Spec { return append(SPECCPU2006(), CloudSuiteApps()...) }
+
+func refs(specs []Spec) []*Spec {
+	out := make([]*Spec, len(specs))
+	for i := range specs {
+		out[i] = &specs[i]
+	}
+	return out
+}
+
+// ByName looks an application up by its exact name.
+func ByName(name string) (*Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("workload: unknown application %q", name)
+}
+
+// EvenSPEC returns the even-numbered SPEC benchmarks, OddSPEC the odd ones;
+// the paper uses this parity split for train/test set construction.
+func EvenSPEC() []*Spec { return byParity(0) }
+
+// OddSPEC returns the odd-numbered SPEC benchmarks.
+func OddSPEC() []*Spec { return byParity(1) }
+
+func byParity(rem int) []*Spec {
+	var out []*Spec
+	for _, s := range SPECCPU2006() {
+		if s.Number%2 == rem {
+			out = append(out, s)
+		}
+	}
+	return out
+}

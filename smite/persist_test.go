@@ -1,0 +1,78 @@
+package smite
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func sampleModel() Model {
+	var inner model.Smite
+	for d := range inner.Coef {
+		inner.Coef[d] = float64(d) * 0.1
+	}
+	inner.Intercept = -0.02
+	return Model{inner: inner}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, sampleModel()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, wi := sampleModel().Coefficients()
+	gc, gi := got.Coefficients()
+	if wc != gc || wi != gi {
+		t.Errorf("round trip changed the model: %v/%g vs %v/%g", gc, gi, wc, wi)
+	}
+}
+
+func TestProfilesRoundTrip(t *testing.T) {
+	chars := []Characterization{
+		{App: "a", SoloIPC: 1.5},
+		{App: "b", SoloIPC: 0.4},
+	}
+	chars[0].Sen[DimFPAdd] = 0.4
+	chars[1].Con[DimL3] = 0.6
+	var buf bytes.Buffer
+	if err := SaveProfiles(&buf, chars); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProfiles(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Sen != chars[0].Sen || got[1].Con != chars[1].Con {
+		t.Errorf("round trip changed the profiles: %+v", got)
+	}
+}
+
+func TestLoadRejectsWrongDimensions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, sampleModel()); err != nil {
+		t.Fatal(err)
+	}
+	tampered := strings.Replace(buf.String(), "FP_MUL(P0)", "SOMETHING_ELSE", 1)
+	if _, err := LoadModel(strings.NewReader(tampered)); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	tampered = strings.Replace(buf.String(), `"version": 1`, `"version": 9`, 1)
+	if _, err := LoadModel(strings.NewReader(tampered)); err == nil {
+		t.Error("unknown version accepted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
+		t.Error("garbage model accepted")
+	}
+	if _, err := LoadProfiles(strings.NewReader("{}")); err == nil {
+		t.Error("empty profile file accepted (wrong version)")
+	}
+}

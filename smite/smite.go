@@ -1,0 +1,279 @@
+// Package smite is the public API of the SMiTe reproduction: precise QoS
+// prediction for SMT co-location, as described in "SMiTe: Precise QoS
+// Prediction on Real-System SMT Processors to Improve Utilization in
+// Warehouse Scale Computers" (MICRO 2014).
+//
+// The package wraps the methodology end to end:
+//
+//  1. Characterize applications with the Ruler stressor suite, obtaining a
+//     decoupled sensitivity/contentiousness vector per sharing dimension
+//     (FP_MUL, FP_ADD, FP_SHF, INT_ADD, L1, L2, L3).
+//  2. Train the Equation 3 regression model from characterizations plus a
+//     set of measured co-location degradations.
+//  3. Predict the degradation of arbitrary co-locations — and, through the
+//     M/M/1 queueing extension, percentile (tail) latency — without ever
+//     co-locating the applications for real.
+//
+// The "real system" underneath is a deterministic cycle-approximate SMT
+// multicore simulator (see DESIGN.md for the substitution rationale); the
+// methodology layers are exactly the paper's.
+//
+// A minimal session:
+//
+//	sys, _ := smite.NewSystem(smite.IvyBridge, smite.DefaultOptions())
+//	a, _ := smite.WorkloadByName("444.namd")
+//	b, _ := smite.WorkloadByName("429.mcf")
+//	chA, _ := sys.Characterize(a, smite.SMT)
+//	chB, _ := sys.Characterize(b, smite.SMT)
+//	m, _ := sys.TrainFromSets(trainApps, smite.SMT)
+//	deg := m.PredictPair(chA, chB) // namd's degradation next to mcf
+package smite
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/profile"
+	"repro/internal/queueing"
+	"repro/internal/rulers"
+	"repro/internal/sim/isa"
+	"repro/internal/workload"
+)
+
+// Re-exported building blocks. These are aliases so that values flow
+// freely between the public API and the internal packages.
+type (
+	// Spec describes an application model (instruction mix, working sets,
+	// branch behaviour). Use the registry helpers or build your own.
+	Spec = workload.Spec
+	// Mix is a Spec's dynamic micro-op mix.
+	Mix = workload.Mix
+	// Characterization is an application's decoupled Sen/Con profile.
+	Characterization = profile.Characterization
+	// PairMeasurement is a measured co-location ground truth.
+	PairMeasurement = profile.PairMeasurement
+	// Options control measurement windows and reproducibility.
+	Options = profile.Options
+	// Placement selects SMT (same core) or CMP (across cores) sharing.
+	Placement = profile.Placement
+	// Dimension identifies one of the seven sharing dimensions.
+	Dimension = rulers.Dimension
+	// Ruler is one stressor of the measurement suite.
+	Ruler = rulers.Ruler
+	// MachineConfig is a full microarchitecture description.
+	MachineConfig = isa.Config
+	// MM1 is the FCFS queueing model for tail-latency prediction.
+	MM1 = queueing.MM1
+)
+
+// AccessPattern selects how a Spec generates data addresses.
+type AccessPattern = workload.AccessPattern
+
+// Access patterns.
+const (
+	// PatternRandom draws uniformly random addresses from the footprint.
+	PatternRandom = workload.PatternRandom
+	// PatternStride walks the footprint with a fixed stride.
+	PatternStride = workload.PatternStride
+	// PatternMixed mixes random and strided access per RandomFrac.
+	PatternMixed = workload.PatternMixed
+)
+
+// Placements.
+const (
+	// SMT places co-runners on sibling hardware contexts.
+	SMT = profile.SMT
+	// CMP places co-runners on separate cores.
+	CMP = profile.CMP
+)
+
+// Sharing dimensions.
+const (
+	DimFPMul  = rulers.DimFPMul
+	DimFPAdd  = rulers.DimFPAdd
+	DimFPShf  = rulers.DimFPShf
+	DimIntAdd = rulers.DimIntAdd
+	DimL1     = rulers.DimL1
+	DimL2     = rulers.DimL2
+	DimL3     = rulers.DimL3
+	DimMemBW  = rulers.DimMemBW
+	// NumDimensions is the sharing-dimension count.
+	NumDimensions = rulers.NumDimensions
+)
+
+// Machine selects a stock microarchitecture (Table I of the paper).
+type Machine int
+
+const (
+	// IvyBridge models the Intel i7-3770 (4 cores, 8 contexts).
+	IvyBridge Machine = iota
+	// SandyBridgeEN models the Intel Xeon E5-2420 (6 cores, 12 contexts).
+	SandyBridgeEN
+)
+
+// Config returns the machine's full configuration for inspection or
+// customisation (pass a modified copy to NewSystemConfig).
+func (m Machine) Config() MachineConfig {
+	if m == SandyBridgeEN {
+		return isa.SandyBridgeEN()
+	}
+	return isa.IvyBridge()
+}
+
+// DefaultOptions returns full-scale measurement windows; FastOptions
+// returns reduced windows for quick experimentation.
+func DefaultOptions() Options { return profile.DefaultOptions() }
+
+// FastOptions returns reduced measurement windows.
+func FastOptions() Options { return profile.FastOptions() }
+
+// WorkloadByName finds a stock application model ("429.mcf",
+// "web-search", ...).
+func WorkloadByName(name string) (*Spec, error) { return workload.ByName(name) }
+
+// SPECWorkloads returns the 29 SPEC CPU2006 models; CloudWorkloads the four
+// CloudSuite latency-sensitive models.
+func SPECWorkloads() []*Spec { return workload.SPECCPU2006() }
+
+// CloudWorkloads returns the CloudSuite application models.
+func CloudWorkloads() []*Spec { return workload.CloudSuiteApps() }
+
+// TrainTestSplit returns the paper's even/odd SPEC split.
+func TrainTestSplit() (train, test []*Spec) { return workload.EvenSPEC(), workload.OddSPEC() }
+
+// StandardRulers returns the seven-Ruler suite sized to a machine.
+func StandardRulers(cfg MachineConfig) []*Ruler { return rulers.StandardSet(cfg) }
+
+// System is the characterization and measurement facade: one simulated
+// machine plus memoised solo runs. It is safe for concurrent use.
+type System struct {
+	prof *profile.Profiler
+}
+
+// NewSystem builds a System for a stock machine.
+func NewSystem(m Machine, opts Options) (*System, error) {
+	return NewSystemConfig(m.Config(), opts)
+}
+
+// NewSystemConfig builds a System for a custom machine configuration.
+func NewSystemConfig(cfg MachineConfig, opts Options) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &System{prof: profile.NewProfiler(cfg, opts)}, nil
+}
+
+// Machine returns the system's configuration.
+func (s *System) Machine() MachineConfig { return s.prof.Config() }
+
+// Characterize measures an application's sensitivity and contentiousness
+// along every sharing dimension by co-locating it with each Ruler.
+func (s *System) Characterize(spec *Spec, placement Placement) (Characterization, error) {
+	return s.prof.Characterize(spec, placement)
+}
+
+// CharacterizeAll characterizes a batch of applications concurrently.
+func (s *System) CharacterizeAll(specs []*Spec, placement Placement) ([]Characterization, error) {
+	return s.prof.CharacterizeAll(specs, placement)
+}
+
+// MeasurePair measures the mutual degradation of two applications — the
+// ground truth used for model training and validation.
+func (s *System) MeasurePair(a, b *Spec, placement Placement) (PairMeasurement, error) {
+	return s.prof.MeasurePair(a, b, placement)
+}
+
+// MeasurePairs measures all distinct pairs between two sets.
+func (s *System) MeasurePairs(as, bs []*Spec, placement Placement) ([]PairMeasurement, error) {
+	return s.prof.MeasurePairs(as, bs, placement)
+}
+
+// SoloIPC returns an application's solo IPC (memoised).
+func (s *System) SoloIPC(spec *Spec) (float64, error) {
+	r, err := s.prof.SoloRun(profile.App(spec))
+	if err != nil {
+		return 0, err
+	}
+	return r.AppIPC, nil
+}
+
+// Model is the trained Equation 3 predictor.
+type Model struct {
+	inner model.Smite
+}
+
+// Coefficients returns the per-dimension weights and the intercept c0.
+func (m Model) Coefficients() ([NumDimensions]float64, float64) {
+	return m.inner.Coef, m.inner.Intercept
+}
+
+// PredictPair predicts the victim's degradation when co-located with the
+// aggressor, from their characterizations alone.
+func (m Model) PredictPair(victim, aggressor Characterization) float64 {
+	return m.inner.Predict(model.PairObs{SenA: victim.Sen, ConB: aggressor.Con})
+}
+
+// PredictScaled predicts a multithreaded victim's aggregate degradation
+// when only `instances` of its `threads` hardware contexts receive an
+// aggressor instance (the occupancy scaling used in the CloudSuite and
+// scale-out studies).
+func (m Model) PredictScaled(victim, aggressor Characterization, instances, threads int) float64 {
+	if threads <= 0 {
+		return 0
+	}
+	f := float64(instances) / float64(threads)
+	if f > 1 {
+		f = 1
+	}
+	return f * m.PredictPair(victim, aggressor)
+}
+
+// Train fits the model from characterizations and measured pairs
+// (non-negative least squares on the Equation 3 features).
+func Train(chars []Characterization, pairs []PairMeasurement) (Model, error) {
+	obs, err := model.BuildObservations(chars, pairs)
+	if err != nil {
+		return Model{}, err
+	}
+	inner, err := model.TrainSmiteNNLS(obs)
+	if err != nil {
+		return Model{}, err
+	}
+	return Model{inner: inner}, nil
+}
+
+// TrainFromSets characterizes the given applications, measures all their
+// pairwise co-locations and trains a model — the one-call training path.
+func (s *System) TrainFromSets(apps []*Spec, placement Placement) (Model, []Characterization, error) {
+	chars, err := s.CharacterizeAll(apps, placement)
+	if err != nil {
+		return Model{}, nil, err
+	}
+	pairs, err := s.MeasurePairs(apps, apps, placement)
+	if err != nil {
+		return Model{}, nil, err
+	}
+	m, err := Train(chars, pairs)
+	if err != nil {
+		return Model{}, nil, err
+	}
+	return m, chars, nil
+}
+
+// PredictTailLatency applies the queueing extension (Equation 6): the
+// percentile latency of a service with per-thread service rate mu and
+// offered load lambda under a predicted degradation.
+func PredictTailLatency(percentile, mu, lambda, degradation float64) (float64, error) {
+	if percentile <= 0 || percentile >= 1 {
+		return 0, fmt.Errorf("smite: percentile %.3f outside (0,1)", percentile)
+	}
+	t := queueing.DegradedPercentile(percentile, mu, lambda, degradation)
+	return t, nil
+}
+
+// SafeColocation reports whether co-locating aggressor next to victim keeps
+// the victim's QoS (defined as retained average performance) within target,
+// according to the model — the admission check a cluster scheduler runs.
+func (m Model) SafeColocation(victim, aggressor Characterization, qosTarget float64) bool {
+	return 1-m.PredictPair(victim, aggressor) >= qosTarget
+}
