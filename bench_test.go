@@ -339,6 +339,43 @@ func BenchmarkAblationL3Replacement(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckerOverhead measures the cost of the runtime invariant
+// checker (internal/sim/check) on a representative SMT co-location run.
+// Every other benchmark in this file runs checker-disabled — the unchecked
+// fast path is a single nil comparison per cycle; the checked sub-benchmark
+// documents what tests pay for continuous verification at the default
+// interval. Target: within ~5% of the unchecked runtime.
+func BenchmarkCheckerOverhead(b *testing.B) {
+	cfg := isa.IvyBridge()
+	cfg.Cores = 2
+	mcf, err := workload.ByName("429.mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	namd, err := workload.ByName("444.namd")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name  string
+		check bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			opts := profile.FastOptions()
+			opts.Check = mode.check
+			for i := 0; i < b.N; i++ {
+				res, err := profile.Colocate(cfg, profile.App(namd), profile.App(mcf), profile.SMT, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.AppIPC <= 0 {
+					b.Fatal("no progress")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDynamicScheduler exercises the dynamic (arrival/departure)
 // cluster study extension on a synthetic degradation table.
 func BenchmarkDynamicScheduler(b *testing.B) {

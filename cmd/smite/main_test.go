@@ -1,0 +1,58 @@
+package main
+
+import (
+	"testing"
+)
+
+// The CLI subcommands are exercised directly (they are plain functions over
+// an args slice), so flag parsing, workload lookup and the full
+// characterize/measure paths run in-process at reduced windows.
+
+func TestListRuns(t *testing.T) {
+	if err := list(); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+}
+
+func TestCharacterizeFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI characterization in short mode")
+	}
+	if err := characterize([]string{"-app", "444.namd", "-fast"}); err != nil {
+		t.Fatalf("characterize: %v", err)
+	}
+}
+
+func TestMeasureFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI measurement in short mode")
+	}
+	if err := measure([]string{"-victim", "444.namd", "-aggressor", "429.mcf", "-placement", "cmp", "-fast"}); err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+}
+
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"characterize without -app", func() error { return characterize([]string{"-fast"}) }},
+		{"characterize unknown app", func() error { return characterize([]string{"-app", "999.nope", "-fast"}) }},
+		{"characterize unknown machine", func() error {
+			return characterize([]string{"-app", "444.namd", "-machine", "alpha", "-fast"})
+		}},
+		{"characterize unknown placement", func() error {
+			return characterize([]string{"-app", "444.namd", "-placement", "both", "-fast"})
+		}},
+		{"predict without -victim", func() error { return predict([]string{"-aggressor", "429.mcf", "-fast"}) }},
+		{"measure without -aggressor", func() error { return measure([]string{"-victim", "444.namd", "-fast"}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(); err == nil {
+				t.Error("invalid invocation accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartBuildsAndRuns compiles the example and executes it end to
+// end — characterization, training and prediction at FastOptions — so the
+// documented entry point cannot silently rot.
+func TestQuickstartBuildsAndRuns(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "quickstart")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	if testing.Short() {
+		t.Skip("quickstart execution in short mode")
+	}
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("quickstart run: %v\n%s", err, out)
+	}
+	for _, want := range []string{"machine:", "model coefficients:", "co-location namd | mcf"} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

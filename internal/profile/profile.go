@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"repro/internal/rulers"
+	"repro/internal/sim/check"
 	"repro/internal/sim/engine"
 	"repro/internal/sim/isa"
 	"repro/internal/sim/pmu"
@@ -61,6 +62,15 @@ type Options struct {
 	// Parallelism bounds the worker pool of the batch helpers
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// Check attaches the runtime invariant checker (internal/sim/check) to
+	// every chip this Options drives: run results are validated against the
+	// engine's conservation laws every CheckInterval cycles, and a
+	// violation fails the run with a structured error. Costs a few percent
+	// of simulation time; meant for tests and verification sweeps.
+	Check bool
+	// CheckInterval is the cycle distance between invariant checks
+	// (0 = engine default, 1024).
+	CheckInterval uint64
 }
 
 // DefaultOptions returns the measurement windows used by the full-scale
@@ -213,6 +223,9 @@ func run(cfg isa.Config, job, partner Job, placement Placement, opts Options) (R
 	if err != nil {
 		return RunResult{}, err
 	}
+	if opts.Check {
+		check.Attach(chip, opts.CheckInterval)
+	}
 	n := job.Instances()
 	if n > cfg.Cores {
 		return RunResult{}, fmt.Errorf("profile: job %s needs %d contexts but %s has %d cores", job.Name(), n, cfg.Name, cfg.Cores)
@@ -253,6 +266,9 @@ func run(cfg isa.Config, job, partner Job, placement Placement, opts Options) (R
 	chip.Run(opts.WarmupCycles)
 	chip.ResetCounters()
 	chip.Run(opts.MeasureCycles)
+	if err := chip.CheckErr(); err != nil {
+		return RunResult{}, fmt.Errorf("profile: invariant violation running %s: %w", job.Name(), err)
+	}
 
 	res := RunResult{}
 	for i := 0; i < n; i++ {

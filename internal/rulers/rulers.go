@@ -113,17 +113,27 @@ func (r *Ruler) TargetKind() isa.UopKind { return r.kind }
 // functional-unit Rulers).
 func (r *Ruler) FootprintBytes() uint64 { return r.footprintBytes }
 
-// WithIntensity returns a copy of the Ruler at a different intensity
-// (duty cycle), clamped to (0, 1].
+// WithIntensity returns a copy of the Ruler at a different intensity,
+// clamped to (0, 1].
 //
 // The paper scales memory-Ruler intensity by working-set size; on this
 // substrate a working-set sweep conflates two opposing effects (capacity
 // pressure grows with the footprint while the Ruler's achievable access
-// rate shrinks), so intensity is a duty cycle for every Ruler kind and the
-// L1/L2/L3 footprints remain the three fixed capacity points. The duty
-// cycle preserves what intensity is for: a knob whose relation to induced
-// interference is close to linear, so two end points bound a sensitivity
-// curve (Section III-B1).
+// rate shrinks), so intensity throttles the Ruler's issue rate instead and
+// the L1/L2/L3 footprints remain the three fixed capacity points.
+//
+// Intensity dilutes via *dependency chaining*, not nop filler: a diluted
+// uop depends on its predecessor, serialising at the functional unit's (or
+// the memory hierarchy's) latency. A chained Ruler therefore backs up in
+// its own ROB and yields front-end slots to the work-conserving fetch
+// stage — just like a saturated one — so the knob moves pressure only in
+// the Ruler's target dimension. Nop filler gets this wrong in the opposite
+// direction: nops retire at full width, so a diluted Ruler never stalls
+// and *steals more* shared fetch bandwidth than a port-bound one, making
+// interference fall as intensity rises. Chaining preserves what intensity
+// is for: a knob whose relation to induced interference is monotone and
+// close to linear, so two end points bound a sensitivity curve
+// (Section III-B1).
 func (r *Ruler) WithIntensity(i float64) *Ruler {
 	if i <= 0 {
 		i = 0.01
@@ -252,7 +262,10 @@ type Stream interface {
 	Next(u *isa.Uop)
 }
 
-// fuStream is a dependency-free unrolled loop of one port-specific uop.
+// fuStream is an unrolled loop of one port-specific uop. At full intensity
+// every uop is independent (maximum port pressure); below it, a uop is
+// chained onto its predecessor with probability 1-intensity, serialising a
+// fraction of the stream at the unit's latency.
 type fuStream struct {
 	kind      isa.UopKind
 	intensity float64
@@ -260,18 +273,21 @@ type fuStream struct {
 }
 
 func (s *fuStream) Next(u *isa.Uop) {
+	u.Kind = s.kind
 	if s.intensity >= 1 || s.rng.Float64() < s.intensity {
-		u.Kind = s.kind
 		return
 	}
-	u.Kind = isa.Nop
+	u.Dep1 = 1 // duty-cycled pressure: serialise on the predecessor
 }
 
 // memStream reproduces the paper's memory Rulers: increment (load+store)
 // walks over the footprint, random via the Fig. 9(e) LFSR when stride is 0,
 // otherwise alternating between the two halves with the given stride
-// (Fig. 9f). Loops are "unrolled": the stream carries no branches, and the
-// only dependency is the store of each increment on its load.
+// (Fig. 9f). Loops are "unrolled": the stream carries no branches, and at
+// full intensity the only dependency is the store of each increment on its
+// load. Below full intensity a fraction 1-intensity of the loads also chain
+// onto the previous load, throttling the access rate without shrinking the
+// footprint.
 type memStream struct {
 	footBytes uint64
 	stride    uint64
@@ -316,10 +332,7 @@ func (s *memStream) Next(u *isa.Uop) {
 		u.Dep1 = 1
 		return
 	}
-	if s.intensity < 1 && !s.rng.Bool(s.intensity) {
-		u.Kind = isa.Nop // duty-cycled pressure
-		return
-	}
+	chase := s.intensity < 1 && !s.rng.Bool(s.intensity)
 	if s.stride == 0 {
 		// Fig. 9(e): data_chunk[RAND % FOOTPRINT]++
 		words := s.footBytes / 8
@@ -344,4 +357,11 @@ func (s *memStream) Next(u *isa.Uop) {
 	s.pendingStore = true
 	u.Kind = isa.Load
 	u.Addr = s.addr
+	if chase {
+		// Duty-cycled pressure: make this load's address depend on the
+		// previous load (pointer-chase pacing), serialising the pair at the
+		// hierarchy's latency. The walk order and footprint are unchanged —
+		// only the achievable access rate drops.
+		u.Dep1 = 2
+	}
 }

@@ -72,25 +72,32 @@ func TestFUStreamPurity(t *testing.T) {
 	}
 }
 
+// A diluted functional-unit Ruler still emits only its target uop — no nop
+// filler, which would steal shared front-end bandwidth instead of port
+// bandwidth — but chains a fraction 1-intensity of uops onto their
+// predecessor to throttle the unit's issue rate.
 func TestFUStreamIntensityDutyCycle(t *testing.T) {
 	s := FPMul().WithIntensity(0.3).NewStream(2)
 	var u isa.Uop
-	target := 0
+	independent := 0
 	const n = 100000
 	for i := 0; i < n; i++ {
 		u = isa.Uop{}
 		s.Next(&u)
-		switch u.Kind {
-		case isa.FPMul:
-			target++
-		case isa.Nop:
-		default:
+		if u.Kind != isa.FPMul {
 			t.Fatalf("unexpected kind %v", u.Kind)
 		}
+		switch u.Dep1 {
+		case 0:
+			independent++
+		case 1:
+		default:
+			t.Fatalf("uop %d chained at distance %d, want 1", i, u.Dep1)
+		}
 	}
-	frac := float64(target) / n
+	frac := float64(independent) / n
 	if frac < 0.28 || frac > 0.32 {
-		t.Errorf("duty cycle %.3f, want ~0.30", frac)
+		t.Errorf("independent fraction %.3f, want ~0.30", frac)
 	}
 }
 
@@ -154,22 +161,32 @@ func TestWithIntensityDutyCyclesMemRuler(t *testing.T) {
 	if r.Name != "L3@0.50" {
 		t.Errorf("name = %q", r.Name)
 	}
-	// Roughly half the non-store slots become nops.
+	// Increment semantics survive dilution — every uop is still a load/store
+	// pair — and roughly half the loads chain onto the previous load
+	// (distance 2) to throttle the access rate.
 	var u isa.Uop
-	nops, pairs := 0, 0
+	independent, chained := 0, 0
 	for i := 0; i < 40000; i++ {
 		u = isa.Uop{}
 		s.Next(&u)
 		switch u.Kind {
-		case isa.Nop:
-			nops++
 		case isa.Load:
-			pairs++
+			switch u.Dep1 {
+			case 0:
+				independent++
+			case 2:
+				chained++
+			default:
+				t.Fatalf("load %d chained at distance %d, want 2", i, u.Dep1)
+			}
+		case isa.Store:
+		default:
+			t.Fatalf("unexpected kind %v", u.Kind)
 		}
 	}
-	frac := float64(pairs) / float64(pairs+nops)
+	frac := float64(independent) / float64(independent+chained)
 	if frac < 0.45 || frac > 0.55 {
-		t.Errorf("duty cycle %.3f, want ~0.5", frac)
+		t.Errorf("independent fraction %.3f, want ~0.5", frac)
 	}
 }
 

@@ -25,14 +25,16 @@ type Cache struct {
 
 	tags   []uint64 // sets*ways entries
 	valid  []bool
+	lines  int      // number of true entries in valid
 	stamp  []uint64 // LRU stamps
 	clock  uint64
 	policy isa.ReplacementPolicy
 	rng    *xrand.Rand // victim selection for PolicyRandom
 
-	hits   uint64
-	misses uint64
-	evicts uint64
+	accesses uint64
+	hits     uint64
+	misses   uint64
+	evicts   uint64
 }
 
 // New builds a cache from the geometry in p. It panics on invalid geometry;
@@ -77,6 +79,7 @@ func (c *Cache) Ways() int { return c.ways }
 // (evicting the LRU way). It returns true on a hit.
 func (c *Cache) Access(addr uint64, allocate bool) bool {
 	c.clock++
+	c.accesses++
 	line := addr >> c.lineShift
 	set := int(line & c.setMask)
 	tag := line // full line id as tag: unambiguous and cheap
@@ -111,6 +114,8 @@ func (c *Cache) Access(addr uint64, allocate bool) bool {
 	if allocate {
 		if c.valid[victim] {
 			c.evicts++
+		} else {
+			c.lines++
 		}
 		c.valid[victim] = true
 		c.tags[victim] = tag
@@ -139,10 +144,21 @@ func (c *Cache) Stats() (hits, misses, evicts uint64) {
 	return c.hits, c.misses, c.evicts
 }
 
+// Accesses returns the cumulative lookup count. It is maintained
+// independently of hits and misses so that the invariant checker can verify
+// hits+misses == accesses (a tally any future fast-path refactor could
+// silently break).
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// LineCount returns the number of currently valid lines (≤ Sets()*Ways()).
+// It is O(1): the count is maintained on fill and flush, so the invariant
+// checker can poll it every interval without scanning the tag array.
+func (c *Cache) LineCount() int { return c.lines }
+
 // ResetStats zeroes the counters without disturbing cache contents, so
 // measurement windows can exclude warm-up.
 func (c *Cache) ResetStats() {
-	c.hits, c.misses, c.evicts = 0, 0, 0
+	c.accesses, c.hits, c.misses, c.evicts = 0, 0, 0, 0
 }
 
 // Flush invalidates every line and zeroes statistics.
@@ -152,6 +168,7 @@ func (c *Cache) Flush() {
 		c.tags[i] = 0
 		c.stamp[i] = 0
 	}
+	c.lines = 0
 	c.clock = 0
 	c.ResetStats()
 }
@@ -159,11 +176,5 @@ func (c *Cache) Flush() {
 // Occupancy returns the fraction of valid lines, a cheap proxy for how much
 // of the capacity a workload has claimed.
 func (c *Cache) Occupancy() float64 {
-	n := 0
-	for _, v := range c.valid {
-		if v {
-			n++
-		}
-	}
-	return float64(n) / float64(len(c.valid))
+	return float64(c.LineCount()) / float64(len(c.valid))
 }

@@ -100,6 +100,42 @@ func TestOccupancy(t *testing.T) {
 	}
 }
 
+// LineCount is maintained incrementally on fill/flush rather than scanned
+// (the checker polls it for every cache at every interval); pin it to a
+// ground-truth scan of the valid bits under a random access pattern.
+func TestLineCountMatchesScan(t *testing.T) {
+	for _, pol := range []isa.ReplacementPolicy{isa.PolicyLRU, isa.PolicyRandom} {
+		p := lruParams()
+		p.Policy = pol
+		c := New("t", p)
+		rng := xrand.New(7)
+		scan := func() int {
+			n := 0
+			for _, v := range c.valid {
+				if v {
+					n++
+				}
+			}
+			return n
+		}
+		for i := 0; i < 2000; i++ {
+			c.Access(rng.Uint64()%uint64(4*p.SizeBytes), rng.Bool(0.8))
+			if i%97 == 0 {
+				if got, want := c.LineCount(), scan(); got != want {
+					t.Fatalf("policy %v: LineCount = %d, scan = %d after %d accesses", pol, got, want, i+1)
+				}
+			}
+		}
+		if got, want := c.LineCount(), scan(); got != want {
+			t.Fatalf("policy %v: LineCount = %d, scan = %d", pol, got, want)
+		}
+		c.Flush()
+		if c.LineCount() != 0 {
+			t.Errorf("policy %v: LineCount = %d after Flush", pol, c.LineCount())
+		}
+	}
+}
+
 // Property: a line just accessed with allocate=true is always Contains,
 // under either policy.
 func TestAccessThenContains(t *testing.T) {

@@ -1,0 +1,54 @@
+package engine_test
+
+import (
+	"testing"
+
+	"repro/internal/rulers"
+	"repro/internal/sim/check"
+	"repro/internal/sim/engine"
+	"repro/internal/sim/isa"
+	"repro/internal/workload"
+)
+
+// TestEngineInvariantsUnderLoad drives every stock machine configuration
+// with a mixed SMT load — application streams, a functional-unit Ruler and
+// a bandwidth Ruler on sibling contexts — under the runtime invariant
+// checker, and requires zero violations. This is the engine's standing
+// guard against silent counter drift: any change to fetch, issue, retire or
+// the hierarchy walk that breaks a conservation law fails here rather than
+// shifting experiment results quietly.
+func TestEngineInvariantsUnderLoad(t *testing.T) {
+	mcf, err := workload.ByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbm, err := workload.ByName("470.lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []isa.Config{isa.IvyBridge(), isa.SandyBridgeEN(), isa.Power7Like()} {
+		cfg := cfg
+		cfg.Cores = 2
+		t.Run(cfg.Name, func(t *testing.T) {
+			chip := engine.MustNew(cfg)
+			k := check.Attach(chip, 333) // off-power-of-two so checks straddle window edges
+			chip.Assign(0, 0, workload.NewGen(mcf, 17))
+			chip.Assign(0, 1, rulers.MemBW(uint64(cfg.L3.SizeBytes)).NewStream(23))
+			chip.Assign(1, 0, workload.NewGen(lbm, 29))
+			chip.Assign(1, 1, rulers.IntAdd().NewStream(31))
+			chip.Prewarm(60_000)
+			chip.Run(10_000)
+			chip.ResetCounters()
+			chip.Run(25_000)
+			if err := chip.CheckErr(); err != nil {
+				t.Errorf("invariant violation: %v", err)
+			}
+			for _, v := range k.Violations {
+				t.Errorf("violation: %v", v)
+			}
+			if k.Checks < 25_000/333 {
+				t.Errorf("checker ran only %d times", k.Checks)
+			}
+		})
+	}
+}

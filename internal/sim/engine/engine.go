@@ -145,6 +145,20 @@ type Core struct {
 	pred *branch.Predictor
 }
 
+// Checker is the narrow verification hook the runtime invariant checker
+// (internal/sim/check) implements. The engine nil-checks it once per cycle,
+// so simulation without a checker pays a single predictable branch.
+//
+// OnCycle is called with the chip after a cycle completes — every
+// CheckInterval cycles and once more when a Run window ends (the retire
+// barrier) — and returns a structured error describing the first invariant
+// violation found, or nil. OnReset is called whenever counter baselines
+// move (Assign, ResetCounters) so the checker can re-snapshot.
+type Checker interface {
+	OnCycle(c *Chip) error
+	OnReset(c *Chip)
+}
+
 // Chip is the full simulated processor.
 // It is not safe for concurrent use; run independent experiments on
 // independent Chips.
@@ -154,6 +168,10 @@ type Chip struct {
 	l3    *cache.Cache
 	memc  *mem.Controller
 	cycle uint64
+
+	checker       Checker
+	checkInterval uint64
+	checkErr      error
 }
 
 // New builds a chip for the given configuration. It returns an error if the
@@ -222,6 +240,47 @@ func (c *Chip) Config() isa.Config { return c.cfg }
 // Cycle returns the current simulation cycle.
 func (c *Chip) Cycle() uint64 { return c.cycle }
 
+// SetChecker attaches (or, with nil, detaches) a runtime invariant checker.
+// OnCycle fires every interval cycles (0 means every 1024) and at the end
+// of each Run window; the first violation is latched and readable via
+// CheckErr. Attaching re-baselines the checker immediately.
+func (c *Chip) SetChecker(ch Checker, interval uint64) {
+	c.checker = ch
+	if interval == 0 {
+		interval = 1024
+	}
+	c.checkInterval = interval
+	c.checkErr = nil
+	if ch != nil {
+		ch.OnReset(c)
+	}
+}
+
+// CheckErr returns the first invariant violation the attached checker has
+// reported (nil when no checker is attached or no violation occurred).
+func (c *Chip) CheckErr() error { return c.checkErr }
+
+// Progress returns a context's absolute pipeline progress: micro-ops
+// allocated (fetched) into and retired from its ROB since the last Assign.
+// The invariant checker uses it for uop-conservation accounting.
+func (c *Chip) Progress(core, ctx int) (fetched, retired uint64) {
+	x := c.cores[core].ctxs[ctx]
+	return x.tail, x.head
+}
+
+// ContextActive reports whether a hardware context has a stream assigned.
+func (c *Chip) ContextActive(core, ctx int) bool {
+	return c.cores[core].ctxs[ctx].active
+}
+
+// CorruptCounterForTest deliberately injects retired-instruction counter
+// drift into a context — the kind of silent accounting bug the verification
+// layer exists to catch. It is exported only so the checker's tests can
+// prove a violation is detected; never call it outside tests.
+func (c *Chip) CorruptCounterForTest(core, ctx int, delta int64) {
+	c.cores[core].ctxs[ctx].ctr.Instructions += uint64(delta)
+}
+
 // Assign places a stream on the given hardware context. Passing a nil
 // stream deactivates the context. Assign resets the context's pipeline
 // state and counters but leaves shared state (caches, predictor) warm.
@@ -241,6 +300,9 @@ func (c *Chip) Assign(core, ctx int, s Stream) {
 		x.streamLRU[i] = 0
 	}
 	x.ctr = pmu.Counters{}
+	if c.checker != nil {
+		c.checker.OnReset(c)
+	}
 }
 
 // Counters returns a snapshot of the context's cumulative PMU counters.
@@ -265,6 +327,9 @@ func (c *Chip) ResetCounters() {
 	}
 	c.l3.ResetStats()
 	c.memc.ResetStats()
+	if c.checker != nil {
+		c.checker.OnReset(c)
+	}
 }
 
 // L3 exposes the shared cache for tests and occupancy inspection.
@@ -426,7 +491,9 @@ func (c *Chip) prewarmFootprints() {
 	}
 }
 
-// Run advances the chip by the given number of cycles.
+// Run advances the chip by the given number of cycles. When a checker is
+// attached it is consulted every checkInterval cycles and once at the end
+// of the window; the first violation is latched (see CheckErr).
 func (c *Chip) Run(cycles uint64) {
 	for n := uint64(0); n < cycles; n++ {
 		now := c.cycle
@@ -441,6 +508,19 @@ func (c *Chip) Run(cycles uint64) {
 				}
 			}
 		}
+		if c.checker != nil && c.cycle%c.checkInterval == 0 {
+			c.runCheck()
+		}
+	}
+	if c.checker != nil {
+		c.runCheck()
+	}
+}
+
+// runCheck consults the attached checker, latching its first violation.
+func (c *Chip) runCheck() {
+	if err := c.checker.OnCycle(c); err != nil && c.checkErr == nil {
+		c.checkErr = err
 	}
 }
 

@@ -135,6 +135,44 @@ func (c Counters) Features() [NumPMUFeatures]float64 {
 	}
 }
 
+// Field is one named counter value, as enumerated by FieldList.
+type Field struct {
+	Name  string
+	Value uint64
+}
+
+// FieldList enumerates every counter with its name, in a fixed order. The
+// verification layer uses it to compare snapshots counter-by-counter (so a
+// violation can name the offending counter) and to hash counter dumps for
+// determinism checks. Any counter added to the struct must be added here;
+// TestFieldListComplete enforces that with reflection.
+func (c Counters) FieldList() []Field {
+	fields := []Field{
+		{"Cycles", c.Cycles},
+		{"Instructions", c.Instructions},
+	}
+	for p := range c.PortUops {
+		fields = append(fields, Field{fmt.Sprintf("PortUops[%d]", p), c.PortUops[p]})
+	}
+	return append(fields,
+		Field{"L1DHits", c.L1DHits},
+		Field{"L1DMisses", c.L1DMisses},
+		Field{"L2Hits", c.L2Hits},
+		Field{"L2Misses", c.L2Misses},
+		Field{"L3Hits", c.L3Hits},
+		Field{"L3Misses", c.L3Misses},
+		Field{"MemAccesses", c.MemAccesses},
+		Field{"Branches", c.Branches},
+		Field{"BranchMispredicts", c.BranchMispredicts},
+		Field{"DTLBLoadMisses", c.DTLBLoadMisses},
+		Field{"DTLBStoreMisses", c.DTLBStoreMisses},
+		Field{"ITLBMisses", c.ITLBMisses},
+		Field{"ICacheMisses", c.ICacheMisses},
+		Field{"Loads", c.Loads},
+		Field{"Stores", c.Stores},
+	)
+}
+
 // String renders a compact human-readable summary.
 func (c Counters) String() string {
 	return fmt.Sprintf("cycles=%d insts=%d ipc=%.3f ports=[%d %d %d %d %d %d] l1=%d/%d l2=%d/%d l3=%d/%d mem=%d brmiss=%d",

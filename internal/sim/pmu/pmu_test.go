@@ -1,6 +1,7 @@
 package pmu
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -92,5 +93,41 @@ func TestStringIsInformative(t *testing.T) {
 		if !strings.Contains(s, frag) {
 			t.Errorf("String() missing %q: %s", frag, s)
 		}
+	}
+}
+
+// TestFieldListComplete proves FieldList covers every counter in the
+// struct: summing a reflected total over all numeric fields must equal the
+// sum over FieldList. A counter added to Counters but not to FieldList
+// would silently escape the verification layer's monotonicity checks.
+func TestFieldListComplete(t *testing.T) {
+	c := sample()
+	c.PortUops = [6]uint64{1, 2, 3, 4, 5, 6}
+	want := uint64(0)
+	v := reflect.ValueOf(c)
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			want += f.Uint()
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				want += f.Index(j).Uint()
+			}
+		default:
+			t.Fatalf("Counters field %s has unexpected kind %v", v.Type().Field(i).Name, f.Kind())
+		}
+	}
+	got := uint64(0)
+	names := make(map[string]bool)
+	for _, fl := range c.FieldList() {
+		if names[fl.Name] {
+			t.Errorf("duplicate FieldList name %q", fl.Name)
+		}
+		names[fl.Name] = true
+		got += fl.Value
+	}
+	if got != want {
+		t.Errorf("FieldList sum %d != reflected struct sum %d: a counter is missing from FieldList", got, want)
 	}
 }

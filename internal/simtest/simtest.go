@@ -1,0 +1,161 @@
+// Package simtest is the metamorphic/property test harness for the
+// simulator substrate — the second half of the verification layer (the
+// first is the runtime invariant checker in internal/sim/check).
+//
+// Instead of asserting point values, the harness asserts *laws* the
+// substrate must obey across randomly generated workloads, Ruler
+// intensities and placements:
+//
+//   - Determinism: the same seed yields a bit-identical PMU dump
+//     (verified by hashing every counter of every context).
+//   - Degradation non-negativity: co-running never speeds an application
+//     up beyond measurement tolerance — contention paths only take.
+//   - Ruler intensity monotonicity: a higher-intensity Ruler inflicts no
+//     less interference on its target resource.
+//   - Cross-context isolation: a co-runner that exercises no shared
+//     resource (a pure-nop stream on another core) leaves a context's
+//     counters bit-identical to its solo run.
+//   - Scale consistency: reduced (TestScale) and full-scale measurement
+//     windows agree on the sign and ordering of degradations.
+//
+// The package also owns the golden-PMU regression fixtures
+// (testdata/golden_pmu.json): committed counter snapshots for canonical
+// (workload, machine, placement) triples, regenerable with
+// `go test ./internal/simtest -run TestGolden -update`, so engine changes
+// that shift counters surface as reviewable diffs instead of silent drift.
+package simtest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/profile"
+	"repro/internal/sim/isa"
+	"repro/internal/sim/pmu"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// TinyOptions returns measurement windows sized for law sweeps: much
+// smaller than profile.FastOptions so a suite can afford ≥ 20 seeds, with
+// the runtime invariant checker enabled so every metamorphic run is also an
+// invariant run.
+func TinyOptions() profile.Options {
+	return profile.Options{
+		PrewarmUops:   20_000,
+		WarmupCycles:  4_000,
+		MeasureCycles: 10_000,
+		BaseSeed:      1,
+		Check:         true,
+		CheckInterval: 512,
+	}
+}
+
+// RandomSpec generates a random, always-valid workload model: a random
+// micro-op mix, dependency structure, working-set geometry and branch
+// behaviour, spanning compute-dense through cache-thrashing populations.
+// The same generator state yields the same spec.
+func RandomSpec(r *xrand.Rand, name string) *workload.Spec {
+	// Random mix over the nine micro-op classes, normalised to 1. Keep the
+	// nop share low so every spec makes real progress.
+	var w [9]float64
+	total := 0.0
+	for i := range w {
+		w[i] = 0.02 + r.Float64()
+		total += w[i]
+	}
+	w[8] *= 0.2 // thin out nops before renormalising
+	total = 0
+	for i := range w {
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	spec := &workload.Spec{
+		Name:   name,
+		Number: 1 + r.Intn(400),
+		Suite:  workload.SpecINT,
+		Mix: workload.Mix{
+			FPMul: w[0], FPAdd: w[1], FPShuf: w[2],
+			IntAdd: w[3], IntMul: w[4],
+			Load: w[5], Store: w[6],
+			Branch: w[7], Nop: w[8],
+		},
+		MeanDepDist:      1 + r.Float64()*10,
+		Dep2Prob:         r.Float64() * 0.5,
+		IndepFrac:        r.Float64() * 0.8,
+		PointerChaseFrac: r.Float64() * 0.5,
+		FootprintBytes:   uint64(1) << (12 + r.Intn(12)), // 4 KiB .. 8 MiB
+		BranchTags:       1 << (4 + r.Intn(8)),
+		BranchBias:       0.5 + r.Float64()*0.5,
+		ICacheMissRate:   r.Float64() * 0.01,
+		ITLBMissRate:     r.Float64() * 0.004,
+	}
+	switch r.Intn(3) {
+	case 0:
+		spec.Pattern = workload.PatternRandom
+	case 1:
+		spec.Pattern = workload.PatternStride
+		spec.StrideBytes = uint64(8) << r.Intn(5) // 8 .. 128 B
+	default:
+		spec.Pattern = workload.PatternMixed
+		spec.StrideBytes = uint64(8) << r.Intn(5)
+		spec.RandomFrac = r.Float64()
+	}
+	if r.Bool(0.7) {
+		spec.HotBytes = uint64(4) << (10 + r.Intn(4)) // 4 .. 32 KiB
+		spec.HotFrac = r.Float64() * 0.5
+	}
+	if r.Bool(0.5) {
+		spec.WarmBytes = uint64(64) << (10 + r.Intn(4)) // 64 .. 512 KiB
+		spec.WarmFrac = r.Float64() * (1 - spec.HotFrac) * 0.8
+	}
+	if err := spec.Validate(); err != nil {
+		panic(fmt.Sprintf("simtest: RandomSpec produced an invalid spec: %v", err))
+	}
+	return spec
+}
+
+// RandomIntensity draws a Ruler duty cycle from (0, 1].
+func RandomIntensity(r *xrand.Rand) float64 {
+	return 0.05 + r.Float64()*0.95
+}
+
+// RandomPlacement draws SMT or CMP.
+func RandomPlacement(r *xrand.Rand) profile.Placement {
+	if r.Bool(0.5) {
+		return profile.SMT
+	}
+	return profile.CMP
+}
+
+// HashCounters folds any number of PMU counter snapshots into one FNV-64a
+// digest, counter names included, so two runs hash equal iff every counter
+// of every snapshot is bit-identical.
+func HashCounters(snaps ...pmu.Counters) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, c := range snaps {
+		for _, f := range c.FieldList() {
+			_, _ = h.Write([]byte(f.Name))
+			binary.LittleEndian.PutUint64(buf[:], f.Value)
+			_, _ = h.Write(buf[:])
+		}
+	}
+	return h.Sum64()
+}
+
+// HashRun digests a full profile run: all app and partner counters.
+func HashRun(res profile.RunResult) uint64 {
+	return HashCounters(append(append([]pmu.Counters{}, res.AppCounters...), res.PartnerCounters...)...)
+}
+
+// SmallIVB returns the Ivy Bridge configuration reduced to n cores — the
+// machine the law sweeps run on.
+func SmallIVB(n int) isa.Config {
+	cfg := isa.IvyBridge()
+	cfg.Cores = n
+	return cfg
+}

@@ -76,3 +76,69 @@ func TestLoadRejectsGarbage(t *testing.T) {
 		t.Error("empty profile file accepted (wrong version)")
 	}
 }
+
+// Corrupted files must come back as structured errors, never as panics or
+// silently wrong data — the scheduler acts on these profiles.
+
+func TestLoadRejectsTruncatedFiles(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, sampleModel()); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.String()
+	for _, frac := range []int{0, 1, 2, 3} { // empty, quarter, half, three-quarter
+		cut := full[:len(full)*frac/4]
+		if _, err := LoadModel(strings.NewReader(cut)); err == nil {
+			t.Errorf("model truncated to %d/%d bytes accepted", len(cut), len(full))
+		}
+	}
+
+	buf.Reset()
+	chars := []Characterization{{App: "a", SoloIPC: 1.0}}
+	if err := SaveProfiles(&buf, chars); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.String()[:buf.Len()/2]
+	if _, err := LoadProfiles(strings.NewReader(cut)); err == nil {
+		t.Error("half-truncated profile file accepted")
+	}
+}
+
+func TestLoadRejectsWrongCoefficientCount(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, sampleModel()); err != nil {
+		t.Fatal(err)
+	}
+	// Drop one coefficient but keep the file otherwise valid.
+	tampered := strings.Replace(buf.String(), "\n    0.1,", "", 1)
+	if tampered == buf.String() {
+		t.Fatal("tamper pattern did not match the encoded file")
+	}
+	_, err := LoadModel(strings.NewReader(tampered))
+	if err == nil {
+		t.Fatal("model with missing coefficient accepted")
+	}
+	if !strings.Contains(err.Error(), "coefficients") {
+		t.Errorf("error %q does not name the coefficient mismatch", err)
+	}
+}
+
+// Unknown fields are tolerated by design: a newer build may add fields, and
+// an older reader should still load what it understands (the version field
+// guards incompatible changes).
+func TestLoadToleratesUnknownFields(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, sampleModel()); err != nil {
+		t.Fatal(err)
+	}
+	extended := strings.Replace(buf.String(), `"version": 1,`, `"version": 1, "future_field": {"nested": [1,2,3]},`, 1)
+	got, err := LoadModel(strings.NewReader(extended))
+	if err != nil {
+		t.Fatalf("unknown field rejected: %v", err)
+	}
+	wc, wi := sampleModel().Coefficients()
+	gc, gi := got.Coefficients()
+	if wc != gc || wi != gi {
+		t.Error("unknown field corrupted the loaded model")
+	}
+}
