@@ -17,11 +17,60 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/profile"
+	"repro/internal/sim/engine"
 	"repro/internal/sim/isa"
 	"repro/internal/workload"
 )
 
 func newLab() *experiments.Lab { return experiments.NewLab(experiments.TestScale()) }
+
+// BenchmarkEngineHotLoop measures the raw engine cycle loop — the substrate
+// every figure bottoms out in — on one SMT core, without the profiling
+// layers. The memory-bound pair dominates real experiment wall-clock (long
+// DRAM stalls), the compute-bound pair keeps the port scheduler honest, and
+// the solo-idle case isolates the idle-skip fast path. ns/op is per
+// Run(5000) window; the CI bench job gates on these numbers (see
+// BENCH_baseline.json).
+func BenchmarkEngineHotLoop(b *testing.B) {
+	cases := []struct {
+		name string
+		a, p string // app and SMT partner ("" = solo)
+	}{
+		{"mem-bound-smt", "429.mcf", "470.lbm"},
+		{"compute-bound-smt", "444.namd", "453.povray"},
+		{"mem-bound-solo", "429.mcf", ""},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := isa.IvyBridge()
+			cfg.Cores = 1
+			chip := engine.MustNew(cfg)
+			spec, err := workload.ByName(bc.a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chip.Assign(0, 0, workload.NewGen(spec, 1))
+			if bc.p != "" {
+				ps, err := workload.ByName(bc.p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				chip.Assign(0, 1, workload.NewGen(ps, 2))
+			}
+			chip.Prewarm(60_000)
+			chip.Run(10_000) // warm the pipeline before timing
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chip.Run(5000)
+			}
+			b.StopTimer()
+			if c := chip.Counters(0, 0); c.Instructions == 0 {
+				b.Fatal("no forward progress")
+			}
+		})
+	}
+}
 
 // BenchmarkTable1MachineConfigs regenerates Table I (machine specifications).
 func BenchmarkTable1MachineConfigs(b *testing.B) {

@@ -1,0 +1,213 @@
+// Command benchci turns `go test -bench` output into a machine-readable
+// JSON summary and gates CI on benchmark regressions against a committed
+// baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchtime 1x -count 3 . | benchci -out BENCH_ci.json -baseline BENCH_baseline.json
+//	go test -run '^$' -bench . -benchtime 1x -count 3 . | benchci -out BENCH_baseline.json -write-baseline
+//
+// When -count repeats a benchmark, the fastest run wins: noise only ever
+// adds time, so min-of-N is the robust estimator that keeps the gate from
+// flaking on loaded runners.
+//
+// With -baseline, every benchmark present in the baseline must appear in
+// the input and its ns/op must not exceed the baseline by more than
+// -threshold percent; violations list to stderr and the exit status is
+// non-zero. With -write-baseline the parsed results are simply written to
+// -out, refreshing the baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Summary is the file format of BENCH_ci.json / BENCH_baseline.json.
+type Summary struct {
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "benchci: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchci", flag.ContinueOnError)
+	inFlag := fs.String("in", "", "benchmark output file (default: stdin)")
+	outFlag := fs.String("out", "", "write parsed JSON summary here")
+	baselineFlag := fs.String("baseline", "", "compare against this JSON baseline")
+	thresholdFlag := fs.Float64("threshold", 25, "allowed ns/op regression in percent")
+	writeBaseline := fs.Bool("write-baseline", false, "only write -out; do not compare")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *writeBaseline && *baselineFlag != "" {
+		return fmt.Errorf("-write-baseline and -baseline are mutually exclusive")
+	}
+	if *outFlag == "" && *baselineFlag == "" {
+		fs.Usage()
+		return fmt.Errorf("nothing to do: need -out and/or -baseline")
+	}
+
+	input := stdin
+	if *inFlag != "" {
+		f, err := os.Open(*inFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		input = f
+	}
+	// Echo the raw benchmark output so piping through benchci keeps the
+	// human-readable log visible in CI.
+	sum, err := parse(io.TeeReader(input, stdout))
+	if err != nil {
+		return err
+	}
+	if len(sum.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results in input")
+	}
+
+	if *outFlag != "" {
+		buf, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outFlag, append(buf, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if *baselineFlag != "" {
+		base, err := readSummary(*baselineFlag)
+		if err != nil {
+			return err
+		}
+		if err := compare(stdout, base, sum, *thresholdFlag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// benchLine matches one `go test -bench` result line:
+//
+//	BenchmarkName/sub-case-8   	       3	 123456 ns/op	  12 B/op	   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// gomaxprocsSuffix is the trailing -N the testing package appends; it is a
+// property of the machine, not the benchmark, so names are stored without
+// it to keep baselines portable.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(r io.Reader) (Summary, error) {
+	sum := Summary{Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(m[1], "Benchmark"), "")
+		var res Result
+		// The tail alternates "value unit" pairs: 123 ns/op  12 B/op ...
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return Summary{}, fmt.Errorf("bad value %q for %s: %v", fields[i], name, err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			}
+		}
+		// With -count N the same benchmark appears N times; keep the fastest
+		// run. The minimum is the standard robust estimator for gating: noise
+		// (scheduling, frequency scaling) only ever adds time.
+		if prev, seen := sum.Benchmarks[name]; !seen || res.NsPerOp < prev.NsPerOp {
+			sum.Benchmarks[name] = res
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Summary{}, err
+	}
+	return sum, nil
+}
+
+func readSummary(path string) (Summary, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	var sum Summary
+	if err := json.Unmarshal(buf, &sum); err != nil {
+		return Summary{}, fmt.Errorf("%s: %v", path, err)
+	}
+	return sum, nil
+}
+
+// compare fails if any baseline benchmark is missing from cur or regressed
+// in ns/op beyond thresholdPct. Benchmarks only present in cur are reported
+// as new but do not fail (they enter the baseline on its next refresh).
+func compare(w io.Writer, base, cur Summary, thresholdPct float64) error {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var failures []string
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but not in results", name))
+			continue
+		}
+		ratio := 0.0
+		if b.NsPerOp > 0 {
+			ratio = (c.NsPerOp/b.NsPerOp - 1) * 100
+		}
+		status := "ok"
+		if ratio > thresholdPct {
+			status = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (%+.1f%% > %.0f%%)", name, c.NsPerOp, b.NsPerOp, ratio, thresholdPct))
+		}
+		fmt.Fprintf(w, "benchci: %-40s %12.0f ns/op  baseline %12.0f  (%+.1f%%) %s\n", name, c.NsPerOp, b.NsPerOp, ratio, status)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "benchci: %-40s new benchmark (not in baseline)\n", name)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d benchmark(s) failed the gate:\n  %s", len(failures), strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -22,11 +23,25 @@ import (
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "test", "experiment scale: full or test")
-	qosFlag := flag.String("qos", "avg", "QoS definition: avg (average performance) or tail (90th-percentile latency)")
-	targetsFlag := flag.String("targets", "0.95,0.90,0.85", "comma-separated QoS targets to detail (subset of 0.95,0.90,0.85)")
-	serversFlag := flag.Int("servers", 0, "servers per latency application (0 = scale default)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
+		}
+		os.Exit(2)
+	}
+}
+
+// run parses args and executes the study, writing the report to w. Flag
+// and validation errors return non-nil (the FlagSet prints usage).
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("clustersim", flag.ContinueOnError)
+	scaleFlag := fs.String("scale", "test", "experiment scale: full or test")
+	qosFlag := fs.String("qos", "avg", "QoS definition: avg (average performance) or tail (90th-percentile latency)")
+	targetsFlag := fs.String("targets", "0.95,0.90,0.85", "comma-separated QoS targets to detail (subset of 0.95,0.90,0.85)")
+	serversFlag := fs.Int("servers", 0, "servers per latency application (0 = scale default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var scale experiments.Scale
 	switch *scaleFlag {
@@ -35,8 +50,8 @@ func main() {
 	case "test":
 		scale = experiments.TestScale()
 	default:
-		fmt.Fprintf(os.Stderr, "clustersim: unknown scale %q\n", *scaleFlag)
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("unknown scale %q", *scaleFlag)
 	}
 	if *serversFlag > 0 {
 		scale.ServersPerApp = *serversFlag
@@ -46,49 +61,50 @@ func main() {
 	for _, t := range strings.Split(*targetsFlag, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
 		if err != nil || v <= 0 || v > 1 {
-			fmt.Fprintf(os.Stderr, "clustersim: bad target %q\n", t)
-			os.Exit(2)
+			fs.Usage()
+			return fmt.Errorf("bad target %q", t)
 		}
 		targets = append(targets, v)
 	}
 
+	if *qosFlag != "avg" && *qosFlag != "tail" {
+		fs.Usage()
+		return fmt.Errorf("unknown qos %q", *qosFlag)
+	}
+
 	lab := experiments.NewLab(scale)
-	fmt.Println("building the co-location degradation table (this measures every latency×batch×instances cell)...")
+	fmt.Fprintln(w, "building the co-location degradation table (this measures every latency×batch×instances cell)...")
 	var res experiments.ScaleOutResult
 	var err error
-	switch *qosFlag {
-	case "avg":
+	if *qosFlag == "avg" {
 		res, err = lab.Fig14And15AvgQoS()
-	case "tail":
+	} else {
 		res, err = lab.Fig16And17TailQoS()
-	default:
-		fmt.Fprintf(os.Stderr, "clustersim: unknown qos %q\n", *qosFlag)
-		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	fmt.Println(res.String())
+	fmt.Fprintln(w, res.String())
 
 	// Per-target policy detail.
 	for _, target := range res.Targets {
 		if !contains(targets, target) {
 			continue
 		}
-		fmt.Printf("target %.0f%%:\n", target*100)
+		fmt.Fprintf(w, "target %.0f%%:\n", target*100)
 		for _, pol := range []cluster.PolicyKind{cluster.PolicySMiTe, cluster.PolicyOracle, cluster.PolicyRandom} {
 			r := res.Cells[target][pol]
-			fmt.Printf("  %-7s util %.1f%% -> %.1f%% (gain %.2f%%), mean instances %.2f, violations %.2f%% of co-located (worst %.2f%%)\n",
+			fmt.Fprintf(w, "  %-7s util %.1f%% -> %.1f%% (gain %.2f%%), mean instances %.2f, violations %.2f%% of co-located (worst %.2f%%)\n",
 				pol, r.BaselineUtilization*100, r.Utilization*100, r.UtilizationGain*100,
 				r.MeanInstances, r.ViolationFrac*100, r.ViolationMax*100)
 		}
 	}
 
 	params := tco.Google2014()
-	fmt.Printf("\nTCO model: $%.0f/server, %.0fW at PUE %.2f, $%.2f/kWh, %g-year horizon => $%.0f/server/year\n",
+	fmt.Fprintf(w, "\nTCO model: $%.0f/server, %.0fW at PUE %.2f, $%.2f/kWh, %g-year horizon => $%.0f/server/year\n",
 		params.ServerCapex, params.ServerPowerWatts, params.PUE, params.ElectricityPerKWh,
 		params.HorizonYears, params.PerServerPerYear())
+	return nil
 }
 
 func contains(xs []float64, v float64) bool {

@@ -7,12 +7,13 @@
 // Usage:
 //
 //	smtop -app 444.namd [-with 429.mcf | -ruler FP_ADD] [-machine ivb|snb]
-//	      [-placement smt|cmp] [-cycles 100000]
+//	      [-placement smt|cmp] [-cycles 100000] [-fast]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/profile"
@@ -23,25 +24,36 @@ import (
 )
 
 func main() {
-	appFlag := flag.String("app", "", "application to run (required)")
-	withFlag := flag.String("with", "", "co-located application")
-	rulerFlag := flag.String("ruler", "", "co-located Ruler (FP_MUL, FP_ADD, FP_SHF, INT_ADD, L1, L2, L3, MEM_BW)")
-	machineFlag := flag.String("machine", "ivb", "machine: ivb or snb")
-	placementFlag := flag.String("placement", "smt", "placement: smt or cmp")
-	cyclesFlag := flag.Uint64("cycles", 100_000, "measurement window in cycles")
-	flag.Parse()
-
-	if *appFlag == "" {
-		flag.Usage()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if err != flag.ErrHelp {
+			fmt.Fprintf(os.Stderr, "smtop: %v\n", err)
+		}
 		os.Exit(2)
-	}
-	if err := run(*appFlag, *withFlag, *rulerFlag, *machineFlag, *placementFlag, *cyclesFlag); err != nil {
-		fmt.Fprintf(os.Stderr, "smtop: %v\n", err)
-		os.Exit(1)
 	}
 }
 
-func run(app, with, ruler, machine, placementS string, cycles uint64) error {
+// run parses args and executes one measurement, writing the report to w.
+// Flag and validation errors return non-nil (the FlagSet prints usage).
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("smtop", flag.ContinueOnError)
+	appFlag := fs.String("app", "", "application to run (required)")
+	withFlag := fs.String("with", "", "co-located application")
+	rulerFlag := fs.String("ruler", "", "co-located Ruler (FP_MUL, FP_ADD, FP_SHF, INT_ADD, L1, L2, L3, MEM_BW)")
+	machineFlag := fs.String("machine", "ivb", "machine: ivb or snb")
+	placementFlag := fs.String("placement", "smt", "placement: smt or cmp")
+	cyclesFlag := fs.Uint64("cycles", 100_000, "measurement window in cycles")
+	fastFlag := fs.Bool("fast", false, "use reduced warm-up windows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *appFlag == "" {
+		fs.Usage()
+		return fmt.Errorf("-app is required")
+	}
+	return measure(w, *appFlag, *withFlag, *rulerFlag, *machineFlag, *placementFlag, *cyclesFlag, *fastFlag)
+}
+
+func measure(w io.Writer, app, with, ruler, machine, placementS string, cycles uint64, fast bool) error {
 	cfg := isa.IvyBridge()
 	if machine == "snb" {
 		cfg = isa.SandyBridgeEN()
@@ -63,6 +75,9 @@ func run(app, with, ruler, machine, placementS string, cycles uint64) error {
 		return err
 	}
 	opts := profile.DefaultOptions()
+	if fast {
+		opts = profile.FastOptions()
+	}
 	opts.MeasureCycles = cycles
 
 	var partner profile.Job
@@ -93,11 +108,11 @@ func run(app, with, ruler, machine, placementS string, cycles uint64) error {
 		return err
 	}
 
-	fmt.Printf("machine: %s, window: %d cycles, placement: %v\n\n", cfg.Name, cycles, placement)
-	printCounters(app, res.AppCounters[0])
+	fmt.Fprintf(w, "machine: %s, window: %d cycles, placement: %v\n\n", cfg.Name, cycles, placement)
+	printCounters(w, app, res.AppCounters[0])
 	if partner != nil {
-		fmt.Println()
-		printCounters(partner.Name(), res.PartnerCounters[0])
+		fmt.Fprintln(w)
+		printCounters(w, partner.Name(), res.PartnerCounters[0])
 	}
 	return nil
 }
@@ -111,12 +126,12 @@ func rulerByName(cfg isa.Config, name string) (*rulers.Ruler, error) {
 	return nil, fmt.Errorf("unknown ruler %q", name)
 }
 
-func printCounters(name string, c pmu.Counters) {
-	fmt.Printf("=== %s ===\n", name)
-	fmt.Printf("%-28s %12d\n", "cycles", c.Cycles)
-	fmt.Printf("%-28s %12d   (%.3f IPC)\n", "instructions", c.Instructions, c.IPC())
+func printCounters(w io.Writer, name string, c pmu.Counters) {
+	fmt.Fprintf(w, "=== %s ===\n", name)
+	fmt.Fprintf(w, "%-28s %12d\n", "cycles", c.Cycles)
+	fmt.Fprintf(w, "%-28s %12d   (%.3f IPC)\n", "instructions", c.Instructions, c.IPC())
 	for p := isa.Port(0); p < isa.NumPorts; p++ {
-		fmt.Printf("port %d dispatches             %12d   (%.1f%% utilised)\n", p, c.PortUops[p], c.PortUtilization(p)*100)
+		fmt.Fprintf(w, "port %d dispatches             %12d   (%.1f%% utilised)\n", p, c.PortUops[p], c.PortUtilization(p)*100)
 	}
 	level := func(label string, hits, misses uint64) {
 		total := hits + misses
@@ -124,17 +139,17 @@ func printCounters(name string, c pmu.Counters) {
 		if total > 0 {
 			rate = float64(hits) / float64(total) * 100
 		}
-		fmt.Printf("%-28s %12d   (%.1f%% hit rate)\n", label, total, rate)
+		fmt.Fprintf(w, "%-28s %12d   (%.1f%% hit rate)\n", label, total, rate)
 	}
 	level("L1D accesses", c.L1DHits, c.L1DMisses)
 	level("L2 accesses", c.L2Hits, c.L2Misses)
 	level("L3 accesses", c.L3Hits, c.L3Misses)
-	fmt.Printf("%-28s %12d\n", "DRAM accesses", c.MemAccesses)
+	fmt.Fprintf(w, "%-28s %12d\n", "DRAM accesses", c.MemAccesses)
 	mispct := 0.0
 	if c.Branches > 0 {
 		mispct = float64(c.BranchMispredicts) / float64(c.Branches) * 100
 	}
-	fmt.Printf("%-28s %12d   (%.2f%% mispredicted)\n", "branches", c.Branches, mispct)
-	fmt.Printf("%-28s %12d   load / %d store\n", "dTLB misses", c.DTLBLoadMisses, c.DTLBStoreMisses)
-	fmt.Printf("%-28s %12d   iTLB / %d i-cache\n", "front-end misses", c.ITLBMisses, c.ICacheMisses)
+	fmt.Fprintf(w, "%-28s %12d   (%.2f%% mispredicted)\n", "branches", c.Branches, mispct)
+	fmt.Fprintf(w, "%-28s %12d   load / %d store\n", "dTLB misses", c.DTLBLoadMisses, c.DTLBStoreMisses)
+	fmt.Fprintf(w, "%-28s %12d   iTLB / %d i-cache\n", "front-end misses", c.ITLBMisses, c.ICacheMisses)
 }

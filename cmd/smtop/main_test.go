@@ -1,0 +1,62 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Bad invocations must be rejected with an error (main turns any error into
+// a non-zero exit after the FlagSet prints usage).
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no flags", nil},
+		{"undefined flag", []string{"-bogus"}},
+		{"missing app value", []string{"-app"}},
+		{"unknown app", []string{"-app", "999.nope", "-fast"}},
+		{"unknown machine", []string{"-app", "444.namd", "-machine", "alpha", "-fast"}},
+		{"unknown placement", []string{"-app", "444.namd", "-placement", "both", "-fast"}},
+		{"unknown ruler", []string{"-app", "444.namd", "-ruler", "L9", "-fast"}},
+		{"with and ruler together", []string{"-app", "444.namd", "-with", "429.mcf", "-ruler", "L2", "-fast"}},
+		{"unknown co-runner", []string{"-app", "444.namd", "-with", "999.nope", "-fast"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			if err := run(tc.args, &out); err == nil {
+				t.Error("invalid invocation accepted")
+			}
+		})
+	}
+}
+
+func TestSoloSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smtop measurement in short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-app", "429.mcf", "-fast", "-cycles", "20000"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"=== 429.mcf ===", "IPC", "L1D accesses", "DRAM accesses"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestColocatedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smtop measurement in short mode")
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-app", "444.namd", "-ruler", "MEM_BW", "-fast", "-cycles", "20000"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "=== MEM_BW ===") {
+		t.Errorf("report missing partner section:\n%s", out.String())
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/profile"
 	"repro/internal/sim/isa"
+	"repro/internal/simcache"
 	"repro/internal/workload"
 )
 
@@ -114,7 +115,11 @@ func (m Machine) String() string {
 	return "Sandy Bridge-EN"
 }
 
-// NewLab builds a lab at the given scale.
+// NewLab builds a lab at the given scale. All drivers share one simulation
+// cache (the machine configuration is part of every cache key, so the two
+// profilers cannot collide), letting figures that revisit the same
+// co-location — e.g. training and evaluation over the same pair set —
+// simulate it once.
 func NewLab(scale Scale) *Lab {
 	ivb := isa.IvyBridge()
 	if scale.IvyBridgeCores > 0 {
@@ -123,6 +128,9 @@ func NewLab(scale Scale) *Lab {
 	snb := isa.SandyBridgeEN()
 	if scale.SandyBridgeCores > 0 {
 		snb.Cores = scale.SandyBridgeCores
+	}
+	if scale.Options.Cache == nil {
+		scale.Options.Cache = simcache.New[profile.RunResult]()
 	}
 	return &Lab{
 		Scale:  scale,
@@ -150,6 +158,14 @@ func (l *Lab) Config(m Machine) isa.Config {
 		return l.IVB
 	}
 	return l.SNB
+}
+
+// CacheStats reports the lab-wide simulation-cache counters.
+func (l *Lab) CacheStats() simcache.Stats {
+	if l.Scale.Options.Cache == nil {
+		return simcache.Stats{}
+	}
+	return l.Scale.Options.Cache.Stats()
 }
 
 // specSet truncates a SPEC set per the scale, sampling evenly across the

@@ -24,6 +24,7 @@ import (
 	"repro/internal/sim/engine"
 	"repro/internal/sim/isa"
 	"repro/internal/sim/pmu"
+	"repro/internal/simcache"
 	"repro/internal/workload"
 )
 
@@ -71,6 +72,47 @@ type Options struct {
 	// CheckInterval is the cycle distance between invariant checks
 	// (0 = engine default, 1024).
 	CheckInterval uint64
+	// Cache, when non-nil, memoises run results across identical
+	// (config, job, partner, placement, options) tuples. Only jobs that
+	// implement Fingerprinter participate; others always simulate. The
+	// cache may be shared across profilers and goroutines.
+	Cache *simcache.Cache[RunResult]
+}
+
+// cacheKey canonically identifies a run for memoisation, or ok=false when
+// either job cannot be fingerprinted (e.g. closure-backed StreamJobs).
+// Cache and Parallelism are excluded: neither influences the result.
+// Check/CheckInterval stay in the key so a checked run is never silently
+// satisfied by an unchecked one.
+func cacheKey(cfg isa.Config, job, partner Job, placement Placement, opts Options) (simcache.Key, bool) {
+	jf, ok := fingerprint(job)
+	if !ok {
+		return simcache.Key{}, false
+	}
+	pf := "<solo>"
+	if partner != nil {
+		if pf, ok = fingerprint(partner); !ok {
+			return simcache.Key{}, false
+		}
+	}
+	opts.Cache = nil
+	opts.Parallelism = 0
+	return simcache.KeyOf("profile.run/v1", cfg, placement, jf, pf, opts), true
+}
+
+// Fingerprinter is implemented by Jobs whose behavior is fully determined
+// by printable value state; only such jobs are eligible for simcache
+// memoisation. The string must change whenever NewStream's behavior would.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+func fingerprint(j Job) (string, bool) {
+	f, ok := j.(Fingerprinter)
+	if !ok {
+		return "", false
+	}
+	return f.Fingerprint(), true
 }
 
 // DefaultOptions returns the measurement windows used by the full-scale
@@ -131,6 +173,10 @@ func AppThreads(spec *workload.Spec, threads int) Job {
 
 func (j appJob) Name() string   { return j.spec.Name }
 func (j appJob) Instances() int { return j.threads }
+
+// Fingerprint covers the full spec (streams are pure functions of spec and
+// seed; seeds derive from the name, which the spec contains).
+func (j appJob) Fingerprint() string { return fmt.Sprintf("app|%#v|t=%d", *j.spec, j.threads) }
 func (j appJob) NewStream(instance int, seed uint64) engine.Stream {
 	return workload.NewGen(j.spec, mix(seed, uint64(instance)+0x51))
 }
@@ -151,6 +197,11 @@ func Rulers(r *rulers.Ruler, instances int) Job {
 
 func (j rulerJob) Name() string   { return j.r.Name }
 func (j rulerJob) Instances() int { return j.instances }
+
+// Fingerprint prints the Ruler by value: %#v includes the unexported
+// kind/footprint/stride fields, so distinct intensities and dimensions
+// cannot collide even if misnamed.
+func (j rulerJob) Fingerprint() string { return fmt.Sprintf("ruler|%#v|n=%d", *j.r, j.instances) }
 func (j rulerJob) NewStream(instance int, seed uint64) engine.Stream {
 	return j.r.NewStream(mix(seed, uint64(instance)+0xA7))
 }
@@ -204,6 +255,18 @@ type RunResult struct {
 	PartnerCounters []pmu.Counters
 }
 
+// clone deep-copies the counter slices so cache hits hand every caller an
+// independent result.
+func (r RunResult) clone() RunResult {
+	if r.AppCounters != nil {
+		r.AppCounters = append([]pmu.Counters(nil), r.AppCounters...)
+	}
+	if r.PartnerCounters != nil {
+		r.PartnerCounters = append([]pmu.Counters(nil), r.PartnerCounters...)
+	}
+	return r
+}
+
 // Solo measures a job running alone on the chip (one instance per core,
 // context 0).
 func Solo(cfg isa.Config, job Job, opts Options) (RunResult, error) {
@@ -219,6 +282,22 @@ func Colocate(cfg isa.Config, job, partner Job, placement Placement, opts Option
 }
 
 func run(cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
+	if opts.Cache != nil {
+		if key, ok := cacheKey(cfg, job, partner, placement, opts); ok {
+			res, _, err := opts.Cache.Do(key, func() (RunResult, error) {
+				return simulate(cfg, job, partner, placement, opts)
+			})
+			if err != nil {
+				return RunResult{}, err
+			}
+			return res.clone(), nil
+		}
+	}
+	return simulate(cfg, job, partner, placement, opts)
+}
+
+// simulate performs one actual measurement run on a fresh chip.
+func simulate(cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
 	chip, err := engine.New(cfg)
 	if err != nil {
 		return RunResult{}, err
@@ -331,8 +410,13 @@ type Profiler struct {
 }
 
 // NewProfiler builds a profiler for the configuration using the standard
-// Ruler set sized to its caches.
+// Ruler set sized to its caches. Unless the caller supplied one, every
+// profiler gets its own simulation cache so repeated co-location queries
+// (e.g. the same Ruler pairing reached via different sweeps) simulate once.
 func NewProfiler(cfg isa.Config, opts Options) *Profiler {
+	if opts.Cache == nil {
+		opts.Cache = simcache.New[RunResult]()
+	}
 	return &Profiler{
 		cfg:       cfg,
 		set:       rulers.StandardSet(cfg),
@@ -350,6 +434,15 @@ func (p *Profiler) Options() Options { return p.opts }
 
 // RulerSet returns the profiler's standard rulers.
 func (p *Profiler) RulerSet() []*rulers.Ruler { return p.set }
+
+// CacheStats reports the profiler's simulation-cache counters (zero value
+// when the profiler was built without a cache).
+func (p *Profiler) CacheStats() simcache.Stats {
+	if p.opts.Cache == nil {
+		return simcache.Stats{}
+	}
+	return p.opts.Cache.Stats()
+}
 
 func soloKey(job Job) string { return fmt.Sprintf("%s/%d", job.Name(), job.Instances()) }
 

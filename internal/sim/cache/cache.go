@@ -23,9 +23,8 @@ type Cache struct {
 	lineShift uint
 	setMask   uint64
 
-	tags   []uint64 // sets*ways entries
-	valid  []bool
-	lines  int      // number of true entries in valid
+	tags   []uint64 // sets*ways entries; invalidTag marks an empty way
+	lines  int      // number of valid entries
 	stamp  []uint64 // LRU stamps
 	clock  uint64
 	policy isa.ReplacementPolicy
@@ -52,19 +51,27 @@ func New(name string, p isa.CacheParams) *Cache {
 		panic(fmt.Sprintf("cache: %s: line size %d must be a power of two", name, p.LineBytes))
 	}
 	n := sets * p.Ways
-	return &Cache{
+	c := &Cache{
 		name:      name,
 		ways:      p.Ways,
 		sets:      sets,
 		lineShift: shift,
 		setMask:   uint64(sets - 1),
 		tags:      make([]uint64, n),
-		valid:     make([]bool, n),
 		stamp:     make([]uint64, n),
 		policy:    p.Policy,
 		rng:       xrand.New(uint64(len(name))*0x9E3779B97F4A7C15 + uint64(n)),
 	}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	return c
 }
+
+// invalidTag marks an empty way. A real tag is addr >> lineShift and would
+// need an address above 2^63 to collide; the engine's per-context address
+// spaces live many orders of magnitude below that.
+const invalidTag = ^uint64(0)
 
 // Name returns the label given at construction.
 func (c *Cache) Name() string { return c.name }
@@ -85,39 +92,48 @@ func (c *Cache) Access(addr uint64, allocate bool) bool {
 	tag := line // full line id as tag: unambiguous and cheap
 	base := set * c.ways
 
-	victim := base
-	oldest := ^uint64(0)
-	haveInvalid := false
-	for i := base; i < base+c.ways; i++ {
-		if c.valid[i] && c.tags[i] == tag {
+	// Hit scan over the tag subslice alone: the common case touches one
+	// array and defers all victim bookkeeping to the miss path.
+	tags := c.tags[base : base+c.ways]
+	for i, t := range tags {
+		if t == tag {
 			c.hits++
-			c.stamp[i] = c.clock
+			c.stamp[base+i] = c.clock
 			return true
-		}
-		if !c.valid[i] {
-			if !haveInvalid { // prefer invalid ways under either policy
-				victim = i
-				haveInvalid = true
-				oldest = 0
-			}
-			continue
-		}
-		if !haveInvalid && c.stamp[i] < oldest {
-			victim = i
-			oldest = c.stamp[i]
 		}
 	}
 	c.misses++
-	if c.policy == isa.PolicyRandom && !haveInvalid {
-		victim = base + c.rng.Intn(c.ways)
+
+	// Victim selection: first invalid way, else first-oldest stamp (same
+	// choice the former combined scan made).
+	victim := base
+	haveInvalid := false
+	for i, t := range tags {
+		if t == invalidTag {
+			victim = base + i
+			haveInvalid = true
+			break
+		}
+	}
+	if !haveInvalid {
+		oldest := ^uint64(0)
+		stamps := c.stamp[base : base+c.ways]
+		for i, s := range stamps {
+			if s < oldest {
+				victim = base + i
+				oldest = s
+			}
+		}
+		if c.policy == isa.PolicyRandom {
+			victim = base + c.rng.Intn(c.ways)
+		}
 	}
 	if allocate {
-		if c.valid[victim] {
-			c.evicts++
-		} else {
+		if haveInvalid {
 			c.lines++
+		} else {
+			c.evicts++
 		}
-		c.valid[victim] = true
 		c.tags[victim] = tag
 		c.stamp[victim] = c.clock
 	}
@@ -132,7 +148,7 @@ func (c *Cache) Contains(addr uint64) bool {
 	tag := line
 	base := set * c.ways
 	for i := base; i < base+c.ways; i++ {
-		if c.valid[i] && c.tags[i] == tag {
+		if c.tags[i] == tag {
 			return true
 		}
 	}
@@ -163,9 +179,8 @@ func (c *Cache) ResetStats() {
 
 // Flush invalidates every line and zeroes statistics.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.tags[i] = 0
+	for i := range c.tags {
+		c.tags[i] = invalidTag
 		c.stamp[i] = 0
 	}
 	c.lines = 0
@@ -176,5 +191,5 @@ func (c *Cache) Flush() {
 // Occupancy returns the fraction of valid lines, a cheap proxy for how much
 // of the capacity a workload has claimed.
 func (c *Cache) Occupancy() float64 {
-	return float64(c.LineCount()) / float64(len(c.valid))
+	return float64(c.LineCount()) / float64(len(c.tags))
 }

@@ -111,8 +111,8 @@ func TestLineCountMatchesScan(t *testing.T) {
 		rng := xrand.New(7)
 		scan := func() int {
 			n := 0
-			for _, v := range c.valid {
-				if v {
+			for _, tag := range c.tags {
+				if tag != invalidTag {
 					n++
 				}
 			}

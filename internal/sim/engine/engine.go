@@ -67,7 +67,9 @@ type robEntry struct {
 	addr       uint64
 	completeAt uint64
 	// notReadyUntil caches the earliest cycle this entry's dependencies
-	// could be satisfied, so the scheduler skips re-checking them.
+	// could be satisfied, so the scheduler skips re-checking them. Issued
+	// entries park at ^uint64(0): the issue scan then rejects both "already
+	// issued" and "known not ready" with a single comparison.
 	notReadyUntil uint64
 	issued        bool
 	mispredict    bool
@@ -92,11 +94,109 @@ type Context struct {
 	streamLRU       []uint64 // last-use stamps for stream replacement
 	dtlb            *tlb.TLB // per-context half of the statically partitioned DTLB
 
-	ctr pmu.Counters
+	// uop is the fetch scratch buffer. Stream.Next is an interface call, so
+	// a function-local Uop would escape to the heap on every fetch group;
+	// reusing one per context keeps the cycle loop allocation-free.
+	uop isa.Uop
+
+	// ctr holds the cumulative PMU counters, except Cycles: an active
+	// context ages exactly with the chip, so its cycle count is derived as
+	// chip.cycle - cyclesBase when a snapshot is taken (Chip.Counters)
+	// instead of being incremented per cycle per context.
+	ctr        pmu.Counters
+	cyclesBase uint64
+
+	// Scan-park memo: while head and tail are unchanged and now is before
+	// scanStallUntil, a previous full issue scan proved the window holds
+	// nothing dispatchable — every entry was issued, waiting on a
+	// dependency with a known completion cycle, or a memory op blocked
+	// behind a full MSHR file (which frees exactly at missMin). Any event
+	// that could change that verdict moves head (retire) or tail (fetch),
+	// or arrives at one of those recorded cycles, so issueFrom can skip
+	// the whole window scan until then.
+	scanStallUntil     uint64
+	scanHead, scanTail uint64
+
+	// issuedPrefix is a scan accelerator: every sequence number in
+	// [head, issuedPrefix) is issued. Issue scans start at the prefix end
+	// instead of re-skipping the same issued entries each cycle; the
+	// invariant holds because issued is monotonic for a live entry and
+	// head never moves backwards.
+	issuedPrefix uint64
+
+	// awake is a per-ROB-slot bitmap (bit = slot&63 of word slot>>6) of
+	// the entries an issue scan must visit: allocated non-Nop entries that
+	// have not been dispatched and have not been parked on a stored
+	// notReadyUntil hint. Parked entries drop out of the bitmap until
+	// parkedMin — the minimum stored hint among them — expires, at which
+	// point one full window scan rebuilds the bitmap and parkedMin. The
+	// cheap bitmap walk is exact: while now < parkedMin every cleared
+	// entry provably has notReadyUntil > now, which is precisely the set
+	// a full scan would skip, so both paths dispatch identically.
+	awake     []uint64
+	parkedMin uint64 // 0 forces a full rebuild scan
+
+	// wheel re-arms parked entries at exactly their hint cycle: bucket
+	// c&63 holds awake-shaped bitmap words of the slots whose stored
+	// notReadyUntil is cycle c (hints less than 64 cycles out; farther
+	// hints fall back to parkedMin). step merges every due bucket into
+	// awake before the cycle's issue scans — wheelMerged tracks the last
+	// merged cycle so skipped-over buckets drain on arrival after an
+	// idle skip. Early (spurious) wakes are harmless: the scan re-parks
+	// the entry. Lost wakes cannot happen: every park records its hint
+	// in exactly one of the two structures.
+	wheel       []uint64 // 64 buckets × len(awake) words
+	wheelMerged uint64
+
+	// unissued counts live non-Nop ROB entries that have not dispatched;
+	// when it is zero a wakeup scan has nothing to inspect (deep-stall
+	// windows full of issued entries are bounded by the head completion).
+	unissued uint64
+
+	// minLat points at the chip-wide table of exact lower bounds on each
+	// micro-op kind's issue-to-complete latency (see depHint).
+	minLat *[isa.NumKinds]uint64
 }
 
 func (c *Context) entry(seq uint64) *robEntry {
 	return &c.rob[seq&c.robMask]
+}
+
+// park removes slot from the awake bitmap and schedules its re-arm: near
+// hints go into the timing wheel at their exact cycle, far ones (and the
+// ^uint64(0) issued sentinel, for which min is a no-op) into parkedMin.
+func (c *Context) park(slot, hint, now uint64) {
+	c.awake[slot>>6] &^= 1 << (slot & 63)
+	if hint-now < 64 {
+		c.wheel[(hint&63)*uint64(len(c.awake))+slot>>6] |= 1 << (slot & 63)
+	} else if hint < c.parkedMin {
+		c.parkedMin = hint
+	}
+}
+
+// mergeWheel drains every wheel bucket due by now into the awake bitmap.
+// Cycles can jump forward (Run's idle skip); a jump of 64 or more simply
+// drains all buckets — content for cycles still in the future is woken
+// early, which the scan handles by re-parking.
+func (c *Context) mergeWheel(now uint64) {
+	d := now - c.wheelMerged
+	if d == 0 {
+		return
+	}
+	c.wheelMerged = now
+	if d > 64 {
+		d = 64
+	}
+	nw := uint64(len(c.awake))
+	for cyc := now - d + 1; cyc <= now; cyc++ {
+		b := (cyc & 63) * nw
+		for w := uint64(0); w < nw; w++ {
+			if v := c.wheel[b+w]; v != 0 {
+				c.awake[w] |= v
+				c.wheel[b+w] = 0
+			}
+		}
+	}
 }
 
 // depReady reports whether the dependency at absolute sequence dep has
@@ -111,21 +211,28 @@ func (c *Context) depReady(dep, now uint64) bool {
 
 // depHint reports whether e's dependencies are satisfied at now; when they
 // are not, it returns the earliest future cycle at which a re-check could
-// succeed (now+1 if a dependency has not even issued yet).
+// succeed. An issued dependency has an exact completion cycle. An unissued
+// one has already been passed over this cycle (dependencies are older than
+// their consumers and both scans — issueFrom and wakeup — visit the window
+// oldest-first), so it issues at earliest now+1 and completes at earliest
+// now+1+minLat[kind]; minLat is an exact lower bound on each kind's
+// issue-to-complete latency, so the hint never overshoots the true ready
+// cycle and results stay bit-identical.
 func (c *Context) depHint(e *robEntry, now uint64) (hint uint64, ready bool) {
 	hint = now
-	for _, dep := range [2]uint64{e.dep1, e.dep2} {
-		if dep == noDep || dep < c.head {
-			continue
+	if dep := e.dep1; dep != noDep && dep >= c.head {
+		if d := &c.rob[dep&c.robMask]; !d.issued {
+			hint = now + 1 + c.minLat[d.kind]
+		} else if d.completeAt > hint {
+			hint = d.completeAt
 		}
-		d := c.entry(dep)
-		if !d.issued {
-			if hint < now+1 {
-				hint = now + 1
+	}
+	if dep := e.dep2; dep != noDep && dep >= c.head {
+		if d := &c.rob[dep&c.robMask]; !d.issued {
+			if h := now + 1 + c.minLat[d.kind]; h > hint {
+				hint = h
 			}
-			continue
-		}
-		if d.completeAt > hint {
+		} else if d.completeAt > hint {
 			hint = d.completeAt
 		}
 	}
@@ -163,11 +270,16 @@ type Checker interface {
 // It is not safe for concurrent use; run independent experiments on
 // independent Chips.
 type Chip struct {
-	cfg   isa.Config
-	cores []*Core
-	l3    *cache.Cache
-	memc  *mem.Controller
-	cycle uint64
+	cfg     isa.Config
+	cores   []*Core
+	l3      *cache.Cache
+	memc    *mem.Controller
+	cycle   uint64
+	skipped uint64 // cycles jumped over by Run's idle-skip (telemetry only)
+
+	// minLat holds, per micro-op kind, an exact lower bound on the
+	// issue-to-complete latency; every Context points here (see depHint).
+	minLat [isa.NumKinds]uint64
 
 	checker       Checker
 	checkInterval uint64
@@ -185,6 +297,13 @@ func New(cfg isa.Config) (*Chip, error) {
 		l3:   cache.New("L3", cfg.L3),
 		memc: mem.New(cfg.MemBaseLatency, cfg.MemServiceInterval),
 	}
+	// Exact issue-to-complete latency floors: ALU kinds and branches always
+	// take Latency[kind]; a store completes through the store buffer in
+	// StoreLatency; a load's best case is a DTLB hit plus an L1D hit.
+	c.minLat = cfg.Latency
+	c.minLat[isa.Nop] = 0
+	c.minLat[isa.Load] = cfg.L1D.LatencyCycles
+	c.minLat[isa.Store] = cfg.StoreLatency
 	for i := 0; i < cfg.Cores; i++ {
 		co := &Core{
 			chip: c,
@@ -198,6 +317,8 @@ func New(cfg isa.Config) (*Chip, error) {
 			co.ctxs[k] = &Context{
 				rob:      make([]robEntry, cfg.ROBSize),
 				robMask:  uint64(cfg.ROBSize - 1),
+				awake:    make([]uint64, (cfg.ROBSize+63)/64),
+				wheel:    make([]uint64, 64*((cfg.ROBSize+63)/64)),
 				addrBase: (uint64(gid) + 1) << 44,
 				brSalt:   uint32(gid+1) * 0x9E3779B9,
 				missFree: make([]uint64, 0, cfg.MSHRsPerContext),
@@ -205,7 +326,8 @@ func New(cfg isa.Config) (*Chip, error) {
 				// hardware contexts, as several per-thread front-end
 				// structures are on real SMT parts; this keeps TLB reach
 				// identical between solo and co-located runs.
-				dtlb: tlb.New(cfg.DTLBEntries/cfg.ContextsPerCore, cfg.PageBytes),
+				dtlb:   tlb.New(cfg.DTLBEntries/cfg.ContextsPerCore, cfg.PageBytes),
+				minLat: &c.minLat,
 			}
 			if cfg.StreamPrefetcher {
 				ns := cfg.PrefetchStreams
@@ -239,6 +361,11 @@ func (c *Chip) Config() isa.Config { return c.cfg }
 
 // Cycle returns the current simulation cycle.
 func (c *Chip) Cycle() uint64 { return c.cycle }
+
+// IdleSkipped returns the cumulative number of cycles Run's idle-skip
+// jumped over instead of iterating. Telemetry only: skipped cycles are
+// indistinguishable from iterated ones in every counter and result.
+func (c *Chip) IdleSkipped() uint64 { return c.skipped }
 
 // SetChecker attaches (or, with nil, detaches) a runtime invariant checker.
 // OnCycle fires every interval cycles (0 means every 1024) and at the end
@@ -293,6 +420,17 @@ func (c *Chip) Assign(core, ctx int, s Stream) {
 	x.active = s != nil
 	x.head, x.tail = 0, 0
 	x.fetchStallUntil = 0
+	x.scanStallUntil = 0
+	x.issuedPrefix = 0
+	for i := range x.awake {
+		x.awake[i] = 0
+	}
+	x.parkedMin = 0
+	for i := range x.wheel {
+		x.wheel[i] = 0
+	}
+	x.wheelMerged = c.cycle
+	x.unissued = 0
 	x.missFree = x.missFree[:0]
 	x.missMin = ^uint64(0)
 	for i := range x.streams {
@@ -300,6 +438,7 @@ func (c *Chip) Assign(core, ctx int, s Stream) {
 		x.streamLRU[i] = 0
 	}
 	x.ctr = pmu.Counters{}
+	x.cyclesBase = c.cycle
 	if c.checker != nil {
 		c.checker.OnReset(c)
 	}
@@ -307,7 +446,12 @@ func (c *Chip) Assign(core, ctx int, s Stream) {
 
 // Counters returns a snapshot of the context's cumulative PMU counters.
 func (c *Chip) Counters(core, ctx int) pmu.Counters {
-	return c.cores[core].ctxs[ctx].ctr
+	x := c.cores[core].ctxs[ctx]
+	ctr := x.ctr
+	if x.active {
+		ctr.Cycles = c.cycle - x.cyclesBase
+	}
+	return ctr
 }
 
 // ResetCounters zeroes every context's PMU counters (and the shared
@@ -317,6 +461,7 @@ func (c *Chip) ResetCounters() {
 	for _, co := range c.cores {
 		for _, x := range co.ctxs {
 			x.ctr = pmu.Counters{}
+			x.cyclesBase = c.cycle
 		}
 		co.l1d.ResetStats()
 		co.l2.ResetStats()
@@ -355,16 +500,16 @@ func (c *Chip) CoreL2(core int) *cache.Cache { return c.cores[core].l2 }
 func (c *Chip) Prewarm(n int) {
 	c.prewarmFootprints()
 	const chunk = 64
-	var u isa.Uop
 	for done := 0; done < n; done += chunk {
 		for _, co := range c.cores {
 			for _, x := range co.ctxs {
 				if x == nil || !x.active {
 					continue
 				}
+				u := &x.uop // reused scratch, as in fetchInto
 				for i := 0; i < chunk; i++ {
-					u = isa.Uop{}
-					x.stream.Next(&u)
+					*u = isa.Uop{}
+					x.stream.Next(u)
 					switch u.Kind {
 					case isa.Branch:
 						// Train the predictor in uop time: large branch
@@ -494,27 +639,141 @@ func (c *Chip) prewarmFootprints() {
 // Run advances the chip by the given number of cycles. When a checker is
 // attached it is consulted every checkInterval cycles and once at the end
 // of the window; the first violation is latched (see CheckErr).
+//
+// Cycles on which no context can make progress are not iterated one by one:
+// when a stepped cycle performs no fetch, issue or retirement, Run jumps
+// directly to the earliest cycle at which any context could act again (a
+// completion, an MSHR release or a front-end stall expiry — see
+// Context.wakeup for the correctness argument). The skip changes no
+// architectural or counter state, only how many times the loop spins; the
+// golden PMU fixtures (internal/simtest) pin this bit-exactly. Checked runs
+// do not skip, so the checker samples its invariants at exact interval
+// boundaries; this also makes every checked-vs-unchecked counter comparison
+// a test of the skip itself.
 func (c *Chip) Run(cycles uint64) {
-	for n := uint64(0); n < cycles; n++ {
+	end := c.cycle + cycles
+	for c.cycle < end {
 		now := c.cycle
+		progress := false
 		for _, co := range c.cores {
-			co.step(now)
-		}
-		c.cycle++
-		for _, co := range c.cores {
-			for _, x := range co.ctxs {
-				if x.active {
-					x.ctr.Cycles++
-				}
+			if co.step(now) {
+				progress = true
 			}
 		}
-		if c.checker != nil && c.cycle%c.checkInterval == 0 {
-			c.runCheck()
+		c.cycle++
+		if c.checker != nil {
+			if c.cycle%c.checkInterval == 0 {
+				c.runCheck()
+			}
+			continue
+		}
+		if !progress {
+			if t := c.nextWakeup(now); t > c.cycle {
+				if t > end {
+					t = end
+				}
+				c.skipped += t - c.cycle
+				c.cycle = t
+			}
 		}
 	}
 	if c.checker != nil {
 		c.runCheck()
 	}
+}
+
+// nextWakeup returns a conservative lower bound (> now) on the next cycle
+// at which any active context could make progress, assuming none did at
+// cycle now. ^uint64(0) means no context has a pending event (e.g. the
+// chip is empty).
+func (c *Chip) nextWakeup(now uint64) uint64 {
+	t := ^uint64(0)
+	for _, co := range c.cores {
+		for _, x := range co.ctxs {
+			if x == nil || !x.active {
+				continue
+			}
+			if w := x.wakeup(&c.cfg, now); w < t {
+				t = w
+			}
+		}
+	}
+	return t
+}
+
+// wakeup computes the earliest cycle (> now) at which the context could
+// fetch, issue or retire, given that it made no progress at cycle now. The
+// bound is conservative — waking early merely re-runs the idle check —
+// and it is exact for the three event sources a stalled context has:
+//
+//   - fetch resumes when fetchStallUntil expires (or, if the ROB is full,
+//     only after a retirement, which the other bounds cover);
+//   - the head of the ROB retires when its completion cycle arrives;
+//   - an unissued micro-op becomes issueable when its dependencies
+//     complete (depHint) or, for memory ops under a full MSHR file, when
+//     the earliest outstanding miss resolves (missMin).
+//
+// Anything that could create a *new* event before those cycles would
+// itself be progress at cycle now, which the caller has ruled out. The
+// defensive now+1 returns cover states the no-progress precondition should
+// exclude; they turn the skip into a no-op rather than risking one.
+func (x *Context) wakeup(cfg *isa.Config, now uint64) uint64 {
+	t := ^uint64(0)
+	if x.tail-x.head < uint64(cfg.ROBSize) {
+		if x.fetchStallUntil <= now {
+			return now + 1 // fetch is possible immediately
+		}
+		t = x.fetchStallUntil
+	}
+	if x.head == x.tail {
+		return t // empty ROB: only fetch can create work
+	}
+	if e := x.entry(x.head); e.issued {
+		if e.completeAt <= now {
+			return now + 1 // retirement is already due
+		}
+		if e.completeAt < t {
+			t = e.completeAt
+		}
+	}
+	if x.unissued == 0 {
+		return t // window is all issued: bounded by the head completion
+	}
+	mshrFull := len(x.missFree) >= cfg.MSHRsPerContext
+	limit := x.head + uint64(cfg.IssueScanDepth)
+	if limit > x.tail {
+		limit = x.tail
+	}
+	start := x.head
+	if x.issuedPrefix > start {
+		start = x.issuedPrefix // [head, issuedPrefix) is all issued
+	}
+	for s := start; s < limit; s++ {
+		e := x.entry(s)
+		if e.issued {
+			continue
+		}
+		// Always re-derive the hint here: a dependency may have issued
+		// since it was stored, turning a weak lower bound into an exact
+		// completion cycle — and a longer provably-idle stretch. Write it
+		// back so the issue scan benefits too.
+		hint, ready := x.depHint(e, now)
+		if !ready {
+			e.notReadyUntil = hint
+			if hint < t {
+				t = hint
+			}
+			continue
+		}
+		if mshrFull && (e.kind == isa.Load || e.kind == isa.Store) {
+			if x.missMin < t {
+				t = x.missMin
+			}
+			continue
+		}
+		return now + 1 // a ready micro-op exists; do not skip
+	}
+	return t
 }
 
 // runCheck consults the attached checker, latching its first violation.
@@ -525,21 +784,32 @@ func (c *Chip) runCheck() {
 }
 
 // step advances one core by one cycle: expire MSHRs, retire, issue, fetch.
-func (co *Core) step(now uint64) {
+// It reports whether any context made progress (retired, issued or fetched
+// at least one micro-op) — the signal Run's idle-skip relies on.
+func (co *Core) step(now uint64) bool {
 	anyActive := false
+	progress := false
 	for _, x := range co.ctxs {
 		if x == nil || !x.active {
 			continue
 		}
 		anyActive = true
+		x.mergeWheel(now)
 		x.expireMisses(now)
-		x.retire(now, co.chip.cfg.RetireWidth)
+		if x.retire(now, co.chip.cfg.RetireWidth) > 0 {
+			progress = true
+		}
 	}
 	if !anyActive {
-		return
+		return false
 	}
-	co.issue(now)
-	co.fetch(now)
+	if co.issue(now) {
+		progress = true
+	}
+	if co.fetch(now) {
+		progress = true
+	}
+	return progress
 }
 
 func (x *Context) expireMisses(now uint64) {
@@ -560,15 +830,20 @@ func (x *Context) expireMisses(now uint64) {
 	x.missMin = earliest
 }
 
-func (x *Context) retire(now uint64, width int) {
-	for n := 0; n < width && x.head < x.tail; n++ {
+// retire retires up to width completed micro-ops in order, returning the
+// number retired. The Instructions counter is updated once per call, not
+// per micro-op.
+func (x *Context) retire(now uint64, width int) int {
+	n := 0
+	for ; n < width && x.head < x.tail; n++ {
 		e := x.entry(x.head)
 		if !e.issued || e.completeAt > now {
-			return
+			break
 		}
 		x.head++
-		x.ctr.Instructions++
 	}
+	x.ctr.Instructions += uint64(n)
+	return n
 }
 
 // issue performs the per-cycle dispatch: context priority alternates every
@@ -576,8 +851,9 @@ func (x *Context) retire(now uint64, width int) {
 // first (each port accepts one micro-op per cycle), then the sibling fills
 // what remains. Under saturation each context therefore receives half of a
 // contended port's slots, which is the competitive sharing SMiTe measures.
-func (co *Core) issue(now uint64) {
-	free := isa.PortMask(1<<isa.NumPorts - 1)
+func (co *Core) issue(now uint64) bool {
+	const allPorts = isa.PortMask(1<<isa.NumPorts - 1)
+	free := allPorts
 	pri := int(now+uint64(co.idx)) & 1
 	for t := 0; t < 2 && free != 0; t++ {
 		x := co.ctxs[(pri+t)&1]
@@ -586,37 +862,152 @@ func (co *Core) issue(now uint64) {
 		}
 		free = co.issueFrom(x, free, now)
 	}
+	return free != allPorts
 }
 
 // issueFrom scans x's oldest IssueScanDepth ROB entries (the reservation-
 // station view) oldest-first, dispatching each ready micro-op to the lowest
 // free port in its mask. It returns the ports still free.
 func (co *Core) issueFrom(x *Context, free isa.PortMask, now uint64) isa.PortMask {
+	if now < x.scanStallUntil && x.head == x.scanHead && x.tail == x.scanTail {
+		return free // parked: window proven non-dispatchable until then
+	}
 	cfg := &co.chip.cfg
 	mshrFull := len(x.missFree) >= cfg.MSHRsPerContext
 	limit := x.head + uint64(cfg.IssueScanDepth)
 	if limit > x.tail {
 		limit = x.tail
 	}
-	for s := x.head; s < limit && free != 0; s++ {
-		e := x.entry(s)
-		if e.issued || e.notReadyUntil > now {
+	// Local ring view: keeps the scan free of repeated slice-header loads,
+	// and the notReadyUntil sentinel rejects issued and known-not-ready
+	// entries with one comparison each.
+	rob, mask := x.rob, x.robMask
+	start := x.head
+	if x.issuedPrefix > start {
+		start = x.issuedPrefix
+	}
+	for start < limit && rob[start&mask].issued {
+		start++
+	}
+	x.issuedPrefix = start
+	if now < x.parkedMin {
+		// Every bitmap-cleared entry still has notReadyUntil > now, so the
+		// cheap walk over set bits visits exactly the entries a full scan
+		// would not skip.
+		return co.issueAwake(x, free, now, start, limit, mshrFull)
+	}
+	// Full rebuild scan: visit the whole window, re-deriving which entries
+	// stay awake and the next parkedMin re-arm cycle.
+	// parkable stays true only while every skipped entry carries an exact
+	// future wakeup cycle (accumulated in parkUntil); a dispatch or a skip
+	// for a transient reason (port taken this cycle) forbids parking.
+	parkable := true
+	parkUntil := ^uint64(0)
+	x.parkedMin = ^uint64(0) // re-accumulated by the park calls below
+	for s := start; s < limit; s++ {
+		if free == 0 {
+			// Unvisited entries keep stale bitmap state; rebuild next cycle.
+			x.parkedMin = now + 1
+			parkable = false
+			break
+		}
+		slot := s & mask
+		e := &rob[slot]
+		if e.notReadyUntil > now {
+			x.park(slot, e.notReadyUntil, now)
+			if e.notReadyUntil < parkUntil {
+				parkUntil = e.notReadyUntil
+			}
 			continue
 		}
 		avail := e.ports & free
 		if avail == 0 {
+			x.awake[slot>>6] |= 1 << (slot & 63)
+			parkable = false
 			continue
 		}
 		if mshrFull && (e.kind == isa.Load || e.kind == isa.Store) {
+			// The MSHR file frees exactly at missMin, which cannot move
+			// earlier while this context's memory ops are blocked, so the
+			// entry can park on it like a dependency hint.
+			e.notReadyUntil = x.missMin
+			x.park(slot, x.missMin, now)
+			if x.missMin < parkUntil {
+				parkUntil = x.missMin
+			}
 			continue
 		}
 		if hint, ready := x.depHint(e, now); !ready {
 			e.notReadyUntil = hint
+			x.park(slot, hint, now)
+			if hint < parkUntil {
+				parkUntil = hint
+			}
 			continue
 		}
 		p := isa.Port(bits.TrailingZeros8(uint8(avail)))
 		co.execute(x, e, p, now)
+		x.awake[slot>>6] &^= 1 << (slot & 63)
 		free &^= 1 << p
+		parkable = false
+	}
+	if parkable && parkUntil > now+1 {
+		x.scanStallUntil = parkUntil
+		x.scanHead, x.scanTail = x.head, x.tail
+	}
+	return free
+}
+
+// issueAwake is issueFrom's fast path: it walks only the bitmap-set window
+// entries (see Context.awake), dispatching by the same rules and in the
+// same oldest-first order as the full scan.
+func (co *Core) issueAwake(x *Context, free isa.PortMask, now uint64, start, limit uint64, mshrFull bool) isa.PortMask {
+	rob, mask := x.rob, x.robMask
+	n := uint64(len(rob))
+	for base := start; base < limit && free != 0; {
+		slot := base & mask
+		word := slot >> 6
+		off := slot & 63
+		span := limit - base
+		if rem := 64 - off; span > rem {
+			span = rem // stay within one bitmap word
+		}
+		if rem := n - slot; span > rem {
+			span = rem // stay within the ring
+		}
+		w := x.awake[word] >> off
+		if span < 64 {
+			w &= 1<<span - 1
+		}
+		for w != 0 && free != 0 {
+			i := uint64(bits.TrailingZeros64(w))
+			w &= w - 1
+			e := &rob[slot+i]
+			if e.notReadyUntil > now {
+				// Issued or parked since the bit was set.
+				x.park(slot+i, e.notReadyUntil, now)
+				continue
+			}
+			avail := e.ports & free
+			if avail == 0 {
+				continue
+			}
+			if mshrFull && (e.kind == isa.Load || e.kind == isa.Store) {
+				e.notReadyUntil = x.missMin // exact: MSHRs free at missMin
+				x.park(slot+i, x.missMin, now)
+				continue
+			}
+			if hint, ready := x.depHint(e, now); !ready {
+				e.notReadyUntil = hint
+				x.park(slot+i, hint, now)
+				continue
+			}
+			p := isa.Port(bits.TrailingZeros8(uint8(avail)))
+			co.execute(x, e, p, now)
+			x.awake[word] &^= 1 << (off + i)
+			free &^= 1 << p
+		}
+		base += span
 	}
 	return free
 }
@@ -625,6 +1016,8 @@ func (co *Core) issueFrom(x *Context, free isa.PortMask, now uint64) isa.PortMas
 func (co *Core) execute(x *Context, e *robEntry, p isa.Port, now uint64) {
 	cfg := &co.chip.cfg
 	e.issued = true
+	e.notReadyUntil = ^uint64(0) // sentinel: drop out of the issue scan
+	x.unissued--
 	x.ctr.PortUops[p]++
 	switch e.kind {
 	case isa.Load:
@@ -774,7 +1167,7 @@ func (co *Core) storeAccess(x *Context, addr uint64, now uint64) (fillAt uint64,
 // loop-buffer-resident Ruler on real hardware leaves fetch bandwidth to its
 // co-runner, and is what keeps the functional-unit Rulers decoupled from
 // the front-end dimension.
-func (co *Core) fetch(now uint64) {
+func (co *Core) fetch(now uint64) bool {
 	cfg := &co.chip.cfg
 	width := cfg.FetchWidth
 	first := int(now+uint64(co.idx)) & 1
@@ -785,19 +1178,20 @@ func (co *Core) fetch(now uint64) {
 		}
 		width -= co.fetchInto(x, now, width)
 	}
+	return width != cfg.FetchWidth
 }
 
 // fetchInto allocates up to width micro-ops into x's ROB, returning the
 // number allocated.
 func (co *Core) fetchInto(x *Context, now uint64, width int) int {
 	cfg := &co.chip.cfg
-	var u isa.Uop
+	u := &x.uop // per-context scratch: a local would escape through Stream.Next
 	for n := 0; n < width; n++ {
 		if x.tail-x.head >= uint64(cfg.ROBSize) {
 			return n
 		}
-		u = isa.Uop{}
-		x.stream.Next(&u)
+		*u = isa.Uop{}
+		x.stream.Next(u)
 
 		if u.ICacheMiss {
 			x.ctr.ICacheMisses++
@@ -827,6 +1221,7 @@ func (co *Core) fetchInto(x *Context, now uint64, width int) int {
 		case isa.Nop:
 			// Nops consume front-end and ROB bandwidth but no port.
 			e.issued = true
+			e.notReadyUntil = ^uint64(0)
 			e.completeAt = now
 		case isa.Load, isa.Store:
 			e.addr = x.addrBase | u.Addr
@@ -836,6 +1231,13 @@ func (co *Core) fetchInto(x *Context, now uint64, width int) int {
 				e.mispredict = true
 				x.ctr.BranchMispredicts++
 			}
+		}
+		if u.Kind != isa.Nop {
+			// New dispatchable entry: wake its bitmap slot (the previous
+			// occupant retired issued, so the bit is currently clear).
+			slot := seq & x.robMask
+			x.awake[slot>>6] |= 1 << (slot & 63)
+			x.unissued++
 		}
 		x.tail++
 

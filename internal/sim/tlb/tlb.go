@@ -15,9 +15,8 @@ const ways = 4
 // TLB is a set-associative translation buffer with LRU replacement.
 // It is not safe for concurrent use.
 type TLB struct {
-	pages     []uint64
+	pages     []uint64 // invalidPage marks an empty entry
 	stamp     []uint64
-	valid     []bool
 	clock     uint64
 	setMask   uint64
 	pageShift uint
@@ -25,6 +24,10 @@ type TLB struct {
 	hits   uint64
 	misses uint64
 }
+
+// invalidPage marks an empty entry. A real page number is addr >> pageShift
+// and cannot reach it for any address the engine generates.
+const invalidPage = ^uint64(0)
 
 // New builds a TLB with the given entry count (rounded down to a multiple
 // of the associativity, minimum one set) over pages of pageBytes, which
@@ -49,13 +52,16 @@ func New(entries, pageBytes int) *TLB {
 		shift++
 	}
 	n := sets * ways
-	return &TLB{
+	t := &TLB{
 		pages:     make([]uint64, n),
 		stamp:     make([]uint64, n),
-		valid:     make([]bool, n),
 		setMask:   uint64(sets - 1),
 		pageShift: shift,
 	}
+	for i := range t.pages {
+		t.pages[i] = invalidPage
+	}
+	return t
 }
 
 // Entries returns the total entry count.
@@ -66,28 +72,36 @@ func (t *TLB) Access(addr uint64) bool {
 	t.clock++
 	page := addr >> t.pageShift
 	base := int(page&t.setMask) * ways
-	victim := base
-	oldest := ^uint64(0)
-	for i := base; i < base+ways; i++ {
-		if t.valid[i] && t.pages[i] == page {
+	pages := t.pages[base : base+ways]
+	for i, p := range pages {
+		if p == page {
 			t.hits++
-			t.stamp[i] = t.clock
+			t.stamp[base+i] = t.clock
 			return true
-		}
-		if !t.valid[i] {
-			if oldest != 0 {
-				victim = i
-				oldest = 0
-			}
-			continue
-		}
-		if t.stamp[i] < oldest {
-			victim = i
-			oldest = t.stamp[i]
 		}
 	}
 	t.misses++
-	t.valid[victim] = true
+	// Victim: first invalid entry, else first-oldest stamp (the same
+	// choice the former combined scan made).
+	victim := base
+	haveInvalid := false
+	for i, p := range pages {
+		if p == invalidPage {
+			victim = base + i
+			haveInvalid = true
+			break
+		}
+	}
+	if !haveInvalid {
+		oldest := ^uint64(0)
+		stamps := t.stamp[base : base+ways]
+		for i, s := range stamps {
+			if s < oldest {
+				victim = base + i
+				oldest = s
+			}
+		}
+	}
 	t.pages[victim] = page
 	t.stamp[victim] = t.clock
 	return false
@@ -101,8 +115,9 @@ func (t *TLB) ResetStats() { t.hits, t.misses = 0, 0 }
 
 // Flush invalidates all entries and zeroes statistics.
 func (t *TLB) Flush() {
-	for i := range t.valid {
-		t.valid[i] = false
+	for i := range t.pages {
+		t.pages[i] = invalidPage
+		t.stamp[i] = 0
 	}
 	t.clock = 0
 	t.ResetStats()

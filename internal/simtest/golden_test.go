@@ -52,8 +52,11 @@ func reduced(cfg isa.Config) isa.Config {
 
 // goldenCases enumerates the canonical triples: solo, app-vs-app and
 // app-vs-Ruler under both placements, across all three machine models,
-// including a multithreaded CloudSuite arrangement.
-func goldenCases(t *testing.T) []struct {
+// including a multithreaded CloudSuite arrangement. With check set the runs
+// double as invariant runs; without it the engine takes its fast paths
+// (idle-skip in particular), which the unchecked golden pass pins to the
+// same fixtures.
+func goldenCases(t *testing.T, check bool) []struct {
 	name string
 	run  func() (profile.RunResult, error)
 } {
@@ -62,7 +65,7 @@ func goldenCases(t *testing.T) []struct {
 	snb := reduced(isa.SandyBridgeEN())
 	p7 := reduced(isa.Power7Like())
 	opts := profile.FastOptions()
-	opts.Check = true // golden runs double as invariant runs
+	opts.Check = check
 
 	spec := func(name string) *workload.Spec { return mustSpec(t, name) }
 	app := func(name string) profile.Job { return profile.App(spec(name)) }
@@ -112,7 +115,7 @@ func TestGoldenPMU(t *testing.T) {
 	if testing.Short() {
 		t.Skip("golden PMU runs in short mode")
 	}
-	cases := goldenCases(t)
+	cases := goldenCases(t, true)
 
 	if *update {
 		var out []goldenRun
@@ -137,6 +140,26 @@ func TestGoldenPMU(t *testing.T) {
 		return
 	}
 
+	runAgainstFixtures(t, cases)
+}
+
+// TestGoldenPMUUnchecked replays the same canonical triples against the
+// same fixtures with the invariant checker detached. This is the path
+// production sweeps take — the engine may idle-skip, park contexts and use
+// its issue fast paths — and it must be bit-exact with the checked runs
+// that generated the fixtures.
+func TestGoldenPMUUnchecked(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden PMU runs in short mode")
+	}
+	runAgainstFixtures(t, goldenCases(t, false))
+}
+
+func runAgainstFixtures(t *testing.T, cases []struct {
+	name string
+	run  func() (profile.RunResult, error)
+}) {
+	t.Helper()
 	buf, err := os.ReadFile(goldenPath)
 	if err != nil {
 		t.Fatalf("missing golden fixtures (regenerate with -update): %v", err)

@@ -23,6 +23,10 @@ type Gen struct {
 	// branch bias bits derived from (tag, spec number): all threads of an
 	// application share its static branch behaviour.
 	biasSalt uint64
+
+	// depGeo samples dependency distances; one sampler per Gen hoists the
+	// log constant out of the per-uop path.
+	depGeo xrand.GeometricSampler
 }
 
 // NewGen builds a generator for spec with the given seed. Distinct seeds
@@ -36,6 +40,7 @@ func NewGen(spec *Spec, seed uint64) *Gen {
 		spec:     spec,
 		rng:      xrand.New(seed ^ uint64(spec.Number+1)*0x9E3779B97F4A7C15),
 		biasSalt: uint64(spec.Number+1) * 0xA24BAED4963EE407,
+		depGeo:   xrand.NewGeometric(spec.MeanDepDist),
 	}
 	c := 0.0
 	for i, kf := range spec.Mix.kinds() {
@@ -161,7 +166,7 @@ func (g *Gen) Next(u *isa.Uop) {
 }
 
 func (g *Gen) depDist() uint16 {
-	d := g.rng.Geometric(g.spec.MeanDepDist)
+	d := g.depGeo.Sample(g.rng)
 	if d > 64 {
 		d = 64
 	}

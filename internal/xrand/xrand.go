@@ -121,15 +121,38 @@ func (r *Rand) Exp(lambda float64) float64 {
 // Geometric returns a geometrically distributed integer >= 1 with the given
 // mean. A mean <= 1 always returns 1.
 func (r *Rand) Geometric(mean float64) int {
-	if mean <= 1 {
+	return NewGeometric(mean).Sample(r)
+}
+
+// GeometricSampler draws geometric integers >= 1 with a fixed mean. It
+// hoists the log(1-p) constant that Rand.Geometric recomputes per call;
+// callers sampling the same mean millions of times (the workload
+// generators' dependency distances) construct one sampler up front.
+// Sample is bit-identical to Rand.Geometric for the same Rand state.
+type GeometricSampler struct {
+	mean  float64
+	denom float64 // math.Log(1 - 1/mean), valid when mean > 1
+}
+
+// NewGeometric builds a sampler with the given mean.
+func NewGeometric(mean float64) GeometricSampler {
+	g := GeometricSampler{mean: mean}
+	if mean > 1 {
+		g.denom = math.Log(1 - 1/mean)
+	}
+	return g
+}
+
+// Sample draws the next value from r.
+func (g GeometricSampler) Sample(r *Rand) int {
+	if g.mean <= 1 {
 		return 1
 	}
-	p := 1 / mean
 	u := r.Float64()
 	if u >= 1 {
 		u = math.Nextafter(1, 0)
 	}
-	k := 1 + int(math.Log(1-u)/math.Log(1-p))
+	k := 1 + int(math.Log(1-u)/g.denom)
 	if k < 1 {
 		k = 1
 	}
