@@ -12,14 +12,18 @@
 package repro
 
 import (
+	"context"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/profile"
+	"repro/internal/qosd"
 	"repro/internal/sim/engine"
 	"repro/internal/sim/isa"
 	"repro/internal/workload"
+	"repro/smite"
 )
 
 func newLab() *experiments.Lab { return experiments.NewLab(experiments.TestScale()) }
@@ -422,6 +426,44 @@ func BenchmarkCheckerOverhead(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkQosdPredict measures the smited serving hot path as a
+// scheduler client sees it: HTTP round-trip, JSON codec, registry
+// snapshot and the memoized Equation 3 evaluation. One op is a burst of
+// 256 keep-alive requests, so single-iteration CI runs (-benchtime 1x)
+// still average over enough round-trips to gate on. The CI bench job
+// compares ns/op against BENCH_baseline.json.
+func BenchmarkQosdPredict(b *testing.B) {
+	const burst = 256
+	victim := smite.Characterization{App: "web-search", SoloIPC: 1.2}
+	aggr := smite.Characterization{App: "429.mcf", SoloIPC: 0.5}
+	var coef [smite.NumDimensions]float64
+	for d := range victim.Sen {
+		victim.Sen[d] = 0.05 * float64(d+1)
+		aggr.Con[d] = 0.1 * float64(d+1)
+		coef[d] = 0.2
+	}
+	reg := qosd.NewRegistry()
+	reg.AddProfiles([]smite.Characterization{victim, aggr})
+	reg.SetModel(smite.NewModel(coef, 0.01))
+	ts := httptest.NewServer(qosd.NewServer(reg, qosd.Config{}).Handler())
+	defer ts.Close()
+	c := qosd.NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+	req := qosd.PredictRequest{Victim: "web-search", Aggressor: "429.mcf"}
+	if _, err := c.Predict(ctx, req); err != nil {
+		b.Fatal(err) // warm the connection and the prediction memo
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			if _, err := c.Predict(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
 	}
 }
 

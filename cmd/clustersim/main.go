@@ -10,16 +10,22 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/qosd"
 	"repro/internal/tco"
+	"repro/smite"
 )
 
 func main() {
@@ -39,6 +45,7 @@ func run(args []string, w io.Writer) error {
 	qosFlag := fs.String("qos", "avg", "QoS definition: avg (average performance) or tail (90th-percentile latency)")
 	targetsFlag := fs.String("targets", "0.95,0.90,0.85", "comma-separated QoS targets to detail (subset of 0.95,0.90,0.85)")
 	serversFlag := fs.Int("servers", 0, "servers per latency application (0 = scale default)")
+	serverFlag := fs.Bool("server", false, "route SMiTe predictions through an embedded smited daemon over HTTP instead of in-process")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -72,14 +79,19 @@ func run(args []string, w io.Writer) error {
 		return fmt.Errorf("unknown qos %q", *qosFlag)
 	}
 
+	kind := cluster.QoSAvg
+	if *qosFlag == "tail" {
+		kind = cluster.QoSTail
+	}
+
 	lab := experiments.NewLab(scale)
 	fmt.Fprintln(w, "building the co-location degradation table (this measures every latency×batch×instances cell)...")
 	var res experiments.ScaleOutResult
 	var err error
-	if *qosFlag == "avg" {
-		res, err = lab.Fig14And15AvgQoS()
+	if *serverFlag {
+		res, err = scaleOutViaDaemon(lab, kind, w)
 	} else {
-		res, err = lab.Fig16And17TailQoS()
+		res, err = lab.ScaleOutStudy(kind, nil)
 	}
 	if err != nil {
 		return err
@@ -114,4 +126,107 @@ func contains(xs []float64, v float64) bool {
 		}
 	}
 	return false
+}
+
+// daemonPredictor satisfies cluster.Predictor from a map of degradations
+// prefetched through a qosd daemon's /v1/batch endpoint.
+type daemonPredictor struct {
+	degs map[string]float64
+}
+
+func dpKey(lat, batch string, n int) string { return fmt.Sprintf("%s|%s|%d", lat, batch, n) }
+
+func (d *daemonPredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+	deg, ok := d.degs[dpKey(lat, batch, n)]
+	if !ok {
+		return 0, fmt.Errorf("clustersim: daemon served no prediction for %s|%s|%d", lat, batch, n)
+	}
+	return deg, nil
+}
+
+// scaleOutViaDaemon reruns the scale-out study with the SMiTe policy's
+// predictions served by a live smited daemon instead of in-process calls:
+// an embedded qosd server comes up on an ephemeral port, the study's
+// profiles travel to it in the persisted-profile wire format, every
+// (latency, batch, instances) cell is scored through POST /v1/batch, and
+// the cluster study consumes those served numbers. Because the daemon
+// evaluates the same model over JSON-round-tripped (hence bit-exact)
+// float64 profiles, the decisions are bit-identical to the in-process
+// path.
+func scaleOutViaDaemon(lab *experiments.Lab, qos cluster.QoSKind, w io.Writer) (experiments.ScaleOutResult, error) {
+	sa, err := lab.ServingArtifacts()
+	if err != nil {
+		return experiments.ScaleOutResult{}, err
+	}
+
+	reg := qosd.NewRegistry()
+	srv := qosd.NewServer(reg, qosd.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return experiments.ScaleOutResult{}, err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+
+	// The model reaches the registry through its persisted form, the same
+	// bytes `smited -model` would read from disk.
+	var buf bytes.Buffer
+	if err := smite.SaveModel(&buf, smite.NewModel(sa.Model.Coef, sa.Model.Intercept)); err != nil {
+		return experiments.ScaleOutResult{}, err
+	}
+	if err := reg.LoadModel(&buf); err != nil {
+		return experiments.ScaleOutResult{}, err
+	}
+
+	// Profiles go over the wire: the batch applications' contentiousness
+	// profiles under their own names, and each latency application's
+	// partial-occupancy sensitivity profiles under the lat#n convention.
+	ctx := context.Background()
+	c := qosd.NewClient("http://"+ln.Addr().String(), nil)
+	var chars []smite.Characterization
+	for _, b := range sa.BatchApps {
+		chars = append(chars, sa.Chars[b])
+	}
+	for _, lat := range sa.LatApps {
+		for n := 1; n <= sa.MaxInstances; n++ {
+			ch := sa.SenByCount[lat][n-1]
+			ch.App = qosd.PartialProfileName(lat, n)
+			chars = append(chars, ch)
+		}
+	}
+	if _, err := c.UploadProfiles(ctx, chars); err != nil {
+		return experiments.ScaleOutResult{}, err
+	}
+
+	// Prefetch the full decision surface, one batch request per
+	// (latency app, instance count).
+	dp := &daemonPredictor{degs: make(map[string]float64)}
+	for _, lat := range sa.LatApps {
+		for n := 1; n <= sa.MaxInstances; n++ {
+			cands := make([]qosd.BatchCandidate, len(sa.BatchApps))
+			for i, b := range sa.BatchApps {
+				cands[i] = qosd.BatchCandidate{Aggressor: b, Instances: n}
+			}
+			resp, err := c.Batch(ctx, qosd.BatchRequest{
+				Victim:     qosd.PartialProfileName(lat, n),
+				Threads:    sa.Threads,
+				Candidates: cands,
+			})
+			if err != nil {
+				return experiments.ScaleOutResult{}, err
+			}
+			for _, r := range resp.Results {
+				dp.degs[dpKey(lat, r.Aggressor, n)] = r.Degradation
+			}
+		}
+	}
+	fmt.Fprintf(w, "SMiTe predictions served by embedded smited at %s (%d profiles uploaded, %d cells fetched)\n",
+		ln.Addr(), len(chars), len(dp.degs))
+
+	res, err := lab.ScaleOutStudy(qos, dp)
+	if shutdownErr := hs.Shutdown(ctx); err == nil && shutdownErr != nil {
+		err = shutdownErr
+	}
+	return res, err
 }

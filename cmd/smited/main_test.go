@@ -1,0 +1,265 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/qosd"
+	"repro/smite"
+)
+
+// writeArtifacts persists a small profile set and model to disk, the same
+// files a real deployment hands to -profiles and -model.
+func writeArtifacts(t *testing.T) (profilesPath, modelPath string, chars []smite.Characterization, m smite.Model) {
+	t.Helper()
+	dir := t.TempDir()
+	victim := smite.Characterization{App: "web-search", SoloIPC: 1.2}
+	aggr := smite.Characterization{App: "429.mcf", SoloIPC: 0.5}
+	for d := range victim.Sen {
+		victim.Sen[d] = 0.04 * float64(d+1)
+		aggr.Con[d] = 0.09 * float64(d+1)
+	}
+	chars = []smite.Characterization{victim, aggr}
+
+	var coef [smite.NumDimensions]float64
+	for d := range coef {
+		coef[d] = 0.15
+	}
+	m = smite.NewModel(coef, 0.02)
+
+	profilesPath = filepath.Join(dir, "profiles.json")
+	pf, err := os.Create(profilesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smite.SaveProfiles(pf, chars); err != nil {
+		t.Fatal(err)
+	}
+	pf.Close()
+
+	modelPath = filepath.Join(dir, "model.json")
+	mf, err := os.Create(modelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := smite.SaveModel(mf, m); err != nil {
+		t.Fatal(err)
+	}
+	mf.Close()
+	return profilesPath, modelPath, chars, m
+}
+
+func TestFlagValidation(t *testing.T) {
+	profiles, model, _, _ := writeArtifacts(t)
+	dir := t.TempDir()
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}, "flag provided but not defined"},
+		{"positional args", []string{"stray"}, "unexpected arguments"},
+		{"empty addr", []string{"-addr", ""}, "-addr must not be empty"},
+		{"zero max-inflight", []string{"-max-inflight", "0"}, "-max-inflight must be positive"},
+		{"negative timeout", []string{"-timeout", "-1s"}, "-timeout must be positive"},
+		{"zero drain", []string{"-drain", "0s"}, "-drain must be positive"},
+		{"missing profiles file", []string{"-profiles", filepath.Join(dir, "nope.json")}, "opening profiles"},
+		{"corrupt profiles file", []string{"-profiles", garbage}, "loading profiles"},
+		{"missing model file", []string{"-profiles", profiles, "-model", filepath.Join(dir, "nope.json")}, "opening model"},
+		{"corrupt model file", []string{"-profiles", profiles, "-model", garbage}, "loading model"},
+	}
+	_ = model
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := run(context.Background(), tc.args, io.Discard, io.Discard)
+			if err == nil {
+				t.Fatal("run accepted bad flags")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not contain %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// syncBuffer is a concurrency-safe writer the smoke test polls for the
+// daemon's listening line.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenLine = regexp.MustCompile(`smited listening on (\S+)`)
+
+// TestEndToEndSmoke runs the daemon exactly as main does — through run()
+// with real flags and real files — against an ephemeral port, exercises
+// /healthz and /v1/predict, then cancels the context (the SIGTERM path)
+// and expects a clean exit.
+func TestEndToEndSmoke(t *testing.T) {
+	profiles, model, chars, m := writeArtifacts(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-profiles", profiles,
+			"-model", model,
+			"-quiet",
+		}, &out, io.Discard)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output: %q", out.String())
+		}
+		if match := listenLine.FindStringSubmatch(out.String()); match != nil {
+			addr = match[1]
+		} else {
+			select {
+			case err := <-errCh:
+				t.Fatalf("daemon exited early: %v", err)
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+
+	c := qosd.NewClient("http://"+addr, nil)
+	h, err := c.Healthz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Profiles != 2 || !h.ModelLoaded {
+		t.Errorf("health %+v, want ok with 2 profiles and a model", h)
+	}
+
+	got, err := c.Predict(ctx, qosd.PredictRequest{Victim: "web-search", Aggressor: "429.mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disk → daemon → HTTP → client must reproduce the in-process
+	// prediction bit for bit.
+	if want := m.PredictPair(chars[0], chars[1]); got.Degradation != want {
+		t.Errorf("served degradation %v != in-process %v", got.Degradation, want)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+}
+
+// TestGracefulShutdownDrains verifies the drain semantics: a request in
+// flight when shutdown begins is allowed to finish and answered normally;
+// only then does Shutdown return. The in-flight request is a raw TCP
+// connection holding its request half-written, so the server is
+// provably mid-request when the drain starts.
+func TestGracefulShutdownDrains(t *testing.T) {
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-quiet", "-drain", "10s"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := newApp(cfg, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := make(chan struct{}, 4)
+	a.srv.ConnState = func(_ net.Conn, st http.ConnState) {
+		if st == http.StateActive {
+			active <- struct{}{}
+		}
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	conn, err := net.Dial("tcp", a.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Complete headers, withheld body: the handler is now parked inside
+	// the JSON decode waiting for the two body bytes, so the request is
+	// provably in flight when the drain starts.
+	if _, err := io.WriteString(conn,
+		"POST /v1/predict HTTP/1.1\r\nHost: smited\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-active:
+	case <-time.After(10 * time.Second):
+		t.Fatal("connection never became active")
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- a.Shutdown() }()
+
+	select {
+	case err := <-done:
+		t.Fatalf("Shutdown returned %v with a request still in flight", err)
+	case <-time.After(300 * time.Millisecond):
+		// Still draining, as it should be.
+	}
+
+	// Complete the request; the draining server must still answer it
+	// (400 invalid_argument — the empty predict body fails validation,
+	// which is fine: the point is the request gets a real answer).
+	if _, err := io.WriteString(conn, "{}"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatalf("no response from draining server: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("draining server answered %d, want 400", resp.StatusCode)
+	}
+	io.Copy(io.Discard, resp.Body)
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Shutdown returned %v after drain", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return after the last request finished")
+	}
+}

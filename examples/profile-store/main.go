@@ -9,17 +9,29 @@
 // Run with:
 //
 //	go run ./examples/profile-store
+//
+// With -dir the store is also written to <dir>/profiles.json and
+// <dir>/model.json — the files cmd/smited serves from:
+//
+//	go run ./examples/profile-store -dir /tmp/store
+//	go run ./cmd/smited -profiles /tmp/store/profiles.json -model /tmp/store/model.json
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	"repro/smite"
 )
 
 func main() {
+	dir := flag.String("dir", "", "also write profiles.json and model.json into this directory")
+	flag.Parse()
+
 	sys, err := smite.NewSystem(smite.IvyBridge, smite.FastOptions())
 	if err != nil {
 		log.Fatal(err)
@@ -56,6 +68,21 @@ func main() {
 	}
 	fmt.Printf("stored %d profiles (%d bytes) and the model (%d bytes)\n\n",
 		len(chars), profileDB.Len(), modelDB.Len())
+
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		pPath := filepath.Join(*dir, "profiles.json")
+		mPath := filepath.Join(*dir, "model.json")
+		if err := os.WriteFile(pPath, profileDB.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(mPath, modelDB.Bytes(), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s and %s (serve them with cmd/smited)\n\n", pPath, mPath)
+	}
 
 	// --- Scheduler process (no machine access, pure lookups) ---
 	loadedChars, err := smite.LoadProfiles(&profileDB)

@@ -80,6 +80,16 @@ func (t *Table) Complete() error {
 	return nil
 }
 
+// Predictor supplies predicted degradations from outside the table — for
+// example the qosd serving daemon, letting a study's SMiTe policy consult
+// a live service instead of pre-baked predictions. Implementations must
+// be deterministic for a given (lat, batch, n).
+type Predictor interface {
+	// PredictDegradation returns the latency application's predicted
+	// degradation when co-located with n instances of the batch app.
+	PredictDegradation(lat, batch string, n int) (float64, error)
+}
+
 // QoSKind selects how QoS is defined.
 type QoSKind int
 
@@ -144,6 +154,11 @@ type Study struct {
 	ContextsPerServer int
 	// Seed drives batch-application arrival randomness.
 	Seed uint64
+	// Predictor, when non-nil, replaces Table.Predicted as the source of
+	// predicted degradations for admission. The Oracle policy still reads
+	// measured values, and scoring always uses measured values — only the
+	// prediction side is swappable.
+	Predictor Predictor
 }
 
 // Result summarises one policy × QoS-target run.
@@ -247,6 +262,11 @@ func (s *Study) Run(policy PolicyKind, qos QoSKind, target float64) (Result, err
 			d := e.Predicted
 			if useActual {
 				d = e.Actual
+			} else if s.Predictor != nil {
+				d, err = s.Predictor.PredictDegradation(sv.lat, sv.batch, n)
+				if err != nil {
+					return err
+				}
 			}
 			q, err := s.qosOf(qos, sv.lat, d)
 			if err != nil {

@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/profile"
@@ -91,10 +92,31 @@ type Lab struct {
 	snb *profile.Profiler
 
 	mu     sync.Mutex
-	chars  map[string]map[string]profile.Characterization // machine|placement|set-hash → app → char
+	chars  map[string]*charFlight // machine|placement|set-hash → single-flight entry
 	models map[string]model.Smite
 	pmus   map[string]model.PMULinear
-	cloud  *cloudStudy
+	cloud  *cloudFlight
+
+	// charRuns counts characterization fan-outs that actually executed
+	// (i.e. single-flight misses); the concurrency tests assert on it.
+	charRuns atomic.Uint64
+}
+
+// charFlight is one single-flight memo entry of Characterizations,
+// mirroring internal/simcache: the first caller computes while later
+// callers of the same key block on done; a failed flight is removed
+// before done closes so waiters retry instead of caching the error.
+type charFlight struct {
+	done  chan struct{}
+	byApp map[string]profile.Characterization // written before close(done)
+	ok    bool                                // false: flight failed, entry removed
+}
+
+// cloudFlight single-flights cloudStudyData the same way.
+type cloudFlight struct {
+	done chan struct{}
+	cs   *cloudStudy
+	ok   bool
 }
 
 // Machine selects one of the Lab's two configurations.
@@ -138,7 +160,7 @@ func NewLab(scale Scale) *Lab {
 		SNB:    snb,
 		ivb:    profile.NewProfiler(ivb, scale.Options),
 		snb:    profile.NewProfiler(snb, scale.Options),
-		chars:  make(map[string]map[string]profile.Characterization),
+		chars:  make(map[string]*charFlight),
 		models: make(map[string]model.Smite),
 		pmus:   make(map[string]model.PMULinear),
 	}
@@ -183,8 +205,11 @@ func (l *Lab) specSet(set []*workload.Spec) []*workload.Spec {
 	return out
 }
 
-// cloudSet truncates the CloudSuite set per the scale, adapting thread
-// counts to the machine when its core count was reduced.
+// cloudSet truncates the CloudSuite set per the scale. It does not touch
+// thread counts: clamping multithreaded applications to a reduced core
+// count happens where the specs become Jobs — Characterizations caps
+// AppThreads at the machine's core count, and cloudStudyData sizes
+// latency jobs from cloudThreads().
 func (l *Lab) cloudSet() []*workload.Spec {
 	set := workload.CloudSuiteApps()
 	if l.Scale.MaxCloudApps > 0 && len(set) > l.Scale.MaxCloudApps {
@@ -200,7 +225,10 @@ func (l *Lab) cloudThreads() int { return l.SNB.Cores }
 // Characterizations returns (and memoises) the characterizations of a set
 // of applications on a machine under a placement. The memo key derives
 // from the set's contents, so equal sets share work regardless of how a
-// caller names them.
+// caller names them. The memo is single-flight per key: concurrent
+// callers of the same missing key block on one characterization fan-out
+// and share its result instead of each running the full sweep and
+// discarding all but one (the check-then-act race this replaces).
 func (l *Lab) Characterizations(m Machine, placement profile.Placement, set []*workload.Spec, setName string) ([]profile.Characterization, error) {
 	_ = setName // kept in the signature for log readability at call sites
 	names := make([]string, len(set))
@@ -215,26 +243,54 @@ func (l *Lab) Characterizations(m Machine, placement profile.Placement, set []*w
 		_, _ = h.Write([]byte{0})
 	}
 	key := fmt.Sprintf("%d|%d|%x", m, placement, h.Sum64())
-	l.mu.Lock()
-	if byApp, ok := l.chars[key]; ok {
-		l.mu.Unlock()
-		out := make([]profile.Characterization, len(set))
-		for i, s := range set {
-			out[i] = byApp[s.Name]
+	for {
+		l.mu.Lock()
+		if f, ok := l.chars[key]; ok {
+			l.mu.Unlock()
+			<-f.done
+			if !f.ok {
+				continue // that flight failed; try to compute ourselves
+			}
+			out := make([]profile.Characterization, len(set))
+			for i, s := range set {
+				out[i] = f.byApp[s.Name]
+			}
+			return out, nil
 		}
-		return out, nil
+		f := &charFlight{done: make(chan struct{})}
+		l.chars[key] = f
+		l.mu.Unlock()
+
+		chars, err := l.characterizeSet(m, placement, set)
+		if err != nil {
+			l.mu.Lock()
+			delete(l.chars, key)
+			l.mu.Unlock()
+			close(f.done)
+			return nil, err
+		}
+		f.byApp = make(map[string]profile.Characterization, len(chars))
+		for _, c := range chars {
+			f.byApp[c.App] = c
+		}
+		f.ok = true
+		close(f.done)
+		return chars, nil
 	}
-	l.mu.Unlock()
-	// Multithreaded apps occupy one context per thread; clamp thread
-	// counts to the machine.
-	jobsSet := make([]*workload.Spec, len(set))
-	copy(jobsSet, set)
+}
+
+// characterizeSet runs the characterization fan-out for one memo key.
+// Multithreaded apps occupy one context per thread; thread counts adapt
+// to the machine here (one per core under SMT, one per half the cores
+// under CMP), which is what keeps reduced-core Scales runnable.
+func (l *Lab) characterizeSet(m Machine, placement profile.Placement, set []*workload.Spec) ([]profile.Characterization, error) {
+	l.charRuns.Add(1)
 	p := l.Profiler(m)
-	chars := make([]profile.Characterization, len(jobsSet))
-	errs := make([]error, len(jobsSet))
+	chars := make([]profile.Characterization, len(set))
+	errs := make([]error, len(set))
 	sem := make(chan struct{}, workers())
 	var wg sync.WaitGroup
-	for i, s := range jobsSet {
+	for i, s := range set {
 		wg.Add(1)
 		go func(i int, s *workload.Spec) {
 			defer wg.Done()
@@ -258,12 +314,5 @@ func (l *Lab) Characterizations(m Machine, placement profile.Placement, set []*w
 			return nil, err
 		}
 	}
-	byApp := make(map[string]profile.Characterization, len(chars))
-	for _, c := range chars {
-		byApp[c.App] = c
-	}
-	l.mu.Lock()
-	l.chars[key] = byApp
-	l.mu.Unlock()
 	return chars, nil
 }

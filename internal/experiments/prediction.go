@@ -143,6 +143,12 @@ type cloudStudy struct {
 	services        map[string]service.Service
 	// maxInstances per placement.
 	maxInstances map[profile.Placement]int
+	// servingSen and servingChars retain the SMT-placement inputs of the
+	// table's predictions (Sen(n) per latency app, full characterizations
+	// for the Con side) so ServingArtifacts can hand the exact prediction
+	// inputs to a qosd daemon.
+	servingSen   map[string][]profile.Characterization // lat app → index n-1
+	servingChars map[string]profile.Characterization
 }
 
 // cloudStudyData builds (and memoises) the CloudSuite study: models are
@@ -150,14 +156,40 @@ type cloudStudy struct {
 // every (latency app, even-SPEC batch app, instance count) co-location is
 // measured and predicted under both placements (paper Section IV-B2).
 func (l *Lab) cloudStudyData() (*cloudStudy, error) {
-	l.mu.Lock()
-	if l.cloud != nil {
-		c := l.cloud
+	// Single-flight, like Characterizations: the study is the most
+	// expensive memo in the Lab, so two concurrent figures must not both
+	// build it.
+	for {
+		l.mu.Lock()
+		if f := l.cloud; f != nil {
+			l.mu.Unlock()
+			<-f.done
+			if !f.ok {
+				continue // that flight failed; try to compute ourselves
+			}
+			return f.cs, nil
+		}
+		f := &cloudFlight{done: make(chan struct{})}
+		l.cloud = f
 		l.mu.Unlock()
-		return c, nil
-	}
-	l.mu.Unlock()
 
+		cs, err := l.buildCloudStudy()
+		if err != nil {
+			l.mu.Lock()
+			l.cloud = nil
+			l.mu.Unlock()
+			close(f.done)
+			return nil, err
+		}
+		f.cs, f.ok = cs, true
+		close(f.done)
+		return cs, nil
+	}
+}
+
+// buildCloudStudy performs the actual measurement and training fan-out of
+// cloudStudyData.
+func (l *Lab) buildCloudStudy() (*cloudStudy, error) {
 	threads := l.cloudThreads()
 	cloudApps := l.cloudSet()
 	// Paper protocol for CloudSuite: odd SPEC trains, even SPEC are the
@@ -243,6 +275,10 @@ func (l *Lab) cloudStudyData() (*cloudStudy, error) {
 			}
 			senByCount[latSpec.Name] = arr
 		}
+		if placement == profile.SMT {
+			cs.servingSen = senByCount
+			cs.servingChars = charBy
+		}
 		var entries []cloudEntry
 		for _, latSpec := range cloudApps {
 			for _, bspec := range batch {
@@ -278,21 +314,17 @@ func (l *Lab) cloudStudyData() (*cloudStudy, error) {
 				}
 				e.actual = pm.DegA
 				// SMiTe prediction uses the partial-occupancy sensitivity
-				// Sen(n): the latency app was characterized against n Ruler
-				// instances, so the n-dependence of both on-core and shared
-				// (L3/bandwidth) pressure is already in the features. The
-				// intercept c0 absorbs per-pair residual interference, so
-				// it scales with the occupied fraction (it must vanish at
-				// n = 0).
-				scale := float64(e.n) / float64(latThreads)
+				// Sen(n) with the occupancy-scaled intercept; the formula
+				// lives in model.Smite.PredictPartial so the qosd serving
+				// daemon evaluates the exact same expression.
 				obs := model.PairObs{
 					SenA: senByCount[e.lat][e.n-1].Sen, ConB: charBy[e.batch].Con,
 					PMUA: charBy[e.lat].SoloPMU.Features(), PMUB: charBy[e.batch].SoloPMU.Features(),
 				}
-				e.predicted = smite.Predict(obs) - (1-scale)*smite.Intercept
+				e.predicted = smite.PredictPartial(obs, e.n, latThreads)
 				// The PMU baseline has no per-occupancy feature; scale by
 				// occupancy as the strongest simple extension.
-				e.pmuPred = scale * pmuM.Predict(obs)
+				e.pmuPred = float64(e.n) / float64(latThreads) * pmuM.Predict(obs)
 			}(&entries[i], &errs[i])
 		}
 		wg.Wait()
@@ -303,10 +335,6 @@ func (l *Lab) cloudStudyData() (*cloudStudy, error) {
 		}
 		cs.placementTables[placement] = entries
 	}
-
-	l.mu.Lock()
-	l.cloud = cs
-	l.mu.Unlock()
 	return cs, nil
 }
 
@@ -419,6 +447,44 @@ func (l *Lab) ClusterTable() (*cluster.Table, map[string]service.Service, error)
 		tbl.Set(e.lat, e.batch, e.n, cluster.Entry{Actual: e.actual, Predicted: e.predicted})
 	}
 	return tbl, cs.services, nil
+}
+
+// ServingArtifacts is everything a qosd daemon needs to reproduce the
+// SMT scale-out study's predictions: the exact characterizations the
+// table's predicted degradations were computed from, plus the trained
+// model and the study geometry.
+type ServingArtifacts struct {
+	// SenByCount maps each latency application to its partial-occupancy
+	// sensitivity profiles (index n-1 holds Sen(n)).
+	SenByCount map[string][]profile.Characterization
+	// Chars holds the full SMT characterizations by application name (the
+	// Con side of every prediction).
+	Chars map[string]profile.Characterization
+	// LatApps and BatchApps name the study's applications in table order.
+	LatApps, BatchApps []string
+	// Model is the trained Equation 3 model behind the predictions.
+	Model model.Smite
+	// Threads is the latency application's thread count per server;
+	// MaxInstances the largest co-located instance count.
+	Threads, MaxInstances int
+}
+
+// ServingArtifacts exports the SMT cloud study's prediction inputs (see
+// the ServingArtifacts type). It builds the cloud study on first use.
+func (l *Lab) ServingArtifacts() (ServingArtifacts, error) {
+	cs, err := l.cloudStudyData()
+	if err != nil {
+		return ServingArtifacts{}, err
+	}
+	return ServingArtifacts{
+		SenByCount:   cs.servingSen,
+		Chars:        cs.servingChars,
+		LatApps:      append([]string(nil), cs.latApps...),
+		BatchApps:    append([]string(nil), cs.batchApps...),
+		Model:        cs.smite[profile.SMT],
+		Threads:      cs.threads,
+		MaxInstances: cs.maxInstances[profile.SMT],
+	}, nil
 }
 
 // meanMeasured is a small helper used by tests.

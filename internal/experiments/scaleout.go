@@ -25,47 +25,56 @@ var scaleOutTargets = []float64{0.95, 0.90, 0.85}
 // Fig14And15AvgQoS runs the average-performance-QoS scale-out study
 // (utilization: Figure 14; violations: Figure 15).
 func (l *Lab) Fig14And15AvgQoS() (ScaleOutResult, error) {
-	tbl, services, err := l.ClusterTable()
-	if err != nil {
-		return ScaleOutResult{}, err
-	}
-	return l.runScaleOut(tbl, services, cluster.QoSAvg)
+	return l.ScaleOutStudy(cluster.QoSAvg, nil)
 }
 
 // Fig16And17TailQoS runs the tail-latency-QoS study over the two services
 // that report percentile latency (utilization: Figure 16; violations:
 // Figure 17).
 func (l *Lab) Fig16And17TailQoS() (ScaleOutResult, error) {
+	return l.ScaleOutStudy(cluster.QoSTail, nil)
+}
+
+// ScaleOutStudy runs a scale-out study under either QoS definition. A
+// non-nil pred replaces the table's baked-in predicted degradations as
+// the SMiTe policy's prediction source (cmd/clustersim --server passes a
+// predictor backed by a live qosd daemon); nil keeps the in-process
+// predictions. Measured degradations always come from the table.
+func (l *Lab) ScaleOutStudy(qos cluster.QoSKind, pred cluster.Predictor) (ScaleOutResult, error) {
 	tbl, services, err := l.ClusterTable()
 	if err != nil {
 		return ScaleOutResult{}, err
 	}
-	// Restrict to percentile-reporting services (Web-Search, Data-Caching).
-	var keep []string
-	for _, lat := range tbl.LatencyApps {
-		if svc, ok := services[lat]; ok && svc.ReportsPercentile {
-			keep = append(keep, lat)
-		}
-	}
-	if len(keep) == 0 {
-		return ScaleOutResult{}, fmt.Errorf("experiments: no percentile-reporting services in the study")
-	}
-	sub := cluster.NewTable(keep, tbl.BatchApps, tbl.MaxInstances)
-	for _, lat := range keep {
-		for _, b := range tbl.BatchApps {
-			for n := 1; n <= tbl.MaxInstances; n++ {
-				e, err := tbl.Get(lat, b, n)
-				if err != nil {
-					return ScaleOutResult{}, err
-				}
-				sub.Set(lat, b, n, e)
+	if qos == cluster.QoSTail {
+		// Restrict to percentile-reporting services (Web-Search,
+		// Data-Caching).
+		var keep []string
+		for _, lat := range tbl.LatencyApps {
+			if svc, ok := services[lat]; ok && svc.ReportsPercentile {
+				keep = append(keep, lat)
 			}
 		}
+		if len(keep) == 0 {
+			return ScaleOutResult{}, fmt.Errorf("experiments: no percentile-reporting services in the study")
+		}
+		sub := cluster.NewTable(keep, tbl.BatchApps, tbl.MaxInstances)
+		for _, lat := range keep {
+			for _, b := range tbl.BatchApps {
+				for n := 1; n <= tbl.MaxInstances; n++ {
+					e, err := tbl.Get(lat, b, n)
+					if err != nil {
+						return ScaleOutResult{}, err
+					}
+					sub.Set(lat, b, n, e)
+				}
+			}
+		}
+		tbl = sub
 	}
-	return l.runScaleOut(sub, services, cluster.QoSTail)
+	return l.runScaleOut(tbl, services, qos, pred)
 }
 
-func (l *Lab) runScaleOut(tbl *cluster.Table, services map[string]service.Service, qos cluster.QoSKind) (ScaleOutResult, error) {
+func (l *Lab) runScaleOut(tbl *cluster.Table, services map[string]service.Service, qos cluster.QoSKind, pred cluster.Predictor) (ScaleOutResult, error) {
 	study := &cluster.Study{
 		Table:             tbl,
 		Services:          services,
@@ -73,6 +82,7 @@ func (l *Lab) runScaleOut(tbl *cluster.Table, services map[string]service.Servic
 		ThreadsPerServer:  l.cloudThreads(),
 		ContextsPerServer: l.SNB.Contexts(),
 		Seed:              7,
+		Predictor:         pred,
 	}
 	out := ScaleOutResult{
 		QoS:     qos,

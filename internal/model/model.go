@@ -94,6 +94,30 @@ func (m Smite) Predict(obs PairObs) float64 {
 	return s
 }
 
+// PredictPartial predicts a partial-occupancy co-location: only instances
+// of the victim's threads sibling contexts carry an aggressor instance.
+// The caller supplies the victim's partial-occupancy sensitivity Sen(n)
+// as obs.SenA (measured with n Ruler instances), so the n-dependence of
+// on-core and shared pressure is already in the features; only the
+// intercept c0 — which absorbs per-pair residual interference and must
+// vanish at n = 0 — is scaled by the occupied fraction. This is the
+// single source of the formula the CloudSuite/scale-out studies and the
+// qosd serving daemon both evaluate, which is what keeps their decisions
+// bit-identical.
+func (m Smite) PredictPartial(obs PairObs, instances, threads int) float64 {
+	if threads <= 0 {
+		return m.Predict(obs)
+	}
+	scale := float64(instances) / float64(threads)
+	if scale > 1 {
+		scale = 1
+	}
+	if scale < 0 {
+		scale = 0
+	}
+	return m.Predict(obs) - (1-scale)*m.Intercept
+}
+
 // TrainSmite fits the Equation 3 coefficients by least squares over the
 // training observations.
 func TrainSmite(obs []PairObs) (Smite, error) {

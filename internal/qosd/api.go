@@ -1,0 +1,210 @@
+// Package qosd is the QoS-prediction serving layer: it packages the
+// trained SMiTe model and a registry of application profiles behind an
+// HTTP/JSON API, turning the repository's offline pipeline into the
+// online placement oracle of the paper's deployment story (Section
+// III-D) — a cluster scheduler characterizes each application once,
+// keeps the profile, and consults the model at every placement decision.
+//
+// The package provides three pieces: a concurrent Registry of profiles
+// and the model, a Server exposing the decision endpoints with
+// production plumbing (bounded concurrency, per-request timeouts,
+// structured logging, typed JSON errors, metrics), and a Client used by
+// cmd/clustersim to replay the scale-out study through a live daemon.
+// cmd/smited is the standalone daemon built on this package.
+package qosd
+
+import "fmt"
+
+// API error codes. Every non-2xx response carries an envelope
+// {"error": {"code": ..., "message": ...}} with one of these codes.
+const (
+	// CodeBadJSON: the request body is not valid JSON for the endpoint's
+	// shape (HTTP 400).
+	CodeBadJSON = "bad_json"
+	// CodeInvalidArgument: a field value is out of range or inconsistent
+	// (HTTP 400).
+	CodeInvalidArgument = "invalid_argument"
+	// CodeUnknownProfile: the named victim or aggressor has no registered
+	// profile (HTTP 404).
+	CodeUnknownProfile = "unknown_profile"
+	// CodeNoModel: the registry has no trained model yet (HTTP 503).
+	CodeNoModel = "no_model"
+	// CodeUnprocessable: a profile upload failed smite's load validation —
+	// corrupt JSON, version skew, or dimension-layout mismatch (HTTP 422).
+	CodeUnprocessable = "unprocessable_profiles"
+	// CodeOverloaded: the bounded-concurrency gate timed out before a
+	// slot freed up (HTTP 429).
+	CodeOverloaded = "overloaded"
+	// CodeNotFound / CodeMethodNotAllowed: routing misses (HTTP 404/405).
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+)
+
+// APIError is the typed error the server returns and the client decodes.
+type APIError struct {
+	// Status is the HTTP status (not serialized; the transport carries it).
+	Status int `json:"-"`
+	// Code is one of the Code* constants.
+	Code string `json:"code"`
+	// Message is human-readable detail.
+	Message string `json:"message"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("qosd: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// errorEnvelope is the wire shape of an error response.
+type errorEnvelope struct {
+	Error *APIError `json:"error"`
+}
+
+// PredictRequest asks for the victim's predicted degradation when
+// co-located with the aggressor (Equation 3). With Instances and Threads
+// set, the prediction is the partial-occupancy form: the victim profile
+// should then be a Sen(n) profile and only n of the victim's threads
+// sibling contexts are assumed occupied (see Model.PredictPartial).
+type PredictRequest struct {
+	Victim    string `json:"victim"`
+	Aggressor string `json:"aggressor"`
+	Instances int    `json:"instances,omitempty"`
+	Threads   int    `json:"threads,omitempty"`
+}
+
+// PredictResponse is the predicted degradation (0.07 = 7% slower).
+type PredictResponse struct {
+	Victim      string  `json:"victim"`
+	Aggressor   string  `json:"aggressor"`
+	Degradation float64 `json:"degradation"`
+}
+
+// QueueSpec carries the victim service's M/M/1 parameters for tail-latency
+// prediction (Equation 6).
+type QueueSpec struct {
+	// Mu and Lambda are the per-thread service and arrival rates
+	// (requests/second) at solo performance.
+	Mu     float64 `json:"mu"`
+	Lambda float64 `json:"lambda"`
+	// Percentile is the SLO percentile in (0,1); 0 defaults to 0.90, the
+	// paper's experiments.
+	Percentile float64 `json:"percentile,omitempty"`
+}
+
+// ColocateRequest is the admission check a cluster scheduler runs before
+// placing the aggressor next to the victim.
+type ColocateRequest struct {
+	Victim    string `json:"victim"`
+	Aggressor string `json:"aggressor"`
+	// QoSTarget is the retained-average-performance target in (0,1]
+	// (0.95 = at most 5% degradation).
+	QoSTarget float64 `json:"qos_target"`
+	Instances int     `json:"instances,omitempty"`
+	Threads   int     `json:"threads,omitempty"`
+	// Queue, when present, additionally predicts the victim's percentile
+	// latency under the degradation.
+	Queue *QueueSpec `json:"queue,omitempty"`
+}
+
+// ColocateResponse reports the decision.
+type ColocateResponse struct {
+	Victim      string  `json:"victim"`
+	Aggressor   string  `json:"aggressor"`
+	Degradation float64 `json:"degradation"`
+	// QoS is the retained average performance 1−deg, clamped to [0,1].
+	QoS float64 `json:"qos"`
+	// Safe reports Model.SafeColocation against the target.
+	Safe bool `json:"safe"`
+	// TailLatency is the Equation 6 percentile latency in seconds; omitted
+	// (with Saturated set) when the degradation pushes the queue past
+	// stability, where the latency is unbounded. It is never negative.
+	TailLatency *float64 `json:"tail_latency,omitempty"`
+	Saturated   bool     `json:"saturated,omitempty"`
+}
+
+// BatchCandidate is one aggressor option in a batch scoring request.
+type BatchCandidate struct {
+	Aggressor string `json:"aggressor"`
+	// Instances, with the request-level Threads, selects the
+	// partial-occupancy prediction for this candidate.
+	Instances int `json:"instances,omitempty"`
+}
+
+// BatchRequest scores a whole candidate set against one victim — the
+// per-machine query of a cluster scheduler deciding what (and how much)
+// to co-locate on a server's idle contexts.
+type BatchRequest struct {
+	Victim  string `json:"victim"`
+	Threads int    `json:"threads,omitempty"`
+	// QoSTarget, when non-zero, also classifies every candidate as
+	// safe/unsafe against the target.
+	QoSTarget  float64          `json:"qos_target,omitempty"`
+	Candidates []BatchCandidate `json:"candidates"`
+}
+
+// BatchResult is one candidate's score.
+type BatchResult struct {
+	Aggressor   string  `json:"aggressor"`
+	Instances   int     `json:"instances,omitempty"`
+	Degradation float64 `json:"degradation"`
+	// Safe is present only when the request carried a QoSTarget.
+	Safe *bool `json:"safe,omitempty"`
+}
+
+// BatchResponse mirrors the candidate order of the request.
+type BatchResponse struct {
+	Victim  string        `json:"victim"`
+	Results []BatchResult `json:"results"`
+}
+
+// ProfilesResponse acknowledges a profile upload.
+type ProfilesResponse struct {
+	// Added counts profiles in the upload (re-uploads replace by name);
+	// Total is the registry size afterwards.
+	Added int `json:"added"`
+	Total int `json:"total"`
+}
+
+// HealthResponse is the liveness/readiness report.
+type HealthResponse struct {
+	Status      string `json:"status"`
+	Profiles    int    `json:"profiles"`
+	ModelLoaded bool   `json:"model_loaded"`
+}
+
+// CacheMetrics snapshots the prediction memo (an internal/simcache).
+type CacheMetrics struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Entries int    `json:"entries"`
+}
+
+// RouteMetrics counts one route's requests by status class.
+type RouteMetrics struct {
+	Total      uint64 `json:"total"`
+	Status2xx  uint64 `json:"2xx"`
+	Status4xx  uint64 `json:"4xx"`
+	Status5xx  uint64 `json:"5xx"`
+	StatusElse uint64 `json:"other"`
+}
+
+// LatencyMetrics summarises request latency over a sliding window of the
+// most recent requests (milliseconds; percentiles via internal/stats).
+type LatencyMetrics struct {
+	Window int     `json:"window"`
+	P50    float64 `json:"p50_ms"`
+	P90    float64 `json:"p90_ms"`
+	P99    float64 `json:"p99_ms"`
+	Max    float64 `json:"max_ms"`
+}
+
+// MetricsResponse is the GET /metrics payload.
+type MetricsResponse struct {
+	UptimeSeconds   float64                 `json:"uptime_seconds"`
+	Requests        map[string]RouteMetrics `json:"requests"`
+	Latency         LatencyMetrics          `json:"latency"`
+	Profiles        int                     `json:"profiles"`
+	ModelLoaded     bool                    `json:"model_loaded"`
+	PredictionCache CacheMetrics            `json:"prediction_cache"`
+	MaxInFlight     int                     `json:"max_in_flight"`
+}

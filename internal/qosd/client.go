@@ -1,0 +1,128 @@
+package qosd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/smite"
+)
+
+// Client talks to a smited daemon. The zero value is not usable;
+// construct with NewClient. Methods return *APIError for daemon-reported
+// failures, so callers can inspect the code with errors.As.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). Pass nil to use http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: strings.TrimSuffix(base, "/"), hc: hc}
+}
+
+// Healthz checks daemon liveness.
+func (c *Client) Healthz(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.call(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+// Metrics fetches the daemon's operational counters.
+func (c *Client) Metrics(ctx context.Context) (MetricsResponse, error) {
+	var out MetricsResponse
+	err := c.call(ctx, http.MethodGet, "/metrics", nil, &out)
+	return out, err
+}
+
+// Predict asks for one pair's predicted degradation.
+func (c *Client) Predict(ctx context.Context, req PredictRequest) (PredictResponse, error) {
+	var out PredictResponse
+	err := c.call(ctx, http.MethodPost, "/v1/predict", req, &out)
+	return out, err
+}
+
+// Colocate runs the admission check.
+func (c *Client) Colocate(ctx context.Context, req ColocateRequest) (ColocateResponse, error) {
+	var out ColocateResponse
+	err := c.call(ctx, http.MethodPost, "/v1/colocate", req, &out)
+	return out, err
+}
+
+// Batch scores a candidate set.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
+	var out BatchResponse
+	err := c.call(ctx, http.MethodPost, "/v1/batch", req, &out)
+	return out, err
+}
+
+// UploadProfiles registers characterizations with the daemon by encoding
+// them in the persisted-profile format (the same bytes `smited -profiles`
+// reads from disk), exercising the full persist round-trip.
+func (c *Client) UploadProfiles(ctx context.Context, chars []smite.Characterization) (ProfilesResponse, error) {
+	var body bytes.Buffer
+	if err := smite.SaveProfiles(&body, chars); err != nil {
+		return ProfilesResponse{}, fmt.Errorf("qosd: encoding profiles: %w", err)
+	}
+	var out ProfilesResponse
+	err := c.roundTrip(ctx, http.MethodPost, "/v1/profiles", &body, &out)
+	return out, err
+}
+
+// call JSON-encodes in (when non-nil) and decodes the response into out.
+func (c *Client) call(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(in); err != nil {
+			return fmt.Errorf("qosd: encoding %s request: %w", path, err)
+		}
+		body = &buf
+	}
+	return c.roundTrip(ctx, method, path, body, out)
+}
+
+func (c *Client) roundTrip(ctx context.Context, method, path string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("qosd: building %s request: %w", path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("qosd: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("qosd: decoding %s response: %w", path, err)
+	}
+	return nil
+}
+
+// decodeError reconstructs the daemon's typed error; a malformed error
+// body degrades to a generic status error.
+func decodeError(resp *http.Response) error {
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var env errorEnvelope
+	if err := json.Unmarshal(raw, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.Status = resp.StatusCode
+		return env.Error
+	}
+	return fmt.Errorf("qosd: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(raw))
+}

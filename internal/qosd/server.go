@@ -1,0 +1,486 @@
+package qosd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/queueing"
+	"repro/internal/service"
+	"repro/internal/simcache"
+	"repro/internal/stats"
+)
+
+// maxBodyBytes bounds request bodies; profile uploads are the largest
+// legitimate payload and stay far below this.
+const maxBodyBytes = 8 << 20
+
+// latencyWindow is the sliding-window size of the request-latency metric.
+const latencyWindow = 1024
+
+// Config tunes the server's production plumbing. The zero value picks
+// sensible defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently-served requests; excess requests
+	// queue until a slot frees or their timeout fires (then 429).
+	// Defaults to 64.
+	MaxInFlight int
+	// RequestTimeout bounds each request end to end, including queueing
+	// for a concurrency slot. Defaults to 5s.
+	RequestTimeout time.Duration
+	// Logger receives one structured line per request. Nil disables
+	// request logging.
+	Logger *slog.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Server serves placement decisions from a Registry over HTTP/JSON.
+// Construct with NewServer and mount Handler on an http.Server.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	mux      *http.ServeMux
+	inflight chan struct{}
+	// memo collapses repeated identical predictions (a scheduler asks the
+	// same pair many times as machines churn). Keys include the registry
+	// generation, so uploads invalidate it wholesale.
+	memo    *simcache.Cache[float64]
+	metrics *serverMetrics
+}
+
+// NewServer builds a Server over the registry.
+func NewServer(reg *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		reg:      reg,
+		mux:      http.NewServeMux(),
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		memo:     simcache.New[float64](),
+		metrics:  newServerMetrics(),
+	}
+	s.mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
+	s.mux.HandleFunc("/metrics", s.method(http.MethodGet, s.handleMetrics))
+	s.mux.HandleFunc("/v1/predict", s.method(http.MethodPost, s.handlePredict))
+	s.mux.HandleFunc("/v1/colocate", s.method(http.MethodPost, s.handleColocate))
+	s.mux.HandleFunc("/v1/batch", s.method(http.MethodPost, s.handleBatch))
+	s.mux.HandleFunc("/v1/profiles", s.method(http.MethodPost, s.handleProfiles))
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, &APIError{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: fmt.Sprintf("no route %s", r.URL.Path)})
+	})
+	return s
+}
+
+// Registry returns the server's registry (for in-process loading).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the full middleware stack: instrumentation (logging +
+// metrics) around the per-request timeout around the concurrency gate
+// around the routes.
+func (s *Server) Handler() http.Handler {
+	h := http.Handler(s.mux)
+	h = s.limitConcurrency(h)
+	h = s.withTimeout(h)
+	h = s.instrument(h)
+	return h
+}
+
+// method gates a route on one HTTP method, answering anything else with
+// the typed 405 envelope (the stdlib mux would answer in plain text).
+func (s *Server) method(want string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != want {
+			w.Header().Set("Allow", want)
+			writeError(w, &APIError{Status: http.StatusMethodNotAllowed, Code: CodeMethodNotAllowed,
+				Message: fmt.Sprintf("%s requires %s", r.URL.Path, want)})
+			return
+		}
+		h(w, r)
+	}
+}
+
+// withTimeout bounds every request with the configured deadline. Handlers
+// are cheap; the deadline's real job is bounding time queued at the
+// concurrency gate.
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// limitConcurrency admits at most MaxInFlight requests at once. A request
+// that cannot get a slot before its deadline is answered 429 so a loaded
+// daemon degrades by shedding, not by queue collapse.
+func (s *Server) limitConcurrency(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+			next.ServeHTTP(w, r)
+		case <-r.Context().Done():
+			writeError(w, &APIError{Status: http.StatusTooManyRequests, Code: CodeOverloaded,
+				Message: fmt.Sprintf("no capacity within %v (%d in flight)", s.cfg.RequestTimeout, s.cfg.MaxInFlight)})
+		}
+	})
+}
+
+// instrument records metrics and emits one structured log line per
+// request.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		route := routeLabel(r)
+		s.metrics.record(route, rec.code(), elapsed)
+		if s.cfg.Logger != nil {
+			s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", rec.code()),
+				slog.Duration("duration", elapsed),
+				slog.String("remote", r.RemoteAddr),
+			)
+		}
+	})
+}
+
+// routeLabel buckets a request for metrics: known routes individually,
+// pprof and everything else in catch-all buckets.
+func routeLabel(r *http.Request) string {
+	switch r.URL.Path {
+	case "/healthz", "/metrics", "/v1/predict", "/v1/colocate", "/v1/batch", "/v1/profiles":
+		return r.Method + " " + r.URL.Path
+	}
+	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
+		return "pprof"
+	}
+	return "other"
+}
+
+// statusRecorder captures the status code written by a handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) code() int {
+	if sr.status == 0 {
+		return http.StatusOK
+	}
+	return sr.status
+}
+
+// serverMetrics aggregates request counts per route and a sliding window
+// of request latencies.
+type serverMetrics struct {
+	start time.Time
+
+	mu     sync.Mutex
+	routes map[string]*RouteMetrics
+	window [latencyWindow]float64 // milliseconds, ring buffer
+	idx    int
+	count  int
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{start: time.Now(), routes: make(map[string]*RouteMetrics)}
+}
+
+func (m *serverMetrics) record(route string, status int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rm := m.routes[route]
+	if rm == nil {
+		rm = &RouteMetrics{}
+		m.routes[route] = rm
+	}
+	rm.Total++
+	switch {
+	case status >= 200 && status < 300:
+		rm.Status2xx++
+	case status >= 400 && status < 500:
+		rm.Status4xx++
+	case status >= 500 && status < 600:
+		rm.Status5xx++
+	default:
+		rm.StatusElse++
+	}
+	m.window[m.idx] = float64(d) / float64(time.Millisecond)
+	m.idx = (m.idx + 1) % latencyWindow
+	if m.count < latencyWindow {
+		m.count++
+	}
+}
+
+func (m *serverMetrics) snapshot() (map[string]RouteMetrics, LatencyMetrics, float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	routes := make(map[string]RouteMetrics, len(m.routes))
+	for k, v := range m.routes {
+		routes[k] = *v
+	}
+	samples := append([]float64(nil), m.window[:m.count]...)
+	lat := LatencyMetrics{
+		Window: m.count,
+		P50:    stats.Percentile(samples, 0.50),
+		P90:    stats.Percentile(samples, 0.90),
+		P99:    stats.Percentile(samples, 0.99),
+		Max:    stats.Max(samples),
+	}
+	return routes, lat, time.Since(m.start).Seconds()
+}
+
+// ---- handlers ----
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	_, hasModel := s.reg.Model()
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:      "ok",
+		Profiles:    s.reg.Len(),
+		ModelLoaded: hasModel,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	routes, lat, uptime := s.metrics.snapshot()
+	cs := s.memo.Stats()
+	_, hasModel := s.reg.Model()
+	writeJSON(w, http.StatusOK, MetricsResponse{
+		UptimeSeconds: uptime,
+		Requests:      routes,
+		Latency:       lat,
+		Profiles:      s.reg.Len(),
+		ModelLoaded:   hasModel,
+		PredictionCache: CacheMetrics{
+			Hits:    cs.Hits,
+			Misses:  cs.Misses,
+			Entries: cs.Entries,
+		},
+		MaxInFlight: s.cfg.MaxInFlight,
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if apiErr := decodeJSON(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	deg, apiErr := s.predict(req.Victim, req.Aggressor, req.Instances, req.Threads)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Victim:      req.Victim,
+		Aggressor:   req.Aggressor,
+		Degradation: deg,
+	})
+}
+
+func (s *Server) handleColocate(w http.ResponseWriter, r *http.Request) {
+	var req ColocateRequest
+	if apiErr := decodeJSON(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if req.QoSTarget <= 0 || req.QoSTarget > 1 {
+		writeError(w, invalidArgument("qos_target %g outside (0,1]", req.QoSTarget))
+		return
+	}
+	var p float64
+	if req.Queue != nil {
+		q := req.Queue
+		if q.Mu <= 0 || q.Lambda <= 0 {
+			writeError(w, invalidArgument("queue rates must be positive (mu=%g, lambda=%g)", q.Mu, q.Lambda))
+			return
+		}
+		p = q.Percentile
+		if p == 0 {
+			p = 0.90
+		}
+		if p <= 0 || p >= 1 {
+			writeError(w, invalidArgument("queue percentile %g outside (0,1)", q.Percentile))
+			return
+		}
+	}
+	deg, apiErr := s.predict(req.Victim, req.Aggressor, req.Instances, req.Threads)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	// Same comparison as Model.SafeColocation, on the (possibly partial)
+	// predicted degradation.
+	resp := ColocateResponse{
+		Victim:      req.Victim,
+		Aggressor:   req.Aggressor,
+		Degradation: deg,
+		QoS:         service.AvgQoS(deg),
+		Safe:        1-deg >= req.QoSTarget,
+	}
+	if req.Queue != nil {
+		t := queueing.DegradedPercentile(p, req.Queue.Mu, req.Queue.Lambda, deg)
+		if math.IsInf(t, 1) {
+			// The degradation pushed the queue past stability; the closed
+			// form saturates to +Inf, which JSON cannot carry.
+			resp.Saturated = true
+		} else {
+			resp.TailLatency = &t
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if apiErr := decodeJSON(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if req.QoSTarget < 0 || req.QoSTarget > 1 {
+		writeError(w, invalidArgument("qos_target %g outside [0,1]", req.QoSTarget))
+		return
+	}
+	resp := BatchResponse{Victim: req.Victim, Results: make([]BatchResult, 0, len(req.Candidates))}
+	for i, c := range req.Candidates {
+		deg, apiErr := s.predict(req.Victim, c.Aggressor, c.Instances, req.Threads)
+		if apiErr != nil {
+			apiErr.Message = fmt.Sprintf("candidate %d: %s", i, apiErr.Message)
+			writeError(w, apiErr)
+			return
+		}
+		res := BatchResult{Aggressor: c.Aggressor, Instances: c.Instances, Degradation: deg}
+		if req.QoSTarget > 0 {
+			safe := 1-deg >= req.QoSTarget
+			res.Safe = &safe
+		}
+		resp.Results = append(resp.Results, res)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	added, err := s.reg.LoadProfiles(r.Body)
+	if err != nil {
+		writeError(w, uploadError(err))
+		return
+	}
+	writeJSON(w, http.StatusOK, ProfilesResponse{Added: added, Total: s.reg.Len()})
+}
+
+// predict is the shared prediction core: resolve profiles and model under
+// one registry snapshot, validate the partial-occupancy arguments, and
+// memoize by (generation, pair, occupancy).
+func (s *Server) predict(victim, aggressor string, instances, threads int) (float64, *APIError) {
+	if victim == "" {
+		return 0, invalidArgument("victim must be set")
+	}
+	if aggressor == "" {
+		return 0, invalidArgument("aggressor must be set")
+	}
+	if threads < 0 || instances < 0 {
+		return 0, invalidArgument("instances (%d) and threads (%d) must be non-negative", instances, threads)
+	}
+	if threads == 0 && instances > 0 {
+		return 0, invalidArgument("instances (%d) set without threads", instances)
+	}
+	if threads > 0 && (instances < 1 || instances > threads) {
+		return 0, invalidArgument("instances (%d) outside [1, threads=%d]", instances, threads)
+	}
+	v, a, m, gen, apiErr := s.reg.snapshot(victim, aggressor)
+	if apiErr != nil {
+		return 0, apiErr
+	}
+	key := simcache.KeyOf("qosd/predict/v1", gen, victim, aggressor, instances, threads)
+	deg, _, err := s.memo.Do(key, func() (float64, error) {
+		// threads == 0 degenerates to the plain Equation 3 pair prediction.
+		return m.PredictPartial(v, a, instances, threads), nil
+	})
+	if err != nil {
+		// The compute function cannot fail; kept for the Do contract.
+		return 0, &APIError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
+	}
+	return deg, nil
+}
+
+// ---- helpers ----
+
+func invalidArgument(format string, args ...any) *APIError {
+	return &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,
+		Message: fmt.Sprintf(format, args...)}
+}
+
+// uploadError maps a profile-load failure onto the 422 envelope. All of
+// smite's typed load errors (ErrCorrupt, ErrVersionSkew,
+// ErrDimensionMismatch) land here, as do transport-level truncations;
+// the message keeps the specific class visible to the caller.
+func uploadError(err error) *APIError {
+	return &APIError{Status: http.StatusUnprocessableEntity, Code: CodeUnprocessable,
+		Message: err.Error()}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) *APIError {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		return &APIError{Status: http.StatusBadRequest, Code: CodeBadJSON,
+			Message: fmt.Sprintf("decoding request body: %v", err)}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the connection is the only failure mode here
+}
+
+func writeError(w http.ResponseWriter, e *APIError) {
+	writeJSON(w, e.Status, errorEnvelope{Error: e})
+}

@@ -39,36 +39,56 @@ func (q MM1) Validate() error {
 // Utilization returns ρ = λ/μ.
 func (q MM1) Utilization() float64 { return q.Lambda / q.Mu }
 
+// drainRate returns μ−λ, the rate at which the queue drains excess work.
+// It is non-positive for unstable queues (λ ≥ μ), including every queue a
+// Degraded(deg ≥ 1) call produces (μ' ≤ 0): the closed forms below all
+// divide by it, so each guards drainRate ≤ 0 explicitly instead of
+// returning a negative "latency".
+func (q MM1) drainRate() float64 { return q.Mu - q.Lambda }
+
 // ResponseTimePDF evaluates Equation 4: f(t) = (μ−λ)·e^−(μ−λ)t, the
-// probability density of the sojourn (queueing + service) time.
+// probability density of the sojourn (queueing + service) time. An
+// unstable queue has no stationary distribution; the density is 0.
 func (q MM1) ResponseTimePDF(t float64) float64 {
-	if t < 0 {
+	d := q.drainRate()
+	if t < 0 || d <= 0 {
 		return 0
 	}
-	d := q.Mu - q.Lambda
 	return d * math.Exp(-d*t)
 }
 
-// ResponseTimeCDF evaluates P(T <= t) = 1 − e^−(μ−λ)t.
+// ResponseTimeCDF evaluates P(T <= t) = 1 − e^−(μ−λ)t. For an unstable
+// queue the sojourn time diverges, so P(T <= t) = 0 for every finite t.
 func (q MM1) ResponseTimeCDF(t float64) float64 {
-	if t <= 0 {
+	d := q.drainRate()
+	if t <= 0 || d <= 0 {
 		return 0
 	}
-	return 1 - math.Exp(-(q.Mu-q.Lambda)*t)
+	return 1 - math.Exp(-d*t)
 }
 
-// MeanResponseTime returns E[T] = 1/(μ−λ).
-func (q MM1) MeanResponseTime() float64 { return 1 / (q.Mu - q.Lambda) }
+// MeanResponseTime returns E[T] = 1/(μ−λ), or +Inf for an unstable queue
+// (λ ≥ μ), consistently with DegradedPercentile's saturation guard.
+func (q MM1) MeanResponseTime() float64 {
+	d := q.drainRate()
+	if d <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / d
+}
 
-// Percentile inverts the CDF: t_p = −ln(1−p)/(μ−λ) for p in (0,1).
+// Percentile inverts the CDF: t_p = −ln(1−p)/(μ−λ) for p in (0,1), or
+// +Inf for an unstable queue (λ ≥ μ), consistently with
+// DegradedPercentile's saturation guard.
 func (q MM1) Percentile(p float64) float64 {
 	if p <= 0 {
 		return 0
 	}
-	if p >= 1 {
+	d := q.drainRate()
+	if p >= 1 || d <= 0 {
 		return math.Inf(1)
 	}
-	return -math.Log(1-p) / (q.Mu - q.Lambda)
+	return -math.Log(1-p) / d
 }
 
 // Degraded returns the queue with the service rate scaled by a co-location

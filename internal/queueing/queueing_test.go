@@ -73,6 +73,58 @@ func TestDegraded(t *testing.T) {
 	}
 }
 
+// Regression: an unstable queue (λ ≥ μ, or any queue Degraded pushed past
+// saturation) must report +Inf latency from every closed form — the naked
+// 1/(μ−λ) formulas used to return silently *negative* latencies, which a
+// serving daemon would have handed to schedulers as "great tail latency".
+func TestUnstableQueueClosedFormsSaturate(t *testing.T) {
+	base := MM1{Lambda: 50, Mu: 100}
+	unstable := []MM1{
+		{Lambda: 100, Mu: 100}, // λ == μ
+		{Lambda: 150, Mu: 100}, // λ > μ
+		base.Degraded(0.5),     // μ' = 50 == λ
+		base.Degraded(0.9),     // μ' = 10 < λ
+		base.Degraded(1.0),     // μ' = 0
+		base.Degraded(1.1),     // μ' < 0
+		{Lambda: 50, Mu: -10},  // negative service rate directly
+	}
+	for _, q := range unstable {
+		if q.Validate() == nil {
+			t.Errorf("queue %+v should fail validation", q)
+		}
+		if m := q.MeanResponseTime(); !math.IsInf(m, 1) {
+			t.Errorf("MeanResponseTime(%+v) = %g, want +Inf", q, m)
+		}
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			if v := q.Percentile(p); !math.IsInf(v, 1) {
+				t.Errorf("Percentile(%+v, %g) = %g, want +Inf", q, p, v)
+			}
+		}
+		if v := q.ResponseTimeCDF(1); v != 0 {
+			t.Errorf("ResponseTimeCDF(%+v, 1) = %g, want 0", q, v)
+		}
+		if v := q.ResponseTimePDF(1); v != 0 {
+			t.Errorf("ResponseTimePDF(%+v, 1) = %g, want 0", q, v)
+		}
+	}
+	// Degraded composes with the guards exactly like Equation 6's own
+	// saturation branch, across the stability boundary.
+	for _, deg := range []float64{0.9, 1.0, 1.1} {
+		direct := DegradedPercentile(0.9, base.Mu, base.Lambda, deg)
+		composed := base.Degraded(deg).Percentile(0.9)
+		if direct != composed && !(math.IsInf(direct, 1) && math.IsInf(composed, 1)) {
+			t.Errorf("deg=%g: DegradedPercentile %g != Degraded().Percentile %g", deg, direct, composed)
+		}
+		if composed < 0 {
+			t.Errorf("deg=%g: negative percentile latency %g", deg, composed)
+		}
+	}
+	// A still-stable degradation keeps its finite value.
+	if v := base.Degraded(0.2).Percentile(0.9); math.IsInf(v, 1) || v <= 0 {
+		t.Errorf("stable degraded queue p90 = %g, want finite positive", v)
+	}
+}
+
 func TestDegradedPercentileSaturation(t *testing.T) {
 	if !math.IsInf(DegradedPercentile(0.9, 100, 50, 0.6), 1) {
 		t.Error("saturated queue should have infinite percentile latency")

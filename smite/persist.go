@@ -2,6 +2,7 @@ package smite
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 
@@ -13,6 +14,22 @@ import (
 // characterize each application once — in the order of seconds — and keep
 // the resulting profile for every future placement decision. These helpers
 // give the profiles and the trained model a durable JSON form.
+
+// Load failures are typed so callers can react per class — the qosd
+// serving layer maps all three to HTTP 422 with a distinguishing error
+// code. Match with errors.Is.
+var (
+	// ErrCorrupt wraps syntactically broken input: invalid or truncated
+	// JSON, wrong top-level shape.
+	ErrCorrupt = errors.New("smite: corrupt persisted data")
+	// ErrVersionSkew marks a file whose format version this build does not
+	// understand.
+	ErrVersionSkew = errors.New("smite: unsupported format version")
+	// ErrDimensionMismatch marks a file measured under a different sharing
+	// dimension layout (count, order, or coefficient arity) than this
+	// build's — loading it would silently mis-assign every vector slot.
+	ErrDimensionMismatch = errors.New("smite: sharing-dimension layout mismatch")
+)
 
 // profileFile is the on-disk envelope for characterizations.
 type profileFile struct {
@@ -43,11 +60,11 @@ func dimensionNames() []string {
 func checkDimensions(got []string) error {
 	want := dimensionNames()
 	if len(got) != len(want) {
-		return fmt.Errorf("smite: stored profile has %d dimensions, this build has %d", len(got), len(want))
+		return fmt.Errorf("%w: stored file has %d dimensions, this build has %d", ErrDimensionMismatch, len(got), len(want))
 	}
 	for i := range want {
 		if got[i] != want[i] {
-			return fmt.Errorf("smite: stored dimension %d is %q, this build expects %q", i, got[i], want[i])
+			return fmt.Errorf("%w: stored dimension %d is %q, this build expects %q", ErrDimensionMismatch, i, got[i], want[i])
 		}
 	}
 	return nil
@@ -69,10 +86,10 @@ func SaveProfiles(w io.Writer, chars []Characterization) error {
 func LoadProfiles(r io.Reader) ([]Characterization, error) {
 	var f profileFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return nil, fmt.Errorf("smite: decoding profiles: %w", err)
+		return nil, fmt.Errorf("%w: decoding profiles: %v", ErrCorrupt, err)
 	}
 	if f.Version != 1 {
-		return nil, fmt.Errorf("smite: unsupported profile version %d", f.Version)
+		return nil, fmt.Errorf("%w: profile version %d", ErrVersionSkew, f.Version)
 	}
 	if err := checkDimensions(f.Dimensions); err != nil {
 		return nil, err
@@ -97,16 +114,16 @@ func SaveModel(w io.Writer, m Model) error {
 func LoadModel(r io.Reader) (Model, error) {
 	var f modelFile
 	if err := json.NewDecoder(r).Decode(&f); err != nil {
-		return Model{}, fmt.Errorf("smite: decoding model: %w", err)
+		return Model{}, fmt.Errorf("%w: decoding model: %v", ErrCorrupt, err)
 	}
 	if f.Version != 1 {
-		return Model{}, fmt.Errorf("smite: unsupported model version %d", f.Version)
+		return Model{}, fmt.Errorf("%w: model version %d", ErrVersionSkew, f.Version)
 	}
 	if err := checkDimensions(f.Dimensions); err != nil {
 		return Model{}, err
 	}
 	if len(f.Coef) != int(rulers.NumDimensions) {
-		return Model{}, fmt.Errorf("smite: model has %d coefficients, want %d", len(f.Coef), rulers.NumDimensions)
+		return Model{}, fmt.Errorf("%w: model has %d coefficients, want %d", ErrDimensionMismatch, len(f.Coef), rulers.NumDimensions)
 	}
 	var inner model.Smite
 	copy(inner.Coef[:], f.Coef)

@@ -2,6 +2,7 @@ package smite
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 
@@ -59,22 +60,84 @@ func TestLoadRejectsWrongDimensions(t *testing.T) {
 		t.Fatal(err)
 	}
 	tampered := strings.Replace(buf.String(), "FP_MUL(P0)", "SOMETHING_ELSE", 1)
-	if _, err := LoadModel(strings.NewReader(tampered)); err == nil {
-		t.Error("dimension mismatch accepted")
+	if _, err := LoadModel(strings.NewReader(tampered)); !errors.Is(err, ErrDimensionMismatch) {
+		t.Errorf("dimension rename: got %v, want ErrDimensionMismatch", err)
 	}
 	tampered = strings.Replace(buf.String(), `"version": 1`, `"version": 9`, 1)
-	if _, err := LoadModel(strings.NewReader(tampered)); err == nil {
-		t.Error("unknown version accepted")
+	if _, err := LoadModel(strings.NewReader(tampered)); !errors.Is(err, ErrVersionSkew) {
+		t.Errorf("unknown version: got %v, want ErrVersionSkew", err)
 	}
 }
 
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := LoadModel(strings.NewReader("not json")); err == nil {
-		t.Error("garbage model accepted")
+	if _, err := LoadModel(strings.NewReader("not json")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("garbage model: got %v, want ErrCorrupt", err)
 	}
-	if _, err := LoadProfiles(strings.NewReader("{}")); err == nil {
-		t.Error("empty profile file accepted (wrong version)")
+	if _, err := LoadProfiles(strings.NewReader("{}")); !errors.Is(err, ErrVersionSkew) {
+		t.Errorf("empty profile file (version 0): got %v, want ErrVersionSkew", err)
 	}
+}
+
+// The serving daemon maps each load-failure class to HTTP 422 with a
+// distinguishing error code, so every class must be errors.Is-matchable
+// on both the profile and the model path. These are exactly the failure
+// paths a POST /v1/profiles upload exercises.
+func TestLoadFailureTyping(t *testing.T) {
+	var profBuf bytes.Buffer
+	if err := SaveProfiles(&profBuf, []Characterization{{App: "a", SoloIPC: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	prof := profBuf.String()
+	var modBuf bytes.Buffer
+	if err := SaveModel(&modBuf, sampleModel()); err != nil {
+		t.Fatal(err)
+	}
+	mod := modBuf.String()
+
+	cases := []struct {
+		name  string
+		input string
+		load  func(string) error
+		want  error
+	}{
+		{"profiles/truncated", prof[:len(prof)/2], loadProfilesErr, ErrCorrupt},
+		{"profiles/not-json", "]", loadProfilesErr, ErrCorrupt},
+		{"profiles/version-skew", strings.Replace(prof, `"version": 1`, `"version": 2`, 1), loadProfilesErr, ErrVersionSkew},
+		{"profiles/dimension-dropped", strings.Replace(prof, `    "FP_MUL(P0)",`+"\n", "", 1), loadProfilesErr, ErrDimensionMismatch},
+		{"profiles/dimension-reordered", swapFirstDims(t, prof), loadProfilesErr, ErrDimensionMismatch},
+		{"model/truncated", mod[:len(mod)/3], loadModelErr, ErrCorrupt},
+		{"model/version-skew", strings.Replace(mod, `"version": 1`, `"version": 7`, 1), loadModelErr, ErrVersionSkew},
+		{"model/dimension-dropped", strings.Replace(mod, `    "FP_MUL(P0)",`+"\n", "", 1), loadModelErr, ErrDimensionMismatch},
+		{"model/coefficient-count", strings.Replace(mod, "\n    0.1,", "", 1), loadModelErr, ErrDimensionMismatch},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.input == prof || tc.input == mod {
+				t.Fatal("tamper pattern did not match the encoded file")
+			}
+			err := tc.load(tc.input)
+			if !errors.Is(err, tc.want) {
+				t.Errorf("got %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func loadProfilesErr(s string) error { _, err := LoadProfiles(strings.NewReader(s)); return err }
+func loadModelErr(s string) error    { _, err := LoadModel(strings.NewReader(s)); return err }
+
+// swapFirstDims exchanges the first two dimension names in an encoded
+// file, preserving count but breaking order.
+func swapFirstDims(t *testing.T, s string) string {
+	t.Helper()
+	a, b := dimensionNames()[0], dimensionNames()[1]
+	out := strings.Replace(s, `"`+a+`"`, `"@TMP@"`, 1)
+	out = strings.Replace(out, `"`+b+`"`, `"`+a+`"`, 1)
+	out = strings.Replace(out, `"@TMP@"`, `"`+b+`"`, 1)
+	if out == s {
+		t.Fatal("dimension swap did not change the file")
+	}
+	return out
 }
 
 // Corrupted files must come back as structured errors, never as panics or

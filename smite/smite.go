@@ -202,6 +202,14 @@ type Model struct {
 	inner model.Smite
 }
 
+// NewModel builds a Model from explicit Equation 3 coefficients — the
+// programmatic counterpart of LoadModel for callers that already hold a
+// trained model in memory (e.g. handing an experiment-trained model to a
+// qosd registry without a round-trip through JSON).
+func NewModel(coef [NumDimensions]float64, intercept float64) Model {
+	return Model{inner: model.Smite{Coef: coef, Intercept: intercept}}
+}
+
 // Coefficients returns the per-dimension weights and the intercept c0.
 func (m Model) Coefficients() ([NumDimensions]float64, float64) {
 	return m.inner.Coef, m.inner.Intercept
@@ -211,6 +219,17 @@ func (m Model) Coefficients() ([NumDimensions]float64, float64) {
 // aggressor, from their characterizations alone.
 func (m Model) PredictPair(victim, aggressor Characterization) float64 {
 	return m.inner.Predict(model.PairObs{SenA: victim.Sen, ConB: aggressor.Con})
+}
+
+// PredictPartial predicts a partial-occupancy co-location in which only
+// `instances` of the victim's `threads` sibling contexts receive an
+// aggressor instance. The victim characterization should be the
+// partial-occupancy profile Sen(n) (see Profiler.CharacterizeJobRulers);
+// the intercept is scaled by the occupied fraction so it vanishes at
+// n = 0. This is the per-candidate formula of the CloudSuite and
+// scale-out studies, and the one the qosd daemon serves.
+func (m Model) PredictPartial(victim, aggressor Characterization, instances, threads int) float64 {
+	return m.inner.PredictPartial(model.PairObs{SenA: victim.Sen, ConB: aggressor.Con}, instances, threads)
 }
 
 // PredictScaled predicts a multithreaded victim's aggregate degradation
