@@ -467,6 +467,52 @@ func BenchmarkQosdPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkCharacterizeAllParallel measures the parallel characterization
+// scheduler end to end through the public API: a fresh System (fresh
+// simulation cache, so every cell genuinely simulates) characterizes four
+// SPEC applications at worker counts 1 and 8. The flat-cell fan-out in
+// internal/profile gives ~44 independent cells, so on a multi-core runner
+// the workers-8 sub-benchmark should approach the core count's speedup
+// over workers-1; on a single-core machine the two converge. The CI bench
+// job gates ns/op of both against BENCH_baseline.json, catching both a
+// slowdown of the simulation substrate and a scheduler regression that
+// serializes the fan-out.
+func BenchmarkCharacterizeAllParallel(b *testing.B) {
+	var specs []*smite.Spec
+	for _, n := range []string{"444.namd", "429.mcf", "453.povray", "470.lbm"} {
+		s, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	// Sub-benchmark names must not end in "-<digits>": benchci strips a
+	// trailing -N as the GOMAXPROCS suffix when normalizing names.
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par8", 8}} {
+		workers := bc.workers
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys, err := smite.New(smite.IvyBridge.Config(),
+					smite.WithOptions(smite.FastOptions()),
+					smite.WithParallelism(workers))
+				if err != nil {
+					b.Fatal(err)
+				}
+				chars, err := sys.CharacterizeAll(specs, smite.SMT)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(chars) != len(specs) {
+					b.Fatalf("got %d characterizations, want %d", len(chars), len(specs))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkDynamicScheduler exercises the dynamic (arrival/departure)
 // cluster study extension on a synthetic degradation table.
 func BenchmarkDynamicScheduler(b *testing.B) {

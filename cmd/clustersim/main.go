@@ -18,8 +18,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
@@ -29,7 +31,11 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// The degradation table is hours of simulation at -scale full; Ctrl-C
+	// cancels the in-flight cells instead of orphaning them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if err != flag.ErrHelp {
 			fmt.Fprintf(os.Stderr, "clustersim: %v\n", err)
 		}
@@ -39,7 +45,7 @@ func main() {
 
 // run parses args and executes the study, writing the report to w. Flag
 // and validation errors return non-nil (the FlagSet prints usage).
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("clustersim", flag.ContinueOnError)
 	scaleFlag := fs.String("scale", "test", "experiment scale: full or test")
 	qosFlag := fs.String("qos", "avg", "QoS definition: avg (average performance) or tail (90th-percentile latency)")
@@ -89,9 +95,9 @@ func run(args []string, w io.Writer) error {
 	var res experiments.ScaleOutResult
 	var err error
 	if *serverFlag {
-		res, err = scaleOutViaDaemon(lab, kind, w)
+		res, err = scaleOutViaDaemon(ctx, lab, kind, w)
 	} else {
-		res, err = lab.ScaleOutStudy(kind, nil)
+		res, err = lab.ScaleOutStudyContext(ctx, kind, nil)
 	}
 	if err != nil {
 		return err
@@ -153,8 +159,8 @@ func (d *daemonPredictor) PredictDegradation(lat, batch string, n int) (float64,
 // evaluates the same model over JSON-round-tripped (hence bit-exact)
 // float64 profiles, the decisions are bit-identical to the in-process
 // path.
-func scaleOutViaDaemon(lab *experiments.Lab, qos cluster.QoSKind, w io.Writer) (experiments.ScaleOutResult, error) {
-	sa, err := lab.ServingArtifacts()
+func scaleOutViaDaemon(ctx context.Context, lab *experiments.Lab, qos cluster.QoSKind, w io.Writer) (experiments.ScaleOutResult, error) {
+	sa, err := lab.ServingArtifactsContext(ctx)
 	if err != nil {
 		return experiments.ScaleOutResult{}, err
 	}
@@ -182,7 +188,6 @@ func scaleOutViaDaemon(lab *experiments.Lab, qos cluster.QoSKind, w io.Writer) (
 	// Profiles go over the wire: the batch applications' contentiousness
 	// profiles under their own names, and each latency application's
 	// partial-occupancy sensitivity profiles under the lat#n convention.
-	ctx := context.Background()
 	c := qosd.NewClient("http://"+ln.Addr().String(), nil)
 	var chars []smite.Characterization
 	for _, b := range sa.BatchApps {
@@ -224,8 +229,8 @@ func scaleOutViaDaemon(lab *experiments.Lab, qos cluster.QoSKind, w io.Writer) (
 	fmt.Fprintf(w, "SMiTe predictions served by embedded smited at %s (%d profiles uploaded, %d cells fetched)\n",
 		ln.Addr(), len(chars), len(dp.degs))
 
-	res, err := lab.ScaleOutStudy(qos, dp)
-	if shutdownErr := hs.Shutdown(ctx); err == nil && shutdownErr != nil {
+	res, err := lab.ScaleOutStudyContext(ctx, qos, dp)
+	if shutdownErr := hs.Shutdown(context.Background()); err == nil && shutdownErr != nil {
 		err = shutdownErr
 	}
 	return res, err

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"reflect"
 	"strings"
@@ -28,7 +29,7 @@ func TestFlagValidation(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run(tc.args, &out); err == nil {
+			if err := run(context.Background(), tc.args, &out); err == nil {
 				t.Error("invalid invocation accepted")
 			}
 		})
@@ -53,7 +54,7 @@ func TestServerModeMatchesInProcess(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v in-process: %v", qos, err)
 		}
-		viaDaemon, err := scaleOutViaDaemon(lab, qos, io.Discard)
+		viaDaemon, err := scaleOutViaDaemon(context.Background(), lab, qos, io.Discard)
 		if err != nil {
 			t.Fatalf("%v via daemon: %v", qos, err)
 		}
@@ -71,7 +72,7 @@ func TestScaleOutSmoke(t *testing.T) {
 		t.Skip("scale-out study in short mode")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-scale", "test", "-servers", "20"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-scale", "test", "-servers", "20"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, want := range []string{"target 95%:", "SMiTe", "Oracle", "Random", "TCO model"} {

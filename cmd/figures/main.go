@@ -8,14 +8,19 @@
 //
 // At -scale full the run uses the paper's experiment sizes (all 29 SPEC
 // benchmarks, 4 CloudSuite applications, 4,000-server cluster) and takes
-// several minutes; -scale test runs reduced sizes in seconds.
+// several minutes; -scale test runs reduced sizes in seconds. Ctrl-C
+// cancels the in-flight experiment; figures already printed stay printed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -38,6 +43,12 @@ func main() {
 	}
 	lab := experiments.NewLab(scale)
 
+	// A long -scale full run should die cleanly on Ctrl-C: the signal
+	// context cancels the in-flight simulations and the completed figures
+	// already flushed to stdout are the partial result.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figFlag, ",") {
 		want[strings.TrimSpace(f)] = true
@@ -47,40 +58,50 @@ func main() {
 
 	type step struct {
 		id  string
-		run func() (fmt.Stringer, error)
+		run func(context.Context) (fmt.Stringer, error)
 	}
 	steps := []step{
-		{"table1", func() (fmt.Stringer, error) { return lab.Table1(), nil }},
-		{"2", func() (fmt.Stringer, error) { return lab.Fig2FunctionalUnits() }},
-		{"3", func() (fmt.Stringer, error) { return lab.Fig3And5PortUtilization() }},
-		{"4", func() (fmt.Stringer, error) { return lab.Fig4MemorySubsystem() }},
-		{"6", func() (fmt.Stringer, error) { return lab.Fig6Summary() }},
-		{"7", func() (fmt.Stringer, error) { return lab.Fig7Correlation() }},
-		{"9", func() (fmt.Stringer, error) { return lab.Fig9RulerValidation() }},
-		{"10", func() (fmt.Stringer, error) { return lab.Fig10SpecSMT() }},
-		{"11", func() (fmt.Stringer, error) { return lab.Fig11SpecCMP() }},
-		{"12", func() (fmt.Stringer, error) { return lab.Fig12CloudSuite() }},
-		{"13", func() (fmt.Stringer, error) { return lab.Fig13TailLatency() }},
-		{"14", func() (fmt.Stringer, error) { return lab.Fig14And15AvgQoS() }},
-		{"16", func() (fmt.Stringer, error) { return lab.Fig16And17TailQoS() }},
-		{"18", func() (fmt.Stringer, error) { return lab.Fig18TCO() }},
-		{"ablation", func() (fmt.Stringer, error) { return lab.ModelAblation() }},
-		{"crossmachine", func() (fmt.Stringer, error) { return lab.CrossMachine() }},
+		{"table1", func(context.Context) (fmt.Stringer, error) { return lab.Table1(), nil }},
+		{"2", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig2FunctionalUnitsContext(ctx) }},
+		{"3", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig3And5PortUtilizationContext(ctx) }},
+		{"4", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig4MemorySubsystemContext(ctx) }},
+		{"6", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig6SummaryContext(ctx) }},
+		{"7", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig7CorrelationContext(ctx) }},
+		{"9", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig9RulerValidationContext(ctx) }},
+		{"10", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig10SpecSMTContext(ctx) }},
+		{"11", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig11SpecCMPContext(ctx) }},
+		{"12", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig12CloudSuiteContext(ctx) }},
+		{"13", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig13TailLatencyContext(ctx) }},
+		{"14", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig14And15AvgQoSContext(ctx) }},
+		{"16", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig16And17TailQoSContext(ctx) }},
+		{"18", func(ctx context.Context) (fmt.Stringer, error) { return lab.Fig18TCOContext(ctx) }},
+		{"ablation", func(ctx context.Context) (fmt.Stringer, error) { return lab.ModelAblationContext(ctx) }},
+		{"crossmachine", func(ctx context.Context) (fmt.Stringer, error) { return lab.CrossMachineContext(ctx) }},
 	}
 	ran := 0
 	for _, s := range steps {
 		if !sel(s.id) {
 			continue
 		}
+		if ctx.Err() != nil {
+			break
+		}
 		start := time.Now()
-		res, err := s.run()
+		res, err := s.run(ctx)
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				break
+			}
 			fmt.Fprintf(os.Stderr, "figures: %s failed: %v\n", s.id, err)
 			os.Exit(1)
 		}
 		fmt.Println(res.String())
 		fmt.Printf("[%s completed in %v]\n\n", s.id, time.Since(start).Round(time.Millisecond))
 		ran++
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintf(os.Stderr, "figures: interrupted after %d figure(s); printed results are complete\n", ran)
+		os.Exit(130)
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "figures: no figure matched %q\n", *figFlag)

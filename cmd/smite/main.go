@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/smite"
 )
@@ -23,16 +26,20 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Ctrl-C cancels in-flight simulation work instead of leaving a long
+	// characterization running to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	var err error
 	switch os.Args[1] {
 	case "list":
 		err = list()
 	case "characterize":
-		err = characterize(os.Args[2:])
+		err = characterize(ctx, os.Args[2:])
 	case "predict":
-		err = predict(os.Args[2:])
+		err = predict(ctx, os.Args[2:])
 	case "measure":
-		err = measure(os.Args[2:])
+		err = measure(ctx, os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -81,7 +88,7 @@ func newSystem(machine string, fast bool) (*smite.System, error) {
 	} else if machine != "ivb" {
 		return nil, fmt.Errorf("unknown machine %q", machine)
 	}
-	return smite.NewSystem(m, opts)
+	return smite.New(m.Config(), smite.WithOptions(opts))
 }
 
 func parsePlacement(s string) (smite.Placement, error) {
@@ -94,7 +101,7 @@ func parsePlacement(s string) (smite.Placement, error) {
 	return smite.SMT, fmt.Errorf("unknown placement %q", s)
 }
 
-func characterize(args []string) error {
+func characterize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	app := fs.String("app", "", "application name")
 	machine, placementS, fast := commonFlags(fs)
@@ -116,7 +123,7 @@ func characterize(args []string) error {
 	if err != nil {
 		return err
 	}
-	ch, err := sys.Characterize(spec, placement)
+	ch, err := sys.CharacterizeContext(ctx, spec, placement)
 	if err != nil {
 		return err
 	}
@@ -129,13 +136,13 @@ func characterize(args []string) error {
 }
 
 // trainModel trains on the paper's even-numbered SPEC training set.
-func trainModel(sys *smite.System, placement smite.Placement) (smite.Model, error) {
+func trainModel(ctx context.Context, sys *smite.System, placement smite.Placement) (smite.Model, error) {
 	train, _ := smite.TrainTestSplit()
-	m, _, err := sys.TrainFromSets(train, placement)
+	m, _, err := sys.TrainFromSetsContext(ctx, train, placement)
 	return m, err
 }
 
-func predict(args []string) error {
+func predict(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	victim := fs.String("victim", "", "latency-sensitive / victim application")
 	aggressor := fs.String("aggressor", "", "co-located batch / aggressor application")
@@ -163,15 +170,15 @@ func predict(args []string) error {
 		return err
 	}
 	fmt.Println("training the prediction model on the even-numbered SPEC set...")
-	m, err := trainModel(sys, placement)
+	m, err := trainModel(ctx, sys, placement)
 	if err != nil {
 		return err
 	}
-	chV, err := sys.Characterize(v, placement)
+	chV, err := sys.CharacterizeContext(ctx, v, placement)
 	if err != nil {
 		return err
 	}
-	chA, err := sys.Characterize(a, placement)
+	chA, err := sys.CharacterizeContext(ctx, a, placement)
 	if err != nil {
 		return err
 	}
@@ -187,7 +194,7 @@ func predict(args []string) error {
 	return nil
 }
 
-func measure(args []string) error {
+func measure(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("measure", flag.ExitOnError)
 	victim := fs.String("victim", "", "victim application")
 	aggressor := fs.String("aggressor", "", "aggressor application")
@@ -214,7 +221,7 @@ func measure(args []string) error {
 	if err != nil {
 		return err
 	}
-	pm, err := sys.MeasurePair(v, a, placement)
+	pm, err := sys.MeasurePairContext(ctx, v, a, placement)
 	if err != nil {
 		return err
 	}

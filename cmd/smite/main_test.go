@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"testing"
 )
 
@@ -18,7 +20,7 @@ func TestCharacterizeFast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI characterization in short mode")
 	}
-	if err := characterize([]string{"-app", "444.namd", "-fast"}); err != nil {
+	if err := characterize(context.Background(), []string{"-app", "444.namd", "-fast"}); err != nil {
 		t.Fatalf("characterize: %v", err)
 	}
 }
@@ -27,7 +29,7 @@ func TestMeasureFast(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI measurement in short mode")
 	}
-	if err := measure([]string{"-victim", "444.namd", "-aggressor", "429.mcf", "-placement", "cmp", "-fast"}); err != nil {
+	if err := measure(context.Background(), []string{"-victim", "444.namd", "-aggressor", "429.mcf", "-placement", "cmp", "-fast"}); err != nil {
 		t.Fatalf("measure: %v", err)
 	}
 }
@@ -37,16 +39,16 @@ func TestFlagValidation(t *testing.T) {
 		name string
 		run  func() error
 	}{
-		{"characterize without -app", func() error { return characterize([]string{"-fast"}) }},
-		{"characterize unknown app", func() error { return characterize([]string{"-app", "999.nope", "-fast"}) }},
+		{"characterize without -app", func() error { return characterize(context.Background(), []string{"-fast"}) }},
+		{"characterize unknown app", func() error { return characterize(context.Background(), []string{"-app", "999.nope", "-fast"}) }},
 		{"characterize unknown machine", func() error {
-			return characterize([]string{"-app", "444.namd", "-machine", "alpha", "-fast"})
+			return characterize(context.Background(), []string{"-app", "444.namd", "-machine", "alpha", "-fast"})
 		}},
 		{"characterize unknown placement", func() error {
-			return characterize([]string{"-app", "444.namd", "-placement", "both", "-fast"})
+			return characterize(context.Background(), []string{"-app", "444.namd", "-placement", "both", "-fast"})
 		}},
-		{"predict without -victim", func() error { return predict([]string{"-aggressor", "429.mcf", "-fast"}) }},
-		{"measure without -aggressor", func() error { return measure([]string{"-victim", "444.namd", "-fast"}) }},
+		{"predict without -victim", func() error { return predict(context.Background(), []string{"-aggressor", "429.mcf", "-fast"}) }},
+		{"measure without -aggressor", func() error { return measure(context.Background(), []string{"-victim", "444.namd", "-fast"}) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -54,5 +56,17 @@ func TestFlagValidation(t *testing.T) {
 				t.Error("invalid invocation accepted")
 			}
 		})
+	}
+}
+
+// A cancelled context aborts the simulation-backed subcommands.
+func TestCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := characterize(ctx, []string{"-app", "444.namd", "-fast"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("characterize: got %v, want context.Canceled", err)
+	}
+	if err := measure(ctx, []string{"-victim", "444.namd", "-aggressor", "429.mcf", "-fast"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("measure: got %v, want context.Canceled", err)
 	}
 }

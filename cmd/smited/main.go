@@ -9,6 +9,8 @@
 //	smited -profiles profiles.json -model model.json -addr :8080
 //
 // Endpoints: POST /v1/predict, /v1/colocate, /v1/batch, /v1/profiles;
+// POST /v1/characterize with -simulate (in-process Ruler-sweep
+// simulation, cancelled when the request's deadline fires);
 // GET /healthz, /metrics; and /debug/pprof/ with -pprof. The daemon
 // shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests
 // for up to -drain.
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/qosd"
+	"repro/smite"
 )
 
 func main() {
@@ -52,6 +55,10 @@ type config struct {
 	drain       time.Duration
 	pprof       bool
 	quiet       bool
+	simulate    bool
+	machine     string
+	fast        bool
+	parallelism int
 }
 
 // stringList lets -profiles repeat.
@@ -86,6 +93,10 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain window")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "disable per-request logging")
+	fs.BoolVar(&cfg.simulate, "simulate", false, "enable POST /v1/characterize with an in-process simulation system")
+	fs.StringVar(&cfg.machine, "machine", "ivb", "simulation machine with -simulate: ivb or snb")
+	fs.BoolVar(&cfg.fast, "fast", false, "use the shortened measurement windows with -simulate")
+	fs.IntVar(&cfg.parallelism, "parallelism", 0, "characterization worker count with -simulate (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
 	}
@@ -104,6 +115,12 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.drain <= 0 {
 		return cfg, fmt.Errorf("-drain must be positive, got %v", cfg.drain)
+	}
+	if cfg.machine != "ivb" && cfg.machine != "snb" {
+		return cfg, fmt.Errorf("-machine must be ivb or snb, got %q", cfg.machine)
+	}
+	if cfg.parallelism < 0 {
+		return cfg, fmt.Errorf("-parallelism must be non-negative, got %d", cfg.parallelism)
 	}
 	return cfg, nil
 }
@@ -157,6 +174,25 @@ func newApp(cfg config, stdout, stderr io.Writer) (*app, error) {
 	}
 	if !cfg.quiet {
 		qcfg.Logger = logger
+	}
+	if cfg.simulate {
+		machine := smite.IvyBridge
+		if cfg.machine == "snb" {
+			machine = smite.SandyBridgeEN
+		}
+		opts := smite.DefaultOptions()
+		if cfg.fast {
+			opts = smite.FastOptions()
+		}
+		sys, err := smite.New(machine.Config(),
+			smite.WithOptions(opts),
+			smite.WithParallelism(cfg.parallelism))
+		if err != nil {
+			return nil, fmt.Errorf("building simulation system: %w", err)
+		}
+		qcfg.System = sys
+		logger.Info("simulation enabled", "machine", cfg.machine, "fast", cfg.fast,
+			"parallelism", cfg.parallelism)
 	}
 	server := qosd.NewServer(reg, qcfg)
 	return &app{

@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/profile"
 	"repro/internal/rulers"
@@ -24,7 +27,9 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		if err != flag.ErrHelp {
 			fmt.Fprintf(os.Stderr, "smtop: %v\n", err)
 		}
@@ -34,7 +39,7 @@ func main() {
 
 // run parses args and executes one measurement, writing the report to w.
 // Flag and validation errors return non-nil (the FlagSet prints usage).
-func run(args []string, w io.Writer) error {
+func run(ctx context.Context, args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("smtop", flag.ContinueOnError)
 	appFlag := fs.String("app", "", "application to run (required)")
 	withFlag := fs.String("with", "", "co-located application")
@@ -50,10 +55,10 @@ func run(args []string, w io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-app is required")
 	}
-	return measure(w, *appFlag, *withFlag, *rulerFlag, *machineFlag, *placementFlag, *cyclesFlag, *fastFlag)
+	return measure(ctx, w, *appFlag, *withFlag, *rulerFlag, *machineFlag, *placementFlag, *cyclesFlag, *fastFlag)
 }
 
-func measure(w io.Writer, app, with, ruler, machine, placementS string, cycles uint64, fast bool) error {
+func measure(ctx context.Context, w io.Writer, app, with, ruler, machine, placementS string, cycles uint64, fast bool) error {
 	cfg := isa.IvyBridge()
 	if machine == "snb" {
 		cfg = isa.SandyBridgeEN()
@@ -98,11 +103,13 @@ func measure(w io.Writer, app, with, ruler, machine, placementS string, cycles u
 		partner = profile.Rulers(r, 1)
 	}
 
+	// The signal context makes Ctrl-C abort a long window immediately
+	// instead of waiting for the simulation to finish.
 	var res profile.RunResult
 	if partner == nil {
-		res, err = profile.Solo(cfg, profile.App(spec), opts)
+		res, err = profile.SoloContext(ctx, cfg, profile.App(spec), opts)
 	} else {
-		res, err = profile.Colocate(cfg, profile.App(spec), partner, placement, opts)
+		res, err = profile.ColocateContext(ctx, cfg, profile.App(spec), partner, placement, opts)
 	}
 	if err != nil {
 		return err

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -26,7 +28,7 @@ func TestFlagValidation(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			var out bytes.Buffer
-			if err := run(tc.args, &out); err == nil {
+			if err := run(context.Background(), tc.args, &out); err == nil {
 				t.Error("invalid invocation accepted")
 			}
 		})
@@ -38,7 +40,7 @@ func TestSoloSmoke(t *testing.T) {
 		t.Skip("smtop measurement in short mode")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-app", "429.mcf", "-fast", "-cycles", "20000"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-app", "429.mcf", "-fast", "-cycles", "20000"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	for _, want := range []string{"=== 429.mcf ===", "IPC", "L1D accesses", "DRAM accesses"} {
@@ -53,10 +55,21 @@ func TestColocatedSmoke(t *testing.T) {
 		t.Skip("smtop measurement in short mode")
 	}
 	var out bytes.Buffer
-	if err := run([]string{"-app", "444.namd", "-ruler", "MEM_BW", "-fast", "-cycles", "20000"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-app", "444.namd", "-ruler", "MEM_BW", "-fast", "-cycles", "20000"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if !strings.Contains(out.String(), "=== MEM_BW ===") {
 		t.Errorf("report missing partner section:\n%s", out.String())
+	}
+}
+
+// A cancelled context aborts the measurement rather than completing it.
+func TestCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	err := run(ctx, []string{"-app", "429.mcf", "-fast", "-cycles", "20000"}, &out)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }

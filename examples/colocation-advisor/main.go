@@ -24,7 +24,7 @@ func main() {
 	// fleet, half-loaded: one thread per core, siblings idle.
 	cfg := smite.SandyBridgeEN.Config()
 	cfg.Cores = 4 // trimmed for example runtime
-	sys, err := smite.NewSystemConfig(cfg, smite.FastOptions())
+	sys, err := smite.New(cfg, smite.WithOptions(smite.FastOptions()))
 	if err != nil {
 		log.Fatal(err)
 	}

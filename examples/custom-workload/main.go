@@ -41,7 +41,7 @@ func main() {
 	for _, machine := range []smite.Machine{smite.IvyBridge, smite.SandyBridgeEN} {
 		cfg := machine.Config()
 		cfg.Cores = 2 // example runtime
-		sys, err := smite.NewSystemConfig(cfg, smite.FastOptions())
+		sys, err := smite.New(cfg, smite.WithOptions(smite.FastOptions()))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -32,7 +32,7 @@ func main() {
 	dir := flag.String("dir", "", "also write profiles.json and model.json into this directory")
 	flag.Parse()
 
-	sys, err := smite.NewSystem(smite.IvyBridge, smite.FastOptions())
+	sys, err := smite.New(smite.IvyBridge.Config(), smite.WithOptions(smite.FastOptions()))
 	if err != nil {
 		log.Fatal(err)
 	}

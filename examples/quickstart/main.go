@@ -18,7 +18,7 @@ func main() {
 	// A System is one simulated SMT machine plus the measurement harness.
 	// FastOptions keeps this example snappy; use DefaultOptions for the
 	// paper-scale windows.
-	sys, err := smite.NewSystem(smite.IvyBridge, smite.FastOptions())
+	sys, err := smite.New(smite.IvyBridge.Config(), smite.WithOptions(smite.FastOptions()))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,19 +34,24 @@ type AblationRow struct {
 
 // ModelAblation runs the comparison.
 func (l *Lab) ModelAblation() (AblationResult, error) {
+	return l.ModelAblationContext(context.Background())
+}
+
+// ModelAblationContext is ModelAblation with cooperative cancellation.
+func (l *Lab) ModelAblationContext(ctx context.Context) (AblationResult, error) {
 	train := l.specSet(workload.EvenSPEC())
 	test := l.specSet(workload.OddSPEC())
 	all := append(append([]*workload.Spec{}, train...), test...)
-	chars, err := l.Characterizations(IvyBridge, profile.SMT, all, fmt.Sprintf("spec-%d", len(all)))
+	chars, err := l.CharacterizationsContext(ctx, IvyBridge, profile.SMT, all, fmt.Sprintf("spec-%d", len(all)))
 	if err != nil {
 		return AblationResult{}, err
 	}
 	p := l.Profiler(IvyBridge)
-	trainPairs, err := p.MeasurePairs(train, train, profile.SMT)
+	trainPairs, err := p.MeasurePairsContext(ctx, train, train, profile.SMT)
 	if err != nil {
 		return AblationResult{}, err
 	}
-	testPairs, err := p.MeasurePairs(test, test, profile.SMT)
+	testPairs, err := p.MeasurePairsContext(ctx, test, test, profile.SMT)
 	if err != nil {
 		return AblationResult{}, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,7 +31,13 @@ type SenConResult struct {
 // Fig2FunctionalUnits measures sensitivity and contentiousness on the four
 // functional-unit dimensions for all applications (paper Figure 2).
 func (l *Lab) Fig2FunctionalUnits() (SenConResult, error) {
-	chars, err := l.characterizeAllApps()
+	return l.Fig2FunctionalUnitsContext(context.Background())
+}
+
+// Fig2FunctionalUnitsContext is Fig2FunctionalUnits with cooperative
+// cancellation.
+func (l *Lab) Fig2FunctionalUnitsContext(ctx context.Context) (SenConResult, error) {
+	chars, err := l.characterizeAllApps(ctx)
 	if err != nil {
 		return SenConResult{}, err
 	}
@@ -44,7 +51,13 @@ func (l *Lab) Fig2FunctionalUnits() (SenConResult, error) {
 // Fig4MemorySubsystem measures sensitivity and contentiousness on the
 // cache dimensions (paper Figure 4).
 func (l *Lab) Fig4MemorySubsystem() (SenConResult, error) {
-	chars, err := l.characterizeAllApps()
+	return l.Fig4MemorySubsystemContext(context.Background())
+}
+
+// Fig4MemorySubsystemContext is Fig4MemorySubsystem with cooperative
+// cancellation.
+func (l *Lab) Fig4MemorySubsystemContext(ctx context.Context) (SenConResult, error) {
+	chars, err := l.characterizeAllApps(ctx)
 	if err != nil {
 		return SenConResult{}, err
 	}
@@ -57,7 +70,12 @@ func (l *Lab) Fig4MemorySubsystem() (SenConResult, error) {
 
 // Fig6Summary is the full seven-dimension matrix (paper Figure 6).
 func (l *Lab) Fig6Summary() (SenConResult, error) {
-	chars, err := l.characterizeAllApps()
+	return l.Fig6SummaryContext(context.Background())
+}
+
+// Fig6SummaryContext is Fig6Summary with cooperative cancellation.
+func (l *Lab) Fig6SummaryContext(ctx context.Context) (SenConResult, error) {
+	chars, err := l.characterizeAllApps(ctx)
 	if err != nil {
 		return SenConResult{}, err
 	}
@@ -68,9 +86,9 @@ func (l *Lab) Fig6Summary() (SenConResult, error) {
 	}, nil
 }
 
-func (l *Lab) characterizeAllApps() ([]profile.Characterization, error) {
+func (l *Lab) characterizeAllApps(ctx context.Context) ([]profile.Characterization, error) {
 	set, name := l.allAppsSet()
-	return l.Characterizations(SandyBridgeEN, profile.SMT, set, name)
+	return l.CharacterizationsContext(ctx, SandyBridgeEN, profile.SMT, set, name)
 }
 
 // String renders the matrix.
@@ -133,7 +151,12 @@ type Fig7Result struct {
 // Fig7Correlation computes the absolute Pearson correlations among all 14
 // sensitivity/contentiousness dimensions across applications.
 func (l *Lab) Fig7Correlation() (Fig7Result, error) {
-	chars, err := l.characterizeAllApps()
+	return l.Fig7CorrelationContext(context.Background())
+}
+
+// Fig7CorrelationContext is Fig7Correlation with cooperative cancellation.
+func (l *Lab) Fig7CorrelationContext(ctx context.Context) (Fig7Result, error) {
+	chars, err := l.characterizeAllApps(ctx)
 	if err != nil {
 		return Fig7Result{}, err
 	}

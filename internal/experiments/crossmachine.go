@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -27,21 +28,26 @@ type CrossMachineResult struct {
 
 // CrossMachine runs the transfer study on the SPEC even/odd protocol.
 func (l *Lab) CrossMachine() (CrossMachineResult, error) {
+	return l.CrossMachineContext(context.Background())
+}
+
+// CrossMachineContext is CrossMachine with cooperative cancellation.
+func (l *Lab) CrossMachineContext(ctx context.Context) (CrossMachineResult, error) {
 	train := l.specSet(workload.EvenSPEC())
 	test := l.specSet(workload.OddSPEC())
 	all := append(append([]*workload.Spec{}, train...), test...)
 
 	build := func(m Machine) (trainObs, testObs []model.PairObs, err error) {
-		chars, err := l.Characterizations(m, profile.SMT, all, fmt.Sprintf("spec-%d", len(all)))
+		chars, err := l.CharacterizationsContext(ctx, m, profile.SMT, all, fmt.Sprintf("spec-%d", len(all)))
 		if err != nil {
 			return nil, nil, err
 		}
 		p := l.Profiler(m)
-		trainPairs, err := p.MeasurePairs(train, train, profile.SMT)
+		trainPairs, err := p.MeasurePairsContext(ctx, train, train, profile.SMT)
 		if err != nil {
 			return nil, nil, err
 		}
-		testPairs, err := p.MeasurePairs(test, test, profile.SMT)
+		testPairs, err := p.MeasurePairsContext(ctx, test, test, profile.SMT)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -11,22 +11,24 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/profile"
+	"repro/internal/sched"
 	"repro/internal/sim/isa"
 	"repro/internal/simcache"
 	"repro/internal/workload"
 )
 
-// workers bounds experiment-level fan-out.
-func workers() int { return runtime.GOMAXPROCS(0) }
+// workers bounds experiment-level fan-out, honouring the scale's
+// Options.Parallelism (0 = GOMAXPROCS).
+func (l *Lab) workers() int { return sched.Workers(l.Scale.Options.Parallelism) }
 
 // Scale sizes an experiment run.
 type Scale struct {
@@ -230,6 +232,15 @@ func (l *Lab) cloudThreads() int { return l.SNB.Cores }
 // and share its result instead of each running the full sweep and
 // discarding all but one (the check-then-act race this replaces).
 func (l *Lab) Characterizations(m Machine, placement profile.Placement, set []*workload.Spec, setName string) ([]profile.Characterization, error) {
+	return l.CharacterizationsContext(context.Background(), m, placement, set, setName)
+}
+
+// CharacterizationsContext is Characterizations with cooperative
+// cancellation: the characterization fan-out aborts mid-simulation when ctx
+// is cancelled, and a waiter blocked on another caller's flight stops
+// waiting when its own ctx dies (the flight itself is unaffected). A
+// cancelled leader's flight caches nothing, so later callers retry.
+func (l *Lab) CharacterizationsContext(ctx context.Context, m Machine, placement profile.Placement, set []*workload.Spec, setName string) ([]profile.Characterization, error) {
 	_ = setName // kept in the signature for log readability at call sites
 	names := make([]string, len(set))
 	for i, s := range set {
@@ -244,10 +255,17 @@ func (l *Lab) Characterizations(m Machine, placement profile.Placement, set []*w
 	}
 	key := fmt.Sprintf("%d|%d|%x", m, placement, h.Sum64())
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l.mu.Lock()
 		if f, ok := l.chars[key]; ok {
 			l.mu.Unlock()
-			<-f.done
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 			if !f.ok {
 				continue // that flight failed; try to compute ourselves
 			}
@@ -261,7 +279,7 @@ func (l *Lab) Characterizations(m Machine, placement profile.Placement, set []*w
 		l.chars[key] = f
 		l.mu.Unlock()
 
-		chars, err := l.characterizeSet(m, placement, set)
+		chars, err := l.characterizeSet(ctx, m, placement, set)
 		if err != nil {
 			l.mu.Lock()
 			delete(l.chars, key)
@@ -282,37 +300,21 @@ func (l *Lab) Characterizations(m Machine, placement profile.Placement, set []*w
 // characterizeSet runs the characterization fan-out for one memo key.
 // Multithreaded apps occupy one context per thread; thread counts adapt
 // to the machine here (one per core under SMT, one per half the cores
-// under CMP), which is what keeps reduced-core Scales runnable.
-func (l *Lab) characterizeSet(m Machine, placement profile.Placement, set []*workload.Spec) ([]profile.Characterization, error) {
+// under CMP), which is what keeps reduced-core Scales runnable. The
+// per-cell scheduling — every solo and (application, Ruler) co-location
+// on one worker pool — lives in profile.CharacterizeJobsContext.
+func (l *Lab) characterizeSet(ctx context.Context, m Machine, placement profile.Placement, set []*workload.Spec) ([]profile.Characterization, error) {
 	l.charRuns.Add(1)
-	p := l.Profiler(m)
-	chars := make([]profile.Characterization, len(set))
-	errs := make([]error, len(set))
-	sem := make(chan struct{}, workers())
-	var wg sync.WaitGroup
+	jobs := make([]profile.Job, len(set))
 	for i, s := range set {
-		wg.Add(1)
-		go func(i int, s *workload.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			var job profile.Job
-			switch {
-			case s.ThreadCount() > 1 && placement == profile.CMP:
-				job = profile.AppThreads(s, l.Config(m).Cores/2)
-			case s.ThreadCount() > 1:
-				job = profile.AppThreads(s, l.Config(m).Cores)
-			default:
-				job = profile.App(s)
-			}
-			chars[i], errs[i] = p.CharacterizeJob(job, placement)
-		}(i, s)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		switch {
+		case s.ThreadCount() > 1 && placement == profile.CMP:
+			jobs[i] = profile.AppThreads(s, l.Config(m).Cores/2)
+		case s.ThreadCount() > 1:
+			jobs[i] = profile.AppThreads(s, l.Config(m).Cores)
+		default:
+			jobs[i] = profile.App(s)
 		}
 	}
-	return chars, nil
+	return l.Profiler(m).CharacterizeJobsContext(ctx, jobs, placement)
 }

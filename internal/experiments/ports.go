@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/profile"
+	"repro/internal/sched"
 	"repro/internal/sim/isa"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -26,6 +27,13 @@ type PortUtilResult struct {
 // Ivy Bridge machine and collects the aggregated utilisation of every
 // execution port from the simulated PMUs.
 func (l *Lab) Fig3And5PortUtilization() (PortUtilResult, error) {
+	return l.Fig3And5PortUtilizationContext(context.Background())
+}
+
+// Fig3And5PortUtilizationContext is Fig3And5PortUtilization with
+// cooperative cancellation; the per-pair co-locations fan out on the
+// internal/sched worker pool.
+func (l *Lab) Fig3And5PortUtilizationContext(ctx context.Context) (PortUtilResult, error) {
 	set := workload.SPECCPU2006()
 	if l.Scale.MaxPairApps > 0 && len(set) > l.Scale.MaxPairApps {
 		set = set[:l.Scale.MaxPairApps]
@@ -39,31 +47,20 @@ func (l *Lab) Fig3And5PortUtilization() (PortUtilResult, error) {
 	}
 	type sample [isa.NumPorts]float64
 	samples := make([]sample, len(pairs))
-	errs := make([]error, len(pairs))
-	sem := make(chan struct{}, workers())
-	var wg sync.WaitGroup
-	for i, pr := range pairs {
-		wg.Add(1)
-		go func(i int, pr pair) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := profile.Colocate(l.IVB, profile.App(pr.a), profile.App(pr.b), profile.SMT, l.Scale.Options)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			a, b := res.AppCounters[0], res.PartnerCounters[0]
-			for p := isa.Port(0); p < isa.NumPorts; p++ {
-				samples[i][p] = a.PortUtilization(p) + b.PortUtilization(p)
-			}
-		}(i, pr)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := sched.Map(ctx, len(pairs), l.workers(), func(ctx context.Context, i int) error {
+		pr := pairs[i]
+		res, err := profile.ColocateContext(ctx, l.IVB, profile.App(pr.a), profile.App(pr.b), profile.SMT, l.Scale.Options)
 		if err != nil {
-			return PortUtilResult{}, err
+			return err
 		}
+		a, b := res.AppCounters[0], res.PartnerCounters[0]
+		for p := isa.Port(0); p < isa.NumPorts; p++ {
+			samples[i][p] = a.PortUtilization(p) + b.PortUtilization(p)
+		}
+		return nil
+	})
+	if err != nil {
+		return PortUtilResult{}, err
 	}
 	out := PortUtilResult{Pairs: len(pairs)}
 	for _, s := range samples {

@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/model"
 	"repro/internal/profile"
+	"repro/internal/sched"
 	"repro/internal/service"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -35,29 +36,39 @@ type PredictionResult struct {
 // Fig10SpecSMT reproduces Figure 10: SMT co-location prediction on SPEC
 // (even-numbered train, odd-numbered test, Ivy Bridge).
 func (l *Lab) Fig10SpecSMT() (PredictionResult, error) {
-	return l.specPrediction(profile.SMT, "Figure 10: SMT co-location prediction accuracy (SPEC CPU2006)")
+	return l.Fig10SpecSMTContext(context.Background())
+}
+
+// Fig10SpecSMTContext is Fig10SpecSMT with cooperative cancellation.
+func (l *Lab) Fig10SpecSMTContext(ctx context.Context) (PredictionResult, error) {
+	return l.specPrediction(ctx, profile.SMT, "Figure 10: SMT co-location prediction accuracy (SPEC CPU2006)")
 }
 
 // Fig11SpecCMP reproduces Figure 11: the same protocol under CMP
 // placement.
 func (l *Lab) Fig11SpecCMP() (PredictionResult, error) {
-	return l.specPrediction(profile.CMP, "Figure 11: CMP co-location prediction accuracy (SPEC CPU2006)")
+	return l.Fig11SpecCMPContext(context.Background())
 }
 
-func (l *Lab) specPrediction(placement profile.Placement, title string) (PredictionResult, error) {
+// Fig11SpecCMPContext is Fig11SpecCMP with cooperative cancellation.
+func (l *Lab) Fig11SpecCMPContext(ctx context.Context) (PredictionResult, error) {
+	return l.specPrediction(ctx, profile.CMP, "Figure 11: CMP co-location prediction accuracy (SPEC CPU2006)")
+}
+
+func (l *Lab) specPrediction(ctx context.Context, placement profile.Placement, title string) (PredictionResult, error) {
 	train := l.specSet(workload.EvenSPEC())
 	test := l.specSet(workload.OddSPEC())
 	all := append(append([]*workload.Spec{}, train...), test...)
-	chars, err := l.Characterizations(IvyBridge, placement, all, fmt.Sprintf("spec-%d", len(all)))
+	chars, err := l.CharacterizationsContext(ctx, IvyBridge, placement, all, fmt.Sprintf("spec-%d", len(all)))
 	if err != nil {
 		return PredictionResult{}, err
 	}
 	p := l.Profiler(IvyBridge)
-	trainPairs, err := p.MeasurePairs(train, train, placement)
+	trainPairs, err := p.MeasurePairsContext(ctx, train, train, placement)
 	if err != nil {
 		return PredictionResult{}, err
 	}
-	testPairs, err := p.MeasurePairs(test, test, placement)
+	testPairs, err := p.MeasurePairsContext(ctx, test, test, placement)
 	if err != nil {
 		return PredictionResult{}, err
 	}
@@ -155,15 +166,22 @@ type cloudStudy struct {
 // trained on odd-numbered SPEC pairs on the Sandy Bridge-EN machine, then
 // every (latency app, even-SPEC batch app, instance count) co-location is
 // measured and predicted under both placements (paper Section IV-B2).
-func (l *Lab) cloudStudyData() (*cloudStudy, error) {
+func (l *Lab) cloudStudyData(ctx context.Context) (*cloudStudy, error) {
 	// Single-flight, like Characterizations: the study is the most
 	// expensive memo in the Lab, so two concurrent figures must not both
 	// build it.
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		l.mu.Lock()
 		if f := l.cloud; f != nil {
 			l.mu.Unlock()
-			<-f.done
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 			if !f.ok {
 				continue // that flight failed; try to compute ourselves
 			}
@@ -173,7 +191,7 @@ func (l *Lab) cloudStudyData() (*cloudStudy, error) {
 		l.cloud = f
 		l.mu.Unlock()
 
-		cs, err := l.buildCloudStudy()
+		cs, err := l.buildCloudStudy(ctx)
 		if err != nil {
 			l.mu.Lock()
 			l.cloud = nil
@@ -189,7 +207,7 @@ func (l *Lab) cloudStudyData() (*cloudStudy, error) {
 
 // buildCloudStudy performs the actual measurement and training fan-out of
 // cloudStudyData.
-func (l *Lab) buildCloudStudy() (*cloudStudy, error) {
+func (l *Lab) buildCloudStudy(ctx context.Context) (*cloudStudy, error) {
 	threads := l.cloudThreads()
 	cloudApps := l.cloudSet()
 	// Paper protocol for CloudSuite: odd SPEC trains, even SPEC are the
@@ -226,7 +244,7 @@ func (l *Lab) buildCloudStudy() (*cloudStudy, error) {
 	for _, placement := range []profile.Placement{profile.SMT, profile.CMP} {
 		allApps := append(append([]*workload.Spec{}, train...), batch...)
 		allApps = append(allApps, cloudApps...)
-		chars, err := l.Characterizations(SandyBridgeEN, placement, allApps, fmt.Sprintf("cloud-%d-%d", placement, len(allApps)))
+		chars, err := l.CharacterizationsContext(ctx, SandyBridgeEN, placement, allApps, fmt.Sprintf("cloud-%d-%d", placement, len(allApps)))
 		if err != nil {
 			return nil, err
 		}
@@ -234,7 +252,7 @@ func (l *Lab) buildCloudStudy() (*cloudStudy, error) {
 		for _, c := range chars {
 			charBy[c.App] = c
 		}
-		trainPairs, err := p.MeasurePairs(train, train, placement)
+		trainPairs, err := p.MeasurePairsContext(ctx, train, train, placement)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +285,7 @@ func (l *Lab) buildCloudStudy() (*cloudStudy, error) {
 			latJob := profile.AppThreads(latSpec, latThreads)
 			arr := make([]profile.Characterization, maxN)
 			for n := 1; n <= maxN; n++ {
-				chN, err := p.CharacterizeJobRulers(latJob, placement, n)
+				chN, err := p.CharacterizeJobRulersContext(ctx, latJob, placement, n)
 				if err != nil {
 					return nil, err
 				}
@@ -287,51 +305,38 @@ func (l *Lab) buildCloudStudy() (*cloudStudy, error) {
 				}
 			}
 		}
-		errs := make([]error, len(entries))
-		sem := make(chan struct{}, workers())
-		var wg sync.WaitGroup
-		for i := range entries {
-			wg.Add(1)
-			go func(e *cloudEntry, errSlot *error) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				latSpec, err := workload.ByName(e.lat)
-				if err != nil {
-					*errSlot = err
-					return
-				}
-				bspec, err := workload.ByName(e.batch)
-				if err != nil {
-					*errSlot = err
-					return
-				}
-				latJob := profile.AppThreads(latSpec, latThreads)
-				pm, err := p.MeasureJobs(latJob, profile.AppThreads(bspec, e.n), placement)
-				if err != nil {
-					*errSlot = err
-					return
-				}
-				e.actual = pm.DegA
-				// SMiTe prediction uses the partial-occupancy sensitivity
-				// Sen(n) with the occupancy-scaled intercept; the formula
-				// lives in model.Smite.PredictPartial so the qosd serving
-				// daemon evaluates the exact same expression.
-				obs := model.PairObs{
-					SenA: senByCount[e.lat][e.n-1].Sen, ConB: charBy[e.batch].Con,
-					PMUA: charBy[e.lat].SoloPMU.Features(), PMUB: charBy[e.batch].SoloPMU.Features(),
-				}
-				e.predicted = smite.PredictPartial(obs, e.n, latThreads)
-				// The PMU baseline has no per-occupancy feature; scale by
-				// occupancy as the strongest simple extension.
-				e.pmuPred = float64(e.n) / float64(latThreads) * pmuM.Predict(obs)
-			}(&entries[i], &errs[i])
-		}
-		wg.Wait()
-		for _, err := range errs {
+		err = sched.Map(ctx, len(entries), l.workers(), func(ctx context.Context, i int) error {
+			e := &entries[i]
+			latSpec, err := workload.ByName(e.lat)
 			if err != nil {
-				return nil, err
+				return err
 			}
+			bspec, err := workload.ByName(e.batch)
+			if err != nil {
+				return err
+			}
+			latJob := profile.AppThreads(latSpec, latThreads)
+			pm, err := p.MeasureJobsContext(ctx, latJob, profile.AppThreads(bspec, e.n), placement)
+			if err != nil {
+				return err
+			}
+			e.actual = pm.DegA
+			// SMiTe prediction uses the partial-occupancy sensitivity
+			// Sen(n) with the occupancy-scaled intercept; the formula
+			// lives in model.Smite.PredictPartial so the qosd serving
+			// daemon evaluates the exact same expression.
+			obs := model.PairObs{
+				SenA: senByCount[e.lat][e.n-1].Sen, ConB: charBy[e.batch].Con,
+				PMUA: charBy[e.lat].SoloPMU.Features(), PMUB: charBy[e.batch].SoloPMU.Features(),
+			}
+			e.predicted = smite.PredictPartial(obs, e.n, latThreads)
+			// The PMU baseline has no per-occupancy feature; scale by
+			// occupancy as the strongest simple extension.
+			e.pmuPred = float64(e.n) / float64(latThreads) * pmuM.Predict(obs)
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		cs.placementTables[placement] = entries
 	}
@@ -363,7 +368,12 @@ type Fig12Row struct {
 // CloudSuite latency-sensitive applications under SMT and CMP co-location
 // with SPEC batch applications on the Sandy Bridge-EN machine.
 func (l *Lab) Fig12CloudSuite() (Fig12Result, error) {
-	cs, err := l.cloudStudyData()
+	return l.Fig12CloudSuiteContext(context.Background())
+}
+
+// Fig12CloudSuiteContext is Fig12CloudSuite with cooperative cancellation.
+func (l *Lab) Fig12CloudSuiteContext(ctx context.Context) (Fig12Result, error) {
+	cs, err := l.cloudStudyData(ctx)
 	if err != nil {
 		return Fig12Result{}, err
 	}
@@ -437,7 +447,12 @@ func (r Fig12Result) String() string {
 // ClusterTable exports the SMT cloud study as the degradation table the
 // scale-out experiments consume.
 func (l *Lab) ClusterTable() (*cluster.Table, map[string]service.Service, error) {
-	cs, err := l.cloudStudyData()
+	return l.ClusterTableContext(context.Background())
+}
+
+// ClusterTableContext is ClusterTable with cooperative cancellation.
+func (l *Lab) ClusterTableContext(ctx context.Context) (*cluster.Table, map[string]service.Service, error) {
+	cs, err := l.cloudStudyData(ctx)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -472,7 +487,13 @@ type ServingArtifacts struct {
 // ServingArtifacts exports the SMT cloud study's prediction inputs (see
 // the ServingArtifacts type). It builds the cloud study on first use.
 func (l *Lab) ServingArtifacts() (ServingArtifacts, error) {
-	cs, err := l.cloudStudyData()
+	return l.ServingArtifactsContext(context.Background())
+}
+
+// ServingArtifactsContext is ServingArtifacts with cooperative
+// cancellation.
+func (l *Lab) ServingArtifactsContext(ctx context.Context) (ServingArtifacts, error) {
+	cs, err := l.cloudStudyData(ctx)
 	if err != nil {
 		return ServingArtifacts{}, err
 	}

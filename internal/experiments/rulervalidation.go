@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
 
 	"repro/internal/profile"
 	"repro/internal/rulers"
+	"repro/internal/sched"
 	"repro/internal/sim/isa"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -48,11 +49,18 @@ type Fig9Result struct {
 
 // Fig9RulerValidation validates the Ruler suite on the Ivy Bridge machine.
 func (l *Lab) Fig9RulerValidation() (Fig9Result, error) {
+	return l.Fig9RulerValidationContext(context.Background())
+}
+
+// Fig9RulerValidationContext is Fig9RulerValidation with cooperative
+// cancellation; the intensity-sweep cells fan out on the internal/sched
+// worker pool.
+func (l *Lab) Fig9RulerValidationContext(ctx context.Context) (Fig9Result, error) {
 	var out Fig9Result
 	// Functional-unit Rulers: solo runs, check port counters.
 	fuRulers := []*rulers.Ruler{rulers.FPMul(), rulers.FPAdd(), rulers.FPShf(), rulers.IntAdd()}
 	for _, r := range fuRulers {
-		res, err := profile.Solo(l.IVB, profile.Rulers(r, 1), l.Scale.Options)
+		res, err := profile.SoloContext(ctx, l.IVB, profile.Rulers(r, 1), l.Scale.Options)
 		if err != nil {
 			return Fig9Result{}, err
 		}
@@ -91,7 +99,6 @@ func (l *Lab) Fig9RulerValidation() (Fig9Result, error) {
 			app  int
 			pt   int
 			deg  float64
-			err  error
 			solo float64
 		}
 		cells := make([]cell, 0, len(apps)*points)
@@ -100,36 +107,27 @@ func (l *Lab) Fig9RulerValidation() (Fig9Result, error) {
 				cells = append(cells, cell{app: ai, pt: pi})
 			}
 		}
-		sem := make(chan struct{}, workers())
-		var wg sync.WaitGroup
-		for i := range cells {
-			wg.Add(1)
-			go func(c *cell) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				app := apps[c.app]
-				solo, err := p.SoloRun(profile.App(app))
-				if err != nil {
-					c.err = err
-					return
-				}
-				r := base.WithIntensity(intensities[c.pt])
-				res, err := profile.Colocate(l.IVB, profile.App(app), profile.Rulers(r, 1), profile.SMT, l.Scale.Options)
-				if err != nil {
-					c.err = err
-					return
-				}
-				c.solo = solo.AppIPC
-				c.deg = profile.Degradation(solo.AppIPC, res.AppIPC)
-			}(&cells[i])
+		err := sched.Map(ctx, len(cells), l.workers(), func(ctx context.Context, i int) error {
+			c := &cells[i]
+			app := apps[c.app]
+			solo, err := p.SoloRunContext(ctx, profile.App(app))
+			if err != nil {
+				return err
+			}
+			r := base.WithIntensity(intensities[c.pt])
+			res, err := profile.ColocateContext(ctx, l.IVB, profile.App(app), profile.Rulers(r, 1), profile.SMT, l.Scale.Options)
+			if err != nil {
+				return err
+			}
+			c.solo = solo.AppIPC
+			c.deg = profile.Degradation(solo.AppIPC, res.AppIPC)
+			return nil
+		})
+		if err != nil {
+			return Fig9Result{}, err
 		}
-		wg.Wait()
 		degs := make(map[int][]float64)
 		for _, c := range cells {
-			if c.err != nil {
-				return Fig9Result{}, c.err
-			}
 			degs[c.app] = append(degs[c.app], c.deg)
 		}
 		var rs []float64

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -25,14 +26,26 @@ var scaleOutTargets = []float64{0.95, 0.90, 0.85}
 // Fig14And15AvgQoS runs the average-performance-QoS scale-out study
 // (utilization: Figure 14; violations: Figure 15).
 func (l *Lab) Fig14And15AvgQoS() (ScaleOutResult, error) {
-	return l.ScaleOutStudy(cluster.QoSAvg, nil)
+	return l.ScaleOutStudyContext(context.Background(), cluster.QoSAvg, nil)
+}
+
+// Fig14And15AvgQoSContext is Fig14And15AvgQoS with cooperative
+// cancellation.
+func (l *Lab) Fig14And15AvgQoSContext(ctx context.Context) (ScaleOutResult, error) {
+	return l.ScaleOutStudyContext(ctx, cluster.QoSAvg, nil)
 }
 
 // Fig16And17TailQoS runs the tail-latency-QoS study over the two services
 // that report percentile latency (utilization: Figure 16; violations:
 // Figure 17).
 func (l *Lab) Fig16And17TailQoS() (ScaleOutResult, error) {
-	return l.ScaleOutStudy(cluster.QoSTail, nil)
+	return l.ScaleOutStudyContext(context.Background(), cluster.QoSTail, nil)
+}
+
+// Fig16And17TailQoSContext is Fig16And17TailQoS with cooperative
+// cancellation.
+func (l *Lab) Fig16And17TailQoSContext(ctx context.Context) (ScaleOutResult, error) {
+	return l.ScaleOutStudyContext(ctx, cluster.QoSTail, nil)
 }
 
 // ScaleOutStudy runs a scale-out study under either QoS definition. A
@@ -41,7 +54,14 @@ func (l *Lab) Fig16And17TailQoS() (ScaleOutResult, error) {
 // predictor backed by a live qosd daemon); nil keeps the in-process
 // predictions. Measured degradations always come from the table.
 func (l *Lab) ScaleOutStudy(qos cluster.QoSKind, pred cluster.Predictor) (ScaleOutResult, error) {
-	tbl, services, err := l.ClusterTable()
+	return l.ScaleOutStudyContext(context.Background(), qos, pred)
+}
+
+// ScaleOutStudyContext is ScaleOutStudy with cooperative cancellation: the
+// underlying cloud-study measurements abort mid-simulation when ctx is
+// cancelled, and the queueing sweeps check ctx between cells.
+func (l *Lab) ScaleOutStudyContext(ctx context.Context, qos cluster.QoSKind, pred cluster.Predictor) (ScaleOutResult, error) {
+	tbl, services, err := l.ClusterTableContext(ctx)
 	if err != nil {
 		return ScaleOutResult{}, err
 	}
@@ -71,10 +91,10 @@ func (l *Lab) ScaleOutStudy(qos cluster.QoSKind, pred cluster.Predictor) (ScaleO
 		}
 		tbl = sub
 	}
-	return l.runScaleOut(tbl, services, qos, pred)
+	return l.runScaleOut(ctx, tbl, services, qos, pred)
 }
 
-func (l *Lab) runScaleOut(tbl *cluster.Table, services map[string]service.Service, qos cluster.QoSKind, pred cluster.Predictor) (ScaleOutResult, error) {
+func (l *Lab) runScaleOut(ctx context.Context, tbl *cluster.Table, services map[string]service.Service, qos cluster.QoSKind, pred cluster.Predictor) (ScaleOutResult, error) {
 	study := &cluster.Study{
 		Table:             tbl,
 		Services:          services,
@@ -92,6 +112,9 @@ func (l *Lab) runScaleOut(tbl *cluster.Table, services map[string]service.Servic
 	for _, target := range out.Targets {
 		out.Cells[target] = make(map[cluster.PolicyKind]cluster.Result)
 		for _, pol := range []cluster.PolicyKind{cluster.PolicySMiTe, cluster.PolicyOracle, cluster.PolicyRandom} {
+			if err := ctx.Err(); err != nil {
+				return ScaleOutResult{}, err
+			}
 			r, err := study.Run(pol, qos, target)
 			if err != nil {
 				return ScaleOutResult{}, err
@@ -156,12 +179,17 @@ type Fig18Row struct {
 // fleet is half latency servers, half batch servers; co-location absorbs
 // batch work onto the latency servers' idle contexts.
 func (l *Lab) Fig18TCO() (Fig18Result, error) {
+	return l.Fig18TCOContext(context.Background())
+}
+
+// Fig18TCOContext is Fig18TCO with cooperative cancellation.
+func (l *Lab) Fig18TCOContext(ctx context.Context) (Fig18Result, error) {
 	params := tco.Google2014()
-	avg, err := l.Fig14And15AvgQoS()
+	avg, err := l.Fig14And15AvgQoSContext(ctx)
 	if err != nil {
 		return Fig18Result{}, err
 	}
-	tail, err := l.Fig16And17TailQoS()
+	tail, err := l.Fig16And17TailQoSContext(ctx)
 	if err != nil {
 		return Fig18Result{}, err
 	}

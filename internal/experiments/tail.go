@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -47,12 +48,18 @@ type Fig13Result struct {
 // "measured" p90 comes from the queue simulator driven by the measured
 // degradation.
 func (l *Lab) Fig13TailLatency() (Fig13Result, error) {
-	cs, err := l.cloudStudyData()
+	return l.Fig13TailLatencyContext(context.Background())
+}
+
+// Fig13TailLatencyContext is Fig13TailLatency with cooperative
+// cancellation.
+func (l *Lab) Fig13TailLatencyContext(ctx context.Context) (Fig13Result, error) {
+	cs, err := l.cloudStudyData(ctx)
 	if err != nil {
 		return Fig13Result{}, err
 	}
 	set, name := l.allAppsSet()
-	chars, err := l.Characterizations(SandyBridgeEN, profile.SMT, set, name)
+	chars, err := l.CharacterizationsContext(ctx, SandyBridgeEN, profile.SMT, set, name)
 	if err != nil {
 		return Fig13Result{}, err
 	}

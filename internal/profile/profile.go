@@ -14,12 +14,14 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
-	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/rulers"
+	"repro/internal/sched"
 	"repro/internal/sim/check"
 	"repro/internal/sim/engine"
 	"repro/internal/sim/isa"
@@ -60,9 +62,19 @@ type Options struct {
 	// BaseSeed decorrelates repeated studies; everything derived from it
 	// is deterministic.
 	BaseSeed uint64
-	// Parallelism bounds the worker pool of the batch helpers
-	// (0 = GOMAXPROCS).
+	// Parallelism bounds the worker pool (internal/sched) that fans
+	// characterization and pair-measurement cells across CPUs
+	// (0 = GOMAXPROCS). Results are bit-identical at any value — the
+	// scheduler's reduction is index-ordered — so this is purely a
+	// throughput/footprint knob.
 	Parallelism int
+	// Progress, when non-nil, receives batch progress from the scheduled
+	// helpers (CharacterizeAll, MeasurePairs and their Context forms):
+	// done counts completed simulation cells of the current batch, total
+	// the batch's cell count. It may be invoked concurrently from worker
+	// goroutines; done is monotone per batch but calls can arrive out of
+	// order. Excluded from cache keys — it never influences results.
+	Progress func(done, total int)
 	// Check attaches the runtime invariant checker (internal/sim/check) to
 	// every chip this Options drives: run results are validated against the
 	// engine's conservation laws every CheckInterval cycles, and a
@@ -81,7 +93,8 @@ type Options struct {
 
 // cacheKey canonically identifies a run for memoisation, or ok=false when
 // either job cannot be fingerprinted (e.g. closure-backed StreamJobs).
-// Cache and Parallelism are excluded: neither influences the result.
+// Cache, Parallelism and Progress are excluded: none influences the
+// result (and a func field would print as a run-variable pointer).
 // Check/CheckInterval stay in the key so a checked run is never silently
 // satisfied by an unchecked one.
 func cacheKey(cfg isa.Config, job, partner Job, placement Placement, opts Options) (simcache.Key, bool) {
@@ -97,6 +110,7 @@ func cacheKey(cfg isa.Config, job, partner Job, placement Placement, opts Option
 	}
 	opts.Cache = nil
 	opts.Parallelism = 0
+	opts.Progress = nil
 	return simcache.KeyOf("profile.run/v1", cfg, placement, jf, pf, opts), true
 }
 
@@ -136,11 +150,13 @@ func FastOptions() Options {
 	}
 }
 
-func (o Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
+func (o Options) workers() int { return sched.Workers(o.Parallelism) }
+
+// progress fires the Progress callback when one is set.
+func (o Options) progress(done, total int) {
+	if o.Progress != nil {
+		o.Progress(done, total)
 	}
-	return runtime.GOMAXPROCS(0)
 }
 
 // Job is a schedulable entity: an application with one stream per thread,
@@ -270,7 +286,14 @@ func (r RunResult) clone() RunResult {
 // Solo measures a job running alone on the chip (one instance per core,
 // context 0).
 func Solo(cfg isa.Config, job Job, opts Options) (RunResult, error) {
-	return run(cfg, job, nil, SMT, opts)
+	return run(context.Background(), cfg, job, nil, SMT, opts)
+}
+
+// SoloContext is Solo with cooperative cancellation: the simulation aborts
+// mid-window (engine.RunContext) when ctx is cancelled, and a cancelled
+// leader never poisons concurrent cache followers (simcache.DoContext).
+func SoloContext(ctx context.Context, cfg isa.Config, job Job, opts Options) (RunResult, error) {
+	return run(ctx, cfg, job, nil, SMT, opts)
 }
 
 // Colocate measures job and partner sharing the chip under the given
@@ -278,14 +301,19 @@ func Solo(cfg isa.Config, job Job, opts Options) (RunResult, error) {
 // partner instance j on core j context 1. For CMP, the partner occupies
 // cores after the job's.
 func Colocate(cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
-	return run(cfg, job, partner, placement, opts)
+	return run(context.Background(), cfg, job, partner, placement, opts)
 }
 
-func run(cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
+// ColocateContext is Colocate with cooperative cancellation.
+func ColocateContext(ctx context.Context, cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
+	return run(ctx, cfg, job, partner, placement, opts)
+}
+
+func run(ctx context.Context, cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
 	if opts.Cache != nil {
 		if key, ok := cacheKey(cfg, job, partner, placement, opts); ok {
-			res, _, err := opts.Cache.Do(key, func() (RunResult, error) {
-				return simulate(cfg, job, partner, placement, opts)
+			res, _, err := opts.Cache.DoContext(ctx, key, func(ctx context.Context) (RunResult, error) {
+				return simulate(ctx, cfg, job, partner, placement, opts)
 			})
 			if err != nil {
 				return RunResult{}, err
@@ -293,11 +321,11 @@ func run(cfg isa.Config, job, partner Job, placement Placement, opts Options) (R
 			return res.clone(), nil
 		}
 	}
-	return simulate(cfg, job, partner, placement, opts)
+	return simulate(ctx, cfg, job, partner, placement, opts)
 }
 
 // simulate performs one actual measurement run on a fresh chip.
-func simulate(cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
+func simulate(ctx context.Context, cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
 	chip, err := engine.New(cfg)
 	if err != nil {
 		return RunResult{}, err
@@ -341,10 +369,17 @@ func simulate(cfg isa.Config, job, partner Job, placement Placement, opts Option
 		}
 	}
 
+	if err := ctx.Err(); err != nil {
+		return RunResult{}, err
+	}
 	chip.Prewarm(opts.PrewarmUops)
-	chip.Run(opts.WarmupCycles)
+	if err := chip.RunContext(ctx, opts.WarmupCycles); err != nil {
+		return RunResult{}, fmt.Errorf("profile: run of %s cancelled: %w", job.Name(), err)
+	}
 	chip.ResetCounters()
-	chip.Run(opts.MeasureCycles)
+	if err := chip.RunContext(ctx, opts.MeasureCycles); err != nil {
+		return RunResult{}, fmt.Errorf("profile: run of %s cancelled: %w", job.Name(), err)
+	}
 	if err := chip.CheckErr(); err != nil {
 		return RunResult{}, fmt.Errorf("profile: invariant violation running %s: %w", job.Name(), err)
 	}
@@ -448,6 +483,11 @@ func soloKey(job Job) string { return fmt.Sprintf("%s/%d", job.Name(), job.Insta
 
 // SoloRun measures (and memoises) a job running alone.
 func (p *Profiler) SoloRun(job Job) (RunResult, error) {
+	return p.SoloRunContext(context.Background(), job)
+}
+
+// SoloRunContext is SoloRun with cooperative cancellation.
+func (p *Profiler) SoloRunContext(ctx context.Context, job Job) (RunResult, error) {
 	key := soloKey(job)
 	p.mu.Lock()
 	if r, ok := p.appSolo[key]; ok {
@@ -455,7 +495,7 @@ func (p *Profiler) SoloRun(job Job) (RunResult, error) {
 		return r, nil
 	}
 	p.mu.Unlock()
-	r, err := Solo(p.cfg, job, p.opts)
+	r, err := SoloContext(ctx, p.cfg, job, p.opts)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -467,14 +507,14 @@ func (p *Profiler) SoloRun(job Job) (RunResult, error) {
 
 // rulerSoloIPC measures (and memoises) a single Ruler instance running
 // alone; this is the Con denominator of Equation 2.
-func (p *Profiler) rulerSoloIPC(r *rulers.Ruler) (float64, error) {
+func (p *Profiler) rulerSoloIPC(ctx context.Context, r *rulers.Ruler) (float64, error) {
 	p.mu.Lock()
 	if ipc, ok := p.rulerSolo[r.Name]; ok {
 		p.mu.Unlock()
 		return ipc, nil
 	}
 	p.mu.Unlock()
-	res, err := Solo(p.cfg, Rulers(r, 1), p.opts)
+	res, err := SoloContext(ctx, p.cfg, Rulers(r, 1), p.opts)
 	if err != nil {
 		return 0, err
 	}
@@ -484,11 +524,10 @@ func (p *Profiler) rulerSoloIPC(r *rulers.Ruler) (float64, error) {
 	return res.AppIPC, nil
 }
 
-// Characterize measures an application's sensitivity and contentiousness in
-// every sharing dimension by co-locating it with each standard Ruler under
-// the given placement. Multithreaded applications are co-located with one
-// Ruler instance per thread, as in the paper's CloudSuite setup.
-func (p *Profiler) Characterize(spec *workload.Spec, placement Placement) (Characterization, error) {
+// jobFor builds the Job arrangement Characterize uses for a spec:
+// multithreaded applications are clamped to the machine (half the cores
+// under the CMP half-loaded arrangement).
+func (p *Profiler) jobFor(spec *workload.Spec, placement Placement) Job {
 	threads := spec.ThreadCount()
 	max := p.cfg.Cores
 	if placement == CMP && threads > 1 {
@@ -498,13 +537,32 @@ func (p *Profiler) Characterize(spec *workload.Spec, placement Placement) (Chara
 	if threads > max {
 		threads = max // clamp multithreaded apps to the machine
 	}
-	return p.CharacterizeJob(AppThreads(spec, threads), placement)
+	return AppThreads(spec, threads)
+}
+
+// Characterize measures an application's sensitivity and contentiousness in
+// every sharing dimension by co-locating it with each standard Ruler under
+// the given placement. Multithreaded applications are co-located with one
+// Ruler instance per thread, as in the paper's CloudSuite setup.
+func (p *Profiler) Characterize(spec *workload.Spec, placement Placement) (Characterization, error) {
+	return p.CharacterizeContext(context.Background(), spec, placement)
+}
+
+// CharacterizeContext is Characterize with cooperative cancellation; the
+// per-Ruler cells fan out across the Options.Parallelism worker pool.
+func (p *Profiler) CharacterizeContext(ctx context.Context, spec *workload.Spec, placement Placement) (Characterization, error) {
+	return p.CharacterizeJobContext(ctx, p.jobFor(spec, placement), placement)
 }
 
 // CharacterizeJob is Characterize for an explicit Job arrangement, using
 // one Ruler instance per job instance (full pressure).
 func (p *Profiler) CharacterizeJob(job Job, placement Placement) (Characterization, error) {
-	return p.CharacterizeJobRulers(job, placement, job.Instances())
+	return p.CharacterizeJobContext(context.Background(), job, placement)
+}
+
+// CharacterizeJobContext is CharacterizeJob with cooperative cancellation.
+func (p *Profiler) CharacterizeJobContext(ctx context.Context, job Job, placement Placement) (Characterization, error) {
+	return p.CharacterizeJobRulersContext(ctx, job, placement, job.Instances())
 }
 
 // CharacterizeJobRulers characterizes a job against a specific Ruler
@@ -514,7 +572,16 @@ func (p *Profiler) CharacterizeJob(job Job, placement Placement) (Characterizati
 // use to predict co-locations with fewer batch instances than threads.
 // Profiling cost stays Ruler-only: no batch-application cross-product.
 func (p *Profiler) CharacterizeJobRulers(job Job, placement Placement, rulerInstances int) (Characterization, error) {
-	solo, err := p.SoloRun(job)
+	return p.CharacterizeJobRulersContext(context.Background(), job, placement, rulerInstances)
+}
+
+// CharacterizeJobRulersContext is CharacterizeJobRulers with cooperative
+// cancellation. The per-Ruler (application, Ruler) cells — independent
+// simulations — run on the internal/sched worker pool; because each cell
+// writes only its own Sen/Con dimension, the result is bit-identical to
+// the sequential sweep at any Parallelism.
+func (p *Profiler) CharacterizeJobRulersContext(ctx context.Context, job Job, placement Placement, rulerInstances int) (Characterization, error) {
+	solo, err := p.SoloRunContext(ctx, job)
 	if err != nil {
 		return Characterization{}, err
 	}
@@ -531,41 +598,125 @@ func (p *Profiler) CharacterizeJobRulers(job Job, placement Placement, rulerInst
 	if placement == CMP && job.Instances() > p.cfg.Cores/2 {
 		return Characterization{}, fmt.Errorf("profile: job %s with %d instances cannot be CMP-characterized on %d cores", job.Name(), job.Instances(), p.cfg.Cores)
 	}
-	for _, r := range p.set {
-		rulerIPC, err := p.rulerSoloIPC(r)
+	err = sched.Map(ctx, len(p.set), p.opts.workers(), func(ctx context.Context, i int) error {
+		sen, con, err := p.rulerCell(ctx, job, p.set[i], instances, placement, solo.AppIPC)
 		if err != nil {
-			return Characterization{}, err
+			return err
 		}
-		res, err := Colocate(p.cfg, job, Rulers(r, instances), placement, p.opts)
-		if err != nil {
-			return Characterization{}, err
-		}
-		ch.Sen[r.Dim] = Degradation(solo.AppIPC, res.AppIPC)
-		ch.Con[r.Dim] = Degradation(rulerIPC, res.PartnerIPC)
+		ch.Sen[p.set[i].Dim] = sen
+		ch.Con[p.set[i].Dim] = con
+		return nil
+	})
+	if err != nil {
+		return Characterization{}, err
 	}
 	return ch, nil
 }
 
+// rulerCell measures one (job, Ruler) characterization cell: the job's
+// sensitivity and the Ruler's received contentiousness on the Ruler's
+// dimension. Cells are independent simulations — the unit of work the
+// scheduler fans out.
+func (p *Profiler) rulerCell(ctx context.Context, job Job, r *rulers.Ruler, instances int, placement Placement, soloIPC float64) (sen, con float64, err error) {
+	rulerIPC, err := p.rulerSoloIPC(ctx, r)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := ColocateContext(ctx, p.cfg, job, Rulers(r, instances), placement, p.opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	return Degradation(soloIPC, res.AppIPC), Degradation(rulerIPC, res.PartnerIPC), nil
+}
+
 // CharacterizeAll characterises a batch of applications concurrently.
 func (p *Profiler) CharacterizeAll(specs []*workload.Spec, placement Placement) ([]Characterization, error) {
-	out := make([]Characterization, len(specs))
-	errs := make([]error, len(specs))
-	sem := make(chan struct{}, p.opts.workers())
-	var wg sync.WaitGroup
+	return p.CharacterizeAllContext(context.Background(), specs, placement)
+}
+
+// CharacterizeAllContext is CharacterizeAll with cooperative cancellation.
+// Instead of nesting one worker pool per application, the batch is
+// flattened into its individual simulation cells — every solo run and
+// every (application, Ruler) co-location — and those cells are fanned
+// across one Options.Parallelism-bounded pool, so the batch scales
+// near-linearly with workers even when it holds fewer applications than
+// CPUs. Each cell writes only its own index-addressed slot; the result is
+// bit-identical to the sequential sweep at any Parallelism (pinned by the
+// internal/simtest parallelism-independence law).
+func (p *Profiler) CharacterizeAllContext(ctx context.Context, specs []*workload.Spec, placement Placement) ([]Characterization, error) {
+	jobs := make([]Job, len(specs))
 	for i, s := range specs {
-		wg.Add(1)
-		go func(i int, s *workload.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = p.Characterize(s, placement)
-		}(i, s)
+		jobs[i] = p.jobFor(s, placement)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	return p.characterizeJobs(ctx, jobs, placement)
+}
+
+// CharacterizeJobsContext characterizes explicit Job arrangements with the
+// same flat-cell scheduling as CharacterizeAllContext, for callers (such as
+// the experiment Lab) that size thread counts themselves.
+func (p *Profiler) CharacterizeJobsContext(ctx context.Context, jobs []Job, placement Placement) ([]Characterization, error) {
+	return p.characterizeJobs(ctx, jobs, placement)
+}
+
+// characterizeJobs is the flat-cell scheduler behind CharacterizeAllContext.
+func (p *Profiler) characterizeJobs(ctx context.Context, jobs []Job, placement Placement) ([]Characterization, error) {
+	for _, job := range jobs {
+		if placement == CMP && job.Instances() > p.cfg.Cores/2 {
+			return nil, fmt.Errorf("profile: job %s with %d instances cannot be CMP-characterized on %d cores", job.Name(), job.Instances(), p.cfg.Cores)
 		}
+	}
+	workers := p.opts.workers()
+	nr := len(p.set)
+	solos := len(jobs) + nr
+	total := solos + len(jobs)*nr
+	var done atomic.Int64
+	tick := func() { p.opts.progress(int(done.Add(1)), total) }
+
+	// Phase 1: every solo run — each application arrangement plus the
+	// Ruler baselines of Equation 2 — warms the profiler memos in
+	// parallel, so phase 2's cells never duplicate a solo simulation.
+	out := make([]Characterization, len(jobs))
+	err := sched.Map(ctx, solos, workers, func(ctx context.Context, i int) error {
+		if i < len(jobs) {
+			solo, err := p.SoloRunContext(ctx, jobs[i])
+			if err != nil {
+				return err
+			}
+			out[i] = Characterization{
+				App:       jobs[i].Name(),
+				Placement: placement,
+				SoloIPC:   solo.AppIPC,
+				SoloPMU:   solo.AppCounters[0],
+			}
+			tick()
+			return nil
+		}
+		if _, err := p.rulerSoloIPC(ctx, p.set[i-len(jobs)]); err != nil {
+			return err
+		}
+		tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the (application, Ruler) co-location cells, flattened into
+	// one index space. Cell (ji, ri) writes only out[ji].Sen/Con[dim] —
+	// disjoint memory — keeping the reduction order-free.
+	err = sched.Map(ctx, len(jobs)*nr, workers, func(ctx context.Context, i int) error {
+		ji, ri := i/nr, i%nr
+		sen, con, err := p.rulerCell(ctx, jobs[ji], p.set[ri], jobs[ji].Instances(), placement, out[ji].SoloIPC)
+		if err != nil {
+			return err
+		}
+		out[ji].Sen[p.set[ri].Dim] = sen
+		out[ji].Con[p.set[ri].Dim] = con
+		tick()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -581,20 +732,30 @@ type PairMeasurement struct {
 // MeasurePair measures the mutual degradation of two applications under
 // the given placement.
 func (p *Profiler) MeasurePair(a, b *workload.Spec, placement Placement) (PairMeasurement, error) {
-	return p.MeasureJobs(App(a), App(b), placement)
+	return p.MeasurePairContext(context.Background(), a, b, placement)
+}
+
+// MeasurePairContext is MeasurePair with cooperative cancellation.
+func (p *Profiler) MeasurePairContext(ctx context.Context, a, b *workload.Spec, placement Placement) (PairMeasurement, error) {
+	return p.MeasureJobsContext(ctx, App(a), App(b), placement)
 }
 
 // MeasureJobs measures the mutual degradation of two explicit jobs.
 func (p *Profiler) MeasureJobs(a, b Job, placement Placement) (PairMeasurement, error) {
-	soloA, err := p.SoloRun(a)
+	return p.MeasureJobsContext(context.Background(), a, b, placement)
+}
+
+// MeasureJobsContext is MeasureJobs with cooperative cancellation.
+func (p *Profiler) MeasureJobsContext(ctx context.Context, a, b Job, placement Placement) (PairMeasurement, error) {
+	soloA, err := p.SoloRunContext(ctx, a)
 	if err != nil {
 		return PairMeasurement{}, err
 	}
-	soloB, err := p.SoloRun(b)
+	soloB, err := p.SoloRunContext(ctx, b)
 	if err != nil {
 		return PairMeasurement{}, err
 	}
-	res, err := Colocate(p.cfg, a, b, placement, p.opts)
+	res, err := ColocateContext(ctx, p.cfg, a, b, placement, p.opts)
 	if err != nil {
 		return PairMeasurement{}, err
 	}
@@ -609,6 +770,15 @@ func (p *Profiler) MeasureJobs(a, b Job, placement Placement) (PairMeasurement, 
 // concurrently. Each unordered pair is co-located once — a single run
 // yields both sides' degradations — and same-name pairs are skipped.
 func (p *Profiler) MeasurePairs(as, bs []*workload.Spec, placement Placement) ([]PairMeasurement, error) {
+	return p.MeasurePairsContext(context.Background(), as, bs, placement)
+}
+
+// MeasurePairsContext is MeasurePairs with cooperative cancellation. The
+// per-pair measurements run on the internal/sched worker pool; each writes
+// its own index-addressed slot, so results are bit-identical to the
+// sequential sweep at any Parallelism. Options.Progress, when set, is
+// fired once per completed pair.
+func (p *Profiler) MeasurePairsContext(ctx context.Context, as, bs []*workload.Spec, placement Placement) ([]PairMeasurement, error) {
 	type task struct{ a, b *workload.Spec }
 	var tasks []task
 	seen := make(map[string]bool)
@@ -629,24 +799,18 @@ func (p *Profiler) MeasurePairs(as, bs []*workload.Spec, placement Placement) ([
 		}
 	}
 	out := make([]PairMeasurement, len(tasks))
-	errs := make([]error, len(tasks))
-	sem := make(chan struct{}, p.opts.workers())
-	var wg sync.WaitGroup
-	for i, t := range tasks {
-		wg.Add(1)
-		go func(i int, t task) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			pm, err := p.MeasurePair(t.a, t.b, placement)
-			out[i], errs[i] = pm, err
-		}(i, t)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	var done atomic.Int64
+	err := sched.Map(ctx, len(tasks), p.opts.workers(), func(ctx context.Context, i int) error {
+		pm, err := p.MeasurePairContext(ctx, tasks[i].a, tasks[i].b, placement)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		out[i] = pm
+		p.opts.progress(int(done.Add(1)), len(tasks))
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -13,7 +13,11 @@
 // cmd/smited is the standalone daemon built on this package.
 package qosd
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/smite"
+)
 
 // API error codes. Every non-2xx response carries an envelope
 // {"error": {"code": ..., "message": ...}} with one of these codes.
@@ -38,6 +42,13 @@ const (
 	// CodeNotFound / CodeMethodNotAllowed: routing misses (HTTP 404/405).
 	CodeNotFound         = "not_found"
 	CodeMethodNotAllowed = "method_not_allowed"
+	// CodeDeadlineExceeded: the request's deadline fired (or the client
+	// disconnected) while simulation or prediction work was in flight; the
+	// work was cancelled, not left running (HTTP 504).
+	CodeDeadlineExceeded = "deadline_exceeded"
+	// CodeSimulationDisabled: the endpoint needs an in-process simulation
+	// System and the daemon was started without one (HTTP 501).
+	CodeSimulationDisabled = "simulation_disabled"
 )
 
 // APIError is the typed error the server returns and the client decodes.
@@ -155,6 +166,34 @@ type BatchResult struct {
 type BatchResponse struct {
 	Victim  string        `json:"victim"`
 	Results []BatchResult `json:"results"`
+}
+
+// CharacterizeRequest asks the daemon to characterize a workload by
+// simulating the full Ruler sweep in-process (POST /v1/characterize).
+// The daemon must have been started with a simulation System; the sweep
+// runs under the request's context, so the per-request timeout (or a
+// client disconnect) cancels the in-flight simulation.
+type CharacterizeRequest struct {
+	// App names a workload from the built-in registry
+	// (smite.WorkloadByName).
+	App string `json:"app"`
+	// Placement is "smt" (default) or "cmp".
+	Placement string `json:"placement,omitempty"`
+	// Register adds the resulting profile to the registry so subsequent
+	// predictions can use it immediately.
+	Register bool `json:"register,omitempty"`
+}
+
+// CharacterizeResponse carries the measured profile.
+type CharacterizeResponse struct {
+	App       string `json:"app"`
+	Placement string `json:"placement"`
+	// Profile is the decoupled Sen/Con characterization.
+	Profile smite.Characterization `json:"profile"`
+	// Registered reports whether the profile was added to the registry;
+	// Total is the registry size afterwards (only set when Registered).
+	Registered bool `json:"registered,omitempty"`
+	Total      int  `json:"total,omitempty"`
 }
 
 // ProfilesResponse acknowledges a profile upload.

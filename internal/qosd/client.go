@@ -64,6 +64,15 @@ func (c *Client) Batch(ctx context.Context, req BatchRequest) (BatchResponse, er
 	return out, err
 }
 
+// Characterize asks the daemon to simulate a workload's Ruler sweep
+// in-process. Requires a daemon started with a simulation System; the
+// sweep is cancelled if ctx (or the daemon's per-request timeout) fires.
+func (c *Client) Characterize(ctx context.Context, req CharacterizeRequest) (CharacterizeResponse, error) {
+	var out CharacterizeResponse
+	err := c.call(ctx, http.MethodPost, "/v1/characterize", req, &out)
+	return out, err
+}
+
 // UploadProfiles registers characterizations with the daemon by encoding
 // them in the persisted-profile format (the same bytes `smited -profiles`
 // reads from disk), exercising the full persist round-trip.

@@ -3,6 +3,7 @@ package qosd
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"math"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/service"
 	"repro/internal/simcache"
 	"repro/internal/stats"
+	"repro/smite"
 )
 
 // maxBodyBytes bounds request bodies; profile uploads are the largest
@@ -40,6 +42,11 @@ type Config struct {
 	Logger *slog.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// System, when set, enables POST /v1/characterize: the daemon
+	// simulates the Ruler sweep in-process under the request's context,
+	// so the per-request timeout genuinely cancels in-flight simulation.
+	// Nil disables the endpoint (501).
+	System *smite.System
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +90,7 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/colocate", s.method(http.MethodPost, s.handleColocate))
 	s.mux.HandleFunc("/v1/batch", s.method(http.MethodPost, s.handleBatch))
 	s.mux.HandleFunc("/v1/profiles", s.method(http.MethodPost, s.handleProfiles))
+	s.mux.HandleFunc("/v1/characterize", s.method(http.MethodPost, s.handleCharacterize))
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -178,7 +186,7 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 // pprof and everything else in catch-all buckets.
 func routeLabel(r *http.Request) string {
 	switch r.URL.Path {
-	case "/healthz", "/metrics", "/v1/predict", "/v1/colocate", "/v1/batch", "/v1/profiles":
+	case "/healthz", "/metrics", "/v1/predict", "/v1/colocate", "/v1/batch", "/v1/profiles", "/v1/characterize":
 		return r.Method + " " + r.URL.Path
 	}
 	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
@@ -310,7 +318,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
-	deg, apiErr := s.predict(req.Victim, req.Aggressor, req.Instances, req.Threads)
+	deg, apiErr := s.predict(r.Context(), req.Victim, req.Aggressor, req.Instances, req.Threads)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
@@ -348,7 +356,7 @@ func (s *Server) handleColocate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	deg, apiErr := s.predict(req.Victim, req.Aggressor, req.Instances, req.Threads)
+	deg, apiErr := s.predict(r.Context(), req.Victim, req.Aggressor, req.Instances, req.Threads)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
@@ -387,7 +395,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{Victim: req.Victim, Results: make([]BatchResult, 0, len(req.Candidates))}
 	for i, c := range req.Candidates {
-		deg, apiErr := s.predict(req.Victim, c.Aggressor, c.Instances, req.Threads)
+		deg, apiErr := s.predict(r.Context(), req.Victim, c.Aggressor, c.Instances, req.Threads)
 		if apiErr != nil {
 			apiErr.Message = fmt.Sprintf("candidate %d: %s", i, apiErr.Message)
 			writeError(w, apiErr)
@@ -413,10 +421,58 @@ func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ProfilesResponse{Added: added, Total: s.reg.Len()})
 }
 
+func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
+	var req CharacterizeRequest
+	if apiErr := decodeJSON(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if s.cfg.System == nil {
+		writeError(w, &APIError{Status: http.StatusNotImplemented, Code: CodeSimulationDisabled,
+			Message: "daemon started without a simulation system (run smited with -simulate)"})
+		return
+	}
+	var placement smite.Placement
+	switch strings.ToLower(req.Placement) {
+	case "", "smt":
+		placement = smite.SMT
+	case "cmp":
+		placement = smite.CMP
+	default:
+		writeError(w, invalidArgument("placement %q is not smt or cmp", req.Placement))
+		return
+	}
+	spec, err := smite.WorkloadByName(req.App)
+	if err != nil {
+		writeError(w, &APIError{Status: http.StatusNotFound, Code: CodeUnknownProfile,
+			Message: err.Error()})
+		return
+	}
+	char, err := s.cfg.System.CharacterizeContext(r.Context(), spec, placement)
+	if err != nil {
+		if apiErr := ctxError(err); apiErr != nil {
+			writeError(w, apiErr)
+			return
+		}
+		writeError(w, &APIError{Status: http.StatusInternalServerError, Code: "internal",
+			Message: err.Error()})
+		return
+	}
+	resp := CharacterizeResponse{App: req.App, Placement: placement.String(), Profile: char}
+	if req.Register {
+		s.reg.AddProfiles([]smite.Characterization{char})
+		resp.Registered = true
+		resp.Total = s.reg.Len()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // predict is the shared prediction core: resolve profiles and model under
 // one registry snapshot, validate the partial-occupancy arguments, and
-// memoize by (generation, pair, occupancy).
-func (s *Server) predict(victim, aggressor string, instances, threads int) (float64, *APIError) {
+// memoize by (generation, pair, occupancy). The context bounds the memo
+// wait: a request whose deadline fires while another request computes the
+// same key stops waiting instead of burning its remaining budget.
+func (s *Server) predict(ctx context.Context, victim, aggressor string, instances, threads int) (float64, *APIError) {
 	if victim == "" {
 		return 0, invalidArgument("victim must be set")
 	}
@@ -437,11 +493,14 @@ func (s *Server) predict(victim, aggressor string, instances, threads int) (floa
 		return 0, apiErr
 	}
 	key := simcache.KeyOf("qosd/predict/v1", gen, victim, aggressor, instances, threads)
-	deg, _, err := s.memo.Do(key, func() (float64, error) {
+	deg, _, err := s.memo.DoContext(ctx, key, func(context.Context) (float64, error) {
 		// threads == 0 degenerates to the plain Equation 3 pair prediction.
 		return m.PredictPartial(v, a, instances, threads), nil
 	})
 	if err != nil {
+		if apiErr := ctxError(err); apiErr != nil {
+			return 0, apiErr
+		}
 		// The compute function cannot fail; kept for the Do contract.
 		return 0, &APIError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
 	}
@@ -449,6 +508,17 @@ func (s *Server) predict(victim, aggressor string, instances, threads int) (floa
 }
 
 // ---- helpers ----
+
+// ctxError maps a context cancellation onto the 504 envelope, or nil if
+// the error is not a cancellation. Both deadline expiry and client
+// disconnects land here; either way the simulation work was stopped.
+func ctxError(err error) *APIError {
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+		return nil
+	}
+	return &APIError{Status: http.StatusGatewayTimeout, Code: CodeDeadlineExceeded,
+		Message: fmt.Sprintf("request cancelled while computing: %v", err)}
+}
 
 func invalidArgument(format string, args ...any) *APIError {
 	return &APIError{Status: http.StatusBadRequest, Code: CodeInvalidArgument,

@@ -1,0 +1,102 @@
+// Package sched is the deterministic parallel scheduler underneath the
+// v2 characterization API: it fans independent simulation cells — one
+// (application, Ruler) co-location, one pair measurement — out across a
+// bounded worker pool while guaranteeing that results are bit-identical
+// to a sequential run.
+//
+// Determinism comes from two rules:
+//
+//   - Workers communicate only through index-addressed slots. A task may
+//     write out[i] and nothing else, so completion order cannot influence
+//     the reduction; internal/simtest pins this with a metamorphic law
+//     (result independence from Parallelism).
+//   - Error selection is by index, not by time: when several tasks fail,
+//     Map reports the lowest-index error, exactly what a sequential loop
+//     breaking at the first failure would surface.
+//
+// Cancellation is cooperative at two granularities: Map stops dispatching
+// new tasks once ctx is done, and tasks receive ctx so long-running
+// simulation (engine.RunContext) can abort mid-window instead of burning
+// the worker budget.
+package sched
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism setting: values above zero are taken as
+// is, anything else means one worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
+// (Workers-resolved, clamped to n) and returns after all started tasks
+// finish. Tasks must confine their writes to index-addressed slots of
+// caller-owned storage; under that contract the result of Map is
+// identical for every workers value, including 1.
+//
+// Error semantics are deterministic: if any task returned an error, Map
+// returns the one with the lowest index — regardless of which failure
+// happened first in wall-clock time. Once ctx is cancelled no new tasks
+// start; if cancellation caused tasks to be skipped and no task error
+// outranks it, Map returns ctx.Err(). A fully-completed run returns nil
+// even if ctx was cancelled after the last dispatch.
+func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential fast path: no goroutines, first error wins naturally.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var skipped atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n {
+					return
+				}
+				if ctx.Err() != nil {
+					skipped.Store(true)
+					return
+				}
+				errs[i] = fn(ctx, i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if skipped.Load() {
+		return ctx.Err()
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The core determinism contract: index-addressed output is identical for
+// every worker count, including the sequential fast path.
+func TestMapDeterministicAcrossWorkers(t *testing.T) {
+	const n = 100
+	run := func(workers int) []int {
+		out := make([]int, n)
+		if err := Map(context.Background(), n, workers, func(_ context.Context, i int) error {
+			out[i] = i*i + 7
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 8, n, n * 2} {
+		if got := run(w); !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d produced different output", w)
+		}
+	}
+}
+
+// Error selection is by index: the lowest-index failure wins even when a
+// higher-index task fails first in wall-clock time.
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 20; trial++ {
+		err := Map(context.Background(), 8, 8, func(_ context.Context, i int) error {
+			switch i {
+			case 2:
+				time.Sleep(2 * time.Millisecond) // fail late
+				return errLow
+			case 7:
+				return errHigh // fail immediately
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: got %v, want %v", trial, err, errLow)
+		}
+	}
+}
+
+// A sequential run (workers=1) stops at the first error like a plain loop.
+func TestMapSequentialStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	err := Map(context.Background(), 10, 1, func(_ context.Context, i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("ran %d tasks after error at index 3, want 4", got)
+	}
+}
+
+// Cancellation stops dispatch and surfaces ctx.Err when work was skipped.
+func TestMapCancellationSkipsRemaining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran atomic.Int64
+	started := make(chan struct{})
+	var once atomic.Bool
+	go func() {
+		<-started
+		cancel()
+	}()
+	err := Map(ctx, 1000, 2, func(ctx context.Context, i int) error {
+		ran.Add(1)
+		if once.CompareAndSwap(false, true) {
+			close(started)
+		}
+		<-ctx.Done() // hold the workers until cancelled
+		return ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if got := ran.Load(); got >= 1000 {
+		t.Fatalf("cancellation did not skip work (%d tasks ran)", got)
+	}
+}
+
+// A run whose tasks all complete returns nil even if ctx is cancelled
+// immediately afterwards, so callers never discard complete results.
+func TestMapCompletedRunIgnoresLateCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := Map(ctx, 50, 4, func(context.Context, int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	cancel()
+}
+
+// Zero and negative n are no-ops; workers<=0 resolves to GOMAXPROCS.
+func TestMapEdgeCases(t *testing.T) {
+	called := false
+	if err := Map(context.Background(), 0, 4, func(context.Context, int) error {
+		called = true
+		return nil
+	}); err != nil || called {
+		t.Fatalf("n=0: err=%v called=%v", err, called)
+	}
+	out := make([]int, 5)
+	if err := Map(context.Background(), 5, 0, func(_ context.Context, i int) error {
+		out[i] = 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != 1 {
+			t.Fatalf("task %d never ran", i)
+		}
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("Workers must resolve non-positive parallelism to >= 1")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("Workers must pass explicit parallelism through")
+	}
+}
+
+// Pre-cancelled contexts do no work at any worker count.
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		var ran atomic.Int64
+		err := Map(ctx, 10, w, func(context.Context, int) error {
+			ran.Add(1)
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", w, err)
+		}
+		if ran.Load() != 0 {
+			t.Fatalf("workers=%d: %d tasks ran under a dead context", w, ran.Load())
+		}
+	}
+}
+
+func ExampleMap() {
+	squares := make([]int, 4)
+	_ = Map(context.Background(), len(squares), 2, func(_ context.Context, i int) error {
+		squares[i] = i * i
+		return nil
+	})
+	fmt.Println(squares)
+	// Output: [0 1 4 9]
+}

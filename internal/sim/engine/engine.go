@@ -25,6 +25,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -680,6 +681,46 @@ func (c *Chip) Run(cycles uint64) {
 	if c.checker != nil {
 		c.runCheck()
 	}
+}
+
+// runContextSlice is the cancellation granularity of RunContext: the
+// context is polled once per this many simulated cycles. Small enough
+// that a request deadline aborts a measurement window in a few
+// milliseconds of wall-clock, large enough that the poll is invisible
+// next to the per-cycle work.
+const runContextSlice = 16 * 1024
+
+// RunContext is Run with cooperative cancellation: the window is executed
+// in runContextSlice-cycle slices with ctx polled between slices, so a
+// request deadline or client disconnect aborts an in-flight simulation
+// mid-window instead of after it. On cancellation the chip stops at a
+// slice boundary and ctx.Err() is returned; the chip remains valid but
+// its window is incomplete, so callers must discard the measurement.
+//
+// Chunking is invisible to results: cycle counts derive from the chip
+// clock (not per-call state), an idle-skip clamped at a slice boundary
+// resumes identically in the next slice, and a checker consulted at the
+// extra boundaries only validates — it mutates nothing. A completed
+// RunContext is therefore bit-identical to Run over the same window
+// (pinned by TestRunContextMatchesRun against the golden fixtures' path).
+func (c *Chip) RunContext(ctx context.Context, cycles uint64) error {
+	if ctx.Done() == nil {
+		// Background contexts cannot cancel; skip the slicing entirely.
+		c.Run(cycles)
+		return nil
+	}
+	for cycles > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		slice := uint64(runContextSlice)
+		if slice > cycles {
+			slice = cycles
+		}
+		c.Run(slice)
+		cycles -= slice
+	}
+	return ctx.Err()
 }
 
 // nextWakeup returns a conservative lower bound (> now) on the next cycle

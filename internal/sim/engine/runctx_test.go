@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// runCtxSpecs are a memory-bound / compute-bound pair so the equivalence
+// test covers both the idle-skip path (DRAM stalls) and the dense path.
+func runCtxChip(t testing.TB) *Chip {
+	t.Helper()
+	cfg := testConfig()
+	chip := MustNew(cfg)
+	mcf, err := workload.ByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	namd, err := workload.ByName("444.namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.Assign(0, 0, workload.NewGen(mcf, 11))
+	chip.Assign(0, 1, workload.NewGen(namd, 12))
+	chip.Prewarm(40_000)
+	return chip
+}
+
+// RunContext with a cancellable context must leave every counter of every
+// context bit-identical to a single Run over the same window — the
+// chunked loop is a pure control-flow change. The window deliberately
+// exceeds runContextSlice so several slices execute, and is not a slice
+// multiple so the final partial slice is covered too.
+func TestRunContextMatchesRun(t *testing.T) {
+	const warmup, measure = 10_000, 3*runContextSlice + 1234
+
+	plain := runCtxChip(t)
+	plain.Run(warmup)
+	plain.ResetCounters()
+	plain.Run(measure)
+
+	chunked := runCtxChip(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := chunked.RunContext(ctx, warmup); err != nil {
+		t.Fatal(err)
+	}
+	chunked.ResetCounters()
+	if err := chunked.RunContext(ctx, measure); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Cycle() != chunked.Cycle() {
+		t.Fatalf("chip clocks diverged: %d vs %d", plain.Cycle(), chunked.Cycle())
+	}
+	for ctxIdx := 0; ctxIdx < 2; ctxIdx++ {
+		a, b := plain.Counters(0, ctxIdx), chunked.Counters(0, ctxIdx)
+		if a != b {
+			t.Errorf("context %d counters diverged:\nrun:        %+v\nruncontext: %+v", ctxIdx, a, b)
+		}
+	}
+}
+
+// A background context takes the unsliced fast path and never errors.
+func TestRunContextBackgroundFastPath(t *testing.T) {
+	chip := runCtxChip(t)
+	if err := chip.RunContext(context.Background(), 5000); err != nil {
+		t.Fatalf("background RunContext: %v", err)
+	}
+	if c := chip.Counters(0, 0); c.Instructions == 0 {
+		t.Fatal("no forward progress")
+	}
+}
+
+// Cancellation aborts the window at a slice boundary: a deadline far
+// shorter than the window's wall-clock must surface context.DeadlineExceeded
+// well before the full window could have simulated.
+func TestRunContextCancelsMidWindow(t *testing.T) {
+	chip := runCtxChip(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	// A window this large takes on the order of seconds; the 1ms deadline
+	// must cut it off after a handful of slices.
+	err := chip.RunContext(ctx, 50_000_000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if chip.Cycle() >= 50_000_000 {
+		t.Fatal("window ran to completion despite cancellation")
+	}
+}
+
+// A pre-cancelled context simulates nothing.
+func TestRunContextPreCancelled(t *testing.T) {
+	chip := runCtxChip(t)
+	before := chip.Cycle()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := chip.RunContext(ctx, 10_000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if chip.Cycle() != before {
+		t.Fatal("pre-cancelled RunContext advanced the chip clock")
+	}
+}

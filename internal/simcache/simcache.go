@@ -13,6 +13,7 @@
 package simcache
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"sync"
@@ -77,11 +78,35 @@ func New[V any]() *Cache[V] {
 // the error (or panic) propagates to compute's caller. The returned bool
 // reports whether the value came from the cache or another flight.
 func (c *Cache[V]) Do(k Key, compute func() (V, error)) (V, bool, error) {
+	return c.DoContext(context.Background(), k, func(context.Context) (V, error) { return compute() })
+}
+
+// DoContext is Do with request-context propagation, the single-flight
+// form the qosd daemon and the context-aware profiling layer use. Two
+// properties matter for serving:
+//
+//   - A cancelled *leader* does not poison followers: compute receives the
+//     leader's ctx, and when it fails (including with ctx.Err()) nothing is
+//     cached and the entry is removed, so a waiter whose own context is
+//     still live retries and becomes the new leader instead of inheriting
+//     the dead request's failure.
+//   - A cancelled *waiter* stops waiting: blocked followers select on
+//     their own ctx as well as the flight, so a client disconnect releases
+//     the handler even while another request's computation is in flight.
+func (c *Cache[V]) DoContext(ctx context.Context, k Key, compute func(ctx context.Context) (V, error)) (V, bool, error) {
+	var zero V
 	for {
+		if err := ctx.Err(); err != nil {
+			return zero, false, err
+		}
 		c.mu.Lock()
 		if e, ok := c.entries[k]; ok {
 			c.mu.Unlock()
-			<-e.done
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return zero, false, ctx.Err()
+			}
 			if !e.ok {
 				continue // that flight failed; try to compute ourselves
 			}
@@ -93,9 +118,8 @@ func (c *Cache[V]) Do(k Key, compute func() (V, error)) (V, bool, error) {
 		c.mu.Unlock()
 		c.misses.Add(1)
 
-		v, err := c.fly(k, e, compute)
+		v, err := c.fly(k, e, func() (V, error) { return compute(ctx) })
 		if err != nil {
-			var zero V
 			return zero, false, err
 		}
 		return v, false, nil

@@ -1,6 +1,7 @@
 package simtest
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/profile"
@@ -237,4 +238,42 @@ func mustSpec(t *testing.T, name string) *workload.Spec {
 		t.Fatal(err)
 	}
 	return s
+}
+
+// TestParallelismIndependence is the scheduling-transparency law: the
+// worker count is an execution detail, so a characterization sweep must
+// produce bit-identical results at any Parallelism. Each seed gets a
+// fresh profiler (and thus a fresh simulation cache) per worker count, so
+// every cell genuinely re-simulates under the parallel schedule rather
+// than reading the sequential run's memo.
+func TestParallelismIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization sweep in short mode")
+	}
+	cfg := SmallIVB(2)
+	for seed := uint64(0); seed < numSeeds; seed++ {
+		r := xrand.New(seed + 0x7A)
+		specs := []*workload.Spec{
+			RandomSpec(r, "rand-par-a"),
+			RandomSpec(r, "rand-par-b"),
+		}
+		placement := RandomPlacement(r)
+
+		var baseline []profile.Characterization
+		for _, workers := range []int{1, 2, 8} {
+			opts := TinyOptions()
+			opts.BaseSeed = seed + 1
+			opts.Parallelism = workers
+			got, err := profile.NewProfiler(cfg, opts).CharacterizeAll(specs, placement)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if baseline == nil {
+				baseline = got
+			} else if !reflect.DeepEqual(baseline, got) {
+				t.Errorf("seed %d (%s): Parallelism=%d changed the characterization",
+					seed, placement, workers)
+			}
+		}
+	}
 }

@@ -1,0 +1,198 @@
+package smite
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update", false, "rewrite the public-API golden snapshot")
+
+const apiGoldenPath = "testdata/api.golden"
+
+// TestPublicAPISnapshot pins the package's exported surface: every
+// exported function, method, type, constant and variable signature is
+// rendered to one line and compared against a committed golden file.
+// An unintentional break (removed symbol, changed signature) fails here
+// before any caller notices; an intentional change is recorded by
+// rerunning with -update and reviewing the diff.
+func TestPublicAPISnapshot(t *testing.T) {
+	got := strings.Join(exportedSurface(t, "."), "\n") + "\n"
+
+	if *updateAPI {
+		if err := os.MkdirAll(filepath.Dir(apiGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d symbols)", apiGoldenPath, strings.Count(got, "\n"))
+		return
+	}
+
+	want, err := os.ReadFile(apiGoldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface changed; review the diff and rerun with -update if intended:\n%s",
+			diffLines(string(want), got))
+	}
+}
+
+// exportedSurface parses the package sources (tests excluded) and renders
+// each exported declaration as one canonical line, sorted.
+func exportedSurface(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, renderDecl(t, fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func renderDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) []string {
+	t.Helper()
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil && !exportedRecv(d.Recv) {
+			return nil
+		}
+		stripped := *d
+		stripped.Body = nil
+		stripped.Doc = nil
+		return []string{printNode(t, fset, &stripped)}
+	case *ast.GenDecl:
+		var lines []string
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if !sp.Name.IsExported() {
+					continue
+				}
+				lines = append(lines, "type "+sp.Name.Name+typeSummary(t, fset, sp))
+			case *ast.ValueSpec:
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				for _, name := range sp.Names {
+					if name.IsExported() {
+						lines = append(lines, kind+" "+name.Name)
+					}
+				}
+			}
+		}
+		return lines
+	}
+	return nil
+}
+
+// exportedRecv reports whether a method receiver's base type is exported.
+func exportedRecv(recv *ast.FieldList) bool {
+	typ := recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	if id, ok := typ.(*ast.Ident); ok {
+		return id.IsExported()
+	}
+	return true
+}
+
+// typeSummary renders a type's shape: exported struct fields and
+// interface methods are part of the API; other type kinds just record
+// the underlying expression (aliases included).
+func typeSummary(t *testing.T, fset *token.FileSet, sp *ast.TypeSpec) string {
+	switch typ := sp.Type.(type) {
+	case *ast.StructType:
+		var fields []string
+		for _, f := range typ.Fields.List {
+			for _, name := range f.Names {
+				if name.IsExported() {
+					fields = append(fields, name.Name+" "+printNode(t, fset, f.Type))
+				}
+			}
+		}
+		sort.Strings(fields)
+		return " struct{" + strings.Join(fields, "; ") + "}"
+	case *ast.InterfaceType:
+		var methods []string
+		for _, m := range typ.Methods.List {
+			for _, name := range m.Names {
+				if name.IsExported() {
+					methods = append(methods, name.Name+printNode(t, fset, m.Type))
+				}
+			}
+		}
+		sort.Strings(methods)
+		return " interface{" + strings.Join(methods, "; ") + "}"
+	default:
+		eq := " = "
+		if sp.Assign == token.NoPos {
+			eq = " "
+		}
+		return eq + printNode(t, fset, sp.Type)
+	}
+}
+
+func printNode(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, node); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// diffLines is a minimal line diff: lines only in want are prefixed "-",
+// lines only in got "+".
+func diffLines(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	if b.Len() == 0 {
+		return "(ordering-only change)"
+	}
+	return b.String()
+}

@@ -20,16 +20,30 @@
 //
 // A minimal session:
 //
-//	sys, _ := smite.NewSystem(smite.IvyBridge, smite.DefaultOptions())
+//	sys, _ := smite.New(smite.IvyBridge.Config())
 //	a, _ := smite.WorkloadByName("444.namd")
 //	b, _ := smite.WorkloadByName("429.mcf")
 //	chA, _ := sys.Characterize(a, smite.SMT)
 //	chB, _ := sys.Characterize(b, smite.SMT)
 //	m, _ := sys.TrainFromSets(trainApps, smite.SMT)
 //	deg := m.PredictPair(chA, chB) // namd's degradation next to mcf
+//
+// Every measurement method has a ...Context form taking a context.Context
+// that cancels in-flight simulation, and batch methods fan their
+// independent simulation cells across a worker pool sized by
+// WithParallelism — results are bit-identical at any worker count:
+//
+//	sys, _ := smite.New(smite.IvyBridge.Config(),
+//	    smite.WithOptions(smite.FastOptions()),
+//	    smite.WithParallelism(8),
+//	    smite.WithProgress(func(done, total int) { fmt.Printf("\r%d/%d", done, total) }))
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	chars, err := sys.CharacterizeAllContext(ctx, apps, smite.SMT)
 package smite
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/model"
@@ -112,7 +126,7 @@ const (
 )
 
 // Config returns the machine's full configuration for inspection or
-// customisation (pass a modified copy to NewSystemConfig).
+// customisation (pass a modified copy to New).
 func (m Machine) Config() MachineConfig {
 	if m == SandyBridgeEN {
 		return isa.SandyBridgeEN()
@@ -150,17 +164,73 @@ type System struct {
 	prof *profile.Profiler
 }
 
-// NewSystem builds a System for a stock machine.
-func NewSystem(m Machine, opts Options) (*System, error) {
-	return NewSystemConfig(m.Config(), opts)
+// Option configures a System at construction (see New).
+type Option func(*Options)
+
+// WithOptions replaces the System's measurement options wholesale. Apply
+// it before the targeted options (WithCheck, WithParallelism, ...), which
+// modify whatever base it established.
+func WithOptions(o Options) Option {
+	return func(dst *Options) { *dst = o }
 }
 
-// NewSystemConfig builds a System for a custom machine configuration.
-func NewSystemConfig(cfg MachineConfig, opts Options) (*System, error) {
+// WithCheck attaches the runtime invariant checker to every simulation the
+// System runs, validating the engine's conservation laws every interval
+// cycles (0 = engine default). Costs a few percent of simulation time.
+func WithCheck(interval uint64) Option {
+	return func(dst *Options) {
+		dst.Check = true
+		dst.CheckInterval = interval
+	}
+}
+
+// WithParallelism bounds the worker pool that batch operations
+// (CharacterizeAll, MeasurePairs, TrainFromSets) fan their independent
+// simulation cells across (0 = GOMAXPROCS). Results are bit-identical at
+// any value; this is purely a throughput/footprint knob.
+func WithParallelism(n int) Option {
+	return func(dst *Options) { dst.Parallelism = n }
+}
+
+// WithProgress installs a progress callback for batch operations: done
+// counts completed simulation cells of the current batch, total the
+// batch's cell count. It may be invoked concurrently from worker
+// goroutines.
+func WithProgress(fn func(done, total int)) Option {
+	return func(dst *Options) { dst.Progress = fn }
+}
+
+// New builds a System for a machine configuration (use Machine.Config for
+// the two stock Table I machines). With no options it measures with
+// DefaultOptions; functional options adjust from there:
+//
+//	sys, err := smite.New(smite.SandyBridgeEN.Config(),
+//	    smite.WithOptions(smite.FastOptions()),
+//	    smite.WithParallelism(8))
+func New(cfg MachineConfig, opts ...Option) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &System{prof: profile.NewProfiler(cfg, opts)}, nil
+	o := DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return &System{prof: profile.NewProfiler(cfg, o)}, nil
+}
+
+// NewSystem builds a System for a stock machine.
+//
+// Deprecated: use New with Machine.Config and WithOptions:
+// smite.New(m.Config(), smite.WithOptions(opts)).
+func NewSystem(m Machine, opts Options) (*System, error) {
+	return New(m.Config(), WithOptions(opts))
+}
+
+// NewSystemConfig builds a System for a custom machine configuration.
+//
+// Deprecated: use New: smite.New(cfg, smite.WithOptions(opts)).
+func NewSystemConfig(cfg MachineConfig, opts Options) (*System, error) {
+	return New(cfg, WithOptions(opts))
 }
 
 // Machine returns the system's configuration.
@@ -172,9 +242,23 @@ func (s *System) Characterize(spec *Spec, placement Placement) (Characterization
 	return s.prof.Characterize(spec, placement)
 }
 
+// CharacterizeContext is Characterize with cooperative cancellation: the
+// simulation aborts mid-window when ctx is cancelled.
+func (s *System) CharacterizeContext(ctx context.Context, spec *Spec, placement Placement) (Characterization, error) {
+	return s.prof.CharacterizeContext(ctx, spec, placement)
+}
+
 // CharacterizeAll characterizes a batch of applications concurrently.
 func (s *System) CharacterizeAll(specs []*Spec, placement Placement) ([]Characterization, error) {
 	return s.prof.CharacterizeAll(specs, placement)
+}
+
+// CharacterizeAllContext is CharacterizeAll with cooperative cancellation.
+// The batch's independent simulation cells fan across the WithParallelism
+// worker pool with index-addressed reduction, so results are bit-identical
+// to the sequential path at any worker count.
+func (s *System) CharacterizeAllContext(ctx context.Context, specs []*Spec, placement Placement) ([]Characterization, error) {
+	return s.prof.CharacterizeAllContext(ctx, specs, placement)
 }
 
 // MeasurePair measures the mutual degradation of two applications — the
@@ -183,14 +267,30 @@ func (s *System) MeasurePair(a, b *Spec, placement Placement) (PairMeasurement, 
 	return s.prof.MeasurePair(a, b, placement)
 }
 
+// MeasurePairContext is MeasurePair with cooperative cancellation.
+func (s *System) MeasurePairContext(ctx context.Context, a, b *Spec, placement Placement) (PairMeasurement, error) {
+	return s.prof.MeasurePairContext(ctx, a, b, placement)
+}
+
 // MeasurePairs measures all distinct pairs between two sets.
 func (s *System) MeasurePairs(as, bs []*Spec, placement Placement) ([]PairMeasurement, error) {
 	return s.prof.MeasurePairs(as, bs, placement)
 }
 
+// MeasurePairsContext is MeasurePairs with cooperative cancellation and
+// worker-pool fan-out (see CharacterizeAllContext).
+func (s *System) MeasurePairsContext(ctx context.Context, as, bs []*Spec, placement Placement) ([]PairMeasurement, error) {
+	return s.prof.MeasurePairsContext(ctx, as, bs, placement)
+}
+
 // SoloIPC returns an application's solo IPC (memoised).
 func (s *System) SoloIPC(spec *Spec) (float64, error) {
-	r, err := s.prof.SoloRun(profile.App(spec))
+	return s.SoloIPCContext(context.Background(), spec)
+}
+
+// SoloIPCContext is SoloIPC with cooperative cancellation.
+func (s *System) SoloIPCContext(ctx context.Context, spec *Spec) (float64, error) {
+	r, err := s.prof.SoloRunContext(ctx, profile.App(spec))
 	if err != nil {
 		return 0, err
 	}
@@ -264,11 +364,18 @@ func Train(chars []Characterization, pairs []PairMeasurement) (Model, error) {
 // TrainFromSets characterizes the given applications, measures all their
 // pairwise co-locations and trains a model — the one-call training path.
 func (s *System) TrainFromSets(apps []*Spec, placement Placement) (Model, []Characterization, error) {
-	chars, err := s.CharacterizeAll(apps, placement)
+	return s.TrainFromSetsContext(context.Background(), apps, placement)
+}
+
+// TrainFromSetsContext is TrainFromSets with cooperative cancellation and
+// worker-pool fan-out of both the characterization and pair-measurement
+// stages.
+func (s *System) TrainFromSetsContext(ctx context.Context, apps []*Spec, placement Placement) (Model, []Characterization, error) {
+	chars, err := s.CharacterizeAllContext(ctx, apps, placement)
 	if err != nil {
 		return Model{}, nil, err
 	}
-	pairs, err := s.MeasurePairs(apps, apps, placement)
+	pairs, err := s.MeasurePairsContext(ctx, apps, apps, placement)
 	if err != nil {
 		return Model{}, nil, err
 	}

@@ -1,0 +1,149 @@
+package smite
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// New with functional options must configure the profiler exactly like the
+// deprecated constructors plus manual field writes did.
+func TestNewFunctionalOptions(t *testing.T) {
+	var mu sync.Mutex
+	fired := 0
+	sys, err := New(IvyBridge.Config(),
+		WithOptions(FastOptions()),
+		WithCheck(2048),
+		WithParallelism(3),
+		WithProgress(func(done, total int) { mu.Lock(); fired++; mu.Unlock() }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Machine().Cores != IvyBridge.Config().Cores {
+		t.Fatalf("machine config not applied")
+	}
+	spec, err := WorkloadByName("444.namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.CharacterizeAll([]*Spec{spec}, SMT); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fired == 0 {
+		t.Fatal("WithProgress callback never fired during CharacterizeAll")
+	}
+}
+
+// WithOptions replaces the base wholesale, so option order matters: a
+// targeted option before WithOptions is overwritten.
+func TestWithOptionsOrder(t *testing.T) {
+	sys, err := New(IvyBridge.Config(), WithParallelism(7), WithOptions(FastOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sys // construction succeeding is the point; Parallelism is internal
+}
+
+// The deprecated constructors remain working shims over New.
+func TestDeprecatedConstructors(t *testing.T) {
+	a, err := NewSystem(IvyBridge, FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSystemConfig(IvyBridge.Config(), FastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(IvyBridge.Config(), WithOptions(FastOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := WorkloadByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ia, err := a.SoloIPC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ib, err := b.SoloIPC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ic, err := c.SoloIPC(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ia != ib || ib != ic {
+		t.Fatalf("constructors disagree on solo IPC: %v %v %v", ia, ib, ic)
+	}
+}
+
+// An invalid configuration is rejected by New.
+func TestNewRejectsInvalidConfig(t *testing.T) {
+	cfg := IvyBridge.Config()
+	cfg.Cores = 0
+	if _, err := New(cfg); err == nil {
+		t.Fatal("New accepted a zero-core machine")
+	}
+}
+
+// Parallel CharacterizeAll must be bit-identical to sequential through the
+// public API (the tentpole acceptance criterion).
+func TestSystemCharacterizeAllParallelismInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization in short mode")
+	}
+	var specs []*Spec
+	for _, n := range []string{"444.namd", "429.mcf"} {
+		s, err := WorkloadByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	var baseline []Characterization
+	for _, workers := range []int{1, 8} {
+		sys, err := New(IvyBridge.Config(), WithOptions(FastOptions()), WithParallelism(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sys.CharacterizeAll(specs, SMT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if baseline == nil {
+			baseline = got
+		} else if !reflect.DeepEqual(baseline, got) {
+			t.Fatalf("Parallelism=%d changed CharacterizeAll results", workers)
+		}
+	}
+}
+
+// Context cancellation propagates through the public API.
+func TestSystemContextCancellation(t *testing.T) {
+	sys, err := New(IvyBridge.Config(), WithOptions(FastOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := WorkloadByName("470.lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.CharacterizeContext(ctx, spec, SMT); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CharacterizeContext: got %v, want context.Canceled", err)
+	}
+	if _, err := sys.SoloIPCContext(ctx, spec); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SoloIPCContext: got %v, want context.Canceled", err)
+	}
+	if _, _, err := sys.TrainFromSetsContext(ctx, []*Spec{spec}, SMT); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TrainFromSetsContext: got %v, want context.Canceled", err)
+	}
+}
