@@ -13,7 +13,11 @@ package repro
 
 import (
 	"context"
+	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/cluster"
@@ -429,6 +433,43 @@ func BenchmarkCheckerOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverheadDisabled measures the engine hot loop through
+// RunContext with observability disabled: background context, no sampler,
+// no tracer. That is the exact path every simulation takes when the obs
+// subsystem is off, so its ns/op must stay within noise of
+// EngineHotLoop/mem-bound-smt (the same workload through plain Run) — the
+// hooks are a nil comparison, not a cost. The CI bench job gates this
+// number against BENCH_baseline.json.
+func BenchmarkTraceOverheadDisabled(b *testing.B) {
+	cfg := isa.IvyBridge()
+	cfg.Cores = 1
+	chip := engine.MustNew(cfg)
+	spec, err := workload.ByName("429.mcf")
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip.Assign(0, 0, workload.NewGen(spec, 1))
+	partner, err := workload.ByName("470.lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	chip.Assign(0, 1, workload.NewGen(partner, 2))
+	chip.Prewarm(60_000)
+	chip.Run(10_000)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := chip.RunContext(ctx, 5000); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if c := chip.Counters(0, 0); c.Instructions == 0 {
+		b.Fatal("no forward progress")
+	}
+}
+
 // BenchmarkQosdPredict measures the smited serving hot path as a
 // scheduler client sees it: HTTP round-trip, JSON codec, registry
 // snapshot and the memoized Equation 3 evaluation. One op is a burst of
@@ -461,6 +502,57 @@ func BenchmarkQosdPredict(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < burst; j++ {
 			if _, err := c.Predict(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkQosdPredictTraced is BenchmarkQosdPredict with per-request span
+// tracing on (?trace=1 against an EnableTrace server): every request
+// allocates a tracer, records the route, predict and memo spans, and
+// renders the Chrome trace for /debug/trace/last. The delta against
+// QosdPredict is the full per-request cost of tracing; the CI bench job
+// gates it against BENCH_baseline.json so the traced path cannot silently
+// balloon.
+func BenchmarkQosdPredictTraced(b *testing.B) {
+	const burst = 256
+	victim := smite.Characterization{App: "web-search", SoloIPC: 1.2}
+	aggr := smite.Characterization{App: "429.mcf", SoloIPC: 0.5}
+	var coef [smite.NumDimensions]float64
+	for d := range victim.Sen {
+		victim.Sen[d] = 0.05 * float64(d+1)
+		aggr.Con[d] = 0.1 * float64(d+1)
+		coef[d] = 0.2
+	}
+	reg := qosd.NewRegistry()
+	reg.AddProfiles([]smite.Characterization{victim, aggr})
+	reg.SetModel(smite.NewModel(coef, 0.01))
+	ts := httptest.NewServer(qosd.NewServer(reg, qosd.Config{EnableTrace: true}).Handler())
+	defer ts.Close()
+	// Raw POSTs: the typed client has no query-parameter surface.
+	url := ts.URL + "/v1/predict?trace=1"
+	const body = `{"victim":"web-search","aggressor":"429.mcf"}`
+	post := func() error {
+		resp, err := ts.Client().Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("predict = %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := post(); err != nil {
+		b.Fatal(err) // warm the connection and the prediction memo
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			if err := post(); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -27,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/qosd"
 	"repro/internal/tco"
+	"repro/internal/version"
 	"repro/smite"
 )
 
@@ -52,8 +53,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	targetsFlag := fs.String("targets", "0.95,0.90,0.85", "comma-separated QoS targets to detail (subset of 0.95,0.90,0.85)")
 	serversFlag := fs.Int("servers", 0, "servers per latency application (0 = scale default)")
 	serverFlag := fs.Bool("server", false, "route SMiTe predictions through an embedded smited daemon over HTTP instead of in-process")
+	versionFlag := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *versionFlag {
+		version.Fprint(w, "clustersim")
+		return nil
 	}
 
 	var scale experiments.Scale

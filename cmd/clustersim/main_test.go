@@ -81,3 +81,13 @@ func TestScaleOutSmoke(t *testing.T) {
 		}
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &buf); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), "clustersim ") || !strings.Contains(buf.String(), "go1") {
+		t.Errorf("version output = %q", buf.String())
+	}
+}

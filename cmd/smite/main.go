@@ -7,17 +7,28 @@
 //	smite list
 //	smite characterize -app 444.namd [-machine ivb|snb] [-placement smt|cmp] [-fast]
 //	smite predict -victim web-search -aggressor 470.lbm [-fast]
-//	smite measure -victim 444.namd -aggressor 429.mcf [-fast]
+//	smite measure -victim 444.namd -aggressor 429.mcf [-fast] [-timeline-out t.json]
+//	smite version
+//
+// Every simulation subcommand accepts -trace-out to dump a Chrome trace of
+// the run's internal stages; measure additionally accepts -timeline-out for
+// a cycle-sampled contention timeline of the co-located pair. Both files
+// load in chrome://tracing or Perfetto.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"syscall"
 
+	"repro/internal/obs/timeline"
+	"repro/internal/obs/trace"
+	"repro/internal/profile"
+	"repro/internal/version"
 	"repro/smite"
 )
 
@@ -40,6 +51,8 @@ func main() {
 		err = predict(ctx, os.Args[2:])
 	case "measure":
 		err = measure(ctx, os.Args[2:])
+	case "version", "-version", "--version":
+		printVersion(os.Stdout)
 	default:
 		usage()
 		os.Exit(2)
@@ -50,12 +63,18 @@ func main() {
 	}
 }
 
+func printVersion(w io.Writer) { version.Fprint(w, "smite") }
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   smite list
   smite characterize -app <name> [-machine ivb|snb] [-placement smt|cmp] [-fast]
   smite predict -victim <name> -aggressor <name> [-fast]
-  smite measure -victim <name> -aggressor <name> [-fast]`)
+  smite measure -victim <name> -aggressor <name> [-fast] [-timeline-out <file>]
+  smite version
+
+simulation subcommands also accept -trace-out <file> (Chrome trace of the
+run's stages; open in chrome://tracing)`)
 }
 
 func list() error {
@@ -70,14 +89,40 @@ func list() error {
 	return nil
 }
 
-func commonFlags(fs *flag.FlagSet) (machine *string, placement *string, fast *bool) {
+func commonFlags(fs *flag.FlagSet) (machine *string, placement *string, fast *bool, traceOut *string) {
 	machine = fs.String("machine", "ivb", "machine: ivb (i7-3770) or snb (Xeon E5-2420)")
 	placement = fs.String("placement", "smt", "placement: smt or cmp")
 	fast = fs.Bool("fast", false, "use reduced measurement windows")
+	traceOut = fs.String("trace-out", "", "write a Chrome trace of the run's stages to this file")
 	return
 }
 
-func newSystem(machine string, fast bool) (*smite.System, error) {
+// traceTo attaches a span tracer to ctx when path is set. The returned
+// finish renders the collected spans as Chrome-trace JSON to path; with no
+// path it is a no-op and the run is completely untraced.
+func traceTo(ctx context.Context, path string) (context.Context, func() error) {
+	if path == "" {
+		return ctx, func() error { return nil }
+	}
+	tr := trace.New()
+	return trace.NewContext(ctx, tr), func() error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteChrome(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote trace to %s\n", path)
+		return nil
+	}
+}
+
+func machineOptions(machine string, fast bool) (smite.Machine, smite.Options, error) {
 	opts := smite.DefaultOptions()
 	if fast {
 		opts = smite.FastOptions()
@@ -86,9 +131,17 @@ func newSystem(machine string, fast bool) (*smite.System, error) {
 	if machine == "snb" {
 		m = smite.SandyBridgeEN
 	} else if machine != "ivb" {
-		return nil, fmt.Errorf("unknown machine %q", machine)
+		return m, opts, fmt.Errorf("unknown machine %q", machine)
 	}
-	return smite.New(m.Config(), smite.WithOptions(opts))
+	return m, opts, nil
+}
+
+func newSystem(machine string, fast bool, extra ...smite.Option) (*smite.System, error) {
+	m, opts, err := machineOptions(machine, fast)
+	if err != nil {
+		return nil, err
+	}
+	return smite.New(m.Config(), append([]smite.Option{smite.WithOptions(opts)}, extra...)...)
 }
 
 func parsePlacement(s string) (smite.Placement, error) {
@@ -104,13 +157,14 @@ func parsePlacement(s string) (smite.Placement, error) {
 func characterize(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("characterize", flag.ExitOnError)
 	app := fs.String("app", "", "application name")
-	machine, placementS, fast := commonFlags(fs)
+	machine, placementS, fast, traceOut := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *app == "" {
 		return fmt.Errorf("characterize: -app is required")
 	}
+	ctx, finishTrace := traceTo(ctx, *traceOut)
 	spec, err := smite.WorkloadByName(*app)
 	if err != nil {
 		return err
@@ -132,7 +186,7 @@ func characterize(ctx context.Context, args []string) error {
 	for d := smite.Dimension(0); d < smite.NumDimensions; d++ {
 		fmt.Printf("%-16s %11.2f%% %11.2f%%\n", d, ch.Sen[d]*100, ch.Con[d]*100)
 	}
-	return nil
+	return finishTrace()
 }
 
 // trainModel trains on the paper's even-numbered SPEC training set.
@@ -146,13 +200,14 @@ func predict(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ExitOnError)
 	victim := fs.String("victim", "", "latency-sensitive / victim application")
 	aggressor := fs.String("aggressor", "", "co-located batch / aggressor application")
-	machine, placementS, fast := commonFlags(fs)
+	machine, placementS, fast, traceOut := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *victim == "" || *aggressor == "" {
 		return fmt.Errorf("predict: -victim and -aggressor are required")
 	}
+	ctx, finishTrace := traceTo(ctx, *traceOut)
 	v, err := smite.WorkloadByName(*victim)
 	if err != nil {
 		return err
@@ -191,20 +246,23 @@ func predict(ctx context.Context, args []string) error {
 		}
 		fmt.Printf("  QoS target %.0f%%: %s\n", target*100, verdict)
 	}
-	return nil
+	return finishTrace()
 }
 
 func measure(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("measure", flag.ExitOnError)
 	victim := fs.String("victim", "", "victim application")
 	aggressor := fs.String("aggressor", "", "aggressor application")
-	machine, placementS, fast := commonFlags(fs)
+	timelineOut := fs.String("timeline-out", "", "write a cycle-sampled contention timeline of the co-located run to this file (Chrome-trace JSON)")
+	parallelism := fs.Int("parallelism", 0, "simulation parallelism (0 = one worker per CPU)")
+	machine, placementS, fast, traceOut := commonFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *victim == "" || *aggressor == "" {
 		return fmt.Errorf("measure: -victim and -aggressor are required")
 	}
+	ctx, finishTrace := traceTo(ctx, *traceOut)
 	v, err := smite.WorkloadByName(*victim)
 	if err != nil {
 		return err
@@ -213,7 +271,7 @@ func measure(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	sys, err := newSystem(*machine, *fast)
+	sys, err := newSystem(*machine, *fast, smite.WithParallelism(*parallelism))
 	if err != nil {
 		return err
 	}
@@ -228,5 +286,37 @@ func measure(ctx context.Context, args []string) error {
 	fmt.Printf("measured co-location (%v) on %s:\n", placement, sys.Machine().Name)
 	fmt.Printf("  %-16s degrades %6.2f%%\n", pm.A, pm.DegA*100)
 	fmt.Printf("  %-16s degrades %6.2f%%\n", pm.B, pm.DegB*100)
-	return nil
+	if *timelineOut != "" {
+		if err := writeTimeline(ctx, *machine, *fast, v, a, placement, *timelineOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote contention timeline to %s\n", *timelineOut)
+	}
+	return finishTrace()
+}
+
+// writeTimeline re-runs the co-located pair with a timeline recorder
+// attached and renders the cycle-sampled counters as Chrome-trace JSON.
+// The sampled run is a single sequential simulation — bit-identical to the
+// measurement (the recorder is read-only) and independent of -parallelism,
+// so the written file is deterministic across runs and worker counts.
+func writeTimeline(ctx context.Context, machine string, fast bool, v, a *smite.Spec, placement smite.Placement, path string) error {
+	m, opts, err := machineOptions(machine, fast)
+	if err != nil {
+		return err
+	}
+	rec := timeline.New()
+	opts.Sampler = rec
+	if _, err := profile.ColocateContext(ctx, m.Config(), profile.App(v), profile.App(a), placement, opts); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

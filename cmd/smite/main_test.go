@@ -1,8 +1,13 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -68,5 +73,76 @@ func TestCancelledContextAborts(t *testing.T) {
 	}
 	if err := measure(ctx, []string{"-victim", "444.namd", "-aggressor", "429.mcf", "-fast"}); !errors.Is(err, context.Canceled) {
 		t.Errorf("measure: got %v, want context.Canceled", err)
+	}
+}
+
+func TestVersionOutput(t *testing.T) {
+	var buf bytes.Buffer
+	printVersion(&buf)
+	out := buf.String()
+	if !strings.HasPrefix(out, "smite ") || !strings.Contains(out, "go1") {
+		t.Errorf("version output = %q", out)
+	}
+}
+
+// The contention timeline written by measure -timeline-out must be
+// byte-identical across runs and across -parallelism settings: the sampled
+// run is a single sequential simulation, so worker count cannot reorder it.
+func TestMeasureTimelineDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI measurement in short mode")
+	}
+	dir := t.TempDir()
+	run := func(path, parallelism string) []byte {
+		t.Helper()
+		err := measure(context.Background(), []string{
+			"-victim", "444.namd", "-aggressor", "429.mcf", "-fast",
+			"-parallelism", parallelism, "-timeline-out", path,
+		})
+		if err != nil {
+			t.Fatalf("measure: %v", err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	one := run(filepath.Join(dir, "p1.json"), "1")
+	four := run(filepath.Join(dir, "p4.json"), "4")
+	if !bytes.Equal(one, four) {
+		t.Error("timeline differs between -parallelism 1 and 4")
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(one, &doc); err != nil {
+		t.Fatalf("timeline is not valid Chrome-trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("timeline holds no events")
+	}
+}
+
+// -trace-out renders the run's internal stages.
+func TestCharacterizeTraceOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI characterization in short mode")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := characterize(context.Background(), []string{"-app", "444.namd", "-fast", "-trace-out", path}); err != nil {
+		t.Fatalf("characterize: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"profile.characterize", "profile.ruler-cell", "profile.simulate"} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("trace missing %q span", want)
+		}
 	}
 }

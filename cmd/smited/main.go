@@ -11,7 +11,9 @@
 // Endpoints: POST /v1/predict, /v1/colocate, /v1/batch, /v1/profiles;
 // POST /v1/characterize with -simulate (in-process Ruler-sweep
 // simulation, cancelled when the request's deadline fires);
-// GET /healthz, /metrics; and /debug/pprof/ with -pprof. The daemon
+// GET /healthz, /metrics; /debug/pprof/ with -pprof; and, with -trace,
+// per-request span tracing for requests carrying ?trace=1 plus
+// GET /debug/trace/last serving the most recent render. The daemon
 // shuts down gracefully on SIGINT/SIGTERM, draining in-flight requests
 // for up to -drain.
 package main
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/qosd"
+	"repro/internal/version"
 	"repro/smite"
 )
 
@@ -54,11 +57,13 @@ type config struct {
 	timeout     time.Duration
 	drain       time.Duration
 	pprof       bool
+	trace       bool
 	quiet       bool
 	simulate    bool
 	machine     string
 	fast        bool
 	parallelism int
+	version     bool
 }
 
 // stringList lets -profiles repeat.
@@ -73,6 +78,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	cfg, err := parseFlags(args, stderr)
 	if err != nil {
 		return err
+	}
+	if cfg.version {
+		version.Fprint(stdout, "smited")
+		return nil
 	}
 	a, err := newApp(cfg, stdout, stderr)
 	if err != nil {
@@ -92,13 +101,18 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request timeout (including queueing)")
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain window")
 	fs.BoolVar(&cfg.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	fs.BoolVar(&cfg.trace, "trace", false, "trace requests carrying ?trace=1 and serve the render at GET /debug/trace/last")
 	fs.BoolVar(&cfg.quiet, "quiet", false, "disable per-request logging")
 	fs.BoolVar(&cfg.simulate, "simulate", false, "enable POST /v1/characterize with an in-process simulation system")
 	fs.StringVar(&cfg.machine, "machine", "ivb", "simulation machine with -simulate: ivb or snb")
 	fs.BoolVar(&cfg.fast, "fast", false, "use the shortened measurement windows with -simulate")
 	fs.IntVar(&cfg.parallelism, "parallelism", 0, "characterization worker count with -simulate (0 = GOMAXPROCS)")
+	fs.BoolVar(&cfg.version, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
+	}
+	if cfg.version {
+		return cfg, nil
 	}
 	if fs.NArg() > 0 {
 		fs.Usage()
@@ -171,6 +185,7 @@ func newApp(cfg config, stdout, stderr io.Writer) (*app, error) {
 		MaxInFlight:    cfg.maxInFlight,
 		RequestTimeout: cfg.timeout,
 		EnablePprof:    cfg.pprof,
+		EnableTrace:    cfg.trace,
 	}
 	if !cfg.quiet {
 		qcfg.Logger = logger

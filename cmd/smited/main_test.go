@@ -263,3 +263,83 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Fatal("Shutdown did not return after the last request finished")
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &out, io.Discard); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "smited ") || !strings.Contains(out.String(), "go1") {
+		t.Errorf("version output = %q", out.String())
+	}
+}
+
+// With -trace, a ?trace=1 request leaves its Chrome render behind at
+// /debug/trace/last; without it the route does not exist.
+func TestTraceFlagEndToEnd(t *testing.T) {
+	profiles, model, _, _ := writeArtifacts(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-profiles", profiles,
+			"-model", model,
+			"-quiet",
+			"-trace",
+		}, &out, io.Discard)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output: %q", out.String())
+		}
+		if match := listenLine.FindStringSubmatch(out.String()); match != nil {
+			addr = match[1]
+		} else {
+			select {
+			case err := <-errCh:
+				t.Fatalf("daemon exited early: %v", err)
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+	}
+
+	body := strings.NewReader(`{"victim":"web-search","aggressor":"429.mcf"}`)
+	resp, err := http.Post("http://"+addr+"/v1/predict?trace=1", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced predict = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get("http://" + addr + "/debug/trace/last")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace/last = %d: %s", resp.StatusCode, b)
+	}
+	if !strings.Contains(string(b), "qosd.predict") {
+		t.Errorf("trace render missing qosd.predict span:\n%s", b)
+	}
+
+	cancel()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Errorf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"repro/internal/rulers"
 	"repro/internal/sim/isa"
 	"repro/internal/sim/pmu"
+	"repro/internal/version"
 	"repro/internal/workload"
 )
 
@@ -48,8 +49,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	placementFlag := fs.String("placement", "smt", "placement: smt or cmp")
 	cyclesFlag := fs.Uint64("cycles", 100_000, "measurement window in cycles")
 	fastFlag := fs.Bool("fast", false, "use reduced warm-up windows")
+	versionFlag := fs.Bool("version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *versionFlag {
+		version.Fprint(w, "smtop")
+		return nil
 	}
 	if *appFlag == "" {
 		fs.Usage()

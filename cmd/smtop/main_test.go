@@ -73,3 +73,13 @@ func TestCancelledContextAborts(t *testing.T) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-version"}, &buf); err != nil {
+		t.Fatalf("run -version: %v", err)
+	}
+	if !strings.HasPrefix(buf.String(), "smtop ") || !strings.Contains(buf.String(), "go1") {
+		t.Errorf("version output = %q", buf.String())
+	}
+}

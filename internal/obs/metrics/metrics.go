@@ -1,0 +1,327 @@
+// Package metrics is a typed, dependency-free metrics registry with
+// OpenMetrics text exposition.
+//
+// It supports the three instrument kinds the serving layer needs:
+//
+//   - Counter / CounterVec: monotonically increasing uint64 counts,
+//     optionally split by a fixed label set.
+//   - Gauge / GaugeFunc: a settable float64, or a callback sampled at
+//     exposition time (for values the owner already tracks, e.g. registry
+//     sizes or cache hit counts).
+//   - Histogram: fixed-bound cumulative buckets with sum and count,
+//     le-semantics identical to OpenMetrics (a value equal to a bound
+//     falls into that bound's bucket).
+//
+// All instruments are safe for concurrent use and update via atomics;
+// exposition takes a point-in-time snapshot. Instrument registration is
+// get-or-create: asking for an existing name with a matching kind returns
+// the prior instrument, while a kind or label mismatch panics — metric
+// names are code-level constants, so a mismatch is a programming error.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+var nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by d (d may be negative).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed le-buckets.
+type Histogram struct {
+	bounds  []float64 // strictly increasing; +Inf is implicit
+	buckets []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bound >= v; if none, the implicit +Inf bucket.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	UpperBound float64 // math.Inf(1) for the last bucket
+	Count      uint64  // observations <= UpperBound
+}
+
+// HistogramSnapshot is a point-in-time histogram view.
+type HistogramSnapshot struct {
+	Buckets []Bucket
+	Sum     float64
+	Count   uint64
+}
+
+// Snapshot returns cumulative bucket counts, the sum and the total count.
+// Concurrent Observe calls may land between field reads; each field is
+// itself consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Buckets: make([]Bucket, len(h.bounds)+1),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+		Count:   h.count.Load(),
+	}
+	var cum uint64
+	for i := range s.Buckets {
+		cum += h.buckets[i].Load()
+		bound := math.Inf(1)
+		if i < len(h.bounds) {
+			bound = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{UpperBound: bound, Count: cum}
+	}
+	return s
+}
+
+// CounterVec is a family of counters split by a fixed set of label names.
+type CounterVec struct {
+	labels []string
+
+	mu     sync.Mutex
+	series map[string]*Counter // key: label values joined by 0xff
+	order  []string            // insertion order of keys, for Snapshot
+	values map[string][]string
+}
+
+// With returns the counter for the given label values, creating it on first
+// use. The number of values must match the label names the vec was
+// registered with.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: CounterVec.With got %d label values, want %d", len(values), len(v.labels)))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.series[key]
+	if !ok {
+		c = &Counter{}
+		v.series[key] = c
+		v.order = append(v.order, key)
+		vals := make([]string, len(values))
+		copy(vals, values)
+		v.values[key] = vals
+	}
+	return c
+}
+
+// LabeledCount is one (labels, count) series of a CounterVec.
+type LabeledCount struct {
+	Labels []string // values, aligned with the vec's label names
+	Count  uint64
+}
+
+// Snapshot returns all series sorted by label values.
+func (v *CounterVec) Snapshot() []LabeledCount {
+	v.mu.Lock()
+	out := make([]LabeledCount, 0, len(v.order))
+	for _, key := range v.order {
+		out = append(out, LabeledCount{Labels: v.values[key], Count: v.series[key].Value()})
+	}
+	v.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Labels, out[j].Labels
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// LabelNames returns the label names the vec was registered with.
+func (v *CounterVec) LabelNames() []string { return v.labels }
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindCounterVec
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+type entry struct {
+	kind metricKind
+	help string
+
+	counter   *Counter
+	vec       *CounterVec
+	gauge     *Gauge
+	gaugeFn   func() float64
+	histogram *Histogram
+}
+
+// Registry holds named instruments and renders them as OpenMetrics text.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+func (r *Registry) get(name, help string, kind metricKind) (*entry, bool) {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	e, ok := r.entries[name]
+	if ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("metrics: %q already registered with a different kind", name))
+		}
+		return e, true
+	}
+	e = &entry{kind: kind, help: help}
+	r.entries[name] = e
+	return e, false
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+// Counter names should not carry the _total suffix; exposition adds it.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.get(name, help, kindCounter)
+	if !ok {
+		e.counter = &Counter{}
+	}
+	return e.counter
+}
+
+// CounterVec returns the labelled counter family registered under name,
+// creating it if needed. Label names must match on repeat registration.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if len(labelNames) == 0 {
+		panic("metrics: CounterVec needs at least one label name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.get(name, help, kindCounterVec)
+	if !ok {
+		labels := make([]string, len(labelNames))
+		copy(labels, labelNames)
+		e.vec = &CounterVec{
+			labels: labels,
+			series: make(map[string]*Counter),
+			values: make(map[string][]string),
+		}
+	} else if strings.Join(e.vec.labels, "\xff") != strings.Join(labelNames, "\xff") {
+		panic(fmt.Sprintf("metrics: %q already registered with labels %v", name, e.vec.labels))
+	}
+	return e.vec
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.get(name, help, kindGauge)
+	if !ok {
+		e.gauge = &Gauge{}
+	}
+	return e.gauge
+}
+
+// GaugeFunc registers fn to be sampled at exposition time. Re-registering
+// the same name replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if fn == nil {
+		panic("metrics: GaugeFunc requires a non-nil callback")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, _ := r.get(name, help, kindGaugeFunc)
+	e.gaugeFn = fn
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given strictly increasing bucket bounds. Bounds must match on repeat
+// registration.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: Histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram %q bounds not strictly increasing: %v", name, bounds))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.get(name, help, kindHistogram)
+	if !ok {
+		b := make([]float64, len(bounds))
+		copy(b, bounds)
+		e.histogram = &Histogram{
+			bounds:  b,
+			buckets: make([]atomic.Uint64, len(b)+1),
+		}
+	} else if len(e.histogram.bounds) != len(bounds) {
+		panic(fmt.Sprintf("metrics: %q already registered with different bounds", name))
+	} else {
+		for i, b := range bounds {
+			if e.histogram.bounds[i] != b {
+				panic(fmt.Sprintf("metrics: %q already registered with different bounds", name))
+			}
+		}
+	}
+	return e.histogram
+}

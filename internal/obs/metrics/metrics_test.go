@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndVec(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs", "requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("reqs", "requests") != c {
+		t.Fatalf("re-registration returned a new counter")
+	}
+
+	v := r.CounterVec("by_route", "per route", "route", "class")
+	v.With("/v1/predict", "2xx").Add(3)
+	v.With("/healthz", "2xx").Inc()
+	v.With("/v1/predict", "2xx").Inc()
+	snap := v.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d series, want 2", len(snap))
+	}
+	// Sorted by label values: /healthz < /v1/predict.
+	if snap[0].Labels[0] != "/healthz" || snap[0].Count != 1 {
+		t.Errorf("series[0] = %+v", snap[0])
+	}
+	if snap[1].Labels[0] != "/v1/predict" || snap[1].Count != 4 {
+		t.Errorf("series[1] = %+v", snap[1])
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "queue depth")
+	g.Set(2.5)
+	g.Add(1)
+	g.Add(-0.5)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+}
+
+// TestHistogramBuckets pins the le-semantics of bucket assignment:
+// a value equal to a bound counts into that bound's bucket, values above
+// every bound land in +Inf, and exposition buckets are cumulative.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency ms", []float64{1, 5, 25})
+
+	for _, v := range []float64{0.2, 1, 1.0001, 5, 24.9, 25, 26, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if len(s.Buckets) != 4 {
+		t.Fatalf("got %d buckets, want 4", len(s.Buckets))
+	}
+	// ≤1: {0.2, 1} · ≤5: +{1.0001, 5} · ≤25: +{24.9, 25} · +Inf: +{26, 1000}
+	wantCum := []uint64{2, 4, 6, 8}
+	for i, want := range wantCum {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket[%d] (le=%v) = %d, want %d", i, s.Buckets[i].UpperBound, s.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Errorf("last bucket bound = %v, want +Inf", s.Buckets[3].UpperBound)
+	}
+	if s.Count != 8 {
+		t.Errorf("count = %d, want 8", s.Count)
+	}
+	wantSum := 0.2 + 1 + 1.0001 + 5 + 24.9 + 25 + 26 + 1000
+	if math.Abs(s.Sum-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", "", []float64{10})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(float64(i % 20))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count = %d, want 8000", s.Count)
+	}
+	if s.Buckets[1].Count != 8000 {
+		t.Fatalf("+Inf cumulative = %d, want 8000", s.Buckets[1].Count)
+	}
+	if s.Buckets[0].Count != 8*11*50 { // values 0..10 inclusive, 50 rounds each
+		t.Fatalf("le=10 bucket = %d, want %d", s.Buckets[0].Count, 8*11*50)
+	}
+}
+
+func TestRegistrationMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	mustPanic(t, "kind mismatch", func() { r.Gauge("x", "") })
+	mustPanic(t, "invalid name", func() { r.Counter("bad name", "") })
+	r.CounterVec("v", "", "a")
+	mustPanic(t, "label mismatch", func() { r.CounterVec("v", "", "b") })
+	r.Histogram("h", "", []float64{1, 2})
+	mustPanic(t, "bound mismatch", func() { r.Histogram("h", "", []float64{1, 3}) })
+	mustPanic(t, "unsorted bounds", func() { r.Histogram("h2", "", []float64{2, 1}) })
+	v := r.CounterVec("v2", "", "a", "b")
+	mustPanic(t, "arity mismatch", func() { v.With("only-one") })
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestWriteOpenMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_last", "sorted last").Add(9)
+	v := r.CounterVec("aa_requests", "per-route requests", "route", "class")
+	v.With("/v1/predict", "2xx").Add(7)
+	v.With(`/we"ird\n`, "5xx").Inc()
+	r.Gauge("mid_gauge", "a gauge").Set(1.25)
+	r.GaugeFunc("fn_gauge", "callback gauge", func() float64 { return 42 })
+	h := r.Histogram("lat_ms", "latency", []float64{0.5, 10})
+	h.Observe(0.5)
+	h.Observe(3)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+
+	want := strings.Join([]string{
+		"# TYPE aa_requests counter",
+		"# HELP aa_requests per-route requests",
+		`aa_requests_total{route="/v1/predict",class="2xx"} 7`,
+		`aa_requests_total{route="/we\"ird\\n",class="5xx"} 1`,
+		"# TYPE fn_gauge gauge",
+		"# HELP fn_gauge callback gauge",
+		"fn_gauge 42",
+		"# TYPE lat_ms histogram",
+		"# HELP lat_ms latency",
+		`lat_ms_bucket{le="0.5"} 1`,
+		`lat_ms_bucket{le="10"} 2`,
+		`lat_ms_bucket{le="+Inf"} 3`,
+		"lat_ms_count 3",
+		"lat_ms_sum 103.5",
+		"# TYPE mid_gauge gauge",
+		"# HELP mid_gauge a gauge",
+		"mid_gauge 1.25",
+		"# TYPE zz_last counter",
+		"# HELP zz_last sorted last",
+		"zz_last_total 9",
+		"# EOF",
+		"",
+	}, "\n")
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+
+	// Deterministic across calls.
+	var again bytes.Buffer
+	if err := r.WriteOpenMetrics(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != got {
+		t.Fatalf("exposition not deterministic")
+	}
+}

@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the media type for the OpenMetrics text format.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// WriteOpenMetrics renders every registered instrument in the OpenMetrics
+// text format, families sorted by name and series by label values, ending
+// with the required "# EOF" terminator. Output for fixed instrument values
+// is byte-deterministic, which the qosd golden snapshot test relies on.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	entries := make(map[string]*entry, len(r.entries))
+	for name, e := range r.entries {
+		entries[name] = e
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		e := entries[name]
+		writeHeader(bw, name, e)
+		switch e.kind {
+		case kindCounter:
+			writeSample(bw, name+"_total", "", formatUint(e.counter.Value()))
+		case kindCounterVec:
+			for _, s := range e.vec.Snapshot() {
+				writeSample(bw, name+"_total", formatLabels(e.vec.labels, s.Labels), formatUint(s.Count))
+			}
+		case kindGauge:
+			writeSample(bw, name, "", formatFloat(e.gauge.Value()))
+		case kindGaugeFunc:
+			writeSample(bw, name, "", formatFloat(e.gaugeFn()))
+		case kindHistogram:
+			snap := e.histogram.Snapshot()
+			for _, b := range snap.Buckets {
+				writeSample(bw, name+"_bucket", formatLabels([]string{"le"}, []string{formatFloat(b.UpperBound)}), formatUint(b.Count))
+			}
+			writeSample(bw, name+"_count", "", formatUint(snap.Count))
+			writeSample(bw, name+"_sum", "", formatFloat(snap.Sum))
+		}
+	}
+	bw.WriteString("# EOF\n")
+	return bw.Flush()
+}
+
+func writeHeader(w *bufio.Writer, name string, e *entry) {
+	typ := ""
+	switch e.kind {
+	case kindCounter, kindCounterVec:
+		typ = "counter"
+	case kindGauge, kindGaugeFunc:
+		typ = "gauge"
+	case kindHistogram:
+		typ = "histogram"
+	}
+	w.WriteString("# TYPE ")
+	w.WriteString(name)
+	w.WriteString(" ")
+	w.WriteString(typ)
+	w.WriteString("\n")
+	if e.help != "" {
+		w.WriteString("# HELP ")
+		w.WriteString(name)
+		w.WriteString(" ")
+		w.WriteString(escapeHelp(e.help))
+		w.WriteString("\n")
+	}
+}
+
+func writeSample(w *bufio.Writer, name, labels, value string) {
+	w.WriteString(name)
+	w.WriteString(labels)
+	w.WriteString(" ")
+	w.WriteString(value)
+	w.WriteString("\n")
+}
+
+func formatLabels(names, values []string) string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(values[i]))
+		sb.WriteString(`"`)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

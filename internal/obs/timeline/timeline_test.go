@@ -1,0 +1,191 @@
+package timeline
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/sim/engine"
+	"repro/internal/sim/isa"
+	"repro/internal/workload"
+)
+
+// testChip builds an IvyBridge chip with an SMT pair (memory-bound mcf
+// against compute-bound namd) assigned to core 0, prewarmed.
+func testChip(t testing.TB) *engine.Chip {
+	t.Helper()
+	chip := engine.MustNew(isa.IvyBridge())
+	mcf, err := workload.ByName("429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	namd, err := workload.ByName("444.namd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip.Assign(0, 0, workload.NewGen(mcf, 11))
+	chip.Assign(0, 1, workload.NewGen(namd, 12))
+	chip.Prewarm(40_000)
+	return chip
+}
+
+const slice = 16 * 1024 // engine.runContextSlice
+
+func record(t testing.TB) *Recorder {
+	t.Helper()
+	chip := testChip(t)
+	rec := New()
+	chip.SetSampler(rec)
+	ctx := context.Background()
+	if err := chip.RunContext(ctx, 10_000); err != nil { // warmup
+		t.Fatal(err)
+	}
+	chip.ResetCounters()
+	if err := chip.RunContext(ctx, 2*slice+500); err != nil { // measure
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderSamples(t *testing.T) {
+	rec := record(t)
+	samples := rec.Samples()
+	chipSamples := rec.ChipSamples()
+
+	// 1 warmup boundary + 3 measure boundaries, two active contexts each.
+	if len(samples) != 4*2 {
+		t.Fatalf("got %d samples, want 8", len(samples))
+	}
+	if len(chipSamples) != 4 {
+		t.Fatalf("got %d chip samples, want 4", len(chipSamples))
+	}
+
+	perCtx := map[int][]Sample{}
+	for _, s := range samples {
+		if s.Core != 0 {
+			t.Fatalf("sample on unexpected core %d", s.Core)
+		}
+		perCtx[s.Ctx] = append(perCtx[s.Ctx], s)
+	}
+	for ctxIdx, ss := range perCtx {
+		if len(ss) != 4 {
+			t.Fatalf("context %d has %d samples, want 4", ctxIdx, len(ss))
+		}
+		// First sample (warmup) starts a window, as does the first after
+		// ResetCounters; later ones continue.
+		if !ss[0].WindowStart || !ss[1].WindowStart {
+			t.Errorf("context %d: samples 0 and 1 should both be window starts: %+v", ctxIdx, ss[:2])
+		}
+		if ss[2].WindowStart || ss[3].WindowStart {
+			t.Errorf("context %d: samples 2 and 3 must not be window starts", ctxIdx)
+		}
+		for i, s := range ss {
+			if s.Delta.Cycles == 0 {
+				t.Errorf("context %d sample %d has zero-cycle delta", ctxIdx, i)
+			}
+			if i > 0 && s.Cycle <= ss[i-1].Cycle {
+				t.Errorf("context %d sample cycles not increasing: %d then %d", ctxIdx, ss[i-1].Cycle, s.Cycle)
+			}
+		}
+		// The measurement window deltas must cover the window: two full
+		// slices and the 500-cycle tail.
+		if got := ss[1].Delta.Cycles; got != slice {
+			t.Errorf("context %d: first measure delta = %d cycles, want %d", ctxIdx, got, slice)
+		}
+		if got := ss[3].Delta.Cycles; got != 500 {
+			t.Errorf("context %d: tail delta = %d cycles, want 500", ctxIdx, got)
+		}
+	}
+
+	// mcf on context 0 is memory-bound: it must record LLC misses in the
+	// measurement window; namd must retire more instructions per cycle.
+	var mcfMisses, mcfInstr, namdInstr, mcfCycles, namdCycles uint64
+	for _, s := range perCtx[0][1:] {
+		mcfMisses += s.Delta.L3Misses
+		mcfInstr += s.Delta.Instructions
+		mcfCycles += s.Delta.Cycles
+	}
+	for _, s := range perCtx[1][1:] {
+		namdInstr += s.Delta.Instructions
+		namdCycles += s.Delta.Cycles
+	}
+	if mcfMisses == 0 {
+		t.Error("memory-bound context recorded zero LLC misses")
+	}
+	if float64(namdInstr)/float64(namdCycles) <= float64(mcfInstr)/float64(mcfCycles) {
+		t.Errorf("compute-bound IPC (%d/%d) not above memory-bound IPC (%d/%d)",
+			namdInstr, namdCycles, mcfInstr, mcfCycles)
+	}
+}
+
+// The recorder must be deterministic: identical simulations produce
+// identical sample sets and byte-identical Chrome exports.
+func TestRecorderDeterministic(t *testing.T) {
+	a, b := record(t), record(t)
+	if !reflect.DeepEqual(a.Samples(), b.Samples()) {
+		t.Fatal("per-context samples differ between identical runs")
+	}
+	if !reflect.DeepEqual(a.ChipSamples(), b.ChipSamples()) {
+		t.Fatal("chip samples differ between identical runs")
+	}
+	var ba, bb bytes.Buffer
+	if err := a.WriteChrome(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteChrome(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba.Bytes(), bb.Bytes()) {
+		t.Fatal("Chrome exports differ between identical runs")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	rec := record(t)
+	var buf bytes.Buffer
+	if err := rec.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		TraceEvents []struct {
+			Name  string             `json:"name"`
+			Phase string             `json:"ph"`
+			TS    float64            `json:"ts"`
+			Args  map[string]float64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	tracks := map[string]int{}
+	lastTS := map[string]float64{}
+	for _, e := range env.TraceEvents {
+		if e.Phase != "C" {
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+		tracks[e.Name]++
+		if prev, ok := lastTS[e.Name]; ok && e.TS < prev {
+			t.Fatalf("track %q timestamps not monotone", e.Name)
+		}
+		lastTS[e.Name] = e.TS
+	}
+	for _, want := range []string{"c0t0 IPC", "c0t1 IPC", "c0t0 port uops/cycle", "c0t0 misses/kcycle", "DRAM"} {
+		if tracks[want] == 0 {
+			t.Errorf("missing counter track %q; have %v", want, tracks)
+		}
+	}
+	// Every per-context sample produced one event per resource row.
+	if got := tracks["c0t0 IPC"]; got != 4 {
+		t.Errorf("c0t0 IPC has %d events, want 4", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	rec := record(t)
+	rec.Reset()
+	if len(rec.Samples()) != 0 || len(rec.ChipSamples()) != 0 {
+		t.Fatal("Reset left samples behind")
+	}
+}

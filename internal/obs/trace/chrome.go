@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// ChromeEvent is one entry in the Chrome trace-event JSON format
+// (the "traceEvents" array consumed by chrome://tracing and Perfetto).
+// Only the event phases this package emits are modelled:
+//
+//	"X" complete event  (a span: ts + dur)
+//	"C" counter event   (a sampled value series: ts + args)
+//	"M" metadata event  (thread_name, to label tracks)
+type ChromeEvent struct {
+	Name  string            `json:"name"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"` // microseconds
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+	// CArgs carries numeric counter series for "C" events. It marshals into
+	// the same "args" slot; Args and CArgs are mutually exclusive.
+	CArgs map[string]float64 `json:"-"`
+}
+
+// chromeEnvelope is the top-level JSON document.
+type chromeEnvelope struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// MarshalJSON folds CArgs into the "args" field for counter events.
+func (e ChromeEvent) MarshalJSON() ([]byte, error) {
+	type plain ChromeEvent // drop the method to avoid recursion
+	if e.CArgs == nil {
+		return json.Marshal(plain(e))
+	}
+	return json.Marshal(struct {
+		plain
+		Args map[string]float64 `json:"args"`
+	}{plain: plain(e), Args: e.CArgs})
+}
+
+// WriteChromeEvents encodes events as a Chrome trace-event JSON document.
+// Events are stably sorted so that metadata comes first and, within each
+// (pid, tid) track, timestamps are monotonically non-decreasing — the
+// ordering contract the fuzz test pins down.
+func WriteChromeEvents(w io.Writer, events []ChromeEvent) error {
+	sorted := make([]ChromeEvent, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if (a.Phase == "M") != (b.Phase == "M") {
+			return a.Phase == "M"
+		}
+		if a.PID != b.PID {
+			return a.PID < b.PID
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		return a.TS < b.TS
+	})
+
+	env := chromeEnvelope{TraceEvents: make([]json.RawMessage, 0, len(sorted))}
+	for _, e := range sorted {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		env.TraceEvents = append(env.TraceEvents, raw)
+	}
+	return json.NewEncoder(w).Encode(env)
+}
+
+// micros converts a duration to trace-event microseconds.
+func micros(d time.Duration) float64 {
+	return float64(d) / float64(time.Microsecond)
+}
+
+// WriteChrome exports every finished span as Chrome trace-event JSON.
+// All spans share pid 0; tracks map to tids labelled via thread_name
+// metadata. Attributes surface in the event's args.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]ChromeEvent, 0, len(spans)+t.trackCount())
+	for id := 0; id < t.trackCount(); id++ {
+		events = append(events, ChromeEvent{
+			Name:  "thread_name",
+			Phase: "M",
+			PID:   0,
+			TID:   id,
+			Args:  map[string]string{"name": t.TrackName(id)},
+		})
+	}
+	for _, s := range spans {
+		args := make(map[string]string, len(s.Attrs)+1)
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		if s.Parent != 0 {
+			args["parent"] = "span-" + strconv.FormatUint(s.Parent, 10)
+		}
+		events = append(events, ChromeEvent{
+			Name:  s.Name,
+			Phase: "X",
+			TS:    micros(s.Start),
+			Dur:   micros(s.End - s.Start),
+			PID:   0,
+			TID:   s.Track,
+			Args:  args,
+		})
+	}
+	return WriteChromeEvents(w, events)
+}

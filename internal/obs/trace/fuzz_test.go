@@ -1,0 +1,107 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// FuzzWriteChrome drives an arbitrary byte program against the tracer API
+// and checks the exporter round-trip invariants: the output always parses
+// as valid JSON, and within every (pid, tid) track the event timestamps are
+// monotonically non-decreasing with metadata events leading.
+func FuzzWriteChrome(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 1, 1, 3})
+	f.Add([]byte{0, 0, 0, 1, 1, 1})
+	f.Add([]byte{2, 0, 1, 2, 0, 1, 4, 4})
+	f.Add([]byte{})
+	f.Add([]byte{3, 3, 3, 0, 3, 1})
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		var clock time.Duration
+		tr := New(WithClock(func() time.Duration { return clock }))
+		root := NewContext(context.Background(), tr)
+
+		type open struct {
+			ctx  context.Context
+			span *Span
+		}
+		stack := []open{{ctx: root}}
+		names := []string{"alpha", "beta", "gamma", "delta"}
+
+		for i, op := range program {
+			switch op % 5 {
+			case 0: // start a child span of the current top
+				top := stack[len(stack)-1]
+				ctx, s := Start(top.ctx, names[i%len(names)])
+				stack = append(stack, open{ctx: ctx, span: s})
+			case 1: // end the top span, if any
+				if len(stack) > 1 {
+					stack[len(stack)-1].span.End()
+					stack = stack[:len(stack)-1]
+				}
+			case 2: // switch to a fresh track
+				stack = append(stack, open{ctx: WithTrack(root, names[i%len(names)])})
+			case 3: // advance the clock by a data-dependent step
+				clock += time.Duration(op) * time.Microsecond
+			case 4: // annotate the top span (nil-safe by contract)
+				stack[len(stack)-1].span.SetAttr(Int("op", i))
+			}
+		}
+		for len(stack) > 1 {
+			stack[len(stack)-1].span.End()
+			stack = stack[:len(stack)-1]
+		}
+
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		var env struct {
+			TraceEvents []struct {
+				Name  string  `json:"name"`
+				Phase string  `json:"ph"`
+				TS    float64 `json:"ts"`
+				Dur   float64 `json:"dur"`
+				PID   int     `json:"pid"`
+				TID   int     `json:"tid"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+			t.Fatalf("output does not parse as JSON: %v\n%s", err, buf.String())
+		}
+
+		type track struct{ pid, tid int }
+		lastTS := map[track]float64{}
+		sawSpan := false
+		for _, e := range env.TraceEvents {
+			switch e.Phase {
+			case "M":
+				if sawSpan {
+					t.Fatalf("metadata event after span events")
+				}
+				continue
+			case "X":
+				sawSpan = true
+			default:
+				t.Fatalf("unexpected phase %q", e.Phase)
+			}
+			if e.Name == "" {
+				t.Fatalf("span event with empty name")
+			}
+			if e.Dur < 0 {
+				t.Fatalf("negative duration %v for %q", e.Dur, e.Name)
+			}
+			k := track{e.PID, e.TID}
+			if prev, ok := lastTS[k]; ok && e.TS < prev {
+				t.Fatalf("timestamps not monotone on track %+v: %v after %v", k, e.TS, prev)
+			}
+			lastTS[k] = e.TS
+		}
+		if got := len(env.TraceEvents); got < tr.Len() {
+			t.Fatalf("exported %d events for %d finished spans", got, tr.Len())
+		}
+	})
+}

@@ -1,0 +1,237 @@
+// Package trace is a lightweight in-process span tracer.
+//
+// A Tracer travels through a context.Context; code instruments itself with
+//
+//	ctx, span := trace.Start(ctx, "profile.measure", trace.Int("pairs", n))
+//	defer span.End()
+//
+// When no Tracer is attached to the context Start returns a nil *Span and
+// every Span method is a no-op, so instrumented call sites cost one context
+// lookup and nothing else. This is what lets tracing stay compiled into the
+// hot characterization paths while the disabled-overhead benchmark pins it
+// to the noise floor.
+//
+// Spans carry a name, wall-clock start/end offsets, string attributes, a
+// parent link, and a track. Tracks map onto Chrome trace-viewer threads and
+// exist so parallel workers (sched.Map) render as parallel rows instead of
+// interleaving on one line. Finished spans are exported with WriteChrome in
+// the Chrome trace-event JSON format understood by chrome://tracing and
+// https://ui.perfetto.dev.
+//
+// All Tracer methods are safe for concurrent use. Span methods are not:
+// a span belongs to the goroutine that started it until End is called.
+package trace
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is a single key/value span attribute. Values are strings; use the
+// String/Int/Uint64/Bool constructors rather than formatting at call sites.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// String builds a string-valued attribute.
+func String(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, value int) Attr { return Attr{Key: key, Value: strconv.Itoa(value)} }
+
+// Uint64 builds an unsigned integer attribute.
+func Uint64(key string, value uint64) Attr {
+	return Attr{Key: key, Value: strconv.FormatUint(value, 10)}
+}
+
+// Bool builds a boolean attribute.
+func Bool(key string, value bool) Attr {
+	return Attr{Key: key, Value: strconv.FormatBool(value)}
+}
+
+// SpanRecord is one finished span as stored by the tracer.
+type SpanRecord struct {
+	Name   string
+	ID     uint64 // 1-based, unique per tracer
+	Parent uint64 // 0 means no parent
+	Track  int    // 0 is the default track
+	Start  time.Duration
+	End    time.Duration
+	Attrs  []Attr
+}
+
+// Tracer accumulates finished spans. The zero value is not usable; call New.
+type Tracer struct {
+	clock func() time.Duration
+	start time.Time
+	ids   atomic.Uint64
+
+	mu     sync.Mutex
+	spans  []SpanRecord
+	tracks []string // names for track IDs 1..len(tracks); track 0 is "main"
+}
+
+// Option configures a Tracer.
+type Option func(*Tracer)
+
+// WithClock replaces the wall clock with fn, which must return monotonically
+// non-decreasing offsets. Tests use this for deterministic output.
+func WithClock(fn func() time.Duration) Option {
+	return func(t *Tracer) { t.clock = fn }
+}
+
+// New returns an empty tracer whose clock starts now.
+func New(opts ...Option) *Tracer {
+	t := &Tracer{start: time.Now()}
+	for _, o := range opts {
+		o(t)
+	}
+	return t
+}
+
+func (t *Tracer) now() time.Duration {
+	if t.clock != nil {
+		return t.clock()
+	}
+	return time.Since(t.start)
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+	trackKey
+)
+
+// NewContext returns ctx with t attached. A nil tracer returns ctx unchanged.
+func NewContext(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey, t)
+}
+
+// FromContext returns the tracer attached to ctx, or nil.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey).(*Tracer)
+	return t
+}
+
+// WithTrack allocates a new named track and returns a context under which
+// subsequently started spans render on it. Without a tracer it returns ctx
+// unchanged.
+func WithTrack(ctx context.Context, name string) context.Context {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx
+	}
+	t.mu.Lock()
+	t.tracks = append(t.tracks, name)
+	id := len(t.tracks) // track 0 is implicit "main"
+	t.mu.Unlock()
+	return context.WithValue(ctx, trackKey, id)
+}
+
+// Span is an in-flight span. A nil *Span (returned when no tracer is
+// attached) accepts every method as a no-op.
+type Span struct {
+	t   *Tracer
+	rec SpanRecord
+}
+
+// Start begins a span under the tracer attached to ctx and returns a derived
+// context carrying it as the current parent. With no tracer attached it
+// returns (ctx, nil).
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := FromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{t: t}
+	s.rec.Name = name
+	s.rec.ID = t.ids.Add(1)
+	if p, _ := ctx.Value(spanKey).(*Span); p != nil {
+		s.rec.Parent = p.rec.ID
+	}
+	if track, _ := ctx.Value(trackKey).(int); track > 0 {
+		s.rec.Track = track
+	}
+	if len(attrs) > 0 {
+		s.rec.Attrs = attrs
+	}
+	s.rec.Start = t.now()
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// SetAttr appends attributes to the span. No-op on a nil span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.rec.Attrs = append(s.rec.Attrs, attrs...)
+}
+
+// End finishes the span and hands it to the tracer. No-op on a nil span.
+// End must be called at most once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.End = s.t.now()
+	s.t.mu.Lock()
+	s.t.spans = append(s.t.spans, s.rec)
+	s.t.mu.Unlock()
+}
+
+// Len reports the number of finished spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the finished spans ordered by (Start, ID), which
+// is deterministic for a fixed clock regardless of End interleaving.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sortSpans(out)
+	return out
+}
+
+func sortSpans(s []SpanRecord) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].Start != s[j].Start {
+			return s[i].Start < s[j].Start
+		}
+		return s[i].ID < s[j].ID
+	})
+}
+
+// TrackName returns the display name of a track ID.
+func (t *Tracer) TrackName(id int) string {
+	if id == 0 {
+		return "main"
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id < 1 || id > len(t.tracks) {
+		return "track-" + strconv.Itoa(id)
+	}
+	return t.tracks[id-1]
+}
+
+// trackCount reports how many tracks exist, including the implicit main one.
+func (t *Tracer) trackCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.tracks) + 1
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock returns a clock that advances a fixed step per call.
+func fakeClock(step time.Duration) func() time.Duration {
+	var mu sync.Mutex
+	var now time.Duration
+	return func() time.Duration {
+		mu.Lock()
+		defer mu.Unlock()
+		now += step
+		return now
+	}
+}
+
+func TestDisabledIsNoop(t *testing.T) {
+	ctx := context.Background()
+	sctx, span := Start(ctx, "anything", String("k", "v"))
+	if span != nil {
+		t.Fatalf("Start without tracer returned non-nil span")
+	}
+	if sctx != ctx {
+		t.Fatalf("Start without tracer changed the context")
+	}
+	// All span methods must be nil-safe.
+	span.SetAttr(Int("n", 1))
+	span.End()
+	if got := WithTrack(ctx, "w"); got != ctx {
+		t.Fatalf("WithTrack without tracer changed the context")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatalf("FromContext on bare context should be nil")
+	}
+}
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	tr := New(WithClock(fakeClock(time.Millisecond)))
+	ctx := NewContext(context.Background(), tr)
+
+	pctx, parent := Start(ctx, "parent", String("stage", "outer"))
+	cctx, child := Start(pctx, "child")
+	child.SetAttr(Int("i", 7), Uint64("cycles", 16384), Bool("hit", true))
+	_, grand := Start(cctx, "grandchild")
+	grand.End()
+	child.End()
+	parent.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	// Spans() sorts by start time: parent, child, grandchild.
+	if spans[0].Name != "parent" || spans[1].Name != "child" || spans[2].Name != "grandchild" {
+		t.Fatalf("unexpected span order: %q %q %q", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Errorf("child parent = %d, want %d", spans[1].Parent, spans[0].ID)
+	}
+	if spans[2].Parent != spans[1].ID {
+		t.Errorf("grandchild parent = %d, want %d", spans[2].Parent, spans[1].ID)
+	}
+	if spans[0].End <= spans[0].Start {
+		t.Errorf("parent span has non-positive duration: %v..%v", spans[0].Start, spans[0].End)
+	}
+	want := []Attr{{"i", "7"}, {"cycles", "16384"}, {"hit", "true"}}
+	if len(spans[1].Attrs) != len(want) {
+		t.Fatalf("child attrs = %v, want %v", spans[1].Attrs, want)
+	}
+	for i, a := range want {
+		if spans[1].Attrs[i] != a {
+			t.Errorf("attr[%d] = %v, want %v", i, spans[1].Attrs[i], a)
+		}
+	}
+}
+
+func TestTracks(t *testing.T) {
+	tr := New(WithClock(fakeClock(time.Microsecond)))
+	ctx := NewContext(context.Background(), tr)
+
+	w0 := WithTrack(ctx, "worker-0")
+	w1 := WithTrack(ctx, "worker-1")
+	_, a := Start(w0, "task-a")
+	a.End()
+	_, b := Start(w1, "task-b")
+	b.End()
+	_, m := Start(ctx, "on-main")
+	m.End()
+
+	byName := map[string]SpanRecord{}
+	for _, s := range tr.Spans() {
+		byName[s.Name] = s
+	}
+	if got := tr.TrackName(byName["task-a"].Track); got != "worker-0" {
+		t.Errorf("task-a track = %q, want worker-0", got)
+	}
+	if got := tr.TrackName(byName["task-b"].Track); got != "worker-1" {
+		t.Errorf("task-b track = %q, want worker-1", got)
+	}
+	if byName["on-main"].Track != 0 {
+		t.Errorf("on-main track = %d, want 0", byName["on-main"].Track)
+	}
+	if tr.TrackName(0) != "main" {
+		t.Errorf("TrackName(0) = %q, want main", tr.TrackName(0))
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wctx := WithTrack(ctx, "w")
+			for i := 0; i < perWorker; i++ {
+				_, s := Start(wctx, "op", Int("i", i))
+				s.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != workers*perWorker {
+		t.Fatalf("Len = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	tr := New(WithClock(fakeClock(10 * time.Microsecond)))
+	ctx := NewContext(context.Background(), tr)
+	pctx, parent := Start(ctx, "outer", String("kind", "test"))
+	_, inner := Start(pctx, "inner")
+	inner.End()
+	parent.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var meta, complete int
+	for _, e := range env.TraceEvents {
+		switch e["ph"] {
+		case "M":
+			meta++
+		case "X":
+			complete++
+			if e["name"] == "inner" {
+				args := e["args"].(map[string]any)
+				if args["parent"] != "span-1" {
+					t.Errorf("inner parent arg = %v, want span-1", args["parent"])
+				}
+			}
+		}
+	}
+	if meta != 1 || complete != 2 {
+		t.Fatalf("got %d metadata and %d complete events, want 1 and 2", meta, complete)
+	}
+	if !strings.Contains(buf.String(), `"name":"outer"`) {
+		t.Errorf("output missing outer span: %s", buf.String())
+	}
+}
+
+// TestWriteChromeDeterministic pins that a fixed clock yields byte-identical
+// exports across runs, and that spans that finish out of start order are
+// still exported sorted by start time.
+func TestWriteChromeDeterministic(t *testing.T) {
+	render := func() string {
+		tr := New(WithClock(fakeClock(time.Microsecond)))
+		ctx := NewContext(context.Background(), tr)
+		_, a := Start(ctx, "a")
+		_, b := Start(ctx, "b")
+		b.End() // finish out of start order on purpose
+		a.End()
+		var buf bytes.Buffer
+		if err := tr.WriteChrome(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("export is not deterministic:\n%s\nvs\n%s", first, second)
+	}
+	if ai, bi := strings.Index(first, `"name":"a"`), strings.Index(first, `"name":"b"`); ai == -1 || bi == -1 || ai > bi {
+		t.Fatalf("spans not sorted by start time in export:\n%s", first)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs/trace"
 	"repro/internal/rulers"
 	"repro/internal/sched"
 	"repro/internal/sim/check"
@@ -89,6 +90,15 @@ type Options struct {
 	// implement Fingerprinter participate; others always simulate. The
 	// cache may be shared across profilers and goroutines.
 	Cache *simcache.Cache[RunResult]
+	// Sampler, when non-nil, is attached to every chip this Options drives
+	// (engine.SetSampler): the timeline recorder observes PMU deltas at
+	// each RunContext slice boundary. Sampling is read-only, so results are
+	// bit-identical with or without it, but a sampled run always simulates
+	// — the cache is bypassed, since a cache hit would produce no samples.
+	// Excluded from cache keys for the same reason Progress is. Note that
+	// a shared Sampler receives samples from every run under this Options;
+	// attach it to a dedicated Options value to isolate one co-location.
+	Sampler engine.Sampler
 }
 
 // cacheKey canonically identifies a run for memoisation, or ok=false when
@@ -111,6 +121,7 @@ func cacheKey(cfg isa.Config, job, partner Job, placement Placement, opts Option
 	opts.Cache = nil
 	opts.Parallelism = 0
 	opts.Progress = nil
+	opts.Sampler = nil
 	return simcache.KeyOf("profile.run/v1", cfg, placement, jf, pf, opts), true
 }
 
@@ -309,8 +320,26 @@ func ColocateContext(ctx context.Context, cfg isa.Config, job, partner Job, plac
 	return run(ctx, cfg, job, partner, placement, opts)
 }
 
+// startRunSpan opens a span describing one simulation run; a no-op
+// returning (ctx, nil) when no tracer rides on ctx.
+func startRunSpan(ctx context.Context, name string, job, partner Job, placement Placement) (context.Context, *trace.Span) {
+	if trace.FromContext(ctx) == nil {
+		return ctx, nil
+	}
+	p := "<solo>"
+	if partner != nil {
+		p = partner.Name()
+	}
+	return trace.Start(ctx, name,
+		trace.String("job", job.Name()),
+		trace.String("partner", p),
+		trace.String("placement", placement.String()))
+}
+
 func run(ctx context.Context, cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
-	if opts.Cache != nil {
+	// A sampled run must actually simulate — a cache hit would silently
+	// yield an empty timeline — so Sampler forces the uncached path.
+	if opts.Cache != nil && opts.Sampler == nil {
 		if key, ok := cacheKey(cfg, job, partner, placement, opts); ok {
 			res, _, err := opts.Cache.DoContext(ctx, key, func(ctx context.Context) (RunResult, error) {
 				return simulate(ctx, cfg, job, partner, placement, opts)
@@ -326,12 +355,17 @@ func run(ctx context.Context, cfg isa.Config, job, partner Job, placement Placem
 
 // simulate performs one actual measurement run on a fresh chip.
 func simulate(ctx context.Context, cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
+	ctx, span := startRunSpan(ctx, "profile.simulate", job, partner, placement)
+	defer span.End()
 	chip, err := engine.New(cfg)
 	if err != nil {
 		return RunResult{}, err
 	}
 	if opts.Check {
 		check.Attach(chip, opts.CheckInterval)
+	}
+	if opts.Sampler != nil {
+		chip.SetSampler(opts.Sampler)
 	}
 	n := job.Instances()
 	if n > cfg.Cores {
@@ -372,14 +406,22 @@ func simulate(ctx context.Context, cfg isa.Config, job, partner Job, placement P
 	if err := ctx.Err(); err != nil {
 		return RunResult{}, err
 	}
+	_, stage := trace.Start(ctx, "profile.prewarm", trace.Int("uops", opts.PrewarmUops))
 	chip.Prewarm(opts.PrewarmUops)
+	stage.End()
+	_, stage = trace.Start(ctx, "profile.warmup", trace.Uint64("cycles", opts.WarmupCycles))
 	if err := chip.RunContext(ctx, opts.WarmupCycles); err != nil {
+		stage.End()
 		return RunResult{}, fmt.Errorf("profile: run of %s cancelled: %w", job.Name(), err)
 	}
+	stage.End()
 	chip.ResetCounters()
+	_, stage = trace.Start(ctx, "profile.measure", trace.Uint64("cycles", opts.MeasureCycles))
 	if err := chip.RunContext(ctx, opts.MeasureCycles); err != nil {
+		stage.End()
 		return RunResult{}, fmt.Errorf("profile: run of %s cancelled: %w", job.Name(), err)
 	}
+	stage.End()
 	if err := chip.CheckErr(); err != nil {
 		return RunResult{}, fmt.Errorf("profile: invariant violation running %s: %w", job.Name(), err)
 	}
@@ -581,6 +623,9 @@ func (p *Profiler) CharacterizeJobRulers(job Job, placement Placement, rulerInst
 // writes only its own Sen/Con dimension, the result is bit-identical to
 // the sequential sweep at any Parallelism.
 func (p *Profiler) CharacterizeJobRulersContext(ctx context.Context, job Job, placement Placement, rulerInstances int) (Characterization, error) {
+	ctx, span := trace.Start(ctx, "profile.characterize",
+		trace.String("job", job.Name()), trace.String("placement", placement.String()))
+	defer span.End()
 	solo, err := p.SoloRunContext(ctx, job)
 	if err != nil {
 		return Characterization{}, err
@@ -618,6 +663,9 @@ func (p *Profiler) CharacterizeJobRulersContext(ctx context.Context, job Job, pl
 // dimension. Cells are independent simulations — the unit of work the
 // scheduler fans out.
 func (p *Profiler) rulerCell(ctx context.Context, job Job, r *rulers.Ruler, instances int, placement Placement, soloIPC float64) (sen, con float64, err error) {
+	ctx, span := trace.Start(ctx, "profile.ruler-cell",
+		trace.String("job", job.Name()), trace.String("ruler", r.Name))
+	defer span.End()
 	rulerIPC, err := p.rulerSoloIPC(ctx, r)
 	if err != nil {
 		return 0, 0, err
@@ -675,8 +723,10 @@ func (p *Profiler) characterizeJobs(ctx context.Context, jobs []Job, placement P
 	// Phase 1: every solo run — each application arrangement plus the
 	// Ruler baselines of Equation 2 — warms the profiler memos in
 	// parallel, so phase 2's cells never duplicate a solo simulation.
+	phaseCtx, phase := trace.Start(ctx, "profile.solo-phase",
+		trace.Int("jobs", len(jobs)), trace.Int("rulers", nr))
 	out := make([]Characterization, len(jobs))
-	err := sched.Map(ctx, solos, workers, func(ctx context.Context, i int) error {
+	err := sched.Map(phaseCtx, solos, workers, func(ctx context.Context, i int) error {
 		if i < len(jobs) {
 			solo, err := p.SoloRunContext(ctx, jobs[i])
 			if err != nil {
@@ -697,6 +747,7 @@ func (p *Profiler) characterizeJobs(ctx context.Context, jobs []Job, placement P
 		tick()
 		return nil
 	})
+	phase.End()
 	if err != nil {
 		return nil, err
 	}
@@ -704,7 +755,9 @@ func (p *Profiler) characterizeJobs(ctx context.Context, jobs []Job, placement P
 	// Phase 2: the (application, Ruler) co-location cells, flattened into
 	// one index space. Cell (ji, ri) writes only out[ji].Sen/Con[dim] —
 	// disjoint memory — keeping the reduction order-free.
-	err = sched.Map(ctx, len(jobs)*nr, workers, func(ctx context.Context, i int) error {
+	phaseCtx, phase = trace.Start(ctx, "profile.pair-phase",
+		trace.Int("cells", len(jobs)*nr))
+	err = sched.Map(phaseCtx, len(jobs)*nr, workers, func(ctx context.Context, i int) error {
 		ji, ri := i/nr, i%nr
 		sen, con, err := p.rulerCell(ctx, jobs[ji], p.set[ri], jobs[ji].Instances(), placement, out[ji].SoloIPC)
 		if err != nil {
@@ -715,6 +768,7 @@ func (p *Profiler) characterizeJobs(ctx context.Context, jobs []Job, placement P
 		tick()
 		return nil
 	})
+	phase.End()
 	if err != nil {
 		return nil, err
 	}
@@ -798,6 +852,8 @@ func (p *Profiler) MeasurePairsContext(ctx context.Context, as, bs []*workload.S
 			tasks = append(tasks, task{a, b})
 		}
 	}
+	ctx, span := trace.Start(ctx, "profile.measure-pairs", trace.Int("pairs", len(tasks)))
+	defer span.End()
 	out := make([]PairMeasurement, len(tasks))
 	var done atomic.Int64
 	err := sched.Map(ctx, len(tasks), p.opts.workers(), func(ctx context.Context, i int) error {

@@ -1,6 +1,7 @@
 package qosd
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -13,6 +14,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs/metrics"
+	"repro/internal/obs/trace"
 	"repro/internal/queueing"
 	"repro/internal/service"
 	"repro/internal/simcache"
@@ -47,6 +50,12 @@ type Config struct {
 	// so the per-request timeout genuinely cancels in-flight simulation.
 	// Nil disables the endpoint (501).
 	System *smite.System
+	// EnableTrace enables per-request span tracing: a request carrying
+	// ?trace=1 is traced end to end and the rendered Chrome trace is kept
+	// for GET /debug/trace/last (which is only mounted when this is set).
+	// Off by default; tracing one request costs one Tracer allocation and
+	// a JSON render.
+	EnableTrace bool
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +80,11 @@ type Server struct {
 	// generation, so uploads invalidate it wholesale.
 	memo    *simcache.Cache[float64]
 	metrics *serverMetrics
+
+	// lastTrace holds the Chrome-trace render of the most recent ?trace=1
+	// request, served by /debug/trace/last.
+	traceMu   sync.Mutex
+	lastTrace []byte
 }
 
 // NewServer builds a Server over the registry.
@@ -91,6 +105,9 @@ func NewServer(reg *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("/v1/batch", s.method(http.MethodPost, s.handleBatch))
 	s.mux.HandleFunc("/v1/profiles", s.method(http.MethodPost, s.handleProfiles))
 	s.mux.HandleFunc("/v1/characterize", s.method(http.MethodPost, s.handleCharacterize))
+	if cfg.EnableTrace {
+		s.mux.HandleFunc("/debug/trace/last", s.method(http.MethodGet, s.handleTraceLast))
+	}
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -102,7 +119,36 @@ func NewServer(reg *Registry, cfg Config) *Server {
 		writeError(w, &APIError{Status: http.StatusNotFound, Code: CodeNotFound,
 			Message: fmt.Sprintf("no route %s", r.URL.Path)})
 	})
+	s.registerGauges()
 	return s
+}
+
+// registerGauges exposes the state the JSON /metrics endpoint reports from
+// its owners as exposition-time callbacks, so the OpenMetrics view carries
+// the same facts without a second bookkeeping path.
+func (s *Server) registerGauges() {
+	reg, m := s.metrics.reg, s.metrics
+	reg.GaugeFunc("qosd_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return m.now().Sub(m.start).Seconds() })
+	reg.GaugeFunc("qosd_profiles", "Characterization profiles loaded in the registry.",
+		func() float64 { return float64(s.reg.Len()) })
+	reg.GaugeFunc("qosd_model_loaded", "1 when a prediction model is loaded, else 0.",
+		func() float64 {
+			if _, ok := s.reg.Model(); ok {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("qosd_prediction_cache_hits", "Prediction memo hits since start.",
+		func() float64 { return float64(s.memo.Stats().Hits) })
+	reg.GaugeFunc("qosd_prediction_cache_misses", "Prediction memo misses since start.",
+		func() float64 { return float64(s.memo.Stats().Misses) })
+	reg.GaugeFunc("qosd_prediction_cache_entries", "Prediction memo entries stored.",
+		func() float64 { return float64(s.memo.Stats().Entries) })
+	reg.GaugeFunc("qosd_inflight_requests", "Requests currently holding a concurrency slot.",
+		func() float64 { return float64(len(s.inflight)) })
+	reg.GaugeFunc("qosd_max_inflight", "Configured concurrency limit.",
+		func() float64 { return float64(s.cfg.MaxInFlight) })
 }
 
 // Registry returns the server's registry (for in-process loading).
@@ -160,14 +206,18 @@ func (s *Server) limitConcurrency(next http.Handler) http.Handler {
 	})
 }
 
-// instrument records metrics and emits one structured log line per
-// request.
+// instrument records metrics, optionally traces the request, and emits one
+// structured log line per request.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := s.metrics.now()
 		rec := &statusRecorder{ResponseWriter: w}
-		next.ServeHTTP(rec, r)
-		elapsed := time.Since(start)
+		if s.cfg.EnableTrace && r.URL.Query().Get("trace") == "1" {
+			s.serveTraced(rec, r, next)
+		} else {
+			next.ServeHTTP(rec, r)
+		}
+		elapsed := s.metrics.now().Sub(start)
 		route := routeLabel(r)
 		s.metrics.record(route, rec.code(), elapsed)
 		if s.cfg.Logger != nil {
@@ -182,11 +232,30 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 	})
 }
 
+// serveTraced runs one request under a fresh tracer and keeps the rendered
+// Chrome trace for /debug/trace/last. Each traced request replaces the
+// previous render; tracing is per-request opt-in, so the steady-state cost
+// of an enabled-but-untraced server is one query-parameter check.
+func (s *Server) serveTraced(rec *statusRecorder, r *http.Request, next http.Handler) {
+	tr := trace.New()
+	ctx, root := trace.Start(trace.NewContext(r.Context(), tr), routeLabel(r),
+		trace.String("remote", r.RemoteAddr))
+	next.ServeHTTP(rec, r.WithContext(ctx))
+	root.SetAttr(trace.Int("status", rec.code()))
+	root.End()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err == nil {
+		s.traceMu.Lock()
+		s.lastTrace = buf.Bytes()
+		s.traceMu.Unlock()
+	}
+}
+
 // routeLabel buckets a request for metrics: known routes individually,
 // pprof and everything else in catch-all buckets.
 func routeLabel(r *http.Request) string {
 	switch r.URL.Path {
-	case "/healthz", "/metrics", "/v1/predict", "/v1/colocate", "/v1/batch", "/v1/profiles", "/v1/characterize":
+	case "/healthz", "/metrics", "/v1/predict", "/v1/colocate", "/v1/batch", "/v1/profiles", "/v1/characterize", "/debug/trace/last":
 		return r.Method + " " + r.URL.Path
 	}
 	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
@@ -222,64 +291,100 @@ func (sr *statusRecorder) code() int {
 	return sr.status
 }
 
-// serverMetrics aggregates request counts per route and a sliding window
-// of request latencies.
+// latencyBounds buckets request durations (milliseconds) for the
+// OpenMetrics histogram. The JSON percentiles come from the sliding window
+// instead, which the fixed bounds cannot reproduce.
+var latencyBounds = []float64{0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// serverMetrics is the serving-layer view over the obs/metrics registry:
+// request counts live in a (route, class)-labelled counter family, request
+// durations in both a fixed-bound histogram (for exposition) and a
+// stats.Window (for the JSON percentile report the v1 API promises).
+//
+// now is the clock; tests inject a fake for deterministic durations and
+// uptime. It is read without synchronization, so replace it before the
+// server handles traffic.
 type serverMetrics struct {
+	now   func() time.Time
 	start time.Time
 
+	reg      *metrics.Registry
+	requests *metrics.CounterVec
+	latency  *metrics.Histogram
+
 	mu     sync.Mutex
-	routes map[string]*RouteMetrics
-	window [latencyWindow]float64 // milliseconds, ring buffer
-	idx    int
-	count  int
+	window *stats.Window
 }
 
 func newServerMetrics() *serverMetrics {
-	return &serverMetrics{start: time.Now(), routes: make(map[string]*RouteMetrics)}
+	reg := metrics.NewRegistry()
+	return &serverMetrics{
+		now:   time.Now,
+		start: time.Now(),
+		reg:   reg,
+		requests: reg.CounterVec("qosd_requests",
+			"Requests served, by route and status class.", "route", "class"),
+		latency: reg.Histogram("qosd_request_duration_ms",
+			"End-to-end request duration in milliseconds.", latencyBounds),
+		window: stats.NewWindow(latencyWindow),
+	}
+}
+
+// statusClass buckets an HTTP status the way the v1 JSON metrics report
+// does: 2xx, 4xx, 5xx, and "other" for everything else (1xx, 3xx).
+func statusClass(status int) string {
+	switch {
+	case status >= 200 && status < 300:
+		return "2xx"
+	case status >= 400 && status < 500:
+		return "4xx"
+	case status >= 500 && status < 600:
+		return "5xx"
+	default:
+		return "other"
+	}
 }
 
 func (m *serverMetrics) record(route string, status int, d time.Duration) {
+	m.requests.With(route, statusClass(status)).Inc()
+	ms := float64(d) / float64(time.Millisecond)
+	m.latency.Observe(ms)
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	rm := m.routes[route]
-	if rm == nil {
-		rm = &RouteMetrics{}
-		m.routes[route] = rm
-	}
-	rm.Total++
-	switch {
-	case status >= 200 && status < 300:
-		rm.Status2xx++
-	case status >= 400 && status < 500:
-		rm.Status4xx++
-	case status >= 500 && status < 600:
-		rm.Status5xx++
-	default:
-		rm.StatusElse++
-	}
-	m.window[m.idx] = float64(d) / float64(time.Millisecond)
-	m.idx = (m.idx + 1) % latencyWindow
-	if m.count < latencyWindow {
-		m.count++
-	}
+	m.window.Add(ms)
+	m.mu.Unlock()
 }
 
+// snapshot folds the labelled counters back into the per-route structs the
+// v1 JSON metrics response has always exposed, so migrating the storage
+// onto the registry is invisible on the wire.
 func (m *serverMetrics) snapshot() (map[string]RouteMetrics, LatencyMetrics, float64) {
+	routes := make(map[string]RouteMetrics)
+	for _, lc := range m.requests.Snapshot() {
+		route, class := lc.Labels[0], lc.Labels[1]
+		rm := routes[route]
+		rm.Total += lc.Count
+		switch class {
+		case "2xx":
+			rm.Status2xx += lc.Count
+		case "4xx":
+			rm.Status4xx += lc.Count
+		case "5xx":
+			rm.Status5xx += lc.Count
+		default:
+			rm.StatusElse += lc.Count
+		}
+		routes[route] = rm
+	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	routes := make(map[string]RouteMetrics, len(m.routes))
-	for k, v := range m.routes {
-		routes[k] = *v
-	}
-	samples := append([]float64(nil), m.window[:m.count]...)
 	lat := LatencyMetrics{
-		Window: m.count,
-		P50:    stats.Percentile(samples, 0.50),
-		P90:    stats.Percentile(samples, 0.90),
-		P99:    stats.Percentile(samples, 0.99),
-		Max:    stats.Max(samples),
+		Window: m.window.Len(),
+		P50:    m.window.Percentile(0.50),
+		P90:    m.window.Percentile(0.90),
+		P99:    m.window.Percentile(0.99),
+		Max:    m.window.Max(),
 	}
-	return routes, lat, time.Since(m.start).Seconds()
+	m.mu.Unlock()
+	return routes, lat, m.now().Sub(m.start).Seconds()
 }
 
 // ---- handlers ----
@@ -293,7 +398,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// OpenMetrics text on request (scrapers); the JSON report stays the
+	// default for the v1 API's existing consumers.
+	if r.URL.Query().Get("format") == "openmetrics" ||
+		strings.Contains(r.Header.Get("Accept"), "openmetrics") {
+		w.Header().Set("Content-Type", metrics.ContentType)
+		_ = s.metrics.reg.WriteOpenMetrics(w)
+		return
+	}
 	routes, lat, uptime := s.metrics.snapshot()
 	cs := s.memo.Stats()
 	_, hasModel := s.reg.Model()
@@ -310,6 +423,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		},
 		MaxInFlight: s.cfg.MaxInFlight,
 	})
+}
+
+func (s *Server) handleTraceLast(w http.ResponseWriter, _ *http.Request) {
+	s.traceMu.Lock()
+	b := s.lastTrace
+	s.traceMu.Unlock()
+	if b == nil {
+		writeError(w, &APIError{Status: http.StatusNotFound, Code: CodeNotFound,
+			Message: "no traced request yet (send one with ?trace=1)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(b)
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -488,6 +614,9 @@ func (s *Server) predict(ctx context.Context, victim, aggressor string, instance
 	if threads > 0 && (instances < 1 || instances > threads) {
 		return 0, invalidArgument("instances (%d) outside [1, threads=%d]", instances, threads)
 	}
+	ctx, span := trace.Start(ctx, "qosd.predict",
+		trace.String("victim", victim), trace.String("aggressor", aggressor))
+	defer span.End()
 	v, a, m, gen, apiErr := s.reg.snapshot(victim, aggressor)
 	if apiErr != nil {
 		return 0, apiErr

@@ -267,6 +267,21 @@ type Checker interface {
 	OnReset(c *Chip)
 }
 
+// Sampler is the observability hook the timeline recorder
+// (internal/obs/timeline) implements. OnSample fires at RunContext slice
+// boundaries (every runContextSlice cycles and once at the end of the
+// window) with the chip paused between cycles; implementations may only
+// read — Counters, Cycle, Memory and friends — never mutate, so an
+// attached sampler cannot perturb simulation results. OnReset fires, like
+// Checker.OnReset, whenever counter baselines move (Assign, ResetCounters)
+// so the sampler can re-baseline its deltas. The engine never calls the
+// sampler from Run, which keeps the uninstrumented hot loop byte-for-byte
+// unchanged.
+type Sampler interface {
+	OnSample(c *Chip)
+	OnReset(c *Chip)
+}
+
 // Chip is the full simulated processor.
 // It is not safe for concurrent use; run independent experiments on
 // independent Chips.
@@ -285,6 +300,8 @@ type Chip struct {
 	checker       Checker
 	checkInterval uint64
 	checkErr      error
+
+	sampler Sampler
 }
 
 // New builds a chip for the given configuration. It returns an error if the
@@ -356,6 +373,10 @@ func MustNew(cfg isa.Config) *Chip {
 	}
 	return c
 }
+
+// SetSampler attaches (or, with nil, detaches) a timeline sampler.
+// See Sampler for the observation contract; only RunContext consults it.
+func (c *Chip) SetSampler(s Sampler) { c.sampler = s }
 
 // Config returns the chip's configuration.
 func (c *Chip) Config() isa.Config { return c.cfg }
@@ -443,6 +464,9 @@ func (c *Chip) Assign(core, ctx int, s Stream) {
 	if c.checker != nil {
 		c.checker.OnReset(c)
 	}
+	if c.sampler != nil {
+		c.sampler.OnReset(c)
+	}
 }
 
 // Counters returns a snapshot of the context's cumulative PMU counters.
@@ -475,6 +499,9 @@ func (c *Chip) ResetCounters() {
 	c.memc.ResetStats()
 	if c.checker != nil {
 		c.checker.OnReset(c)
+	}
+	if c.sampler != nil {
+		c.sampler.OnReset(c)
 	}
 }
 
@@ -703,8 +730,12 @@ const runContextSlice = 16 * 1024
 // extra boundaries only validates — it mutates nothing. A completed
 // RunContext is therefore bit-identical to Run over the same window
 // (pinned by TestRunContextMatchesRun against the golden fixtures' path).
+// When a Sampler is attached the window is always sliced — even under a
+// background context — and the sampler observes the chip at every slice
+// boundary. Sampling is read-only, so the simulated results stay
+// bit-identical with or without it (TestRunContextSamplerBitIdentical).
 func (c *Chip) RunContext(ctx context.Context, cycles uint64) error {
-	if ctx.Done() == nil {
+	if ctx.Done() == nil && c.sampler == nil {
 		// Background contexts cannot cancel; skip the slicing entirely.
 		c.Run(cycles)
 		return nil
@@ -719,6 +750,9 @@ func (c *Chip) RunContext(ctx context.Context, cycles uint64) error {
 		}
 		c.Run(slice)
 		cycles -= slice
+		if c.sampler != nil {
+			c.sampler.OnSample(c)
+		}
 	}
 	return ctx.Err()
 }

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+// countingSampler records the chip cycles at which it was consulted.
+type countingSampler struct {
+	cycles []uint64
+}
+
+func (s *countingSampler) OnSample(c *Chip) { s.cycles = append(s.cycles, c.Cycle()) }
+func (s *countingSampler) OnReset(c *Chip)  {}
+
+// A sampler attached to RunContext must observe the chip at every slice
+// boundary without perturbing results: counters and the chip clock stay
+// bit-identical to an unsampled run over the same window, even under a
+// background context (which otherwise takes the unsliced fast path).
+func TestRunContextSamplerBitIdentical(t *testing.T) {
+	const warmup, measure = 10_000, 2*runContextSlice + 777
+
+	plain := runCtxChip(t)
+	plain.Run(warmup)
+	plain.ResetCounters()
+	plain.Run(measure)
+
+	sampled := runCtxChip(t)
+	s := &countingSampler{}
+	sampled.SetSampler(s)
+	ctx := context.Background()
+	if err := sampled.RunContext(ctx, warmup); err != nil {
+		t.Fatal(err)
+	}
+	sampled.ResetCounters()
+	if err := sampled.RunContext(ctx, measure); err != nil {
+		t.Fatal(err)
+	}
+
+	if plain.Cycle() != sampled.Cycle() {
+		t.Fatalf("chip clocks diverged: %d vs %d", plain.Cycle(), sampled.Cycle())
+	}
+	for ctxIdx := 0; ctxIdx < 2; ctxIdx++ {
+		a, b := plain.Counters(0, ctxIdx), sampled.Counters(0, ctxIdx)
+		if a != b {
+			t.Errorf("context %d counters diverged:\nplain:   %+v\nsampled: %+v", ctxIdx, a, b)
+		}
+	}
+
+	// warmup (10_000 < one slice) → 1 boundary; measure (2 full slices +
+	// a partial) → 3 boundaries.
+	if len(s.cycles) != 4 {
+		t.Fatalf("sampler consulted %d times, want 4 (%v)", len(s.cycles), s.cycles)
+	}
+	for i := 1; i < len(s.cycles); i++ {
+		if s.cycles[i] <= s.cycles[i-1] {
+			t.Fatalf("sample cycles not strictly increasing: %v", s.cycles)
+		}
+	}
+}
+
+// Detaching the sampler restores the background fast path (no samples).
+func TestSetSamplerDetach(t *testing.T) {
+	chip := runCtxChip(t)
+	s := &countingSampler{}
+	chip.SetSampler(s)
+	chip.SetSampler(nil)
+	if err := chip.RunContext(context.Background(), 3*runContextSlice); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.cycles) != 0 {
+		t.Fatalf("detached sampler still consulted: %v", s.cycles)
+	}
+}

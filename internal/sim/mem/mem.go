@@ -45,6 +45,17 @@ func (m *Controller) Request(now uint64) (completeAt uint64) {
 	return start + m.baseLatency
 }
 
+// Backlog returns how many cycles of already-granted service extend beyond
+// cycle now — the queueing delay the next request admitted at now would
+// see. Zero means the controller is idle. Read-only; the timeline sampler
+// uses it as the DRAM queue-occupancy signal.
+func (m *Controller) Backlog(now uint64) uint64 {
+	if m.nextFree > now {
+		return m.nextFree - now
+	}
+	return 0
+}
+
 // Stats returns the request count, the average queueing delay in cycles and
 // the maximum backlog observed.
 func (m *Controller) Stats() (requests uint64, avgQueue float64, maxBacklog uint64) {

@@ -15,14 +15,21 @@ package simcache
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs/trace"
 )
 
 // Key is a content hash identifying one simulation. Construct it with
 // KeyOf; the zero Key is valid but only matches itself.
 type Key [sha256.Size]byte
+
+// Short returns an abbreviated hex form of the key for logs and trace
+// attributes.
+func (k Key) Short() string { return hex.EncodeToString(k[:4]) }
 
 // KeyOf derives a Key from the canonical Go-syntax representation (%#v) of
 // each part, in order. This is deterministic for value types built from
@@ -94,6 +101,11 @@ func (c *Cache[V]) Do(k Key, compute func() (V, error)) (V, bool, error) {
 //     their own ctx as well as the flight, so a client disconnect releases
 //     the handler even while another request's computation is in flight.
 func (c *Cache[V]) DoContext(ctx context.Context, k Key, compute func(ctx context.Context) (V, error)) (V, bool, error) {
+	// With a tracer on ctx every lookup gets a span whose outcome attribute
+	// distinguishes a hit, a single-flight wait behind another goroutine's
+	// computation, and a miss that computed. tr == nil costs one context
+	// lookup per call.
+	tr := trace.FromContext(ctx)
 	var zero V
 	for {
 		if err := ctx.Err(); err != nil {
@@ -102,15 +114,33 @@ func (c *Cache[V]) DoContext(ctx context.Context, k Key, compute func(ctx contex
 		c.mu.Lock()
 		if e, ok := c.entries[k]; ok {
 			c.mu.Unlock()
+			var span *trace.Span
+			if tr != nil {
+				// An already-closed flight is a plain hit; an open one means
+				// this caller blocks behind the in-flight leader.
+				outcome := "hit"
+				select {
+				case <-e.done:
+				default:
+					outcome = "wait"
+				}
+				_, span = trace.Start(ctx, "simcache.lookup",
+					trace.String("key", k.Short()), trace.String("outcome", outcome))
+			}
 			select {
 			case <-e.done:
 			case <-ctx.Done():
+				span.SetAttr(trace.String("error", "cancelled"))
+				span.End()
 				return zero, false, ctx.Err()
 			}
 			if !e.ok {
+				span.SetAttr(trace.String("retry", "flight-failed"))
+				span.End()
 				continue // that flight failed; try to compute ourselves
 			}
 			c.hits.Add(1)
+			span.End()
 			return e.val, true, nil
 		}
 		e := &entry[V]{done: make(chan struct{})}
@@ -118,7 +148,13 @@ func (c *Cache[V]) DoContext(ctx context.Context, k Key, compute func(ctx contex
 		c.mu.Unlock()
 		c.misses.Add(1)
 
+		var span *trace.Span
+		if tr != nil {
+			ctx, span = trace.Start(ctx, "simcache.compute",
+				trace.String("key", k.Short()), trace.String("outcome", "miss"))
+		}
 		v, err := c.fly(k, e, func() (V, error) { return compute(ctx) })
+		span.End()
 		if err != nil {
 			return zero, false, err
 		}

@@ -184,6 +184,48 @@ func (s Summary) String() string {
 		s.N, s.Mean, s.Std, s.Min, s.P50, s.P90, s.P99, s.Max1)
 }
 
+// Window is a fixed-capacity sliding window of samples: once full, each
+// Add overwrites the oldest sample. It is the storage behind qosd's
+// request-latency percentiles, deduplicating the ring-buffer logic that
+// used to live there. Not safe for concurrent use; callers lock.
+type Window struct {
+	buf   []float64
+	idx   int
+	count int
+}
+
+// NewWindow builds a window holding at most n samples (n must be positive).
+func NewWindow(n int) *Window {
+	if n <= 0 {
+		panic("stats: window capacity must be positive")
+	}
+	return &Window{buf: make([]float64, n)}
+}
+
+// Add records one sample, evicting the oldest when the window is full.
+func (w *Window) Add(v float64) {
+	w.buf[w.idx] = v
+	w.idx = (w.idx + 1) % len(w.buf)
+	if w.count < len(w.buf) {
+		w.count++
+	}
+}
+
+// Len returns the number of samples currently held.
+func (w *Window) Len() int { return w.count }
+
+// Samples returns a copy of the held samples (unordered from the caller's
+// perspective; suitable for Percentile/Max).
+func (w *Window) Samples() []float64 {
+	return append([]float64(nil), w.buf[:w.count]...)
+}
+
+// Percentile returns the p-th percentile of the held samples.
+func (w *Window) Percentile(p float64) float64 { return Percentile(w.buf[:w.count], p) }
+
+// Max returns the largest held sample (0 when empty).
+func (w *Window) Max() float64 { return Max(w.buf[:w.count]) }
+
 // MeanAbs returns the mean of |x| over xs.
 func MeanAbs(xs []float64) float64 {
 	s := 0.0

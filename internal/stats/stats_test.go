@@ -184,3 +184,90 @@ func TestMeanAbs(t *testing.T) {
 		t.Error("MeanAbs(nil) != 0")
 	}
 }
+
+// legacyRing replicates the inline latency ring buffer qosd carried before
+// Window existed: fixed array, wrapping index, saturating count.
+type legacyRing struct {
+	window [64]float64
+	idx    int
+	count  int
+}
+
+func (m *legacyRing) record(v float64) {
+	m.window[m.idx] = v
+	m.idx = (m.idx + 1) % len(m.window)
+	if m.count < len(m.window) {
+		m.count++
+	}
+}
+
+func (m *legacyRing) snapshot() (p50, p90, p99, max float64, n int) {
+	samples := append([]float64(nil), m.window[:m.count]...)
+	return Percentile(samples, 0.50), Percentile(samples, 0.90),
+		Percentile(samples, 0.99), Max(samples), m.count
+}
+
+// TestWindowMatchesLegacyRing drives Window and the old ring with the same
+// sample stream — shorter than, equal to, and far beyond capacity — and
+// requires identical percentiles at every step. This is the equivalence
+// proof for routing qosd's latency metric through stats.Window.
+func TestWindowMatchesLegacyRing(t *testing.T) {
+	w := NewWindow(64)
+	var old legacyRing
+	next := 12345.0
+	for i := 0; i < 500; i++ {
+		// Deterministic, wiggly sample stream with repeats and spikes.
+		next = float64((int(next*31) + 17) % 997)
+		v := next / 10
+		w.Add(v)
+		old.record(v)
+		p50, p90, p99, max, n := old.snapshot()
+		if w.Len() != n {
+			t.Fatalf("step %d: Len = %d, want %d", i, w.Len(), n)
+		}
+		if got := w.Percentile(0.50); got != p50 {
+			t.Fatalf("step %d: p50 = %v, want %v", i, got, p50)
+		}
+		if got := w.Percentile(0.90); got != p90 {
+			t.Fatalf("step %d: p90 = %v, want %v", i, got, p90)
+		}
+		if got := w.Percentile(0.99); got != p99 {
+			t.Fatalf("step %d: p99 = %v, want %v", i, got, p99)
+		}
+		if got := w.Max(); got != max {
+			t.Fatalf("step %d: max = %v, want %v", i, got, max)
+		}
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(4)
+	if w.Len() != 0 || w.Max() != 0 || w.Percentile(0.5) != 0 {
+		t.Fatal("empty window not zero-valued")
+	}
+	for _, v := range []float64{5, 1, 9, 3} {
+		w.Add(v)
+	}
+	if w.Len() != 4 || w.Max() != 9 {
+		t.Fatalf("window = len %d max %v", w.Len(), w.Max())
+	}
+	w.Add(2) // evicts 5
+	if got := w.Samples(); len(got) != 4 {
+		t.Fatalf("samples = %v", got)
+	}
+	if w.Max() != 9 {
+		t.Fatalf("max after eviction = %v", w.Max())
+	}
+	w.Add(1)
+	w.Add(1)
+	w.Add(1) // evicts 1, 9 and 3; window is now {2, 1, 1, 1}
+	if w.Max() != 2 {
+		t.Fatalf("max after evicting 9 = %v, want 2", w.Max())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("NewWindow(0) did not panic")
+		}
+	}()
+	NewWindow(0)
+}

@@ -1,0 +1,54 @@
+// Package version derives a human-readable build identifier from the
+// metadata the Go linker embeds in every binary, so the commands can answer
+// -version without a stamping step in the build.
+package version
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// String returns a one-line build description: the module version when the
+// binary was built from a tagged module, otherwise the VCS revision (with a
+// -dirty marker for modified trees), plus the Go toolchain and platform.
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return fmt.Sprintf("unknown (%s/%s)", runtime.GOOS, runtime.GOARCH)
+	}
+	v := info.Main.Version
+	if v == "" || v == "(devel)" {
+		// No module version stamped (plain `go build` before Go started
+		// deriving pseudo-versions from VCS state): fall back to the raw
+		// revision. When a version IS stamped it already encodes the
+		// revision and dirty bit, so appending them again would be noise.
+		v = "devel"
+		var rev string
+		dirty := false
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if dirty {
+				rev += "-dirty"
+			}
+			v += "+" + rev
+		}
+	}
+	return fmt.Sprintf("%s (%s, %s/%s)", v, info.GoVersion, runtime.GOOS, runtime.GOARCH)
+}
+
+// Fprint writes the conventional "<cmd> <version>" line.
+func Fprint(w io.Writer, cmd string) {
+	fmt.Fprintf(w, "%s %s\n", cmd, String())
+}

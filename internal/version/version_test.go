@@ -1,0 +1,31 @@
+package version
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStringCarriesToolchain(t *testing.T) {
+	s := String()
+	if s == "" {
+		t.Fatal("empty version string")
+	}
+	// Test binaries always embed build info, so the toolchain and platform
+	// must be present.
+	if !strings.Contains(s, "go1") {
+		t.Errorf("version %q missing Go toolchain", s)
+	}
+	if !strings.Contains(s, "/") {
+		t.Errorf("version %q missing GOOS/GOARCH", s)
+	}
+}
+
+func TestFprintFormat(t *testing.T) {
+	var buf bytes.Buffer
+	Fprint(&buf, "smite")
+	out := buf.String()
+	if !strings.HasPrefix(out, "smite ") || !strings.HasSuffix(out, "\n") {
+		t.Errorf("Fprint = %q, want \"smite <version>\\n\"", out)
+	}
+}
