@@ -19,6 +19,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/experiments"
@@ -31,6 +32,17 @@ import (
 )
 
 func newLab() *experiments.Lab { return experiments.NewLab(experiments.TestScale()) }
+
+// skipMacroBench keeps `go test -short -bench .` fast: the figure-level
+// macro benchmarks take seconds per iteration (Fig2FunctionalUnitSenCon
+// sits at ~4.7 s/op), so short mode runs only the micro benchmarks. CI's
+// bench job runs without -short and keeps the full gate.
+func skipMacroBench(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("macro benchmark in short mode")
+	}
+}
 
 // BenchmarkEngineHotLoop measures the raw engine cycle loop — the substrate
 // every figure bottoms out in — on one SMT core, without the profiling
@@ -94,6 +106,7 @@ func BenchmarkTable1MachineConfigs(b *testing.B) {
 // BenchmarkFig2FunctionalUnitSenCon regenerates Figure 2: per-application
 // sensitivity/contentiousness on the functional-unit dimensions.
 func BenchmarkFig2FunctionalUnitSenCon(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig2FunctionalUnits()
@@ -109,6 +122,7 @@ func BenchmarkFig2FunctionalUnitSenCon(b *testing.B) {
 // BenchmarkFig3PortUtilizationCDF regenerates Figures 3 and 5: aggregated
 // port-utilisation CDFs over all SPEC co-location pairs.
 func BenchmarkFig3PortUtilizationCDF(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig3And5PortUtilization()
@@ -125,6 +139,7 @@ func BenchmarkFig3PortUtilizationCDF(b *testing.B) {
 // BenchmarkFig4MemorySenCon regenerates Figure 4: memory-subsystem
 // sensitivity/contentiousness.
 func BenchmarkFig4MemorySenCon(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		if _, err := lab.Fig4MemorySubsystem(); err != nil {
@@ -136,6 +151,7 @@ func BenchmarkFig4MemorySenCon(b *testing.B) {
 // BenchmarkFig5MemPortUtilizationCDF regenerates the memory-port half of
 // the utilisation study (same runs as Figure 3, reported for ports 2/3/4).
 func BenchmarkFig5MemPortUtilizationCDF(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig3And5PortUtilization()
@@ -152,6 +168,7 @@ func BenchmarkFig5MemPortUtilizationCDF(b *testing.B) {
 // BenchmarkFig6SenConSummary regenerates Figure 6: the full
 // seven-dimension characterization matrix.
 func BenchmarkFig6SenConSummary(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		if _, err := lab.Fig6Summary(); err != nil {
@@ -163,6 +180,7 @@ func BenchmarkFig6SenConSummary(b *testing.B) {
 // BenchmarkFig7CorrelationMatrix regenerates Figure 7: |Pearson|
 // correlations across the 14 Sen/Con dimensions.
 func BenchmarkFig7CorrelationMatrix(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig7Correlation()
@@ -176,6 +194,7 @@ func BenchmarkFig7CorrelationMatrix(b *testing.B) {
 // BenchmarkFig9RulerValidation regenerates Figure 9's validation: Ruler
 // port saturation and working-set/interference linearity.
 func BenchmarkFig9RulerValidation(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig9RulerValidation()
@@ -193,6 +212,7 @@ func BenchmarkFig9RulerValidation(b *testing.B) {
 // BenchmarkFig10SpecSMTPrediction regenerates Figure 10: SMT prediction
 // accuracy on SPEC (SMiTe vs the PMU baseline).
 func BenchmarkFig10SpecSMTPrediction(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig10SpecSMT()
@@ -207,6 +227,7 @@ func BenchmarkFig10SpecSMTPrediction(b *testing.B) {
 // BenchmarkFig11SpecCMPPrediction regenerates Figure 11: CMP prediction
 // accuracy on SPEC.
 func BenchmarkFig11SpecCMPPrediction(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig11SpecCMP()
@@ -220,6 +241,7 @@ func BenchmarkFig11SpecCMPPrediction(b *testing.B) {
 // BenchmarkFig12CloudSuitePrediction regenerates Figure 12: CloudSuite
 // SMT/CMP prediction accuracy.
 func BenchmarkFig12CloudSuitePrediction(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig12CloudSuite()
@@ -237,6 +259,7 @@ func BenchmarkFig12CloudSuitePrediction(b *testing.B) {
 // BenchmarkFig13TailLatencyPrediction regenerates Figure 13: p90 latency
 // prediction for the percentile-reporting services.
 func BenchmarkFig13TailLatencyPrediction(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig13TailLatency()
@@ -252,6 +275,7 @@ func BenchmarkFig13TailLatencyPrediction(b *testing.B) {
 // BenchmarkFig14UtilizationAvgQoS regenerates Figures 14/15: the
 // average-performance-QoS scale-out study.
 func BenchmarkFig14UtilizationAvgQoS(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig14And15AvgQoS()
@@ -265,6 +289,7 @@ func BenchmarkFig14UtilizationAvgQoS(b *testing.B) {
 // BenchmarkFig15ViolationsAvgQoS re-reports the violation half of the
 // average-QoS study (same runs as Figure 14).
 func BenchmarkFig15ViolationsAvgQoS(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig14And15AvgQoS()
@@ -281,6 +306,7 @@ func BenchmarkFig15ViolationsAvgQoS(b *testing.B) {
 // BenchmarkFig16UtilizationTailQoS regenerates Figures 16/17: the
 // tail-latency-QoS scale-out study.
 func BenchmarkFig16UtilizationTailQoS(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig16And17TailQoS()
@@ -294,6 +320,7 @@ func BenchmarkFig16UtilizationTailQoS(b *testing.B) {
 // BenchmarkFig17ViolationsTailQoS re-reports the violation half of the
 // tail-QoS study.
 func BenchmarkFig17ViolationsTailQoS(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig16And17TailQoS()
@@ -306,6 +333,7 @@ func BenchmarkFig17ViolationsTailQoS(b *testing.B) {
 
 // BenchmarkFig18TCO regenerates Figure 18: the 3-year TCO analysis.
 func BenchmarkFig18TCO(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.Fig18TCO()
@@ -325,6 +353,7 @@ func BenchmarkFig18TCO(b *testing.B) {
 // BenchmarkModelAblation runs the model-comparison ablation: SMiTe NNLS/OLS,
 // a Bubble-Up-style single-metric model, and the PMU-baseline family.
 func BenchmarkModelAblation(b *testing.B) {
+	skipMacroBench(b)
 	for i := 0; i < b.N; i++ {
 		lab := newLab()
 		r, err := lab.ModelAblation()
@@ -341,6 +370,7 @@ func BenchmarkModelAblation(b *testing.B) {
 // choice called out in DESIGN.md: the IPC of a sequential-stream workload
 // with the prefetcher on versus off.
 func BenchmarkAblationStreamPrefetcher(b *testing.B) {
+	skipMacroBench(b)
 	run := func(prefetch bool) float64 {
 		cfg := isa.IvyBridge()
 		cfg.Cores = 2
@@ -369,6 +399,7 @@ func BenchmarkAblationStreamPrefetcher(b *testing.B) {
 // design choice: the co-location degradation cliff of a cache-resident app
 // against a thrashing neighbour under LRU versus random replacement.
 func BenchmarkAblationL3Replacement(b *testing.B) {
+	skipMacroBench(b)
 	measure := func(policy isa.ReplacementPolicy) float64 {
 		cfg := isa.IvyBridge()
 		cfg.Cores = 2
@@ -570,6 +601,7 @@ func BenchmarkQosdPredictTraced(b *testing.B) {
 // slowdown of the simulation substrate and a scheduler regression that
 // serializes the fan-out.
 func BenchmarkCharacterizeAllParallel(b *testing.B) {
+	skipMacroBench(b)
 	var specs []*smite.Spec
 	for _, n := range []string{"444.namd", "429.mcf", "453.povray", "470.lbm"} {
 		s, err := workload.ByName(n)
@@ -602,6 +634,136 @@ func BenchmarkCharacterizeAllParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// fitBenchSpecs resolves the two-application working set shared by the
+// surrogate benchmarks and the speedup acceptance test.
+func fitBenchSpecs(tb testing.TB) []*smite.Spec {
+	tb.Helper()
+	var specs []*smite.Spec
+	for _, n := range []string{"444.namd", "429.mcf"} {
+		s, err := workload.ByName(n)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// TestSurrogateSpeedup pins the tentpole's acceptance figure: once a set
+// is fitted (the one-time cost a profile store amortizes away), answering
+// the same characterization + prediction queries from the surrogate must
+// be at least 10x faster than the engine-only baseline. The real measured
+// gap is many orders of magnitude (nanoseconds against seconds), so the
+// 10x assert is lenient enough that CI scheduling noise cannot flip it.
+func TestSurrogateSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine baseline characterization in short mode")
+	}
+	specs := fitBenchSpecs(t)
+	sys, err := smite.New(smite.IvyBridge.Config(), smite.WithOptions(smite.FastOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := sys.Fit(context.Background(), specs, smite.SMT, smite.FitOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coef [smite.NumDimensions]float64
+	for d := range coef {
+		coef[d] = 0.2
+	}
+	m := smite.NewModel(coef, 0.01)
+
+	// Engine-only baseline: a fresh System (cold caches) measures the full
+	// characterization the decision path would otherwise need.
+	start := time.Now()
+	fresh, err := smite.New(smite.IvyBridge.Config(), smite.WithOptions(smite.FastOptions()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fresh.CharacterizeAll(specs, smite.SMT); err != nil {
+		t.Fatal(err)
+	}
+	engineTime := time.Since(start)
+
+	const queries = 100
+	start = time.Now()
+	for i := 0; i < queries; i++ {
+		if chars := set.Characterizations(); len(chars) != len(specs) {
+			t.Fatalf("got %d characterizations, want %d", len(chars), len(specs))
+		}
+		if _, err := m.PredictSurrogate(set, "444.namd", "429.mcf"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	surrogateTime := time.Since(start) / queries
+
+	t.Logf("engine baseline %v, surrogate %v per query (%.0fx)",
+		engineTime, surrogateTime, float64(engineTime)/float64(surrogateTime))
+	if engineTime < 10*surrogateTime {
+		t.Errorf("surrogate path is only %.1fx faster than the engine baseline (%v vs %v), want >= 10x",
+			float64(engineTime)/float64(surrogateTime), surrogateTime, engineTime)
+	}
+}
+
+// BenchmarkSurrogatePredict measures the surrogate tier's answer latency:
+// a set is fitted once (setup, not timed) and then queried through the
+// same Model.PredictSurrogate path qosd serves. The whole point of the
+// tier is microsecond answers, so the CI bench job gates this tightly —
+// the acceptance target is <10 µs/op.
+func BenchmarkSurrogatePredict(b *testing.B) {
+	specs := fitBenchSpecs(b)
+	sys, err := smite.New(smite.IvyBridge.Config(), smite.WithOptions(smite.FastOptions()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	set, err := sys.Fit(context.Background(), specs, smite.SMT, smite.FitOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var coef [smite.NumDimensions]float64
+	for d := range coef {
+		coef[d] = 0.2
+	}
+	m := smite.NewModel(coef, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred, err := m.PredictSurrogate(set, "444.namd", "429.mcf")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if pred.Bound < 0 {
+			b.Fatal("negative bound")
+		}
+	}
+}
+
+// BenchmarkCharacterizeBatched measures the batched fitter sweep end to
+// end: one fresh System per iteration fits both applications across the
+// standard intensity grid, so every (dimension, intensity) cell simulates
+// through the per-worker batched engine path with amortized setup. Gated
+// against BENCH_baseline.json alongside CharacterizeAllParallel, its
+// unbatched single-intensity counterpart.
+func BenchmarkCharacterizeBatched(b *testing.B) {
+	skipMacroBench(b)
+	specs := fitBenchSpecs(b)
+	for i := 0; i < b.N; i++ {
+		sys, err := smite.New(smite.IvyBridge.Config(),
+			smite.WithOptions(smite.FastOptions()),
+			smite.WithParallelism(8))
+		if err != nil {
+			b.Fatal(err)
+		}
+		set, err := sys.Fit(context.Background(), specs, smite.SMT, smite.FitOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(set.Models) != len(specs) {
+			b.Fatalf("got %d models, want %d", len(set.Models), len(specs))
+		}
 	}
 }
 

@@ -8,6 +8,8 @@
 //	smite characterize -app 444.namd [-machine ivb|snb] [-placement smt|cmp] [-fast]
 //	smite predict -victim web-search -aggressor 470.lbm [-fast]
 //	smite measure -victim 444.namd -aggressor 429.mcf [-fast] [-timeline-out t.json]
+//	smite fit [-apps 429.mcf,470.lbm,...] -out set.json [-store dir] [-train] [-fast]
+//	smite surrogate -set set.json [-victim web-search -aggressor 470.lbm]
 //	smite version
 //
 // Every simulation subcommand accepts -trace-out to dump a Chrome trace of
@@ -23,6 +25,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 
 	"repro/internal/obs/timeline"
@@ -51,6 +55,10 @@ func main() {
 		err = predict(ctx, os.Args[2:])
 	case "measure":
 		err = measure(ctx, os.Args[2:])
+	case "fit":
+		err = fit(ctx, os.Args[2:])
+	case "surrogate":
+		err = surrogateCmd(os.Args[2:])
 	case "version", "-version", "--version":
 		printVersion(os.Stdout)
 	default:
@@ -71,6 +79,8 @@ func usage() {
   smite characterize -app <name> [-machine ivb|snb] [-placement smt|cmp] [-fast]
   smite predict -victim <name> -aggressor <name> [-fast]
   smite measure -victim <name> -aggressor <name> [-fast] [-timeline-out <file>]
+  smite fit [-apps a,b,...] -out <set.json> [-store <dir>] [-train] [-fast]
+  smite surrogate -set <set.json> [-victim <name> -aggressor <name>]
   smite version
 
 simulation subcommands also accept -trace-out <file> (Chrome trace of the
@@ -293,6 +303,122 @@ func measure(ctx context.Context, args []string) error {
 		fmt.Printf("wrote contention timeline to %s\n", *timelineOut)
 	}
 	return finishTrace()
+}
+
+// fit builds a surrogate set: sample every application's (dimension,
+// intensity) grid through the engine, fit closed-form curves with recorded
+// error bounds, and write the set to -out. With -store, fits warm-start
+// from (and are written back to) a content-addressed profile store, so a
+// re-run with unchanged inputs touches no simulation at all.
+func fit(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("fit", flag.ExitOnError)
+	apps := fs.String("apps", "", "comma-separated application names (default: the even-numbered SPEC training set)")
+	out := fs.String("out", "surrogate.json", "write the fitted surrogate set to this file")
+	storeDir := fs.String("store", "", "content-addressed profile store directory for warm starts (created if missing)")
+	train := fs.Bool("train", false, "also measure pair ground truths and embed the Equation 3 model (needs >= 4 apps)")
+	parallelism := fs.Int("parallelism", 0, "simulation parallelism (0 = one worker per CPU)")
+	machine, placementS, fast, traceOut := commonFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, finishTrace := traceTo(ctx, *traceOut)
+	var specs []*smite.Spec
+	if *apps == "" {
+		specs, _ = smite.TrainTestSplit()
+	} else {
+		for _, name := range strings.Split(*apps, ",") {
+			spec, err := smite.WorkloadByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			specs = append(specs, spec)
+		}
+	}
+	sys, err := newSystem(*machine, *fast, smite.WithParallelism(*parallelism))
+	if err != nil {
+		return err
+	}
+	placement, err := parsePlacement(*placementS)
+	if err != nil {
+		return err
+	}
+	var set *smite.Surrogate
+	if *storeDir != "" {
+		store, err := smite.OpenProfileStore(*storeDir)
+		if err != nil {
+			return err
+		}
+		var stats smite.FitStats
+		set, stats, err = sys.FitWithStore(ctx, store, specs, placement, smite.FitOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("profile store %s: %d warm, %d fitted\n", *storeDir, stats.Hits, stats.Misses)
+	} else {
+		set, err = sys.Fit(ctx, specs, placement, smite.FitOptions{})
+		if err != nil {
+			return err
+		}
+	}
+	if *train {
+		fmt.Printf("measuring %d pair ground truths for the embedded Equation 3 model...\n", len(specs)*(len(specs)-1)/2)
+		if err := sys.TrainSurrogate(ctx, set, specs); err != nil {
+			return err
+		}
+	}
+	if err := smite.SaveSurrogate(*out, set); err != nil {
+		return err
+	}
+	fmt.Printf("fitted %d models on %s (%v placement):\n", len(set.Models), set.Machine, placement)
+	for _, spec := range specs {
+		m := set.Models[spec.Name]
+		fmt.Printf("  %-16s solo IPC %.3f, max curve error %.4f\n", m.App, m.SoloIPC, m.Bound())
+	}
+	fmt.Printf("wrote surrogate set to %s\n", *out)
+	return finishTrace()
+}
+
+// surrogateCmd inspects a fitted set or answers a prediction from it —
+// pure file I/O plus closed-form evaluation, no simulation.
+func surrogateCmd(args []string) error {
+	fs := flag.NewFlagSet("surrogate", flag.ExitOnError)
+	setPath := fs.String("set", "", "surrogate set file written by smite fit")
+	victim := fs.String("victim", "", "victim application (with -aggressor: predict instead of inspect)")
+	aggressor := fs.String("aggressor", "", "aggressor application")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *setPath == "" {
+		return fmt.Errorf("surrogate: -set is required")
+	}
+	set, err := smite.LoadSurrogate(*setPath)
+	if err != nil {
+		return err
+	}
+	if (*victim == "") != (*aggressor == "") {
+		return fmt.Errorf("surrogate: -victim and -aggressor go together")
+	}
+	if *victim != "" {
+		pred, err := set.Predict(*victim, *aggressor)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("predicted degradation of %s next to %s: %.2f%% (error bound %.2f%%)\n",
+			*victim, *aggressor, pred.Degradation*100, pred.Bound*100)
+		return nil
+	}
+	fmt.Printf("surrogate set on %s (%v placement): %d models, Equation 3 embedded: %v\n",
+		set.Machine, set.Placement, len(set.Models), set.Eq3 != nil)
+	names := make([]string, 0, len(set.Models))
+	for name := range set.Models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := set.Models[name]
+		fmt.Printf("  %-16s solo IPC %.3f, max curve error %.4f\n", m.App, m.SoloIPC, m.Bound())
+	}
+	return nil
 }
 
 // writeTimeline re-runs the co-located pair with a timeline recorder

@@ -64,6 +64,54 @@ func TestFlagValidation(t *testing.T) {
 	}
 }
 
+// TestFitAndSurrogateFast runs the full fit → warm re-fit → inspect loop
+// through the CLI entry points at reduced windows: the second fit must be
+// answered entirely from the profile store, and the written set file must
+// load and render through the surrogate subcommand.
+func TestFitAndSurrogateFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI fit sweep in short mode")
+	}
+	dir := t.TempDir()
+	setPath := filepath.Join(dir, "set.json")
+	store := filepath.Join(dir, "store")
+	args := []string{"-apps", "444.namd", "-out", setPath, "-store", store, "-fast"}
+	if err := fit(context.Background(), args); err != nil {
+		t.Fatalf("cold fit: %v", err)
+	}
+	if err := fit(context.Background(), args); err != nil {
+		t.Fatalf("warm fit: %v", err)
+	}
+	if err := surrogateCmd([]string{"-set", setPath}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+	// Predicting from a set with no embedded Equation 3 model must fail
+	// loudly rather than answer with garbage.
+	if err := surrogateCmd([]string{"-set", setPath, "-victim", "444.namd", "-aggressor", "444.namd"}); err == nil {
+		t.Fatal("predict without an embedded Eq3 model succeeded")
+	}
+}
+
+func TestSurrogateFlagValidation(t *testing.T) {
+	if err := surrogateCmd(nil); err == nil {
+		t.Error("surrogate without -set accepted")
+	}
+	if err := surrogateCmd([]string{"-set", "nope.json"}); err == nil {
+		t.Error("surrogate with a missing set file accepted")
+	}
+	dir := t.TempDir()
+	setPath := filepath.Join(dir, "set.json")
+	if err := os.WriteFile(setPath, []byte(`{"version":1,"dimensions":8,"set":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := surrogateCmd([]string{"-set", setPath, "-victim", "a"}); err == nil {
+		t.Error("surrogate with -victim but no -aggressor accepted")
+	}
+	if err := fit(context.Background(), []string{"-apps", "999.nope", "-fast"}); err == nil {
+		t.Error("fit with an unknown app accepted")
+	}
+}
+
 // A cancelled context aborts the simulation-backed subcommands.
 func TestCancelledContextAborts(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())

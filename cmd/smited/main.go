@@ -50,20 +50,22 @@ func main() {
 
 // config is the parsed command line.
 type config struct {
-	addr        string
-	profiles    stringList
-	model       string
-	maxInFlight int
-	timeout     time.Duration
-	drain       time.Duration
-	pprof       bool
-	trace       bool
-	quiet       bool
-	simulate    bool
-	machine     string
-	fast        bool
-	parallelism int
-	version     bool
+	addr         string
+	profiles     stringList
+	model        string
+	surrogate    string
+	surThreshold float64
+	maxInFlight  int
+	timeout      time.Duration
+	drain        time.Duration
+	pprof        bool
+	trace        bool
+	quiet        bool
+	simulate     bool
+	machine      string
+	fast         bool
+	parallelism  int
+	version      bool
 }
 
 // stringList lets -profiles repeat.
@@ -97,6 +99,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	fs.Var(&cfg.profiles, "profiles", "persisted profile file (smite.SaveProfiles format; repeatable)")
 	fs.StringVar(&cfg.model, "model", "", "persisted model file (smite.SaveModel format)")
+	fs.StringVar(&cfg.surrogate, "surrogate", "", "fitted surrogate set file (smite fit format); enables the microsecond surrogate tier on /v1/predict")
+	fs.Float64Var(&cfg.surThreshold, "surrogate-threshold", 0, "largest surrogate error bound to serve before falling back to the engine tier (0 = default)")
 	fs.IntVar(&cfg.maxInFlight, "max-inflight", 64, "maximum concurrently-served requests")
 	fs.DurationVar(&cfg.timeout, "timeout", 5*time.Second, "per-request timeout (including queueing)")
 	fs.DurationVar(&cfg.drain, "drain", 10*time.Second, "graceful-shutdown drain window")
@@ -135,6 +139,12 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.parallelism < 0 {
 		return cfg, fmt.Errorf("-parallelism must be non-negative, got %d", cfg.parallelism)
+	}
+	if cfg.surThreshold < 0 {
+		return cfg, fmt.Errorf("-surrogate-threshold must be non-negative, got %g", cfg.surThreshold)
+	}
+	if cfg.surThreshold > 0 && cfg.surrogate == "" {
+		return cfg, errors.New("-surrogate-threshold is set but no -surrogate file is given")
 	}
 	return cfg, nil
 }
@@ -182,10 +192,20 @@ func newApp(cfg config, stdout, stderr io.Writer) (*app, error) {
 		logger.Info("model loaded", "path", cfg.model)
 	}
 	qcfg := qosd.Config{
-		MaxInFlight:    cfg.maxInFlight,
-		RequestTimeout: cfg.timeout,
-		EnablePprof:    cfg.pprof,
-		EnableTrace:    cfg.trace,
+		MaxInFlight:        cfg.maxInFlight,
+		RequestTimeout:     cfg.timeout,
+		EnablePprof:        cfg.pprof,
+		EnableTrace:        cfg.trace,
+		SurrogateThreshold: cfg.surThreshold,
+	}
+	if cfg.surrogate != "" {
+		set, err := smite.LoadSurrogate(cfg.surrogate)
+		if err != nil {
+			return nil, fmt.Errorf("loading surrogate set from %s: %w", cfg.surrogate, err)
+		}
+		qcfg.Surrogate = set
+		logger.Info("surrogate tier enabled", "path", cfg.surrogate,
+			"models", len(set.Models), "threshold", cfg.surThreshold)
 	}
 	if !cfg.quiet {
 		qcfg.Logger = logger

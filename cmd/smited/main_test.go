@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/qosd"
+	"repro/internal/surrogate"
 	"repro/smite"
 )
 
@@ -83,6 +84,10 @@ func TestFlagValidation(t *testing.T) {
 		{"corrupt profiles file", []string{"-profiles", garbage}, "loading profiles"},
 		{"missing model file", []string{"-profiles", profiles, "-model", filepath.Join(dir, "nope.json")}, "opening model"},
 		{"corrupt model file", []string{"-profiles", profiles, "-model", garbage}, "loading model"},
+		{"negative surrogate threshold", []string{"-surrogate", garbage, "-surrogate-threshold", "-0.1"}, "-surrogate-threshold must be non-negative"},
+		{"surrogate threshold without file", []string{"-profiles", profiles, "-surrogate-threshold", "0.1"}, "no -surrogate file"},
+		{"missing surrogate file", []string{"-profiles", profiles, "-surrogate", filepath.Join(dir, "nope.json")}, "loading surrogate"},
+		{"corrupt surrogate file", []string{"-profiles", profiles, "-surrogate", garbage}, "loading surrogate"},
 	}
 	_ = model
 	for _, tc := range cases {
@@ -95,6 +100,71 @@ func TestFlagValidation(t *testing.T) {
 				t.Errorf("error %q does not contain %q", err, tc.wantErr)
 			}
 		})
+	}
+}
+
+// TestSurrogateTierEndToEnd boots the daemon with a fitted surrogate set
+// alongside the registry artifacts and checks that /v1/predict answers
+// from the surrogate tier (with its bound on the wire) for fitted pairs
+// and falls back to the engine tier for unfitted ones.
+func TestSurrogateTierEndToEnd(t *testing.T) {
+	profiles, model, chars, m := writeArtifacts(t)
+
+	// Curves that reproduce the registry characterizations exactly at full
+	// intensity, each with a small recorded error.
+	set := &smite.Surrogate{Machine: "test", Models: map[string]*smite.SurrogateModel{}}
+	for _, ch := range chars {
+		sm := &smite.SurrogateModel{App: ch.App, SoloIPC: ch.SoloIPC}
+		for d := range sm.Sen {
+			sm.Sen[d] = surrogate.Curve{Coef: [3]float64{ch.Sen[d]}, MaxAbsErr: 0.001}
+			sm.Con[d] = surrogate.Curve{Coef: [3]float64{ch.Con[d]}, MaxAbsErr: 0.001}
+		}
+		set.Models[ch.App] = sm
+	}
+	surPath := filepath.Join(t.TempDir(), "surrogate.json")
+	if err := smite.SaveSurrogate(surPath, set); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-quiet",
+		"-profiles", profiles, "-model", model, "-surrogate", surPath}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := newApp(cfg, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown()
+	c := qosd.NewClient("http://"+a.Addr().String(), http.DefaultClient)
+
+	got, err := c.Predict(context.Background(), qosd.PredictRequest{Victim: "web-search", Aggressor: "429.mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tier != qosd.TierSurrogate {
+		t.Fatalf("tier = %q, want %q", got.Tier, qosd.TierSurrogate)
+	}
+	want, err := m.PredictSurrogate(set, "web-search", "429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degradation != want.Degradation || got.ErrorBound != want.Bound {
+		t.Errorf("served (%v, %v), want (%v, %v)", got.Degradation, got.ErrorBound, want.Degradation, want.Bound)
+	}
+
+	// Partial occupancy always takes the engine tier.
+	eng, err := c.Predict(context.Background(), qosd.PredictRequest{
+		Victim: "web-search", Aggressor: "429.mcf", Instances: 1, Threads: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Tier != qosd.TierEngine || eng.ErrorBound != 0 {
+		t.Errorf("partial occupancy got tier %q bound %v, want engine tier with no bound", eng.Tier, eng.ErrorBound)
 	}
 }
 

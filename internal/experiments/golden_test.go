@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+var update = flag.Bool("update", false, "rewrite the experiment-render golden fixtures")
+
+// checkGolden compares a rendered experiment report against its fixture
+// under testdata/, rewriting the fixture with -update. The renders are the
+// human-facing output of cmd/paperfigs-style runs, so drift (column order,
+// number formatting, added rows) must be a deliberate, reviewed change.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s render drifted from golden:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// The synthetic results below are hand-built rather than simulated so the
+// golden tests pin the rendering layer alone and stay fast; the numeric
+// pipelines behind them are covered by the lab and smoke tests.
+
+func TestTable1Golden(t *testing.T) {
+	checkGolden(t, "table1", NewLab(TestScale()).Table1().String())
+}
+
+func TestAblationGolden(t *testing.T) {
+	r := AblationResult{
+		MeasuredMean: 0.153,
+		Rows: []AblationRow{
+			{Model: "SMiTe (Eq.3, NNLS)", TestErr: 0.041, TrainErr: 0.027},
+			{Model: "SMiTe (unconstrained LS)", TestErr: 0.058, TrainErr: 0.024},
+			{Model: "PMU linear (Eq.9)", TestErr: 0.112, TrainErr: 0.083},
+			{Model: "Bubble-Up single metric", TestErr: 0.164, TrainErr: 0.151},
+		},
+	}
+	checkGolden(t, "ablation", r.String())
+}
+
+func TestCrossMachineGolden(t *testing.T) {
+	r := CrossMachineResult{NativeErr: 0.045, TransferErr: 0.063, RetrainedErr: 0.049}
+	checkGolden(t, "crossmachine", r.String())
+}
+
+func TestFig13Golden(t *testing.T) {
+	r := Fig13Result{
+		Rows: []Fig13Row{
+			{
+				App: "web-search", CalMu: 812, CalLambda: 640, MeanAbsRelErr: 0.0461,
+				Cells: []Fig13Cell{
+					{Batch: "429.mcf", Instances: 2, ActualDeg: 0.21, PredDeg: 0.19, MeasuredP90: 0.0042, PredP90: 0.0040},
+				},
+			},
+			{App: "data-caching", CalMu: 1530, CalLambda: 1210, MeanAbsRelErr: 0.0617},
+		},
+	}
+	checkGolden(t, "fig13", r.String())
+}
+
+func TestScaleOutGolden(t *testing.T) {
+	checkGolden(t, "scaleout", syntheticScaleOut(cluster.QoSAvg).String())
+}

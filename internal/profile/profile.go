@@ -17,6 +17,8 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"reflect"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -353,11 +355,49 @@ func run(ctx context.Context, cfg isa.Config, job, partner Job, placement Placem
 	return simulate(ctx, cfg, job, partner, placement, opts)
 }
 
-// simulate performs one actual measurement run on a fresh chip.
+// chipBox is the per-worker chip cache a scheduler Slot holds for the
+// batched simulation path: one engine instance per sched.Map worker, reused
+// (via engine.Reset) across every cell that worker executes instead of
+// allocating a chip per cell.
+type chipBox struct {
+	cfg  isa.Config
+	chip *engine.Chip
+}
+
+// chipFor returns a chip for cfg, reusing the enclosing scheduler worker's
+// cached instance when one exists. Reuse is invisible in results: Reset
+// restores a chip bit-identically to its post-New state (the engine pins
+// this), so batched runs hash equal to one-chip-per-cell runs. Callers
+// outside a sched.Map (one-off Solo/Colocate) get a fresh chip.
+func chipFor(ctx context.Context, cfg isa.Config) (*engine.Chip, error) {
+	slot := sched.SlotFrom(ctx)
+	if slot == nil {
+		return engine.New(cfg)
+	}
+	if box, ok := slot.Value.(*chipBox); ok && reflect.DeepEqual(box.cfg, cfg) {
+		box.chip.Reset()
+		return box.chip, nil
+	}
+	if slot.Value != nil {
+		if _, ok := slot.Value.(*chipBox); !ok {
+			// The slot belongs to some other per-worker cache; leave it be.
+			return engine.New(cfg)
+		}
+	}
+	chip, err := engine.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	slot.Value = &chipBox{cfg: cfg, chip: chip}
+	return chip, nil
+}
+
+// simulate performs one actual measurement run, on the scheduler worker's
+// pooled chip when running under sched.Map and a fresh chip otherwise.
 func simulate(ctx context.Context, cfg isa.Config, job, partner Job, placement Placement, opts Options) (RunResult, error) {
 	ctx, span := startRunSpan(ctx, "profile.simulate", job, partner, placement)
 	defer span.End()
-	chip, err := engine.New(cfg)
+	chip, err := chipFor(ctx, cfg)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -582,6 +622,13 @@ func (p *Profiler) jobFor(spec *workload.Spec, placement Placement) Job {
 	return AppThreads(spec, threads)
 }
 
+// JobFor exposes the spec→Job arrangement Characterize uses, so callers
+// building their own cell batches (e.g. the surrogate fitter's sweeps) place
+// applications exactly as the standard characterization would.
+func (p *Profiler) JobFor(spec *workload.Spec, placement Placement) Job {
+	return p.jobFor(spec, placement)
+}
+
 // Characterize measures an application's sensitivity and contentiousness in
 // every sharing dimension by co-locating it with each standard Ruler under
 // the given placement. Multithreaded applications are co-located with one
@@ -765,6 +812,142 @@ func (p *Profiler) characterizeJobs(ctx context.Context, jobs []Job, placement P
 		}
 		out[ji].Sen[p.set[ri].Dim] = sen
 		out[ji].Con[p.set[ri].Dim] = con
+		tick()
+		return nil
+	})
+	phase.End()
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SweepSample is one measured cell of an intensity sweep: the job's
+// sensitivity to — and the Ruler's received contentiousness at — one Ruler
+// duty cycle on one sharing dimension.
+type SweepSample struct {
+	Intensity float64
+	Sen, Con  float64
+}
+
+// SweepResult is the full (dimension × intensity) characterization grid for
+// one job: the standard intensity-1.0 characterization plus, per dimension,
+// the sen/con samples at every swept duty cycle (ascending intensity order).
+// This grid is what the surrogate tier (internal/surrogate) fits its
+// closed-form curves from.
+type SweepResult struct {
+	Characterization Characterization
+	Samples          [rulers.NumDimensions][]SweepSample
+}
+
+// CharacterizeSweep measures the (dimension × intensity) grid for each job.
+func (p *Profiler) CharacterizeSweep(jobs []Job, placement Placement, intensities []float64) ([]SweepResult, error) {
+	return p.CharacterizeSweepContext(context.Background(), jobs, placement, intensities)
+}
+
+// SweepGrid normalizes a requested intensity list: clamped into (0, 1],
+// deduplicated, ascending, with 1.0 always present (the grid's last column
+// doubles as the standard characterization). Exported so sweep consumers
+// (the surrogate fitter's content-addressed keys) hash the exact grid the
+// sweep will run.
+func SweepGrid(intensities []float64) []float64 {
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, x := range append(append([]float64(nil), intensities...), 1.0) {
+		if x <= 0 {
+			x = 0.01
+		}
+		if x > 1 {
+			x = 1
+		}
+		if !seen[x] {
+			seen[x] = true
+			xs = append(xs, x)
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// CharacterizeSweepContext is CharacterizeSweep with cooperative
+// cancellation. Like CharacterizeAllContext it flattens the batch into
+// independent simulation cells — every job and Ruler solo plus one
+// co-location per (job, dimension, intensity) — and fans them across one
+// Parallelism-bounded worker pool, each worker reusing a single pooled chip
+// across its cells. The intensity-1.0 column uses the unmodified standard
+// Ruler set, so it is bit-identical to (and shares simulation-cache entries
+// with) CharacterizeAllContext.
+func (p *Profiler) CharacterizeSweepContext(ctx context.Context, jobs []Job, placement Placement, intensities []float64) ([]SweepResult, error) {
+	for _, job := range jobs {
+		if placement == CMP && job.Instances() > p.cfg.Cores/2 {
+			return nil, fmt.Errorf("profile: job %s with %d instances cannot be CMP-characterized on %d cores", job.Name(), job.Instances(), p.cfg.Cores)
+		}
+	}
+	xs := SweepGrid(intensities)
+	nr, nx := len(p.set), len(xs)
+	rulerAt := func(ri, xi int) *rulers.Ruler {
+		if xs[xi] == 1 {
+			return p.set[ri] // standard column: bit-identical to CharacterizeAll
+		}
+		return p.set[ri].WithIntensity(xs[xi])
+	}
+	workers := p.opts.workers()
+	solos := len(jobs) + nr*nx
+	total := solos + len(jobs)*nr*nx
+	var done atomic.Int64
+	tick := func() { p.opts.progress(int(done.Add(1)), total) }
+
+	// Phase 1: all solo runs — each job plus every (Ruler, intensity)
+	// baseline of Equation 2 — warm the profiler memos in parallel.
+	phaseCtx, phase := trace.Start(ctx, "profile.sweep-solo-phase",
+		trace.Int("jobs", len(jobs)), trace.Int("cells", solos))
+	out := make([]SweepResult, len(jobs))
+	err := sched.Map(phaseCtx, solos, workers, func(ctx context.Context, i int) error {
+		if i < len(jobs) {
+			solo, err := p.SoloRunContext(ctx, jobs[i])
+			if err != nil {
+				return err
+			}
+			out[i].Characterization = Characterization{
+				App:       jobs[i].Name(),
+				Placement: placement,
+				SoloIPC:   solo.AppIPC,
+				SoloPMU:   solo.AppCounters[0],
+			}
+			for d := range out[i].Samples {
+				out[i].Samples[d] = make([]SweepSample, nx)
+			}
+			tick()
+			return nil
+		}
+		ri, xi := (i-len(jobs))/nx, (i-len(jobs))%nx
+		if _, err := p.rulerSoloIPC(ctx, rulerAt(ri, xi)); err != nil {
+			return err
+		}
+		tick()
+		return nil
+	})
+	phase.End()
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: the (job, dimension, intensity) co-location cells, flattened
+	// into one index space; each writes only its own grid slot.
+	phaseCtx, phase = trace.Start(ctx, "profile.sweep-pair-phase",
+		trace.Int("cells", len(jobs)*nr*nx))
+	err = sched.Map(phaseCtx, len(jobs)*nr*nx, workers, func(ctx context.Context, i int) error {
+		ji, ri, xi := i/(nr*nx), (i/nx)%nr, i%nx
+		r := rulerAt(ri, xi)
+		sen, con, err := p.rulerCell(ctx, jobs[ji], r, jobs[ji].Instances(), placement, out[ji].Characterization.SoloIPC)
+		if err != nil {
+			return err
+		}
+		out[ji].Samples[p.set[ri].Dim][xi] = SweepSample{Intensity: xs[xi], Sen: sen, Con: con}
+		if xs[xi] == 1 {
+			out[ji].Characterization.Sen[p.set[ri].Dim] = sen
+			out[ji].Characterization.Con[p.set[ri].Dim] = con
+		}
 		tick()
 		return nil
 	})

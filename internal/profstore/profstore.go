@@ -1,0 +1,187 @@
+// Package profstore is the content-addressed on-disk profile store: fitted
+// surrogate models, characterizations and other derived measurement
+// artifacts persist under their simcache.Key, so repeated fleet studies and
+// qosd restarts warm-start from disk instead of re-simulating.
+//
+// The store is a flat directory of JSON envelopes, one file per key. The
+// address is the content hash of everything that determines the payload
+// (machine configuration, measurement options, workload fingerprint — see
+// the keying callers, e.g. internal/surrogate), so a stale entry can never
+// be returned for changed inputs: changed inputs hash to a different file.
+// Each envelope carries a format version, its own key and a payload
+// checksum; decode failures are typed (ErrCorrupt, ErrVersionSkew,
+// ErrNotFound) and never panic — the decode path is fuzzed.
+package profstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/simcache"
+)
+
+// Load failures are typed so callers can react per class; match with
+// errors.Is.
+var (
+	// ErrNotFound reports that no entry exists for the key.
+	ErrNotFound = errors.New("profstore: entry not found")
+	// ErrCorrupt wraps syntactically or structurally broken entries:
+	// invalid JSON, a key that does not match the file's address, or a
+	// payload failing its checksum.
+	ErrCorrupt = errors.New("profstore: corrupt entry")
+	// ErrVersionSkew marks an entry whose envelope version this build does
+	// not understand.
+	ErrVersionSkew = errors.New("profstore: unsupported entry version")
+)
+
+// envelopeVersion is the on-disk format version of an entry.
+const envelopeVersion = 1
+
+// envelope is the on-disk form of one entry. Key and SHA256 make silent
+// corruption loud: Key must match the file's address, SHA256 the payload
+// bytes.
+type envelope struct {
+	Version int             `json:"version"`
+	Key     string          `json:"key"`
+	SHA256  string          `json:"payload_sha256"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Store is a content-addressed directory of JSON envelopes. It is safe for
+// concurrent use by independent processes: writes are atomic
+// (write-to-temp + rename) and entries are immutable once written — the
+// same key always holds the same content, so a concurrent overwrite is a
+// byte-identical no-op.
+type Store struct {
+	dir string
+}
+
+// Open returns a store rooted at dir, creating the directory if needed.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("profstore: empty store directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("profstore: creating %s: %w", dir, err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Path returns the file holding key's entry (whether or not it exists).
+func (s *Store) Path(key simcache.Key) string {
+	return filepath.Join(s.dir, hex.EncodeToString(key[:])+".json")
+}
+
+// Put writes payload under key, replacing any existing entry atomically.
+func (s *Store) Put(key simcache.Key, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("profstore: encoding payload for %s: %w", key.Short(), err)
+	}
+	sum := sha256.Sum256(raw)
+	data, err := json.MarshalIndent(envelope{
+		Version: envelopeVersion,
+		Key:     hex.EncodeToString(key[:]),
+		SHA256:  hex.EncodeToString(sum[:]),
+		Payload: raw,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("profstore: encoding envelope for %s: %w", key.Short(), err)
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("profstore: staging entry %s: %w", key.Short(), err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("profstore: writing entry %s: %w", key.Short(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("profstore: writing entry %s: %w", key.Short(), err)
+	}
+	if err := os.Rename(tmp.Name(), s.Path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("profstore: publishing entry %s: %w", key.Short(), err)
+	}
+	return nil
+}
+
+// Get reads the entry for key into out (a JSON-decodable pointer). Missing
+// entries return ErrNotFound; undecodable, mis-addressed or
+// checksum-failing entries return ErrCorrupt; entries from an unknown
+// format version return ErrVersionSkew.
+func (s *Store) Get(key simcache.Key, out any) error {
+	data, err := os.ReadFile(s.Path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s", ErrNotFound, key.Short())
+		}
+		return fmt.Errorf("profstore: reading entry %s: %w", key.Short(), err)
+	}
+	return decodeEntry(data, key, out)
+}
+
+// decodeEntry validates and decodes one envelope. Factored out of Get so
+// the fuzz harness can drive it with arbitrary bytes directly.
+func decodeEntry(data []byte, key simcache.Key, out any) error {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("%w: entry %s: %v", ErrCorrupt, key.Short(), err)
+	}
+	if env.Version != envelopeVersion {
+		return fmt.Errorf("%w: entry %s has version %d, this build reads %d", ErrVersionSkew, key.Short(), env.Version, envelopeVersion)
+	}
+	if env.Key != hex.EncodeToString(key[:]) {
+		return fmt.Errorf("%w: entry %s claims key %q", ErrCorrupt, key.Short(), env.Key)
+	}
+	// The envelope is stored indented, which re-indents the embedded
+	// payload; compact it back to the canonical form Put hashed.
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Payload); err != nil {
+		return fmt.Errorf("%w: entry %s payload: %v", ErrCorrupt, key.Short(), err)
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	if env.SHA256 != hex.EncodeToString(sum[:]) {
+		return fmt.Errorf("%w: entry %s payload checksum mismatch", ErrCorrupt, key.Short())
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("%w: entry %s payload: %v", ErrCorrupt, key.Short(), err)
+	}
+	return nil
+}
+
+// Keys lists every well-formed entry address currently in the store, in
+// unspecified order. Files that are not entry-shaped are ignored.
+func (s *Store) Keys() ([]simcache.Key, error) {
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("profstore: listing %s: %w", s.dir, err)
+	}
+	var out []simcache.Key
+	for _, de := range names {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		raw, err := hex.DecodeString(strings.TrimSuffix(name, ".json"))
+		if err != nil || len(raw) != len(simcache.Key{}) {
+			continue
+		}
+		var k simcache.Key
+		copy(k[:], raw)
+		out = append(out, k)
+	}
+	return out, nil
+}

@@ -1,0 +1,213 @@
+package profstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/simcache"
+)
+
+type payload struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+func testKey(parts ...any) simcache.Key {
+	return simcache.KeyOf(append([]any{"profstore-test"}, parts...)...)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	want := payload{Name: "alpha", Values: []float64{1, 0.5, 0.25}}
+	if err := st.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := st.Get(key, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || len(got.Values) != len(want.Values) {
+		t.Errorf("round trip mangled payload: got %+v want %+v", got, want)
+	}
+
+	// Overwrite is allowed and atomic.
+	want.Name = "beta"
+	if err := st.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Get(key, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "beta" {
+		t.Errorf("overwrite not visible: got %+v", got)
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := st.Get(testKey("missing"), &out); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing entry: got %v, want ErrNotFound", err)
+	}
+}
+
+// corrupt writes raw bytes over an existing entry file.
+func corrupt(t *testing.T, st *Store, key simcache.Key, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(st.Path(key), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetCorrupt(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("victim")
+	if err := st.Put(key, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(st.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]byte{
+		"truncated":    pristine[:len(pristine)/2],
+		"not json":     []byte("!!"),
+		"empty":        {},
+		"bit flip":     append([]byte{}, pristine...),
+		"foreign key":  nil, // filled below: valid envelope for a different key
+		"bad checksum": []byte(strings.Replace(string(pristine), `"payload_sha256": "`, `"payload_sha256": "00`, 1)),
+	}
+	cases["bit flip"][len(pristine)/2] ^= 0x40
+
+	other := testKey("other")
+	if err := st.Put(other, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := os.ReadFile(st.Path(other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases["foreign key"] = foreign
+
+	for name, data := range cases {
+		corrupt(t, st, key, data)
+		var out payload
+		err := st.Get(key, &out)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func TestGetVersionSkew(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("skew")
+	if err := st.Put(key, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(st.Path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt(t, st, key, []byte(strings.Replace(string(data), `"version": 1`, `"version": 99`, 1)))
+	var out payload
+	if err := st.Get(key, &out); !errors.Is(err, ErrVersionSkew) {
+		t.Errorf("got %v, want ErrVersionSkew", err)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []simcache.Key{testKey(1), testKey(2), testKey(3)}
+	for _, k := range keys {
+		if err := st.Put(k, payload{Name: "x"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Non-entry files are ignored.
+	if err := os.WriteFile(filepath.Join(dir, "README.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "short.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Fatalf("Keys returned %d entries, want %d", len(got), len(keys))
+	}
+	want := make(map[simcache.Key]bool)
+	for _, k := range keys {
+		want[k] = true
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Errorf("Keys returned unexpected key %s", k.Short())
+		}
+	}
+}
+
+func TestOpenEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("Open(\"\") succeeded, want error")
+	}
+}
+
+// FuzzDecodeEntry is the corruption contract: arbitrary bytes fed to the
+// entry decoder must yield a typed error (or decode cleanly) — never a
+// panic, never an untyped failure class.
+func FuzzDecodeEntry(f *testing.F) {
+	st, err := Open(f.TempDir())
+	if err != nil {
+		f.Fatal(err)
+	}
+	key := testKey("fuzz")
+	if err := st.Put(key, payload{Name: "seed", Values: []float64{1, 2}}); err != nil {
+		f.Fatal(err)
+	}
+	pristine, err := os.ReadFile(st.Path(key))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(pristine)
+	f.Add(pristine[:len(pristine)/2])
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":99,"key":"","payload_sha256":"","payload":null}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var out payload
+		err := decodeEntry(data, key, &out)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrVersionSkew) {
+			t.Errorf("decodeEntry returned an untyped error: %v", err)
+		}
+	})
+}

@@ -83,11 +83,29 @@ type PredictRequest struct {
 	Threads   int    `json:"threads,omitempty"`
 }
 
+// Prediction tiers, reported in PredictResponse.Tier.
+const (
+	// TierSurrogate: answered in microseconds from the fitted surrogate
+	// curves; the response carries the propagated error bound.
+	TierSurrogate = "surrogate"
+	// TierEngine: answered from engine-measured registry profiles — the
+	// authoritative path, and the fallback whenever a surrogate answer's
+	// bound exceeds the daemon's threshold.
+	TierEngine = "engine"
+)
+
 // PredictResponse is the predicted degradation (0.07 = 7% slower).
 type PredictResponse struct {
 	Victim      string  `json:"victim"`
 	Aggressor   string  `json:"aggressor"`
 	Degradation float64 `json:"degradation"`
+	// Tier reports which tier produced the answer (TierSurrogate or
+	// TierEngine).
+	Tier string `json:"tier"`
+	// ErrorBound is the surrogate certificate — an upper bound on the
+	// answer's deviation from the engine-featured prediction. Present only
+	// on TierSurrogate answers.
+	ErrorBound float64 `json:"error_bound,omitempty"`
 }
 
 // QueueSpec carries the victim service's M/M/1 parameters for tail-latency

@@ -56,7 +56,23 @@ type Config struct {
 	// Off by default; tracing one request costs one Tracer allocation and
 	// a JSON render.
 	EnableTrace bool
+	// Surrogate, when set, enables the microsecond surrogate tier: a
+	// full-occupancy prediction whose victim and aggressor both have
+	// fitted models is answered from the closed-form curves — with its
+	// error bound in the response — whenever that bound stays within
+	// SurrogateThreshold. Everything else falls back to the engine tier
+	// (registry profiles). The set must not be mutated after NewServer.
+	Surrogate *smite.Surrogate
+	// SurrogateThreshold is the largest surrogate error bound the daemon
+	// will serve; answers with a larger bound fall back to the engine
+	// tier. 0 means DefaultSurrogateThreshold.
+	SurrogateThreshold float64
 }
+
+// DefaultSurrogateThreshold is the default accuracy budget of the
+// surrogate tier: bounds above five degradation points fall back to the
+// engine tier.
+const DefaultSurrogateThreshold = 0.05
 
 func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
@@ -64,6 +80,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
+	}
+	if c.SurrogateThreshold <= 0 {
+		c.SurrogateThreshold = DefaultSurrogateThreshold
 	}
 	return c
 }
@@ -444,7 +463,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, apiErr)
 		return
 	}
-	deg, apiErr := s.predict(r.Context(), req.Victim, req.Aggressor, req.Instances, req.Threads)
+	pred, apiErr := s.predict(r.Context(), req.Victim, req.Aggressor, req.Instances, req.Threads)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
@@ -452,7 +471,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, PredictResponse{
 		Victim:      req.Victim,
 		Aggressor:   req.Aggressor,
-		Degradation: deg,
+		Degradation: pred.deg,
+		Tier:        pred.tier,
+		ErrorBound:  pred.bound,
 	})
 }
 
@@ -482,11 +503,12 @@ func (s *Server) handleColocate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	deg, apiErr := s.predict(r.Context(), req.Victim, req.Aggressor, req.Instances, req.Threads)
+	pred, apiErr := s.predict(r.Context(), req.Victim, req.Aggressor, req.Instances, req.Threads)
 	if apiErr != nil {
 		writeError(w, apiErr)
 		return
 	}
+	deg := pred.deg
 	// Same comparison as Model.SafeColocation, on the (possibly partial)
 	// predicted degradation.
 	resp := ColocateResponse{
@@ -521,12 +543,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := BatchResponse{Victim: req.Victim, Results: make([]BatchResult, 0, len(req.Candidates))}
 	for i, c := range req.Candidates {
-		deg, apiErr := s.predict(r.Context(), req.Victim, c.Aggressor, c.Instances, req.Threads)
+		pred, apiErr := s.predict(r.Context(), req.Victim, c.Aggressor, c.Instances, req.Threads)
 		if apiErr != nil {
 			apiErr.Message = fmt.Sprintf("candidate %d: %s", i, apiErr.Message)
 			writeError(w, apiErr)
 			return
 		}
+		deg := pred.deg
 		res := BatchResult{Aggressor: c.Aggressor, Instances: c.Instances, Degradation: deg}
 		if req.QoSTarget > 0 {
 			safe := 1-deg >= req.QoSTarget
@@ -593,47 +616,73 @@ func (s *Server) handleCharacterize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// predict is the shared prediction core: resolve profiles and model under
-// one registry snapshot, validate the partial-occupancy arguments, and
-// memoize by (generation, pair, occupancy). The context bounds the memo
-// wait: a request whose deadline fires while another request computes the
-// same key stops waiting instead of burning its remaining budget.
-func (s *Server) predict(ctx context.Context, victim, aggressor string, instances, threads int) (float64, *APIError) {
+// prediction is the result of the shared prediction core: the degradation
+// plus which tier produced it (and the certificate bound on surrogate
+// answers). Only /v1/predict exposes the tier on the wire; colocate and
+// batch use the degradation alone.
+type prediction struct {
+	deg   float64
+	tier  string
+	bound float64
+}
+
+// predict is the shared prediction core. It tries the surrogate tier
+// first: a full-occupancy pair whose victim and aggressor both have
+// fitted curves is answered from the closed forms when the propagated
+// error bound stays within the configured threshold — microseconds, no
+// memo needed. Everything else (partial occupancy, apps without fitted
+// models, bounds over threshold) takes the engine tier: resolve profiles
+// and model under one registry snapshot, validate the partial-occupancy
+// arguments, and memoize by (generation, pair, occupancy). The context
+// bounds the memo wait: a request whose deadline fires while another
+// request computes the same key stops waiting instead of burning its
+// remaining budget.
+func (s *Server) predict(ctx context.Context, victim, aggressor string, instances, threads int) (prediction, *APIError) {
 	if victim == "" {
-		return 0, invalidArgument("victim must be set")
+		return prediction{}, invalidArgument("victim must be set")
 	}
 	if aggressor == "" {
-		return 0, invalidArgument("aggressor must be set")
+		return prediction{}, invalidArgument("aggressor must be set")
 	}
 	if threads < 0 || instances < 0 {
-		return 0, invalidArgument("instances (%d) and threads (%d) must be non-negative", instances, threads)
+		return prediction{}, invalidArgument("instances (%d) and threads (%d) must be non-negative", instances, threads)
 	}
 	if threads == 0 && instances > 0 {
-		return 0, invalidArgument("instances (%d) set without threads", instances)
+		return prediction{}, invalidArgument("instances (%d) set without threads", instances)
 	}
 	if threads > 0 && (instances < 1 || instances > threads) {
-		return 0, invalidArgument("instances (%d) outside [1, threads=%d]", instances, threads)
+		return prediction{}, invalidArgument("instances (%d) outside [1, threads=%d]", instances, threads)
 	}
 	ctx, span := trace.Start(ctx, "qosd.predict",
 		trace.String("victim", victim), trace.String("aggressor", aggressor))
 	defer span.End()
+	if set := s.cfg.Surrogate; set != nil && threads == 0 {
+		// The surrogate curves encode the full-occupancy characterization
+		// only, so partial-occupancy requests always take the engine tier.
+		if m, ok := s.reg.Model(); ok {
+			if pred, err := m.PredictSurrogate(set, victim, aggressor); err == nil && pred.Bound <= s.cfg.SurrogateThreshold {
+				span.SetAttr(trace.String("tier", TierSurrogate))
+				return prediction{deg: pred.Degradation, tier: TierSurrogate, bound: pred.Bound}, nil
+			}
+		}
+	}
 	v, a, m, gen, apiErr := s.reg.snapshot(victim, aggressor)
 	if apiErr != nil {
-		return 0, apiErr
+		return prediction{}, apiErr
 	}
-	key := simcache.KeyOf("qosd/predict/v1", gen, victim, aggressor, instances, threads)
+	key := simcache.KeyOf("qosd/predict/v2", gen, victim, aggressor, instances, threads)
 	deg, _, err := s.memo.DoContext(ctx, key, func(context.Context) (float64, error) {
 		// threads == 0 degenerates to the plain Equation 3 pair prediction.
 		return m.PredictPartial(v, a, instances, threads), nil
 	})
 	if err != nil {
 		if apiErr := ctxError(err); apiErr != nil {
-			return 0, apiErr
+			return prediction{}, apiErr
 		}
 		// The compute function cannot fail; kept for the Do contract.
-		return 0, &APIError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
+		return prediction{}, &APIError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
 	}
-	return deg, nil
+	return prediction{deg: deg, tier: TierEngine}, nil
 }
 
 // ---- helpers ----

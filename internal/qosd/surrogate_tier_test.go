@@ -1,0 +1,136 @@
+package qosd
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/surrogate"
+	"repro/smite"
+)
+
+// testSurrogate builds a hand-made surrogate set whose curves reproduce
+// the testChars characterizations exactly at full intensity (Coef[0] = the
+// characterization value, so At(1) = value), each with the given recorded
+// per-dimension error. Only web-search and 429.mcf get models; 444.namd is
+// deliberately left out to exercise the engine fallback.
+func testSurrogate(maxErr float64) *smite.Surrogate {
+	chars := testChars()
+	set := &smite.Surrogate{Machine: "test", Models: map[string]*smite.SurrogateModel{}}
+	for _, ch := range chars[:2] {
+		m := &smite.SurrogateModel{App: ch.App, SoloIPC: ch.SoloIPC}
+		for d := range m.Sen {
+			m.Sen[d] = surrogate.Curve{Coef: [3]float64{ch.Sen[d]}, MaxAbsErr: maxErr}
+			m.Con[d] = surrogate.Curve{Coef: [3]float64{ch.Con[d]}, MaxAbsErr: maxErr}
+		}
+		set.Models[ch.App] = m
+	}
+	return set
+}
+
+func TestPredictSurrogateTier(t *testing.T) {
+	set := testSurrogate(0.001)
+	s, c := newTestServer(t, Config{Surrogate: set})
+
+	got, err := c.Predict(context.Background(), PredictRequest{Victim: "web-search", Aggressor: "429.mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tier != TierSurrogate {
+		t.Fatalf("tier = %q, want %q", got.Tier, TierSurrogate)
+	}
+	want, err := testModel().PredictSurrogate(set, "web-search", "429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Degradation != want.Degradation {
+		t.Errorf("served degradation %v != in-process surrogate %v", got.Degradation, want.Degradation)
+	}
+	if got.ErrorBound != want.Bound || got.ErrorBound <= 0 {
+		t.Errorf("served bound %v, want %v (> 0)", got.ErrorBound, want.Bound)
+	}
+	// The curves reproduce the registry characterizations exactly, so the
+	// surrogate answer must agree with the engine tier bit for bit.
+	chars := testChars()
+	if eng := testModel().PredictPair(chars[0], chars[1]); got.Degradation != eng {
+		t.Errorf("surrogate answer %v != engine answer %v for identical features", got.Degradation, eng)
+	}
+	// Surrogate answers are microsecond-cheap and must not populate the
+	// prediction memo.
+	if st := s.memo.Stats(); st.Entries != 0 || st.Misses != 0 {
+		t.Errorf("surrogate answer touched the memo: %+v", st)
+	}
+}
+
+func TestPredictSurrogateFallsBackToEngine(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		req  PredictRequest
+	}{
+		{"partial occupancy", Config{Surrogate: testSurrogate(0.001)},
+			PredictRequest{Victim: "web-search", Aggressor: "429.mcf", Instances: 2, Threads: 6}},
+		{"victim not fitted", Config{Surrogate: testSurrogate(0.001)},
+			PredictRequest{Victim: "444.namd", Aggressor: "429.mcf"}},
+		{"aggressor not fitted", Config{Surrogate: testSurrogate(0.001)},
+			PredictRequest{Victim: "web-search", Aggressor: "444.namd"}},
+		{"bound over threshold", Config{Surrogate: testSurrogate(0.001), SurrogateThreshold: 1e-12},
+			PredictRequest{Victim: "web-search", Aggressor: "429.mcf"}},
+		{"no surrogate configured", Config{},
+			PredictRequest{Victim: "web-search", Aggressor: "429.mcf"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, c := newTestServer(t, tc.cfg)
+			got, err := c.Predict(context.Background(), tc.req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Tier != TierEngine {
+				t.Errorf("tier = %q, want %q", got.Tier, TierEngine)
+			}
+			if got.ErrorBound != 0 {
+				t.Errorf("engine tier carried an error bound: %v", got.ErrorBound)
+			}
+			if st := s.memo.Stats(); st.Entries != 1 {
+				t.Errorf("engine tier did not memoize: %+v", st)
+			}
+		})
+	}
+}
+
+// TestColocateAndBatchUseSurrogate pins that the decision endpoints share
+// the tiered core: with exact curves the degradations match the engine
+// numbers bit for bit, and the memo stays cold because every eligible pair
+// was answered by the surrogate.
+func TestColocateAndBatchUseSurrogate(t *testing.T) {
+	set := testSurrogate(0.001)
+	s, c := newTestServer(t, Config{Surrogate: set})
+	chars := testChars()
+	m := testModel()
+
+	col, err := c.Colocate(context.Background(), ColocateRequest{
+		Victim: "web-search", Aggressor: "429.mcf", QoSTarget: 0.9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.PredictPair(chars[0], chars[1]); col.Degradation != want {
+		t.Errorf("colocate degradation %v != %v", col.Degradation, want)
+	}
+
+	batch, err := c.Batch(context.Background(), BatchRequest{
+		Victim:     "web-search",
+		Candidates: []BatchCandidate{{Aggressor: "429.mcf"}, {Aggressor: "444.namd"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := m.PredictPair(chars[0], chars[1]); batch.Results[0].Degradation != want {
+		t.Errorf("batch[0] degradation %v != %v", batch.Results[0].Degradation, want)
+	}
+	// 444.namd has no fitted model, so exactly that candidate hit the
+	// engine tier and the memo.
+	if st := s.memo.Stats(); st.Entries != 1 {
+		t.Errorf("expected exactly the unfitted candidate in the memo: %+v", st)
+	}
+}

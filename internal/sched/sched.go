@@ -39,6 +39,34 @@ func Workers(n int) int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// Slot is per-worker storage for tasks running under Map: each worker of one
+// Map invocation — including the single implicit worker of the sequential
+// fast path — owns a distinct Slot for the duration of the call, and every
+// task that worker executes sees the same Slot. Tasks use it to amortize
+// expensive setup across the cells one worker processes (the batched
+// characterization path caches one simulator chip per worker here). A Slot
+// is only ever touched by its owning worker, so no synchronization is
+// needed; its contents are dropped when Map returns.
+type Slot struct {
+	// Value is the cached per-worker state; nil until a task populates it.
+	Value any
+}
+
+type slotKey struct{}
+
+// SlotFrom returns the per-worker Slot of the innermost enclosing Map, or
+// nil when ctx does not descend from a Map task. Callers must tolerate nil:
+// code paths invoked both under Map and directly (e.g. one-off runs) fall
+// back to non-amortized setup.
+func SlotFrom(ctx context.Context) *Slot {
+	s, _ := ctx.Value(slotKey{}).(*Slot)
+	return s
+}
+
+func withSlot(ctx context.Context) context.Context {
+	return context.WithValue(ctx, slotKey{}, &Slot{})
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) on at most workers goroutines
 // (Workers-resolved, clamped to n) and returns after all started tasks
 // finish. Tasks must confine their writes to index-addressed slots of
@@ -78,11 +106,14 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 	}
 	if workers == 1 {
 		// Sequential fast path: no goroutines, first error wins naturally.
+		// The loop still owns a worker Slot so per-worker state amortizes
+		// identically to the pooled path.
+		sctx := withSlot(ctx)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := runTask(ctx, i); err != nil {
+			if err := runTask(sctx, i); err != nil {
 				return err
 			}
 		}
@@ -98,6 +129,7 @@ func Map(ctx context.Context, n, workers int, fn func(ctx context.Context, i int
 		if traced {
 			wctx = trace.WithTrack(ctx, fmt.Sprintf("sched.worker-%02d", w))
 		}
+		wctx = withSlot(wctx)
 		go func() {
 			defer wg.Done()
 			for {

@@ -167,3 +167,55 @@ func ExampleMap() {
 	fmt.Println(squares)
 	// Output: [0 1 4 9]
 }
+
+// TestSlotPerWorker pins the Slot contract: every task sees a non-nil Slot,
+// the same Slot is reused across the tasks one worker executes, and no Slot
+// is ever shared between two workers (checked by counting distinct Slots
+// against the worker bound).
+func TestSlotPerWorker(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		const n = 24
+		slots := make([]*Slot, n)
+		err := Map(context.Background(), n, workers, func(ctx context.Context, i int) error {
+			s := SlotFrom(ctx)
+			if s == nil {
+				t.Errorf("workers=%d task %d: no slot", workers, i)
+				return nil
+			}
+			if s.Value == nil {
+				s.Value = new(int)
+			}
+			*(s.Value.(*int))++
+			slots[i] = s
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		distinct := make(map[*Slot]int)
+		for _, s := range slots {
+			distinct[s]++
+		}
+		if len(distinct) > workers {
+			t.Errorf("workers=%d: %d distinct slots, want at most the worker count", workers, len(distinct))
+		}
+		total := 0
+		for s, uses := range distinct {
+			got := *(s.Value.(*int))
+			if got != uses {
+				t.Errorf("workers=%d: slot executed %d tasks but accumulated %d", workers, uses, got)
+			}
+			total += got
+		}
+		if total != n {
+			t.Errorf("workers=%d: slots accumulated %d task executions, want %d", workers, total, n)
+		}
+	}
+}
+
+// TestSlotAbsentOutsideMap pins the nil fallback for direct calls.
+func TestSlotAbsentOutsideMap(t *testing.T) {
+	if s := SlotFrom(context.Background()); s != nil {
+		t.Errorf("SlotFrom outside Map = %v, want nil", s)
+	}
+}

@@ -59,6 +59,15 @@ func (p *Predictor) Stats() (predictions, mispredicts uint64) {
 // ResetStats zeroes the counters, keeping learned state.
 func (p *Predictor) ResetStats() { p.predictions, p.mispredicts = 0, 0 }
 
+// Reset restores the predictor to its post-New state: every counter back to
+// weakly taken and statistics zeroed.
+func (p *Predictor) Reset() {
+	for i := range p.table {
+		p.table[i] = 2
+	}
+	p.ResetStats()
+}
+
 // MispredictRate returns mispredictions per prediction (0 when idle).
 func (p *Predictor) MispredictRate() float64 {
 	if p.predictions == 0 {

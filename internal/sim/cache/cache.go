@@ -23,12 +23,13 @@ type Cache struct {
 	lineShift uint
 	setMask   uint64
 
-	tags   []uint64 // sets*ways entries; invalidTag marks an empty way
-	lines  int      // number of valid entries
-	stamp  []uint64 // LRU stamps
-	clock  uint64
-	policy isa.ReplacementPolicy
-	rng    *xrand.Rand // victim selection for PolicyRandom
+	tags    []uint64 // sets*ways entries; invalidTag marks an empty way
+	lines   int      // number of valid entries
+	stamp   []uint64 // LRU stamps
+	clock   uint64
+	policy  isa.ReplacementPolicy
+	rng     *xrand.Rand // victim selection for PolicyRandom
+	rngSeed uint64      // construction seed, so Reset restores the victim stream
 
 	accesses uint64
 	hits     uint64
@@ -51,6 +52,7 @@ func New(name string, p isa.CacheParams) *Cache {
 		panic(fmt.Sprintf("cache: %s: line size %d must be a power of two", name, p.LineBytes))
 	}
 	n := sets * p.Ways
+	seed := uint64(len(name))*0x9E3779B97F4A7C15 + uint64(n)
 	c := &Cache{
 		name:      name,
 		ways:      p.Ways,
@@ -60,7 +62,8 @@ func New(name string, p isa.CacheParams) *Cache {
 		tags:      make([]uint64, n),
 		stamp:     make([]uint64, n),
 		policy:    p.Policy,
-		rng:       xrand.New(uint64(len(name))*0x9E3779B97F4A7C15 + uint64(n)),
+		rng:       xrand.New(seed),
+		rngSeed:   seed,
 	}
 	for i := range c.tags {
 		c.tags[i] = invalidTag
@@ -186,6 +189,15 @@ func (c *Cache) Flush() {
 	c.lines = 0
 	c.clock = 0
 	c.ResetStats()
+}
+
+// Reset restores the cache to its post-New state: every line invalid, all
+// statistics zero, and the random-replacement victim stream rewound to its
+// construction seed — so a reused cache behaves bit-identically to a fresh
+// one (Flush alone leaves the victim RNG advanced).
+func (c *Cache) Reset() {
+	c.Flush()
+	c.rng.Seed(c.rngSeed)
 }
 
 // Occupancy returns the fraction of valid lines, a cheap proxy for how much

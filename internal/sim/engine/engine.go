@@ -469,6 +469,55 @@ func (c *Chip) Assign(core, ctx int, s Stream) {
 	}
 }
 
+// Reset restores the chip to its post-New state: all contexts idle, every
+// cache, TLB, predictor and the memory controller back to construction state
+// (including random-replacement victim streams), the cycle counter at zero,
+// and any checker or sampler detached. A Reset chip is bit-identical to a
+// freshly constructed one in every subsequent simulation (pinned by
+// TestResetBitIdentical), which is what lets the batched characterization
+// path reuse one chip per scheduler worker instead of allocating per cell.
+func (c *Chip) Reset() {
+	c.cycle, c.skipped = 0, 0
+	c.checker, c.checkErr = nil, nil
+	c.checkInterval = 0
+	c.sampler = nil
+	c.l3.Reset()
+	c.memc.Reset()
+	for _, co := range c.cores {
+		co.l1d.Reset()
+		co.l2.Reset()
+		co.pred.Reset()
+		for _, x := range co.ctxs {
+			x.stream = nil
+			x.active = false
+			x.head, x.tail = 0, 0
+			x.fetchStallUntil = 0
+			x.scanStallUntil = 0
+			x.scanHead, x.scanTail = 0, 0
+			x.issuedPrefix = 0
+			for i := range x.awake {
+				x.awake[i] = 0
+			}
+			x.parkedMin = 0
+			for i := range x.wheel {
+				x.wheel[i] = 0
+			}
+			x.wheelMerged = 0
+			x.unissued = 0
+			x.missFree = x.missFree[:0]
+			x.missMin = 0
+			for i := range x.streams {
+				x.streams[i] = ^uint64(0)
+				x.streamLRU[i] = 0
+			}
+			x.dtlb.Flush()
+			x.uop = isa.Uop{}
+			x.ctr = pmu.Counters{}
+			x.cyclesBase = 0
+		}
+	}
+}
+
 // Counters returns a snapshot of the context's cumulative PMU counters.
 func (c *Chip) Counters(core, ctx int) pmu.Counters {
 	x := c.cores[core].ctxs[ctx]

@@ -70,3 +70,10 @@ func (m *Controller) Stats() (requests uint64, avgQueue float64, maxBacklog uint
 func (m *Controller) ResetStats() {
 	m.requests, m.queuedFor, m.maxBacklog = 0, 0, 0
 }
+
+// Reset restores the controller to its post-New state: backlog released and
+// statistics zeroed.
+func (m *Controller) Reset() {
+	m.nextFree = 0
+	m.ResetStats()
+}

@@ -48,9 +48,11 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/profile"
+	"repro/internal/profstore"
 	"repro/internal/queueing"
 	"repro/internal/rulers"
 	"repro/internal/sim/isa"
+	"repro/internal/surrogate"
 	"repro/internal/workload"
 )
 
@@ -78,6 +80,22 @@ type (
 	MachineConfig = isa.Config
 	// MM1 is the FCFS queueing model for tail-latency prediction.
 	MM1 = queueing.MM1
+	// Surrogate is a fitted surrogate model set: closed-form curves that
+	// answer characterization and degradation queries in microseconds,
+	// each answer carrying an engine-backed error bound (see System.Fit).
+	Surrogate = surrogate.Set
+	// SurrogateModel is one application's fitted curves within a Surrogate.
+	SurrogateModel = surrogate.Model
+	// SurrogatePrediction is a surrogate degradation answer plus its bound.
+	SurrogatePrediction = surrogate.Prediction
+	// FitOptions parameterize surrogate fitting (training grid, ridge).
+	FitOptions = surrogate.FitOptions
+	// ProfileStore is the content-addressed on-disk store surrogate fits
+	// warm-start from (see OpenProfileStore).
+	ProfileStore = profstore.Store
+	// FitStats reports how a warm-started fit was served (store hits vs
+	// engine re-fits).
+	FitStats = surrogate.StoreStats
 )
 
 // AccessPattern selects how a Spec generates data addresses.
@@ -162,25 +180,34 @@ func StandardRulers(cfg MachineConfig) []*Ruler { return rulers.StandardSet(cfg)
 // machine plus memoised solo runs. It is safe for concurrent use.
 type System struct {
 	prof *profile.Profiler
+	sur  *Surrogate
+}
+
+// sysOptions aggregates everything New configures: the measurement
+// options plus construction-time extras that live outside profile.Options
+// (the attached surrogate tier).
+type sysOptions struct {
+	opts Options
+	sur  *Surrogate
 }
 
 // Option configures a System at construction (see New).
-type Option func(*Options)
+type Option func(*sysOptions)
 
 // WithOptions replaces the System's measurement options wholesale. Apply
 // it before the targeted options (WithCheck, WithParallelism, ...), which
 // modify whatever base it established.
 func WithOptions(o Options) Option {
-	return func(dst *Options) { *dst = o }
+	return func(dst *sysOptions) { dst.opts = o }
 }
 
 // WithCheck attaches the runtime invariant checker to every simulation the
 // System runs, validating the engine's conservation laws every interval
 // cycles (0 = engine default). Costs a few percent of simulation time.
 func WithCheck(interval uint64) Option {
-	return func(dst *Options) {
-		dst.Check = true
-		dst.CheckInterval = interval
+	return func(dst *sysOptions) {
+		dst.opts.Check = true
+		dst.opts.CheckInterval = interval
 	}
 }
 
@@ -189,7 +216,7 @@ func WithCheck(interval uint64) Option {
 // simulation cells across (0 = GOMAXPROCS). Results are bit-identical at
 // any value; this is purely a throughput/footprint knob.
 func WithParallelism(n int) Option {
-	return func(dst *Options) { dst.Parallelism = n }
+	return func(dst *sysOptions) { dst.opts.Parallelism = n }
 }
 
 // WithProgress installs a progress callback for batch operations: done
@@ -197,7 +224,16 @@ func WithParallelism(n int) Option {
 // batch's cell count. It may be invoked concurrently from worker
 // goroutines.
 func WithProgress(fn func(done, total int)) Option {
-	return func(dst *Options) { dst.Progress = fn }
+	return func(dst *sysOptions) { dst.opts.Progress = fn }
+}
+
+// WithSurrogate attaches a fitted surrogate set (System.Fit, LoadSurrogate)
+// to the System, so surrogate-eligible queries can be answered in
+// microseconds with an error bound instead of simulating. The engine path
+// stays authoritative — consumers such as qosd fall back to it whenever an
+// answer's bound exceeds their accuracy budget.
+func WithSurrogate(set *Surrogate) Option {
+	return func(dst *sysOptions) { dst.sur = set }
 }
 
 // New builds a System for a machine configuration (use Machine.Config for
@@ -211,11 +247,11 @@ func New(cfg MachineConfig, opts ...Option) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	o := DefaultOptions()
+	so := sysOptions{opts: DefaultOptions()}
 	for _, opt := range opts {
-		opt(&o)
+		opt(&so)
 	}
-	return &System{prof: profile.NewProfiler(cfg, o)}, nil
+	return &System{prof: profile.NewProfiler(cfg, so.opts), sur: so.sur}, nil
 }
 
 // NewSystem builds a System for a stock machine.
@@ -235,6 +271,46 @@ func NewSystemConfig(cfg MachineConfig, opts Options) (*System, error) {
 
 // Machine returns the system's configuration.
 func (s *System) Machine() MachineConfig { return s.prof.Config() }
+
+// Surrogate returns the attached surrogate set, or nil when the System
+// was built without one (WithSurrogate).
+func (s *System) Surrogate() *Surrogate { return s.sur }
+
+// Fit fits a surrogate set for the applications on this System's machine
+// and measurement options: each application's (dimension, intensity) grid
+// is sampled through the engine and closed-form curves are fitted per
+// resource, recording max/mean absolute error bounds (see the Surrogate
+// type). The zero FitOptions uses the standard training grid.
+func (s *System) Fit(ctx context.Context, apps []*Spec, placement Placement, fo FitOptions) (*Surrogate, error) {
+	return surrogate.Fit(ctx, s.prof, apps, placement, fo)
+}
+
+// FitWithStore is Fit with a warm-start against a content-addressed
+// profile store: models already on disk under their content address load
+// instead of re-simulating, and fresh fits are written back. Corrupt or
+// version-skewed entries re-fit and heal.
+func (s *System) FitWithStore(ctx context.Context, store *ProfileStore, apps []*Spec, placement Placement, fo FitOptions) (*Surrogate, FitStats, error) {
+	return surrogate.FitWithStore(ctx, store, s.prof, apps, placement, fo)
+}
+
+// TrainSurrogate measures engine ground-truth degradations for every
+// distinct pair among apps and embeds the trained Equation 3 model in the
+// set, enabling Surrogate.Predict. Needs at least 4 applications.
+func (s *System) TrainSurrogate(ctx context.Context, set *Surrogate, apps []*Spec) error {
+	return set.TrainEq3(ctx, s.prof, apps)
+}
+
+// OpenProfileStore opens (creating if needed) a content-addressed on-disk
+// profile store rooted at dir, for warm-starting fits across processes.
+func OpenProfileStore(dir string) (*ProfileStore, error) { return profstore.Open(dir) }
+
+// SaveSurrogate writes a fitted set to path as versioned JSON (atomic
+// write); LoadSurrogate reads it back, rejecting version or dimension
+// skew with typed errors.
+func SaveSurrogate(path string, set *Surrogate) error { return surrogate.WriteSetFile(path, set) }
+
+// LoadSurrogate reads a set saved by SaveSurrogate.
+func LoadSurrogate(path string) (*Surrogate, error) { return surrogate.ReadSetFile(path) }
 
 // Characterize measures an application's sensitivity and contentiousness
 // along every sharing dimension by co-locating it with each Ruler.
@@ -330,6 +406,14 @@ func (m Model) PredictPair(victim, aggressor Characterization) float64 {
 // scale-out studies, and the one the qosd daemon serves.
 func (m Model) PredictPartial(victim, aggressor Characterization, instances, threads int) float64 {
 	return m.inner.PredictPartial(model.PairObs{SenA: victim.Sen, ConB: aggressor.Con}, instances, threads)
+}
+
+// PredictSurrogate evaluates this model on the surrogate feature vectors
+// of the named pair, returning the prediction together with its
+// propagated error bound. Use when the Equation 3 model was trained
+// elsewhere (e.g. a qosd registry) rather than embedded in the set.
+func (m Model) PredictSurrogate(set *Surrogate, victim, aggressor string) (SurrogatePrediction, error) {
+	return set.PredictWith(m.inner, victim, aggressor)
 }
 
 // PredictScaled predicts a multithreaded victim's aggregate degradation
