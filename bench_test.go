@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	clusterworkload "repro/internal/cluster/workload"
 	"repro/internal/experiments"
 	"repro/internal/profile"
 	"repro/internal/qosd"
@@ -795,4 +796,94 @@ func BenchmarkDynamicScheduler(b *testing.B) {
 		}
 		b.ReportMetric(r.MeanUtilization*100, "mean-util-%")
 	}
+}
+
+// clusterSimBench assembles a discrete-event cluster run on a synthetic
+// co-location world: surrogate tier first, measured-table fallback, QoS
+// surface precomputed once through the Predictor seam. Shared setup for
+// the two cluster-scale benchmarks below.
+func clusterSimBench(b *testing.B, machines int, arrival float64) (cluster.SimConfig, [][]clusterworkload.Event) {
+	b.Helper()
+	const nLat, nBatch, maxInst = 3, 4, 6
+	set, tbl, err := cluster.SyntheticWorld(nLat, nBatch, maxInst, 23)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pred := &cluster.TieredPredictor{
+		Surrogate: &cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
+		Fallback:  &cluster.TablePredictor{Table: tbl},
+	}
+	pt, err := cluster.BuildPredTable(context.Background(), tbl, nil, cluster.QoSAvg, pred, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cluster.SimConfig{
+		Workload: clusterworkload.Config{
+			Machines: machines, Horizon: 1,
+			Lats: nLat, Batches: nBatch, Seed: 23,
+			ArrivalRate:  arrival,
+			MeanDuration: 0.005,
+			Diurnal:      0.4,
+			BurstProb:    0.1, BurstFactor: 2.5,
+			Drift: 0.2,
+			Churn: 0.02,
+		},
+		Shards:            16,
+		Policy:            cluster.PolicySMiTe,
+		Target:            0.92,
+		ThreadsPerServer:  6,
+		ContextsPerServer: 12,
+		Table:             pt,
+	}
+	events, err := cluster.GenerateEvents(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cfg, events
+}
+
+// BenchmarkClusterSim10k is the warehouse-scale acceptance number as a
+// gated benchmark: a 10k-machine fleet under temporal arrivals, churn and
+// contention-aware placement, ~300k events per iteration fanned across
+// all cores. events/sec is the headline custom metric; ns/op and
+// allocs/op are gated by benchci against BENCH_baseline.json.
+func BenchmarkClusterSim10k(b *testing.B) {
+	cfg, events := clusterSimBench(b, 10_000, 150_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	totalEvents := 0
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.RunSim(context.Background(), cfg, events, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvents += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkClusterPlacementIncremental isolates the incremental placement
+// path: a dense arrival stream on a small fleet, sequential execution, so
+// ns/op tracks the per-decision cost of the occupancy-bucket admission
+// scan rather than shard fan-out overheads.
+func BenchmarkClusterPlacementIncremental(b *testing.B) {
+	cfg, events := clusterSimBench(b, 200, 40_000)
+	cfg.Workload.Churn = 0
+	events, err := cluster.GenerateEvents(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	decisions := 0
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.RunSim(context.Background(), cfg, events, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		decisions += res.Arrived
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(decisions)/b.Elapsed().Seconds(), "decisions/sec")
 }

@@ -4,9 +4,17 @@
 // servers' idle SMT contexts under the SMiTe, Oracle and Random policies
 // and reports utilisation gains, QoS violations and the TCO impact.
 //
+// With -sim (or -replay) it instead runs the warehouse-scale
+// discrete-event simulator: temporal job arrivals, machine churn and
+// incremental contention-aware placement over a synthetic co-location
+// world, with record/replay traces that reproduce a run bit for bit.
+//
 // Usage:
 //
 //	clustersim [-scale full|test] [-qos avg|tail] [-targets 0.95,0.90,0.85] [-servers 1000]
+//	clustersim -sim [-machines 1000] [-duration 1] [-churn 0.02] [-policy smite]
+//	           [-trace-out run.trace] [-summary-json -]
+//	clustersim -replay run.trace [-parallelism 8]
 package main
 
 import (
@@ -54,12 +62,36 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	serversFlag := fs.Int("servers", 0, "servers per latency application (0 = scale default)")
 	serverFlag := fs.Bool("server", false, "route SMiTe predictions through an embedded smited daemon over HTTP instead of in-process")
 	versionFlag := fs.Bool("version", false, "print the build version and exit")
+
+	simFlag := fs.Bool("sim", false, "run the warehouse-scale discrete-event simulator instead of the static study")
+	machinesFlag := fs.Int("machines", 1000, "sim: initial fleet size")
+	durationFlag := fs.Float64("duration", 1, "sim: simulated horizon in time units")
+	churnFlag := fs.Float64("churn", 0.02, "sim: machine churn rate (fraction of fleet per time unit)")
+	arrivalFlag := fs.Float64("arrival", 0, "sim: job arrival rate per time unit (0 = 30 jobs per machine)")
+	policyFlag := fs.String("policy", "smite", "sim: placement policy (smite, oracle or random)")
+	targetFlag := fs.Float64("target", 0.92, "sim: QoS floor placements must respect, in (0,1]")
+	shardsFlag := fs.Int("shards", 0, "sim: scheduling cells to split the fleet into (0 = default)")
+	parFlag := fs.Int("parallelism", 0, "sim: worker goroutines for shard fan-out (0 = GOMAXPROCS); results are identical at any value")
+	seedFlag := fs.Uint64("seed", 1, "sim: workload and synthetic-world seed")
+	traceOutFlag := fs.String("trace-out", "", "sim: record the exogenous event trace to this file")
+	replayFlag := fs.String("replay", "", "replay a recorded trace (implies -sim; config comes from the trace header)")
+	summaryFlag := fs.String("summary-json", "", "sim: write the machine-readable run summary to this file (- for stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *versionFlag {
 		version.Fprint(w, "clustersim")
 		return nil
+	}
+
+	if *simFlag || *replayFlag != "" {
+		return runClusterSim(ctx, simOptions{
+			machines: *machinesFlag, duration: *durationFlag, churn: *churnFlag,
+			arrival: *arrivalFlag, policy: *policyFlag, target: *targetFlag,
+			shards: *shardsFlag, parallelism: *parFlag, seed: *seedFlag,
+			traceOut: *traceOutFlag, replay: *replayFlag, summaryJSON: *summaryFlag,
+			qos: *qosFlag,
+		}, w)
 	}
 
 	var scale experiments.Scale

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	clworkload "repro/internal/cluster/workload"
+)
+
+// FlagError reports a flag value that fails validation. main exits 2 on
+// any error; tests assert the flag name through errors.As, so validation
+// failures stay distinguishable from runtime ones.
+type FlagError struct {
+	Flag   string
+	Value  string
+	Reason string
+}
+
+func (e *FlagError) Error() string {
+	return fmt.Sprintf("invalid -%s value %q: %s", e.Flag, e.Value, e.Reason)
+}
+
+// simOptions carries the discrete-event mode's parsed flags.
+type simOptions struct {
+	machines    int
+	duration    float64
+	churn       float64
+	arrival     float64
+	policy      string
+	target      float64
+	shards      int
+	parallelism int
+	seed        uint64
+	traceOut    string
+	replay      string
+	summaryJSON string
+	qos         string
+}
+
+// validate rejects unusable flag values with typed errors before any
+// work starts. Replay mode takes its workload from the trace header, so
+// only the execution knobs are checked there.
+func (o *simOptions) validate() error {
+	if o.replay == "" {
+		if o.machines <= 0 {
+			return &FlagError{Flag: "machines", Value: fmt.Sprint(o.machines), Reason: "fleet size must be positive"}
+		}
+		if o.duration <= 0 {
+			return &FlagError{Flag: "duration", Value: fmt.Sprint(o.duration), Reason: "simulated horizon must be positive"}
+		}
+		if o.churn < 0 {
+			return &FlagError{Flag: "churn", Value: fmt.Sprint(o.churn), Reason: "churn rate must be non-negative"}
+		}
+		if o.arrival < 0 {
+			return &FlagError{Flag: "arrival", Value: fmt.Sprint(o.arrival), Reason: "arrival rate must be non-negative (0 = 30 jobs/machine)"}
+		}
+		if o.target <= 0 || o.target > 1 {
+			return &FlagError{Flag: "target", Value: fmt.Sprint(o.target), Reason: "QoS target must be in (0, 1]"}
+		}
+		switch o.policy {
+		case "smite", "oracle", "random":
+		default:
+			return &FlagError{Flag: "policy", Value: o.policy, Reason: "want smite, oracle or random"}
+		}
+		if o.qos != "avg" {
+			return &FlagError{Flag: "qos", Value: o.qos, Reason: "the synthetic sim world only defines avg QoS"}
+		}
+		if o.shards < 0 {
+			return &FlagError{Flag: "shards", Value: fmt.Sprint(o.shards), Reason: "shard count must be non-negative"}
+		}
+	}
+	if o.parallelism < 0 {
+		return &FlagError{Flag: "parallelism", Value: fmt.Sprint(o.parallelism), Reason: "worker count must be non-negative"}
+	}
+	return nil
+}
+
+func (o *simOptions) policyKind() cluster.PolicyKind {
+	switch o.policy {
+	case "oracle":
+		return cluster.PolicyOracle
+	case "random":
+		return cluster.PolicyRandom
+	}
+	return cluster.PolicySMiTe
+}
+
+// Synthetic-world geometry for -sim runs: a 12-context, 6-thread server
+// (the study's Sandy Bridge-EN shape) whose idle contexts take up to 6
+// batch instances, over a 4×6 application population.
+const (
+	simLats     = 4
+	simBatches  = 6
+	simThreads  = 6
+	simContexts = 12
+)
+
+// runClusterSim executes the discrete-event mode: either a fresh
+// synthetic-world run (optionally recorded with -trace-out) or a byte-
+// exact replay of a recorded trace.
+func runClusterSim(ctx context.Context, o simOptions, w io.Writer) error {
+	if err := o.validate(); err != nil {
+		return err
+	}
+
+	var cfg cluster.SimConfig
+	var events [][]clworkload.Event
+	if o.replay != "" {
+		f, err := os.Open(o.replay)
+		if err != nil {
+			return err
+		}
+		cfg, events, err = cluster.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "replaying %s: %d machines over %g time units\n", o.replay, cfg.Workload.Machines, cfg.Workload.Horizon)
+	} else {
+		var err error
+		if cfg, err = o.simConfig(); err != nil {
+			return err
+		}
+		if events, err = cluster.GenerateEvents(cfg); err != nil {
+			return err
+		}
+	}
+
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			return err
+		}
+		err = cluster.WriteTrace(f, cfg, events)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "trace recorded to %s\n", o.traceOut)
+	}
+
+	start := time.Now()
+	res, err := cluster.RunSim(ctx, cfg, events, o.parallelism)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "discrete-event cluster sim: %d machines, %d shards, policy %v, target %.0f%%\n",
+		cfg.Workload.Machines, len(events), res.Policy, res.Target*100)
+	fmt.Fprintf(w, "%d events in %v (%.0f events/sec)\n", res.Events, elapsed.Round(time.Millisecond),
+		float64(res.Events)/elapsed.Seconds())
+	fmt.Fprintf(w, "jobs: arrived %d, placed %d, rejected %d, departed %d, evicted %d\n",
+		res.Arrived, res.Placed, res.Rejected, res.Departed, res.Evicted)
+	fmt.Fprintf(w, "fleet: %d -> %d machines (ups %d, downs %d)\n",
+		res.MachinesStart, res.MachinesEnd, res.MachineUps, res.MachineDowns)
+	fmt.Fprintf(w, "utilisation: %.1f%% -> %.1f%% mean (peak %.1f%%), violations %d (%.2f%% of placements)\n",
+		res.BaselineUtilization*100, res.MeanUtilization*100, res.PeakUtilization*100,
+		res.Violations, res.ViolationFrac*100)
+
+	if o.summaryJSON != "" {
+		data, err := json.MarshalIndent(res.Summary(), "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if o.summaryJSON == "-" {
+			_, err = w.Write(data)
+		} else {
+			err = os.WriteFile(o.summaryJSON, data, 0o644)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// simConfig assembles the synthetic-world simulation: analytic surrogate
+// curves as the first prediction tier, the seeded measured table as the
+// fallback, and the QoS surface precomputed once through that seam.
+func (o *simOptions) simConfig() (cluster.SimConfig, error) {
+	const maxInst = simContexts - simThreads
+	set, tbl, err := cluster.SyntheticWorld(simLats, simBatches, maxInst, o.seed)
+	if err != nil {
+		return cluster.SimConfig{}, err
+	}
+	pred := &cluster.TieredPredictor{
+		Surrogate: &cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
+		Fallback:  &cluster.TablePredictor{Table: tbl},
+	}
+	pt, err := cluster.BuildPredTable(context.Background(), tbl, nil, cluster.QoSAvg, pred, o.parallelism)
+	if err != nil {
+		return cluster.SimConfig{}, err
+	}
+	arrival := o.arrival
+	if arrival == 0 {
+		arrival = 30 * float64(o.machines)
+	}
+	return cluster.SimConfig{
+		Workload: clworkload.Config{
+			Machines: o.machines, Horizon: o.duration,
+			Lats: simLats, Batches: simBatches, Seed: o.seed,
+			ArrivalRate:  arrival,
+			MeanDuration: 0.05,
+			Diurnal:      0.4,
+			BurstProb:    0.1, BurstFactor: 2.5,
+			Drift: 0.2,
+			Churn: o.churn,
+		},
+		Shards:            o.shards,
+		Policy:            o.policyKind(),
+		Target:            o.target,
+		ThreadsPerServer:  simThreads,
+		ContextsPerServer: simContexts,
+		Table:             pt,
+	}, nil
+}

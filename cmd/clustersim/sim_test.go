@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// Bad sim invocations must be rejected before any simulation work, with
+// typed errors naming the offending flag (main exits 2 on them).
+func TestSimFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		flag string
+	}{
+		{"zero machines", []string{"-sim", "-machines", "0"}, "machines"},
+		{"negative machines", []string{"-sim", "-machines", "-5"}, "machines"},
+		{"zero duration", []string{"-sim", "-duration", "0"}, "duration"},
+		{"negative duration", []string{"-sim", "-duration", "-1"}, "duration"},
+		{"negative churn", []string{"-sim", "-churn", "-0.1"}, "churn"},
+		{"negative arrival", []string{"-sim", "-arrival", "-10"}, "arrival"},
+		{"zero target", []string{"-sim", "-target", "0"}, "target"},
+		{"target above one", []string{"-sim", "-target", "1.5"}, "target"},
+		{"unknown policy", []string{"-sim", "-policy", "greedy"}, "policy"},
+		{"tail qos", []string{"-sim", "-qos", "tail"}, "qos"},
+		{"negative shards", []string{"-sim", "-shards", "-1"}, "shards"},
+		{"negative parallelism", []string{"-sim", "-parallelism", "-2"}, "parallelism"},
+		{"replay negative parallelism", []string{"-replay", "x.trace", "-parallelism", "-1"}, "parallelism"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(context.Background(), tc.args, &out)
+			if err == nil {
+				t.Fatal("invalid invocation accepted")
+			}
+			var fe *FlagError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error %v is not a *FlagError", err)
+			}
+			if fe.Flag != tc.flag {
+				t.Errorf("error names flag %q, want %q", fe.Flag, tc.flag)
+			}
+		})
+	}
+}
+
+func TestSimReplayMissingTrace(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-replay", filepath.Join(t.TempDir(), "nope.trace")}, &out)
+	if err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	var fe *FlagError
+	if errors.As(err, &fe) {
+		t.Fatalf("missing file surfaced as flag error %v", err)
+	}
+}
+
+// TestSimRecordReplay drives the full CLI loop: run with -trace-out,
+// replay the trace at a different parallelism, and require the identical
+// summary — the CLI-level face of the replay-determinism law.
+func TestSimRecordReplay(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.trace")
+	sum1 := filepath.Join(dir, "run.json")
+	sum2 := filepath.Join(dir, "replay.json")
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-sim", "-machines", "80", "-duration", "1", "-churn", "0.05", "-seed", "9",
+		"-trace-out", trace, "-summary-json", sum1, "-parallelism", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("record run: %v", err)
+	}
+	for _, want := range []string{"trace recorded to", "discrete-event cluster sim", "utilisation:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	err = run(context.Background(), []string{
+		"-replay", trace, "-summary-json", sum2, "-parallelism", "8",
+	}, &out)
+	if err != nil {
+		t.Fatalf("replay run: %v", err)
+	}
+	a, err := os.ReadFile(sum1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(sum2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("replay summary differs from recorded run:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestSimSummaryJSONSchema pins the CLI-emitted summary: strict decode
+// into cluster.Summary (no unknown fields) and the schema version.
+func TestSimSummaryJSONSchema(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-sim", "-machines", "40", "-duration", "0.5", "-seed", "3", "-summary-json", "-",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	i := strings.Index(out.String(), "{")
+	if i < 0 {
+		t.Fatalf("no JSON in output:\n%s", out.String())
+	}
+	dec := json.NewDecoder(strings.NewReader(out.String()[i:]))
+	dec.DisallowUnknownFields()
+	var s cluster.Summary
+	if err := dec.Decode(&s); err != nil {
+		t.Fatalf("summary JSON does not decode strictly: %v", err)
+	}
+	if s.SchemaVersion != cluster.SummarySchemaVersion {
+		t.Errorf("schema_version %d, want %d", s.SchemaVersion, cluster.SummarySchemaVersion)
+	}
+	if s.Machines.Start != 40 {
+		t.Errorf("machines.start %d, want 40", s.Machines.Start)
+	}
+	if s.Events.Total == 0 || s.Events.Arrived != s.Events.Placed+s.Events.Rejected {
+		t.Errorf("inconsistent event aggregates: %+v", s.Events)
+	}
+	if s.Utilization.Mean < s.Utilization.Baseline || s.Utilization.Peak > 1 {
+		t.Errorf("implausible utilisation aggregates: %+v", s.Utilization)
+	}
+}
+
+func TestSimPolicyFlag(t *testing.T) {
+	for flagVal, want := range map[string]string{"oracle": "Oracle", "random": "Random"} {
+		var out bytes.Buffer
+		err := run(context.Background(), []string{
+			"-sim", "-machines", "30", "-duration", "0.5", "-policy", flagVal,
+		}, &out)
+		if err != nil {
+			t.Fatalf("-policy %s: %v", flagVal, err)
+		}
+		if !strings.Contains(out.String(), "policy "+want) {
+			t.Errorf("-policy %s report does not mention %q:\n%s", flagVal, want, out.String())
+		}
+	}
+}

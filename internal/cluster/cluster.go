@@ -211,17 +211,7 @@ func (s *Study) validate() error {
 
 // qosOf maps a degradation to QoS under the study's definition.
 func (s *Study) qosOf(kind QoSKind, lat string, deg float64) (float64, error) {
-	switch kind {
-	case QoSAvg:
-		return service.AvgQoS(deg), nil
-	case QoSTail:
-		svc, ok := s.Services[lat]
-		if !ok {
-			return 0, fmt.Errorf("cluster: no service parameters for %s", lat)
-		}
-		return svc.TailQoS(deg), nil
-	}
-	return 0, fmt.Errorf("cluster: unknown QoS kind %d", kind)
+	return qosValue(kind, s.Services, lat, deg)
 }
 
 // server is one placement decision.

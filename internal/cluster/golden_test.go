@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+// goldenRun pins a 100-machine, ~10k-event simulation end to end:
+// the summary aggregates, the placement-log length, a hash of every log
+// entry, and the first placements verbatim. Any change to the workload
+// generator, the event loop, the placement policy or the merge order
+// shows up as a fixture diff; regenerate deliberately with -update.
+type goldenRun struct {
+	Summary Summary     `json:"summary"`
+	LogLen  int         `json:"log_len"`
+	LogHash uint64      `json:"log_hash"`
+	Head    []Placement `json:"head"`
+}
+
+func goldenConfig(t *testing.T) SimConfig {
+	cfg := synthSimConfig(t, 100, 2, 97)
+	cfg.Workload.ArrivalRate = 3600
+	cfg.Workload.MeanDuration = 0.05
+	cfg.Workload.Churn = 0.05
+	return cfg
+}
+
+func hashLog(log []Placement) uint64 {
+	h := fnv.New64a()
+	for _, p := range log {
+		fmt.Fprintf(h, "%g|%d|%d|%d|%d|%d|%d\n", p.At, p.Shard, p.Seq, p.Machine, p.Lat, p.Batch, p.N)
+	}
+	return h.Sum64()
+}
+
+func TestGoldenClusterSim(t *testing.T) {
+	cfg := goldenConfig(t)
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer saveFailureTrace(t, cfg, events)
+	res, err := RunSim(context.Background(), cfg, events, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events < 9_000 || res.Events > 20_000 {
+		t.Fatalf("golden run drifted to %d events, want ~10k", res.Events)
+	}
+	got := goldenRun{
+		Summary: res.Summary(),
+		LogLen:  len(res.Log),
+		LogHash: hashLog(res.Log),
+	}
+	head := 5
+	if len(res.Log) < head {
+		head = len(res.Log)
+	}
+	got.Head = res.Log[:head]
+
+	path := filepath.Join("testdata", "golden_cluster.json")
+	if *update {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	var want goldenRun
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		gj, _ := json.MarshalIndent(got, "", "  ")
+		t.Errorf("golden mismatch (run with -update if intentional):\ngot %s", gj)
+	}
+}

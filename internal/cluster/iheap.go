@@ -1,0 +1,123 @@
+package cluster
+
+// iheap is an indexed min-heap: entries are ordered by (at, seq, handle)
+// and addressable by handle, so the simulator can cancel a decommissioned
+// machine's pending departure events in O(log n) instead of tombstoning
+// them. Each shard owns one iheap as its event queue; the placement
+// buckets reuse the same structure with at = seq = 0, which degenerates
+// the ordering to "lowest handle first" — exactly the deterministic
+// lowest-machine-id tie-break placement needs.
+//
+// Handles must be unique among live entries; Push panics on reuse because
+// a duplicate would silently corrupt the position index.
+type iheap struct {
+	items []heapEntry
+	pos   map[int64]int // handle -> index in items
+}
+
+type heapEntry struct {
+	at     float64
+	seq    uint64
+	handle int64
+}
+
+func (e heapEntry) less(o heapEntry) bool {
+	if e.at != o.at {
+		return e.at < o.at
+	}
+	if e.seq != o.seq {
+		return e.seq < o.seq
+	}
+	return e.handle < o.handle
+}
+
+func newIheap() *iheap {
+	return &iheap{pos: make(map[int64]int)}
+}
+
+// Len returns the number of live entries.
+func (h *iheap) Len() int { return len(h.items) }
+
+// Min returns the smallest entry without removing it; Len must be > 0.
+func (h *iheap) Min() heapEntry { return h.items[0] }
+
+// Push inserts an entry.
+func (h *iheap) Push(at float64, seq uint64, handle int64) {
+	if _, dup := h.pos[handle]; dup {
+		panic("cluster: iheap handle reused while live")
+	}
+	h.items = append(h.items, heapEntry{at: at, seq: seq, handle: handle})
+	h.pos[handle] = len(h.items) - 1
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the smallest entry; Len must be > 0.
+func (h *iheap) Pop() heapEntry {
+	top := h.items[0]
+	h.removeAt(0)
+	return top
+}
+
+// Remove deletes the entry with the given handle, reporting whether it
+// was present.
+func (h *iheap) Remove(handle int64) bool {
+	i, ok := h.pos[handle]
+	if !ok {
+		return false
+	}
+	h.removeAt(i)
+	return true
+}
+
+func (h *iheap) removeAt(i int) {
+	last := len(h.items) - 1
+	delete(h.pos, h.items[i].handle)
+	if i != last {
+		h.items[i] = h.items[last]
+		h.pos[h.items[i].handle] = i
+	}
+	h.items = h.items[:last]
+	if i < len(h.items) {
+		if !h.down(i) {
+			h.up(i)
+		}
+	}
+}
+
+func (h *iheap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.items[i].less(h.items[parent]) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// down sifts items[i] toward the leaves, reporting whether it moved.
+func (h *iheap) down(i int) bool {
+	moved := false
+	for {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h.items) {
+			return moved
+		}
+		c := l
+		if r < len(h.items) && h.items[r].less(h.items[l]) {
+			c = r
+		}
+		if !h.items[c].less(h.items[i]) {
+			return moved
+		}
+		h.swap(i, c)
+		i = c
+		moved = true
+	}
+}
+
+func (h *iheap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i].handle] = i
+	h.pos[h.items[j].handle] = j
+}

@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestIheapOrdering(t *testing.T) {
+	h := newIheap()
+	r := xrand.New(3)
+	type key struct {
+		at  float64
+		seq uint64
+	}
+	keys := make(map[int64]key)
+	for i := int64(0); i < 500; i++ {
+		k := key{at: float64(r.Intn(50)), seq: r.Uint64() % 8}
+		keys[i] = k
+		h.Push(k.at, k.seq, i)
+	}
+	want := make([]int64, 0, len(keys))
+	for hdl := range keys {
+		want = append(want, hdl)
+	}
+	sort.Slice(want, func(i, j int) bool {
+		a, b := keys[want[i]], keys[want[j]]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.seq != b.seq {
+			return a.seq < b.seq
+		}
+		return want[i] < want[j]
+	})
+	for i, hdl := range want {
+		if h.Min().handle != hdl {
+			t.Fatalf("pop %d: Min = %d, want %d", i, h.Min().handle, hdl)
+		}
+		if got := h.Pop().handle; got != hdl {
+			t.Fatalf("pop %d: got %d, want %d", i, got, hdl)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("heap not drained: %d left", h.Len())
+	}
+}
+
+// TestIheapRemove removes random handles mid-stream and checks the
+// remaining pops stay sorted and complete.
+func TestIheapRemove(t *testing.T) {
+	h := newIheap()
+	r := xrand.New(17)
+	const n = 400
+	at := make(map[int64]float64, n)
+	for i := int64(0); i < n; i++ {
+		at[i] = r.Float64() * 100
+		h.Push(at[i], 0, i)
+	}
+	removed := make(map[int64]bool)
+	for i := int64(0); i < n; i += 3 {
+		if !h.Remove(i) {
+			t.Fatalf("Remove(%d) reported absent", i)
+		}
+		removed[i] = true
+	}
+	if h.Remove(0) {
+		t.Fatal("double Remove succeeded")
+	}
+	last := -1.0
+	seen := 0
+	for h.Len() > 0 {
+		e := h.Pop()
+		if removed[e.handle] {
+			t.Fatalf("popped removed handle %d", e.handle)
+		}
+		if e.at < last {
+			t.Fatalf("out of order: %g after %g", e.at, last)
+		}
+		last = e.at
+		seen++
+	}
+	if want := n - len(removed); seen != want {
+		t.Fatalf("popped %d entries, want %d", seen, want)
+	}
+}
+
+func TestIheapHandleReusePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate handle did not panic")
+		}
+	}()
+	h := newIheap()
+	h.Push(1, 0, 7)
+	h.Push(2, 0, 7)
+}

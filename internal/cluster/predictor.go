@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/surrogate"
+)
+
+// TablePredictor serves the Predictor seam from a degradation Table's
+// baked-in Predicted entries — the engine-measured prediction surface the
+// scale-out studies use. It is the ground-truth fallback of the tiered
+// predictor below.
+type TablePredictor struct {
+	Table *Table
+}
+
+// PredictDegradation implements Predictor.
+func (p *TablePredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+	e, err := p.Table.Get(lat, batch, n)
+	if err != nil {
+		return 0, err
+	}
+	return e.Predicted, nil
+}
+
+// SurrogatePredictor adapts a fitted surrogate.Set with an embedded
+// Equation 3 model to the Predictor seam, answering in microseconds
+// without touching the engine. Instance-count dependence is modelled
+// analytically on the surrogate curves: n stacked instances of the batch
+// application exert its contentiousness curves evaluated at intensity
+// n/Capacity (more siblings, more pressure, saturating at full
+// occupancy), and — mirroring model.Smite.PredictPartial — the intercept,
+// which must vanish at n = 0, is scaled by the occupied fraction. The
+// victim's sensitivities are its full-intensity values, as in the
+// pairwise surrogate path.
+type SurrogatePredictor struct {
+	Set *surrogate.Set
+	// Capacity is the number of idle sibling contexts instances stack on
+	// (the study's ContextsPerServer − ThreadsPerServer).
+	Capacity int
+}
+
+// predict returns the surrogate answer with its propagated error bound
+// (the same soundness argument as surrogate.Set.PredictWith, with the
+// aggressor curves evaluated at the occupancy-scaled intensity).
+func (p *SurrogatePredictor) predict(lat, batch string, n int) (surrogate.Prediction, error) {
+	if p.Set == nil || p.Set.Eq3 == nil {
+		return surrogate.Prediction{}, fmt.Errorf("cluster: surrogate predictor needs a set with an embedded Eq3 model")
+	}
+	if p.Capacity <= 0 {
+		return surrogate.Prediction{}, fmt.Errorf("cluster: surrogate predictor capacity must be positive, got %d", p.Capacity)
+	}
+	mv, err := p.Set.Model(lat)
+	if err != nil {
+		return surrogate.Prediction{}, err
+	}
+	ma, err := p.Set.Model(batch)
+	if err != nil {
+		return surrogate.Prediction{}, err
+	}
+	x := float64(n) / float64(p.Capacity)
+	if x > 1 {
+		x = 1
+	}
+	eq3 := *p.Set.Eq3
+	pred := surrogate.Prediction{Degradation: eq3.Intercept * x}
+	for d := range eq3.Coef {
+		sen, con := mv.Sen[d].At(1), ma.Con[d].At(x)
+		es, ec := mv.Sen[d].MaxAbsErr, ma.Con[d].MaxAbsErr
+		pred.Degradation += eq3.Coef[d] * sen * con
+		pred.Bound += abs(eq3.Coef[d]) * (abs(sen)*ec + es*abs(con) + es*ec)
+	}
+	return pred, nil
+}
+
+// PredictDegradation implements Predictor.
+func (p *SurrogatePredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+	pred, err := p.predict(lat, batch, n)
+	return pred.Degradation, err
+}
+
+// TieredPredictor is the qosd serving policy at the Predictor seam:
+// answer from the surrogate tier when its certificate clears the accuracy
+// budget, fall back to the (engine-measured) predictor otherwise. The
+// cluster simulator consults the seam only once per distinct
+// (lat, batch, n) cell — BuildPredTable memoizes the surface — so even
+// the fallback path costs a handful of calls per run.
+type TieredPredictor struct {
+	Surrogate *SurrogatePredictor
+	// Threshold is the largest surrogate error bound served before
+	// falling back; zero means DefaultTierThreshold.
+	Threshold float64
+	// Fallback answers when the surrogate bound is too loose or the
+	// surrogate has no model for an application.
+	Fallback Predictor
+}
+
+// DefaultTierThreshold matches qosd.DefaultSurrogateThreshold: bounds
+// above five degradation points fall back to measured predictions.
+const DefaultTierThreshold = 0.05
+
+// PredictDegradation implements Predictor.
+func (t *TieredPredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+	thr := t.Threshold
+	if thr <= 0 {
+		thr = DefaultTierThreshold
+	}
+	if t.Surrogate != nil {
+		if pred, err := t.Surrogate.predict(lat, batch, n); err == nil && pred.Bound <= thr {
+			return pred.Degradation, nil
+		}
+	}
+	if t.Fallback == nil {
+		return 0, fmt.Errorf("cluster: tiered predictor has no fallback for %s|%s|%d", lat, batch, n)
+	}
+	return t.Fallback.PredictDegradation(lat, batch, n)
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/service"
+)
+
+// qosValue maps a degradation to QoS under a QoS definition; the services
+// map is only consulted for tail QoS.
+func qosValue(kind QoSKind, services map[string]service.Service, lat string, deg float64) (float64, error) {
+	switch kind {
+	case QoSAvg:
+		return service.AvgQoS(deg), nil
+	case QoSTail:
+		svc, ok := services[lat]
+		if !ok {
+			return 0, fmt.Errorf("cluster: no service parameters for %s", lat)
+		}
+		return svc.TailQoS(deg), nil
+	}
+	return 0, fmt.Errorf("cluster: unknown QoS kind %d", kind)
+}
+
+// PredTable is the dense QoS surface the discrete-event simulator places
+// against: for every (latency app, batch app, instance count) cell it
+// holds the QoS implied by the predicted and by the measured degradation,
+// precomputed so the event loop is pure array lookups. It is built once
+// through the Predictor seam (BuildPredTable) and embedded verbatim in
+// recorded traces, which is what makes a replayed run self-contained.
+type PredTable struct {
+	LatencyApps  []string `json:"latency_apps"`
+	BatchApps    []string `json:"batch_apps"`
+	MaxInstances int      `json:"max_instances"`
+	QoS          QoSKind  `json:"qos"`
+	// PredQoS and ActualQoS are indexed by Cell(lat, batch, n).
+	PredQoS   []float64 `json:"pred_qos"`
+	ActualQoS []float64 `json:"actual_qos"`
+}
+
+// Cell flattens (lat index, batch index, instances 1..MaxInstances) into
+// the table's storage index.
+func (t *PredTable) Cell(lat, batch, n int) int {
+	return (lat*len(t.BatchApps)+batch)*t.MaxInstances + n - 1
+}
+
+// Validate rejects structurally broken tables (wrong slice lengths, empty
+// application sets).
+func (t *PredTable) Validate() error {
+	if t == nil {
+		return fmt.Errorf("cluster: nil prediction table")
+	}
+	if len(t.LatencyApps) == 0 || len(t.BatchApps) == 0 || t.MaxInstances <= 0 {
+		return fmt.Errorf("cluster: prediction table needs apps and a positive MaxInstances")
+	}
+	want := len(t.LatencyApps) * len(t.BatchApps) * t.MaxInstances
+	if len(t.PredQoS) != want || len(t.ActualQoS) != want {
+		return fmt.Errorf("cluster: prediction table has %d/%d cells, want %d",
+			len(t.PredQoS), len(t.ActualQoS), want)
+	}
+	return nil
+}
+
+// BuildPredTable precomputes the QoS surface for every
+// (latency, batch, 1..MaxInstances) cell of tbl under the given QoS
+// definition. Predicted degradations come from pred when non-nil — the
+// Predictor seam, typically the microsecond surrogate tier with the
+// engine-measured table as fallback — and from the table's own Predicted
+// entries otherwise; measured degradations always come from the table.
+// Cells fan out across workers via sched.Map, so the build is
+// bit-identical at any worker count.
+func BuildPredTable(ctx context.Context, tbl *Table, services map[string]service.Service, qos QoSKind, pred Predictor, workers int) (*PredTable, error) {
+	if tbl == nil {
+		return nil, fmt.Errorf("cluster: BuildPredTable needs a table")
+	}
+	if err := tbl.Complete(); err != nil {
+		return nil, err
+	}
+	out := &PredTable{
+		LatencyApps:  append([]string(nil), tbl.LatencyApps...),
+		BatchApps:    append([]string(nil), tbl.BatchApps...),
+		MaxInstances: tbl.MaxInstances,
+		QoS:          qos,
+	}
+	cells := len(out.LatencyApps) * len(out.BatchApps) * out.MaxInstances
+	out.PredQoS = make([]float64, cells)
+	out.ActualQoS = make([]float64, cells)
+	err := sched.Map(ctx, cells, workers, func(ctx context.Context, i int) error {
+		n := i%out.MaxInstances + 1
+		b := (i / out.MaxInstances) % len(out.BatchApps)
+		l := i / (out.MaxInstances * len(out.BatchApps))
+		lat, batch := out.LatencyApps[l], out.BatchApps[b]
+		e, err := tbl.Get(lat, batch, n)
+		if err != nil {
+			return err
+		}
+		dp := e.Predicted
+		if pred != nil {
+			if dp, err = pred.PredictDegradation(lat, batch, n); err != nil {
+				return err
+			}
+		}
+		if out.PredQoS[i], err = qosValue(qos, services, lat, dp); err != nil {
+			return err
+		}
+		out.ActualQoS[i], err = qosValue(qos, services, lat, e.Actual)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

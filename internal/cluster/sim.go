@@ -1,0 +1,548 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	clworkload "repro/internal/cluster/workload"
+	"repro/internal/sched"
+	"repro/internal/xrand"
+)
+
+// This file is the warehouse-scale discrete-event core: tens of
+// thousands of machines, millions of placement/churn events, seconds of
+// wall-clock. It replaces full-fleet scans with incremental
+// contention-aware placement: machines live in per-shard occupancy
+// buckets keyed by (latency app, resident batch app, instance count), and
+// because predicted QoS depends only on that state triple, best-fit
+// admission is a scan over O(apps × instances) buckets instead of O(fleet)
+// machines, independent of fleet size.
+//
+// Determinism. The fleet is statically sharded into scheduling cells
+// (machine → shard, jobs dealt to shards by the workload generator), and
+// each shard is a self-contained sequential simulation: one indexed
+// min-heap of pending departures merged two-way with the shard's
+// time-sorted exogenous stream, ties broken departures-first, then by
+// shard-local sequence numbers. Shards never communicate, so fanning them
+// across sched.Map workers is bit-identical at any worker count; the
+// per-shard placement logs are merged by (At, Shard, Seq) afterwards.
+// internal/simtest pins replay determinism as a 20-seed law.
+
+// DefaultShards is the shard count used when SimConfig.Shards is zero:
+// enough cells to keep a machine's worth of workers busy without
+// fragmenting small fleets.
+const DefaultShards = 16
+
+// SimConfig parameterises one discrete-event cluster run. The workload
+// config carries the fleet size, horizon, seed and application-population
+// dimensions; the prediction table carries the QoS surface placements are
+// decided (and scored) on.
+type SimConfig struct {
+	// Workload shapes the exogenous event streams (arrival curves, mix
+	// drift, churn) and fixes Machines/Horizon/Seed/Lats/Batches.
+	Workload clworkload.Config `json:"workload"`
+	// Shards is the number of scheduling cells the fleet is split into
+	// (0 = DefaultShards). More shards means more available parallelism
+	// and smaller cells; results depend on the shard count but not on the
+	// worker count.
+	Shards int `json:"shards"`
+	// Policy decides admissions: SMiTe places on predicted QoS, Oracle on
+	// measured QoS, Random ignores interference and packs by capacity.
+	Policy PolicyKind `json:"policy"`
+	// Target is the QoS floor in (0, 1] placements must respect.
+	Target float64 `json:"target"`
+	// ThreadsPerServer and ContextsPerServer set the machine geometry;
+	// ContextsPerServer − ThreadsPerServer idle contexts take batch
+	// instances, at most Table.MaxInstances of them.
+	ThreadsPerServer  int `json:"threads_per_server"`
+	ContextsPerServer int `json:"contexts_per_server"`
+	// Table is the precomputed QoS surface (BuildPredTable).
+	Table *PredTable `json:"table"`
+}
+
+// withDefaults normalises zero-valued knobs.
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Shards == 0 {
+		c.Shards = DefaultShards
+	}
+	return c
+}
+
+// Validate rejects configurations RunSim cannot execute.
+func (c SimConfig) Validate() error {
+	c = c.withDefaults()
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: sim shards must be non-negative, got %d", c.Shards)
+	}
+	if c.Policy != PolicySMiTe && c.Policy != PolicyOracle && c.Policy != PolicyRandom {
+		return fmt.Errorf("cluster: unknown policy %d", int(c.Policy))
+	}
+	if c.Target <= 0 || c.Target > 1 {
+		return fmt.Errorf("cluster: QoS target %.3f outside (0,1]", c.Target)
+	}
+	if c.ThreadsPerServer <= 0 || c.ContextsPerServer <= 0 {
+		return fmt.Errorf("cluster: server geometry must be positive")
+	}
+	if c.ThreadsPerServer >= c.ContextsPerServer {
+		return fmt.Errorf("cluster: %d threads leave no idle context of %d", c.ThreadsPerServer, c.ContextsPerServer)
+	}
+	if err := c.Table.Validate(); err != nil {
+		return err
+	}
+	if len(c.Table.LatencyApps) != c.Workload.Lats || len(c.Table.BatchApps) != c.Workload.Batches {
+		return fmt.Errorf("cluster: table is %d×%d apps but workload generates %d×%d",
+			len(c.Table.LatencyApps), len(c.Table.BatchApps), c.Workload.Lats, c.Workload.Batches)
+	}
+	if c.Table.MaxInstances > c.ContextsPerServer-c.ThreadsPerServer {
+		return fmt.Errorf("cluster: %d instances exceed %d idle contexts",
+			c.Table.MaxInstances, c.ContextsPerServer-c.ThreadsPerServer)
+	}
+	return nil
+}
+
+// GenerateEvents produces the per-shard exogenous event streams for the
+// configured workload — the recordable half of a run.
+func GenerateEvents(cfg SimConfig) ([][]clworkload.Event, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	shards := make([][]clworkload.Event, cfg.Shards)
+	for s := range shards {
+		ev, err := clworkload.Generate(cfg.Workload, s, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		shards[s] = ev
+	}
+	return shards, nil
+}
+
+// Placement is one scheduler decision in the merged log. Rejections are
+// logged too (Machine = −1), so the log is a complete decision record and
+// bit-for-bit comparable across replays.
+type Placement struct {
+	At      float64 `json:"t"`
+	Shard   int32   `json:"s"`
+	Seq     uint32  `json:"q"` // shard-local decision sequence
+	Machine int64   `json:"m"` // global machine id; −1 = rejected
+	Lat     int16   `json:"l"` // latency app of the machine; −1 = rejected
+	Batch   int16   `json:"b"`
+	N       int16   `json:"n"` // resident instances after placement; 0 = rejected
+}
+
+// SimResult aggregates one discrete-event run.
+type SimResult struct {
+	Policy PolicyKind
+	QoS    QoSKind
+	Target float64
+
+	// Events counts every processed event: exogenous arrivals/churn plus
+	// endogenous job departures.
+	Events int
+	// Arrived/Placed/Rejected count batch jobs; Departed jobs that ran to
+	// completion; Evicted jobs killed by a machine decommission.
+	Arrived, Placed, Rejected, Departed, Evicted int
+	// MachinesStart/End/Ups/Downs describe fleet churn.
+	MachinesStart, MachinesEnd, MachineUps, MachineDowns int
+
+	// BaselineUtilization is the no-co-location context utilisation;
+	// MeanUtilization the machine-time-weighted mean with co-location;
+	// PeakUtilization the largest instantaneous shard utilisation.
+	BaselineUtilization float64
+	MeanUtilization     float64
+	PeakUtilization     float64
+
+	// Violations counts placements whose measured QoS at the resulting
+	// occupancy missed the target; ViolationFrac normalises by Placed.
+	Violations    int
+	ViolationFrac float64
+
+	// Log is the merged placement log, ordered by (At, Shard, Seq).
+	Log []Placement
+}
+
+// RunSim executes the discrete-event simulation over the given per-shard
+// exogenous streams (GenerateEvents for a fresh run, ReadTrace for a
+// replay), fanning shards across at most workers sched workers. The
+// result — including the merged placement log — is bit-identical for
+// every workers value.
+func RunSim(ctx context.Context, cfg SimConfig, shards [][]clworkload.Event, workers int) (SimResult, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return SimResult{}, err
+	}
+	if len(shards) != cfg.Shards {
+		return SimResult{}, fmt.Errorf("cluster: %d event shards for %d sim shards", len(shards), cfg.Shards)
+	}
+	results := make([]shardResult, cfg.Shards)
+	err := sched.Map(ctx, cfg.Shards, workers, func(ctx context.Context, i int) error {
+		r, err := runShard(ctx, &cfg, i, shards[i])
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		return SimResult{}, err
+	}
+	return mergeShards(cfg, results), nil
+}
+
+// shardResult is one cell's contribution before the deterministic merge.
+type shardResult struct {
+	events                     int
+	arrived, placed, rejected  int
+	departed, evicted          int
+	machinesStart, machinesEnd int
+	ups, downs                 int
+	violations                 int
+	busyInt, ctxInt, baseInt   float64 // utilisation integrals
+	peak                       float64
+	log                        []Placement
+}
+
+func mergeShards(cfg SimConfig, rs []shardResult) SimResult {
+	out := SimResult{Policy: cfg.Policy, QoS: cfg.Table.QoS, Target: cfg.Target}
+	logLen := 0
+	for _, r := range rs {
+		out.Events += r.events
+		out.Arrived += r.arrived
+		out.Placed += r.placed
+		out.Rejected += r.rejected
+		out.Departed += r.departed
+		out.Evicted += r.evicted
+		out.MachinesStart += r.machinesStart
+		out.MachinesEnd += r.machinesEnd
+		out.MachineUps += r.ups
+		out.MachineDowns += r.downs
+		out.Violations += r.violations
+		if r.peak > out.PeakUtilization {
+			out.PeakUtilization = r.peak
+		}
+		logLen += len(r.log)
+	}
+	var busy, ctx, base float64
+	for _, r := range rs {
+		busy += r.busyInt
+		ctx += r.ctxInt
+		base += r.baseInt
+	}
+	if ctx > 0 {
+		out.MeanUtilization = busy / ctx
+		out.BaselineUtilization = base / ctx
+	}
+	if out.Placed > 0 {
+		out.ViolationFrac = float64(out.Violations) / float64(out.Placed)
+	}
+	out.Log = make([]Placement, 0, logLen)
+	for _, r := range rs {
+		out.Log = append(out.Log, r.log...)
+	}
+	// Each shard log is already (At, Seq)-ordered; the global order is the
+	// deterministic (At, Shard, Seq) merge.
+	sort.Slice(out.Log, func(i, j int) bool {
+		a, b := out.Log[i], out.Log[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// simMachine is one server's live state inside a shard.
+type simMachine struct {
+	lat   int16
+	batch int16 // −1 when no batch app is resident
+	n     int16
+	up    bool
+	jobs  []int64 // live departure-event handles
+}
+
+// shardSim is the per-cell simulation state.
+type shardSim struct {
+	cfg   *SimConfig
+	t     *PredTable
+	shard int
+
+	machines []simMachine
+	upIDs    []int32 // sorted local ids of up machines
+	buckets  []*iheap
+	events   *iheap          // pending departures, keyed (time, handle)
+	owner    map[int64]int32 // departure handle -> local machine id
+	handle   int64
+	rng      *xrand.Rand // Random-policy draws only
+
+	nBatch, maxInst int
+
+	// Utilisation integrals.
+	busyNow, ctxNow, baseNow int
+	lastT                    float64
+	res                      shardResult
+}
+
+// bucketIdx flattens machine state (lat, resident batch or −1, n) to its
+// occupancy bucket. batchState 0 is "empty"; 1+b is "running batch b".
+func (s *shardSim) bucketIdx(lat, batchState, n int) int {
+	return (lat*(s.nBatch+1)+batchState)*(s.maxInst+1) + n
+}
+
+func (s *shardSim) stateOf(m *simMachine) int {
+	if m.batch < 0 {
+		return s.bucketIdx(int(m.lat), 0, 0)
+	}
+	return s.bucketIdx(int(m.lat), 1+int(m.batch), int(m.n))
+}
+
+// globalID reconstructs the fleet-wide machine id from a local one.
+func (s *shardSim) globalID(local int32) int64 {
+	return int64(s.shard) + int64(local)*int64(s.cfg.Shards)
+}
+
+// account integrates utilisation up to now.
+func (s *shardSim) account(now float64) {
+	dt := now - s.lastT
+	if dt > 0 && s.ctxNow > 0 {
+		s.res.busyInt += float64(s.busyNow) * dt
+		s.res.ctxInt += float64(s.ctxNow) * dt
+		s.res.baseInt += float64(s.baseNow) * dt
+		if u := float64(s.busyNow) / float64(s.ctxNow); u > s.res.peak {
+			s.res.peak = u
+		}
+	}
+	s.lastT = now
+}
+
+// addMachine brings a machine up running latency app lat.
+func (s *shardSim) addMachine(lat int) int32 {
+	local := int32(len(s.machines))
+	s.machines = append(s.machines, simMachine{lat: int16(lat), batch: -1})
+	m := &s.machines[local]
+	m.up = true
+	s.upIDs = append(s.upIDs, local) // ids are monotone, so append keeps order
+	s.buckets[s.stateOf(m)].Push(0, 0, int64(local))
+	s.busyNow += s.cfg.ThreadsPerServer
+	s.baseNow += s.cfg.ThreadsPerServer
+	s.ctxNow += s.cfg.ContextsPerServer
+	return local
+}
+
+// dropMachine decommissions the up machine with the given rank, cancelling
+// its pending departures via the indexed heap.
+func (s *shardSim) dropMachine(rank float64) {
+	if len(s.upIDs) == 0 {
+		return
+	}
+	i := int(rank * float64(len(s.upIDs)))
+	if i >= len(s.upIDs) {
+		i = len(s.upIDs) - 1
+	}
+	local := s.upIDs[i]
+	s.upIDs = append(s.upIDs[:i], s.upIDs[i+1:]...)
+	m := &s.machines[local]
+	s.buckets[s.stateOf(m)].Remove(int64(local))
+	for _, h := range m.jobs {
+		s.events.Remove(h)
+		delete(s.owner, h)
+		s.res.evicted++
+	}
+	s.busyNow -= s.cfg.ThreadsPerServer + int(m.n)
+	s.baseNow -= s.cfg.ThreadsPerServer
+	s.ctxNow -= s.cfg.ContextsPerServer
+	m.up = false
+	m.jobs = m.jobs[:0]
+	m.batch, m.n = -1, 0
+	s.res.downs++
+}
+
+// place puts one instance of batch b on local machine id, scheduling its
+// departure.
+func (s *shardSim) place(local int32, b int, at, duration float64) {
+	m := &s.machines[local]
+	s.buckets[s.stateOf(m)].Remove(int64(local))
+	m.batch = int16(b)
+	m.n++
+	s.buckets[s.stateOf(m)].Push(0, 0, int64(local))
+	h := s.handle
+	s.handle++
+	s.events.Push(at+duration, uint64(h), h)
+	s.owner[h] = local
+	m.jobs = append(m.jobs, h)
+	s.busyNow++
+	s.res.placed++
+	if s.t.ActualQoS[s.t.Cell(int(m.lat), b, int(m.n))] < s.cfg.Target {
+		s.res.violations++
+	}
+	s.res.log = append(s.res.log, Placement{
+		At: at, Shard: int32(s.shard), Seq: uint32(len(s.res.log)),
+		Machine: s.globalID(local), Lat: m.lat, Batch: int16(b), N: m.n,
+	})
+}
+
+// depart completes the job behind a popped departure event.
+func (s *shardSim) depart(h int64) {
+	local := s.owner[h]
+	delete(s.owner, h)
+	m := &s.machines[local]
+	for i, jh := range m.jobs {
+		if jh == h {
+			m.jobs = append(m.jobs[:i], m.jobs[i+1:]...)
+			break
+		}
+	}
+	s.buckets[s.stateOf(m)].Remove(int64(local))
+	m.n--
+	if m.n == 0 {
+		m.batch = -1
+	}
+	s.buckets[s.stateOf(m)].Push(0, 0, int64(local))
+	s.busyNow--
+	s.res.departed++
+}
+
+// admit picks the machine for one instance of batch b, or −1 to reject.
+// SMiTe and Oracle are best-fit by QoS headroom over the occupancy
+// buckets — O(lats × instances) bucket peeks, never a fleet scan — with
+// deterministic tie-breaks (first admissible state in bucket order, then
+// lowest machine id). Random probes the up-machine ring for spare
+// capacity, ignoring QoS.
+func (s *shardSim) admit(b int) int32 {
+	if s.cfg.Policy == PolicyRandom {
+		if len(s.upIDs) == 0 {
+			return -1
+		}
+		start := s.rng.Intn(len(s.upIDs))
+		for k := 0; k < len(s.upIDs); k++ {
+			local := s.upIDs[(start+k)%len(s.upIDs)]
+			m := &s.machines[local]
+			if (m.batch < 0 || int(m.batch) == b) && int(m.n) < s.maxInst {
+				return local
+			}
+		}
+		return -1
+	}
+	qos := s.t.PredQoS
+	if s.cfg.Policy == PolicyOracle {
+		qos = s.t.ActualQoS
+	}
+	bestState, bestHead := -1, 2.0
+	for lat := 0; lat < len(s.t.LatencyApps); lat++ {
+		// Empty machines take the first instance; occupied ones stack more
+		// of the same batch kind up to MaxInstances.
+		if s.buckets[s.bucketIdx(lat, 0, 0)].Len() > 0 {
+			if q := qos[s.t.Cell(lat, b, 1)]; q >= s.cfg.Target && q-s.cfg.Target < bestHead {
+				bestHead = q - s.cfg.Target
+				bestState = s.bucketIdx(lat, 0, 0)
+			}
+		}
+		for n := 1; n < s.maxInst; n++ {
+			if s.buckets[s.bucketIdx(lat, 1+b, n)].Len() == 0 {
+				continue
+			}
+			if q := qos[s.t.Cell(lat, b, n+1)]; q >= s.cfg.Target && q-s.cfg.Target < bestHead {
+				bestHead = q - s.cfg.Target
+				bestState = s.bucketIdx(lat, 1+b, n)
+			}
+		}
+	}
+	if bestState < 0 {
+		return -1
+	}
+	return int32(s.buckets[bestState].Min().handle)
+}
+
+// ctxCheckInterval bounds how stale a cancellation can go unnoticed in
+// the per-shard event loop.
+const ctxCheckInterval = 1 << 16
+
+func runShard(ctx context.Context, cfg *SimConfig, shard int, exo []clworkload.Event) (shardResult, error) {
+	nLat, nBatch := cfg.Workload.Lats, cfg.Workload.Batches
+	s := &shardSim{
+		cfg: cfg, t: cfg.Table, shard: shard,
+		nBatch: nBatch, maxInst: cfg.Table.MaxInstances,
+		events: newIheap(),
+		owner:  make(map[int64]int32),
+		rng:    xrand.New(cfg.Workload.Seed ^ 0x51A1 ^ (uint64(shard)+1)*0xBF58476D1CE4E5B9),
+	}
+	s.buckets = make([]*iheap, nLat*(nBatch+1)*(s.maxInst+1))
+	for i := range s.buckets {
+		s.buckets[i] = newIheap()
+	}
+
+	// Initial fleet: machines are dealt to shards round-robin, and their
+	// latency apps round-robin over the population, so shard membership is
+	// a pure function of the global machine id.
+	for g := shard; g < cfg.Workload.Machines; g += cfg.Shards {
+		s.addMachine(g % nLat)
+	}
+	s.res.machinesStart = len(s.upIDs)
+
+	horizon := cfg.Workload.Horizon
+	for ci := 0; ; {
+		// Two-way deterministic merge: pending departures fire before
+		// exogenous events at the same instant (capacity frees first).
+		var at float64
+		useDeparture := false
+		switch {
+		case s.events.Len() > 0 && ci < len(exo):
+			at = exo[ci].At
+			if d := s.events.Min().at; d <= at {
+				at, useDeparture = d, true
+			}
+		case s.events.Len() > 0:
+			at, useDeparture = s.events.Min().at, true
+		case ci < len(exo):
+			at = exo[ci].At
+		default:
+			at = horizon
+		}
+		if at >= horizon {
+			break
+		}
+		if s.res.events%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return shardResult{}, err
+			}
+		}
+		s.account(at)
+		s.res.events++
+		if useDeparture {
+			s.depart(s.events.Pop().handle)
+			continue
+		}
+		ev := exo[ci]
+		ci++
+		switch ev.Kind {
+		case clworkload.KindMachineUp:
+			s.addMachine(ev.Lat)
+			s.res.ups++
+		case clworkload.KindMachineDown:
+			s.dropMachine(ev.Rank)
+		case clworkload.KindJobArrive:
+			s.res.arrived++
+			if local := s.admit(ev.Batch); local >= 0 {
+				s.place(local, ev.Batch, ev.At, ev.Duration)
+			} else {
+				s.res.rejected++
+				s.res.log = append(s.res.log, Placement{
+					At: ev.At, Shard: int32(s.shard), Seq: uint32(len(s.res.log)),
+					Machine: -1, Lat: -1, Batch: int16(ev.Batch),
+				})
+			}
+		default:
+			return shardResult{}, fmt.Errorf("unknown event kind %d at seq %d", ev.Kind, ev.Seq)
+		}
+	}
+	s.account(horizon)
+	s.res.machinesEnd = len(s.upIDs)
+	return s.res, nil
+}

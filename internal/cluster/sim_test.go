@@ -1,0 +1,275 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	clworkload "repro/internal/cluster/workload"
+)
+
+// synthSimConfig assembles a runnable SimConfig on a synthetic world: the
+// surrogate tier answers predictions first, the measured table is the
+// fallback, and the QoS surface is precomputed through the Predictor seam.
+func synthSimConfig(tb testing.TB, machines int, horizon float64, seed uint64) SimConfig {
+	tb.Helper()
+	const nLat, nBatch, maxInst = 3, 4, 6
+	set, tbl, err := SyntheticWorld(nLat, nBatch, maxInst, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pred := &TieredPredictor{
+		Surrogate: &SurrogatePredictor{Set: set, Capacity: maxInst},
+		Fallback:  &TablePredictor{Table: tbl},
+	}
+	pt, err := BuildPredTable(context.Background(), tbl, nil, QoSAvg, pred, 1)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return SimConfig{
+		Workload: clworkload.Config{
+			Machines: machines, Horizon: horizon,
+			Lats: nLat, Batches: nBatch, Seed: seed,
+			ArrivalRate:  float64(machines) * 30,
+			MeanDuration: 0.05,
+			Diurnal:      0.4,
+			BurstProb:    0.1, BurstFactor: 2.5,
+			Drift: 0.2,
+			Churn: 0.02,
+		},
+		Shards:            8,
+		Policy:            PolicySMiTe,
+		Target:            0.92,
+		ThreadsPerServer:  6,
+		ContextsPerServer: 12,
+		Table:             pt,
+	}
+}
+
+// saveFailureTrace records the failing run's trace under CLUSTER_TRACE_DIR
+// (CI uploads the directory as an artifact) so the exact event stream that
+// broke a law can be replayed locally.
+func saveFailureTrace(tb testing.TB, cfg SimConfig, shards [][]clworkload.Event) {
+	tb.Helper()
+	dir := os.Getenv("CLUSTER_TRACE_DIR")
+	if dir == "" || !tb.Failed() {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		tb.Logf("saving failure trace: %v", err)
+		return
+	}
+	name := filepath.Join(dir, fmt.Sprintf("%s.trace", filepath.Base(tb.Name())))
+	f, err := os.Create(name)
+	if err != nil {
+		tb.Logf("saving failure trace: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := WriteTrace(f, cfg, shards); err != nil {
+		tb.Logf("saving failure trace: %v", err)
+		return
+	}
+	tb.Logf("failure trace saved to %s", name)
+}
+
+func TestSimSmoke(t *testing.T) {
+	cfg := synthSimConfig(t, 60, 2, 7)
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer saveFailureTrace(t, cfg, events)
+	res, err := RunSim(context.Background(), cfg, events, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived == 0 || res.Arrived != res.Placed+res.Rejected {
+		t.Errorf("job accounting broken: arrived %d, placed %d, rejected %d", res.Arrived, res.Placed, res.Rejected)
+	}
+	if res.Departed+res.Evicted > res.Placed {
+		t.Errorf("more departures (%d) + evictions (%d) than placements (%d)", res.Departed, res.Evicted, res.Placed)
+	}
+	if res.Events < res.Arrived+res.Departed {
+		t.Errorf("event count %d below arrivals %d + departures %d", res.Events, res.Arrived, res.Departed)
+	}
+	if res.MachinesStart != 60 {
+		t.Errorf("initial fleet %d, want 60", res.MachinesStart)
+	}
+	if got := res.MachinesStart + res.MachineUps - res.MachineDowns; got != res.MachinesEnd {
+		t.Errorf("fleet churn arithmetic: start %d + ups %d − downs %d != end %d",
+			res.MachinesStart, res.MachineUps, res.MachineDowns, res.MachinesEnd)
+	}
+	if res.MeanUtilization <= res.BaselineUtilization || res.MeanUtilization > 1 {
+		t.Errorf("mean utilisation %g outside (baseline %g, 1]", res.MeanUtilization, res.BaselineUtilization)
+	}
+	if res.PeakUtilization < res.MeanUtilization || res.PeakUtilization > 1 {
+		t.Errorf("peak utilisation %g inconsistent with mean %g", res.PeakUtilization, res.MeanUtilization)
+	}
+	if len(res.Log) != res.Arrived {
+		t.Errorf("placement log has %d entries for %d arrivals", len(res.Log), res.Arrived)
+	}
+	for i := 1; i < len(res.Log); i++ {
+		a, b := res.Log[i-1], res.Log[i]
+		if a.At > b.At || (a.At == b.At && a.Shard > b.Shard) {
+			t.Fatalf("log out of (At, Shard, Seq) order at %d", i)
+		}
+	}
+}
+
+// TestSimParallelismIndependence is the shard-fan-out law at package
+// level (internal/simtest sweeps it over 20 seeds): the merged result is
+// bit-identical at any worker count.
+func TestSimParallelismIndependence(t *testing.T) {
+	cfg := synthSimConfig(t, 48, 2, 11)
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer saveFailureTrace(t, cfg, events)
+	base, err := RunSim(context.Background(), cfg, events, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := RunSim(context.Background(), cfg, events, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d diverged from sequential run", workers)
+		}
+	}
+}
+
+// TestSimOracleNeverViolates: the Oracle policy admits on the same
+// measured QoS the violation check scores with, so it can never place
+// into a violating occupancy.
+func TestSimOracleNeverViolates(t *testing.T) {
+	cfg := synthSimConfig(t, 48, 2, 13)
+	cfg.Policy = PolicyOracle
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer saveFailureTrace(t, cfg, events)
+	res, err := RunSim(context.Background(), cfg, events, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("Oracle produced %d violations", res.Violations)
+	}
+}
+
+// TestSimPolicySpread: Random placement must violate more often than
+// SMiTe on the same event stream, and SMiTe must track Oracle's
+// utilisation — the fleet-level shape of the paper's Figures 14/15.
+func TestSimPolicySpread(t *testing.T) {
+	cfg := synthSimConfig(t, 80, 3, 17)
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer saveFailureTrace(t, cfg, events)
+	byPolicy := map[PolicyKind]SimResult{}
+	for _, pol := range []PolicyKind{PolicySMiTe, PolicyOracle, PolicyRandom} {
+		c := cfg
+		c.Policy = pol
+		res, err := RunSim(context.Background(), c, events, 4)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		byPolicy[pol] = res
+	}
+	if sm, rd := byPolicy[PolicySMiTe], byPolicy[PolicyRandom]; sm.ViolationFrac >= rd.ViolationFrac {
+		t.Errorf("SMiTe violation fraction %g not below Random's %g", sm.ViolationFrac, rd.ViolationFrac)
+	}
+	sm, or := byPolicy[PolicySMiTe], byPolicy[PolicyOracle]
+	if sm.MeanUtilization < 0.9*or.MeanUtilization {
+		t.Errorf("SMiTe utilisation %g lags Oracle's %g by more than 10%%", sm.MeanUtilization, or.MeanUtilization)
+	}
+}
+
+func TestSimCancellation(t *testing.T) {
+	cfg := synthSimConfig(t, 200, 50, 19)
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSim(ctx, cfg, events, 2); err == nil {
+		t.Fatal("cancelled run reported success")
+	}
+}
+
+// TestSimWarehouseScale is the headline acceptance run: 10k machines,
+// ≥1M placement/churn events, predictions through the surrogate tier,
+// seconds of wall-clock — and the recorded trace replays bit-identically
+// at parallelism 1 and 8.
+func TestSimWarehouseScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("warehouse-scale simulation in short mode")
+	}
+	cfg := synthSimConfig(t, 10_000, 1, 23)
+	cfg.Workload.ArrivalRate = 600_000
+	cfg.Workload.MeanDuration = 0.005
+	cfg.Shards = 16
+	if raceEnabled {
+		// The race detector slows the event loop several-fold; keep the
+		// structure (10k machines, churn, drift) but an eighth of the load.
+		cfg.Workload.ArrivalRate = 75_000
+	}
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer saveFailureTrace(t, cfg, events)
+
+	start := time.Now()
+	res, err := RunSim(context.Background(), cfg, events, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	t.Logf("10k machines: %d events in %v (%.0f events/sec), util %.1f%%→%.1f%%, violations %.2f%%",
+		res.Events, elapsed, float64(res.Events)/elapsed.Seconds(),
+		res.BaselineUtilization*100, res.MeanUtilization*100, res.ViolationFrac*100)
+	if !raceEnabled {
+		if res.Events < 1_000_000 {
+			t.Errorf("only %d events simulated, want >= 1M", res.Events)
+		}
+		if elapsed > 30*time.Second {
+			t.Errorf("run took %v, want under 30s", elapsed)
+		}
+	}
+
+	// Record → replay → the placement log and every aggregate must match
+	// bit for bit, at sequential and at 8-way parallel replay.
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, cfg, events); err != nil {
+		t.Fatal(err)
+	}
+	rcfg, revents, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		replay, err := RunSim(context.Background(), rcfg, revents, workers)
+		if err != nil {
+			t.Fatalf("replay workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(res.Log, replay.Log) {
+			t.Fatalf("replay workers=%d: placement log diverged", workers)
+		}
+		if !reflect.DeepEqual(res, replay) {
+			t.Fatalf("replay workers=%d: result diverged", workers)
+		}
+	}
+}

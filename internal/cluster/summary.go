@@ -1,0 +1,68 @@
+package cluster
+
+// Summary is the stable machine-readable aggregate of a discrete-event
+// run, emitted by `clustersim -summary-json`. Its schema is versioned and
+// pinned by a test so future benchci entries can gate fleet-level metrics
+// (utilisation, SLO violations) on it without chasing field renames:
+// additions bump nothing, renames/removals bump SummarySchemaVersion.
+type Summary struct {
+	SchemaVersion int     `json:"schema_version"`
+	Policy        string  `json:"policy"`
+	QoS           string  `json:"qos"`
+	Target        float64 `json:"target"`
+
+	Machines struct {
+		Start int `json:"start"`
+		End   int `json:"end"`
+		Ups   int `json:"ups"`
+		Downs int `json:"downs"`
+	} `json:"machines"`
+
+	Events struct {
+		Total    int `json:"total"`
+		Arrived  int `json:"arrived"`
+		Placed   int `json:"placed"`
+		Rejected int `json:"rejected"`
+		Departed int `json:"departed"`
+		Evicted  int `json:"evicted"`
+	} `json:"events"`
+
+	Utilization struct {
+		Baseline float64 `json:"baseline"`
+		Mean     float64 `json:"mean"`
+		Peak     float64 `json:"peak"`
+	} `json:"utilization"`
+
+	SLO struct {
+		Violations    int     `json:"violations"`
+		ViolationFrac float64 `json:"violation_frac"`
+	} `json:"slo"`
+}
+
+// SummarySchemaVersion identifies the Summary JSON schema.
+const SummarySchemaVersion = 1
+
+// Summary reduces the result to its stable serialisable aggregate.
+func (r SimResult) Summary() Summary {
+	var s Summary
+	s.SchemaVersion = SummarySchemaVersion
+	s.Policy = r.Policy.String()
+	s.QoS = r.QoS.String()
+	s.Target = r.Target
+	s.Machines.Start = r.MachinesStart
+	s.Machines.End = r.MachinesEnd
+	s.Machines.Ups = r.MachineUps
+	s.Machines.Downs = r.MachineDowns
+	s.Events.Total = r.Events
+	s.Events.Arrived = r.Arrived
+	s.Events.Placed = r.Placed
+	s.Events.Rejected = r.Rejected
+	s.Events.Departed = r.Departed
+	s.Events.Evicted = r.Evicted
+	s.Utilization.Baseline = r.BaselineUtilization
+	s.Utilization.Mean = r.MeanUtilization
+	s.Utilization.Peak = r.PeakUtilization
+	s.SLO.Violations = r.Violations
+	s.SLO.ViolationFrac = r.ViolationFrac
+	return s
+}

@@ -1,0 +1,70 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestSummarySchema pins the -summary-json schema: the exact top-level
+// and nested key sets, and the schema version. Consumers (benchci-style
+// gates, dashboards) key on these names; renaming or removing one must
+// bump SummarySchemaVersion and this fixture together.
+func TestSummarySchema(t *testing.T) {
+	cfg := synthSimConfig(t, 40, 1, 41)
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSim(context.Background(), cfg, events, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(res.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strict decode back into the struct: round-trips with no unknown
+	// fields in either direction.
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var back Summary
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("summary JSON does not round-trip strictly: %v", err)
+	}
+	if back.SchemaVersion != SummarySchemaVersion {
+		t.Fatalf("schema_version %d, want %d", back.SchemaVersion, SummarySchemaVersion)
+	}
+
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	keys := map[string][]string{
+		"":            {"schema_version", "policy", "qos", "target", "machines", "events", "utilization", "slo"},
+		"machines":    {"start", "end", "ups", "downs"},
+		"events":      {"total", "arrived", "placed", "rejected", "departed", "evicted"},
+		"utilization": {"baseline", "mean", "peak"},
+		"slo":         {"violations", "violation_frac"},
+	}
+	checkKeys := func(scope string, obj map[string]json.RawMessage, want []string) {
+		if len(obj) != len(want) {
+			t.Errorf("%q has %d keys, want %d", scope, len(obj), len(want))
+		}
+		for _, k := range want {
+			if _, ok := obj[k]; !ok {
+				t.Errorf("%q is missing key %q", scope, k)
+			}
+		}
+	}
+	checkKeys("", doc, keys[""])
+	for _, scope := range []string{"machines", "events", "utilization", "slo"} {
+		var nested map[string]json.RawMessage
+		if err := json.Unmarshal(doc[scope], &nested); err != nil {
+			t.Fatalf("%q: %v", scope, err)
+		}
+		checkKeys(scope, nested, keys[scope])
+	}
+}

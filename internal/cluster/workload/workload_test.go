@@ -1,0 +1,183 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func baseConfig() Config {
+	return Config{
+		Machines: 100, Horizon: 10, Lats: 3, Batches: 4, Seed: 42,
+		ArrivalRate: 200, MeanDuration: 0.5,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Diurnal = 0.5
+	cfg.BurstProb, cfg.BurstFactor = 0.2, 3
+	cfg.Drift = 0.3
+	cfg.Churn = 0.05
+	for shard := 0; shard < 4; shard++ {
+		a, err := Generate(cfg, shard, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(cfg, shard, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("shard %d: two generations differ", shard)
+		}
+		if len(a) == 0 {
+			t.Fatalf("shard %d: empty stream", shard)
+		}
+	}
+	// Different shards must not replay each other's stream.
+	s0, _ := Generate(cfg, 0, 4)
+	s1, _ := Generate(cfg, 1, 4)
+	if len(s0) == len(s1) && reflect.DeepEqual(s0, s1) {
+		t.Fatal("shards 0 and 1 generated identical streams")
+	}
+}
+
+func TestGenerateOrderedAndValid(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Churn = 0.1
+	ev, err := Generate(cfg, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[Kind]int{}
+	for i, e := range ev {
+		if e.At < 0 || e.At >= cfg.Horizon {
+			t.Fatalf("event %d at %g outside [0, %g)", i, e.At, cfg.Horizon)
+		}
+		if e.Seq != uint64(i) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+		if i > 0 && ev[i-1].At > e.At {
+			t.Fatalf("events out of order at %d: %g after %g", i, e.At, ev[i-1].At)
+		}
+		kinds[e.Kind]++
+		switch e.Kind {
+		case KindJobArrive:
+			if e.Batch < 0 || e.Batch >= cfg.Batches || e.Duration <= 0 {
+				t.Fatalf("bad job arrival %+v", e)
+			}
+		case KindMachineUp:
+			if e.Lat < 0 || e.Lat >= cfg.Lats {
+				t.Fatalf("bad machine-up %+v", e)
+			}
+		case KindMachineDown:
+			if e.Rank < 0 || e.Rank >= 1 {
+				t.Fatalf("bad machine-down %+v", e)
+			}
+		}
+	}
+	for _, k := range []Kind{KindJobArrive, KindMachineUp, KindMachineDown} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events generated", k)
+		}
+	}
+}
+
+// TestDiurnalShapesRate checks the temporal modulation does what it says:
+// with a full-amplitude-ish sinusoid over one period, the quarter of the
+// horizon around the crest must see more arrivals than the trough quarter.
+func TestDiurnalShapesRate(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ArrivalRate = 2000
+	cfg.Diurnal = 0.8
+	cfg.Period = cfg.Horizon
+	ev, err := Generate(cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crest, trough := 0, 0 // sin peaks at H/4, bottoms at 3H/4
+	for _, e := range ev {
+		if e.Kind != KindJobArrive {
+			continue
+		}
+		switch {
+		case e.At >= cfg.Horizon/8 && e.At < 3*cfg.Horizon/8:
+			crest++
+		case e.At >= 5*cfg.Horizon/8 && e.At < 7*cfg.Horizon/8:
+			trough++
+		}
+	}
+	if crest <= trough {
+		t.Fatalf("diurnal modulation invisible: crest %d <= trough %d arrivals", crest, trough)
+	}
+}
+
+// TestMixDrift checks per-window drift actually moves the batch mix: with
+// a strong drift the first and last window populations should differ more
+// than the uniform-mix sampling noise.
+func TestMixDrift(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ArrivalRate = 5000
+	cfg.Horizon = 20
+	cfg.Window = 10
+	cfg.Drift = 1.5
+	ev, err := Generate(cfg, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := make([]float64, cfg.Batches)
+	last := make([]float64, cfg.Batches)
+	var nf, nl float64
+	for _, e := range ev {
+		if e.Kind != KindJobArrive {
+			continue
+		}
+		if e.At < cfg.Window {
+			first[e.Batch]++
+			nf++
+		} else {
+			last[e.Batch]++
+			nl++
+		}
+	}
+	var dist float64
+	for b := range first {
+		dist += math.Abs(first[b]/nf - last[b]/nl)
+	}
+	if dist < 0.1 {
+		t.Fatalf("mix drift invisible: total-variation distance %g between windows", dist)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		frag string
+	}{
+		{"machines", func(c *Config) { c.Machines = 0 }, "Machines"},
+		{"horizon", func(c *Config) { c.Horizon = -1 }, "Horizon"},
+		{"apps", func(c *Config) { c.Batches = 0 }, "application counts"},
+		{"arrival", func(c *Config) { c.ArrivalRate = 0 }, "ArrivalRate"},
+		{"duration", func(c *Config) { c.MeanDuration = 0 }, "MeanDuration"},
+		{"diurnal", func(c *Config) { c.Diurnal = 1 }, "Diurnal"},
+		{"burst", func(c *Config) { c.BurstProb = 0.5 }, "BurstFactor"},
+		{"drift", func(c *Config) { c.Drift = -0.1 }, "Drift"},
+		{"churn", func(c *Config) { c.Churn = -1 }, "Churn"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseConfig()
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("Validate() = %v, want mention of %q", err, tc.frag)
+			}
+		})
+	}
+	if _, err := Generate(baseConfig(), 2, 2); err == nil {
+		t.Fatal("out-of-range shard accepted")
+	}
+}
