@@ -887,3 +887,74 @@ func BenchmarkClusterPlacementIncremental(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(decisions)/b.Elapsed().Seconds(), "decisions/sec")
 }
+
+// BenchmarkQosdAdmit measures the full /v1/admit round trip: the tiered
+// prediction plus the Eq. 6 admission check and the saturation analyzer's
+// bookkeeping, over a keep-alive connection in bursts of 256 like
+// QosdPredict. The delta against QosdPredict is the per-decision cost of
+// the SLO gate itself.
+func BenchmarkQosdAdmit(b *testing.B) {
+	const burst = 256
+	victim := smite.Characterization{App: "web-search", SoloIPC: 1.2}
+	aggr := smite.Characterization{App: "429.mcf", SoloIPC: 0.5}
+	var coef [smite.NumDimensions]float64
+	for d := range victim.Sen {
+		victim.Sen[d] = 0.05 * float64(d+1)
+		aggr.Con[d] = 0.1 * float64(d+1)
+		coef[d] = 0.2
+	}
+	reg := qosd.NewRegistry()
+	reg.AddProfiles([]smite.Characterization{victim, aggr})
+	reg.SetModel(smite.NewModel(coef, 0.01))
+	slo := &qosd.SLOConfig{Classes: qosd.DefaultSLOClasses(), Headroom: 0.1}
+	ts := httptest.NewServer(qosd.NewServer(reg, qosd.Config{SLO: slo}).Handler())
+	defer ts.Close()
+	c := qosd.NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+	req := qosd.AdmitRequest{
+		Victim: "web-search", Aggressor: "429.mcf", Class: "standard",
+		Queue: qosd.QueueSpec{Mu: 1000, Lambda: 600},
+	}
+	if _, err := c.Admit(ctx, req); err != nil {
+		b.Fatal(err) // warm the connection and the prediction memo
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < burst; j++ {
+			if _, err := c.Admit(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkClusterSimSLOPolicy is BenchmarkClusterSim10k under the SLO
+// admission policy: the same 10k-machine fleet with placement gated by
+// the precomputed per-cell admission surface instead of the QoS floor.
+// The delta against ClusterSim10k is the cost of building the gate plus
+// any per-decision difference in the placement scan.
+func BenchmarkClusterSimSLOPolicy(b *testing.B) {
+	cfg, events := clusterSimBench(b, 10_000, 150_000)
+	cfg.Policy = cluster.PolicySLO
+	cfg.SLO = &cluster.SLOSimParams{
+		Classes: []cluster.SLOSimClass{
+			{Name: "critical", Budget: 0.020, Percentile: 0.95, Mu: 1000, Lambda: 600},
+			{Name: "standard", Budget: 0.060, Percentile: 0.95, Mu: 1000, Lambda: 600},
+			{Name: "sheddable", Budget: 0.150, Percentile: 0.90, Mu: 1000, Lambda: 700},
+		},
+		Headroom: 0.1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	totalEvents := 0
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.RunSim(context.Background(), cfg, events, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvents += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
+}

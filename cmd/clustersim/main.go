@@ -76,6 +76,11 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	traceOutFlag := fs.String("trace-out", "", "sim: record the exogenous event trace to this file")
 	replayFlag := fs.String("replay", "", "replay a recorded trace (implies -sim; config comes from the trace header)")
 	summaryFlag := fs.String("summary-json", "", "sim: write the machine-readable run summary to this file (- for stdout)")
+	sloClassesFlag := fs.String("slo-classes", "critical:20ms:0.95,standard:60ms:0.95,sheddable:150ms:0.90",
+		"sim: SLO classes for -policy=slo as name:budget[:percentile],... (budgets are Go durations)")
+	sloHeadroomFlag := fs.Float64("slo-headroom", 0.1, "sim: admission headroom in [0,1); budgets shrink to budget*(1-headroom) for admission")
+	sloMuFlag := fs.Float64("slo-mu", 1000, "sim: solo per-thread service rate (req/s) for the SLO classes' M/M/1 model")
+	sloLambdaFlag := fs.Float64("slo-lambda", 600, "sim: arrival rate (req/s) for the SLO classes' M/M/1 model")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -90,7 +95,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			arrival: *arrivalFlag, policy: *policyFlag, target: *targetFlag,
 			shards: *shardsFlag, parallelism: *parFlag, seed: *seedFlag,
 			traceOut: *traceOutFlag, replay: *replayFlag, summaryJSON: *summaryFlag,
-			qos: *qosFlag,
+			qos:        *qosFlag,
+			sloClasses: *sloClassesFlag, sloHeadroom: *sloHeadroomFlag,
+			sloMu: *sloMuFlag, sloLambda: *sloLambdaFlag,
 		}, w)
 	}
 

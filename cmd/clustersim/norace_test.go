@@ -1,0 +1,8 @@
+//go:build !race
+
+package main
+
+// raceEnabled scales the full-size simulation tests down under the race
+// detector, whose several-fold slowdown would otherwise dominate the race
+// job.
+const raceEnabled = false

@@ -34,6 +34,14 @@ func TestSimFlagValidation(t *testing.T) {
 		{"negative shards", []string{"-sim", "-shards", "-1"}, "shards"},
 		{"negative parallelism", []string{"-sim", "-parallelism", "-2"}, "parallelism"},
 		{"replay negative parallelism", []string{"-replay", "x.trace", "-parallelism", "-1"}, "parallelism"},
+		{"malformed slo classes", []string{"-sim", "-policy", "slo", "-slo-classes", "critical:bogus"}, "slo-classes"},
+		{"empty slo class name", []string{"-sim", "-policy", "slo", "-slo-classes", ":20ms"}, "slo-classes"},
+		{"duplicate slo class", []string{"-sim", "-policy", "slo", "-slo-classes", "a:20ms,a:40ms"}, "slo-classes"},
+		{"slo percentile out of range", []string{"-sim", "-policy", "slo", "-slo-classes", "a:20ms:1.5"}, "slo-classes"},
+		{"slo headroom one", []string{"-sim", "-policy", "slo", "-slo-headroom", "1"}, "slo-headroom"},
+		{"negative slo headroom", []string{"-sim", "-policy", "slo", "-slo-headroom", "-0.1"}, "slo-headroom"},
+		{"zero slo mu", []string{"-sim", "-policy", "slo", "-slo-mu", "0"}, "slo-mu"},
+		{"zero slo lambda", []string{"-sim", "-policy", "slo", "-slo-lambda", "0"}, "slo-lambda"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -154,5 +162,112 @@ func TestSimPolicyFlag(t *testing.T) {
 		if !strings.Contains(out.String(), "policy "+want) {
 			t.Errorf("-policy %s report does not mention %q:\n%s", flagVal, want, out.String())
 		}
+	}
+}
+
+// TestSimSLOPolicyCLI drives -policy=slo end to end: the report carries
+// the greedy comparison, the summary JSON carries the baseline block, and
+// the emitted bytes are identical at -parallelism 1 and 8.
+func TestSimSLOPolicyCLI(t *testing.T) {
+	dir := t.TempDir()
+	sum1 := filepath.Join(dir, "p1.json")
+	sum8 := filepath.Join(dir, "p8.json")
+	base := []string{
+		"-sim", "-machines", "60", "-duration", "1", "-seed", "11",
+		"-policy", "slo", "-slo-headroom", "0.1",
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), append(base, "-summary-json", sum1, "-parallelism", "1"), &out); err != nil {
+		t.Fatalf("parallelism 1: %v", err)
+	}
+	for _, want := range []string{"policy SLO", "saturation:", "vs greedy (SMiTe):"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := run(context.Background(), append(base, "-summary-json", sum8, "-parallelism", "8"), &out); err != nil {
+		t.Fatalf("parallelism 8: %v", err)
+	}
+	a, err := os.ReadFile(sum1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(sum8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("SLO summary differs across parallelism:\n%s\nvs\n%s", a, b)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(a))
+	dec.DisallowUnknownFields()
+	var s cluster.Summary
+	if err := dec.Decode(&s); err != nil {
+		t.Fatalf("summary JSON does not decode strictly: %v", err)
+	}
+	if s.Policy != "SLO" {
+		t.Errorf("summary policy %q, want SLO", s.Policy)
+	}
+	if s.Baseline == nil {
+		t.Fatal("SLO summary carries no greedy baseline")
+	}
+	if s.Baseline.Policy != "SMiTe" {
+		t.Errorf("baseline policy %q, want SMiTe", s.Baseline.Policy)
+	}
+	if s.Baseline.Placed == 0 {
+		t.Error("baseline run placed nothing")
+	}
+	if s.Events.Placed < s.Baseline.Placed {
+		t.Errorf("SLO placed %d, fewer than greedy %d", s.Events.Placed, s.Baseline.Placed)
+	}
+	if s.Saturation.Signal == "" {
+		t.Error("summary carries no saturation signal")
+	}
+}
+
+// TestSimWarehouseScaleSLO is the acceptance-scale study: 10k machines
+// under -policy=slo, reporting SLO-violation rate and utilization against
+// the greedy colocator, bit-identical at -parallelism 1 and 8.
+func TestSimWarehouseScaleSLO(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-machine study skipped in -short")
+	}
+	machines := "10000"
+	arrival := "150000"
+	if raceEnabled {
+		machines = "2000"
+		arrival = "30000"
+	}
+	dir := t.TempDir()
+	sum1 := filepath.Join(dir, "p1.json")
+	sum8 := filepath.Join(dir, "p8.json")
+	base := []string{
+		"-sim", "-machines", machines, "-duration", "0.5", "-arrival", arrival,
+		"-seed", "17", "-policy", "slo",
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), append(base, "-summary-json", sum1, "-parallelism", "1"), &out); err != nil {
+		t.Fatalf("parallelism 1: %v", err)
+	}
+	out.Reset()
+	if err := run(context.Background(), append(base, "-summary-json", sum8, "-parallelism", "8"), &out); err != nil {
+		t.Fatalf("parallelism 8: %v", err)
+	}
+	a, _ := os.ReadFile(sum1)
+	b, _ := os.ReadFile(sum8)
+	if !bytes.Equal(a, b) {
+		t.Fatal("10k-machine SLO summary differs across parallelism")
+	}
+	var s cluster.Summary
+	if err := json.Unmarshal(a, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Baseline == nil {
+		t.Fatal("study summary carries no greedy baseline")
+	}
+	if s.Events.Placed == 0 || s.Baseline.Placed == 0 {
+		t.Fatalf("degenerate study: %+v", s.Events)
 	}
 }

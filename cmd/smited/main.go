@@ -48,6 +48,18 @@ func main() {
 	}
 }
 
+// FlagError reports a flag value that fails validation; main exits 2 on
+// it, and tests assert the flag name through errors.As.
+type FlagError struct {
+	Flag   string
+	Value  string
+	Reason string
+}
+
+func (e *FlagError) Error() string {
+	return fmt.Sprintf("invalid -%s value %q: %s", e.Flag, e.Value, e.Reason)
+}
+
 // config is the parsed command line.
 type config struct {
 	addr         string
@@ -66,6 +78,9 @@ type config struct {
 	fast         bool
 	parallelism  int
 	version      bool
+	sloConfig    string
+	sloHeadroom  float64
+	slo          *qosd.SLOConfig
 }
 
 // stringList lets -profiles repeat.
@@ -111,6 +126,8 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	fs.StringVar(&cfg.machine, "machine", "ivb", "simulation machine with -simulate: ivb or snb")
 	fs.BoolVar(&cfg.fast, "fast", false, "use the shortened measurement windows with -simulate")
 	fs.IntVar(&cfg.parallelism, "parallelism", 0, "characterization worker count with -simulate (0 = GOMAXPROCS)")
+	fs.StringVar(&cfg.sloConfig, "slo-config", "", "SLO classes as name:budget[:percentile],... (budgets are Go durations); enables POST /v1/admit")
+	fs.Float64Var(&cfg.sloHeadroom, "slo-headroom", 0.1, "admission headroom in [0,1) with -slo-config; budgets shrink to budget*(1-headroom) for admission")
 	fs.BoolVar(&cfg.version, "version", false, "print the build version and exit")
 	if err := fs.Parse(args); err != nil {
 		return cfg, err
@@ -145,6 +162,19 @@ func parseFlags(args []string, stderr io.Writer) (config, error) {
 	}
 	if cfg.surThreshold > 0 && cfg.surrogate == "" {
 		return cfg, errors.New("-surrogate-threshold is set but no -surrogate file is given")
+	}
+	if cfg.sloConfig != "" {
+		classes, err := qosd.ParseSLOClasses(cfg.sloConfig)
+		if err != nil {
+			return cfg, &FlagError{Flag: "slo-config", Value: cfg.sloConfig, Reason: err.Error()}
+		}
+		if cfg.sloHeadroom < 0 || cfg.sloHeadroom >= 1 {
+			return cfg, &FlagError{Flag: "slo-headroom", Value: fmt.Sprint(cfg.sloHeadroom), Reason: "headroom must be in [0,1)"}
+		}
+		cfg.slo = &qosd.SLOConfig{Classes: classes, Headroom: cfg.sloHeadroom}
+		if err := cfg.slo.Validate(); err != nil {
+			return cfg, &FlagError{Flag: "slo-config", Value: cfg.sloConfig, Reason: err.Error()}
+		}
 	}
 	return cfg, nil
 }
@@ -197,6 +227,10 @@ func newApp(cfg config, stdout, stderr io.Writer) (*app, error) {
 		EnablePprof:        cfg.pprof,
 		EnableTrace:        cfg.trace,
 		SurrogateThreshold: cfg.surThreshold,
+		SLO:                cfg.slo,
+	}
+	if cfg.slo != nil {
+		logger.Info("SLO admission enabled", "classes", len(cfg.slo.Classes), "headroom", cfg.sloHeadroom)
 	}
 	if cfg.surrogate != "" {
 		set, err := smite.LoadSurrogate(cfg.surrogate)

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
+	"errors"
 	"io"
 	"net"
 	"net/http"
@@ -88,6 +89,11 @@ func TestFlagValidation(t *testing.T) {
 		{"surrogate threshold without file", []string{"-profiles", profiles, "-surrogate-threshold", "0.1"}, "no -surrogate file"},
 		{"missing surrogate file", []string{"-profiles", profiles, "-surrogate", filepath.Join(dir, "nope.json")}, "loading surrogate"},
 		{"corrupt surrogate file", []string{"-profiles", profiles, "-surrogate", garbage}, "loading surrogate"},
+		{"malformed slo class", []string{"-profiles", profiles, "-slo-config", "critical:bogus"}, "invalid -slo-config"},
+		{"empty slo class name", []string{"-profiles", profiles, "-slo-config", ":20ms"}, "invalid -slo-config"},
+		{"duplicate slo class", []string{"-profiles", profiles, "-slo-config", "a:20ms,a:40ms"}, "invalid -slo-config"},
+		{"slo percentile out of range", []string{"-profiles", profiles, "-slo-config", "a:20ms:2"}, "invalid -slo-config"},
+		{"slo headroom out of range", []string{"-profiles", profiles, "-slo-config", "a:20ms", "-slo-headroom", "1"}, "invalid -slo-headroom"},
 	}
 	_ = model
 	for _, tc := range cases {
@@ -411,5 +417,132 @@ func TestTraceFlagEndToEnd(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("daemon did not exit after cancellation")
+	}
+}
+
+// TestSLOFlagErrorsAreTyped pins that malformed SLO flags surface as
+// *FlagError (main exits 2 on any error; the type is what separates
+// flag mistakes from runtime failures in scripts and tests).
+func TestSLOFlagErrorsAreTyped(t *testing.T) {
+	for _, args := range [][]string{
+		{"-slo-config", "critical:bogus"},
+		{"-slo-config", "a:20ms", "-slo-headroom", "-0.5"},
+	} {
+		_, err := parseFlags(args, io.Discard)
+		if err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+		var fe *FlagError
+		if !errors.As(err, &fe) {
+			t.Errorf("args %v: error %v is not a *FlagError", args, err)
+		}
+	}
+}
+
+// TestSLOAdmitEndToEnd boots the daemon with -slo-config and drives
+// POST /v1/admit through the typed client: the served decision must match
+// the in-process admission math on the served prediction, a co-location
+// whose inflated tail exceeds the class budget must be rejected, and a
+// daemon without -slo-config must answer 501.
+func TestSLOAdmitEndToEnd(t *testing.T) {
+	profiles, model, _, _ := writeArtifacts(t)
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-quiet",
+		"-profiles", profiles, "-model", model,
+		"-slo-config", "critical:20ms:0.95,standard:60ms:0.95,sheddable:150ms:0.90",
+		"-slo-headroom", "0.1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := newApp(cfg, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown()
+	c := qosd.NewClient("http://"+a.Addr().String(), http.DefaultClient)
+	ctx := context.Background()
+
+	queue := qosd.QueueSpec{Mu: 1000, Lambda: 600}
+	pred, err := c.Predict(ctx, qosd.PredictRequest{Victim: "web-search", Aggressor: "429.mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, class := range []string{"critical", "standard", "sheddable"} {
+		got, err := c.Admit(ctx, qosd.AdmitRequest{
+			Victim: "web-search", Aggressor: "429.mcf", Class: class, Queue: queue,
+		})
+		if err != nil {
+			t.Fatalf("class %s: %v", class, err)
+		}
+		wantClass, ok := cfg.slo.Class(class)
+		if !ok {
+			t.Fatalf("class %s missing from parsed config", class)
+		}
+		want := qosd.EvaluateAdmission(pred.Degradation, pred.ErrorBound,
+			queue.Mu, queue.Lambda, wantClass, cfg.slo.Headroom)
+		if got.Admitted != want.Admitted || got.Reason != string(want.Reason) {
+			t.Errorf("class %s: served (%v, %s), in-process math says (%v, %s)",
+				class, got.Admitted, got.Reason, want.Admitted, want.Reason)
+		}
+		if got.Admitted {
+			if got.TailLatency == nil {
+				t.Errorf("class %s: admitted with no tail estimate", class)
+			} else if *got.TailLatency > got.EffectiveBudget {
+				t.Errorf("class %s: admitted with tail %g over effective budget %g",
+					class, *got.TailLatency, got.EffectiveBudget)
+			}
+		}
+	}
+
+	// A queue this loaded cannot fit a 20ms p95 budget at the predicted
+	// degradation: the admission gate must reject, never admit-and-hope.
+	tight, err := c.Admit(ctx, qosd.AdmitRequest{
+		Victim: "web-search", Aggressor: "429.mcf", Class: "critical",
+		Queue: qosd.QueueSpec{Mu: 1000, Lambda: 995},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Admitted {
+		t.Errorf("near-saturated queue admitted: %+v", tight)
+	}
+
+	// Unknown class is a 404 with its own code.
+	_, err = c.Admit(ctx, qosd.AdmitRequest{
+		Victim: "web-search", Aggressor: "429.mcf", Class: "bronze", Queue: queue,
+	})
+	var ae *qosd.APIError
+	if !errors.As(err, &ae) || ae.Code != qosd.CodeUnknownClass {
+		t.Errorf("unknown class error = %v, want code %s", err, qosd.CodeUnknownClass)
+	}
+}
+
+// TestAdmitDisabledWithoutSLOConfig pins the 501 path: a daemon started
+// without -slo-config mounts /v1/admit but refuses to serve it.
+func TestAdmitDisabledWithoutSLOConfig(t *testing.T) {
+	profiles, model, _, _ := writeArtifacts(t)
+	cfg, err := parseFlags([]string{"-addr", "127.0.0.1:0", "-quiet",
+		"-profiles", profiles, "-model", model}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := newApp(cfg, io.Discard, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Shutdown()
+	c := qosd.NewClient("http://"+a.Addr().String(), http.DefaultClient)
+	_, err = c.Admit(context.Background(), qosd.AdmitRequest{
+		Victim: "web-search", Aggressor: "429.mcf", Class: "critical",
+		Queue: qosd.QueueSpec{Mu: 1000, Lambda: 600},
+	})
+	var ae *qosd.APIError
+	if !errors.As(err, &ae) || ae.Code != qosd.CodeSLODisabled {
+		t.Errorf("admit without SLO config = %v, want code %s", err, qosd.CodeSLODisabled)
 	}
 }

@@ -122,6 +122,10 @@ const (
 	// would, but on randomly chosen servers without consulting
 	// predictions.
 	PolicyRandom
+	// PolicySLO admits on the error-bound-inflated Eq. 6 tail-latency
+	// estimate against per-class budgets (SimConfig.SLO), mirroring
+	// qosd's POST /v1/admit gate inside the discrete-event simulator.
+	PolicySLO
 )
 
 // String names the policy.
@@ -133,6 +137,8 @@ func (k PolicyKind) String() string {
 		return "Oracle"
 	case PolicyRandom:
 		return "Random"
+	case PolicySLO:
+		return "SLO"
 	}
 	return fmt.Sprintf("PolicyKind(%d)", int(k))
 }

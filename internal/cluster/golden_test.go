@@ -67,7 +67,14 @@ func TestGoldenClusterSim(t *testing.T) {
 	}
 	got.Head = res.Log[:head]
 
-	path := filepath.Join("testdata", "golden_cluster.json")
+	checkGolden(t, "golden_cluster.json", got)
+}
+
+// checkGolden compares got against the named fixture, or rewrites the
+// fixture under -update.
+func checkGolden(t *testing.T, name string, got goldenRun) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
 	if *update {
 		data, err := json.MarshalIndent(got, "", "  ")
 		if err != nil {
@@ -94,4 +101,57 @@ func TestGoldenClusterSim(t *testing.T) {
 		gj, _ := json.MarshalIndent(got, "", "  ")
 		t.Errorf("golden mismatch (run with -update if intentional):\ngot %s", gj)
 	}
+}
+
+// TestGoldenSLOClusterSim pins the SLO-gated policy end to end the same
+// way: summary (including the saturation block), log length, and log hash
+// over a seeded run.
+func TestGoldenSLOClusterSim(t *testing.T) {
+	cfg := goldenConfig(t)
+	cfg.Policy = PolicySLO
+	cfg.SLO = sloSimParams()
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer saveFailureTrace(t, cfg, events)
+	res, err := RunSim(context.Background(), cfg, events, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenRun{
+		Summary: res.Summary(),
+		LogLen:  len(res.Log),
+		LogHash: hashLog(res.Log),
+	}
+	head := 5
+	if len(res.Log) < head {
+		head = len(res.Log)
+	}
+	got.Head = res.Log[:head]
+	checkGolden(t, "golden_cluster_slo.json", got)
+}
+
+// TestGoldenDegenerateSim pins the empty-trace edge as a fixture: a world
+// with no machines and no arrivals must reduce to a zeroed summary and an
+// empty placement log, byte for byte.
+func TestGoldenDegenerateSim(t *testing.T) {
+	cfg := synthSimConfig(t, 0, 1, 53)
+	cfg.Workload.ArrivalRate = 0
+	cfg.Workload.Churn = 0
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSim(context.Background(), cfg, events, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenRun{
+		Summary: res.Summary(),
+		LogLen:  len(res.Log),
+		LogHash: hashLog(res.Log),
+		Head:    res.Log[:0],
+	}
+	checkGolden(t, "golden_cluster_degenerate.json", got)
 }

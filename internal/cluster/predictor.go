@@ -6,6 +6,17 @@ import (
 	"repro/internal/surrogate"
 )
 
+// BoundedPredictor extends the Predictor seam with the prediction's
+// error bound: an upper bound on the answer's deviation from the
+// engine-measured truth, zero when the answer is the measured surface
+// itself. The SLO admission policy inflates predictions by this bound
+// before checking them against tail-latency budgets, so surrogate
+// answers are penalised by exactly their certificate.
+type BoundedPredictor interface {
+	Predictor
+	PredictWithBound(lat, batch string, n int) (deg, bound float64, err error)
+}
+
 // TablePredictor serves the Predictor seam from a degradation Table's
 // baked-in Predicted entries — the engine-measured prediction surface the
 // scale-out studies use. It is the ground-truth fallback of the tiered
@@ -21,6 +32,13 @@ func (p *TablePredictor) PredictDegradation(lat, batch string, n int) (float64, 
 		return 0, err
 	}
 	return e.Predicted, nil
+}
+
+// PredictWithBound implements BoundedPredictor; table answers are the
+// measured surface, so the bound is zero.
+func (p *TablePredictor) PredictWithBound(lat, batch string, n int) (float64, float64, error) {
+	deg, err := p.PredictDegradation(lat, batch, n)
+	return deg, 0, err
 }
 
 // SurrogatePredictor adapts a fitted surrogate.Set with an embedded
@@ -79,6 +97,13 @@ func (p *SurrogatePredictor) PredictDegradation(lat, batch string, n int) (float
 	return pred.Degradation, err
 }
 
+// PredictWithBound implements BoundedPredictor with the propagated
+// surrogate certificate.
+func (p *SurrogatePredictor) PredictWithBound(lat, batch string, n int) (float64, float64, error) {
+	pred, err := p.predict(lat, batch, n)
+	return pred.Degradation, pred.Bound, err
+}
+
 // TieredPredictor is the qosd serving policy at the Predictor seam:
 // answer from the surrogate tier when its certificate clears the accuracy
 // budget, fall back to the (engine-measured) predictor otherwise. The
@@ -101,19 +126,31 @@ const DefaultTierThreshold = 0.05
 
 // PredictDegradation implements Predictor.
 func (t *TieredPredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+	deg, _, err := t.PredictWithBound(lat, batch, n)
+	return deg, err
+}
+
+// PredictWithBound implements BoundedPredictor: surrogate answers carry
+// their certificate, fallback answers the fallback's own bound (zero for
+// the measured table).
+func (t *TieredPredictor) PredictWithBound(lat, batch string, n int) (float64, float64, error) {
 	thr := t.Threshold
 	if thr <= 0 {
 		thr = DefaultTierThreshold
 	}
 	if t.Surrogate != nil {
 		if pred, err := t.Surrogate.predict(lat, batch, n); err == nil && pred.Bound <= thr {
-			return pred.Degradation, nil
+			return pred.Degradation, pred.Bound, nil
 		}
 	}
 	if t.Fallback == nil {
-		return 0, fmt.Errorf("cluster: tiered predictor has no fallback for %s|%s|%d", lat, batch, n)
+		return 0, 0, fmt.Errorf("cluster: tiered predictor has no fallback for %s|%s|%d", lat, batch, n)
 	}
-	return t.Fallback.PredictDegradation(lat, batch, n)
+	if b, ok := t.Fallback.(BoundedPredictor); ok {
+		return b.PredictWithBound(lat, batch, n)
+	}
+	deg, err := t.Fallback.PredictDegradation(lat, batch, n)
+	return deg, 0, err
 }
 
 func abs(v float64) float64 {

@@ -38,6 +38,16 @@ type PredTable struct {
 	// PredQoS and ActualQoS are indexed by Cell(lat, batch, n).
 	PredQoS   []float64 `json:"pred_qos"`
 	ActualQoS []float64 `json:"actual_qos"`
+	// PredDeg, ActualDeg and PredBound carry the raw degradation surface
+	// beneath the QoS values, plus the predictor's error bound (non-zero
+	// only on surrogate-tier answers). The SLO admission policy needs the
+	// degradations themselves — Eq. 6 consumes a degradation, not a QoS —
+	// so these are populated by BuildPredTable; they may be absent
+	// (legacy traces), in which case SLO-gated runs are rejected by
+	// SimConfig.Validate.
+	PredDeg   []float64 `json:"pred_deg,omitempty"`
+	ActualDeg []float64 `json:"actual_deg,omitempty"`
+	PredBound []float64 `json:"pred_bound,omitempty"`
 }
 
 // Cell flattens (lat index, batch index, instances 1..MaxInstances) into
@@ -60,7 +70,21 @@ func (t *PredTable) Validate() error {
 		return fmt.Errorf("cluster: prediction table has %d/%d cells, want %d",
 			len(t.PredQoS), len(t.ActualQoS), want)
 	}
+	// The degradation surface is optional (legacy traces omit it) but
+	// must be complete when present.
+	for _, s := range [][]float64{t.PredDeg, t.ActualDeg, t.PredBound} {
+		if len(s) != 0 && len(s) != want {
+			return fmt.Errorf("cluster: prediction table degradation surface has %d cells, want %d", len(s), want)
+		}
+	}
 	return nil
+}
+
+// HasDegradations reports whether the raw degradation surface (needed by
+// the SLO admission policy) is present.
+func (t *PredTable) HasDegradations() bool {
+	want := len(t.LatencyApps) * len(t.BatchApps) * t.MaxInstances
+	return len(t.PredDeg) == want && len(t.ActualDeg) == want && len(t.PredBound) == want
 }
 
 // BuildPredTable precomputes the QoS surface for every
@@ -87,6 +111,10 @@ func BuildPredTable(ctx context.Context, tbl *Table, services map[string]service
 	cells := len(out.LatencyApps) * len(out.BatchApps) * out.MaxInstances
 	out.PredQoS = make([]float64, cells)
 	out.ActualQoS = make([]float64, cells)
+	out.PredDeg = make([]float64, cells)
+	out.ActualDeg = make([]float64, cells)
+	out.PredBound = make([]float64, cells)
+	bounded, _ := pred.(BoundedPredictor)
 	err := sched.Map(ctx, cells, workers, func(ctx context.Context, i int) error {
 		n := i%out.MaxInstances + 1
 		b := (i / out.MaxInstances) % len(out.BatchApps)
@@ -96,12 +124,18 @@ func BuildPredTable(ctx context.Context, tbl *Table, services map[string]service
 		if err != nil {
 			return err
 		}
-		dp := e.Predicted
-		if pred != nil {
+		dp, bound := e.Predicted, 0.0
+		switch {
+		case bounded != nil:
+			if dp, bound, err = bounded.PredictWithBound(lat, batch, n); err != nil {
+				return err
+			}
+		case pred != nil:
 			if dp, err = pred.PredictDegradation(lat, batch, n); err != nil {
 				return err
 			}
 		}
+		out.PredDeg[i], out.ActualDeg[i], out.PredBound[i] = dp, e.Actual, bound
 		if out.PredQoS[i], err = qosValue(qos, services, lat, dp); err != nil {
 			return err
 		}

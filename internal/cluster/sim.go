@@ -3,6 +3,7 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 
 	clworkload "repro/internal/cluster/workload"
@@ -59,6 +60,13 @@ type SimConfig struct {
 	ContextsPerServer int `json:"contexts_per_server"`
 	// Table is the precomputed QoS surface (BuildPredTable).
 	Table *PredTable `json:"table"`
+	// SLO carries the per-class tail-latency budgets and queue rates.
+	// Required (with a table holding the degradation surface) when
+	// Policy is PolicySLO; optional otherwise, in which case it only
+	// switches violation accounting from the QoS floor to the class
+	// budgets so QoS-floor policies can be compared against the SLO gate
+	// on identical terms.
+	SLO *SLOSimParams `json:"slo,omitempty"`
 }
 
 // withDefaults normalises zero-valued knobs.
@@ -66,6 +74,7 @@ func (c SimConfig) withDefaults() SimConfig {
 	if c.Shards == 0 {
 		c.Shards = DefaultShards
 	}
+	c.SLO = c.SLO.withDefaults()
 	return c
 }
 
@@ -78,8 +87,16 @@ func (c SimConfig) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("cluster: sim shards must be non-negative, got %d", c.Shards)
 	}
-	if c.Policy != PolicySMiTe && c.Policy != PolicyOracle && c.Policy != PolicyRandom {
+	if c.Policy != PolicySMiTe && c.Policy != PolicyOracle && c.Policy != PolicyRandom && c.Policy != PolicySLO {
 		return fmt.Errorf("cluster: unknown policy %d", int(c.Policy))
+	}
+	if c.Policy == PolicySLO && c.SLO == nil {
+		return fmt.Errorf("cluster: policy SLO needs SLO parameters")
+	}
+	if c.SLO != nil {
+		if err := c.SLO.Validate(); err != nil {
+			return err
+		}
 	}
 	if c.Target <= 0 || c.Target > 1 {
 		return fmt.Errorf("cluster: QoS target %.3f outside (0,1]", c.Target)
@@ -92,6 +109,9 @@ func (c SimConfig) Validate() error {
 	}
 	if err := c.Table.Validate(); err != nil {
 		return err
+	}
+	if c.SLO != nil && !c.Table.HasDegradations() {
+		return fmt.Errorf("cluster: SLO-gated run needs a table with the degradation surface (rebuild with BuildPredTable)")
 	}
 	if len(c.Table.LatencyApps) != c.Workload.Lats || len(c.Table.BatchApps) != c.Workload.Batches {
 		return fmt.Errorf("cluster: table is %d×%d apps but workload generates %d×%d",
@@ -157,10 +177,16 @@ type SimResult struct {
 	MeanUtilization     float64
 	PeakUtilization     float64
 
-	// Violations counts placements whose measured QoS at the resulting
-	// occupancy missed the target; ViolationFrac normalises by Placed.
+	// Violations counts placements that actually missed their objective
+	// at the resulting occupancy — the measured QoS under the target for
+	// QoS-floor runs, the measured Eq. 6 tail over the class budget when
+	// SLO parameters are set; ViolationFrac normalises by Placed.
 	Violations    int
 	ViolationFrac float64
+
+	// SLOParams echoes the run's (normalised) SLO parameters, nil for
+	// QoS-floor runs; Summary reads its saturation thresholds.
+	SLOParams *SLOSimParams
 
 	// Log is the merged placement log, ordered by (At, Shard, Seq).
 	Log []Placement
@@ -179,9 +205,19 @@ func RunSim(ctx context.Context, cfg SimConfig, shards [][]clworkload.Event, wor
 	if len(shards) != cfg.Shards {
 		return SimResult{}, fmt.Errorf("cluster: %d event shards for %d sim shards", len(shards), cfg.Shards)
 	}
+	// The SLO admission/violation surface is a pure function of the
+	// table and the SLO parameters; precompute it once and share it
+	// read-only across shards.
+	var gate *sloGate
+	if cfg.SLO != nil {
+		var err error
+		if gate, err = buildSLOGate(cfg.Table, cfg.SLO); err != nil {
+			return SimResult{}, err
+		}
+	}
 	results := make([]shardResult, cfg.Shards)
 	err := sched.Map(ctx, cfg.Shards, workers, func(ctx context.Context, i int) error {
-		r, err := runShard(ctx, &cfg, i, shards[i])
+		r, err := runShard(ctx, &cfg, gate, i, shards[i])
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -208,7 +244,7 @@ type shardResult struct {
 }
 
 func mergeShards(cfg SimConfig, rs []shardResult) SimResult {
-	out := SimResult{Policy: cfg.Policy, QoS: cfg.Table.QoS, Target: cfg.Target}
+	out := SimResult{Policy: cfg.Policy, QoS: cfg.Table.QoS, Target: cfg.Target, SLOParams: cfg.SLO}
 	logLen := 0
 	for _, r := range rs {
 		out.Events += r.events
@@ -272,6 +308,7 @@ type simMachine struct {
 type shardSim struct {
 	cfg   *SimConfig
 	t     *PredTable
+	gate  *sloGate // non-nil when cfg.SLO is set; read-only
 	shard int
 
 	machines []simMachine
@@ -379,7 +416,15 @@ func (s *shardSim) place(local int32, b int, at, duration float64) {
 	m.jobs = append(m.jobs, h)
 	s.busyNow++
 	s.res.placed++
-	if s.t.ActualQoS[s.t.Cell(int(m.lat), b, int(m.n))] < s.cfg.Target {
+	// Violation accounting: against the class tail-latency budget when
+	// SLO parameters are set (for every policy, so greedy-vs-SLO studies
+	// count violations identically), against the QoS floor otherwise.
+	cell := s.t.Cell(int(m.lat), b, int(m.n))
+	if s.gate != nil {
+		if s.gate.violate[cell] {
+			s.res.violations++
+		}
+	} else if s.t.ActualQoS[cell] < s.cfg.Target {
 		s.res.violations++
 	}
 	s.res.log = append(s.res.log, Placement{
@@ -410,8 +455,9 @@ func (s *shardSim) depart(h int64) {
 }
 
 // admit picks the machine for one instance of batch b, or −1 to reject.
-// SMiTe and Oracle are best-fit by QoS headroom over the occupancy
-// buckets — O(lats × instances) bucket peeks, never a fleet scan — with
+// SMiTe and Oracle are best-fit by QoS headroom, SLO best-fit by
+// tail-latency slack under the admission gate — all over the occupancy
+// buckets: O(lats × instances) bucket peeks, never a fleet scan — with
 // deterministic tie-breaks (first admissible state in bucket order, then
 // lowest machine id). Random probes the up-machine ring for spare
 // capacity, ignoring QoS.
@@ -430,17 +476,33 @@ func (s *shardSim) admit(b int) int32 {
 		}
 		return -1
 	}
-	qos := s.t.PredQoS
-	if s.cfg.Policy == PolicyOracle {
-		qos = s.t.ActualQoS
+	// score reports whether the cell is admissible and its best-fit score
+	// (lower is tighter). QoS-floor policies pack by QoS headroom above
+	// the target; the SLO gate packs by predicted tail-latency slack
+	// under the effective budget.
+	var score func(cell int) (bool, float64)
+	if s.cfg.Policy == PolicySLO {
+		g := s.gate
+		score = func(cell int) (bool, float64) { return g.admit[cell], g.slack[cell] }
+	} else {
+		qos := s.t.PredQoS
+		if s.cfg.Policy == PolicyOracle {
+			qos = s.t.ActualQoS
+		}
+		target := s.cfg.Target
+		score = func(cell int) (bool, float64) {
+			q := qos[cell]
+			return q >= target, q - target
+		}
 	}
-	bestState, bestHead := -1, 2.0
+	bestState := -1
+	bestScore := math.Inf(1)
 	for lat := 0; lat < len(s.t.LatencyApps); lat++ {
 		// Empty machines take the first instance; occupied ones stack more
 		// of the same batch kind up to MaxInstances.
 		if s.buckets[s.bucketIdx(lat, 0, 0)].Len() > 0 {
-			if q := qos[s.t.Cell(lat, b, 1)]; q >= s.cfg.Target && q-s.cfg.Target < bestHead {
-				bestHead = q - s.cfg.Target
+			if ok, sc := score(s.t.Cell(lat, b, 1)); ok && sc < bestScore {
+				bestScore = sc
 				bestState = s.bucketIdx(lat, 0, 0)
 			}
 		}
@@ -448,8 +510,8 @@ func (s *shardSim) admit(b int) int32 {
 			if s.buckets[s.bucketIdx(lat, 1+b, n)].Len() == 0 {
 				continue
 			}
-			if q := qos[s.t.Cell(lat, b, n+1)]; q >= s.cfg.Target && q-s.cfg.Target < bestHead {
-				bestHead = q - s.cfg.Target
+			if ok, sc := score(s.t.Cell(lat, b, n+1)); ok && sc < bestScore {
+				bestScore = sc
 				bestState = s.bucketIdx(lat, 1+b, n)
 			}
 		}
@@ -464,10 +526,10 @@ func (s *shardSim) admit(b int) int32 {
 // the per-shard event loop.
 const ctxCheckInterval = 1 << 16
 
-func runShard(ctx context.Context, cfg *SimConfig, shard int, exo []clworkload.Event) (shardResult, error) {
+func runShard(ctx context.Context, cfg *SimConfig, gate *sloGate, shard int, exo []clworkload.Event) (shardResult, error) {
 	nLat, nBatch := cfg.Workload.Lats, cfg.Workload.Batches
 	s := &shardSim{
-		cfg: cfg, t: cfg.Table, shard: shard,
+		cfg: cfg, t: cfg.Table, gate: gate, shard: shard,
 		nBatch: nBatch, maxInst: cfg.Table.MaxInstances,
 		events: newIheap(),
 		owner:  make(map[int64]int32),

@@ -273,3 +273,163 @@ func TestSimWarehouseScale(t *testing.T) {
 		}
 	}
 }
+
+// sloSimParams returns SLO parameters sized for the synthetic world's
+// queueing shape: a 400 req/s solo drain puts the solo p95 around 7.5 ms,
+// so the class budgets leave real but finite room for degradation.
+func sloSimParams() *SLOSimParams {
+	return &SLOSimParams{
+		Classes: []SLOSimClass{
+			{Name: "critical", Budget: 0.020, Percentile: 0.95, Mu: 1000, Lambda: 600},
+			{Name: "standard", Budget: 0.060, Percentile: 0.95, Mu: 1000, Lambda: 600},
+			{Name: "sheddable", Budget: 0.150, Percentile: 0.90, Mu: 1000, Lambda: 700},
+		},
+		Headroom: 0.1,
+	}
+}
+
+// TestSimSLOPolicy runs the SLO admission policy end to end and pins its
+// core guarantees: determinism across worker counts, and — the admission
+// contract — every placement lands on a cell whose error-bound-inflated
+// Eq. 6 tail estimate fits the class's effective budget.
+func TestSimSLOPolicy(t *testing.T) {
+	cfg := synthSimConfig(t, 60, 1.5, 19)
+	cfg.Policy = PolicySLO
+	cfg.SLO = sloSimParams()
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer saveFailureTrace(t, cfg, events)
+
+	seq, err := RunSim(context.Background(), cfg, events, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunSim(context.Background(), cfg, events, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatal("SLO policy diverges across worker counts")
+	}
+	if seq.Placed == 0 {
+		t.Fatal("SLO policy placed nothing; budgets are mis-sized for the synthetic world")
+	}
+
+	// The admission contract: no placement on an inadmissible cell.
+	gate, err := buildSLOGate(cfg.Table, cfg.SLO.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range seq.Log {
+		if p.Machine < 0 {
+			continue
+		}
+		cell := cfg.Table.Cell(int(p.Lat), int(p.Batch), int(p.N))
+		if !gate.admit[cell] {
+			t.Fatalf("placement %+v landed on inadmissible cell %d (inflated tail over budget)", p, cell)
+		}
+	}
+
+	// The comparison study: rerun the same streams under the greedy
+	// QoS-floor policy, with violation accounting held identical (cfg.SLO
+	// stays set). The SLO gate admits any co-location whose inflated tail
+	// fits the budget — deliberately more permissive than the 0.92 QoS
+	// floor — so it must place at least as much work, and its violations
+	// stay bounded near the budget rather than exploding.
+	greedy := cfg
+	greedy.Policy = PolicySMiTe
+	base, err := RunSim(context.Background(), greedy, events, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Placed == 0 {
+		t.Fatal("baseline placed nothing")
+	}
+	if seq.Placed < base.Placed {
+		t.Errorf("SLO policy placed %d, fewer than greedy baseline %d", seq.Placed, base.Placed)
+	}
+	if seq.MeanUtilization < base.MeanUtilization {
+		t.Errorf("SLO policy utilization %.4f below greedy baseline %.4f",
+			seq.MeanUtilization, base.MeanUtilization)
+	}
+	if seq.ViolationFrac > 0.05 {
+		t.Errorf("SLO policy violation frac %.4f; budgets should keep mispredictions rare", seq.ViolationFrac)
+	}
+}
+
+// TestSimSLOValidation pins the configuration errors around the SLO gate.
+func TestSimSLOValidation(t *testing.T) {
+	cfg := synthSimConfig(t, 10, 1, 7)
+	cfg.Policy = PolicySLO
+	if err := cfg.Validate(); err == nil {
+		t.Error("PolicySLO without SLO parameters accepted")
+	}
+	cfg.SLO = sloSimParams()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid SLO config rejected: %v", err)
+	}
+	cfg.SLO.Classes[0].Budget = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative budget accepted")
+	}
+	cfg.SLO = sloSimParams()
+	cfg.SLO.Headroom = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("headroom 1 accepted")
+	}
+	// Legacy tables without the degradation surface cannot be SLO-gated.
+	cfg.SLO = sloSimParams()
+	cfg.Table = &PredTable{
+		LatencyApps:  cfg.Table.LatencyApps,
+		BatchApps:    cfg.Table.BatchApps,
+		MaxInstances: cfg.Table.MaxInstances,
+		QoS:          cfg.Table.QoS,
+		PredQoS:      cfg.Table.PredQoS,
+		ActualQoS:    cfg.Table.ActualQoS,
+	}
+	if err := cfg.Validate(); err == nil {
+		t.Error("SLO run over a table without degradations accepted")
+	}
+}
+
+// TestSimDegenerateWorlds pins the empty-world edge: zero machines (or a
+// zero arrival rate) must simulate to an empty placement log — no
+// spurious records, no errors — at any worker count.
+func TestSimDegenerateWorlds(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		machines int
+	}{
+		{"zero machines", 0},
+		{"machines but no arrivals", 25},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := synthSimConfig(t, tc.machines, 1, 31)
+			cfg.Workload.ArrivalRate = 0
+			cfg.Workload.Churn = 0
+			events, err := GenerateEvents(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, sh := range events {
+				if len(sh) != 0 {
+					t.Fatalf("degenerate world generated %d events in a shard", len(sh))
+				}
+			}
+			for _, workers := range []int{1, 4} {
+				res, err := RunSim(context.Background(), cfg, events, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(res.Log) != 0 || res.Events != 0 || res.Placed != 0 || res.Rejected != 0 {
+					t.Fatalf("degenerate world produced a non-empty run: %+v", res)
+				}
+				if res.MachinesStart != tc.machines || res.MachinesEnd != tc.machines {
+					t.Fatalf("fleet %d -> %d, want %d unchanged", res.MachinesStart, res.MachinesEnd, tc.machines)
+				}
+			}
+		})
+	}
+}

@@ -1,5 +1,7 @@
 package cluster
 
+import "repro/internal/qosd"
+
 // Summary is the stable machine-readable aggregate of a discrete-event
 // run, emitted by `clustersim -summary-json`. Its schema is versioned and
 // pinned by a test so future benchci entries can gate fleet-level metrics
@@ -37,6 +39,41 @@ type Summary struct {
 		Violations    int     `json:"violations"`
 		ViolationFrac float64 `json:"violation_frac"`
 	} `json:"slo"`
+
+	// Saturation is the capacity-vs-demand signal over the whole run:
+	// the fraction of arrivals the policy rejected, mapped onto a
+	// scale-up/steady/scale-down signal under the same thresholds qosd's
+	// live saturation analyzer uses (schema addition, version unchanged).
+	Saturation SaturationSummary `json:"saturation"`
+
+	// Baseline, when present, is the greedy-policy comparison run
+	// `clustersim -sim -policy=slo` attaches: the same event streams
+	// re-simulated under PolicySMiTe so SLO-violation rate and
+	// utilization can be compared side by side (schema addition, version
+	// unchanged).
+	Baseline *BaselineSummary `json:"baseline,omitempty"`
+}
+
+// SaturationSummary mirrors qosd.SaturationReport for a whole simulated
+// run.
+type SaturationSummary struct {
+	// RejectionFrac is rejected arrivals over all arrivals.
+	RejectionFrac float64 `json:"rejection_frac"`
+	// Signal is scale_up, steady, or scale_down.
+	Signal             string  `json:"signal"`
+	ScaleUpThreshold   float64 `json:"scale_up_threshold"`
+	ScaleDownThreshold float64 `json:"scale_down_threshold"`
+}
+
+// BaselineSummary is the comparison policy's headline numbers.
+type BaselineSummary struct {
+	Policy          string  `json:"policy"`
+	Placed          int     `json:"placed"`
+	Rejected        int     `json:"rejected"`
+	Violations      int     `json:"violations"`
+	ViolationFrac   float64 `json:"violation_frac"`
+	MeanUtilization float64 `json:"mean_utilization"`
+	PeakUtilization float64 `json:"peak_utilization"`
 }
 
 // SummarySchemaVersion identifies the Summary JSON schema.
@@ -64,5 +101,29 @@ func (r SimResult) Summary() Summary {
 	s.Utilization.Peak = r.PeakUtilization
 	s.SLO.Violations = r.Violations
 	s.SLO.ViolationFrac = r.ViolationFrac
+	up, down := qosd.DefaultScaleUpThreshold, qosd.DefaultScaleDownThreshold
+	if r.SLOParams != nil {
+		up, down = r.SLOParams.ScaleUpThreshold, r.SLOParams.ScaleDownThreshold
+	}
+	if r.Arrived > 0 {
+		s.Saturation.RejectionFrac = float64(r.Rejected) / float64(r.Arrived)
+	}
+	s.Saturation.Signal = qosd.SaturationSignal(s.Saturation.RejectionFrac, up, down)
+	s.Saturation.ScaleUpThreshold = up
+	s.Saturation.ScaleDownThreshold = down
 	return s
+}
+
+// BaselineSummary reduces a comparison run to the fields Summary.Baseline
+// carries.
+func (r SimResult) BaselineSummary() *BaselineSummary {
+	return &BaselineSummary{
+		Policy:          r.Policy.String(),
+		Placed:          r.Placed,
+		Rejected:        r.Rejected,
+		Violations:      r.Violations,
+		ViolationFrac:   r.ViolationFrac,
+		MeanUtilization: r.MeanUtilization,
+		PeakUtilization: r.PeakUtilization,
+	}
 }

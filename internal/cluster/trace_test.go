@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -79,6 +80,58 @@ func TestTraceCorruptRejected(t *testing.T) {
 			_, _, err := ReadTrace(strings.NewReader(in))
 			if !errors.Is(err, ErrTraceCorrupt) {
 				t.Fatalf("ReadTrace = %v, want ErrTraceCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestTraceDegenerateRoundTrip pins the header-only edge: a trace of a
+// zero-event world (no machines, no arrivals) must record, read back, and
+// re-record byte-identically, and replay to an empty placement log.
+func TestTraceDegenerateRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		machines int
+		slo      bool
+	}{
+		{"empty world", 0, false},
+		{"quiet fleet", 30, false},
+		{"quiet fleet with SLO gate", 30, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := synthSimConfig(t, tc.machines, 1, 53)
+			cfg.Workload.ArrivalRate = 0
+			cfg.Workload.Churn = 0
+			if tc.slo {
+				cfg.Policy = PolicySLO
+				cfg.SLO = sloSimParams()
+			}
+			events, err := GenerateEvents(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rec bytes.Buffer
+			if err := WriteTrace(&rec, cfg, events); err != nil {
+				t.Fatal(err)
+			}
+			rcfg, revents, err := ReadTrace(bytes.NewReader(rec.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var rerec bytes.Buffer
+			if err := WriteTrace(&rerec, rcfg, revents); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rec.Bytes(), rerec.Bytes()) {
+				t.Fatal("re-recorded degenerate trace differs from original bytes")
+			}
+			res, err := RunSim(context.Background(), rcfg, revents, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.Log) != 0 || res.Events != 0 {
+				t.Fatalf("degenerate trace replayed to %d log entries, %d events; want none",
+					len(res.Log), res.Events)
 			}
 		})
 	}

@@ -119,19 +119,24 @@ type Config struct {
 	Churn float64 `json:"churn,omitempty"`
 }
 
-// Validate rejects configurations Generate cannot honour.
+// Validate rejects configurations Generate cannot honour. Degenerate
+// worlds are legal: zero machines and/or a zero arrival rate produce an
+// empty (or churn-only) stream, which the simulator and trace codec
+// round-trip to an empty placement log. Horizon stays strictly positive
+// even then — the window length is derived from it, and a zero horizon
+// would poison the per-window rate math with NaNs.
 func (c Config) Validate() error {
 	switch {
-	case c.Machines <= 0:
-		return fmt.Errorf("workload: Machines must be positive, got %d", c.Machines)
+	case c.Machines < 0:
+		return fmt.Errorf("workload: Machines must be non-negative, got %d", c.Machines)
 	case c.Horizon <= 0:
 		return fmt.Errorf("workload: Horizon must be positive, got %g", c.Horizon)
 	case c.Lats <= 0 || c.Batches <= 0:
 		return fmt.Errorf("workload: need positive application counts, got %d lats, %d batches", c.Lats, c.Batches)
-	case c.ArrivalRate <= 0:
-		return fmt.Errorf("workload: ArrivalRate must be positive, got %g", c.ArrivalRate)
-	case c.MeanDuration <= 0:
-		return fmt.Errorf("workload: MeanDuration must be positive, got %g", c.MeanDuration)
+	case c.ArrivalRate < 0:
+		return fmt.Errorf("workload: ArrivalRate must be non-negative, got %g", c.ArrivalRate)
+	case c.ArrivalRate > 0 && c.MeanDuration <= 0:
+		return fmt.Errorf("workload: MeanDuration must be positive with arrivals enabled, got %g", c.MeanDuration)
 	case c.Diurnal < 0 || c.Diurnal >= 1:
 		return fmt.Errorf("workload: Diurnal must be in [0, 1), got %g", c.Diurnal)
 	case c.Period < 0:

@@ -157,10 +157,13 @@ func TestValidate(t *testing.T) {
 		mut  func(*Config)
 		frag string
 	}{
-		{"machines", func(c *Config) { c.Machines = 0 }, "Machines"},
-		{"horizon", func(c *Config) { c.Horizon = -1 }, "Horizon"},
+		{"machines", func(c *Config) { c.Machines = -1 }, "Machines"},
+		// Horizon = 0 must stay rejected even for otherwise-degenerate
+		// worlds: the window length derives from it, and a zero horizon
+		// turns the per-window rates into NaNs.
+		{"horizon", func(c *Config) { c.Horizon = 0 }, "Horizon"},
 		{"apps", func(c *Config) { c.Batches = 0 }, "application counts"},
-		{"arrival", func(c *Config) { c.ArrivalRate = 0 }, "ArrivalRate"},
+		{"arrival", func(c *Config) { c.ArrivalRate = -1 }, "ArrivalRate"},
 		{"duration", func(c *Config) { c.MeanDuration = 0 }, "MeanDuration"},
 		{"diurnal", func(c *Config) { c.Diurnal = 1 }, "Diurnal"},
 		{"burst", func(c *Config) { c.BurstProb = 0.5 }, "BurstFactor"},
@@ -179,5 +182,41 @@ func TestValidate(t *testing.T) {
 	}
 	if _, err := Generate(baseConfig(), 2, 2); err == nil {
 		t.Fatal("out-of-range shard accepted")
+	}
+}
+
+// TestDegenerateWorlds pins that zero-machine and zero-arrival configs
+// are legal and generate the streams they imply: no arrivals at rate 0,
+// no churn with no machines. The simulator round-trips these to empty
+// placement logs (see cluster's trace tests).
+func TestDegenerateWorlds(t *testing.T) {
+	empty := baseConfig()
+	empty.Machines = 0
+	empty.ArrivalRate = 0
+	empty.MeanDuration = 0 // only required when arrivals are enabled
+	empty.Churn = 0.5      // churn scales with the (zero) fleet size
+	if err := empty.Validate(); err != nil {
+		t.Fatalf("degenerate config rejected: %v", err)
+	}
+	ev, err := Generate(empty, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No machines means no churn events even with Churn > 0, and a zero
+	// arrival rate means no jobs: the stream must be empty.
+	if len(ev) != 0 {
+		t.Fatalf("degenerate world generated %d events, want 0", len(ev))
+	}
+
+	quiet := baseConfig()
+	quiet.ArrivalRate = 0
+	quiet.MeanDuration = 0
+	quiet.Churn = 0
+	ev, err = Generate(quiet, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 0 {
+		t.Fatalf("zero-arrival world generated %d events, want 0", len(ev))
 	}
 }

@@ -49,6 +49,13 @@ const (
 	// CodeSimulationDisabled: the endpoint needs an in-process simulation
 	// System and the daemon was started without one (HTTP 501).
 	CodeSimulationDisabled = "simulation_disabled"
+	// CodeSLODisabled: POST /v1/admit needs the SLO admission gate and
+	// the daemon was started without one (run smited with -slo-config)
+	// (HTTP 501).
+	CodeSLODisabled = "slo_disabled"
+	// CodeUnknownClass: the admission request names an SLO class the
+	// daemon was not configured with (HTTP 404).
+	CodeUnknownClass = "unknown_class"
 )
 
 // APIError is the typed error the server returns and the client decodes.
@@ -149,6 +156,61 @@ type ColocateResponse struct {
 	// stability, where the latency is unbounded. It is never negative.
 	TailLatency *float64 `json:"tail_latency,omitempty"`
 	Saturated   bool     `json:"saturated,omitempty"`
+}
+
+// AdmitRequest is the predictive SLO admission check (POST /v1/admit):
+// may this aggressor be co-located next to this victim without the
+// victim's class tail-latency budget being blown? The daemon predicts
+// the degradation through its tiered predictor, inflates it by the
+// surrogate error bound when the answer came from the surrogate tier,
+// evaluates Equation 6 at the class percentile, and admits only if the
+// tail estimate fits the class budget minus the configured headroom.
+type AdmitRequest struct {
+	Victim    string `json:"victim"`
+	Aggressor string `json:"aggressor"`
+	// Class names the victim's SLO class (one of the daemon's configured
+	// classes, e.g. "critical").
+	Class string `json:"class"`
+	// Instances and Threads select the partial-occupancy prediction, as
+	// in PredictRequest.
+	Instances int `json:"instances,omitempty"`
+	Threads   int `json:"threads,omitempty"`
+	// Queue carries the victim's M/M/1 rates. The percentile comes from
+	// the SLO class; setting Queue.Percentile here is an error.
+	Queue QueueSpec `json:"queue"`
+}
+
+// AdmitResponse reports the admission decision and the numbers behind
+// it, so a scheduler (or a human) can audit why a co-location was
+// rejected.
+type AdmitResponse struct {
+	Victim    string `json:"victim"`
+	Aggressor string `json:"aggressor"`
+	Class     string `json:"class"`
+	// Admitted is the decision; Reason is one of the AdmitReason*
+	// constants ("ok", "budget_exceeded", "saturated").
+	Admitted bool   `json:"admitted"`
+	Reason   string `json:"reason"`
+	// Degradation is the raw predicted degradation; Tier reports the
+	// producing tier and ErrorBound its certificate (surrogate answers
+	// only). EffectiveDegradation = Degradation + ErrorBound is what the
+	// budget check actually used.
+	Degradation          float64 `json:"degradation"`
+	EffectiveDegradation float64 `json:"effective_degradation"`
+	Tier                 string  `json:"tier"`
+	ErrorBound           float64 `json:"error_bound,omitempty"`
+	// TailLatency is the Equation 6 percentile latency in seconds at the
+	// effective degradation; omitted (with Saturated set) when the queue
+	// is pushed past stability. It is never negative.
+	TailLatency *float64 `json:"tail_latency,omitempty"`
+	Saturated   bool     `json:"saturated,omitempty"`
+	// Budget is the class budget in seconds; EffectiveBudget is
+	// Budget·(1−Headroom), the value TailLatency was checked against;
+	// Percentile is the class SLO percentile.
+	Budget          float64 `json:"budget"`
+	EffectiveBudget float64 `json:"effective_budget"`
+	Percentile      float64 `json:"percentile"`
+	Headroom        float64 `json:"headroom"`
 }
 
 // BatchCandidate is one aggressor option in a batch scoring request.
@@ -255,6 +317,35 @@ type LatencyMetrics struct {
 	Max    float64 `json:"max_ms"`
 }
 
+// SLOClassMetrics counts one class's lifetime admission decisions.
+type SLOClassMetrics struct {
+	Admitted uint64 `json:"admitted"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// SaturationReport is the analyzer's capacity-vs-demand view: the
+// rejection rate over the most recent decisions and the scaling signal
+// it implies under the configured thresholds.
+type SaturationReport struct {
+	// Window is the number of decisions the rate was computed over (at
+	// most the configured window size).
+	Window int `json:"window"`
+	// RejectionRate is the windowed fraction of rejected admissions.
+	RejectionRate float64 `json:"rejection_rate"`
+	// Signal is scale_up, steady, or scale_down.
+	Signal             string  `json:"signal"`
+	ScaleUpThreshold   float64 `json:"scale_up_threshold"`
+	ScaleDownThreshold float64 `json:"scale_down_threshold"`
+}
+
+// SLOMetricsReport is the admission gate's slice of GET /metrics,
+// present only on daemons running with an SLO config.
+type SLOMetricsReport struct {
+	Classes    map[string]SLOClassMetrics `json:"classes"`
+	Saturation SaturationReport           `json:"saturation"`
+	Headroom   float64                    `json:"headroom"`
+}
+
 // MetricsResponse is the GET /metrics payload.
 type MetricsResponse struct {
 	UptimeSeconds   float64                 `json:"uptime_seconds"`
@@ -264,4 +355,7 @@ type MetricsResponse struct {
 	ModelLoaded     bool                    `json:"model_loaded"`
 	PredictionCache CacheMetrics            `json:"prediction_cache"`
 	MaxInFlight     int                     `json:"max_in_flight"`
+	// SLO is the admission gate's report; omitted when the daemon runs
+	// without one, keeping the payload byte-compatible for old readers.
+	SLO *SLOMetricsReport `json:"slo,omitempty"`
 }

@@ -57,6 +57,18 @@ func (c *Client) Colocate(ctx context.Context, req ColocateRequest) (ColocateRes
 	return out, err
 }
 
+// Admit runs the predictive SLO admission check: the daemon predicts the
+// pair's degradation, inflates it by the surrogate error bound when the
+// surrogate tier answered, and admits only if the Eq. 6 tail estimate at
+// the class percentile fits the class budget minus the configured
+// headroom. Requires a daemon started with SLO classes (-slo-config);
+// otherwise the typed error carries CodeSLODisabled.
+func (c *Client) Admit(ctx context.Context, req AdmitRequest) (AdmitResponse, error) {
+	var out AdmitResponse
+	err := c.call(ctx, http.MethodPost, "/v1/admit", req, &out)
+	return out, err
+}
+
 // Batch scores a candidate set.
 func (c *Client) Batch(ctx context.Context, req BatchRequest) (BatchResponse, error) {
 	var out BatchResponse

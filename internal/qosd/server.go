@@ -64,9 +64,15 @@ type Config struct {
 	// (registry profiles). The set must not be mutated after NewServer.
 	Surrogate *smite.Surrogate
 	// SurrogateThreshold is the largest surrogate error bound the daemon
-	// will serve; answers with a larger bound fall back to the engine
-	// tier. 0 means DefaultSurrogateThreshold.
+	// will serve: an answer whose bound is exactly the threshold is still
+	// served from the surrogate tier, one strictly above it falls back to
+	// the engine tier. 0 means DefaultSurrogateThreshold; a negative value
+	// disables the surrogate tier outright (no bound is below it).
 	SurrogateThreshold float64
+	// SLO, when set, enables POST /v1/admit: predictive admission control
+	// against per-class tail-latency budgets (DESIGN.md §13). Nil leaves
+	// the endpoint mounted but answering 501 slo_disabled.
+	SLO *SLOConfig
 }
 
 // DefaultSurrogateThreshold is the default accuracy budget of the
@@ -81,8 +87,15 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 5 * time.Second
 	}
-	if c.SurrogateThreshold <= 0 {
+	// Only the zero value means "default": an explicitly negative
+	// threshold is a request to disable the surrogate tier (no error bound
+	// is ever negative), not a mistake to paper over.
+	if c.SurrogateThreshold == 0 {
 		c.SurrogateThreshold = DefaultSurrogateThreshold
+	}
+	if c.SLO != nil {
+		slo := c.SLO.withDefaults()
+		c.SLO = &slo
 	}
 	return c
 }
@@ -99,6 +112,10 @@ type Server struct {
 	// generation, so uploads invalidate it wholesale.
 	memo    *simcache.Cache[float64]
 	metrics *serverMetrics
+
+	// slo is the saturation analyzer behind /v1/admit; nil when the
+	// daemon runs without an SLO config.
+	slo *sloAnalyzer
 
 	// lastTrace holds the Chrome-trace render of the most recent ?trace=1
 	// request, served by /debug/trace/last.
@@ -117,10 +134,14 @@ func NewServer(reg *Registry, cfg Config) *Server {
 		memo:     simcache.New[float64](),
 		metrics:  newServerMetrics(),
 	}
+	if cfg.SLO != nil {
+		s.slo = newSLOAnalyzer(*cfg.SLO)
+	}
 	s.mux.HandleFunc("/healthz", s.method(http.MethodGet, s.handleHealthz))
 	s.mux.HandleFunc("/metrics", s.method(http.MethodGet, s.handleMetrics))
 	s.mux.HandleFunc("/v1/predict", s.method(http.MethodPost, s.handlePredict))
 	s.mux.HandleFunc("/v1/colocate", s.method(http.MethodPost, s.handleColocate))
+	s.mux.HandleFunc("/v1/admit", s.method(http.MethodPost, s.handleAdmit))
 	s.mux.HandleFunc("/v1/batch", s.method(http.MethodPost, s.handleBatch))
 	s.mux.HandleFunc("/v1/profiles", s.method(http.MethodPost, s.handleProfiles))
 	s.mux.HandleFunc("/v1/characterize", s.method(http.MethodPost, s.handleCharacterize))
@@ -168,6 +189,27 @@ func (s *Server) registerGauges() {
 		func() float64 { return float64(len(s.inflight)) })
 	reg.GaugeFunc("qosd_max_inflight", "Configured concurrency limit.",
 		func() float64 { return float64(s.cfg.MaxInFlight) })
+	// SLO gauges only exist on daemons running the admission gate, so
+	// the OpenMetrics exposition of an SLO-less daemon is unchanged.
+	if s.slo != nil {
+		m.admits = reg.CounterVec("qosd_admit_decisions",
+			"SLO admission decisions, by class and outcome.", "class", "outcome")
+		reg.GaugeFunc("qosd_slo_rejection_rate",
+			"Windowed fraction of rejected admissions.",
+			func() float64 { rate, _ := s.slo.rejectionRate(); return rate })
+		reg.GaugeFunc("qosd_slo_signal",
+			"Saturation signal: 1 scale-up, 0 steady, -1 scale-down.",
+			func() float64 {
+				rate, _ := s.slo.rejectionRate()
+				switch SaturationSignal(rate, s.cfg.SLO.ScaleUpThreshold, s.cfg.SLO.ScaleDownThreshold) {
+				case SignalScaleUp:
+					return 1
+				case SignalScaleDown:
+					return -1
+				}
+				return 0
+			})
+	}
 }
 
 // Registry returns the server's registry (for in-process loading).
@@ -274,7 +316,7 @@ func (s *Server) serveTraced(rec *statusRecorder, r *http.Request, next http.Han
 // pprof and everything else in catch-all buckets.
 func routeLabel(r *http.Request) string {
 	switch r.URL.Path {
-	case "/healthz", "/metrics", "/v1/predict", "/v1/colocate", "/v1/batch", "/v1/profiles", "/v1/characterize", "/debug/trace/last":
+	case "/healthz", "/metrics", "/v1/predict", "/v1/colocate", "/v1/admit", "/v1/batch", "/v1/profiles", "/v1/characterize", "/debug/trace/last":
 		return r.Method + " " + r.URL.Path
 	}
 	if strings.HasPrefix(r.URL.Path, "/debug/pprof/") {
@@ -330,6 +372,9 @@ type serverMetrics struct {
 	reg      *metrics.Registry
 	requests *metrics.CounterVec
 	latency  *metrics.Histogram
+	// admits counts SLO admission decisions by (class, outcome); nil on
+	// daemons without the admission gate.
+	admits *metrics.CounterVec
 
 	mu     sync.Mutex
 	window *stats.Window
@@ -429,6 +474,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	routes, lat, uptime := s.metrics.snapshot()
 	cs := s.memo.Stats()
 	_, hasModel := s.reg.Model()
+	var sloReport *SLOMetricsReport
+	if s.slo != nil {
+		sloReport = s.slo.report()
+	}
 	writeJSON(w, http.StatusOK, MetricsResponse{
 		UptimeSeconds: uptime,
 		Requests:      routes,
@@ -441,6 +490,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			Entries: cs.Entries,
 		},
 		MaxInFlight: s.cfg.MaxInFlight,
+		SLO:         sloReport,
 	})
 }
 
@@ -527,6 +577,81 @@ func (s *Server) handleColocate(w http.ResponseWriter, r *http.Request) {
 		} else {
 			resp.TailLatency = &t
 		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleAdmit is the predictive SLO admission gate: predict the pair's
+// degradation through the tiered predictor, inflate it by the surrogate
+// error bound when the surrogate tier answered, and admit only if the
+// Eq. 6 tail estimate at the class percentile fits the class budget
+// minus the configured headroom. Every decision feeds the saturation
+// analyzer.
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var req AdmitRequest
+	if apiErr := decodeJSON(w, r, &req); apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	if s.cfg.SLO == nil {
+		writeError(w, &APIError{Status: http.StatusNotImplemented, Code: CodeSLODisabled,
+			Message: "daemon started without SLO classes (run smited with -slo-config)"})
+		return
+	}
+	if req.Class == "" {
+		writeError(w, invalidArgument("class must be set"))
+		return
+	}
+	class, ok := s.cfg.SLO.Class(req.Class)
+	if !ok {
+		writeError(w, &APIError{Status: http.StatusNotFound, Code: CodeUnknownClass,
+			Message: fmt.Sprintf("no SLO class %q configured", req.Class)})
+		return
+	}
+	if req.Queue.Mu <= 0 || req.Queue.Lambda <= 0 {
+		writeError(w, invalidArgument("queue rates must be positive (mu=%g, lambda=%g)", req.Queue.Mu, req.Queue.Lambda))
+		return
+	}
+	if req.Queue.Percentile != 0 {
+		writeError(w, invalidArgument("queue percentile is fixed by the SLO class (%q uses %g); leave it unset",
+			class.Name, class.Percentile))
+		return
+	}
+	pred, apiErr := s.predict(r.Context(), req.Victim, req.Aggressor, req.Instances, req.Threads)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	dec := EvaluateAdmission(pred.deg, pred.bound, req.Queue.Mu, req.Queue.Lambda, class, s.cfg.SLO.Headroom)
+	s.slo.record(class.Name, dec.Admitted)
+	if s.metrics.admits != nil {
+		outcome := "admitted"
+		if !dec.Admitted {
+			outcome = "rejected"
+		}
+		s.metrics.admits.With(class.Name, outcome).Inc()
+	}
+	resp := AdmitResponse{
+		Victim:               req.Victim,
+		Aggressor:            req.Aggressor,
+		Class:                class.Name,
+		Admitted:             dec.Admitted,
+		Reason:               dec.Reason,
+		Degradation:          pred.deg,
+		EffectiveDegradation: dec.EffectiveDegradation,
+		Tier:                 pred.tier,
+		ErrorBound:           pred.bound,
+		Budget:               class.Budget,
+		EffectiveBudget:      dec.EffectiveBudget,
+		Percentile:           class.Percentile,
+		Headroom:             s.cfg.SLO.Headroom,
+	}
+	if dec.Saturated {
+		// +Inf cannot travel as JSON; the flag carries the fact.
+		resp.Saturated = true
+	} else {
+		t := dec.Tail
+		resp.TailLatency = &t
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -662,7 +787,7 @@ func (s *Server) predict(ctx context.Context, victim, aggressor string, instance
 		if m, ok := s.reg.Model(); ok {
 			if pred, err := m.PredictSurrogate(set, victim, aggressor); err == nil && pred.Bound <= s.cfg.SurrogateThreshold {
 				span.SetAttr(trace.String("tier", TierSurrogate))
-				return prediction{deg: pred.Degradation, tier: TierSurrogate, bound: pred.Bound}, nil
+				return prediction{deg: sanitizeDeg(pred.Degradation), tier: TierSurrogate, bound: pred.Bound}, nil
 			}
 		}
 	}
@@ -682,7 +807,20 @@ func (s *Server) predict(ctx context.Context, victim, aggressor string, instance
 		// The compute function cannot fail; kept for the Do contract.
 		return prediction{}, &APIError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
 	}
-	return prediction{deg: deg, tier: TierEngine}, nil
+	return prediction{deg: sanitizeDeg(deg), tier: TierEngine}, nil
+}
+
+// sanitizeDeg clamps a non-finite predicted degradation to 1 (complete
+// degradation). A NaN or ±Inf can only come from corrupt profile
+// features; JSON cannot carry it, and before this guard it aborted the
+// response encoder mid-reply (the client saw an EOF instead of an
+// answer). Every consumer treats deg >= 1 as a saturated, never-safe
+// co-location, which is the conservative reading of a garbage profile.
+func sanitizeDeg(deg float64) float64 {
+	if math.IsNaN(deg) || math.IsInf(deg, 0) {
+		return 1
+	}
+	return deg
 }
 
 // ---- helpers ----

@@ -528,7 +528,12 @@ func TestUploadErrorMapsAllLoadClasses(t *testing.T) {
 
 // Saturated predictions must never surface as negative numbers anywhere
 // in the API (the queueing guard returns +Inf, and the handler converts
-// that to the saturated flag).
+// that to the saturated flag). The second half drives the degradation
+// itself to the edges — exactly 1.0 (zero drain), NaN and ±Inf — via
+// hand-built profiles (JSON uploads cannot carry non-finite numbers, so
+// the profiles go in through the in-process registry): every one must
+// surface as Saturated with the latency omitted, never as a zero or
+// negative number.
 func TestNoNegativeLatencyEverLeaks(t *testing.T) {
 	_, c := newTestServer(t, Config{})
 	for _, lambda := range []float64{1, 500, 999, 1500} {
@@ -545,5 +550,43 @@ func TestNoNegativeLatencyEverLeaks(t *testing.T) {
 		if got.TailLatency == nil && !got.Saturated {
 			t.Errorf("lambda=%v: latency omitted without saturated flag", lambda)
 		}
+	}
+
+	// testModel is intercept 0.01 with every coefficient 0.2, so a victim
+	// with Sen[0]=1 against Con[0]=x predicts 0.01 + 0.2x: pick x to land
+	// the degradation exactly on (or beyond) the edge under test.
+	s, c := newTestServer(t, Config{})
+	conFor := func(deg float64) float64 { return (deg - 0.01) / 0.2 }
+	cases := []struct {
+		name string
+		con  float64
+	}{
+		{"deg exactly 1.0", conFor(1.0)},
+		{"deg above 1.0", conFor(1.5)},
+		{"NaN deg", math.NaN()},
+		{"+Inf deg", math.Inf(1)},
+		{"-Inf deg", math.Inf(-1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			victim := smite.Characterization{App: "edge-victim", SoloIPC: 1}
+			aggr := smite.Characterization{App: "edge-aggressor", SoloIPC: 1}
+			victim.Sen[0] = 1
+			aggr.Con[0] = tc.con
+			s.reg.AddProfiles([]smite.Characterization{victim, aggr})
+			got, err := c.Colocate(context.Background(), ColocateRequest{
+				Victim: "edge-victim", Aggressor: "edge-aggressor", QoSTarget: 0.5,
+				Queue: &QueueSpec{Mu: 1000, Lambda: 500},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Saturated {
+				t.Errorf("degradation edge served without saturated flag: %+v", got)
+			}
+			if got.TailLatency != nil {
+				t.Errorf("degradation edge leaked tail latency %v", *got.TailLatency)
+			}
+		})
 	}
 }

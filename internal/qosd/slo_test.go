@@ -1,0 +1,391 @@
+package qosd
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseSLOClasses(t *testing.T) {
+	t.Run("canonical spec", func(t *testing.T) {
+		classes, err := ParseSLOClasses("critical:20ms:0.95,standard:60ms:0.95,sheddable:150ms:0.90")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := DefaultSLOClasses()
+		if len(classes) != len(want) {
+			t.Fatalf("parsed %d classes, want %d", len(classes), len(want))
+		}
+		for i := range classes {
+			if classes[i] != want[i] {
+				t.Errorf("class %d = %+v, want %+v", i, classes[i], want[i])
+			}
+		}
+	})
+	t.Run("percentile defaults", func(t *testing.T) {
+		classes, err := ParseSLOClasses("gold: 1500ms ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if classes[0].Name != "gold" || classes[0].Budget != 1.5 || classes[0].Percentile != 0.95 {
+			t.Errorf("parsed %+v", classes[0])
+		}
+	})
+
+	malformed := []struct {
+		name, spec, frag string
+	}{
+		{"empty spec", "", "empty SLO class spec"},
+		{"blank spec", "   ", "empty SLO class spec"},
+		{"empty entry", "a:20ms,,b:30ms", "empty class entry"},
+		{"missing budget", "critical", "name:budget"},
+		{"too many fields", "a:20ms:0.95:x", "name:budget"},
+		{"empty name", ":20ms", "empty name"},
+		{"duplicate name", "a:20ms,a:40ms", "duplicate class"},
+		{"bad duration", "a:bogus", "budget"},
+		{"bare number budget", "a:20", "budget"},
+		{"zero budget", "a:0s", "must be positive"},
+		{"negative budget", "a:-5ms", "must be positive"},
+		{"bad percentile", "a:20ms:fast", "percentile"},
+		{"percentile zero", "a:20ms:0", "outside (0,1)"},
+		{"percentile one", "a:20ms:1", "outside (0,1)"},
+	}
+	for _, tc := range malformed {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSLOClasses(tc.spec)
+			if err == nil || !strings.Contains(err.Error(), tc.frag) {
+				t.Errorf("ParseSLOClasses(%q) = %v, want mention of %q", tc.spec, err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestSLOConfigValidate(t *testing.T) {
+	base := func() SLOConfig {
+		return SLOConfig{Classes: DefaultSLOClasses()}.withDefaults()
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*SLOConfig)
+	}{
+		{"empty class name", func(c *SLOConfig) { c.Classes[0].Name = "" }},
+		{"duplicate class", func(c *SLOConfig) { c.Classes[1].Name = c.Classes[0].Name }},
+		{"zero budget", func(c *SLOConfig) { c.Classes[0].Budget = 0 }},
+		{"infinite budget", func(c *SLOConfig) { c.Classes[0].Budget = math.Inf(1) }},
+		{"NaN budget", func(c *SLOConfig) { c.Classes[0].Budget = math.NaN() }},
+		{"percentile at one", func(c *SLOConfig) { c.Classes[0].Percentile = 1 }},
+		{"negative headroom", func(c *SLOConfig) { c.Headroom = -0.1 }},
+		{"headroom at one", func(c *SLOConfig) { c.Headroom = 1 }},
+		{"thresholds inverted", func(c *SLOConfig) { c.ScaleUpThreshold, c.ScaleDownThreshold = 0.05, 0.2 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base()
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestEvaluateAdmission(t *testing.T) {
+	class := SLOClass{Name: "critical", Budget: 0.020, Percentile: 0.95}
+	// Solo tail at mu=1000, lambda=600: -ln(0.05)/400 ≈ 7.5ms, well under
+	// the 18ms effective budget at 10% headroom.
+	t.Run("clean admit", func(t *testing.T) {
+		d := EvaluateAdmission(0.05, 0, 1000, 600, class, 0.1)
+		if !d.Admitted || d.Reason != AdmitReasonOK || d.Saturated {
+			t.Fatalf("decision %+v", d)
+		}
+		if math.Abs(d.EffectiveBudget-0.018) > 1e-12 {
+			t.Errorf("effective budget %g, want 0.018", d.EffectiveBudget)
+		}
+		if d.Tail <= 0 || d.Tail > d.EffectiveBudget {
+			t.Errorf("tail %g outside (0, %g]", d.Tail, d.EffectiveBudget)
+		}
+	})
+	t.Run("budget exceeded", func(t *testing.T) {
+		// deg 0.3 leaves mu' = 700: tail ≈ 3.0/100 = 30ms > 18ms.
+		d := EvaluateAdmission(0.3, 0, 1000, 600, class, 0.1)
+		if d.Admitted || d.Reason != AdmitReasonBudgetExceeded || d.Saturated {
+			t.Fatalf("decision %+v", d)
+		}
+	})
+	t.Run("bound inflation flips the decision", func(t *testing.T) {
+		// deg 0.2 alone admits (mu'=800, tail ≈ 15ms); a 0.1 bound pushes
+		// the effective degradation to 0.3 and the tail past the budget.
+		clean := EvaluateAdmission(0.2, 0, 1000, 600, class, 0.1)
+		if !clean.Admitted {
+			t.Fatalf("unbounded decision %+v", clean)
+		}
+		inflated := EvaluateAdmission(0.2, 0.1, 1000, 600, class, 0.1)
+		if inflated.Admitted || math.Abs(inflated.EffectiveDegradation-0.3) > 1e-12 {
+			t.Fatalf("inflated decision %+v", inflated)
+		}
+	})
+	t.Run("saturated never admits", func(t *testing.T) {
+		for _, deg := range []float64{0.4, 1.0, 1.5, math.NaN(), math.Inf(1), math.Inf(-1)} {
+			// deg 0.4 at mu=1000, lambda=600 puts mu' exactly at lambda.
+			d := EvaluateAdmission(deg, 0, 1000, 600, class, 0.1)
+			if d.Admitted || !d.Saturated || d.Reason != AdmitReasonSaturated {
+				t.Errorf("deg=%v: decision %+v", deg, d)
+			}
+			if !math.IsInf(d.Tail, 1) {
+				t.Errorf("deg=%v: tail %v, want +Inf", deg, d.Tail)
+			}
+		}
+	})
+	t.Run("zero headroom uses the full budget", func(t *testing.T) {
+		d := EvaluateAdmission(0.05, 0, 1000, 600, class, 0)
+		if d.EffectiveBudget != class.Budget {
+			t.Errorf("effective budget %g, want %g", d.EffectiveBudget, class.Budget)
+		}
+	})
+	t.Run("garbage headroom clamps to zero", func(t *testing.T) {
+		for _, h := range []float64{-0.5, math.NaN()} {
+			d := EvaluateAdmission(0.05, 0, 1000, 600, class, h)
+			if d.EffectiveBudget != class.Budget {
+				t.Errorf("headroom %v: effective budget %g, want %g", h, d.EffectiveBudget, class.Budget)
+			}
+		}
+	})
+}
+
+func TestSaturationSignal(t *testing.T) {
+	cases := []struct {
+		rate float64
+		want string
+	}{
+		{0, SignalScaleDown},
+		{0.05, SignalScaleDown}, // at the scale-down threshold
+		{0.051, SignalSteady},
+		{0.19, SignalSteady},
+		{0.2, SignalScaleUp}, // at the scale-up threshold
+		{0.9, SignalScaleUp},
+	}
+	for _, tc := range cases {
+		if got := SaturationSignal(tc.rate, 0.2, 0.05); got != tc.want {
+			t.Errorf("SaturationSignal(%g) = %s, want %s", tc.rate, got, tc.want)
+		}
+	}
+}
+
+// TestAdmitEndToEnd drives POST /v1/admit against the in-process
+// admission math: for every class the served decision must equal
+// EvaluateAdmission on the served prediction, and the acceptance
+// property holds — no co-location whose inflated tail exceeds the
+// effective class budget is ever admitted.
+func TestAdmitEndToEnd(t *testing.T) {
+	slo := &SLOConfig{Classes: DefaultSLOClasses(), Headroom: 0.1}
+	s, c := newTestServer(t, Config{SLO: slo})
+	ctx := context.Background()
+
+	pred, err := c.Predict(ctx, PredictRequest{Victim: "web-search", Aggressor: "429.mcf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queues := []QueueSpec{
+		{Mu: 1000, Lambda: 600},
+		{Mu: 1000, Lambda: 950},
+		{Mu: 200, Lambda: 199},
+		{Mu: 50, Lambda: 10},
+	}
+	for _, q := range queues {
+		for _, class := range s.cfg.SLO.Classes {
+			got, err := c.Admit(ctx, AdmitRequest{
+				Victim: "web-search", Aggressor: "429.mcf", Class: class.Name, Queue: q,
+			})
+			if err != nil {
+				t.Fatalf("%s mu=%g lambda=%g: %v", class.Name, q.Mu, q.Lambda, err)
+			}
+			want := EvaluateAdmission(pred.Degradation, pred.ErrorBound, q.Mu, q.Lambda, class, s.cfg.SLO.Headroom)
+			if got.Admitted != want.Admitted || got.Reason != want.Reason || got.Saturated != want.Saturated {
+				t.Errorf("%s mu=%g lambda=%g: served (%v,%s,sat=%v), want (%v,%s,sat=%v)",
+					class.Name, q.Mu, q.Lambda,
+					got.Admitted, got.Reason, got.Saturated,
+					want.Admitted, want.Reason, want.Saturated)
+			}
+			if got.EffectiveBudget != want.EffectiveBudget || got.EffectiveDegradation != want.EffectiveDegradation {
+				t.Errorf("%s mu=%g lambda=%g: budget/deg (%g,%g), want (%g,%g)",
+					class.Name, q.Mu, q.Lambda,
+					got.EffectiveBudget, got.EffectiveDegradation,
+					want.EffectiveBudget, want.EffectiveDegradation)
+			}
+			// The acceptance property, asserted on the wire values alone.
+			if got.Admitted && (got.TailLatency == nil || *got.TailLatency > got.EffectiveBudget) {
+				t.Errorf("%s mu=%g lambda=%g: admitted over budget: %+v", class.Name, q.Mu, q.Lambda, got)
+			}
+			if !got.Admitted && got.Reason == string(AdmitReasonOK) {
+				t.Errorf("rejection carries reason ok: %+v", got)
+			}
+			if got.Saturated && got.TailLatency != nil {
+				t.Errorf("saturated response carries a tail: %+v", got)
+			}
+		}
+	}
+}
+
+// TestAdmitSurrogateBoundInflates pins the tier interplay: when the
+// surrogate tier serves the prediction, /v1/admit checks the budget at
+// deg + bound, so a surrogate answer can be rejected where the exact
+// engine answer would be admitted.
+func TestAdmitSurrogateBoundInflates(t *testing.T) {
+	// A large recorded curve error makes the bound dominate the check.
+	set := testSurrogate(0.5)
+	slo := &SLOConfig{Classes: []SLOClass{{Name: "critical", Budget: 0.020, Percentile: 0.95}}}
+	_, c := newTestServer(t, Config{Surrogate: set, SurrogateThreshold: 100, SLO: slo})
+	ctx := context.Background()
+	queue := QueueSpec{Mu: 1000, Lambda: 600}
+
+	got, err := c.Admit(ctx, AdmitRequest{
+		Victim: "web-search", Aggressor: "429.mcf", Class: "critical", Queue: queue,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tier != TierSurrogate || got.ErrorBound <= 0 {
+		t.Fatalf("admission not served from the surrogate tier: %+v", got)
+	}
+	if got.EffectiveDegradation != got.Degradation+got.ErrorBound {
+		t.Errorf("effective degradation %g, want deg %g + bound %g",
+			got.EffectiveDegradation, got.Degradation, got.ErrorBound)
+	}
+	if got.Admitted {
+		t.Errorf("inflated degradation %g admitted against a 20ms budget: %+v", got.EffectiveDegradation, got)
+	}
+
+	// The same pair through an engine-only daemon carries no bound and is
+	// admitted: the inflation, not the prediction, flipped the decision.
+	_, engineClient := newTestServer(t, Config{SLO: slo})
+	eng, err := engineClient.Admit(ctx, AdmitRequest{
+		Victim: "web-search", Aggressor: "429.mcf", Class: "critical", Queue: queue,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Tier != TierEngine || eng.ErrorBound != 0 {
+		t.Fatalf("engine daemon served tier %q bound %g", eng.Tier, eng.ErrorBound)
+	}
+	if !eng.Admitted {
+		t.Fatalf("engine answer rejected; the inflation test needs an admissible base case: %+v", eng)
+	}
+}
+
+// TestAdmitRequestValidation pins the error surface of /v1/admit.
+func TestAdmitRequestValidation(t *testing.T) {
+	slo := &SLOConfig{Classes: DefaultSLOClasses()}
+	_, c := newTestServer(t, Config{SLO: slo})
+	ctx := context.Background()
+	queue := QueueSpec{Mu: 1000, Lambda: 600}
+
+	cases := []struct {
+		name string
+		req  AdmitRequest
+		code string
+	}{
+		{"missing class", AdmitRequest{Victim: "web-search", Aggressor: "429.mcf", Queue: queue}, CodeInvalidArgument},
+		{"unknown class", AdmitRequest{Victim: "web-search", Aggressor: "429.mcf", Class: "bronze", Queue: queue}, CodeUnknownClass},
+		{"missing queue", AdmitRequest{Victim: "web-search", Aggressor: "429.mcf", Class: "critical"}, CodeInvalidArgument},
+		{"negative lambda", AdmitRequest{Victim: "web-search", Aggressor: "429.mcf", Class: "critical",
+			Queue: QueueSpec{Mu: 1000, Lambda: -1}}, CodeInvalidArgument},
+		{"percentile set", AdmitRequest{Victim: "web-search", Aggressor: "429.mcf", Class: "critical",
+			Queue: QueueSpec{Mu: 1000, Lambda: 600, Percentile: 0.99}}, CodeInvalidArgument},
+		{"unknown victim", AdmitRequest{Victim: "nope", Aggressor: "429.mcf", Class: "critical", Queue: queue}, CodeUnknownProfile},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := c.Admit(ctx, tc.req)
+			var ae *APIError
+			if !errors.As(err, &ae) || ae.Code != tc.code {
+				t.Errorf("Admit(%+v) = %v, want code %s", tc.req, err, tc.code)
+			}
+		})
+	}
+}
+
+// TestAdmitDisabled pins the 501 when the daemon has no SLO config.
+func TestAdmitDisabled(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	_, err := c.Admit(context.Background(), AdmitRequest{
+		Victim: "web-search", Aggressor: "429.mcf", Class: "critical",
+		Queue: QueueSpec{Mu: 1000, Lambda: 600},
+	})
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != CodeSLODisabled {
+		t.Errorf("Admit on SLO-less daemon = %v, want code %s", err, CodeSLODisabled)
+	}
+}
+
+// TestAdmitMetrics pins the analyzer surface: per-class counters, the
+// windowed rejection rate, and the saturation signal on /metrics.
+func TestAdmitMetrics(t *testing.T) {
+	slo := &SLOConfig{
+		Classes: []SLOClass{{Name: "critical", Budget: 0.020, Percentile: 0.95}},
+		Window:  8,
+	}
+	_, c := newTestServer(t, Config{SLO: slo})
+	ctx := context.Background()
+
+	admits, rejects := 0, 0
+	for _, lambda := range []float64{100, 600, 950, 999} {
+		got, err := c.Admit(ctx, AdmitRequest{
+			Victim: "web-search", Aggressor: "429.mcf", Class: "critical",
+			Queue: QueueSpec{Mu: 1000, Lambda: lambda},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Admitted {
+			admits++
+		} else {
+			rejects++
+		}
+	}
+	if admits == 0 || rejects == 0 {
+		t.Fatalf("test queues produced a one-sided decision mix (%d/%d)", admits, rejects)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SLO == nil {
+		t.Fatal("metrics carry no SLO report")
+	}
+	cm, ok := m.SLO.Classes["critical"]
+	if !ok {
+		t.Fatalf("no per-class counters in %+v", m.SLO.Classes)
+	}
+	if cm.Admitted != uint64(admits) || cm.Rejected != uint64(rejects) {
+		t.Errorf("class counters %+v, want %d/%d", cm, admits, rejects)
+	}
+	wantRate := float64(rejects) / float64(admits+rejects)
+	if m.SLO.Saturation.RejectionRate != wantRate {
+		t.Errorf("rejection rate %g, want %g", m.SLO.Saturation.RejectionRate, wantRate)
+	}
+	wantSignal := SaturationSignal(wantRate, m.SLO.Saturation.ScaleUpThreshold, m.SLO.Saturation.ScaleDownThreshold)
+	if m.SLO.Saturation.Signal != wantSignal {
+		t.Errorf("signal %q, want %q", m.SLO.Saturation.Signal, wantSignal)
+	}
+	// Window reports the decisions currently inside the ring, not its
+	// capacity: four decisions into an 8-slot window.
+	if m.SLO.Saturation.Window != admits+rejects {
+		t.Errorf("window %d, want %d", m.SLO.Saturation.Window, admits+rejects)
+	}
+
+	// The SLO-less daemon reports no SLO block at all.
+	_, plain := newTestServer(t, Config{})
+	pm, err := plain.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.SLO != nil {
+		t.Errorf("SLO-less daemon reports %+v", pm.SLO)
+	}
+}

@@ -2,6 +2,7 @@ package qosd
 
 import (
 	"context"
+	"math"
 	"testing"
 
 	"repro/internal/surrogate"
@@ -132,5 +133,43 @@ func TestColocateAndBatchUseSurrogate(t *testing.T) {
 	// engine tier and the memo.
 	if st := s.memo.Stats(); st.Entries != 1 {
 		t.Errorf("expected exactly the unfitted candidate in the memo: %+v", st)
+	}
+}
+
+// TestSurrogateThresholdBoundary pins the tier-selection comparison at
+// its edges: a bound exactly equal to the threshold is still served from
+// the surrogate tier (the comparison is <=, not <), and an explicitly
+// negative threshold disables the tier outright rather than being
+// silently reset to the default.
+func TestSurrogateThresholdBoundary(t *testing.T) {
+	set := testSurrogate(0.001)
+	exact, err := testModel().PredictSurrogate(set, "web-search", "429.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Bound <= 0 {
+		t.Fatalf("test surrogate has no error bound to pin (%v)", exact.Bound)
+	}
+
+	cases := []struct {
+		name      string
+		threshold float64
+		wantTier  string
+	}{
+		{"bound exactly at threshold", exact.Bound, TierSurrogate},
+		{"bound just over threshold", math.Nextafter(exact.Bound, 0), TierEngine},
+		{"negative threshold disables the tier", -1, TierEngine},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, c := newTestServer(t, Config{Surrogate: set, SurrogateThreshold: tc.threshold})
+			got, err := c.Predict(context.Background(), PredictRequest{Victim: "web-search", Aggressor: "429.mcf"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Tier != tc.wantTier {
+				t.Errorf("threshold %v: tier = %q, want %q", tc.threshold, got.Tier, tc.wantTier)
+			}
+		})
 	}
 }

@@ -100,6 +100,13 @@ func (q MM1) Degraded(deg float64) MM1 {
 
 // DegradedPercentile evaluates Equation 6 directly:
 // t_p = −ln(1−p) / ((1−Deg)·μ − λ).
+//
+// Saturation is absorbing: any degradation that does not leave a strictly
+// positive degraded drain rate — deg ≥ 1 − λ/μ, but also a NaN or ±Inf
+// degradation from a corrupt profile — returns +Inf, never zero or a
+// negative "latency". (Without the explicit non-finite guard, NaN deg
+// slips past `d <= 0` because NaN comparisons are false, and deg = −Inf
+// yields d = +Inf and a bogus zero latency.)
 func DegradedPercentile(p, mu, lambda, deg float64) float64 {
 	if p <= 0 {
 		return 0
@@ -107,8 +114,11 @@ func DegradedPercentile(p, mu, lambda, deg float64) float64 {
 	if p >= 1 {
 		return math.Inf(1)
 	}
+	if math.IsNaN(deg) || math.IsInf(deg, 0) {
+		return math.Inf(1)
+	}
 	d := (1-deg)*mu - lambda
-	if d <= 0 {
+	if math.IsNaN(d) || d <= 0 {
 		return math.Inf(1) // degradation pushed the queue past saturation
 	}
 	return -math.Log(1-p) / d

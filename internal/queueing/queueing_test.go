@@ -134,6 +134,38 @@ func TestDegradedPercentileSaturation(t *testing.T) {
 	}
 }
 
+// Regression: degradations at or past the saturation boundary — deg = 1.0
+// exactly (μ' = 0) and non-finite values from corrupt profiles — must all
+// return +Inf. Before the explicit guard, NaN leaked through `d <= 0` (NaN
+// comparisons are false) and deg = −Inf produced d = +Inf and a zero
+// "latency".
+func TestDegradedPercentileNonFiniteEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		deg  float64
+	}{
+		{"deg exactly 1.0", 1.0},
+		{"deg just past 1.0", 1.0 + 1e-12},
+		{"NaN degradation", math.NaN()},
+		{"+Inf degradation", math.Inf(1)},
+		{"-Inf degradation", math.Inf(-1)},
+		{"deg at stability boundary", 0.5}, // μ' = 50 == λ
+	}
+	for _, tc := range cases {
+		got := DegradedPercentile(0.9, 100, 50, tc.deg)
+		if !math.IsInf(got, 1) {
+			t.Errorf("%s: DegradedPercentile = %g, want +Inf", tc.name, got)
+		}
+	}
+	// NaN rates must not escape as finite-looking results either.
+	if got := DegradedPercentile(0.9, math.NaN(), 50, 0.1); !math.IsInf(got, 1) {
+		t.Errorf("NaN mu: DegradedPercentile = %g, want +Inf", got)
+	}
+	if got := DegradedPercentile(0.9, 100, math.NaN(), 0.1); !math.IsInf(got, 1) {
+		t.Errorf("NaN lambda: DegradedPercentile = %g, want +Inf", got)
+	}
+}
+
 // Property: percentile latency is monotone in p and in degradation.
 func TestPercentileMonotonicity(t *testing.T) {
 	if err := quick.Check(func(seedMu, seedLam uint8) bool {
