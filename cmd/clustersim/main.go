@@ -68,7 +68,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	durationFlag := fs.Float64("duration", 1, "sim: simulated horizon in time units")
 	churnFlag := fs.Float64("churn", 0.02, "sim: machine churn rate (fraction of fleet per time unit)")
 	arrivalFlag := fs.Float64("arrival", 0, "sim: job arrival rate per time unit (0 = 30 jobs per machine)")
-	policyFlag := fs.String("policy", "smite", "sim: placement policy (smite, oracle or random)")
+	policyFlag := fs.String("policy", "smite", "sim: placement policy (smite, oracle, random, slo or closedloop)")
 	targetFlag := fs.Float64("target", 0.92, "sim: QoS floor placements must respect, in (0,1]")
 	shardsFlag := fs.Int("shards", 0, "sim: scheduling cells to split the fleet into (0 = default)")
 	parFlag := fs.Int("parallelism", 0, "sim: worker goroutines for shard fan-out (0 = GOMAXPROCS); results are identical at any value")
@@ -81,6 +81,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	sloHeadroomFlag := fs.Float64("slo-headroom", 0.1, "sim: admission headroom in [0,1); budgets shrink to budget*(1-headroom) for admission")
 	sloMuFlag := fs.Float64("slo-mu", 1000, "sim: solo per-thread service rate (req/s) for the SLO classes' M/M/1 model")
 	sloLambdaFlag := fs.Float64("slo-lambda", 600, "sim: arrival rate (req/s) for the SLO classes' M/M/1 model")
+	driftAtFlag := fs.Float64("drift-at", 0, "sim: simulated time the measured degradation surface shifts (with -drift-factor)")
+	driftFactorFlag := fs.Float64("drift-factor", 0, "sim: factor the measured degradations scale by at -drift-at (0 = no drift)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -98,6 +100,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			qos:        *qosFlag,
 			sloClasses: *sloClassesFlag, sloHeadroom: *sloHeadroomFlag,
 			sloMu: *sloMuFlag, sloLambda: *sloLambdaFlag,
+			driftAt: *driftAtFlag, driftFactor: *driftFactorFlag,
 		}, w)
 	}
 
@@ -187,12 +190,12 @@ type daemonPredictor struct {
 
 func dpKey(lat, batch string, n int) string { return fmt.Sprintf("%s|%s|%d", lat, batch, n) }
 
-func (d *daemonPredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+func (d *daemonPredictor) Predict(lat, batch string, n int) (cluster.Prediction, error) {
 	deg, ok := d.degs[dpKey(lat, batch, n)]
 	if !ok {
-		return 0, fmt.Errorf("clustersim: daemon served no prediction for %s|%s|%d", lat, batch, n)
+		return cluster.Prediction{}, fmt.Errorf("clustersim: daemon served no prediction for %s|%s|%d", lat, batch, n)
 	}
-	return deg, nil
+	return cluster.Prediction{Deg: deg, Tier: "daemon"}, nil
 }
 
 // scaleOutViaDaemon reruns the scale-out study with the SMiTe policy's

@@ -47,8 +47,11 @@ type simOptions struct {
 	sloMu       float64
 	sloLambda   float64
 
+	driftAt     float64
+	driftFactor float64
+
 	// slo is the parsed -slo-* flag set, filled by validate when the
-	// policy is slo.
+	// policy is slo or closedloop.
 	slo *cluster.SLOSimParams
 }
 
@@ -74,14 +77,20 @@ func (o *simOptions) validate() error {
 		}
 		switch o.policy {
 		case "smite", "oracle", "random":
-		case "slo":
+		case "slo", "closedloop":
 			slo, err := o.sloParams()
 			if err != nil {
 				return err
 			}
 			o.slo = slo
 		default:
-			return &FlagError{Flag: "policy", Value: o.policy, Reason: "want smite, oracle, random or slo"}
+			return &FlagError{Flag: "policy", Value: o.policy, Reason: "want smite, oracle, random, slo or closedloop"}
+		}
+		if o.driftFactor < 0 {
+			return &FlagError{Flag: "drift-factor", Value: fmt.Sprint(o.driftFactor), Reason: "drift factor must be non-negative (0 = no drift)"}
+		}
+		if o.driftFactor > 0 && o.driftAt < 0 {
+			return &FlagError{Flag: "drift-at", Value: fmt.Sprint(o.driftAt), Reason: "drift time must be non-negative"}
 		}
 		if o.qos != "avg" {
 			return &FlagError{Flag: "qos", Value: o.qos, Reason: "the synthetic sim world only defines avg QoS"}
@@ -104,6 +113,8 @@ func (o *simOptions) policyKind() cluster.PolicyKind {
 		return cluster.PolicyRandom
 	case "slo":
 		return cluster.PolicySLO
+	case "closedloop":
+		return cluster.PolicyClosedLoop
 	}
 	return cluster.PolicySMiTe
 }
@@ -216,20 +227,31 @@ func runClusterSim(ctx context.Context, o simOptions, w io.Writer) error {
 	summary := res.Summary()
 	fmt.Fprintf(w, "saturation: %.1f%% of arrivals rejected -> %s\n",
 		summary.Saturation.RejectionFrac*100, summary.Saturation.Signal)
+	if summary.ClosedLoop != nil {
+		fmt.Fprintf(w, "closed loop: %d drift detections, %d re-characterizations, %d migrations (%d failed)\n",
+			res.Detections, res.Recharacterized, res.Migrations, res.MigrationsFailed)
+	}
 
-	// The SLO study ships its own control: the same event streams rerun
-	// under the greedy QoS-floor policy, with violation accounting held
-	// identical, so the summary carries a side-by-side comparison.
-	if cfg.Policy == cluster.PolicySLO {
-		greedy := cfg
-		greedy.Policy = cluster.PolicySMiTe
-		base, err := cluster.RunSim(ctx, greedy, events, o.parallelism)
+	// Comparison policies ship their own control: the same event streams
+	// rerun with violation accounting held identical — the greedy
+	// QoS-floor policy for -policy=slo, the static SLO gate for
+	// -policy=closedloop — so the summary carries a side-by-side.
+	if cfg.Policy == cluster.PolicySLO || cfg.Policy == cluster.PolicyClosedLoop {
+		control := cfg
+		label := "greedy"
+		if cfg.Policy == cluster.PolicyClosedLoop {
+			control.Policy = cluster.PolicySLO
+			label = "static gate"
+		} else {
+			control.Policy = cluster.PolicySMiTe
+		}
+		base, err := cluster.RunSim(ctx, control, events, o.parallelism)
 		if err != nil {
 			return err
 		}
 		summary.Baseline = base.BaselineSummary()
-		fmt.Fprintf(w, "vs greedy (%v): placed %d vs %d, violations %.2f%% vs %.2f%%, mean utilisation %.1f%% vs %.1f%%\n",
-			base.Policy, res.Placed, base.Placed,
+		fmt.Fprintf(w, "vs %s (%v): placed %d vs %d, violations %.2f%% vs %.2f%%, mean utilisation %.1f%% vs %.1f%%\n",
+			label, base.Policy, res.Placed, base.Placed,
 			res.ViolationFrac*100, base.ViolationFrac*100,
 			res.MeanUtilization*100, base.MeanUtilization*100)
 	}
@@ -261,10 +283,10 @@ func (o *simOptions) simConfig() (cluster.SimConfig, error) {
 	if err != nil {
 		return cluster.SimConfig{}, err
 	}
-	pred := &cluster.TieredPredictor{
-		Surrogate: &cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
-		Fallback:  &cluster.TablePredictor{Table: tbl},
-	}
+	pred := cluster.NewTieredPredictor(
+		&cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
+		&cluster.TablePredictor{Table: tbl},
+	)
 	pt, err := cluster.BuildPredTable(context.Background(), tbl, nil, cluster.QoSAvg, pred, o.parallelism)
 	if err != nil {
 		return cluster.SimConfig{}, err
@@ -287,9 +309,20 @@ func (o *simOptions) simConfig() (cluster.SimConfig, error) {
 		Shards:            o.shards,
 		Policy:            o.policyKind(),
 		SLO:               o.slo,
+		Drift:             o.driftSpec(),
 		Target:            o.target,
 		ThreadsPerServer:  simThreads,
 		ContextsPerServer: simContexts,
 		Table:             pt,
 	}, nil
+}
+
+// driftSpec lifts the -drift-* flags into the simulator's injected shift
+// of the measured surface; nil (no -drift-factor) keeps the world
+// stationary.
+func (o *simOptions) driftSpec() *cluster.DriftSpec {
+	if o.driftFactor == 0 {
+		return nil
+	}
+	return &cluster.DriftSpec{At: o.driftAt, Factor: o.driftFactor}
 }

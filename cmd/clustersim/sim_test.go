@@ -227,6 +227,71 @@ func TestSimSLOPolicyCLI(t *testing.T) {
 	}
 }
 
+// TestSimClosedLoopCLI drives -policy=closedloop with injected drift end
+// to end: the report carries the closed-loop activity line and the
+// static-gate comparison, the summary JSON carries both blocks with the
+// loop strictly beating the gate on violations, and the emitted bytes are
+// identical at -parallelism 1 and 8.
+func TestSimClosedLoopCLI(t *testing.T) {
+	dir := t.TempDir()
+	sum1 := filepath.Join(dir, "p1.json")
+	sum8 := filepath.Join(dir, "p8.json")
+	base := []string{
+		"-sim", "-machines", "60", "-duration", "1.5", "-seed", "11",
+		"-policy", "closedloop", "-drift-at", "0.5", "-drift-factor", "3",
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), append(base, "-summary-json", sum1, "-parallelism", "1"), &out); err != nil {
+		t.Fatalf("parallelism 1: %v", err)
+	}
+	for _, want := range []string{"policy ClosedLoop", "closed loop:", "vs static gate (SLO):"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := run(context.Background(), append(base, "-summary-json", sum8, "-parallelism", "8"), &out); err != nil {
+		t.Fatalf("parallelism 8: %v", err)
+	}
+	a, err := os.ReadFile(sum1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(sum8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("closed-loop summary differs across parallelism:\n%s\nvs\n%s", a, b)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(a))
+	dec.DisallowUnknownFields()
+	var s cluster.Summary
+	if err := dec.Decode(&s); err != nil {
+		t.Fatalf("summary JSON does not decode strictly: %v", err)
+	}
+	if s.Policy != "ClosedLoop" {
+		t.Errorf("summary policy %q, want ClosedLoop", s.Policy)
+	}
+	if s.ClosedLoop == nil {
+		t.Fatal("summary carries no closed-loop block")
+	}
+	if s.ClosedLoop.Detections == 0 || s.ClosedLoop.Recharacterized == 0 {
+		t.Errorf("closed loop never fired under 3× drift: %+v", s.ClosedLoop)
+	}
+	if s.Baseline == nil {
+		t.Fatal("closed-loop summary carries no static-gate baseline")
+	}
+	if s.Baseline.Policy != "SLO" {
+		t.Errorf("baseline policy %q, want SLO", s.Baseline.Policy)
+	}
+	if s.SLO.Violations >= s.Baseline.Violations {
+		t.Errorf("closed loop %d violations, static gate %d — loop should win under drift",
+			s.SLO.Violations, s.Baseline.Violations)
+	}
+}
+
 // TestSimWarehouseScaleSLO is the acceptance-scale study: 10k machines
 // under -policy=slo, reporting SLO-violation rate and utilization against
 // the greedy colocator, bit-identical at -parallelism 1 and 8.

@@ -80,15 +80,10 @@ func (t *Table) Complete() error {
 	return nil
 }
 
-// Predictor supplies predicted degradations from outside the table — for
-// example the qosd serving daemon, letting a study's SMiTe policy consult
-// a live service instead of pre-baked predictions. Implementations must
-// be deterministic for a given (lat, batch, n).
-type Predictor interface {
-	// PredictDegradation returns the latency application's predicted
-	// degradation when co-located with n instances of the batch app.
-	PredictDegradation(lat, batch string, n int) (float64, error)
-}
+// The Predictor seam (predictor.go) supplies predicted degradations from
+// outside the table — for example the qosd serving daemon, letting a
+// study's SMiTe policy consult a live service instead of pre-baked
+// predictions.
 
 // QoSKind selects how QoS is defined.
 type QoSKind int
@@ -126,6 +121,12 @@ const (
 	// estimate against per-class budgets (SimConfig.SLO), mirroring
 	// qosd's POST /v1/admit gate inside the discrete-event simulator.
 	PolicySLO
+	// PolicyClosedLoop starts from the PolicySLO gate and closes the loop
+	// (DESIGN.md §14): each shard runs a drift detector over its observed
+	// degradations, re-characterizes confirmed (lat, batch) pairs against
+	// the measured surface, re-scores its admission gate, and migrates the
+	// worst-offending machine's newest instance off the drifted cell.
+	PolicyClosedLoop
 )
 
 // String names the policy.
@@ -139,6 +140,8 @@ func (k PolicyKind) String() string {
 		return "Random"
 	case PolicySLO:
 		return "SLO"
+	case PolicyClosedLoop:
+		return "ClosedLoop"
 	}
 	return fmt.Sprintf("PolicyKind(%d)", int(k))
 }
@@ -259,10 +262,11 @@ func (s *Study) Run(policy PolicyKind, qos QoSKind, target float64) (Result, err
 			if useActual {
 				d = e.Actual
 			} else if s.Predictor != nil {
-				d, err = s.Predictor.PredictDegradation(sv.lat, sv.batch, n)
+				pred, err := s.Predictor.Predict(sv.lat, sv.batch, n)
 				if err != nil {
 					return err
 				}
+				d = pred.Deg
 			}
 			q, err := s.qosOf(qos, sv.lat, d)
 			if err != nil {

@@ -132,6 +132,40 @@ func TestGoldenSLOClusterSim(t *testing.T) {
 	checkGolden(t, "golden_cluster_slo.json", got)
 }
 
+// TestGoldenClosedLoopClusterSim pins the closed loop end to end: the
+// same seeded run under injected drift, with the summary's closed-loop
+// block (detections, re-characterizations, migrations) and the placement
+// log — migrate entries included — hashed into the fixture.
+func TestGoldenClosedLoopClusterSim(t *testing.T) {
+	cfg := goldenConfig(t)
+	cfg.Policy = PolicyClosedLoop
+	cfg.SLO = sloSimParams()
+	cfg.Drift = &DriftSpec{At: cfg.Workload.Horizon / 3, Factor: 3}
+	events, err := GenerateEvents(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer saveFailureTrace(t, cfg, events)
+	res, err := RunSim(context.Background(), cfg, events, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections == 0 {
+		t.Fatal("golden closed-loop run confirmed no drift; fixture would pin a dead loop")
+	}
+	got := goldenRun{
+		Summary: res.Summary(),
+		LogLen:  len(res.Log),
+		LogHash: hashLog(res.Log),
+	}
+	head := 5
+	if len(res.Log) < head {
+		head = len(res.Log)
+	}
+	got.Head = res.Log[:head]
+	checkGolden(t, "golden_cluster_closedloop.json", got)
+}
+
 // TestGoldenDegenerateSim pins the empty-trace edge as a fixture: a world
 // with no machines and no arrivals must reduce to a zeroed summary and an
 // empty placement log, byte for byte.

@@ -2,19 +2,115 @@ package cluster
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/surrogate"
 )
 
-// BoundedPredictor extends the Predictor seam with the prediction's
-// error bound: an upper bound on the answer's deviation from the
-// engine-measured truth, zero when the answer is the measured surface
-// itself. The SLO admission policy inflates predictions by this bound
-// before checking them against tail-latency budgets, so surrogate
-// answers are penalised by exactly their certificate.
+// Prediction tiers, reported in Prediction.Tier. The qosd daemon reports
+// the same strings on its wire responses, so a scheduler can audit which
+// tier answered regardless of whether it consulted the seam in-process or
+// over HTTP.
+const (
+	// TierTable: answered from an engine-measured degradation table — the
+	// authoritative surface, carrying no error bound.
+	TierTable = "table"
+	// TierSurrogate: answered in microseconds from fitted surrogate
+	// curves; the prediction carries the propagated error bound.
+	TierSurrogate = "surrogate"
+	// TierLegacy: answered through a deprecated pre-unification adapter
+	// (AdaptPredictor) whose implementation predates the tier field.
+	TierLegacy = "legacy"
+)
+
+// Prediction is the unified answer of the Predictor seam: the predicted
+// degradation plus everything the old Predictor/BoundedPredictor split
+// forced callers to type-assert for — the error bound (zero on measured
+// answers), the serving tier, and the generation of the predictor state
+// that produced it (non-zero only for hot-swappable predictors, so a
+// closed-loop controller can tell stale answers from refreshed ones).
+type Prediction struct {
+	// Deg is the predicted degradation (0.07 = 7% slower).
+	Deg float64
+	// Bound is an upper bound on the answer's deviation from the
+	// engine-measured truth; zero when the answer is the measured surface
+	// itself. The SLO admission policy inflates predictions by this bound
+	// before checking them against tail-latency budgets.
+	Bound float64
+	// Tier reports which tier produced the answer (Tier* constants).
+	Tier string
+	// Gen is the serving predictor's generation counter at answer time;
+	// zero for predictors without hot-swappable state.
+	Gen uint64
+}
+
+// Predictor supplies predicted degradations from outside a degradation
+// table — the surrogate tier, the qosd serving daemon, or any other
+// prediction source a study or simulator consults. Implementations must
+// be deterministic for a given (lat, batch, n) and safe for concurrent
+// use (BuildPredTable fans cells across workers).
+type Predictor interface {
+	// Predict returns the latency application's predicted degradation —
+	// with its bound, tier and generation — when co-located with n
+	// instances of the batch application.
+	Predict(lat, batch string, n int) (Prediction, error)
+}
+
+// DegradationPredictor is the pre-unification prediction seam.
+//
+// Deprecated: implement Predictor; wrap existing implementations with
+// AdaptPredictor during migration. See MIGRATION.md.
+type DegradationPredictor interface {
+	// PredictDegradation returns the latency application's predicted
+	// degradation when co-located with n instances of the batch app.
+	PredictDegradation(lat, batch string, n int) (float64, error)
+}
+
+// BoundedPredictor is the pre-unification extension carrying the error
+// bound next to the degradation.
+//
+// Deprecated: implement Predictor, whose Prediction carries the bound as
+// a first-class field. See MIGRATION.md.
 type BoundedPredictor interface {
-	Predictor
+	DegradationPredictor
 	PredictWithBound(lat, batch string, n int) (deg, bound float64, err error)
+}
+
+// AdaptPredictor lifts a deprecated DegradationPredictor (optionally a
+// BoundedPredictor) onto the unified Predictor seam. Implementations that
+// already satisfy Predictor are returned unchanged; nil maps to nil.
+//
+// Deprecated: migrate the implementation to Predictor; this adapter is
+// the one-release bridge and carries the only sanctioned BoundedPredictor
+// type assertion.
+func AdaptPredictor(p DegradationPredictor) Predictor {
+	if p == nil {
+		return nil
+	}
+	if up, ok := p.(Predictor); ok {
+		return up
+	}
+	return legacyPredictor{p}
+}
+
+// legacyPredictor bridges the deprecated seam onto Predict.
+type legacyPredictor struct {
+	p DegradationPredictor
+}
+
+func (l legacyPredictor) Predict(lat, batch string, n int) (Prediction, error) {
+	if b, ok := l.p.(BoundedPredictor); ok {
+		deg, bound, err := b.PredictWithBound(lat, batch, n)
+		if err != nil {
+			return Prediction{}, err
+		}
+		return Prediction{Deg: deg, Bound: bound, Tier: TierLegacy}, nil
+	}
+	deg, err := l.p.PredictDegradation(lat, batch, n)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{Deg: deg, Tier: TierLegacy}, nil
 }
 
 // TablePredictor serves the Predictor seam from a degradation Table's
@@ -25,20 +121,30 @@ type TablePredictor struct {
 	Table *Table
 }
 
-// PredictDegradation implements Predictor.
-func (p *TablePredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+// Predict implements Predictor; table answers are the measured surface,
+// so the bound is zero.
+func (p *TablePredictor) Predict(lat, batch string, n int) (Prediction, error) {
 	e, err := p.Table.Get(lat, batch, n)
 	if err != nil {
-		return 0, err
+		return Prediction{}, err
 	}
-	return e.Predicted, nil
+	return Prediction{Deg: e.Predicted, Tier: TierTable}, nil
 }
 
-// PredictWithBound implements BoundedPredictor; table answers are the
-// measured surface, so the bound is zero.
+// PredictDegradation implements the deprecated seam.
+//
+// Deprecated: use Predict.
+func (p *TablePredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+	pred, err := p.Predict(lat, batch, n)
+	return pred.Deg, err
+}
+
+// PredictWithBound implements the deprecated seam.
+//
+// Deprecated: use Predict.
 func (p *TablePredictor) PredictWithBound(lat, batch string, n int) (float64, float64, error) {
-	deg, err := p.PredictDegradation(lat, batch, n)
-	return deg, 0, err
+	pred, err := p.Predict(lat, batch, n)
+	return pred.Deg, pred.Bound, err
 }
 
 // SurrogatePredictor adapts a fitted surrogate.Set with an embedded
@@ -91,17 +197,37 @@ func (p *SurrogatePredictor) predict(lat, batch string, n int) (surrogate.Predic
 	return pred, nil
 }
 
-// PredictDegradation implements Predictor.
-func (p *SurrogatePredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+// Predict implements Predictor with the propagated surrogate certificate.
+func (p *SurrogatePredictor) Predict(lat, batch string, n int) (Prediction, error) {
 	pred, err := p.predict(lat, batch, n)
-	return pred.Degradation, err
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{Deg: pred.Degradation, Bound: pred.Bound, Tier: TierSurrogate}, nil
 }
 
-// PredictWithBound implements BoundedPredictor with the propagated
-// surrogate certificate.
+// PredictDegradation implements the deprecated seam.
+//
+// Deprecated: use Predict.
+func (p *SurrogatePredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+	pred, err := p.Predict(lat, batch, n)
+	return pred.Deg, err
+}
+
+// PredictWithBound implements the deprecated seam.
+//
+// Deprecated: use Predict.
 func (p *SurrogatePredictor) PredictWithBound(lat, batch string, n int) (float64, float64, error) {
-	pred, err := p.predict(lat, batch, n)
-	return pred.Degradation, pred.Bound, err
+	pred, err := p.Predict(lat, batch, n)
+	return pred.Deg, pred.Bound, err
+}
+
+// tierState is the hot-swappable half of a TieredPredictor: the surrogate
+// tier plus the generation that produced it. Readers load it once per
+// Predict call, so a concurrent Swap never tears an in-flight answer.
+type tierState struct {
+	sur *SurrogatePredictor
+	gen uint64
 }
 
 // TieredPredictor is the qosd serving policy at the Predictor seam:
@@ -110,47 +236,153 @@ func (p *SurrogatePredictor) PredictWithBound(lat, batch string, n int) (float64
 // cluster simulator consults the seam only once per distinct
 // (lat, batch, n) cell — BuildPredTable memoizes the surface — so even
 // the fallback path costs a handful of calls per run.
+//
+// The surrogate tier is hot-swappable: a closed-loop controller that
+// re-characterizes drifted applications installs the refreshed set with
+// Swap/SwapModels, which bumps the generation counter stamped on every
+// answer — in-flight predictions keep the set they started with, and
+// consumers can tell pre- from post-refresh answers by Prediction.Gen.
 type TieredPredictor struct {
-	Surrogate *SurrogatePredictor
 	// Threshold is the largest surrogate error bound served before
 	// falling back; zero means DefaultTierThreshold.
 	Threshold float64
 	// Fallback answers when the surrogate bound is too loose or the
 	// surrogate has no model for an application.
 	Fallback Predictor
+
+	state atomic.Pointer[tierState]
 }
 
 // DefaultTierThreshold matches qosd.DefaultSurrogateThreshold: bounds
 // above five degradation points fall back to measured predictions.
 const DefaultTierThreshold = 0.05
 
-// PredictDegradation implements Predictor.
-func (t *TieredPredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
-	deg, _, err := t.PredictWithBound(lat, batch, n)
-	return deg, err
+// NewTieredPredictor builds the two-tier predictor: sur answers when its
+// bound clears the threshold (DefaultTierThreshold; adjust via the
+// Threshold field before first use), fallback otherwise. The initial
+// surrogate state is generation 1.
+func NewTieredPredictor(sur *SurrogatePredictor, fallback Predictor) *TieredPredictor {
+	t := &TieredPredictor{Fallback: fallback}
+	t.state.Store(&tierState{sur: sur, gen: 1})
+	return t
 }
 
-// PredictWithBound implements BoundedPredictor: surrogate answers carry
-// their certificate, fallback answers the fallback's own bound (zero for
-// the measured table).
-func (t *TieredPredictor) PredictWithBound(lat, batch string, n int) (float64, float64, error) {
+// Generation returns the current surrogate-tier generation: 1 at
+// construction, bumped by every Swap/SwapModels, 0 for a zero-value
+// TieredPredictor that never had a surrogate tier.
+func (t *TieredPredictor) Generation() uint64 {
+	if st := t.state.Load(); st != nil {
+		return st.gen
+	}
+	return 0
+}
+
+// Swap atomically replaces the whole surrogate set behind the tier and
+// returns the bumped generation. The capacity carries over from the
+// current state (or is taken as-is when the tier had none); a nil set
+// disables the surrogate tier until the next swap.
+func (t *TieredPredictor) Swap(set *surrogate.Set) uint64 {
+	for {
+		old := t.state.Load()
+		next := &tierState{gen: 1}
+		if old != nil {
+			next.gen = old.gen + 1
+		}
+		if set != nil {
+			capacity := 0
+			if old != nil && old.sur != nil {
+				capacity = old.sur.Capacity
+			}
+			next.sur = &SurrogatePredictor{Set: set, Capacity: capacity}
+		}
+		if t.state.CompareAndSwap(old, next) {
+			return next.gen
+		}
+	}
+}
+
+// SwapModels installs refreshed surrogate models for just the given
+// applications — the targeted re-characterization path: the current set
+// is copied, the flagged apps' models replaced, and the copy swapped in
+// under a bumped generation. Apps absent from the current set are added.
+// Returns the new generation, or the unchanged current generation when
+// models is empty or the tier has no surrogate set to refresh.
+func (t *TieredPredictor) SwapModels(models map[string]*surrogate.Model) uint64 {
+	if len(models) == 0 {
+		return t.Generation()
+	}
+	for {
+		old := t.state.Load()
+		if old == nil || old.sur == nil || old.sur.Set == nil {
+			return t.Generation()
+		}
+		cur := old.sur.Set
+		set := &surrogate.Set{
+			Machine:   cur.Machine,
+			Placement: cur.Placement,
+			Eq3:       cur.Eq3,
+			Models:    make(map[string]*surrogate.Model, len(cur.Models)+len(models)),
+		}
+		for app, m := range cur.Models {
+			set.Models[app] = m
+		}
+		for app, m := range models {
+			set.Models[app] = m
+		}
+		next := &tierState{
+			sur: &SurrogatePredictor{Set: set, Capacity: old.sur.Capacity},
+			gen: old.gen + 1,
+		}
+		if t.state.CompareAndSwap(old, next) {
+			return next.gen
+		}
+	}
+}
+
+// Predict implements Predictor: surrogate answers carry their certificate
+// and tier, fallback answers keep the fallback's own bound and tier (zero
+// bound for the measured table). Every answer is stamped with the tier's
+// current generation.
+func (t *TieredPredictor) Predict(lat, batch string, n int) (Prediction, error) {
 	thr := t.Threshold
 	if thr <= 0 {
 		thr = DefaultTierThreshold
 	}
-	if t.Surrogate != nil {
-		if pred, err := t.Surrogate.predict(lat, batch, n); err == nil && pred.Bound <= thr {
-			return pred.Degradation, pred.Bound, nil
+	st := t.state.Load()
+	var gen uint64
+	if st != nil {
+		gen = st.gen
+	}
+	if st != nil && st.sur != nil {
+		if pred, err := st.sur.predict(lat, batch, n); err == nil && pred.Bound <= thr {
+			return Prediction{Deg: pred.Degradation, Bound: pred.Bound, Tier: TierSurrogate, Gen: gen}, nil
 		}
 	}
 	if t.Fallback == nil {
-		return 0, 0, fmt.Errorf("cluster: tiered predictor has no fallback for %s|%s|%d", lat, batch, n)
+		return Prediction{}, fmt.Errorf("cluster: tiered predictor has no fallback for %s|%s|%d", lat, batch, n)
 	}
-	if b, ok := t.Fallback.(BoundedPredictor); ok {
-		return b.PredictWithBound(lat, batch, n)
+	pred, err := t.Fallback.Predict(lat, batch, n)
+	if err != nil {
+		return Prediction{}, err
 	}
-	deg, err := t.Fallback.PredictDegradation(lat, batch, n)
-	return deg, 0, err
+	pred.Gen = gen
+	return pred, nil
+}
+
+// PredictDegradation implements the deprecated seam.
+//
+// Deprecated: use Predict.
+func (t *TieredPredictor) PredictDegradation(lat, batch string, n int) (float64, error) {
+	pred, err := t.Predict(lat, batch, n)
+	return pred.Deg, err
+}
+
+// PredictWithBound implements the deprecated seam.
+//
+// Deprecated: use Predict.
+func (t *TieredPredictor) PredictWithBound(lat, batch string, n int) (float64, float64, error) {
+	pred, err := t.Predict(lat, batch, n)
+	return pred.Deg, pred.Bound, err
 }
 
 func abs(v float64) float64 {

@@ -114,7 +114,6 @@ func BuildPredTable(ctx context.Context, tbl *Table, services map[string]service
 	out.PredDeg = make([]float64, cells)
 	out.ActualDeg = make([]float64, cells)
 	out.PredBound = make([]float64, cells)
-	bounded, _ := pred.(BoundedPredictor)
 	err := sched.Map(ctx, cells, workers, func(ctx context.Context, i int) error {
 		n := i%out.MaxInstances + 1
 		b := (i / out.MaxInstances) % len(out.BatchApps)
@@ -125,15 +124,12 @@ func BuildPredTable(ctx context.Context, tbl *Table, services map[string]service
 			return err
 		}
 		dp, bound := e.Predicted, 0.0
-		switch {
-		case bounded != nil:
-			if dp, bound, err = bounded.PredictWithBound(lat, batch, n); err != nil {
+		if pred != nil {
+			p, err := pred.Predict(lat, batch, n)
+			if err != nil {
 				return err
 			}
-		case pred != nil:
-			if dp, err = pred.PredictDegradation(lat, batch, n); err != nil {
-				return err
-			}
+			dp, bound = p.Deg, p.Bound
 		}
 		out.PredDeg[i], out.ActualDeg[i], out.PredBound[i] = dp, e.Actual, bound
 		if out.PredQoS[i], err = qosValue(qos, services, lat, dp); err != nil {

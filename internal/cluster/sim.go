@@ -62,11 +62,17 @@ type SimConfig struct {
 	Table *PredTable `json:"table"`
 	// SLO carries the per-class tail-latency budgets and queue rates.
 	// Required (with a table holding the degradation surface) when
-	// Policy is PolicySLO; optional otherwise, in which case it only
-	// switches violation accounting from the QoS floor to the class
-	// budgets so QoS-floor policies can be compared against the SLO gate
-	// on identical terms.
+	// Policy is PolicySLO or PolicyClosedLoop; optional otherwise, in
+	// which case it only switches violation accounting from the QoS floor
+	// to the class budgets so QoS-floor policies can be compared against
+	// the SLO gate on identical terms.
 	SLO *SLOSimParams `json:"slo,omitempty"`
+	// Drift, when set, shifts the measured degradation surface mid-run
+	// (closedloop.go). Violation accounting follows the shifted surface
+	// for every policy, so static-vs-closed-loop comparisons are
+	// apples-to-apples. Schema addition: traces without it replay
+	// unchanged (trace format version 1).
+	Drift *DriftSpec `json:"drift,omitempty"`
 }
 
 // withDefaults normalises zero-valued knobs.
@@ -87,11 +93,16 @@ func (c SimConfig) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("cluster: sim shards must be non-negative, got %d", c.Shards)
 	}
-	if c.Policy != PolicySMiTe && c.Policy != PolicyOracle && c.Policy != PolicyRandom && c.Policy != PolicySLO {
+	switch c.Policy {
+	case PolicySMiTe, PolicyOracle, PolicyRandom, PolicySLO, PolicyClosedLoop:
+	default:
 		return fmt.Errorf("cluster: unknown policy %d", int(c.Policy))
 	}
-	if c.Policy == PolicySLO && c.SLO == nil {
-		return fmt.Errorf("cluster: policy SLO needs SLO parameters")
+	if (c.Policy == PolicySLO || c.Policy == PolicyClosedLoop) && c.SLO == nil {
+		return fmt.Errorf("cluster: policy %s needs SLO parameters", c.Policy)
+	}
+	if err := c.Drift.Validate(c.Workload.Batches); err != nil {
+		return err
 	}
 	if c.SLO != nil {
 		if err := c.SLO.Validate(); err != nil {
@@ -153,7 +164,17 @@ type Placement struct {
 	Lat     int16   `json:"l"` // latency app of the machine; −1 = rejected
 	Batch   int16   `json:"b"`
 	N       int16   `json:"n"` // resident instances after placement; 0 = rejected
+	// Kind types non-admission decisions (PlacementMigrate); empty for
+	// ordinary placements and rejections, so pre-closed-loop logs decode
+	// and hash identically.
+	Kind string `json:"k,omitempty"`
+	// From is the machine a migrated instance left (Kind=PlacementMigrate).
+	From int64 `json:"f,omitempty"`
 }
+
+// PlacementMigrate marks a closed-loop migration decision in the log:
+// Machine/Lat/N describe the receiving machine, From the drifted one.
+const PlacementMigrate = "migrate"
 
 // SimResult aggregates one discrete-event run.
 type SimResult struct {
@@ -180,9 +201,18 @@ type SimResult struct {
 	// Violations counts placements that actually missed their objective
 	// at the resulting occupancy — the measured QoS under the target for
 	// QoS-floor runs, the measured Eq. 6 tail over the class budget when
-	// SLO parameters are set; ViolationFrac normalises by Placed.
+	// SLO parameters are set (the post-drift surface once SimConfig.Drift
+	// lands); ViolationFrac normalises by Placed.
 	Violations    int
 	ViolationFrac float64
+
+	// Closed-loop activity (PolicyClosedLoop only): confirmed drift
+	// detections, (lat, batch)-pair re-characterizations, and attempted
+	// instance migrations.
+	Detections       int
+	Recharacterized  int
+	Migrations       int
+	MigrationsFailed int
 
 	// SLOParams echoes the run's (normalised) SLO parameters, nil for
 	// QoS-floor runs; Summary reads its saturation thresholds.
@@ -215,9 +245,15 @@ func RunSim(ctx context.Context, cfg SimConfig, shards [][]clworkload.Event, wor
 			return SimResult{}, err
 		}
 	}
+	// Like the gate, the post-drift measured surface is a pure function of
+	// the table and the spec; precompute it once, read-only.
+	var dw *driftWorld
+	if cfg.Drift != nil {
+		dw = buildDriftWorld(cfg.Table, cfg.SLO, cfg.Drift)
+	}
 	results := make([]shardResult, cfg.Shards)
 	err := sched.Map(ctx, cfg.Shards, workers, func(ctx context.Context, i int) error {
-		r, err := runShard(ctx, &cfg, gate, i, shards[i])
+		r, err := runShard(ctx, &cfg, gate, dw, i, shards[i])
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -232,15 +268,17 @@ func RunSim(ctx context.Context, cfg SimConfig, shards [][]clworkload.Event, wor
 
 // shardResult is one cell's contribution before the deterministic merge.
 type shardResult struct {
-	events                     int
-	arrived, placed, rejected  int
-	departed, evicted          int
-	machinesStart, machinesEnd int
-	ups, downs                 int
-	violations                 int
-	busyInt, ctxInt, baseInt   float64 // utilisation integrals
-	peak                       float64
-	log                        []Placement
+	events                       int
+	arrived, placed, rejected    int
+	departed, evicted            int
+	machinesStart, machinesEnd   int
+	ups, downs                   int
+	violations                   int
+	detections, recharacterized  int
+	migrations, migrationsFailed int
+	busyInt, ctxInt, baseInt     float64 // utilisation integrals
+	peak                         float64
+	log                          []Placement
 }
 
 func mergeShards(cfg SimConfig, rs []shardResult) SimResult {
@@ -258,6 +296,10 @@ func mergeShards(cfg SimConfig, rs []shardResult) SimResult {
 		out.MachineUps += r.ups
 		out.MachineDowns += r.downs
 		out.Violations += r.violations
+		out.Detections += r.detections
+		out.Recharacterized += r.recharacterized
+		out.Migrations += r.migrations
+		out.MigrationsFailed += r.migrationsFailed
 		if r.peak > out.PeakUtilization {
 			out.PeakUtilization = r.peak
 		}
@@ -308,7 +350,9 @@ type simMachine struct {
 type shardSim struct {
 	cfg   *SimConfig
 	t     *PredTable
-	gate  *sloGate // non-nil when cfg.SLO is set; read-only
+	gate  *sloGate    // non-nil when cfg.SLO is set; read-only
+	dw    *driftWorld // non-nil when cfg.Drift is set; read-only
+	cl    *closedLoop // non-nil for PolicyClosedLoop; shard-local
 	shard int
 
 	machines []simMachine
@@ -418,19 +462,35 @@ func (s *shardSim) place(local int32, b int, at, duration float64) {
 	s.res.placed++
 	// Violation accounting: against the class tail-latency budget when
 	// SLO parameters are set (for every policy, so greedy-vs-SLO studies
-	// count violations identically), against the QoS floor otherwise.
+	// count violations identically), against the QoS floor otherwise —
+	// reading the post-drift measured surface once the drift has landed,
+	// again for every policy.
 	cell := s.t.Cell(int(m.lat), b, int(m.n))
+	drifted := s.dw != nil && at >= s.dw.at
 	if s.gate != nil {
-		if s.gate.violate[cell] {
+		violate := s.gate.violate
+		if drifted {
+			violate = s.dw.violate
+		}
+		if violate[cell] {
 			s.res.violations++
 		}
-	} else if s.t.ActualQoS[cell] < s.cfg.Target {
-		s.res.violations++
+	} else {
+		qos := s.t.ActualQoS[cell]
+		if drifted {
+			qos = s.dw.actualQoS[cell]
+		}
+		if qos < s.cfg.Target {
+			s.res.violations++
+		}
 	}
 	s.res.log = append(s.res.log, Placement{
 		At: at, Shard: int32(s.shard), Seq: uint32(len(s.res.log)),
 		Machine: s.globalID(local), Lat: m.lat, Batch: int16(b), N: m.n,
 	})
+	if s.cl != nil {
+		s.observeClosedLoop(int(m.lat), b, cell, at)
+	}
 }
 
 // depart completes the job behind a popped departure event.
@@ -481,10 +541,16 @@ func (s *shardSim) admit(b int) int32 {
 	// the target; the SLO gate packs by predicted tail-latency slack
 	// under the effective budget.
 	var score func(cell int) (bool, float64)
-	if s.cfg.Policy == PolicySLO {
+	switch {
+	case s.cfg.Policy == PolicyClosedLoop:
+		// Same gate shape as PolicySLO, but over the shard's re-scored
+		// working copy, which re-characterization rewrites mid-run.
+		cl := s.cl
+		score = func(cell int) (bool, float64) { return cl.admit[cell], cl.slack[cell] }
+	case s.cfg.Policy == PolicySLO:
 		g := s.gate
 		score = func(cell int) (bool, float64) { return g.admit[cell], g.slack[cell] }
-	} else {
+	default:
 		qos := s.t.PredQoS
 		if s.cfg.Policy == PolicyOracle {
 			qos = s.t.ActualQoS
@@ -526,14 +592,17 @@ func (s *shardSim) admit(b int) int32 {
 // the per-shard event loop.
 const ctxCheckInterval = 1 << 16
 
-func runShard(ctx context.Context, cfg *SimConfig, gate *sloGate, shard int, exo []clworkload.Event) (shardResult, error) {
+func runShard(ctx context.Context, cfg *SimConfig, gate *sloGate, dw *driftWorld, shard int, exo []clworkload.Event) (shardResult, error) {
 	nLat, nBatch := cfg.Workload.Lats, cfg.Workload.Batches
 	s := &shardSim{
-		cfg: cfg, t: cfg.Table, gate: gate, shard: shard,
+		cfg: cfg, t: cfg.Table, gate: gate, dw: dw, shard: shard,
 		nBatch: nBatch, maxInst: cfg.Table.MaxInstances,
 		events: newIheap(),
 		owner:  make(map[int64]int32),
 		rng:    xrand.New(cfg.Workload.Seed ^ 0x51A1 ^ (uint64(shard)+1)*0xBF58476D1CE4E5B9),
+	}
+	if cfg.Policy == PolicyClosedLoop {
+		s.cl = newClosedLoop(cfg.Table, gate, cfg.SLO)
 	}
 	s.buckets = make([]*iheap, nLat*(nBatch+1)*(s.maxInst+1))
 	for i := range s.buckets {

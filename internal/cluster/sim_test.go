@@ -23,10 +23,10 @@ func synthSimConfig(tb testing.TB, machines int, horizon float64, seed uint64) S
 	if err != nil {
 		tb.Fatal(err)
 	}
-	pred := &TieredPredictor{
-		Surrogate: &SurrogatePredictor{Set: set, Capacity: maxInst},
-		Fallback:  &TablePredictor{Table: tbl},
-	}
+	pred := NewTieredPredictor(
+		&SurrogatePredictor{Set: set, Capacity: maxInst},
+		&TablePredictor{Table: tbl},
+	)
 	pt, err := BuildPredTable(context.Background(), tbl, nil, QoSAvg, pred, 1)
 	if err != nil {
 		tb.Fatal(err)

@@ -46,12 +46,25 @@ type Summary struct {
 	// live saturation analyzer uses (schema addition, version unchanged).
 	Saturation SaturationSummary `json:"saturation"`
 
-	// Baseline, when present, is the greedy-policy comparison run
-	// `clustersim -sim -policy=slo` attaches: the same event streams
-	// re-simulated under PolicySMiTe so SLO-violation rate and
-	// utilization can be compared side by side (schema addition, version
-	// unchanged).
+	// Baseline, when present, is the comparison run clustersim attaches:
+	// the same event streams re-simulated under PolicySMiTe for
+	// `-policy=slo`, or under the static PolicySLO gate for
+	// `-policy=closedloop`, so violation rate and utilization can be
+	// compared side by side (schema addition, version unchanged).
 	Baseline *BaselineSummary `json:"baseline,omitempty"`
+
+	// ClosedLoop, present for PolicyClosedLoop runs, counts the loop's
+	// activity: confirmed drift detections, pair re-characterizations and
+	// instance migrations (schema addition, version unchanged).
+	ClosedLoop *ClosedLoopSummary `json:"closed_loop,omitempty"`
+}
+
+// ClosedLoopSummary is the closed-loop controller's activity aggregate.
+type ClosedLoopSummary struct {
+	Detections       int `json:"detections"`
+	Recharacterized  int `json:"recharacterized"`
+	Migrations       int `json:"migrations"`
+	MigrationsFailed int `json:"migrations_failed"`
 }
 
 // SaturationSummary mirrors qosd.SaturationReport for a whole simulated
@@ -111,6 +124,14 @@ func (r SimResult) Summary() Summary {
 	s.Saturation.Signal = qosd.SaturationSignal(s.Saturation.RejectionFrac, up, down)
 	s.Saturation.ScaleUpThreshold = up
 	s.Saturation.ScaleDownThreshold = down
+	if r.Policy == PolicyClosedLoop {
+		s.ClosedLoop = &ClosedLoopSummary{
+			Detections:       r.Detections,
+			Recharacterized:  r.Recharacterized,
+			Migrations:       r.Migrations,
+			MigrationsFailed: r.MigrationsFailed,
+		}
+	}
 	return s
 }
 

@@ -66,11 +66,11 @@ func SyntheticWorld(nLat, nBatch, maxInstances int, seed uint64) (*surrogate.Set
 	for _, lat := range lats {
 		for _, b := range batches {
 			for n := 1; n <= maxInstances; n++ {
-				base, err := sp.PredictDegradation(lat, b, n)
+				base, err := sp.Predict(lat, b, n)
 				if err != nil {
 					return nil, nil, err
 				}
-				actual := clamp01(base + 0.01*rng.Norm())
+				actual := clamp01(base.Deg + 0.01*rng.Norm())
 				predicted := clamp01(actual + 0.005*rng.Norm())
 				tbl.Set(lat, b, n, Entry{Actual: actual, Predicted: predicted})
 			}

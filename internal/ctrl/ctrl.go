@@ -1,0 +1,196 @@
+// Package ctrl closes the loop the paper leaves open: SMiTe's pipeline is
+// offline — characterize, fit, place — but under drifting workloads the
+// fitted prediction surface goes stale and placements silently blow their
+// SLOs. This package turns the static predictor into an online system
+// (ROADMAP item 5, DESIGN.md §14) out of three pieces:
+//
+//   - a drift Detector: a per-cell windowed CUSUM test comparing observed
+//     degradation (internal/obs/timeline samples on live co-locations, or
+//     the measured surface of the cluster simulator) against the tiered
+//     prediction ± its surrogate error bound, so only error *beyond the
+//     certificate*, sustained over several samples, triggers;
+//   - a re-characterization Source: flagged applications are re-swept
+//     either in-process (profile.SweepGrid batching, FitWithStore
+//     warm starts — unchanged apps load from the content-addressed store,
+//     drifted apps re-measure) or through a live qosd daemon's parallel
+//     POST /v1/characterize path;
+//   - a hot-swap actuator: refreshed models are installed behind the
+//     cluster.TieredPredictor with SwapModels, bumping its generation
+//     counter so in-flight predictions stay consistent and consumers can
+//     tell pre- from post-refresh answers by Prediction.Gen.
+//
+// The migration actuator lives in internal/cluster (PolicyClosedLoop):
+// the discrete-event simulator embeds a Detector per scheduling cell,
+// re-scores a drift-confirmed machine's co-locations through the
+// refreshed surface and migrates the worst offender — logged as typed
+// trace events so replays stay bit-identical at any parallelism.
+package ctrl
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/cluster"
+	"repro/internal/obs/timeline"
+	"repro/internal/surrogate"
+)
+
+// Config parameterises a Controller.
+type Config struct {
+	// Detector tunes the drift test (zero value = defaults).
+	Detector DetectorConfig
+	// Source performs re-characterization of flagged apps. Required.
+	Source Source
+	// Tiered, when non-nil, receives refreshed models via SwapModels on
+	// every successful Step.
+	Tiered *cluster.TieredPredictor
+}
+
+// Stats counts a controller's lifetime activity.
+type Stats struct {
+	DetectorStats
+	// Recharacterized counts apps refreshed through the source; Swaps
+	// counts generation bumps on the tiered predictor.
+	Recharacterized, Swaps int
+}
+
+// StepResult reports one Step's actions.
+type StepResult struct {
+	// Apps are the re-characterized applications (sorted); empty when no
+	// drift was pending.
+	Apps []string
+	// Gen is the tiered predictor's generation after the swap (0 when no
+	// tiered predictor is attached or nothing was swapped).
+	Gen uint64
+}
+
+// Controller wires detector, source and predictor into the closed loop.
+// It is safe for concurrent use: observations can stream in from live
+// co-locations while a Step re-characterizes in the background (the
+// engine sweep runs outside the lock; only flag bookkeeping and the
+// atomic swap are serialised).
+type Controller struct {
+	cfg Config
+
+	mu      sync.Mutex
+	det     *Detector
+	flagged map[string][]int // app -> cells awaiting re-characterization
+	stats   Stats
+}
+
+// New builds a controller. Source is required; Tiered is optional (a
+// detector-only controller still flags and resets, useful in tests and
+// in the simulator where the actuator is shard-local).
+func New(cfg Config) *Controller {
+	return &Controller{
+		cfg:     cfg,
+		det:     NewDetector(cfg.Detector),
+		flagged: make(map[string][]int),
+	}
+}
+
+// Observe feeds one observed-degradation sample for app's cell against
+// the prediction that placed it, and reports whether this sample
+// confirmed drift (flagging the app for the next Step).
+func (c *Controller) Observe(app string, cell int, observed float64, pred cluster.Prediction) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.det.Observe(cell, observed, pred.Deg, pred.Bound) {
+		return false
+	}
+	c.flagged[app] = append(c.flagged[app], cell)
+	return true
+}
+
+// ObserveTimeline derives the observed degradation from live timeline
+// samples — 1 − IPC/soloIPC over the windows' aggregated counter deltas —
+// and feeds Observe. Samples with no retired work (or a non-positive
+// soloIPC) observe nothing and leave the detector untouched.
+func (c *Controller) ObserveTimeline(app string, cell int, samples []timeline.Sample, soloIPC float64, pred cluster.Prediction) bool {
+	obs, ok := DegradationFromSamples(samples, soloIPC)
+	if !ok {
+		return false
+	}
+	return c.Observe(app, cell, obs, pred)
+}
+
+// Pending returns the apps currently flagged for re-characterization, in
+// sorted order.
+func (c *Controller) Pending() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return sortedApps(c.flagged)
+}
+
+// Stats returns the lifetime counters.
+func (c *Controller) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.DetectorStats = c.det.Stats()
+	return s
+}
+
+// Step drains the flagged set: re-characterize every flagged app through
+// the source, hot-swap the refreshed models behind the tiered predictor
+// (one generation bump for the whole batch), and reset the detector
+// state of the affected cells so detection restarts against the
+// refreshed predictions. A failed re-characterization leaves flags and
+// detector state untouched, so the next Step retries.
+func (c *Controller) Step(ctx context.Context) (StepResult, error) {
+	c.mu.Lock()
+	apps := sortedApps(c.flagged)
+	c.mu.Unlock()
+	if len(apps) == 0 {
+		return StepResult{}, nil
+	}
+
+	// The sweep is minutes of engine time; run it outside the lock so
+	// observations keep streaming while it measures.
+	models, err := c.cfg.Source.Recharacterize(ctx, apps)
+	if err != nil {
+		return StepResult{}, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res := StepResult{Apps: apps}
+	if c.cfg.Tiered != nil {
+		swapped := make(map[string]*surrogate.Model, len(apps))
+		for _, app := range apps {
+			if m := models[app]; m != nil {
+				swapped[app] = m
+			}
+		}
+		res.Gen = c.cfg.Tiered.SwapModels(swapped)
+		c.stats.Swaps++
+	}
+	for _, app := range apps {
+		for _, cell := range c.flagged[app] {
+			c.det.Reset(cell)
+		}
+		delete(c.flagged, app)
+		c.stats.Recharacterized++
+	}
+	return res, nil
+}
+
+// DegradationFromSamples aggregates timeline counter deltas into one
+// observed degradation: 1 − IPC/soloIPC over the samples' total
+// instructions and cycles. The second return is false when nothing is
+// observable (no samples, zero cycles, or non-positive soloIPC).
+func DegradationFromSamples(samples []timeline.Sample, soloIPC float64) (float64, bool) {
+	if soloIPC <= 0 {
+		return 0, false
+	}
+	var instr, cycles uint64
+	for _, s := range samples {
+		instr += s.Delta.Instructions
+		cycles += s.Delta.Cycles
+	}
+	if cycles == 0 {
+		return 0, false
+	}
+	ipc := float64(instr) / float64(cycles)
+	return 1 - ipc/soloIPC, true
+}

@@ -1,0 +1,341 @@
+package ctrl
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs/timeline"
+	"repro/internal/profile"
+	"repro/internal/qosd"
+	"repro/internal/sim/pmu"
+	"repro/internal/surrogate"
+)
+
+// fakeSource records the apps it was asked to refresh and hands back
+// canned models (or a canned error).
+type fakeSource struct {
+	mu     sync.Mutex
+	calls  [][]string
+	models map[string]*surrogate.Model
+	err    error
+}
+
+func (f *fakeSource) Recharacterize(_ context.Context, apps []string) (map[string]*surrogate.Model, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = append(f.calls, append([]string(nil), apps...))
+	if f.err != nil {
+		return nil, f.err
+	}
+	out := make(map[string]*surrogate.Model, len(apps))
+	for _, app := range apps {
+		out[app] = f.models[app]
+	}
+	return out, nil
+}
+
+// driftController builds a controller over a synthetic world's tiered
+// predictor, with a fake source serving refreshed models for every app.
+func driftController(t *testing.T, src *fakeSource) (*Controller, *cluster.TieredPredictor) {
+	t.Helper()
+	const nLat, nBatch, maxInst = 2, 2, 4
+	set, tbl, err := cluster.SyntheticWorld(nLat, nBatch, maxInst, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := cluster.NewTieredPredictor(
+		&cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
+		&cluster.TablePredictor{Table: tbl},
+	)
+	if src.models == nil {
+		src.models = make(map[string]*surrogate.Model)
+		for app, m := range set.Models {
+			refreshed := *m
+			src.models[app] = &refreshed
+		}
+	}
+	return New(Config{
+		Detector: DetectorConfig{MinSamples: 2, Threshold: 0.1},
+		Source:   src,
+		Tiered:   tiered,
+	}), tiered
+}
+
+// confirmDrift streams out-of-bound samples until the controller flags
+// the app.
+func confirmDrift(t *testing.T, c *Controller, app string, cell int) {
+	t.Helper()
+	pred := cluster.Prediction{Deg: 0.1, Bound: 0.01, Tier: cluster.TierSurrogate}
+	for i := 0; i < 10; i++ {
+		if c.Observe(app, cell, 0.5, pred) {
+			return
+		}
+	}
+	t.Fatalf("drift on %q cell %d never confirmed", app, cell)
+}
+
+func TestControllerStepSwapsAndResets(t *testing.T) {
+	src := &fakeSource{}
+	c, tiered := driftController(t, src)
+	if gen := tiered.Generation(); gen != 1 {
+		t.Fatalf("initial generation = %d, want 1", gen)
+	}
+
+	confirmDrift(t, c, "latsvc-00", 3)
+	confirmDrift(t, c, "latsvc-01", 7)
+	if got := c.Pending(); len(got) != 2 || got[0] != "latsvc-00" || got[1] != "latsvc-01" {
+		t.Fatalf("Pending = %v", got)
+	}
+
+	res, err := c.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 2 || res.Apps[0] != "latsvc-00" || res.Apps[1] != "latsvc-01" {
+		t.Fatalf("Step apps = %v", res.Apps)
+	}
+	if res.Gen != 2 {
+		t.Fatalf("Step gen = %d, want 2 (one bump for the batch)", res.Gen)
+	}
+	if gen := tiered.Generation(); gen != 2 {
+		t.Fatalf("tiered generation = %d, want 2", gen)
+	}
+	if len(src.calls) != 1 {
+		t.Fatalf("source called %d times, want 1", len(src.calls))
+	}
+	if got := c.Pending(); len(got) != 0 {
+		t.Fatalf("Pending after Step = %v, want empty", got)
+	}
+
+	// Predictions through the swapped predictor carry the new generation.
+	p, err := tiered.Predict("latsvc-00", "batch-00", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Gen != 2 {
+		t.Fatalf("post-swap Prediction.Gen = %d, want 2", p.Gen)
+	}
+
+	st := c.Stats()
+	if st.Recharacterized != 2 || st.Swaps != 1 || st.Detections != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Detector state for the flagged cells was reset: a fresh single
+	// in-bound sample neither panics nor re-confirms.
+	if c.Observe("latsvc-00", 3, 0.1, cluster.Prediction{Deg: 0.1}) {
+		t.Fatal("in-bound sample after reset confirmed drift")
+	}
+	// And drift is re-detectable from scratch on the same cell.
+	confirmDrift(t, c, "latsvc-00", 3)
+}
+
+func TestControllerStepNoPending(t *testing.T) {
+	src := &fakeSource{}
+	c, _ := driftController(t, src)
+	res, err := c.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 0 || res.Gen != 0 {
+		t.Fatalf("idle Step = %+v, want zero", res)
+	}
+	if len(src.calls) != 0 {
+		t.Fatal("idle Step invoked the source")
+	}
+}
+
+func TestControllerFailedStepRetries(t *testing.T) {
+	src := &fakeSource{err: errors.New("engine down")}
+	c, tiered := driftController(t, src)
+	confirmDrift(t, c, "latsvc-00", 3)
+
+	if _, err := c.Step(context.Background()); err == nil {
+		t.Fatal("Step should surface the source error")
+	}
+	if gen := tiered.Generation(); gen != 1 {
+		t.Fatalf("failed Step bumped generation to %d", gen)
+	}
+	if got := c.Pending(); len(got) != 1 || got[0] != "latsvc-00" {
+		t.Fatalf("Pending after failed Step = %v, want [latsvc-00]", got)
+	}
+	if st := c.Stats(); st.Recharacterized != 0 || st.Swaps != 0 {
+		t.Fatalf("failed Step counted work: %+v", st)
+	}
+
+	// Clear the fault; the retry drains the same flags.
+	src.mu.Lock()
+	src.err = nil
+	src.mu.Unlock()
+	res, err := c.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 1 || res.Apps[0] != "latsvc-00" || res.Gen != 2 {
+		t.Fatalf("retry Step = %+v", res)
+	}
+}
+
+func TestControllerWithoutTiered(t *testing.T) {
+	src := &fakeSource{models: map[string]*surrogate.Model{"a": {App: "a"}}}
+	c := New(Config{Detector: DetectorConfig{MinSamples: 2, Threshold: 0.1}, Source: src})
+	confirmDrift(t, c, "a", 0)
+	res, err := c.Step(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Apps) != 1 || res.Gen != 0 {
+		t.Fatalf("detector-only Step = %+v", res)
+	}
+	if st := c.Stats(); st.Swaps != 0 || st.Recharacterized != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDegradationFromSamples(t *testing.T) {
+	samples := []timeline.Sample{
+		{Delta: pmu.Counters{Instructions: 600, Cycles: 1000}},
+		{Delta: pmu.Counters{Instructions: 200, Cycles: 1000}},
+	}
+	// Aggregate IPC = 800/2000 = 0.4; solo 0.8 → degradation 0.5.
+	deg, ok := DegradationFromSamples(samples, 0.8)
+	if !ok || deg != 0.5 {
+		t.Fatalf("DegradationFromSamples = %g, %v; want 0.5, true", deg, ok)
+	}
+	if _, ok := DegradationFromSamples(nil, 0.8); ok {
+		t.Fatal("no samples should not be observable")
+	}
+	if _, ok := DegradationFromSamples(samples, 0); ok {
+		t.Fatal("soloIPC=0 should not be observable")
+	}
+	if _, ok := DegradationFromSamples([]timeline.Sample{{}}, 0.8); ok {
+		t.Fatal("zero cycles should not be observable")
+	}
+}
+
+func TestObserveTimelineFeedsDetector(t *testing.T) {
+	src := &fakeSource{models: map[string]*surrogate.Model{"a": {App: "a"}}}
+	c := New(Config{Detector: DetectorConfig{MinSamples: 2, Threshold: 0.1}, Source: src})
+	samples := []timeline.Sample{{Delta: pmu.Counters{Instructions: 400, Cycles: 1000}}}
+	pred := cluster.Prediction{Deg: 0.1, Bound: 0.01}
+	// Observed degradation 1 − 0.4/0.8 = 0.5 ≫ 0.1 ± 0.01.
+	confirmed := false
+	for i := 0; i < 10 && !confirmed; i++ {
+		confirmed = c.ObserveTimeline("a", 0, samples, 0.8, pred)
+	}
+	if !confirmed {
+		t.Fatal("timeline-derived drift never confirmed")
+	}
+	// Unobservable samples leave the detector untouched.
+	if c.ObserveTimeline("a", 1, nil, 0.8, pred) {
+		t.Fatal("empty timeline confirmed drift")
+	}
+	if got := c.Stats().Observations; got == 0 {
+		t.Fatal("timeline observations not counted")
+	}
+}
+
+func TestDaemonSourceRecharacterizes(t *testing.T) {
+	var mu sync.Mutex
+	seen := make(map[string]qosd.CharacterizeRequest)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/characterize" {
+			http.NotFound(w, r)
+			return
+		}
+		var req qosd.CharacterizeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		mu.Lock()
+		seen[req.App] = req
+		mu.Unlock()
+		var resp qosd.CharacterizeResponse
+		resp.Profile.App = req.App
+		resp.Profile.Placement = profile.SMT
+		resp.Profile.SoloIPC = 1.5
+		resp.Profile.Sen[0] = 0.3
+		resp.Profile.Con[0] = 0.2
+		json.NewEncoder(w).Encode(resp)
+	}))
+	defer srv.Close()
+
+	src := &DaemonSource{Client: qosd.NewClient(srv.URL, srv.Client()), Parallelism: 2}
+	models, err := src.Recharacterize(context.Background(), []string{"alpha", "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(models) != 2 {
+		t.Fatalf("got %d models, want 2", len(models))
+	}
+	for _, app := range []string{"alpha", "beta"} {
+		req, ok := seen[app]
+		if !ok {
+			t.Fatalf("daemon never saw %q", app)
+		}
+		if !req.Register {
+			t.Fatalf("%q characterized without Register", app)
+		}
+		m := models[app]
+		if m == nil || m.App != app || m.SoloIPC != 1.5 {
+			t.Fatalf("model for %q = %+v", app, m)
+		}
+		if got := m.Sen[0].At(1); got != 0.3 {
+			t.Fatalf("Sen[0].At(1) = %g, want the measured 0.3", got)
+		}
+		if m.Sen[0].MaxAbsErr != DefaultDaemonCurveErr {
+			t.Fatalf("curve error = %g, want %g", m.Sen[0].MaxAbsErr, DefaultDaemonCurveErr)
+		}
+	}
+}
+
+func TestModelFromCharacterization(t *testing.T) {
+	var ch profile.Characterization
+	ch.App = "x"
+	ch.Placement = profile.SMT
+	ch.SoloIPC = 2
+	ch.Sen[1] = 0.4
+	ch.Con[2] = 0.6
+	m := modelFromCharacterization(ch, 0.05)
+	if m.App != "x" || m.SoloIPC != 2 {
+		t.Fatalf("lifted model = %+v", m)
+	}
+	for d := range m.Sen {
+		if got := m.Sen[d].At(1); got != ch.Sen[d] {
+			t.Fatalf("Sen[%d].At(1) = %g, want %g", d, got, ch.Sen[d])
+		}
+		if got := m.Con[d].At(1); got != ch.Con[d] {
+			t.Fatalf("Con[%d].At(1) = %g, want %g", d, got, ch.Con[d])
+		}
+		if m.Sen[d].MaxAbsErr != 0.05 || m.Con[d].MeanAbsErr != 0.05 {
+			t.Fatalf("dim %d error bounds not stamped", d)
+		}
+	}
+	if len(m.Intensities) != 1 || m.Intensities[0] != 1 {
+		t.Fatalf("Intensities = %v", m.Intensities)
+	}
+}
+
+func TestSweepSourceMissingSpec(t *testing.T) {
+	src := &SweepSource{Profiler: nil}
+	if _, err := src.Recharacterize(context.Background(), []string{"a"}); err == nil {
+		t.Fatal("nil profiler should error")
+	}
+	src = &SweepSource{Profiler: &profile.Profiler{}}
+	_, err := src.Recharacterize(context.Background(), []string{"ghost"})
+	if err == nil {
+		t.Fatal("missing spec should error")
+	}
+	if want := fmt.Sprintf("%q", "ghost"); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q should name the app", err)
+	}
+}

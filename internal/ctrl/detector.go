@@ -1,0 +1,27 @@
+package ctrl
+
+import "repro/internal/ctrl/drift"
+
+// The CUSUM detector itself lives in the leaf package internal/ctrl/drift
+// so the simulator (internal/cluster, which this package imports for the
+// hot-swap actuator) can embed one per shard without an import cycle.
+// These aliases keep the controller-facing API in one place.
+
+// DetectorConfig parameterises the drift detector; see drift.Config.
+type DetectorConfig = drift.Config
+
+// DetectorStats counts a detector's lifetime activity; see drift.Stats.
+type DetectorStats = drift.Stats
+
+// Detector is the per-cell windowed CUSUM test; see drift.Detector.
+type Detector = drift.Detector
+
+// Detector defaults, re-exported from the drift package.
+const (
+	DefaultMinSamples = drift.DefaultMinSamples
+	DefaultAllowance  = drift.DefaultAllowance
+	DefaultThreshold  = drift.DefaultThreshold
+)
+
+// NewDetector builds a detector with the (defaulted) config.
+func NewDetector(cfg DetectorConfig) *Detector { return drift.New(cfg) }

@@ -1,0 +1,164 @@
+package ctrl
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDetectorConfirmsSustainedDrift drives the canonical path: a cell
+// whose observed degradation sits far outside the certified bound
+// confirms after MinSamples, not before.
+func TestDetectorConfirmsSustainedDrift(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinSamples: 4, Allowance: 0.01, Threshold: 0.1})
+	for i := 0; i < 3; i++ {
+		if d.Observe(7, 0.40, 0.10, 0.02) {
+			t.Fatalf("sample %d confirmed before MinSamples", i+1)
+		}
+	}
+	if !d.Observe(7, 0.40, 0.10, 0.02) {
+		t.Fatal("4th far-out-of-bound sample should confirm drift")
+	}
+	if !d.Confirmed(7) {
+		t.Fatal("cell should be in confirmed state")
+	}
+	// Later samples on a confirmed cell don't re-fire.
+	if d.Observe(7, 0.40, 0.10, 0.02) {
+		t.Fatal("already-confirmed cell re-fired")
+	}
+	if got := d.Stats().Detections; got != 1 {
+		t.Fatalf("Detections = %d, want 1", got)
+	}
+}
+
+// TestDetectorOneNoisySampleNeverTriggers is the structural guarantee:
+// even a wildly wrong single sample cannot confirm, regardless of
+// threshold, because MinSamples is floored at 2.
+func TestDetectorOneNoisySampleNeverTriggers(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinSamples: 1, Threshold: 0.001})
+	if d.Observe(0, 1.0, 0.0, 0.0) {
+		t.Fatal("a single sample confirmed drift")
+	}
+	if d.Confirmed(0) {
+		t.Fatal("cell confirmed after one sample")
+	}
+}
+
+// TestDetectorConstantZeroDegradation: a cell that always observes
+// exactly what was predicted (both zero) accumulates nothing and never
+// triggers, no matter how many samples stream in.
+func TestDetectorConstantZeroDegradation(t *testing.T) {
+	d := NewDetector(DetectorConfig{})
+	for i := 0; i < 1000; i++ {
+		if d.Observe(3, 0, 0, 0) {
+			t.Fatalf("constant-zero observation confirmed drift at sample %d", i+1)
+		}
+	}
+	if d.Score(3) != 0 {
+		t.Fatalf("score = %g, want 0", d.Score(3))
+	}
+}
+
+// TestDetectorBoundExactlyCoversError: when the bound equals the observed
+// error exactly, the excess is zero (minus the allowance) — certified
+// error is not drift, so the detector must stay quiet forever.
+func TestDetectorBoundExactlyCoversError(t *testing.T) {
+	d := NewDetector(DetectorConfig{Allowance: -1}) // -1 disables the leak: strictest setting
+	for i := 0; i < 1000; i++ {
+		if d.Observe(5, 0.30, 0.25, 0.05) {
+			t.Fatalf("bound-covered error confirmed drift at sample %d", i+1)
+		}
+	}
+	if d.Score(5) != 0 {
+		t.Fatalf("score = %g, want 0 when |obs-pred| == bound", d.Score(5))
+	}
+}
+
+// TestDetectorNaNInfIgnored: non-finite samples must neither trigger nor
+// panic nor perturb the cell's accumulated state.
+func TestDetectorNaNInfIgnored(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinSamples: 4, Threshold: 0.1})
+	d.Observe(9, 0.4, 0.1, 0)
+	before := d.Score(9)
+	bad := []float64{math.NaN(), math.Inf(1), math.Inf(-1)}
+	for _, v := range bad {
+		if d.Observe(9, v, 0.1, 0) {
+			t.Fatalf("observed=%v confirmed drift", v)
+		}
+		if d.Observe(9, 0.4, v, 0) {
+			t.Fatalf("predicted=%v confirmed drift", v)
+		}
+		if d.Observe(9, 0.4, 0.1, v) {
+			t.Fatalf("bound=%v confirmed drift", v)
+		}
+	}
+	if d.Score(9) != before {
+		t.Fatalf("non-finite samples changed the score: %g -> %g", before, d.Score(9))
+	}
+	if got := d.Stats().Ignored; got != 9 {
+		t.Fatalf("Ignored = %d, want 9", got)
+	}
+	if got := d.Stats().Observations; got != 1 {
+		t.Fatalf("Observations = %d, want 1", got)
+	}
+}
+
+// TestDetectorResetAfterRecharacterization: Reset returns the cell to a
+// clean slate — not confirmed, zero score, and the MinSamples guard
+// applies afresh.
+func TestDetectorResetAfterRecharacterization(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinSamples: 2, Threshold: 0.1})
+	d.Observe(4, 0.5, 0.1, 0)
+	if !d.Observe(4, 0.5, 0.1, 0) {
+		t.Fatal("setup: drift should confirm after 2 samples")
+	}
+	d.Reset(4)
+	if d.Confirmed(4) {
+		t.Fatal("cell still confirmed after Reset")
+	}
+	if d.Score(4) != 0 {
+		t.Fatalf("score = %g after Reset, want 0", d.Score(4))
+	}
+	// One in-bound sample after reset: quiet.
+	if d.Observe(4, 0.1, 0.1, 0) {
+		t.Fatal("in-bound sample after Reset confirmed drift")
+	}
+	// Drift can be re-detected from scratch.
+	d.Reset(4)
+	d.Observe(4, 0.5, 0.1, 0)
+	if !d.Observe(4, 0.5, 0.1, 0) {
+		t.Fatal("drift not re-detectable after Reset")
+	}
+	if got := d.Stats().Detections; got != 2 {
+		t.Fatalf("Detections = %d, want 2", got)
+	}
+}
+
+// TestDetectorScoreDecays: sustained in-bound prediction leaks the score
+// back toward zero, so an old burst of noise does not linger forever.
+func TestDetectorScoreDecays(t *testing.T) {
+	d := NewDetector(DetectorConfig{MinSamples: 100, Allowance: 0.01, Threshold: 10})
+	d.Observe(1, 0.2, 0.1, 0) // excess 0.09
+	if d.Score(1) <= 0 {
+		t.Fatal("out-of-bound sample should raise the score")
+	}
+	for i := 0; i < 20; i++ {
+		d.Observe(1, 0.1, 0.1, 0) // in-bound: leaks Allowance per sample
+	}
+	if d.Score(1) != 0 {
+		t.Fatalf("score = %g after sustained in-bound samples, want 0", d.Score(1))
+	}
+}
+
+// TestDetectorDefaults pins the normalisation of the zero config.
+func TestDetectorDefaults(t *testing.T) {
+	cfg := NewDetector(DetectorConfig{}).Config()
+	if cfg.MinSamples != DefaultMinSamples || cfg.Allowance != DefaultAllowance || cfg.Threshold != DefaultThreshold {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	if got := NewDetector(DetectorConfig{MinSamples: 1}).Config().MinSamples; got != 2 {
+		t.Fatalf("MinSamples floor = %d, want 2", got)
+	}
+	if got := NewDetector(DetectorConfig{Allowance: -5}).Config().Allowance; got != 0 {
+		t.Fatalf("negative allowance should normalise to 0, got %g", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package drift is the leaf half of the closed loop (DESIGN.md §14): a
+// dependency-free windowed CUSUM drift detector shared by the live
+// controller (internal/ctrl, which wires it to timeline observations and
+// the re-characterization sources) and the discrete-event simulator
+// (internal/cluster's PolicyClosedLoop, which embeds one per scheduling
+// shard). It sits below both so neither import direction cycles.
+package drift
+
+import "math"
+
+// Config parameterises the drift detector. The zero value picks the
+// defaults below.
+type Config struct {
+	// MinSamples is the minimum number of (finite) observations a cell
+	// must accumulate before drift can be confirmed, regardless of how
+	// large the accumulated excess is — the structural guarantee that one
+	// noisy sample never triggers re-characterization. Values below 2 are
+	// raised to 2; zero means DefaultMinSamples.
+	MinSamples int
+	// Allowance is the per-sample leak of the CUSUM score: prediction
+	// error beyond the certified bound is tolerated up to this much per
+	// observation before it accumulates. Zero means DefaultAllowance;
+	// negative disables the leak.
+	Allowance float64
+	// Threshold is the accumulated excess at which drift is confirmed.
+	// Zero means DefaultThreshold.
+	Threshold float64
+}
+
+// Detector defaults: confirmation needs at least 4 samples whose
+// beyond-bound error exceeds the 1-point-per-sample allowance by a
+// cumulative 10 degradation points.
+const (
+	DefaultMinSamples = 4
+	DefaultAllowance  = 0.01
+	DefaultThreshold  = 0.10
+)
+
+func (c Config) withDefaults() Config {
+	if c.MinSamples == 0 {
+		c.MinSamples = DefaultMinSamples
+	}
+	if c.MinSamples < 2 {
+		c.MinSamples = 2
+	}
+	switch {
+	case c.Allowance == 0:
+		c.Allowance = DefaultAllowance
+	case c.Allowance < 0:
+		c.Allowance = 0
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = DefaultThreshold
+	}
+	return c
+}
+
+// Stats counts a detector's lifetime activity.
+type Stats struct {
+	// Observations counts finite samples fed to Observe; Ignored counts
+	// NaN/Inf samples dropped without touching any cell state.
+	Observations, Ignored int
+	// Detections counts cells transitioning into the confirmed state.
+	Detections int
+}
+
+// cellState is one cell's windowed CUSUM accumulator.
+type cellState struct {
+	samples   int
+	score     float64
+	confirmed bool
+}
+
+// Detector is a per-cell windowed CUSUM test over the closed loop's
+// misprediction signal. Each observation compares the observed
+// degradation against the prediction ± its error bound; only the error
+// *beyond* the bound (less the per-sample allowance) accumulates:
+//
+//	score = max(0, score + |observed − predicted| − bound − allowance)
+//
+// A cell confirms drift when its score reaches the threshold AND it has
+// seen at least MinSamples observations — so a single noisy sample can
+// never trigger, and sustained in-bound prediction decays the score back
+// to zero. Non-finite observations are counted and dropped.
+//
+// A Detector is not safe for concurrent use; give each scheduling cell
+// (shard) its own, or wrap it in a ctrl.Controller, which locks.
+type Detector struct {
+	cfg   Config
+	cells map[int]*cellState
+	stats Stats
+}
+
+// New builds a detector with the (defaulted) config.
+func New(cfg Config) *Detector {
+	return &Detector{cfg: cfg.withDefaults(), cells: make(map[int]*cellState)}
+}
+
+// Config returns the detector's normalised configuration.
+func (d *Detector) Config() Config { return d.cfg }
+
+// Observe feeds one sample for a cell and reports whether this sample
+// confirmed drift (the cell's transition into the confirmed state; later
+// samples on an already-confirmed cell return false until Reset).
+func (d *Detector) Observe(cell int, observed, predicted, bound float64) bool {
+	if !finite(observed) || !finite(predicted) || !finite(bound) {
+		d.stats.Ignored++
+		return false
+	}
+	st := d.cells[cell]
+	if st == nil {
+		st = &cellState{}
+		d.cells[cell] = st
+	}
+	d.stats.Observations++
+	st.samples++
+	st.score += math.Abs(observed-predicted) - math.Abs(bound) - d.cfg.Allowance
+	if st.score < 0 {
+		st.score = 0
+	}
+	if st.confirmed {
+		return false
+	}
+	if st.samples >= d.cfg.MinSamples && st.score >= d.cfg.Threshold {
+		st.confirmed = true
+		d.stats.Detections++
+		return true
+	}
+	return false
+}
+
+// Confirmed reports whether a cell is in the confirmed-drift state.
+func (d *Detector) Confirmed(cell int) bool {
+	st := d.cells[cell]
+	return st != nil && st.confirmed
+}
+
+// Score returns a cell's accumulated excess (0 for unseen cells).
+func (d *Detector) Score(cell int) float64 {
+	if st := d.cells[cell]; st != nil {
+		return st.score
+	}
+	return 0
+}
+
+// Reset clears one cell's accumulator — called after the cell's
+// application has been re-characterized, so detection restarts from a
+// clean slate against the refreshed prediction.
+func (d *Detector) Reset(cell int) {
+	delete(d.cells, cell)
+}
+
+// Stats returns the lifetime counters.
+func (d *Detector) Stats() Stats { return d.stats }
+
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

@@ -1,0 +1,166 @@
+package ctrl
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/profile"
+	"repro/internal/profstore"
+	"repro/internal/qosd"
+	"repro/internal/sched"
+	"repro/internal/surrogate"
+	"repro/internal/workload"
+)
+
+// Source produces refreshed surrogate models for flagged applications —
+// the re-characterization half of the closed loop. Implementations must
+// return a model for every requested app or an error; the controller
+// hot-swaps the returned models behind the tiered predictor wholesale.
+type Source interface {
+	Recharacterize(ctx context.Context, apps []string) (map[string]*surrogate.Model, error)
+}
+
+// SweepSource re-characterizes in-process: each flagged application's
+// (dimension, intensity) grid is re-swept through the engine — the same
+// batched profile.SweepGrid path the original fit used — and refitted
+// into surrogate curves. With a Store attached the refit goes through
+// surrogate.FitWithStore: applications whose workload fingerprint is
+// unchanged warm-start from the content-addressed store, while drifted
+// applications (new spec ⇒ new fingerprint) miss and re-measure, so a
+// mixed flag set only pays the engine for the apps that actually moved.
+type SweepSource struct {
+	// Profiler runs the sweeps; Specs maps application name to its
+	// *current* workload model (the drifted one, for drifted apps).
+	Profiler *profile.Profiler
+	Specs    map[string]*workload.Spec
+	// Placement is the sweep placement (SMT for the paper's pipeline).
+	Placement profile.Placement
+	// Options are the fit options; the zero value uses the standard grid.
+	Options surrogate.FitOptions
+	// Store, when non-nil, warm-starts unchanged fits (FitWithStore).
+	Store *profstore.Store
+}
+
+// Recharacterize implements Source.
+func (s *SweepSource) Recharacterize(ctx context.Context, apps []string) (map[string]*surrogate.Model, error) {
+	if s.Profiler == nil {
+		return nil, fmt.Errorf("ctrl: sweep source needs a profiler")
+	}
+	specs := make([]*workload.Spec, 0, len(apps))
+	for _, app := range apps {
+		spec, ok := s.Specs[app]
+		if !ok {
+			return nil, fmt.Errorf("ctrl: no workload spec for flagged app %q", app)
+		}
+		specs = append(specs, spec)
+	}
+	var set *surrogate.Set
+	var err error
+	if s.Store != nil {
+		set, _, err = surrogate.FitWithStore(ctx, s.Store, s.Profiler, specs, s.Placement, s.Options)
+	} else {
+		set, err = surrogate.Fit(ctx, s.Profiler, specs, s.Placement, s.Options)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*surrogate.Model, len(apps))
+	for _, app := range apps {
+		m, ok := set.Models[app]
+		if !ok {
+			return nil, fmt.Errorf("ctrl: refit returned no model for %q", app)
+		}
+		out[app] = m
+	}
+	return out, nil
+}
+
+// DefaultDaemonCurveErr is the conservative per-curve error bound stamped
+// on daemon-sourced models: two degradation points, loose enough that
+// pair bounds usually exceed the tier threshold, so daemon-refreshed apps
+// are served by the (freshly re-characterized) engine tier until a full
+// in-process sweep refit tightens the curves.
+const DefaultDaemonCurveErr = 0.02
+
+// DaemonSource re-characterizes through a live qosd daemon's parallel
+// POST /v1/characterize path: each flagged application is re-simulated
+// through the daemon's full Ruler sweep and registered, so the daemon's
+// engine tier serves the refreshed profile immediately. The returned
+// characterizations are lifted into surrogate models with linear curves
+// anchored at the measured full-intensity values and a conservative
+// CurveErr bound — sound but loose, by design (see DefaultDaemonCurveErr).
+type DaemonSource struct {
+	Client *qosd.Client
+	// Placement is "smt" (default) or "cmp", as POST /v1/characterize
+	// accepts it.
+	Placement string
+	// Parallelism bounds concurrent characterize requests (0 = all CPUs).
+	Parallelism int
+	// CurveErr overrides the error bound stamped on the lifted curves
+	// (0 = DefaultDaemonCurveErr).
+	CurveErr float64
+}
+
+// Recharacterize implements Source, fanning the flagged apps across the
+// daemon with sched.Map.
+func (s *DaemonSource) Recharacterize(ctx context.Context, apps []string) (map[string]*surrogate.Model, error) {
+	if s.Client == nil {
+		return nil, fmt.Errorf("ctrl: daemon source needs a client")
+	}
+	curveErr := s.CurveErr
+	if curveErr == 0 {
+		curveErr = DefaultDaemonCurveErr
+	}
+	models := make([]*surrogate.Model, len(apps))
+	err := sched.Map(ctx, len(apps), s.Parallelism, func(ctx context.Context, i int) error {
+		resp, err := s.Client.Characterize(ctx, qosd.CharacterizeRequest{
+			App:       apps[i],
+			Placement: s.Placement,
+			Register:  true,
+		})
+		if err != nil {
+			return fmt.Errorf("ctrl: re-characterizing %q: %w", apps[i], err)
+		}
+		models[i] = modelFromCharacterization(resp.Profile, curveErr)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*surrogate.Model, len(apps))
+	for i, app := range apps {
+		out[app] = models[i]
+	}
+	return out, nil
+}
+
+// modelFromCharacterization lifts a single-point (full-intensity)
+// characterization into a surrogate model: linear curves c·x anchored at
+// the measured value (At(1) recovers it exactly), with the conservative
+// curveErr as the recorded residual on every curve.
+func modelFromCharacterization(ch profile.Characterization, curveErr float64) *surrogate.Model {
+	m := &surrogate.Model{
+		App:         ch.App,
+		Placement:   ch.Placement,
+		SoloIPC:     ch.SoloIPC,
+		SoloPMU:     ch.SoloPMU,
+		Intensities: []float64{1},
+	}
+	for d := range m.Sen {
+		m.Sen[d] = surrogate.Curve{Coef: [3]float64{ch.Sen[d]}, MaxAbsErr: curveErr, MeanAbsErr: curveErr}
+		m.Con[d] = surrogate.Curve{Coef: [3]float64{ch.Con[d]}, MaxAbsErr: curveErr, MeanAbsErr: curveErr}
+	}
+	return m
+}
+
+// sortedApps returns map keys in stable order, so re-characterization
+// batches are deterministic regardless of flag arrival order.
+func sortedApps(set map[string][]int) []string {
+	out := make([]string, 0, len(set))
+	for app := range set {
+		out = append(out, app)
+	}
+	sort.Strings(out)
+	return out
+}

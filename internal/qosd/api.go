@@ -113,6 +113,12 @@ type PredictResponse struct {
 	// answer's deviation from the engine-featured prediction. Present only
 	// on TierSurrogate answers.
 	ErrorBound float64 `json:"error_bound,omitempty"`
+	// Generation is the registry generation the answer was computed
+	// under; it increments on every profile upload or model swap. A
+	// closed-loop controller uses it to tell whether a
+	// re-characterization landed between two predictions for the same
+	// pair without re-fetching the profile list.
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // QueueSpec carries the victim service's M/M/1 parameters for tail-latency
@@ -199,6 +205,9 @@ type AdmitResponse struct {
 	EffectiveDegradation float64 `json:"effective_degradation"`
 	Tier                 string  `json:"tier"`
 	ErrorBound           float64 `json:"error_bound,omitempty"`
+	// Generation is the registry generation the prediction was computed
+	// under, as in PredictResponse.Generation.
+	Generation uint64 `json:"generation,omitempty"`
 	// TailLatency is the Equation 6 percentile latency in seconds at the
 	// effective degradation; omitted (with Saturated set) when the queue
 	// is pushed past stability. It is never negative.

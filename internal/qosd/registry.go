@@ -84,6 +84,16 @@ func (r *Registry) Model() (smite.Model, bool) {
 	return r.model, r.hasModel
 }
 
+// modelGen returns the trained model together with the registry
+// generation it belongs to, resolved under one lock so the pair stays
+// consistent while uploads race. Callers that only need the model use
+// Model.
+func (r *Registry) modelGen() (smite.Model, uint64, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.model, r.gen, r.hasModel
+}
+
 // Len returns the number of registered profiles.
 func (r *Registry) Len() int {
 	r.mu.RLock()

@@ -524,6 +524,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		Degradation: pred.deg,
 		Tier:        pred.tier,
 		ErrorBound:  pred.bound,
+		Generation:  pred.gen,
 	})
 }
 
@@ -641,6 +642,7 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		EffectiveDegradation: dec.EffectiveDegradation,
 		Tier:                 pred.tier,
 		ErrorBound:           pred.bound,
+		Generation:           pred.gen,
 		Budget:               class.Budget,
 		EffectiveBudget:      dec.EffectiveBudget,
 		Percentile:           class.Percentile,
@@ -749,6 +751,11 @@ type prediction struct {
 	deg   float64
 	tier  string
 	bound float64
+	// gen is the registry generation the answer was computed under. A
+	// closed-loop controller compares it across calls to tell whether a
+	// re-characterization (profile upload, model swap) landed between two
+	// predictions for the same pair.
+	gen uint64
 }
 
 // predict is the shared prediction core. It tries the surrogate tier
@@ -784,10 +791,10 @@ func (s *Server) predict(ctx context.Context, victim, aggressor string, instance
 	if set := s.cfg.Surrogate; set != nil && threads == 0 {
 		// The surrogate curves encode the full-occupancy characterization
 		// only, so partial-occupancy requests always take the engine tier.
-		if m, ok := s.reg.Model(); ok {
+		if m, gen, ok := s.reg.modelGen(); ok {
 			if pred, err := m.PredictSurrogate(set, victim, aggressor); err == nil && pred.Bound <= s.cfg.SurrogateThreshold {
 				span.SetAttr(trace.String("tier", TierSurrogate))
-				return prediction{deg: sanitizeDeg(pred.Degradation), tier: TierSurrogate, bound: pred.Bound}, nil
+				return prediction{deg: sanitizeDeg(pred.Degradation), tier: TierSurrogate, bound: pred.Bound, gen: gen}, nil
 			}
 		}
 	}
@@ -807,7 +814,7 @@ func (s *Server) predict(ctx context.Context, victim, aggressor string, instance
 		// The compute function cannot fail; kept for the Do contract.
 		return prediction{}, &APIError{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
 	}
-	return prediction{deg: sanitizeDeg(deg), tier: TierEngine}, nil
+	return prediction{deg: sanitizeDeg(deg), tier: TierEngine, gen: gen}, nil
 }
 
 // sanitizeDeg clamps a non-finite predicted degradation to 1 (complete

@@ -590,3 +590,39 @@ func TestNoNegativeLatencyEverLeaks(t *testing.T) {
 		})
 	}
 }
+
+// Every prediction reports the registry generation it was computed
+// under, and the generation moves exactly when the registry mutates —
+// the signal a closed-loop controller uses to confirm that a
+// re-characterization landed.
+func TestPredictGenerationTracksRegistry(t *testing.T) {
+	s, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	req := PredictRequest{Victim: "web-search", Aggressor: "429.mcf"}
+
+	first, err := c.Predict(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Generation == 0 {
+		t.Fatal("loaded registry served generation 0")
+	}
+	again, err := c.Predict(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Generation != first.Generation {
+		t.Fatalf("generation moved without a mutation: %d -> %d", first.Generation, again.Generation)
+	}
+
+	// A profile upload is a mutation: the next answer carries a newer
+	// generation even though the pair's degradation may be unchanged.
+	s.reg.AddProfiles([]smite.Characterization{{App: "bystander", SoloIPC: 1.0}})
+	after, err := c.Predict(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Generation <= first.Generation {
+		t.Fatalf("generation did not advance across an upload: %d then %d", first.Generation, after.Generation)
+	}
+}

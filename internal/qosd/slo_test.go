@@ -389,3 +389,59 @@ func TestAdmitMetrics(t *testing.T) {
 		t.Errorf("SLO-less daemon reports %+v", pm.SLO)
 	}
 }
+
+// The windowed rejection rate must be computed over the decisions
+// actually observed, not the ring capacity. Before the fix a
+// freshly-started analyzer with a handful of decisions divided by the
+// full window size, under-reporting the rate by window/filled and
+// keeping the signal pinned at SignalScaleDown during warm-up.
+func TestSaturationRateOverObservedNotCapacity(t *testing.T) {
+	a := newSLOAnalyzer(SLOConfig{Classes: DefaultSLOClasses(), Window: 8}.withDefaults())
+	rate, window := a.rejectionRate()
+	if rate != 0 || window != 0 {
+		t.Fatalf("empty analyzer: rate=%g window=%d, want 0, 0", rate, window)
+	}
+	// 3 decisions into a window of 8: 2 rejections / 3 observed, not /8.
+	a.record("critical", true)
+	a.record("critical", false)
+	a.record("critical", false)
+	rate, window = a.rejectionRate()
+	if window != 3 {
+		t.Fatalf("window = %d, want 3 (observed decisions, not capacity)", window)
+	}
+	if want := 2.0 / 3.0; rate != want {
+		t.Fatalf("rate = %g, want %g (rejections over observed, not over capacity)", rate, want)
+	}
+}
+
+// Once the ring wraps, the rate covers exactly the last Window
+// decisions: older ones fall out, and overwritten slots are not
+// double-counted.
+func TestSaturationRateWrappedRing(t *testing.T) {
+	a := newSLOAnalyzer(SLOConfig{Classes: DefaultSLOClasses(), Window: 4}.withDefaults())
+	// 4 rejections fill the ring...
+	for i := 0; i < 4; i++ {
+		a.record("critical", false)
+	}
+	if rate, window := a.rejectionRate(); rate != 1 || window != 4 {
+		t.Fatalf("full ring: rate=%g window=%d, want 1, 4", rate, window)
+	}
+	// ...then 3 admissions overwrite the oldest three. Window stays at
+	// capacity and the rate reflects the surviving mix: 1 rejection / 4.
+	for i := 0; i < 3; i++ {
+		a.record("critical", true)
+	}
+	rate, window := a.rejectionRate()
+	if window != 4 {
+		t.Fatalf("wrapped window = %d, want 4", window)
+	}
+	if want := 1.0 / 4.0; rate != want {
+		t.Fatalf("wrapped rate = %g, want %g", rate, want)
+	}
+	// Lifetime counters are unaffected by the ring wrapping.
+	r := a.report()
+	c := r.Classes["critical"]
+	if c.Admitted != 3 || c.Rejected != 4 {
+		t.Fatalf("lifetime counters = %+v, want 3 admitted / 4 rejected", c)
+	}
+}

@@ -1,0 +1,109 @@
+package simtest
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// closedLoopConfig turns a seed's randomized cluster run into the
+// drift-injection experiment: SLO parameters on, and the measured
+// degradation surface tripling a third of the way through the horizon
+// while the prediction table stays pre-drift.
+func closedLoopConfig(t *testing.T, seed uint64) cluster.SimConfig {
+	t.Helper()
+	cfg := clusterSimConfig(t, seed)
+	cfg.Policy = cluster.PolicyClosedLoop
+	cfg.SLO = &cluster.SLOSimParams{
+		Classes: []cluster.SLOSimClass{
+			{Name: "critical", Budget: 0.020, Percentile: 0.95, Mu: 1000, Lambda: 600},
+			{Name: "standard", Budget: 0.060, Percentile: 0.95, Mu: 1000, Lambda: 600},
+			{Name: "sheddable", Budget: 0.150, Percentile: 0.90, Mu: 1000, Lambda: 700},
+		},
+		Headroom: 0.1,
+	}
+	cfg.Drift = &cluster.DriftSpec{At: cfg.Workload.Horizon / 3, Factor: 3}
+	return cfg
+}
+
+// TestClosedLoopBeatsStaticSLO is the closed loop's success-metric law:
+// under injected mid-run drift, the drift-detecting, re-characterizing,
+// migrating policy must place strictly fewer actually-violating
+// co-locations than the static SLO gate on identical event streams, on at
+// least 18 of 20 seeds (the drifted surface drives violation accounting
+// for both, so the comparison is apples-to-apples).
+func TestClosedLoopBeatsStaticSLO(t *testing.T) {
+	wins, ties := 0, 0
+	for seed := uint64(0); seed < numSeeds; seed++ {
+		cfg := closedLoopConfig(t, seed)
+		events, err := cluster.GenerateEvents(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		loop, err := cluster.RunSim(context.Background(), cfg, events, 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		static := cfg
+		static.Policy = cluster.PolicySLO
+		gate, err := cluster.RunSim(context.Background(), static, events, 4)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		switch {
+		case loop.Violations < gate.Violations:
+			wins++
+		case loop.Violations == gate.Violations:
+			ties++
+			t.Logf("seed %d: tie at %d violations (%d detections)", seed, loop.Violations, loop.Detections)
+		default:
+			t.Logf("seed %d: closed loop lost, %d vs %d violations (%d detections, %d migrations)",
+				seed, loop.Violations, gate.Violations, loop.Detections, loop.Migrations)
+		}
+	}
+	if wins < 18 {
+		t.Errorf("closed loop beat the static SLO gate on %d/%d seeds (%d ties), want ≥18", wins, numSeeds, ties)
+	}
+}
+
+// TestClosedLoopReplayDeterminism extends the replay law to the closed
+// loop: detector state, re-characterizations and migrations are all
+// shard-local and event-ordered, so a recorded drift run must replay bit
+// for bit at sequential and 8-way fan-out.
+func TestClosedLoopReplayDeterminism(t *testing.T) {
+	for seed := uint64(0); seed < numSeeds; seed++ {
+		cfg := closedLoopConfig(t, seed)
+		events, err := cluster.GenerateEvents(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		orig, err := cluster.RunSim(context.Background(), cfg, events, 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		var trace bytes.Buffer
+		if err := cluster.WriteTrace(&trace, cfg, events); err != nil {
+			t.Fatalf("seed %d: record: %v", seed, err)
+		}
+		rcfg, revents, err := cluster.ReadTrace(bytes.NewReader(trace.Bytes()))
+		if err != nil {
+			t.Fatalf("seed %d: read: %v", seed, err)
+		}
+		if rcfg.Drift == nil || rcfg.Drift.Factor != cfg.Drift.Factor {
+			t.Fatalf("seed %d: drift spec lost in the trace round-trip", seed)
+		}
+		for _, workers := range []int{1, 8} {
+			replay, err := cluster.RunSim(context.Background(), rcfg, revents, workers)
+			if err != nil {
+				t.Fatalf("seed %d: replay workers=%d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(orig, replay) {
+				t.Errorf("seed %d: closed-loop replay at workers=%d diverged from recorded run", seed, workers)
+			}
+		}
+	}
+}

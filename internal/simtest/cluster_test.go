@@ -20,10 +20,10 @@ func clusterSimConfig(t *testing.T, seed uint64) cluster.SimConfig {
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
-	pred := &cluster.TieredPredictor{
-		Surrogate: &cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
-		Fallback:  &cluster.TablePredictor{Table: tbl},
-	}
+	pred := cluster.NewTieredPredictor(
+		&cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
+		&cluster.TablePredictor{Table: tbl},
+	)
 	pt, err := cluster.BuildPredTable(context.Background(), tbl, nil, cluster.QoSAvg, pred, 1)
 	if err != nil {
 		t.Fatalf("seed %d: %v", seed, err)

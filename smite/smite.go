@@ -254,21 +254,6 @@ func New(cfg MachineConfig, opts ...Option) (*System, error) {
 	return &System{prof: profile.NewProfiler(cfg, so.opts), sur: so.sur}, nil
 }
 
-// NewSystem builds a System for a stock machine.
-//
-// Deprecated: use New with Machine.Config and WithOptions:
-// smite.New(m.Config(), smite.WithOptions(opts)).
-func NewSystem(m Machine, opts Options) (*System, error) {
-	return New(m.Config(), WithOptions(opts))
-}
-
-// NewSystemConfig builds a System for a custom machine configuration.
-//
-// Deprecated: use New: smite.New(cfg, smite.WithOptions(opts)).
-func NewSystemConfig(cfg MachineConfig, opts Options) (*System, error) {
-	return New(cfg, WithOptions(opts))
-}
-
 // Machine returns the system's configuration.
 func (s *System) Machine() MachineConfig { return s.prof.Config() }
 

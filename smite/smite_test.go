@@ -10,7 +10,7 @@ func testSystem(t *testing.T) *System {
 	t.Helper()
 	cfg := IvyBridge.Config()
 	cfg.Cores = 2
-	sys, err := NewSystemConfig(cfg, FastOptions())
+	sys, err := New(cfg, WithOptions(FastOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestMachineConfigs(t *testing.T) {
 	}
 	bad := IvyBridge.Config()
 	bad.Cores = 0
-	if _, err := NewSystemConfig(bad, FastOptions()); err == nil {
+	if _, err := New(bad, WithOptions(FastOptions())); err == nil {
 		t.Error("invalid config accepted")
 	}
 }

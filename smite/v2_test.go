@@ -49,17 +49,15 @@ func TestWithOptionsOrder(t *testing.T) {
 	_ = sys // construction succeeding is the point; Parallelism is internal
 }
 
-// The deprecated constructors remain working shims over New.
-func TestDeprecatedConstructors(t *testing.T) {
-	a, err := NewSystem(IvyBridge, FastOptions())
+// A stock Machine and its expanded Config build identical systems
+// through New — the equivalence the removed NewSystem/NewSystemConfig
+// shims used to paper over (MIGRATION.md).
+func TestNewMachineConfigEquivalence(t *testing.T) {
+	a, err := New(IvyBridge.Config(), WithOptions(FastOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewSystemConfig(IvyBridge.Config(), FastOptions())
-	if err != nil {
-		t.Fatal(err)
-	}
-	c, err := New(IvyBridge.Config(), WithOptions(FastOptions()))
+	b, err := New(IvyBridge.Config(), WithOptions(FastOptions()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,12 +73,8 @@ func TestDeprecatedConstructors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ic, err := c.SoloIPC(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ia != ib || ib != ic {
-		t.Fatalf("constructors disagree on solo IPC: %v %v %v", ia, ib, ic)
+	if ia != ib {
+		t.Fatalf("identical constructions disagree on solo IPC: %v %v", ia, ib)
 	}
 }
 
