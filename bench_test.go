@@ -25,6 +25,7 @@ import (
 	clusterworkload "repro/internal/cluster/workload"
 	"repro/internal/ctrl"
 	"repro/internal/experiments"
+	"repro/internal/isol"
 	"repro/internal/profile"
 	"repro/internal/qosd"
 	"repro/internal/sim/engine"
@@ -82,6 +83,56 @@ func BenchmarkEngineHotLoop(b *testing.B) {
 			}
 			chip.Prewarm(60_000)
 			chip.Run(10_000) // warm the pipeline before timing
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				chip.Run(5000)
+			}
+			b.StopTimer()
+			if c := chip.Counters(0, 0); c.Instructions == 0 {
+				b.Fatal("no forward progress")
+			}
+		})
+	}
+}
+
+// BenchmarkEngineHotLoopIsolated is BenchmarkEngineHotLoop's mem-bound SMT
+// pair with hardware QoS enforcement actually engaged: a half/half L3 way
+// partition alone, then with a token-bucket throttle on the aggressor. The
+// gate pins the cost of the enforcement mechanisms themselves; the
+// disabled path needs no twin benchmark because a zero isol.Policy takes
+// the exact pre-isolation code path, which EngineHotLoop already gates.
+func BenchmarkEngineHotLoopIsolated(b *testing.B) {
+	cases := []struct {
+		name     string
+		throttle bool
+	}{
+		{"ways-half", false},
+		{"ways-half+throttle", true},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := isa.IvyBridge()
+			cfg.Cores = 1
+			v, a := isol.SplitWays(cfg.L3.Ways/2, cfg.L3.Ways)
+			pol := isol.Policy{WayMasks: []uint64{v, a}}
+			if bc.throttle {
+				pol.MemBudgets = []isol.MemBudget{{}, {Tokens: 4, RefillCycles: 64}}
+			}
+			cfg.Isolation = pol
+			chip := engine.MustNew(cfg)
+			spec, err := workload.ByName("429.mcf")
+			if err != nil {
+				b.Fatal(err)
+			}
+			chip.Assign(0, 0, workload.NewGen(spec, 1))
+			ps, err := workload.ByName("470.lbm")
+			if err != nil {
+				b.Fatal(err)
+			}
+			chip.Assign(0, 1, workload.NewGen(ps, 2))
+			chip.Prewarm(60_000)
+			chip.Run(10_000)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -939,6 +990,36 @@ func BenchmarkQosdAdmit(b *testing.B) {
 func BenchmarkClusterSimSLOPolicy(b *testing.B) {
 	cfg, events := clusterSimBench(b, 10_000, 150_000)
 	cfg.Policy = cluster.PolicySLO
+	cfg.SLO = &cluster.SLOSimParams{
+		Classes: []cluster.SLOSimClass{
+			{Name: "critical", Budget: 0.020, Percentile: 0.95, Mu: 1000, Lambda: 600},
+			{Name: "standard", Budget: 0.060, Percentile: 0.95, Mu: 1000, Lambda: 600},
+			{Name: "sheddable", Budget: 0.150, Percentile: 0.90, Mu: 1000, Lambda: 700},
+		},
+		Headroom: 0.1,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	totalEvents := 0
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.RunSim(context.Background(), cfg, events, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalEvents += res.Events
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(totalEvents)/b.Elapsed().Seconds(), "events/sec")
+}
+
+// BenchmarkClusterSimIsolation is the SLO-policy benchmark with the
+// hardware enforcement ladder engaged: same 10k-machine fleet and event
+// stream, PolicyIsolation with the stock four-level ladder. The gate pins
+// the cost of the extra (gen, level) bucket dimensions and the
+// escalate-before-migrate pass in the placement hot path.
+func BenchmarkClusterSimIsolation(b *testing.B) {
+	cfg, events := clusterSimBench(b, 10_000, 150_000)
+	cfg.Policy = cluster.PolicyIsolation
 	cfg.SLO = &cluster.SLOSimParams{
 		Classes: []cluster.SLOSimClass{
 			{Name: "critical", Budget: 0.020, Percentile: 0.95, Mu: 1000, Lambda: 600},

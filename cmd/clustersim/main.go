@@ -68,7 +68,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	durationFlag := fs.Float64("duration", 1, "sim: simulated horizon in time units")
 	churnFlag := fs.Float64("churn", 0.02, "sim: machine churn rate (fraction of fleet per time unit)")
 	arrivalFlag := fs.Float64("arrival", 0, "sim: job arrival rate per time unit (0 = 30 jobs per machine)")
-	policyFlag := fs.String("policy", "smite", "sim: placement policy (smite, oracle, random, slo or closedloop)")
+	policyFlag := fs.String("policy", "smite", "sim: placement policy (smite, oracle, random, slo, closedloop or isolation)")
 	targetFlag := fs.Float64("target", 0.92, "sim: QoS floor placements must respect, in (0,1]")
 	shardsFlag := fs.Int("shards", 0, "sim: scheduling cells to split the fleet into (0 = default)")
 	parFlag := fs.Int("parallelism", 0, "sim: worker goroutines for shard fan-out (0 = GOMAXPROCS); results are identical at any value")
@@ -83,6 +83,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	sloLambdaFlag := fs.Float64("slo-lambda", 600, "sim: arrival rate (req/s) for the SLO classes' M/M/1 model")
 	driftAtFlag := fs.Float64("drift-at", 0, "sim: simulated time the measured degradation surface shifts (with -drift-factor)")
 	driftFactorFlag := fs.Float64("drift-factor", 0, "sim: factor the measured degradations scale by at -drift-at (0 = no drift)")
+	machineMixFlag := fs.String("machine-mix", "", "sim: heterogeneous fleet as gen=weight,... over named machine generations (snb, ivb, power7, smt4, biglittle); empty = homogeneous")
+	isolFlag := fs.String("isol", "", "sim: isolation ladder for -policy=isolation as name:degscale:tax,... above the implicit off level (empty = stock ladder)")
+	allocFlag := fs.String("alloc", "", "sim: thread-to-core allocation policy scoring candidate contexts (bestfit, firstfit, spread, minload or mindeg; empty = bestfit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +104,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			sloClasses: *sloClassesFlag, sloHeadroom: *sloHeadroomFlag,
 			sloMu: *sloMuFlag, sloLambda: *sloLambdaFlag,
 			driftAt: *driftAtFlag, driftFactor: *driftFactorFlag,
+			machineMix: *machineMixFlag, isolSpec: *isolFlag, alloc: *allocFlag,
 		}, w)
 	}
 

@@ -6,11 +6,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
 	clworkload "repro/internal/cluster/workload"
+	"repro/internal/isol"
 	"repro/internal/qosd"
+	"repro/internal/sim/isa"
 )
 
 // FlagError reports a flag value that fails validation. main exits 2 on
@@ -50,9 +54,26 @@ type simOptions struct {
 	driftAt     float64
 	driftFactor float64
 
+	machineMix string
+	isolSpec   string
+	alloc      string
+
 	// slo is the parsed -slo-* flag set, filled by validate when the
-	// policy is slo or closedloop.
+	// policy is slo, closedloop or isolation.
 	slo *cluster.SLOSimParams
+	// mix is the parsed -machine-mix flag; empty means homogeneous.
+	mix []mixGen
+	// isolLevels is the parsed -isol ladder; nil means the stock one.
+	isolLevels []isol.Setting
+}
+
+// mixGen is one -machine-mix entry resolved against the isa generation
+// registry: the weight and the generation's server geometry (one latency
+// thread per core, every hardware context placeable).
+type mixGen struct {
+	name              string
+	count             int
+	threads, contexts int
 }
 
 // validate rejects unusable flag values with typed errors before any
@@ -77,14 +98,48 @@ func (o *simOptions) validate() error {
 		}
 		switch o.policy {
 		case "smite", "oracle", "random":
-		case "slo", "closedloop":
+		case "slo", "closedloop", "isolation":
 			slo, err := o.sloParams()
 			if err != nil {
 				return err
 			}
 			o.slo = slo
 		default:
-			return &FlagError{Flag: "policy", Value: o.policy, Reason: "want smite, oracle, random, slo or closedloop"}
+			return &FlagError{Flag: "policy", Value: o.policy, Reason: "want smite, oracle, random, slo, closedloop or isolation"}
+		}
+		if o.isolSpec != "" && o.policy != "isolation" {
+			return &FlagError{Flag: "isol", Value: o.isolSpec, Reason: "isolation ladder needs -policy=isolation"}
+		}
+		if o.policy == "isolation" {
+			if o.driftFactor > 0 {
+				return &FlagError{Flag: "drift-factor", Value: fmt.Sprint(o.driftFactor), Reason: "drift injection does not compose with -policy=isolation"}
+			}
+			levels, err := parseIsolLadder(o.isolSpec)
+			if err != nil {
+				return err
+			}
+			o.isolLevels = levels
+		}
+		if o.alloc != "" {
+			if _, err := cluster.AllocPolicyByName(o.alloc); err != nil {
+				return &FlagError{Flag: "alloc", Value: o.alloc, Reason: err.Error()}
+			}
+			if o.policy == "random" {
+				return &FlagError{Flag: "alloc", Value: o.alloc, Reason: "allocation scoring has no effect under -policy=random"}
+			}
+		}
+		if o.machineMix != "" {
+			mix, err := parseMachineMix(o.machineMix)
+			if err != nil {
+				return err
+			}
+			if o.policy == "closedloop" {
+				return &FlagError{Flag: "machine-mix", Value: o.machineMix, Reason: "closedloop does not support heterogeneous machine generations yet"}
+			}
+			if o.driftFactor > 0 {
+				return &FlagError{Flag: "machine-mix", Value: o.machineMix, Reason: "drift injection does not support heterogeneous machine generations yet"}
+			}
+			o.mix = mix
 		}
 		if o.driftFactor < 0 {
 			return &FlagError{Flag: "drift-factor", Value: fmt.Sprint(o.driftFactor), Reason: "drift factor must be non-negative (0 = no drift)"}
@@ -115,8 +170,74 @@ func (o *simOptions) policyKind() cluster.PolicyKind {
 		return cluster.PolicySLO
 	case "closedloop":
 		return cluster.PolicyClosedLoop
+	case "isolation":
+		return cluster.PolicyIsolation
 	}
 	return cluster.PolicySMiTe
+}
+
+// parseMachineMix resolves "gen=weight,..." against the isa machine
+// generation registry, mapping malformed entries onto typed FlagErrors.
+// Weights are relative machine counts: "snb=3,ivb=2" means 3 Sandy
+// Bridge-EN servers for every 2 Ivy Bridge ones, assigned round-robin by
+// global machine ID.
+func parseMachineMix(spec string) ([]mixGen, error) {
+	var mix []mixGen
+	seen := map[string]bool{}
+	for _, field := range strings.Split(spec, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return nil, &FlagError{Flag: "machine-mix", Value: spec, Reason: fmt.Sprintf("entry %q is not gen=weight", field)}
+		}
+		name = strings.TrimSpace(name)
+		cfg, err := isa.MachineGenByName(name)
+		if err != nil {
+			return nil, &FlagError{Flag: "machine-mix", Value: spec, Reason: err.Error()}
+		}
+		if seen[name] {
+			return nil, &FlagError{Flag: "machine-mix", Value: spec, Reason: fmt.Sprintf("generation %q listed twice", name)}
+		}
+		seen[name] = true
+		n, err := strconv.Atoi(strings.TrimSpace(weight))
+		if err != nil || n <= 0 {
+			return nil, &FlagError{Flag: "machine-mix", Value: spec, Reason: fmt.Sprintf("weight %q must be a positive integer", weight)}
+		}
+		mix = append(mix, mixGen{name: name, count: n, threads: cfg.Cores, contexts: cfg.Contexts()})
+	}
+	if len(mix) == 0 {
+		return nil, &FlagError{Flag: "machine-mix", Value: spec, Reason: "empty mix"}
+	}
+	return mix, nil
+}
+
+// parseIsolLadder parses "name:degscale:tax,..." into the enforcement
+// ladder above the implicit level-0 identity, then runs the shared ladder
+// validation (monotone DegScale down, tax up). Empty means the stock
+// isol.DefaultSettings ladder.
+func parseIsolLadder(spec string) ([]isol.Setting, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	levels := []isol.Setting{{Name: "off", ThrottleFrac: 1, DegScale: 1}}
+	for _, field := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(field), ":")
+		if len(parts) != 3 {
+			return nil, &FlagError{Flag: "isol", Value: spec, Reason: fmt.Sprintf("entry %q is not name:degscale:tax", field)}
+		}
+		scale, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, &FlagError{Flag: "isol", Value: spec, Reason: fmt.Sprintf("degscale %q: %v", parts[1], err)}
+		}
+		tax, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return nil, &FlagError{Flag: "isol", Value: spec, Reason: fmt.Sprintf("tax %q: %v", parts[2], err)}
+		}
+		levels = append(levels, isol.Setting{Name: strings.TrimSpace(parts[0]), ThrottleFrac: 1, DegScale: scale, ThroughputTax: tax})
+	}
+	if err := isol.ValidateSettings(levels); err != nil {
+		return nil, &FlagError{Flag: "isol", Value: spec, Reason: err.Error()}
+	}
+	return levels, nil
 }
 
 // sloParams parses the -slo-* flags into simulation parameters, mapping
@@ -231,18 +352,29 @@ func runClusterSim(ctx context.Context, o simOptions, w io.Writer) error {
 		fmt.Fprintf(w, "closed loop: %d drift detections, %d re-characterizations, %d migrations (%d failed)\n",
 			res.Detections, res.Recharacterized, res.Migrations, res.MigrationsFailed)
 	}
+	if summary.Isolation.Enabled {
+		fmt.Fprintf(w, "isolation: %d-level ladder, %d escalations, %d violations resolved in place, %d migrations, throughput tax %.2f%%\n",
+			summary.Isolation.Levels, summary.Isolation.Escalations, summary.Isolation.Resolved,
+			summary.Isolation.Migrations, summary.Isolation.ThroughputTax*100)
+	}
 
 	// Comparison policies ship their own control: the same event streams
 	// rerun with violation accounting held identical — the greedy
 	// QoS-floor policy for -policy=slo, the static SLO gate for
-	// -policy=closedloop — so the summary carries a side-by-side.
-	if cfg.Policy == cluster.PolicySLO || cfg.Policy == cluster.PolicyClosedLoop {
+	// -policy=closedloop and -policy=isolation — so the summary carries a
+	// side-by-side.
+	if cfg.Policy == cluster.PolicySLO || cfg.Policy == cluster.PolicyClosedLoop || cfg.Policy == cluster.PolicyIsolation {
 		control := cfg
 		label := "greedy"
-		if cfg.Policy == cluster.PolicyClosedLoop {
+		switch cfg.Policy {
+		case cluster.PolicyClosedLoop:
 			control.Policy = cluster.PolicySLO
 			label = "static gate"
-		} else {
+		case cluster.PolicyIsolation:
+			control.Policy = cluster.PolicySLO
+			control.Isol = nil
+			label = "no-enforcement gate"
+		default:
 			control.Policy = cluster.PolicySMiTe
 		}
 		base, err := cluster.RunSim(ctx, control, events, o.parallelism)
@@ -279,23 +411,11 @@ func runClusterSim(ctx context.Context, o simOptions, w io.Writer) error {
 // fallback, and the QoS surface precomputed once through that seam.
 func (o *simOptions) simConfig() (cluster.SimConfig, error) {
 	const maxInst = simContexts - simThreads
-	set, tbl, err := cluster.SyntheticWorld(simLats, simBatches, maxInst, o.seed)
-	if err != nil {
-		return cluster.SimConfig{}, err
-	}
-	pred := cluster.NewTieredPredictor(
-		&cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
-		&cluster.TablePredictor{Table: tbl},
-	)
-	pt, err := cluster.BuildPredTable(context.Background(), tbl, nil, cluster.QoSAvg, pred, o.parallelism)
-	if err != nil {
-		return cluster.SimConfig{}, err
-	}
 	arrival := o.arrival
 	if arrival == 0 {
 		arrival = 30 * float64(o.machines)
 	}
-	return cluster.SimConfig{
+	cfg := cluster.SimConfig{
 		Workload: clworkload.Config{
 			Machines: o.machines, Horizon: o.duration,
 			Lats: simLats, Batches: simBatches, Seed: o.seed,
@@ -313,8 +433,62 @@ func (o *simOptions) simConfig() (cluster.SimConfig, error) {
 		Target:            o.target,
 		ThreadsPerServer:  simThreads,
 		ContextsPerServer: simContexts,
-		Table:             pt,
-	}, nil
+		Alloc:             o.alloc,
+	}
+	if o.isolLevels != nil {
+		cfg.Isol = &cluster.IsolSimParams{Levels: o.isolLevels}
+	}
+	if len(o.mix) == 0 {
+		pt, err := o.predTable("", maxInst, o.parallelism)
+		if err != nil {
+			return cluster.SimConfig{}, err
+		}
+		cfg.Table = pt
+		return cfg, nil
+	}
+	// Heterogeneous fleet: each generation interferes on its own seeded
+	// degradation surface (same application populations, same table
+	// shape), with the server geometry of its isa configuration. The
+	// shared table depth fits the tightest generation's idle contexts —
+	// roomier generations simply never fill their last contexts from the
+	// table's point of view.
+	depth := maxInst
+	for _, g := range o.mix {
+		if idle := g.contexts - g.threads; idle < depth {
+			depth = idle
+		}
+	}
+	for _, g := range o.mix {
+		pt, err := o.predTable(g.name, depth, o.parallelism)
+		if err != nil {
+			return cluster.SimConfig{}, err
+		}
+		cfg.MachineGens = append(cfg.MachineGens, cluster.MachineGenSpec{
+			Name: g.name, Count: g.count,
+			Threads: g.threads, Contexts: g.contexts,
+			Table: pt,
+		})
+	}
+	return cfg, nil
+}
+
+// predTable builds one generation's prediction surface through the full
+// serving seam: analytic surrogate curves as the first tier, the seeded
+// measured table as the fallback. An empty gen name is the homogeneous
+// world.
+func (o *simOptions) predTable(gen string, maxInst, parallelism int) (*cluster.PredTable, error) {
+	set, tbl, err := cluster.SyntheticGenWorld(gen, simLats, simBatches, maxInst, o.seed)
+	if gen == "" {
+		set, tbl, err = cluster.SyntheticWorld(simLats, simBatches, maxInst, o.seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	pred := cluster.NewTieredPredictor(
+		&cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
+		&cluster.TablePredictor{Table: tbl},
+	)
+	return cluster.BuildPredTable(context.Background(), tbl, nil, cluster.QoSAvg, pred, parallelism)
 }
 
 // driftSpec lifts the -drift-* flags into the simulator's injected shift

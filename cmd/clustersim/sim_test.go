@@ -42,6 +42,19 @@ func TestSimFlagValidation(t *testing.T) {
 		{"negative slo headroom", []string{"-sim", "-policy", "slo", "-slo-headroom", "-0.1"}, "slo-headroom"},
 		{"zero slo mu", []string{"-sim", "-policy", "slo", "-slo-mu", "0"}, "slo-mu"},
 		{"zero slo lambda", []string{"-sim", "-policy", "slo", "-slo-lambda", "0"}, "slo-lambda"},
+		{"isol without policy", []string{"-sim", "-isol", "a:0.5:0.1"}, "isol"},
+		{"malformed isol entry", []string{"-sim", "-policy", "isolation", "-isol", "a:0.5"}, "isol"},
+		{"isol degscale rises", []string{"-sim", "-policy", "isolation", "-isol", "a:0.5:0.1,b:0.7:0.2"}, "isol"},
+		{"isol degscale zero", []string{"-sim", "-policy", "isolation", "-isol", "a:0:0.1"}, "isol"},
+		{"isolation with drift", []string{"-sim", "-policy", "isolation", "-drift-factor", "1.5"}, "drift-factor"},
+		{"unknown alloc", []string{"-sim", "-alloc", "tetris"}, "alloc"},
+		{"alloc under random", []string{"-sim", "-policy", "random", "-alloc", "spread"}, "alloc"},
+		{"malformed machine mix", []string{"-sim", "-machine-mix", "snb"}, "machine-mix"},
+		{"unknown machine gen", []string{"-sim", "-machine-mix", "alpha=1"}, "machine-mix"},
+		{"duplicate machine gen", []string{"-sim", "-machine-mix", "snb=1,snb=2"}, "machine-mix"},
+		{"zero mix weight", []string{"-sim", "-machine-mix", "snb=0"}, "machine-mix"},
+		{"mix with closedloop", []string{"-sim", "-policy", "closedloop", "-machine-mix", "snb=1"}, "machine-mix"},
+		{"mix with drift", []string{"-sim", "-machine-mix", "snb=1", "-drift-factor", "1.2"}, "machine-mix"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -224,6 +237,81 @@ func TestSimSLOPolicyCLI(t *testing.T) {
 	}
 	if s.Saturation.Signal == "" {
 		t.Error("summary carries no saturation signal")
+	}
+}
+
+// TestSimIsolationCLI drives -policy=isolation over a heterogeneous
+// machine mix with a pluggable allocation policy end to end: the report
+// carries the isolation activity line and the no-enforcement comparison,
+// the summary JSON carries the always-present isolation block with the
+// ladder enabled, and the emitted bytes are identical at -parallelism 1
+// and 8.
+func TestSimIsolationCLI(t *testing.T) {
+	dir := t.TempDir()
+	sum1 := filepath.Join(dir, "p1.json")
+	sum8 := filepath.Join(dir, "p8.json")
+	base := []string{
+		"-sim", "-machines", "60", "-duration", "1", "-seed", "11",
+		"-policy", "isolation", "-machine-mix", "snb=3,ivb=2", "-alloc", "spread",
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), append(base, "-summary-json", sum1, "-parallelism", "1"), &out); err != nil {
+		t.Fatalf("parallelism 1: %v", err)
+	}
+	for _, want := range []string{"policy Isolation", "isolation:", "vs no-enforcement gate (SLO):"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("report missing %q in:\n%s", want, out.String())
+		}
+	}
+	out.Reset()
+	if err := run(context.Background(), append(base, "-summary-json", sum8, "-parallelism", "8"), &out); err != nil {
+		t.Fatalf("parallelism 8: %v", err)
+	}
+	a, err := os.ReadFile(sum1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(sum8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Errorf("isolation summary differs across parallelism:\n%s\nvs\n%s", a, b)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(a))
+	dec.DisallowUnknownFields()
+	var s cluster.Summary
+	if err := dec.Decode(&s); err != nil {
+		t.Fatalf("summary JSON does not decode strictly: %v", err)
+	}
+	if s.Policy != "Isolation" {
+		t.Errorf("summary policy %q, want Isolation", s.Policy)
+	}
+	if !s.Isolation.Enabled || s.Isolation.Levels != 4 {
+		t.Errorf("isolation block %+v, want enabled with the 4-level stock ladder", s.Isolation)
+	}
+	if s.Baseline == nil || s.Baseline.Policy != "SLO" {
+		t.Fatalf("isolation summary baseline %+v, want the SLO gate", s.Baseline)
+	}
+	// A custom two-level ladder surfaces in the summary.
+	out.Reset()
+	if err := run(context.Background(), []string{
+		"-sim", "-machines", "40", "-duration", "0.5", "-seed", "11",
+		"-policy", "isolation", "-isol", "half:0.7:0.05", "-summary-json", "-",
+	}, &out); err != nil {
+		t.Fatalf("custom ladder: %v", err)
+	}
+	i := strings.Index(out.String(), "{")
+	if i < 0 {
+		t.Fatalf("no JSON in output:\n%s", out.String())
+	}
+	var cs cluster.Summary
+	if err := json.Unmarshal([]byte(out.String()[i:]), &cs); err != nil {
+		t.Fatal(err)
+	}
+	if cs.Isolation.Levels != 2 {
+		t.Errorf("custom ladder levels %d, want 2", cs.Isolation.Levels)
 	}
 }
 

@@ -10,6 +10,7 @@
 //	smite measure -victim 444.namd -aggressor 429.mcf [-fast] [-timeline-out t.json]
 //	smite fit [-apps 429.mcf,470.lbm,...] -out set.json [-store dir] [-train] [-fast]
 //	smite surrogate -set set.json [-victim web-search -aggressor 470.lbm]
+//	smite isol -victim web-search -aggressor 470.lbm [-ways 0,2,8] [-throttle 64]
 //	smite version
 //
 // Every simulation subcommand accepts -trace-out to dump a Chrome trace of
@@ -59,6 +60,8 @@ func main() {
 		err = fit(ctx, os.Args[2:])
 	case "surrogate":
 		err = surrogateCmd(os.Args[2:])
+	case "isol":
+		err = isolCmd(ctx, os.Args[2:], os.Stdout)
 	case "version", "-version", "--version":
 		printVersion(os.Stdout)
 	default:
@@ -81,6 +84,7 @@ func usage() {
   smite measure -victim <name> -aggressor <name> [-fast] [-timeline-out <file>]
   smite fit [-apps a,b,...] -out <set.json> [-store <dir>] [-train] [-fast]
   smite surrogate -set <set.json> [-victim <name> -aggressor <name>]
+  smite isol -victim <name> -aggressor <name> [-ways 0,2,8] [-throttle <cycles>] [-json <file>]
   smite version
 
 simulation subcommands also accept -trace-out <file> (Chrome trace of the

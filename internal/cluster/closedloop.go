@@ -223,7 +223,7 @@ func (s *shardSim) migrateWorst(lat, b int, at float64) {
 	cl := s.cl
 	worstState, worstSlack := -1, math.Inf(1)
 	for n := s.maxInst; n >= 1; n-- {
-		state := s.bucketIdx(lat, 1+b, n)
+		state := s.bucketIdx(0, 0, lat, 1+b, n)
 		if s.buckets[state].Len() == 0 {
 			continue
 		}

@@ -127,6 +127,13 @@ const (
 	// the measured surface, re-scores its admission gate, and migrates the
 	// worst-offending machine's newest instance off the drifted cell.
 	PolicyClosedLoop
+	// PolicyIsolation starts from the PolicySLO gate but actuates hardware
+	// QoS enforcement before migrating (DESIGN.md §15): a violating
+	// co-location escalates its machine through the discrete isolation
+	// ladder (SimConfig.Isol — way partitions and bandwidth throttles
+	// abstracted to their modeled shielding), and only when no operating
+	// point clears the class budget does the instance migrate away.
+	PolicyIsolation
 )
 
 // String names the policy.
@@ -142,6 +149,8 @@ func (k PolicyKind) String() string {
 		return "SLO"
 	case PolicyClosedLoop:
 		return "ClosedLoop"
+	case PolicyIsolation:
+		return "Isolation"
 	}
 	return fmt.Sprintf("PolicyKind(%d)", int(k))
 }

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	clworkload "repro/internal/cluster/workload"
+	"repro/internal/isol"
 	"repro/internal/sched"
 	"repro/internal/xrand"
 )
@@ -73,6 +74,32 @@ type SimConfig struct {
 	// apples-to-apples. Schema addition: traces without it replay
 	// unchanged (trace format version 1).
 	Drift *DriftSpec `json:"drift,omitempty"`
+	// MachineGens, when set, makes the fleet heterogeneous: each machine
+	// generation brings its own prediction table and geometry, with Table
+	// left nil (isolation.go). Schema addition: homogeneous traces replay
+	// unchanged.
+	MachineGens []MachineGenSpec `json:"machine_gens,omitempty"`
+	// Isol carries the isolation ladder PolicyIsolation escalates through;
+	// nil picks isol.DefaultSettings. Only meaningful (and only accepted)
+	// with PolicyIsolation.
+	Isol *IsolSimParams `json:"isolation,omitempty"`
+	// Alloc names the thread-to-core allocation policy scoring the
+	// admission scan (AllocPolicies); empty is the bestfit default, which
+	// reproduces the historical greedy behaviour bit-for-bit.
+	Alloc string `json:"alloc,omitempty"`
+}
+
+// genTables returns the per-generation prediction tables (len ≥ 1; the
+// homogeneous fleet is a single unnamed generation backed by Table).
+func (c *SimConfig) genTables() []*PredTable {
+	if len(c.MachineGens) > 0 {
+		ts := make([]*PredTable, len(c.MachineGens))
+		for i, g := range c.MachineGens {
+			ts[i] = g.Table
+		}
+		return ts
+	}
+	return []*PredTable{c.Table}
 }
 
 // withDefaults normalises zero-valued knobs.
@@ -81,6 +108,9 @@ func (c SimConfig) withDefaults() SimConfig {
 		c.Shards = DefaultShards
 	}
 	c.SLO = c.SLO.withDefaults()
+	if c.Policy == PolicyIsolation {
+		c.Isol = c.Isol.withDefaults()
+	}
 	return c
 }
 
@@ -94,12 +124,30 @@ func (c SimConfig) Validate() error {
 		return fmt.Errorf("cluster: sim shards must be non-negative, got %d", c.Shards)
 	}
 	switch c.Policy {
-	case PolicySMiTe, PolicyOracle, PolicyRandom, PolicySLO, PolicyClosedLoop:
+	case PolicySMiTe, PolicyOracle, PolicyRandom, PolicySLO, PolicyClosedLoop, PolicyIsolation:
 	default:
 		return fmt.Errorf("cluster: unknown policy %d", int(c.Policy))
 	}
-	if (c.Policy == PolicySLO || c.Policy == PolicyClosedLoop) && c.SLO == nil {
+	if (c.Policy == PolicySLO || c.Policy == PolicyClosedLoop || c.Policy == PolicyIsolation) && c.SLO == nil {
 		return fmt.Errorf("cluster: policy %s needs SLO parameters", c.Policy)
+	}
+	if c.Policy == PolicyIsolation {
+		if err := c.Isol.Validate(); err != nil {
+			return err
+		}
+		if c.Drift != nil {
+			return fmt.Errorf("cluster: policy %s does not compose with drift injection", c.Policy)
+		}
+	} else if c.Isol != nil {
+		return fmt.Errorf("cluster: isolation parameters need policy %s, got %s", PolicyIsolation, c.Policy)
+	}
+	if c.Alloc != "" {
+		if _, err := AllocPolicyByName(c.Alloc); err != nil {
+			return err
+		}
+		if c.Policy == PolicyRandom {
+			return fmt.Errorf("cluster: alloc policy %q has no effect under policy %s", c.Alloc, c.Policy)
+		}
 	}
 	if err := c.Drift.Validate(c.Workload.Batches); err != nil {
 		return err
@@ -118,19 +166,80 @@ func (c SimConfig) Validate() error {
 	if c.ThreadsPerServer >= c.ContextsPerServer {
 		return fmt.Errorf("cluster: %d threads leave no idle context of %d", c.ThreadsPerServer, c.ContextsPerServer)
 	}
-	if err := c.Table.Validate(); err != nil {
+	if err := c.validateFleet(); err != nil {
 		return err
 	}
-	if c.SLO != nil && !c.Table.HasDegradations() {
-		return fmt.Errorf("cluster: SLO-gated run needs a table with the degradation surface (rebuild with BuildPredTable)")
+	return nil
+}
+
+// validateFleet checks the prediction table(s) and per-generation geometry
+// against the workload and policy — the homogeneous single-table fleet and
+// the heterogeneous MachineGens fleet share every per-table rule.
+func (c *SimConfig) validateFleet() error {
+	checkTable := func(scope string, t *PredTable, threads, contexts int) error {
+		wrap := func(err error) error {
+			if scope == "" {
+				return err
+			}
+			return fmt.Errorf("cluster: %s: %w", scope, err)
+		}
+		if err := t.Validate(); err != nil {
+			return wrap(err)
+		}
+		if c.SLO != nil && !t.HasDegradations() {
+			return wrap(fmt.Errorf("cluster: SLO-gated run needs a table with the degradation surface (rebuild with BuildPredTable)"))
+		}
+		if len(t.LatencyApps) != c.Workload.Lats || len(t.BatchApps) != c.Workload.Batches {
+			return wrap(fmt.Errorf("cluster: table is %d×%d apps but workload generates %d×%d",
+				len(t.LatencyApps), len(t.BatchApps), c.Workload.Lats, c.Workload.Batches))
+		}
+		if t.MaxInstances > contexts-threads {
+			return wrap(fmt.Errorf("cluster: %d instances exceed %d idle contexts",
+				t.MaxInstances, contexts-threads))
+		}
+		return nil
 	}
-	if len(c.Table.LatencyApps) != c.Workload.Lats || len(c.Table.BatchApps) != c.Workload.Batches {
-		return fmt.Errorf("cluster: table is %d×%d apps but workload generates %d×%d",
-			len(c.Table.LatencyApps), len(c.Table.BatchApps), c.Workload.Lats, c.Workload.Batches)
+	if len(c.MachineGens) == 0 {
+		return checkTable("", c.Table, c.ThreadsPerServer, c.ContextsPerServer)
 	}
-	if c.Table.MaxInstances > c.ContextsPerServer-c.ThreadsPerServer {
-		return fmt.Errorf("cluster: %d instances exceed %d idle contexts",
-			c.Table.MaxInstances, c.ContextsPerServer-c.ThreadsPerServer)
+	if c.Table != nil {
+		return fmt.Errorf("cluster: machine generations carry their own tables; leave Table nil")
+	}
+	if c.Policy == PolicyClosedLoop {
+		return fmt.Errorf("cluster: policy %s does not support heterogeneous machine generations yet", c.Policy)
+	}
+	if c.Drift != nil {
+		return fmt.Errorf("cluster: drift injection does not support heterogeneous machine generations yet")
+	}
+	ref := c.MachineGens[0].Table
+	seen := make(map[string]bool, len(c.MachineGens))
+	for i, g := range c.MachineGens {
+		if g.Name == "" {
+			return fmt.Errorf("cluster: machine generation %d has no name", i)
+		}
+		if seen[g.Name] {
+			return fmt.Errorf("cluster: duplicate machine generation %q", g.Name)
+		}
+		seen[g.Name] = true
+		if g.Count <= 0 {
+			return fmt.Errorf("cluster: machine generation %q count %d must be positive", g.Name, g.Count)
+		}
+		threads, contexts := g.geometry(c)
+		if threads <= 0 || contexts <= 0 || threads >= contexts {
+			return fmt.Errorf("cluster: machine generation %q geometry %d/%d leaves no idle context", g.Name, threads, contexts)
+		}
+		if err := checkTable(fmt.Sprintf("machine generation %q", g.Name), g.Table, threads, contexts); err != nil {
+			return err
+		}
+		if ref != nil && g.Table != nil {
+			if len(g.Table.LatencyApps) != len(ref.LatencyApps) ||
+				len(g.Table.BatchApps) != len(ref.BatchApps) ||
+				g.Table.MaxInstances != ref.MaxInstances ||
+				g.Table.QoS != ref.QoS {
+				return fmt.Errorf("cluster: machine generation %q table shape differs from %q (generations must share populations, MaxInstances, and QoS kind)",
+					g.Name, c.MachineGens[0].Name)
+			}
+		}
 	}
 	return nil
 }
@@ -208,11 +317,21 @@ type SimResult struct {
 
 	// Closed-loop activity (PolicyClosedLoop only): confirmed drift
 	// detections, (lat, batch)-pair re-characterizations, and attempted
-	// instance migrations.
+	// instance migrations. PolicyIsolation reuses the migration counters
+	// for its last-resort moves.
 	Detections       int
 	Recharacterized  int
 	Migrations       int
 	MigrationsFailed int
+
+	// Isolation activity (PolicyIsolation only): ladder escalations,
+	// violations an engaged operating point absorbed without any
+	// migration, the ladder depth, and the machine-time-weighted mean
+	// throughput tax the engaged levels cost the fleet.
+	Isolations        int
+	IsolationResolved int
+	IsolationLevels   int
+	IsolationTax      float64
 
 	// SLOParams echoes the run's (normalised) SLO parameters, nil for
 	// QoS-floor runs; Summary reads its saturation thresholds.
@@ -235,25 +354,17 @@ func RunSim(ctx context.Context, cfg SimConfig, shards [][]clworkload.Event, wor
 	if len(shards) != cfg.Shards {
 		return SimResult{}, fmt.Errorf("cluster: %d event shards for %d sim shards", len(shards), cfg.Shards)
 	}
-	// The SLO admission/violation surface is a pure function of the
-	// table and the SLO parameters; precompute it once and share it
+	// The admission/violation surfaces — one per (generation, isolation
+	// level) pair — and the post-drift measured surface are pure functions
+	// of the tables and parameters; precompute them once and share them
 	// read-only across shards.
-	var gate *sloGate
-	if cfg.SLO != nil {
-		var err error
-		if gate, err = buildSLOGate(cfg.Table, cfg.SLO); err != nil {
-			return SimResult{}, err
-		}
-	}
-	// Like the gate, the post-drift measured surface is a pure function of
-	// the table and the spec; precompute it once, read-only.
-	var dw *driftWorld
-	if cfg.Drift != nil {
-		dw = buildDriftWorld(cfg.Table, cfg.SLO, cfg.Drift)
+	world, err := buildSimWorld(&cfg)
+	if err != nil {
+		return SimResult{}, err
 	}
 	results := make([]shardResult, cfg.Shards)
-	err := sched.Map(ctx, cfg.Shards, workers, func(ctx context.Context, i int) error {
-		r, err := runShard(ctx, &cfg, gate, dw, i, shards[i])
+	err = sched.Map(ctx, cfg.Shards, workers, func(ctx context.Context, i int) error {
+		r, err := runShard(ctx, &cfg, world, i, shards[i])
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
@@ -268,21 +379,26 @@ func RunSim(ctx context.Context, cfg SimConfig, shards [][]clworkload.Event, wor
 
 // shardResult is one cell's contribution before the deterministic merge.
 type shardResult struct {
-	events                       int
-	arrived, placed, rejected    int
-	departed, evicted            int
-	machinesStart, machinesEnd   int
-	ups, downs                   int
-	violations                   int
-	detections, recharacterized  int
-	migrations, migrationsFailed int
-	busyInt, ctxInt, baseInt     float64 // utilisation integrals
-	peak                         float64
-	log                          []Placement
+	events                        int
+	arrived, placed, rejected     int
+	departed, evicted             int
+	machinesStart, machinesEnd    int
+	ups, downs                    int
+	violations                    int
+	detections, recharacterized   int
+	migrations, migrationsFailed  int
+	isolations, isolationResolved int
+	busyInt, ctxInt, baseInt      float64 // utilisation integrals
+	taxInt                        float64 // throughput-tax integral (PolicyIsolation)
+	peak                          float64
+	log                           []Placement
 }
 
 func mergeShards(cfg SimConfig, rs []shardResult) SimResult {
-	out := SimResult{Policy: cfg.Policy, QoS: cfg.Table.QoS, Target: cfg.Target, SLOParams: cfg.SLO}
+	out := SimResult{Policy: cfg.Policy, QoS: cfg.genTables()[0].QoS, Target: cfg.Target, SLOParams: cfg.SLO}
+	if cfg.Policy == PolicyIsolation {
+		out.IsolationLevels = len(cfg.Isol.Levels)
+	}
 	logLen := 0
 	for _, r := range rs {
 		out.Events += r.events
@@ -300,20 +416,24 @@ func mergeShards(cfg SimConfig, rs []shardResult) SimResult {
 		out.Recharacterized += r.recharacterized
 		out.Migrations += r.migrations
 		out.MigrationsFailed += r.migrationsFailed
+		out.Isolations += r.isolations
+		out.IsolationResolved += r.isolationResolved
 		if r.peak > out.PeakUtilization {
 			out.PeakUtilization = r.peak
 		}
 		logLen += len(r.log)
 	}
-	var busy, ctx, base float64
+	var busy, ctx, base, tax float64
 	for _, r := range rs {
 		busy += r.busyInt
 		ctx += r.ctxInt
 		base += r.baseInt
+		tax += r.taxInt
 	}
 	if ctx > 0 {
 		out.MeanUtilization = busy / ctx
 		out.BaselineUtilization = base / ctx
+		out.IsolationTax = tax / ctx
 	}
 	if out.Placed > 0 {
 		out.ViolationFrac = float64(out.Violations) / float64(out.Placed)
@@ -342,6 +462,8 @@ type simMachine struct {
 	lat   int16
 	batch int16 // −1 when no batch app is resident
 	n     int16
+	gen   int16 // machine generation index (0 for homogeneous fleets)
+	level int16 // engaged isolation level (0 = off; resets when n hits 0)
 	up    bool
 	jobs  []int64 // live departure-event handles
 }
@@ -349,8 +471,8 @@ type simMachine struct {
 // shardSim is the per-cell simulation state.
 type shardSim struct {
 	cfg   *SimConfig
-	t     *PredTable
-	gate  *sloGate    // non-nil when cfg.SLO is set; read-only
+	w     *simWorld   // shared read-only surfaces (tables, gates, drift)
+	t     *PredTable  // w.tables[0]: bucket geometry (shapes are shared)
 	dw    *driftWorld // non-nil when cfg.Drift is set; read-only
 	cl    *closedLoop // non-nil for PolicyClosedLoop; shard-local
 	shard int
@@ -363,25 +485,57 @@ type shardSim struct {
 	handle   int64
 	rng      *xrand.Rand // Random-policy draws only
 
-	nBatch, maxInst int
+	nLat, nBatch, maxInst int
+	nGens, nLevels        int
 
-	// Utilisation integrals.
+	// tables and gates alias simWorld for brevity in the hot loop; levels
+	// is the isolation ladder (nil unless PolicyIsolation). qfAdmit and
+	// qfSlack are the per-generation QoS-floor admission surfaces the
+	// SMiTe/Oracle policies scan (q ≥ target, headroom q − target).
+	tables  []*PredTable
+	gates   [][]*sloGate
+	levels  []isol.Setting
+	qfAdmit [][]bool
+	qfSlack [][]float64
+
+	// Utilisation integrals. taxNow is exactly 0.0 whenever the isolation
+	// ladder is off, so the integral never perturbs pre-isolation results.
 	busyNow, ctxNow, baseNow int
+	taxNow                   float64
 	lastT                    float64
 	res                      shardResult
 }
 
-// bucketIdx flattens machine state (lat, resident batch or −1, n) to its
-// occupancy bucket. batchState 0 is "empty"; 1+b is "running batch b".
-func (s *shardSim) bucketIdx(lat, batchState, n int) int {
-	return (lat*(s.nBatch+1)+batchState)*(s.maxInst+1) + n
+// bucketIdx flattens machine state (generation, isolation level, lat,
+// resident batch or −1, n) to its occupancy bucket. batchState 0 is
+// "empty"; 1+b is "running batch b". Homogeneous, non-isolated fleets
+// collapse to (gen, level) = (0, 0), reproducing the historical index.
+func (s *shardSim) bucketIdx(gen, level, lat, batchState, n int) int {
+	return (((gen*s.nLevels+level)*s.nLat+lat)*(s.nBatch+1)+batchState)*(s.maxInst+1) + n
 }
 
 func (s *shardSim) stateOf(m *simMachine) int {
 	if m.batch < 0 {
-		return s.bucketIdx(int(m.lat), 0, 0)
+		return s.bucketIdx(int(m.gen), int(m.level), int(m.lat), 0, 0)
 	}
-	return s.bucketIdx(int(m.lat), 1+int(m.batch), int(m.n))
+	return s.bucketIdx(int(m.gen), int(m.level), int(m.lat), 1+int(m.batch), int(m.n))
+}
+
+// genOf maps a global machine id to its generation: the id's slot in the
+// repeating ΣCounts-long generation pattern, so membership is stable
+// across churn and identical in every shard layout.
+func (s *shardSim) genOf(global int64) int {
+	cum := s.w.genCum
+	if len(cum) == 0 {
+		return 0
+	}
+	idx := int(global % int64(cum[len(cum)-1]))
+	for g, c := range cum {
+		if idx < c {
+			return g
+		}
+	}
+	return len(cum) - 1
 }
 
 // globalID reconstructs the fleet-wide machine id from a local one.
@@ -396,6 +550,7 @@ func (s *shardSim) account(now float64) {
 		s.res.busyInt += float64(s.busyNow) * dt
 		s.res.ctxInt += float64(s.ctxNow) * dt
 		s.res.baseInt += float64(s.baseNow) * dt
+		s.res.taxInt += s.taxNow * dt
 		if u := float64(s.busyNow) / float64(s.ctxNow); u > s.res.peak {
 			s.res.peak = u
 		}
@@ -406,14 +561,15 @@ func (s *shardSim) account(now float64) {
 // addMachine brings a machine up running latency app lat.
 func (s *shardSim) addMachine(lat int) int32 {
 	local := int32(len(s.machines))
-	s.machines = append(s.machines, simMachine{lat: int16(lat), batch: -1})
+	gen := s.genOf(s.globalID(local))
+	s.machines = append(s.machines, simMachine{lat: int16(lat), batch: -1, gen: int16(gen)})
 	m := &s.machines[local]
 	m.up = true
 	s.upIDs = append(s.upIDs, local) // ids are monotone, so append keeps order
 	s.buckets[s.stateOf(m)].Push(0, 0, int64(local))
-	s.busyNow += s.cfg.ThreadsPerServer
-	s.baseNow += s.cfg.ThreadsPerServer
-	s.ctxNow += s.cfg.ContextsPerServer
+	s.busyNow += s.w.geoms[gen].threads
+	s.baseNow += s.w.geoms[gen].threads
+	s.ctxNow += s.w.geoms[gen].contexts
 	return local
 }
 
@@ -436,12 +592,14 @@ func (s *shardSim) dropMachine(rank float64) {
 		delete(s.owner, h)
 		s.res.evicted++
 	}
-	s.busyNow -= s.cfg.ThreadsPerServer + int(m.n)
-	s.baseNow -= s.cfg.ThreadsPerServer
-	s.ctxNow -= s.cfg.ContextsPerServer
+	geom := s.w.geoms[m.gen]
+	s.busyNow -= geom.threads + int(m.n)
+	s.baseNow -= geom.threads
+	s.ctxNow -= geom.contexts
+	s.taxNow -= s.taxOf(m)
 	m.up = false
 	m.jobs = m.jobs[:0]
-	m.batch, m.n = -1, 0
+	m.batch, m.n, m.level = -1, 0, 0
 	s.res.downs++
 }
 
@@ -450,9 +608,9 @@ func (s *shardSim) dropMachine(rank float64) {
 func (s *shardSim) place(local int32, b int, at, duration float64) {
 	m := &s.machines[local]
 	s.buckets[s.stateOf(m)].Remove(int64(local))
+	oldTax := s.taxOf(m)
 	m.batch = int16(b)
 	m.n++
-	s.buckets[s.stateOf(m)].Push(0, 0, int64(local))
 	h := s.handle
 	s.handle++
 	s.events.Push(at+duration, uint64(h), h)
@@ -464,19 +622,26 @@ func (s *shardSim) place(local int32, b int, at, duration float64) {
 	// SLO parameters are set (for every policy, so greedy-vs-SLO studies
 	// count violations identically), against the QoS floor otherwise —
 	// reading the post-drift measured surface once the drift has landed,
-	// again for every policy.
-	cell := s.t.Cell(int(m.lat), b, int(m.n))
+	// again for every policy. PolicyIsolation interposes its enforcement
+	// ladder: escalate the machine's operating point first, and only count
+	// (and migrate) the violations no level can absorb.
+	t := s.tables[m.gen]
+	cell := t.Cell(int(m.lat), b, int(m.n))
 	drifted := s.dw != nil && at >= s.dw.at
-	if s.gate != nil {
-		violate := s.gate.violate
+	unresolved := false
+	switch {
+	case s.nLevels > 1:
+		unresolved = s.enforceIsolation(m, cell)
+	case s.gates != nil:
+		violate := s.gates[m.gen][0].violate
 		if drifted {
 			violate = s.dw.violate
 		}
 		if violate[cell] {
 			s.res.violations++
 		}
-	} else {
-		qos := s.t.ActualQoS[cell]
+	default:
+		qos := t.ActualQoS[cell]
 		if drifted {
 			qos = s.dw.actualQoS[cell]
 		}
@@ -484,12 +649,17 @@ func (s *shardSim) place(local int32, b int, at, duration float64) {
 			s.res.violations++
 		}
 	}
+	s.buckets[s.stateOf(m)].Push(0, 0, int64(local))
+	s.taxNow += s.taxOf(m) - oldTax
 	s.res.log = append(s.res.log, Placement{
 		At: at, Shard: int32(s.shard), Seq: uint32(len(s.res.log)),
 		Machine: s.globalID(local), Lat: m.lat, Batch: int16(b), N: m.n,
 	})
 	if s.cl != nil {
 		s.observeClosedLoop(int(m.lat), b, cell, at)
+	}
+	if unresolved {
+		s.migrateNewest(local, b, at)
 	}
 }
 
@@ -505,22 +675,44 @@ func (s *shardSim) depart(h int64) {
 		}
 	}
 	s.buckets[s.stateOf(m)].Remove(int64(local))
+	oldTax := s.taxOf(m)
 	m.n--
 	if m.n == 0 {
+		// Draining the last instance also disengages isolation: an empty
+		// machine returns to the unpartitioned, unthrottled pool.
 		m.batch = -1
+		m.level = 0
 	}
 	s.buckets[s.stateOf(m)].Push(0, 0, int64(local))
+	s.taxNow += s.taxOf(m) - oldTax
 	s.busyNow--
 	s.res.departed++
 }
 
+// admission returns the per-cell admissible/slack surfaces the scan reads
+// for (generation, isolation level) candidates. QoS-floor policies pack by
+// QoS headroom above the target; SLO-family policies by predicted
+// tail-latency slack under the effective budget; the closed loop reads its
+// shard-local re-scored working copy.
+func (s *shardSim) admission(gen, level int) (admit []bool, slack []float64) {
+	switch {
+	case s.cfg.Policy == PolicyClosedLoop:
+		return s.cl.admit, s.cl.slack
+	case s.cfg.Policy == PolicySLO || s.cfg.Policy == PolicyIsolation:
+		g := s.gates[gen][level]
+		return g.admit, g.slack
+	default:
+		return s.qfAdmit[gen], s.qfSlack[gen]
+	}
+}
+
 // admit picks the machine for one instance of batch b, or −1 to reject.
-// SMiTe and Oracle are best-fit by QoS headroom, SLO best-fit by
-// tail-latency slack under the admission gate — all over the occupancy
-// buckets: O(lats × instances) bucket peeks, never a fleet scan — with
-// deterministic tie-breaks (first admissible state in bucket order, then
-// lowest machine id). Random probes the up-machine ring for spare
-// capacity, ignoring QoS.
+// All non-Random policies scan the occupancy buckets — O(generations ×
+// levels × lats × instances) bucket peeks, never a fleet scan — scoring
+// admissible candidates with the configured allocation policy (bestfit by
+// default: tightest headroom wins) under deterministic tie-breaks (first
+// admissible state in bucket-scan order, then lowest machine id). Random
+// probes the up-machine ring for spare capacity, ignoring QoS.
 func (s *shardSim) admit(b int) int32 {
 	if s.cfg.Policy == PolicyRandom {
 		if len(s.upIDs) == 0 {
@@ -536,49 +728,48 @@ func (s *shardSim) admit(b int) int32 {
 		}
 		return -1
 	}
-	// score reports whether the cell is admissible and its best-fit score
-	// (lower is tighter). QoS-floor policies pack by QoS headroom above
-	// the target; the SLO gate packs by predicted tail-latency slack
-	// under the effective budget.
-	var score func(cell int) (bool, float64)
-	switch {
-	case s.cfg.Policy == PolicyClosedLoop:
-		// Same gate shape as PolicySLO, but over the shard's re-scored
-		// working copy, which re-characterization rewrites mid-run.
-		cl := s.cl
-		score = func(cell int) (bool, float64) { return cl.admit[cell], cl.slack[cell] }
-	case s.cfg.Policy == PolicySLO:
-		g := s.gate
-		score = func(cell int) (bool, float64) { return g.admit[cell], g.slack[cell] }
-	default:
-		qos := s.t.PredQoS
-		if s.cfg.Policy == PolicyOracle {
-			qos = s.t.ActualQoS
-		}
-		target := s.cfg.Target
-		score = func(cell int) (bool, float64) {
-			q := qos[cell]
-			return q >= target, q - target
-		}
-	}
+	alloc := s.w.alloc
 	bestState := -1
 	bestScore := math.Inf(1)
-	for lat := 0; lat < len(s.t.LatencyApps); lat++ {
-		// Empty machines take the first instance; occupied ones stack more
-		// of the same batch kind up to MaxInstances.
-		if s.buckets[s.bucketIdx(lat, 0, 0)].Len() > 0 {
-			if ok, sc := score(s.t.Cell(lat, b, 1)); ok && sc < bestScore {
-				bestScore = sc
-				bestState = s.bucketIdx(lat, 0, 0)
-			}
-		}
-		for n := 1; n < s.maxInst; n++ {
-			if s.buckets[s.bucketIdx(lat, 1+b, n)].Len() == 0 {
-				continue
-			}
-			if ok, sc := score(s.t.Cell(lat, b, n+1)); ok && sc < bestScore {
-				bestScore = sc
-				bestState = s.bucketIdx(lat, 1+b, n)
+	for gen := 0; gen < s.nGens; gen++ {
+		t := s.tables[gen]
+		for level := 0; level < s.nLevels; level++ {
+			admit, slack := s.admission(gen, level)
+			for lat := 0; lat < s.nLat; lat++ {
+				// Empty machines take the first instance (they are always at
+				// level 0 — isolation disengages when a machine drains);
+				// occupied ones stack more of the same batch kind up to
+				// MaxInstances.
+				if level == 0 {
+					if state := s.bucketIdx(gen, 0, lat, 0, 0); s.buckets[state].Len() > 0 {
+						if cell := t.Cell(lat, b, 1); admit[cell] {
+							sc := slack[cell]
+							if alloc != nil {
+								sc = alloc(slack[cell], 1, predDegOf(t, cell))
+							}
+							if sc < bestScore {
+								bestScore = sc
+								bestState = state
+							}
+						}
+					}
+				}
+				for n := 1; n < s.maxInst; n++ {
+					state := s.bucketIdx(gen, level, lat, 1+b, n)
+					if s.buckets[state].Len() == 0 {
+						continue
+					}
+					if cell := t.Cell(lat, b, n+1); admit[cell] {
+						sc := slack[cell]
+						if alloc != nil {
+							sc = alloc(slack[cell], n+1, predDegOf(t, cell))
+						}
+						if sc < bestScore {
+							bestScore = sc
+							bestState = state
+						}
+					}
+				}
 			}
 		}
 	}
@@ -592,19 +783,43 @@ func (s *shardSim) admit(b int) int32 {
 // the per-shard event loop.
 const ctxCheckInterval = 1 << 16
 
-func runShard(ctx context.Context, cfg *SimConfig, gate *sloGate, dw *driftWorld, shard int, exo []clworkload.Event) (shardResult, error) {
+func runShard(ctx context.Context, cfg *SimConfig, w *simWorld, shard int, exo []clworkload.Event) (shardResult, error) {
 	nLat, nBatch := cfg.Workload.Lats, cfg.Workload.Batches
 	s := &shardSim{
-		cfg: cfg, t: cfg.Table, gate: gate, dw: dw, shard: shard,
-		nBatch: nBatch, maxInst: cfg.Table.MaxInstances,
+		cfg: cfg, w: w, t: w.tables[0], dw: w.dw, shard: shard,
+		nLat: nLat, nBatch: nBatch, maxInst: w.tables[0].MaxInstances,
+		nGens: len(w.tables), nLevels: 1,
+		tables: w.tables, gates: w.gates, levels: w.levels,
 		events: newIheap(),
 		owner:  make(map[int64]int32),
 		rng:    xrand.New(cfg.Workload.Seed ^ 0x51A1 ^ (uint64(shard)+1)*0xBF58476D1CE4E5B9),
 	}
-	if cfg.Policy == PolicyClosedLoop {
-		s.cl = newClosedLoop(cfg.Table, gate, cfg.SLO)
+	if len(w.levels) > 0 {
+		s.nLevels = len(w.levels)
 	}
-	s.buckets = make([]*iheap, nLat*(nBatch+1)*(s.maxInst+1))
+	if cfg.Policy == PolicyClosedLoop {
+		s.cl = newClosedLoop(cfg.Table, w.gates[0][0], cfg.SLO)
+	}
+	if cfg.Policy != PolicySLO && cfg.Policy != PolicyClosedLoop && cfg.Policy != PolicyIsolation && cfg.Policy != PolicyRandom {
+		// Precompute the QoS-floor admission surfaces once per generation;
+		// admit() then stays pure array lookups.
+		s.qfAdmit = make([][]bool, s.nGens)
+		s.qfSlack = make([][]float64, s.nGens)
+		for gi, t := range s.tables {
+			qos := t.PredQoS
+			if cfg.Policy == PolicyOracle {
+				qos = t.ActualQoS
+			}
+			ad := make([]bool, len(qos))
+			sl := make([]float64, len(qos))
+			for i, q := range qos {
+				ad[i] = q >= cfg.Target
+				sl[i] = q - cfg.Target
+			}
+			s.qfAdmit[gi], s.qfSlack[gi] = ad, sl
+		}
+	}
+	s.buckets = make([]*iheap, s.nGens*s.nLevels*nLat*(nBatch+1)*(s.maxInst+1))
 	for i := range s.buckets {
 		s.buckets[i] = newIheap()
 	}

@@ -57,6 +57,28 @@ type Summary struct {
 	// activity: confirmed drift detections, pair re-characterizations and
 	// instance migrations (schema addition, version unchanged).
 	ClosedLoop *ClosedLoopSummary `json:"closed_loop,omitempty"`
+
+	// Isolation summarises the hardware QoS-enforcement activity. Always
+	// present (schema addition, version unchanged): Enabled is false and
+	// every counter zero under the other policies, so consumers can key on
+	// the block unconditionally.
+	Isolation IsolationSummary `json:"isolation"`
+}
+
+// IsolationSummary is PolicyIsolation's enforcement-ladder aggregate.
+type IsolationSummary struct {
+	Enabled bool `json:"enabled"`
+	// Levels is the ladder depth (including the identity level 0).
+	Levels int `json:"levels"`
+	// Escalations counts level changes; Resolved the violations an engaged
+	// operating point absorbed without migrating anything; Migrations the
+	// last-resort moves after the ladder was exhausted.
+	Escalations int `json:"escalations"`
+	Resolved    int `json:"resolved"`
+	Migrations  int `json:"migrations"`
+	// ThroughputTax is the machine-time-weighted mean fraction of batch
+	// throughput forfeited to engaged isolation levels.
+	ThroughputTax float64 `json:"throughput_tax"`
 }
 
 // ClosedLoopSummary is the closed-loop controller's activity aggregate.
@@ -131,6 +153,14 @@ func (r SimResult) Summary() Summary {
 			Migrations:       r.Migrations,
 			MigrationsFailed: r.MigrationsFailed,
 		}
+	}
+	if r.Policy == PolicyIsolation {
+		s.Isolation.Enabled = true
+		s.Isolation.Levels = r.IsolationLevels
+		s.Isolation.Escalations = r.Isolations
+		s.Isolation.Resolved = r.IsolationResolved
+		s.Isolation.Migrations = r.Migrations
+		s.Isolation.ThroughputTax = r.IsolationTax
 	}
 	return s
 }

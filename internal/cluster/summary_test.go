@@ -43,12 +43,13 @@ func TestSummarySchema(t *testing.T) {
 		t.Fatal(err)
 	}
 	keys := map[string][]string{
-		"":            {"schema_version", "policy", "qos", "target", "machines", "events", "utilization", "slo", "saturation"},
+		"":            {"schema_version", "policy", "qos", "target", "machines", "events", "utilization", "slo", "saturation", "isolation"},
 		"machines":    {"start", "end", "ups", "downs"},
 		"events":      {"total", "arrived", "placed", "rejected", "departed", "evicted"},
 		"utilization": {"baseline", "mean", "peak"},
 		"slo":         {"violations", "violation_frac"},
 		"saturation":  {"rejection_frac", "signal", "scale_up_threshold", "scale_down_threshold"},
+		"isolation":   {"enabled", "levels", "escalations", "resolved", "migrations", "throughput_tax"},
 	}
 	checkKeys := func(scope string, obj map[string]json.RawMessage, want []string) {
 		if len(obj) != len(want) {
@@ -61,7 +62,7 @@ func TestSummarySchema(t *testing.T) {
 		}
 	}
 	checkKeys("", doc, keys[""])
-	for _, scope := range []string{"machines", "events", "utilization", "slo", "saturation"} {
+	for _, scope := range []string{"machines", "events", "utilization", "slo", "saturation", "isolation"} {
 		var nested map[string]json.RawMessage
 		if err := json.Unmarshal(doc[scope], &nested); err != nil {
 			t.Fatalf("%q: %v", scope, err)

@@ -2,12 +2,24 @@ package cluster
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 
 	"repro/internal/model"
 	"repro/internal/surrogate"
 	"repro/internal/xrand"
 )
+
+// SyntheticGenWorld derives a generation-specific synthetic co-location
+// world for heterogeneous fleets: the same application populations, but a
+// degradation surface seeded by the generation name — machines of
+// different generations interfere differently, so a co-location that
+// violates on one part may fit on another.
+func SyntheticGenWorld(gen string, nLat, nBatch, maxInstances int, seed uint64) (*surrogate.Set, *Table, error) {
+	h := fnv.New64a()
+	h.Write([]byte(gen))
+	return SyntheticWorld(nLat, nBatch, maxInstances, seed^h.Sum64())
+}
 
 // SyntheticWorld is a deterministic co-location universe for scale
 // studies: a surrogate set whose analytic curves stand in for fitted

@@ -1,0 +1,157 @@
+// Package isol defines the hardware QoS-enforcement policy vocabulary: the
+// per-context LLC way-partition masks and memory-bandwidth budgets a chip
+// configuration carries (enforced by internal/sim/cache and
+// internal/sim/mem), and the discrete isolation operating points the
+// cluster scheduler actuates (internal/cluster PolicyIsolation).
+//
+// The mechanisms mirror the enforcement features warehouse schedulers use
+// on real parts (Larsson et al., PAPERS.md): Intel CAT-style way
+// partitioning — a context *allocates* only into the L3 ways it owns but
+// *hits* anywhere — and MBA-style bandwidth throttling — a token-bucket
+// shaper on each context's DRAM request stream. Both are strictly
+// additive: the zero Policy disables every mechanism and simulation
+// results stay bit-identical to configurations predating it.
+package isol
+
+import "fmt"
+
+// Policy is the chip-wide hardware QoS-enforcement configuration. The zero
+// value disables all enforcement.
+type Policy struct {
+	// WayMasks[g] is the L3 way-allocation mask for global hardware
+	// context g (core*contextsPerCore + ctx): bit i set means context g
+	// may allocate into way i of every L3 set. Zero (or a missing entry)
+	// means unrestricted — the context allocates anywhere, as without CAT.
+	// Hits are always served from any way.
+	WayMasks []uint64
+	// MemBudgets[g] is the DRAM request budget for global context g; the
+	// zero MemBudget (or a missing entry) leaves the context unthrottled.
+	MemBudgets []MemBudget
+}
+
+// MemBudget is one context's token-bucket memory-bandwidth budget: the
+// context may issue bursts of up to Tokens back-to-back DRAM requests and
+// sustain one request per RefillCycles cycles. Both fields zero = no
+// throttle.
+type MemBudget struct {
+	// Tokens is the bucket capacity (maximum burst length), ≥ 1 when the
+	// budget is enabled.
+	Tokens uint64
+	// RefillCycles is the steady-state spacing: one token refills every
+	// RefillCycles cycles.
+	RefillCycles uint64
+}
+
+// Enabled reports whether the budget throttles at all.
+func (b MemBudget) Enabled() bool { return b.Tokens != 0 || b.RefillCycles != 0 }
+
+// Enabled reports whether any mechanism is configured. Engines skip every
+// isolation hook when false, keeping the hot loop byte-identical to the
+// pre-isolation code.
+func (p Policy) Enabled() bool {
+	for _, m := range p.WayMasks {
+		if m != 0 {
+			return true
+		}
+	}
+	for _, b := range p.MemBudgets {
+		if b.Enabled() {
+			return true
+		}
+	}
+	return false
+}
+
+// WayMaskFor returns the effective allocation mask for context g on a
+// cache with the given way count: the configured mask clipped to real
+// ways, or the full mask when the context is unrestricted.
+func (p Policy) WayMaskFor(g, ways int) uint64 {
+	full := uint64(1)<<uint(ways) - 1
+	if g < 0 || g >= len(p.WayMasks) || p.WayMasks[g] == 0 {
+		return full
+	}
+	return p.WayMasks[g] & full
+}
+
+// BudgetFor returns the budget for context g (zero value when none).
+func (p Policy) BudgetFor(g int) MemBudget {
+	if g < 0 || g >= len(p.MemBudgets) {
+		return MemBudget{}
+	}
+	return p.MemBudgets[g]
+}
+
+// ConfigError is the typed validation error for degenerate isolation
+// configurations — a mask that owns zero ways would make every allocation
+// impossible, a zero-token budget would never admit a DRAM request
+// (a livelock, not a throttle). Callers match it with errors.As.
+type ConfigError struct {
+	// Field names the offending entry ("WayMasks[3]", "MemBudgets[0]").
+	Field string
+	// Reason says what is degenerate about it.
+	Reason string
+}
+
+func (e *ConfigError) Error() string { return "isol: " + e.Field + ": " + e.Reason }
+
+// Validate rejects degenerate policies for a chip with the given total
+// context count and L3 associativity.
+func (p Policy) Validate(contexts, l3Ways int) error {
+	if len(p.WayMasks) > contexts {
+		return &ConfigError{
+			Field:  "WayMasks",
+			Reason: fmt.Sprintf("%d masks for a chip with %d contexts", len(p.WayMasks), contexts),
+		}
+	}
+	if len(p.MemBudgets) > contexts {
+		return &ConfigError{
+			Field:  "MemBudgets",
+			Reason: fmt.Sprintf("%d budgets for a chip with %d contexts", len(p.MemBudgets), contexts),
+		}
+	}
+	full := uint64(1)<<uint(l3Ways) - 1
+	for g, m := range p.WayMasks {
+		if m == 0 {
+			continue // unrestricted
+		}
+		if m&full == 0 {
+			return &ConfigError{
+				Field:  fmt.Sprintf("WayMasks[%d]", g),
+				Reason: fmt.Sprintf("mask %#x owns 0 of the %d L3 ways", m, l3Ways),
+			}
+		}
+		if m&^full != 0 {
+			return &ConfigError{
+				Field:  fmt.Sprintf("WayMasks[%d]", g),
+				Reason: fmt.Sprintf("mask %#x names ways beyond the %d L3 ways", m, l3Ways),
+			}
+		}
+	}
+	for g, b := range p.MemBudgets {
+		if !b.Enabled() {
+			continue
+		}
+		if b.Tokens == 0 {
+			return &ConfigError{
+				Field:  fmt.Sprintf("MemBudgets[%d]", g),
+				Reason: "0-token budget would never admit a DRAM request",
+			}
+		}
+		if b.RefillCycles == 0 {
+			return &ConfigError{
+				Field:  fmt.Sprintf("MemBudgets[%d]", g),
+				Reason: "refill interval must be positive",
+			}
+		}
+	}
+	return nil
+}
+
+// SplitWays builds the canonical two-party partition masks: the victim
+// owns the low victimWays ways, the aggressor the remaining ways-victimWays.
+// It returns (victimMask, aggressorMask).
+func SplitWays(victimWays, ways int) (uint64, uint64) {
+	full := uint64(1)<<uint(ways) - 1
+	v := uint64(1)<<uint(victimWays) - 1
+	return v & full, full &^ v
+}

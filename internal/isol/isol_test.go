@@ -1,0 +1,102 @@
+package isol
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestPolicyEnabled(t *testing.T) {
+	if (Policy{}).Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	if !(Policy{WayMasks: []uint64{0, 0x3}}).Enabled() {
+		t.Fatal("way mask not detected")
+	}
+	if !(Policy{MemBudgets: []MemBudget{{Tokens: 4, RefillCycles: 100}}}).Enabled() {
+		t.Fatal("budget not detected")
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	good := Policy{
+		WayMasks:   []uint64{0x0f, 0xf0},
+		MemBudgets: []MemBudget{{}, {Tokens: 2, RefillCycles: 64}},
+	}
+	if err := good.Validate(2, 8); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+	cases := []struct {
+		name     string
+		p        Policy
+		contexts int
+		ways     int
+	}{
+		{"too many masks", Policy{WayMasks: []uint64{1, 1, 1}}, 2, 8},
+		{"too many budgets", Policy{MemBudgets: make([]MemBudget, 3)}, 2, 8},
+		{"zero owned ways", Policy{WayMasks: []uint64{0xf00}}, 2, 8},
+		{"ways beyond cache", Policy{WayMasks: []uint64{0x1ff}}, 2, 8},
+		{"zero-token budget", Policy{MemBudgets: []MemBudget{{Tokens: 0, RefillCycles: 10}}}, 2, 8},
+		{"zero refill", Policy{MemBudgets: []MemBudget{{Tokens: 4, RefillCycles: 0}}}, 2, 8},
+	}
+	for _, tc := range cases {
+		err := tc.p.Validate(tc.contexts, tc.ways)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *ConfigError", tc.name, err)
+		}
+	}
+}
+
+func TestWayMaskFor(t *testing.T) {
+	p := Policy{WayMasks: []uint64{0x3, 0}}
+	if got := p.WayMaskFor(0, 8); got != 0x3 {
+		t.Fatalf("context 0 mask = %#x, want 0x3", got)
+	}
+	// Unset or out-of-range contexts get the full mask.
+	for _, g := range []int{1, 2, -1} {
+		if got := p.WayMaskFor(g, 8); got != 0xff {
+			t.Fatalf("context %d mask = %#x, want 0xff", g, got)
+		}
+	}
+}
+
+func TestSplitWays(t *testing.T) {
+	v, a := SplitWays(3, 8)
+	if v != 0x07 || a != 0xf8 {
+		t.Fatalf("SplitWays(3,8) = %#x,%#x", v, a)
+	}
+	if v&a != 0 {
+		t.Fatal("partitions overlap")
+	}
+}
+
+func TestValidateSettings(t *testing.T) {
+	if err := ValidateSettings(DefaultSettings()); err != nil {
+		t.Fatalf("default ladder rejected: %v", err)
+	}
+	bad := []struct {
+		name   string
+		levels []Setting
+	}{
+		{"empty", nil},
+		{"level0 not identity", []Setting{{Name: "off", DegScale: 0.9, ThrottleFrac: 1}}},
+		{"zero scale", []Setting{{Name: "off", DegScale: 1, ThrottleFrac: 1}, {Name: "x", DegScale: 0}}},
+		{"scale increases", []Setting{{Name: "off", DegScale: 1, ThrottleFrac: 1}, {Name: "a", DegScale: 0.5}, {Name: "b", DegScale: 0.7}}},
+		{"tax decreases", []Setting{{Name: "off", DegScale: 1, ThrottleFrac: 1}, {Name: "a", DegScale: 0.7, ThroughputTax: 0.2}, {Name: "b", DegScale: 0.5, ThroughputTax: 0.1}}},
+	}
+	for _, tc := range bad {
+		err := ValidateSettings(tc.levels)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *ConfigError", tc.name, err)
+		}
+	}
+}

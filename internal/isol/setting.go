@@ -1,0 +1,78 @@
+package isol
+
+import (
+	"fmt"
+	"math"
+)
+
+// Setting is one discrete isolation operating point the cluster scheduler
+// can actuate on a machine: a way-partition/throttle combination abstracted
+// to its modeled effect — how much it shields latency-critical victims
+// (DegScale multiplies their interference degradation) and what it costs
+// the throttled batch co-runners (ThroughputTax, a fraction of their
+// throughput). Level 0 is always "off" (DegScale 1, tax 0); higher levels
+// reserve more ways and clamp more bandwidth.
+//
+// The DegScale ladder is calibrated against the simulator's own
+// mechanisms: the `smite isol` partition sweep shows victim degradation
+// falling roughly linearly as the victim's exclusive way share grows, with
+// the aggressor throttle taking another large bite out of the residual
+// bandwidth interference.
+type Setting struct {
+	// Name labels the operating point ("off", "ways-half", ...).
+	Name string `json:"name"`
+	// VictimWayFrac is the fraction of L3 ways reserved exclusively for
+	// the latency-critical context(s) at this level (0 = no partition).
+	VictimWayFrac float64 `json:"victim_way_frac"`
+	// ThrottleFrac is the fraction of full memory bandwidth the batch
+	// aggressors keep (1 = unthrottled).
+	ThrottleFrac float64 `json:"throttle_frac"`
+	// DegScale multiplies the victim's predicted/actual degradation when
+	// the level is engaged; in (0, 1], non-increasing across the ladder.
+	DegScale float64 `json:"deg_scale"`
+	// ThroughputTax is the fraction of batch throughput the level costs,
+	// in [0, 1), non-decreasing across the ladder.
+	ThroughputTax float64 `json:"throughput_tax"`
+}
+
+// DefaultSettings is the stock four-level ladder: off, a half-way
+// partition, a quarter-aggressor partition plus mild throttle, and a full
+// clamp-down.
+func DefaultSettings() []Setting {
+	return []Setting{
+		{Name: "off", VictimWayFrac: 0, ThrottleFrac: 1, DegScale: 1, ThroughputTax: 0},
+		{Name: "ways-half", VictimWayFrac: 0.5, ThrottleFrac: 1, DegScale: 0.70, ThroughputTax: 0.05},
+		{Name: "ways-3q+throttle", VictimWayFrac: 0.75, ThrottleFrac: 0.5, DegScale: 0.50, ThroughputTax: 0.12},
+		{Name: "clamp", VictimWayFrac: 0.875, ThrottleFrac: 0.25, DegScale: 0.35, ThroughputTax: 0.25},
+	}
+}
+
+// ValidateSettings rejects degenerate ladders: the first level must be the
+// identity (off), DegScale must stay in (0,1] and never increase, and the
+// tax must stay in [0,1) and never decrease. A DegScale of 0 would claim
+// isolation erases interference entirely — no hardware knob does.
+func ValidateSettings(levels []Setting) error {
+	if len(levels) == 0 {
+		return &ConfigError{Field: "Settings", Reason: "need at least the identity level"}
+	}
+	if levels[0].DegScale != 1 || levels[0].ThroughputTax != 0 {
+		return &ConfigError{Field: "Settings[0]", Reason: "level 0 must be the identity (DegScale 1, tax 0)"}
+	}
+	prevScale, prevTax := 1.0, 0.0
+	for i, s := range levels {
+		if !(s.DegScale > 0 && s.DegScale <= 1) || math.IsNaN(s.DegScale) {
+			return &ConfigError{Field: fmt.Sprintf("Settings[%d]", i), Reason: fmt.Sprintf("DegScale %g outside (0,1]", s.DegScale)}
+		}
+		if s.ThroughputTax < 0 || s.ThroughputTax >= 1 || math.IsNaN(s.ThroughputTax) {
+			return &ConfigError{Field: fmt.Sprintf("Settings[%d]", i), Reason: fmt.Sprintf("ThroughputTax %g outside [0,1)", s.ThroughputTax)}
+		}
+		if s.DegScale > prevScale {
+			return &ConfigError{Field: fmt.Sprintf("Settings[%d]", i), Reason: "DegScale must not increase with level"}
+		}
+		if s.ThroughputTax < prevTax {
+			return &ConfigError{Field: fmt.Sprintf("Settings[%d]", i), Reason: "ThroughputTax must not decrease with level"}
+		}
+		prevScale, prevTax = s.DegScale, s.ThroughputTax
+	}
+	return nil
+}

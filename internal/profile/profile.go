@@ -425,11 +425,15 @@ func simulate(ctx context.Context, cfg isa.Config, job, partner Job, placement P
 		partnerSeed := seedFor(partner.Name(), opts.BaseSeed)
 		switch placement {
 		case SMT:
-			if m > cfg.Cores {
-				return RunResult{}, fmt.Errorf("profile: partner %s needs %d contexts but %s has %d cores", partner.Name(), m, cfg.Name, cfg.Cores)
+			// Partner instance j lands on core j%Cores, context 1+j/Cores:
+			// identical to the historical one-per-core mapping for
+			// m ≤ Cores, and overflowing into the third, fourth, ...
+			// sibling contexts on >2-way SMT parts.
+			if m > cfg.Cores*(cfg.ContextsPerCore-1) {
+				return RunResult{}, fmt.Errorf("profile: partner %s needs %d sibling contexts but %s has %d", partner.Name(), m, cfg.Name, cfg.Cores*(cfg.ContextsPerCore-1))
 			}
 			for j := 0; j < m; j++ {
-				chip.Assign(j, 1, partner.NewStream(j, partnerSeed))
+				chip.Assign(j%cfg.Cores, 1+j/cfg.Cores, partner.NewStream(j, partnerSeed))
 			}
 		case CMP:
 			if n+m > cfg.Cores {
@@ -477,7 +481,7 @@ func simulate(ctx context.Context, cfg isa.Config, job, partner Job, placement P
 		for j := 0; j < m; j++ {
 			var c pmu.Counters
 			if placement == SMT {
-				c = chip.Counters(j, 1)
+				c = chip.Counters(j%cfg.Cores, 1+j/cfg.Cores)
 			} else {
 				c = chip.Counters(n+j, 0)
 			}

@@ -16,6 +16,7 @@ package qosd
 import (
 	"fmt"
 
+	"repro/internal/isol"
 	"repro/smite"
 )
 
@@ -220,6 +221,29 @@ type AdmitResponse struct {
 	EffectiveBudget float64 `json:"effective_budget"`
 	Percentile      float64 `json:"percentile"`
 	Headroom        float64 `json:"headroom"`
+	// IsolationRemedy, present only on rejections, is the server's
+	// actuation hint: the weakest level of the stock hardware
+	// QoS-enforcement ladder (internal/isol) whose modeled interference
+	// scaling brings the tail estimate back under the effective budget.
+	// Absent when even the strongest level cannot — the scheduler must
+	// then place the aggressor elsewhere.
+	IsolationRemedy *IsolationRemedy `json:"isolation_remedy,omitempty"`
+}
+
+// IsolationRemedy names one isolation operating point that would turn a
+// rejected admission into an admitted one, with the re-evaluated numbers
+// at that level so the scheduler can weigh the throughput tax against a
+// migration.
+type IsolationRemedy struct {
+	// Level is the ladder index (≥1; level 0 is "off" and by definition
+	// cannot remedy anything). Setting carries the operating point's
+	// name, way partition, throttle, and modeled effect.
+	Level   int          `json:"level"`
+	Setting isol.Setting `json:"setting"`
+	// EffectiveDegradation and TailLatency are the budget-checked
+	// degradation and Eq. 6 tail at the suggested level.
+	EffectiveDegradation float64 `json:"effective_degradation"`
+	TailLatency          float64 `json:"tail_latency"`
 }
 
 // BatchCandidate is one aggressor option in a batch scoring request.

@@ -655,6 +655,10 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		t := dec.Tail
 		resp.TailLatency = &t
 	}
+	if !dec.Admitted {
+		resp.IsolationRemedy = SuggestIsolation(pred.deg, pred.bound,
+			req.Queue.Mu, req.Queue.Lambda, class, s.cfg.SLO.Headroom, nil)
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/isol"
 	"repro/internal/queueing"
 )
 
@@ -245,6 +246,37 @@ func EvaluateAdmission(deg, bound, mu, lambda float64, class SLOClass, headroom 
 		d.Reason = AdmitReasonBudgetExceeded
 	}
 	return d
+}
+
+// SuggestIsolation is the remedy search behind a rejected admission:
+// walk the enforcement ladder from its weakest engaged level and return
+// the first one whose DegScale — applied to both the prediction and its
+// error bound, exactly as the cluster simulator scales a machine's
+// degradation surface — turns the decision into an admit. Returns nil
+// when no level clears the budget (the ladder cannot save this pair) or
+// when the ladder has no engaged levels. A nil levels slice means the
+// stock isol.DefaultSettings ladder.
+//
+// Because ValidateSettings pins DegScale as non-increasing across the
+// ladder, the first admitting level is also the cheapest in throughput
+// tax — the suggestion is always the minimal actuation.
+func SuggestIsolation(deg, bound, mu, lambda float64, class SLOClass, headroom float64, levels []isol.Setting) *IsolationRemedy {
+	if levels == nil {
+		levels = isol.DefaultSettings()
+	}
+	for l := 1; l < len(levels); l++ {
+		scale := levels[l].DegScale
+		d := EvaluateAdmission(deg*scale, bound*scale, mu, lambda, class, headroom)
+		if d.Admitted {
+			return &IsolationRemedy{
+				Level:                l,
+				Setting:              levels[l],
+				EffectiveDegradation: d.EffectiveDegradation,
+				TailLatency:          d.Tail,
+			}
+		}
+	}
+	return nil
 }
 
 // Saturation signals, reported by the analyzer.

@@ -6,6 +6,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/isol"
 )
 
 func TestParseSLOClasses(t *testing.T) {
@@ -157,6 +159,59 @@ func TestEvaluateAdmission(t *testing.T) {
 	})
 }
 
+func TestSuggestIsolation(t *testing.T) {
+	class := SLOClass{Name: "critical", Budget: 0.020, Percentile: 0.95}
+	t.Run("rejection remedied by the weakest clearing level", func(t *testing.T) {
+		// deg 0.3 is rejected outright (tail ≈ 30ms > 18ms); ways-half
+		// scales it to 0.21 (mu'=790, tail ≈ 15.8ms), which fits.
+		base := EvaluateAdmission(0.3, 0, 1000, 600, class, 0.1)
+		if base.Admitted {
+			t.Fatalf("base decision %+v", base)
+		}
+		rem := SuggestIsolation(0.3, 0, 1000, 600, class, 0.1, nil)
+		if rem == nil {
+			t.Fatal("no remedy for a ladder-recoverable rejection")
+		}
+		if rem.Level != 1 || rem.Setting.Name != "ways-half" {
+			t.Errorf("remedy %+v, want level 1 (ways-half)", rem)
+		}
+		check := EvaluateAdmission(0.3*rem.Setting.DegScale, 0, 1000, 600, class, 0.1)
+		if !check.Admitted || check.Tail != rem.TailLatency || check.EffectiveDegradation != rem.EffectiveDegradation {
+			t.Errorf("remedy numbers %+v do not match re-evaluation %+v", rem, check)
+		}
+	})
+	t.Run("bound scales with the level", func(t *testing.T) {
+		// deg+bound = 0.3 rejects; ways-half scales both to 0.21 total.
+		rem := SuggestIsolation(0.2, 0.1, 1000, 600, class, 0.1, nil)
+		if rem == nil || rem.Level != 1 {
+			t.Fatalf("remedy %+v", rem)
+		}
+		if math.Abs(rem.EffectiveDegradation-0.3*rem.Setting.DegScale) > 1e-12 {
+			t.Errorf("effective degradation %g, want %g", rem.EffectiveDegradation, 0.3*rem.Setting.DegScale)
+		}
+	})
+	t.Run("deep saturation escalates past the weak levels", func(t *testing.T) {
+		// deg 0.9: ways-half leaves 0.63 (saturated), ways-3q+throttle
+		// leaves 0.45 (saturated at mu'=550 < 600? no: 550<600 saturated),
+		// clamp leaves 0.315 (mu'=685, tail ≈ 35ms > 18ms) — no remedy.
+		if rem := SuggestIsolation(0.9, 0, 1000, 600, class, 0.1, nil); rem != nil {
+			t.Errorf("unrecoverable rejection got remedy %+v", rem)
+		}
+		// A looser class recovers at the clamp level.
+		loose := SLOClass{Name: "standard", Budget: 0.060, Percentile: 0.95}
+		rem := SuggestIsolation(0.9, 0, 1000, 600, loose, 0.1, nil)
+		if rem == nil || rem.Setting.Name != "clamp" {
+			t.Fatalf("remedy %+v, want clamp", rem)
+		}
+	})
+	t.Run("ladder with only the identity yields nothing", func(t *testing.T) {
+		levels := isol.DefaultSettings()[:1]
+		if rem := SuggestIsolation(0.3, 0, 1000, 600, class, 0.1, levels); rem != nil {
+			t.Errorf("identity-only ladder got remedy %+v", rem)
+		}
+	})
+}
+
 func TestSaturationSignal(t *testing.T) {
 	cases := []struct {
 		rate float64
@@ -226,6 +281,20 @@ func TestAdmitEndToEnd(t *testing.T) {
 			}
 			if got.Saturated && got.TailLatency != nil {
 				t.Errorf("saturated response carries a tail: %+v", got)
+			}
+			// Remedy contract: never on admits, and when present it must
+			// actually flip the decision at the suggested level.
+			if got.Admitted && got.IsolationRemedy != nil {
+				t.Errorf("admitted response carries an isolation remedy: %+v", got)
+			}
+			if rem := got.IsolationRemedy; rem != nil {
+				scale := rem.Setting.DegScale
+				check := EvaluateAdmission(pred.Degradation*scale, pred.ErrorBound*scale,
+					q.Mu, q.Lambda, class, s.cfg.SLO.Headroom)
+				if !check.Admitted {
+					t.Errorf("%s mu=%g lambda=%g: remedy level %d does not admit: %+v",
+						class.Name, q.Mu, q.Lambda, rem.Level, check)
+				}
 			}
 		}
 	}

@@ -9,6 +9,7 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/sim/isa"
 	"repro/internal/xrand"
@@ -132,6 +133,76 @@ func (c *Cache) Access(addr uint64, allocate bool) bool {
 		}
 	}
 	if allocate {
+		if haveInvalid {
+			c.lines++
+		} else {
+			c.evicts++
+		}
+		c.tags[victim] = tag
+		c.stamp[victim] = c.clock
+	}
+	return false
+}
+
+// AccessMasked is Access with Intel CAT semantics: the lookup hits in any
+// way, but on an allocating miss the victim is chosen only among the ways
+// set in mask (bit i = way i). With every way set the victim selection —
+// including the random-replacement RNG draw — is bit-identical to Access,
+// so unrestricted contexts on a partitioned cache behave exactly as on an
+// unpartitioned one. A mask owning no real way (rejected upstream by
+// isol.Policy.Validate) records the miss but allocates nothing.
+func (c *Cache) AccessMasked(addr uint64, allocate bool, mask uint64) bool {
+	c.clock++
+	c.accesses++
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	tag := line
+	base := set * c.ways
+
+	tags := c.tags[base : base+c.ways]
+	for i, t := range tags {
+		if t == tag {
+			c.hits++
+			c.stamp[base+i] = c.clock
+			return true
+		}
+	}
+	c.misses++
+
+	victim := -1
+	haveInvalid := false
+	for i, t := range tags {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		if t == invalidTag {
+			victim = base + i
+			haveInvalid = true
+			break
+		}
+	}
+	if !haveInvalid {
+		oldest := ^uint64(0)
+		for i := 0; i < c.ways; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if s := c.stamp[base+i]; s < oldest {
+				victim = base + i
+				oldest = s
+			}
+		}
+		if victim >= 0 && c.policy == isa.PolicyRandom {
+			owned := bits.OnesCount64(mask & (uint64(1)<<uint(c.ways) - 1))
+			k := c.rng.Intn(owned)
+			m := mask
+			for ; k > 0; k-- {
+				m &= m - 1
+			}
+			victim = base + bits.TrailingZeros64(m)
+		}
+	}
+	if allocate && victim >= 0 {
 		if haveInvalid {
 			c.lines++
 		} else {

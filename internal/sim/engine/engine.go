@@ -2,8 +2,9 @@
 // simulator that substitutes for the paper's real Sandy Bridge / Ivy Bridge
 // testbed.
 //
-// Each core has two hardware contexts that *competitively share* everything
-// SMiTe identifies as an SMT interference dimension:
+// Each core has ContextsPerCore hardware contexts (two on the stock
+// HyperThreading parts, up to isa.MaxContextsPerCore) that *competitively
+// share* everything SMiTe identifies as an SMT interference dimension:
 //
 //   - the six execution ports (one micro-op per port per cycle, arbitration
 //     alternates priority between contexts every cycle),
@@ -157,6 +158,10 @@ type Context struct {
 	// minLat points at the chip-wide table of exact lower bounds on each
 	// micro-op kind's issue-to-complete latency (see depHint).
 	minLat *[isa.NumKinds]uint64
+
+	// gid is the chip-global context id (core*ContextsPerCore + ctx),
+	// the index into the isolation policy's way masks and DRAM budgets.
+	gid int
 }
 
 func (c *Context) entry(seq uint64) *robEntry {
@@ -240,17 +245,26 @@ func (c *Context) depHint(e *robEntry, now uint64) (hint uint64, ready bool) {
 	return hint, hint <= now
 }
 
-// Core is one physical core: two contexts sharing private caches, the DTLB,
-// the branch predictor and the execution ports.
+// Core is one physical core: ContextsPerCore SMT contexts sharing private
+// caches, the DTLB, the branch predictor and the execution ports.
 type Core struct {
 	chip *Chip
 	idx  int
 
-	ctxs [2]*Context
+	ctxs []*Context
 
 	l1d  *cache.Cache
 	l2   *cache.Cache
 	pred *branch.Predictor
+
+	// Per-core execution resources: copies of the chip-level configuration
+	// on homogeneous parts, of the core's class on asymmetric (big/little)
+	// ones. The hot paths read these instead of cfg so class dispatch costs
+	// nothing per cycle.
+	portMap [isa.NumKinds]isa.PortMask
+	lat     [isa.NumKinds]uint64
+	l1Lat   uint64
+	l2Lat   uint64
 }
 
 // Checker is the narrow verification hook the runtime invariant checker
@@ -302,6 +316,18 @@ type Chip struct {
 	checkErr      error
 
 	sampler Sampler
+
+	// iso is the compiled isolation policy (cfg.Isolation): per-global-
+	// context L3 allocation masks and DRAM token buckets. nil when the
+	// policy is disabled, which keeps every hot-path hook a single
+	// predictable branch and results bit-identical to pre-isolation code.
+	iso *isoState
+}
+
+// isoState is the engine-side compilation of an enabled isol.Policy.
+type isoState struct {
+	wayMask []uint64       // per gid: L3 way-allocation mask
+	tb      []mem.Throttle // per gid: DRAM request shaper (zero = unthrottled)
 }
 
 // New builds a chip for the given configuration. It returns an error if the
@@ -317,18 +343,55 @@ func New(cfg isa.Config) (*Chip, error) {
 	}
 	// Exact issue-to-complete latency floors: ALU kinds and branches always
 	// take Latency[kind]; a store completes through the store buffer in
-	// StoreLatency; a load's best case is a DTLB hit plus an L1D hit.
+	// StoreLatency; a load's best case is a DTLB hit plus an L1D hit. On
+	// asymmetric parts the floor is the minimum across classes — a lower
+	// bound stays a lower bound, and an early hint only re-runs a scan.
 	c.minLat = cfg.Latency
 	c.minLat[isa.Nop] = 0
 	c.minLat[isa.Load] = cfg.L1D.LatencyCycles
 	c.minLat[isa.Store] = cfg.StoreLatency
+	for i := range cfg.Classes {
+		cl := &cfg.Classes[i]
+		for k := isa.UopKind(1); k < isa.NumKinds; k++ {
+			if k != isa.Load && k != isa.Store && cl.Latency[k] < c.minLat[k] {
+				c.minLat[k] = cl.Latency[k]
+			}
+		}
+		if cl.L1D.LatencyCycles < c.minLat[isa.Load] {
+			c.minLat[isa.Load] = cl.L1D.LatencyCycles
+		}
+	}
+	if cfg.Isolation.Enabled() {
+		n := cfg.Contexts()
+		c.iso = &isoState{
+			wayMask: make([]uint64, n),
+			tb:      make([]mem.Throttle, n),
+		}
+		for g := 0; g < n; g++ {
+			c.iso.wayMask[g] = cfg.Isolation.WayMaskFor(g, cfg.L3.Ways)
+			if b := cfg.Isolation.BudgetFor(g); b.Enabled() {
+				c.iso.tb[g] = mem.NewThrottle(b.Tokens, b.RefillCycles)
+			}
+		}
+	}
 	for i := 0; i < cfg.Cores; i++ {
+		l1d, l2 := cfg.L1D, cfg.L2
+		portMap, lat := cfg.PortMap, cfg.Latency
+		if _, cl := cfg.CoreClassOf(i); cl != nil {
+			l1d, l2 = cl.L1D, cl.L2
+			portMap, lat = cl.PortMap, cl.Latency
+		}
 		co := &Core{
-			chip: c,
-			idx:  i,
-			l1d:  cache.New(fmt.Sprintf("core%d.L1D", i), cfg.L1D),
-			l2:   cache.New(fmt.Sprintf("core%d.L2", i), cfg.L2),
-			pred: branch.New(cfg.BranchPredictorEntries),
+			chip:    c,
+			idx:     i,
+			ctxs:    make([]*Context, cfg.ContextsPerCore),
+			l1d:     cache.New(fmt.Sprintf("core%d.L1D", i), l1d),
+			l2:      cache.New(fmt.Sprintf("core%d.L2", i), l2),
+			pred:    branch.New(cfg.BranchPredictorEntries),
+			portMap: portMap,
+			lat:     lat,
+			l1Lat:   l1d.LatencyCycles,
+			l2Lat:   l2.LatencyCycles,
 		}
 		for k := range co.ctxs {
 			gid := i*cfg.ContextsPerCore + k
@@ -340,12 +403,13 @@ func New(cfg isa.Config) (*Chip, error) {
 				addrBase: (uint64(gid) + 1) << 44,
 				brSalt:   uint32(gid+1) * 0x9E3779B9,
 				missFree: make([]uint64, 0, cfg.MSHRsPerContext),
-				// The DTLB is statically partitioned between the two
+				// The DTLB is statically partitioned between the core's
 				// hardware contexts, as several per-thread front-end
 				// structures are on real SMT parts; this keeps TLB reach
 				// identical between solo and co-located runs.
 				dtlb:   tlb.New(cfg.DTLBEntries/cfg.ContextsPerCore, cfg.PageBytes),
 				minLat: &c.minLat,
+				gid:    gid,
 			}
 			if cfg.StreamPrefetcher {
 				ns := cfg.PrefetchStreams
@@ -461,6 +525,9 @@ func (c *Chip) Assign(core, ctx int, s Stream) {
 	}
 	x.ctr = pmu.Counters{}
 	x.cyclesBase = c.cycle
+	if c.iso != nil {
+		c.iso.tb[x.gid].Reset()
+	}
 	if c.checker != nil {
 		c.checker.OnReset(c)
 	}
@@ -483,6 +550,11 @@ func (c *Chip) Reset() {
 	c.sampler = nil
 	c.l3.Reset()
 	c.memc.Reset()
+	if c.iso != nil {
+		for i := range c.iso.tb {
+			c.iso.tb[i].Reset()
+		}
+	}
 	for _, co := range c.cores {
 		co.l1d.Reset()
 		co.l2.Reset()
@@ -602,7 +674,7 @@ func (c *Chip) Prewarm(n int) {
 						if co.l2.Access(addr, true) {
 							continue
 						}
-						c.l3.Access(addr, true)
+						c.l3Access(x, addr)
 					}
 				}
 			}
@@ -698,7 +770,7 @@ func (c *Chip) prewarmFootprints() {
 				jb.x.dtlb.Access(a)
 				if !jb.co.l1d.Access(a, true) {
 					if !jb.co.l2.Access(a, true) {
-						c.l3.Access(a, true)
+						c.l3Access(jb.x, a)
 					}
 				}
 				jb.pos += line
@@ -970,17 +1042,25 @@ func (x *Context) retire(now uint64, width int) int {
 	return n
 }
 
-// issue performs the per-cycle dispatch: context priority alternates every
+// issue performs the per-cycle dispatch: context priority rotates every
 // cycle; the priority context's oldest ready micro-ops claim free ports
-// first (each port accepts one micro-op per cycle), then the sibling fills
-// what remains. Under saturation each context therefore receives half of a
-// contended port's slots, which is the competitive sharing SMiTe measures.
+// first (each port accepts one micro-op per cycle), then its siblings fill
+// what remains in rotation order. Under saturation each of the core's N
+// contexts therefore receives 1/N of a contended port's slots, which is
+// the competitive sharing SMiTe measures.
 func (co *Core) issue(now uint64) bool {
 	const allPorts = isa.PortMask(1<<isa.NumPorts - 1)
 	free := allPorts
-	pri := int(now+uint64(co.idx)) & 1
-	for t := 0; t < 2 && free != 0; t++ {
-		x := co.ctxs[(pri+t)&1]
+	nc := len(co.ctxs)
+	// Rotate priority across the contexts every cycle; for nc == 2 the
+	// visit order is bit-identical to the historical two-way alternation.
+	pri := int((now + uint64(co.idx)) % uint64(nc))
+	for t := 0; t < nc && free != 0; t++ {
+		i := pri + t
+		if i >= nc {
+			i -= nc
+		}
+		x := co.ctxs[i]
 		if x == nil || !x.active {
 			continue
 		}
@@ -1166,7 +1246,7 @@ func (co *Core) execute(x *Context, e *robEntry, p isa.Port, now uint64) {
 			}
 		}
 	case isa.Branch:
-		e.completeAt = now + cfg.Latency[isa.Branch]
+		e.completeAt = now + co.lat[isa.Branch]
 		if e.mispredict {
 			until := e.completeAt + cfg.MispredictPenalty
 			if until > x.fetchStallUntil {
@@ -1174,8 +1254,34 @@ func (co *Core) execute(x *Context, e *robEntry, p isa.Port, now uint64) {
 			}
 		}
 	default:
-		e.completeAt = now + cfg.Latency[e.kind]
+		e.completeAt = now + co.lat[e.kind]
 	}
+}
+
+// l3Access routes an L3 lookup through the way-partition mask when an
+// isolation policy is active; otherwise it is exactly the historical
+// unmasked access.
+func (c *Chip) l3Access(x *Context, addr uint64) bool {
+	if c.iso == nil {
+		return c.l3.Access(addr, true)
+	}
+	return c.l3.AccessMasked(addr, true, c.iso.wayMask[x.gid])
+}
+
+// memRequest admits a DRAM request for context x at cycle now, first
+// shaping it through the context's token bucket when one is configured.
+// The throttle delay is added to x's completion time rather than to the
+// controller's admission time: reserving the shared FIFO at the shaped
+// (future) arrival would block every other context's requests behind the
+// throttled one, inverting the isolation. Relief for the victims comes
+// from back-pressure — the throttled context's loads complete later, its
+// MSHRs stay full longer, and its DRAM request rate falls.
+func (c *Chip) memRequest(x *Context, now uint64) uint64 {
+	done := c.memc.Request(now)
+	if c.iso != nil {
+		done += c.iso.tb[x.gid].Admit(now) - now
+	}
+	return done
 }
 
 // streamHit reports whether line continues a tracked ascending stream of
@@ -1218,27 +1324,28 @@ func (co *Core) loadLatency(x *Context, addr uint64, now uint64) (lat uint64, mi
 	}
 	if co.l1d.Access(addr, true) {
 		x.ctr.L1DHits++
-		return lat + cfg.L1D.LatencyCycles, false
+		return lat + co.l1Lat, false
 	}
 	x.ctr.L1DMisses++
 	streamed := x.streamHit(addr>>6, now)
 	if co.l2.Access(addr, true) {
 		x.ctr.L2Hits++
-		return lat + cfg.L2.LatencyCycles, true
+		return lat + co.l2Lat, true
 	}
 	x.ctr.L2Misses++
-	if co.chip.l3.Access(addr, true) {
+	if co.chip.l3Access(x, addr) {
 		x.ctr.L3Hits++
 		return lat + cfg.L3.LatencyCycles, true
 	}
 	x.ctr.L3Misses++
 	x.ctr.MemAccesses++
-	complete := co.chip.memc.Request(now)
+	complete := co.chip.memRequest(x, now)
 	if streamed {
 		// The stream prefetcher fetched this line ahead of the demand:
-		// the DRAM base latency is hidden, but bandwidth queueing is not,
-		// and a prefetched DRAM line is never faster than an L3 hit.
-		l := cfg.L2.LatencyCycles + (complete - now - cfg.MemBaseLatency)
+		// the DRAM base latency is hidden, but bandwidth queueing (and any
+		// throttle delay) is not, and a prefetched DRAM line is never
+		// faster than an L3 hit.
+		l := co.l2Lat + (complete - now - cfg.MemBaseLatency)
 		if l < cfg.L3.LatencyCycles {
 			l = cfg.L3.LatencyCycles
 		}
@@ -1264,18 +1371,18 @@ func (co *Core) storeAccess(x *Context, addr uint64, now uint64) (fillAt uint64,
 	streamed := x.streamHit(addr>>6, now)
 	if co.l2.Access(addr, true) {
 		x.ctr.L2Hits++
-		return now + cfg.L2.LatencyCycles, true
+		return now + co.l2Lat, true
 	}
 	x.ctr.L2Misses++
-	if co.chip.l3.Access(addr, true) {
+	if co.chip.l3Access(x, addr) {
 		x.ctr.L3Hits++
 		return now + cfg.L3.LatencyCycles, true
 	}
 	x.ctr.L3Misses++
 	x.ctr.MemAccesses++
-	complete := co.chip.memc.Request(now)
+	complete := co.chip.memRequest(x, now)
 	if streamed {
-		l := cfg.L2.LatencyCycles + (complete - now - cfg.MemBaseLatency)
+		l := co.l2Lat + (complete - now - cfg.MemBaseLatency)
 		if l < cfg.L3.LatencyCycles {
 			l = cfg.L3.LatencyCycles
 		}
@@ -1294,9 +1401,14 @@ func (co *Core) storeAccess(x *Context, addr uint64, now uint64) (fillAt uint64,
 func (co *Core) fetch(now uint64) bool {
 	cfg := &co.chip.cfg
 	width := cfg.FetchWidth
-	first := int(now+uint64(co.idx)) & 1
-	for t := 0; t < 2 && width > 0; t++ {
-		x := co.ctxs[(first+t)&1]
+	nc := len(co.ctxs)
+	first := int((now + uint64(co.idx)) % uint64(nc))
+	for t := 0; t < nc && width > 0; t++ {
+		i := first + t
+		if i >= nc {
+			i -= nc
+		}
+		x := co.ctxs[i]
 		if x == nil || !x.active || x.fetchStallUntil > now {
 			continue
 		}
@@ -1334,7 +1446,7 @@ func (co *Core) fetchInto(x *Context, now uint64, width int) int {
 
 		seq := x.tail
 		e := x.entry(seq)
-		*e = robEntry{kind: u.Kind, ports: cfg.PortMap[u.Kind], dep1: noDep, dep2: noDep}
+		*e = robEntry{kind: u.Kind, ports: co.portMap[u.Kind], dep1: noDep, dep2: noDep}
 		if d := uint64(u.Dep1); d > 0 && d <= seq {
 			e.dep1 = seq - d
 		}

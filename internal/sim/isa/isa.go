@@ -9,7 +9,11 @@
 // loads on ports 2/3, stores on port 4).
 package isa
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/isol"
+)
 
 // NumPorts is the number of execution ports in the modelled core.
 const NumPorts = 6
@@ -158,6 +162,31 @@ type CacheParams struct {
 	Policy        ReplacementPolicy
 }
 
+// MaxContextsPerCore bounds the SMT width the engine models. Eight covers
+// every generation the policy literature studies (2-way HyperThreading
+// through POWER8/9 SMT8).
+const MaxContextsPerCore = 8
+
+// CoreClass describes one class of cores in an asymmetric (big/little)
+// configuration: a contiguous run of Cores cores that overrides the
+// chip-level execution cluster and private caches. Chip-level resources
+// (L3, memory controller, front-end widths, ROB geometry, predictor and
+// TLB sizing) stay uniform — heterogeneity on real hybrid parts is
+// concentrated in the execution ports and private cache capacities, which
+// is exactly what SMiTe's port-specific Rulers are sensitive to.
+type CoreClass struct {
+	// Name labels the class in reports ("big", "little").
+	Name string
+	// Cores is how many consecutive cores belong to this class; the classes
+	// partition [0, Config.Cores) in declaration order.
+	Cores int
+	// PortMap and Latency override the chip-level execution cluster.
+	PortMap [NumKinds]PortMask
+	Latency [NumKinds]uint64
+	// L1D and L2 override the private cache geometry.
+	L1D, L2 CacheParams
+}
+
 // Sets returns the number of sets implied by the geometry.
 func (c CacheParams) Sets() int {
 	return c.SizeBytes / (c.Ways * c.LineBytes)
@@ -232,6 +261,35 @@ type Config struct {
 	// concurrent streams tracked per context.
 	StreamPrefetcher bool
 	PrefetchStreams  int
+
+	// Classes, when non-empty, partitions the chip's cores into consecutive
+	// asymmetric classes (sum of class Cores == Cores), each with its own
+	// execution ports, latencies and private caches. Empty means every core
+	// uses the chip-level PortMap/Latency/L1D/L2 — the homogeneous case, and
+	// bit-identical to configurations predating this field.
+	Classes []CoreClass
+
+	// Isolation is the hardware QoS-enforcement policy (LLC way
+	// partitioning, memory-bandwidth throttling) applied to this chip; the
+	// zero value disables every mechanism and leaves simulation results
+	// bit-identical to configurations predating this field. See
+	// internal/isol.
+	Isolation isol.Policy
+}
+
+// CoreClassOf returns the class index and class of the given core, or
+// (-1, nil) when the configuration is homogeneous.
+func (c *Config) CoreClassOf(core int) (int, *CoreClass) {
+	if len(c.Classes) == 0 {
+		return -1, nil
+	}
+	for i := range c.Classes {
+		if core < c.Classes[i].Cores {
+			return i, &c.Classes[i]
+		}
+		core -= c.Classes[i].Cores
+	}
+	return -1, nil
 }
 
 // Contexts returns the total number of hardware contexts on the chip.
@@ -242,8 +300,8 @@ func (c Config) Validate() error {
 	if c.Cores <= 0 || c.ContextsPerCore <= 0 {
 		return fmt.Errorf("isa: config %q: need positive cores (%d) and contexts per core (%d)", c.Name, c.Cores, c.ContextsPerCore)
 	}
-	if c.ContextsPerCore > 2 {
-		return fmt.Errorf("isa: config %q: the engine models at most 2 SMT contexts per core, got %d", c.Name, c.ContextsPerCore)
+	if c.ContextsPerCore > MaxContextsPerCore {
+		return fmt.Errorf("isa: config %q: the engine models at most %d SMT contexts per core, got %d", c.Name, MaxContextsPerCore, c.ContextsPerCore)
 	}
 	if c.FetchWidth <= 0 || c.RetireWidth <= 0 || c.ROBSize <= 0 {
 		return fmt.Errorf("isa: config %q: widths and ROB size must be positive", c.Name)
@@ -285,6 +343,45 @@ func (c Config) Validate() error {
 		if c.PortMap[k] == 0 {
 			return fmt.Errorf("isa: config %q: kind %s has no legal port", c.Name, k)
 		}
+	}
+	if c.DTLBEntries < c.ContextsPerCore {
+		return fmt.Errorf("isa: config %q: %d DTLB entries cannot be partitioned across %d contexts", c.Name, c.DTLBEntries, c.ContextsPerCore)
+	}
+	if len(c.Classes) > 0 {
+		total := 0
+		for i := range c.Classes {
+			cl := &c.Classes[i]
+			if cl.Cores <= 0 {
+				return fmt.Errorf("isa: config %q: core class %d (%q) must span at least one core", c.Name, i, cl.Name)
+			}
+			total += cl.Cores
+			for _, cp := range []struct {
+				name string
+				p    CacheParams
+			}{{"L1D", cl.L1D}, {"L2", cl.L2}} {
+				p := cp.p
+				if p.SizeBytes <= 0 || p.Ways <= 0 || p.LineBytes <= 0 {
+					return fmt.Errorf("isa: config %q: class %q %s geometry must be positive", c.Name, cl.Name, cp.name)
+				}
+				if p.SizeBytes%(p.Ways*p.LineBytes) != 0 {
+					return fmt.Errorf("isa: config %q: class %q %s size %d not divisible by ways*line", c.Name, cl.Name, cp.name, p.SizeBytes)
+				}
+				if s := p.Sets(); s&(s-1) != 0 {
+					return fmt.Errorf("isa: config %q: class %q %s set count %d is not a power of two", c.Name, cl.Name, cp.name, s)
+				}
+			}
+			for k := UopKind(1); k < NumKinds; k++ {
+				if cl.PortMap[k] == 0 {
+					return fmt.Errorf("isa: config %q: class %q kind %s has no legal port", c.Name, cl.Name, k)
+				}
+			}
+		}
+		if total != c.Cores {
+			return fmt.Errorf("isa: config %q: core classes span %d cores, chip has %d", c.Name, total, c.Cores)
+		}
+	}
+	if err := c.Isolation.Validate(c.Contexts(), c.L3.Ways); err != nil {
+		return fmt.Errorf("isa: config %q: %w", c.Name, err)
 	}
 	return nil
 }
@@ -394,4 +491,93 @@ func IvyBridge() Config {
 	c.Cores = 4
 	c.L3 = CacheParams{SizeBytes: 8 << 20, Ways: 16, LineBytes: 64, LatencyCycles: 30, Policy: PolicyRandom}
 	return c
+}
+
+// Power8SMT4 models a POWER8-flavoured 4-way SMT part: the POWER7-like
+// execution cluster with four hardware contexts per core. It is the stock
+// >2-way generation the heterogeneous-fleet studies mix in.
+func Power8SMT4() Config {
+	c := Power7Like()
+	c.Name = "POWER8-like SMT4"
+	c.FrequencyGHz = 3.3
+	c.Cores = 4
+	c.ContextsPerCore = 4
+	c.L3 = CacheParams{SizeBytes: 16 << 20, Ways: 16, LineBytes: 64, LatencyCycles: 40, Policy: PolicyRandom}
+	return c
+}
+
+// BigLittle models an asymmetric hybrid part: four "big" cores with the
+// full Sandy Bridge execution cluster next to four "little" cores with a
+// narrower port map, slower functional units and half-size private caches.
+// Both classes run 2-way SMT and share an 8 MiB L3.
+func BigLittle() Config {
+	c := baseConfig()
+	c.Name = "Hybrid big.LITTLE-like"
+	c.FrequencyGHz = 2.8
+	c.Cores = 8
+	c.L3 = CacheParams{SizeBytes: 8 << 20, Ways: 16, LineBytes: 64, LatencyCycles: 36, Policy: PolicyRandom}
+	littlePorts := [NumKinds]PortMask{}
+	littlePorts[FPMul] = Mask(0)
+	littlePorts[FPAdd] = Mask(0)
+	littlePorts[FPShuf] = Mask(1)
+	littlePorts[IntAdd] = Mask(0, 1)
+	littlePorts[IntMul] = Mask(1)
+	littlePorts[Load] = Mask(2)
+	littlePorts[Store] = Mask(3)
+	littlePorts[Branch] = Mask(1)
+	littleLat := sandyBridgeLatencies()
+	littleLat[FPMul] = 7
+	littleLat[FPAdd] = 4
+	littleLat[IntMul] = 4
+	c.Classes = []CoreClass{
+		{
+			Name: "big", Cores: 4,
+			PortMap: sandyBridgePortMap(), Latency: sandyBridgeLatencies(),
+			L1D: c.L1D, L2: c.L2,
+		},
+		{
+			Name: "little", Cores: 4,
+			PortMap: littlePorts, Latency: littleLat,
+			L1D: CacheParams{SizeBytes: 16 << 10, Ways: 4, LineBytes: 64, LatencyCycles: 3, Policy: PolicyLRU},
+			L2:  CacheParams{SizeBytes: 128 << 10, Ways: 8, LineBytes: 64, LatencyCycles: 11, Policy: PolicyRandom},
+		},
+	}
+	return c
+}
+
+// MachineGen is a named machine generation a heterogeneous fleet can mix:
+// a short CLI-friendly name bound to a stock configuration constructor.
+type MachineGen struct {
+	// Name is the short identifier used by -machine / -machine-mix flags.
+	Name string
+	// Make builds a fresh configuration for the generation.
+	Make func() Config
+}
+
+// MachineGens lists every named machine generation, in a stable order.
+func MachineGens() []MachineGen {
+	return []MachineGen{
+		{Name: "snb", Make: SandyBridgeEN},
+		{Name: "ivb", Make: IvyBridge},
+		{Name: "power7", Make: Power7Like},
+		{Name: "smt4", Make: Power8SMT4},
+		{Name: "biglittle", Make: BigLittle},
+	}
+}
+
+// MachineGenByName resolves a generation by its short name.
+func MachineGenByName(name string) (Config, error) {
+	for _, g := range MachineGens() {
+		if g.Name == name {
+			return g.Make(), nil
+		}
+	}
+	names := ""
+	for i, g := range MachineGens() {
+		if i > 0 {
+			names += ", "
+		}
+		names += g.Name
+	}
+	return Config{}, fmt.Errorf("isa: unknown machine generation %q (have %s)", name, names)
 }

@@ -108,7 +108,7 @@ func TestValidateCatchesBadConfigs(t *testing.T) {
 		f    func(*Config)
 	}{
 		{"no cores", func(c *Config) { c.Cores = 0 }},
-		{"3 contexts", func(c *Config) { c.ContextsPerCore = 3 }},
+		{"9 contexts", func(c *Config) { c.ContextsPerCore = MaxContextsPerCore + 1 }},
 		{"rob not pow2", func(c *Config) { c.ROBSize = 100 }},
 		{"scan depth", func(c *Config) { c.IssueScanDepth = 0 }},
 		{"scan > rob", func(c *Config) { c.IssueScanDepth = c.ROBSize + 1 }},

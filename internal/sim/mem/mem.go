@@ -77,3 +77,53 @@ func (m *Controller) Reset() {
 	m.nextFree = 0
 	m.ResetStats()
 }
+
+// Throttle is a per-context token-bucket shaper on the DRAM request
+// stream — the MBA-style memory-bandwidth enforcement knob. It implements
+// the generic cell rate algorithm: a context may burst up to its token
+// capacity back to back and thereafter sustains one request per interval
+// cycles; requests beyond the budget are delayed, never dropped, so the
+// delay surfaces as extra memory latency for the throttled context alone.
+// The zero Throttle admits everything immediately.
+type Throttle struct {
+	interval uint64 // cycles per token; 0 = unthrottled
+	slack    uint64 // (tokens-1)*interval: the burst allowance
+	tat      uint64 // theoretical arrival time of the next conforming request
+	delayed  uint64 // cumulative cycles of throttle-imposed delay
+}
+
+// NewThrottle builds a shaper admitting bursts of up to tokens requests
+// and a sustained rate of one request per refillCycles cycles. tokens and
+// refillCycles must both be positive (validated by isol.Policy.Validate);
+// a zero Throttle means no throttling.
+func NewThrottle(tokens, refillCycles uint64) Throttle {
+	return Throttle{interval: refillCycles, slack: (tokens - 1) * refillCycles}
+}
+
+// Enabled reports whether the shaper throttles at all.
+func (t *Throttle) Enabled() bool { return t.interval != 0 }
+
+// Admit returns the earliest cycle ≥ now at which the request conforms to
+// the budget, consuming one token.
+func (t *Throttle) Admit(now uint64) uint64 {
+	if t.interval == 0 {
+		return now
+	}
+	at := now
+	if t.tat > t.slack && t.tat-t.slack > now {
+		at = t.tat - t.slack
+	}
+	if at > t.tat {
+		t.tat = at + t.interval
+	} else {
+		t.tat += t.interval
+	}
+	t.delayed += at - now
+	return at
+}
+
+// Delayed returns the cumulative cycles requests have been held back.
+func (t *Throttle) Delayed() uint64 { return t.delayed }
+
+// Reset refills the bucket and zeroes the delay statistic.
+func (t *Throttle) Reset() { t.tat, t.delayed = 0, 0 }

@@ -68,3 +68,71 @@ func TestZeroIntervalPanics(t *testing.T) {
 	}()
 	New(100, 0)
 }
+
+func TestThrottleBurstThenSpacing(t *testing.T) {
+	tb := NewThrottle(2, 100)
+	// Two back-to-back requests at cycle 0 conform (burst capacity)...
+	if at := tb.Admit(0); at != 0 {
+		t.Fatalf("first request admitted at %d, want 0", at)
+	}
+	if at := tb.Admit(0); at != 0 {
+		t.Fatalf("second request admitted at %d, want 0 (burst)", at)
+	}
+	// ...then the shaper enforces one request per 100 cycles.
+	if at := tb.Admit(0); at != 100 {
+		t.Fatalf("third request admitted at %d, want 100", at)
+	}
+	if at := tb.Admit(0); at != 200 {
+		t.Fatalf("fourth request admitted at %d, want 200", at)
+	}
+	if tb.Delayed() != 300 {
+		t.Fatalf("cumulative delay %d, want 300", tb.Delayed())
+	}
+}
+
+func TestThrottleIdleRefills(t *testing.T) {
+	tb := NewThrottle(2, 100)
+	tb.Admit(0)
+	tb.Admit(0)
+	// After a long idle stretch the bucket is full again: another burst of
+	// two conforms immediately.
+	if at := tb.Admit(10_000); at != 10_000 {
+		t.Fatalf("post-idle request admitted at %d, want 10000", at)
+	}
+	if at := tb.Admit(10_000); at != 10_000 {
+		t.Fatalf("post-idle burst admitted at %d, want 10000", at)
+	}
+	if at := tb.Admit(10_000); at != 10_100 {
+		t.Fatalf("post-burst request admitted at %d, want 10100", at)
+	}
+}
+
+func TestZeroThrottleAdmitsImmediately(t *testing.T) {
+	var tb Throttle
+	if tb.Enabled() {
+		t.Fatal("zero throttle reports enabled")
+	}
+	for now := uint64(0); now < 10; now++ {
+		if at := tb.Admit(now); at != now {
+			t.Fatalf("zero throttle delayed a request to %d", at)
+		}
+	}
+}
+
+func TestThrottleSustainedRate(t *testing.T) {
+	tb := NewThrottle(4, 50)
+	var last uint64
+	n := uint64(1000)
+	for i := uint64(0); i < n; i++ {
+		last = tb.Admit(0)
+	}
+	// n requests at a 1/50 sustained rate with burst 4: the last is
+	// admitted at (n-4)*50.
+	if want := (n - 4) * 50; last != want {
+		t.Fatalf("request %d admitted at %d, want %d", n, last, want)
+	}
+	tb.Reset()
+	if at := tb.Admit(0); at != 0 {
+		t.Fatalf("post-Reset request admitted at %d, want 0", at)
+	}
+}

@@ -1,0 +1,145 @@
+package simtest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/cluster"
+	clworkload "repro/internal/cluster/workload"
+)
+
+// isolGenTable builds one machine generation's prediction table on its
+// generation-specific synthetic world, with the measured degradations
+// inflated 1.5× over what the predictor believes — the same systematic
+// under-prediction device the closed-loop laws use to inject SLO
+// violations for the enforcement ladder to absorb.
+func isolGenTable(t *testing.T, gen string, seed uint64) *cluster.PredTable {
+	t.Helper()
+	const nLat, nBatch, maxInst = 3, 4, 6
+	set, tbl, err := cluster.SyntheticGenWorld(gen, nLat, nBatch, maxInst, seed)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	pred := cluster.NewTieredPredictor(
+		&cluster.SurrogatePredictor{Set: set, Capacity: maxInst},
+		&cluster.TablePredictor{Table: tbl},
+	)
+	pt, err := cluster.BuildPredTable(context.Background(), tbl, nil, cluster.QoSAvg, pred, 1)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	inflated := make([]float64, len(pt.ActualDeg))
+	for i, d := range pt.ActualDeg {
+		inflated[i] = d * 1.5
+	}
+	pt.ActualDeg = inflated
+	return pt
+}
+
+// isolClusterConfig builds one randomized heterogeneous PolicyIsolation
+// run: a 3:2 mix of two machine generations with distinct degradation
+// surfaces and geometries, under-predicted interference, and per-class
+// tail-latency budgets.
+func isolClusterConfig(t *testing.T, seed uint64) cluster.SimConfig {
+	t.Helper()
+	const nLat, nBatch = 3, 4
+	return cluster.SimConfig{
+		Workload: clworkload.Config{
+			Machines: 24 + int(seed%5)*8,
+			Horizon:  1 + float64(seed%3)*0.5,
+			Lats:     nLat, Batches: nBatch, Seed: seed,
+			ArrivalRate:  500 + float64(seed%7)*100,
+			MeanDuration: 0.05,
+			Diurnal:      0.3,
+			BurstProb:    0.1, BurstFactor: 2,
+			Drift: 0.3,
+			Churn: float64(seed%4) * 0.03,
+		},
+		Shards:            4 + int(seed%2)*4,
+		Policy:            cluster.PolicyIsolation,
+		Target:            0.92,
+		ThreadsPerServer:  6,
+		ContextsPerServer: 12,
+		MachineGens: []cluster.MachineGenSpec{
+			{Name: "snb", Count: 3, Table: isolGenTable(t, "snb", seed)},
+			{Name: "ivb", Count: 2, Threads: 8, Contexts: 16, Table: isolGenTable(t, "ivb", seed)},
+		},
+		SLO: &cluster.SLOSimParams{
+			Classes: []cluster.SLOSimClass{
+				{Name: "critical", Budget: 0.020, Percentile: 0.95, Mu: 1000, Lambda: 600},
+				{Name: "standard", Budget: 0.060, Percentile: 0.95, Mu: 1000, Lambda: 600},
+				{Name: "sheddable", Budget: 0.150, Percentile: 0.90, Mu: 1000, Lambda: 700},
+			},
+			Headroom: 0.1,
+		},
+	}
+}
+
+// TestIsolationPolicyResolvesViolations is the enforcement-ladder law: on
+// every seeded heterogeneous run with under-predicted interference, the
+// isolation ladder must absorb at least half of the injected SLO
+// violations (placements the level-0 surface measures over budget) without
+// migrating anything — escalation before eviction is the subsystem's whole
+// claim. The suite also requires the injection to be live: a run with
+// nothing to resolve would make the law vacuous.
+func TestIsolationPolicyResolvesViolations(t *testing.T) {
+	totalInjected, totalResolved, totalEsc := 0, 0, 0
+	for seed := uint64(0); seed < numSeeds; seed++ {
+		cfg := isolClusterConfig(t, seed)
+		events, err := cluster.GenerateEvents(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := cluster.RunSim(context.Background(), cfg, events, 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		injected := res.IsolationResolved + res.Violations
+		t.Logf("seed %2d: placed=%d injected=%d resolved=%d escalations=%d migrations=%d tax=%.4f",
+			seed, res.Placed, injected, res.IsolationResolved, res.Isolations, res.Migrations, res.IsolationTax)
+		totalInjected += injected
+		totalResolved += res.IsolationResolved
+		totalEsc += res.Isolations
+		if res.IsolationTax < 0 {
+			t.Errorf("seed %d: negative throughput tax %g", seed, res.IsolationTax)
+		}
+		if res.Isolations > 0 && res.IsolationTax == 0 && res.IsolationResolved > 0 {
+			t.Errorf("seed %d: ladder engaged (%d escalations) but charged no throughput tax", seed, res.Isolations)
+		}
+	}
+	if totalInjected == 0 {
+		t.Fatal("no SLO violations injected across the suite; the law is vacuous")
+	}
+	if totalEsc == 0 {
+		t.Fatal("the ladder never escalated across the suite")
+	}
+	if 2*totalResolved < totalInjected {
+		t.Errorf("isolation resolved %d of %d injected violations (< half) without migration",
+			totalResolved, totalInjected)
+	}
+}
+
+// TestIsolationPolicyDeterminism: a PolicyIsolation run — escalations,
+// migrations, tax integrals and all — is bit-identical at 1-way and 8-way
+// shard fan-out, for every seed.
+func TestIsolationPolicyDeterminism(t *testing.T) {
+	for seed := uint64(0); seed < numSeeds; seed++ {
+		cfg := isolClusterConfig(t, seed)
+		events, err := cluster.GenerateEvents(cfg)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		seq, err := cluster.RunSim(context.Background(), cfg, events, 1)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		par, err := cluster.RunSim(context.Background(), cfg, events, 8)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("seed %d: isolation run diverges between 1 and 8 workers", seed)
+		}
+	}
+}
